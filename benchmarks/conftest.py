@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures or analytic
+claims (see DESIGN.md §3).  Each prints the paper-vs-measured rows it
+is responsible for (run ``pytest benchmarks/ --benchmark-only -s`` to
+see them) and asserts the claim's *shape* — who wins, by what factor.
+"""
+
+from __future__ import annotations
+
+
+def show(table: str) -> None:
+    """Print a result table, bracketed for readability under -s."""
+    print()
+    print(table)

@@ -1,0 +1,89 @@
+"""T9 — batching vs bandwidth: when do fewer invocations stop helping?
+
+An extension experiment beyond the paper's analytic claims.  The paper
+argues per-message cost dominates ("the cost of an invocation must
+inevitably be higher than that of a system call"), which favours the
+read-only scheme's halved message count and favours batching.  But on
+a finite interconnect (10 Mbit Ethernet!), bytes cost too.  This sweep
+varies the Read batch size under latency-only vs bandwidth-limited
+transports:
+
+- latency-dominated: virtual makespan falls ~1/batch — batch as hard
+  as you like;
+- bandwidth-limited: makespan flattens at the wire's byte rate — the
+  crossover where protocol overhead stops mattering.
+
+Invocation counts still halve for read-only regardless (T1); this
+bench maps when that *matters*.
+"""
+
+from repro.analysis import format_table
+from repro.core import Kernel, TransportCosts
+from repro.devices import random_lines
+from repro.transput import FlowPolicy, build_readonly_pipeline
+from repro.transput.filterbase import identity_transducer
+
+from conftest import show
+
+ITEMS = random_lines(count=64, width=12, seed=42)  # ~100 bytes/record
+BATCHES = (1, 2, 4, 8, 16)
+
+
+def run_once(batch: int, bandwidth: float | None) -> tuple[float, int]:
+    kernel = Kernel(
+        costs=TransportCosts(
+            local_latency=1.0, remote_latency=1.0, bandwidth=bandwidth
+        )
+    )
+    pipeline = build_readonly_pipeline(
+        kernel, ITEMS, [identity_transducer(), identity_transducer()],
+        flow=FlowPolicy(batch=batch),
+    )
+    output = pipeline.run_to_completion()
+    assert output == ITEMS
+    return pipeline.virtual_makespan, pipeline.invocations_used()
+
+
+def sweep():
+    results = {}
+    for batch in BATCHES:
+        results[(batch, "latency-only")] = run_once(batch, bandwidth=None)
+        results[(batch, "bandwidth-limited")] = run_once(batch, bandwidth=50.0)
+    return results
+
+
+def test_bench_bandwidth(benchmark):
+    results = benchmark(sweep)
+
+    rows = []
+    for batch in BATCHES:
+        latency_span, invocations = results[(batch, "latency-only")]
+        limited_span, _ = results[(batch, "bandwidth-limited")]
+        rows.append([
+            batch, invocations, latency_span, limited_span,
+            f"{limited_span / latency_span:.1f}",
+        ])
+
+    # Latency-only: batching k-fold cuts makespan nearly k-fold.
+    lat1 = results[(1, "latency-only")][0]
+    lat16 = results[(16, "latency-only")][0]
+    assert lat16 < lat1 / 8
+
+    # Bandwidth-limited: returns diminish — the byte cost of the
+    # records themselves sets a floor batching cannot cross.
+    bw1 = results[(1, "bandwidth-limited")][0]
+    bw8 = results[(8, "bandwidth-limited")][0]
+    bw16 = results[(16, "bandwidth-limited")][0]
+    assert bw16 < bw1  # batching still helps...
+    assert (bw8 - bw16) / bw8 < 0.35  # ...but the curve has flattened
+    # And the floor is the wire time for the payload, which latency-only
+    # runs don't pay at all.
+    assert bw16 > lat16 * 2
+
+    show(format_table(
+        ["batch", "invocations", "latency-only makespan",
+         "bandwidth-limited makespan", "slowdown"],
+        rows,
+        title="T9 (extension): Read batch size under infinite vs finite "
+              f"bandwidth (m={len(ITEMS)} ~100B records, n=2 filters)",
+    ))

@@ -1,0 +1,87 @@
+"""T7 — the bootstrap transput system (paper §7).
+
+NewStream / UseStream copy a Unix file through Eden, optionally via a
+filter.  The benchmark measures invocations per line copied and the
+per-stream setup overhead (the transient UnixFile Ejects that are
+created, used and allowed to disappear).
+"""
+
+from repro.analysis import format_table
+from repro.core import Kernel
+from repro.devices import random_lines
+from repro.filesystem import HostFileSystem, UnixFileSystem
+from repro.filters import upper_case
+from repro.transput import ReadOnlyFilter, StreamEndpoint
+
+from conftest import show
+
+LINE_COUNTS = (10, 100, 400)
+
+
+def copy_file(lines: int, with_filter: bool):
+    kernel = Kernel()
+    hostfs = HostFileSystem()
+    hostfs.mkdir("/data")
+    content = random_lines(count=lines, seed=lines)
+    hostfs.write_file("/data/in", content)
+    unixfs = kernel.create(UnixFileSystem, hostfs=hostfs)
+
+    start = kernel.stats.snapshot()
+    stream = kernel.call_sync(unixfs.uid, "NewStream", "/data/in")
+    endpoint = StreamEndpoint(stream, None)
+    if with_filter:
+        stage = kernel.create(
+            ReadOnlyFilter, transducer=upper_case(), inputs=[endpoint]
+        )
+        endpoint = stage.output_endpoint()
+    kernel.call_sync(unixfs.uid, "UseStream", "/data/out", endpoint)
+    kernel.run()
+    delta = kernel.stats.snapshot().diff(start)
+
+    copied = hostfs.read_file("/data/out")
+    expected = [line.upper() for line in content] if with_filter else content
+    assert copied == expected
+    return delta, kernel
+
+
+def sweep():
+    results = {}
+    for lines in LINE_COUNTS:
+        for with_filter in (False, True):
+            results[(lines, with_filter)] = copy_file(lines, with_filter)
+    return results
+
+
+def test_bench_bootstrap_fs(benchmark):
+    results = benchmark(sweep)
+
+    rows = []
+    for lines in LINE_COUNTS:
+        for with_filter in (False, True):
+            delta, kernel = results[(lines, with_filter)]
+            invocations = delta["invocations_sent"]
+            rows.append([
+                lines,
+                "copy+filter" if with_filter else "plain copy",
+                invocations,
+                f"{invocations / lines:.2f}",
+                delta["ejects_created"],
+            ])
+            # Per-datum cost: one Transfer per line per hop (+END and
+            # the 2 setup invocations).  Plain copy: 1 hop.  Filtered: 2.
+            hops = 2 if with_filter else 1
+            assert invocations == hops * (lines + 1) + 2, (lines, with_filter)
+
+    # Amortization shape: invocations/line approaches the hop count.
+    small_delta, _ = results[(10, False)]
+    large_delta, _ = results[(400, False)]
+    assert large_delta["invocations_sent"] / 400 < (
+        small_delta["invocations_sent"] / 10
+    )
+
+    show(format_table(
+        ["lines", "mode", "invocations", "inv/line", "ejects created"],
+        rows,
+        title="T7: bootstrap NewStream/UseStream file copies (setup = 2 "
+              "invocations + transient UnixFile Ejects)",
+    ))

@@ -1,0 +1,80 @@
+"""T4 — laziness vs parallelism (§4, claim C5).
+
+"Laziness, however, is not desirable in a system which permits
+parallel execution.  Instead, one would prefer that each Eject does a
+certain amount of computation in advance ... In this way all the
+Ejects in a pipeline can run concurrently."
+
+The sweep runs a read-only pipeline of compute-heavy filters with
+lookahead 0 (pure lazy) through 64, measuring virtual makespan.  The
+curve should fall steeply from the serialized case toward the
+pipeline-parallel bound and then flatten — more buffer than the
+pipeline's depth buys nothing.
+"""
+
+from repro.analysis import (
+    format_table,
+    predicted_pipelined_makespan,
+)
+from repro.core import Kernel
+from repro.transput import FlowPolicy, build_readonly_pipeline
+from repro.transput.filterbase import identity_transducer
+
+from conftest import show
+
+ITEMS = [f"record-{i}" for i in range(30)]
+N_FILTERS = 3
+WORK_COST = 4.0
+LOOKAHEADS = (0, 1, 2, 4, 8, 16, 64)
+
+
+def run_once(lookahead: int) -> float:
+    kernel = Kernel()
+    transducers = []
+    for _ in range(N_FILTERS):
+        transducer = identity_transducer()
+        transducer.cost_per_item = WORK_COST
+        transducers.append(transducer)
+    pipeline = build_readonly_pipeline(
+        kernel, ITEMS, transducers,
+        flow=FlowPolicy(lookahead=lookahead),
+        source_work_cost=WORK_COST,
+        sink_work_cost=WORK_COST,
+    )
+    output = pipeline.run_to_completion()
+    assert output == ITEMS
+    return pipeline.virtual_makespan
+
+
+def sweep():
+    return {lookahead: run_once(lookahead) for lookahead in LOOKAHEADS}
+
+
+def test_bench_buffering(benchmark):
+    makespans = benchmark(sweep)
+
+    lazy = makespans[0]
+    ideal = predicted_pipelined_makespan(N_FILTERS, len(ITEMS), WORK_COST)
+    rows = [
+        [lookahead, makespans[lookahead],
+         f"{lazy / makespans[lookahead]:.2f}x",
+         f"{makespans[lookahead] / ideal:.2f}"]
+        for lookahead in LOOKAHEADS
+    ]
+
+    # Shape: monotone-ish improvement, big early win, then flat.
+    assert makespans[8] < lazy / 2, makespans
+    assert abs(makespans[16] - makespans[64]) / makespans[16] < 0.2
+
+    # Lazy execution serializes: makespan ≈ items * stages * work, i.e.
+    # far above the pipeline-parallel bound.
+    assert lazy > 2.5 * ideal
+
+    show(format_table(
+        ["lookahead", "virtual makespan", "speedup vs lazy",
+         "x pipeline-parallel bound"],
+        rows,
+        title=f"T4: anticipatory buffering (n={N_FILTERS} filters @ "
+              f"{WORK_COST} cost/record, m={len(ITEMS)}; bound="
+              f"{ideal:.0f})",
+    ))

@@ -1,0 +1,133 @@
+"""T6 — channel security (claim C4, paper §5).
+
+"if E is told to read from F's channel 1, nothing prevents it from
+reading from F's channel 2 as well.  One way of overcoming this
+problem is to use UIDs as channel identifiers: because UIDs cannot be
+forged, the only Ejects which are able to make valid ReadonChannel
+requests of F are those to which a channel identifier has been given
+explicitly."
+
+The benchmark mounts the dishonest-programmer attack against both
+identifier schemes and measures the cost of the secure one (per-datum
+cost: none; wiring cost: one capability handshake per connection).
+"""
+
+import random
+
+from repro.analysis import format_table
+from repro.core import Kernel
+from repro.core.capability import ChannelCapability
+from repro.core.errors import ChannelSecurityError, EdenError
+from repro.filters import identity, with_reports
+from repro.transput import CollectorSink, ListSource, ReadOnlyFilter
+
+from conftest import show
+
+ITEMS = [f"secret-{i}" for i in range(10)]
+
+
+def build_reporter(kernel, mode):
+    source = kernel.create(ListSource, items=ITEMS)
+    return kernel.create(
+        ReadOnlyFilter,
+        transducer=with_reports(identity(), "F", every=3),
+        inputs=[source.output_endpoint()],
+        channel_mode=mode,
+    )
+
+
+def attack(kernel, target, channels):
+    """Try to read another Eject's channel; count successful thefts."""
+    stolen = 0
+    for channel in channels:
+        try:
+            transfer = kernel.call_sync(target.uid, "Read", 1, channel=channel)
+        except EdenError:
+            continue
+        if not transfer.at_end:
+            stolen += 1
+    return stolen
+
+
+def run_experiment():
+    # Open mode: integer and name identifiers are guessable.
+    open_kernel = Kernel()
+    open_filter = build_reporter(open_kernel, "open")
+    open_thefts = attack(
+        open_kernel, open_filter, ["Report", 1, 0, "Output"]
+    )
+
+    # Capability mode: name/integer guesses fail; so do forged and
+    # randomly guessed secrets.
+    cap_kernel = Kernel()
+    cap_filter = build_reporter(cap_kernel, "capability")
+    genuine = cap_filter.output_endpoint("Report").channel
+    rng = random.Random("t6-attack")
+    guesses = ["Report", 1, 0] + [
+        ChannelCapability(
+            owner=genuine.owner, name="Report", secret=rng.getrandbits(64)
+        )
+        for _ in range(64)
+    ]
+    cap_thefts = attack(cap_kernel, cap_filter, guesses)
+
+    # The legitimate holder still reads fine (and pays no extra
+    # per-datum invocations).
+    holder_kernel = Kernel()
+    holder_filter = build_reporter(holder_kernel, "capability")
+    sink = holder_kernel.create(
+        CollectorSink, inputs=[holder_filter.output_endpoint("Output")]
+    )
+    start = holder_kernel.stats.snapshot()
+    holder_kernel.run(until=lambda: sink.done)
+    holder_kernel.run()
+    secure_invocations = holder_kernel.stats.snapshot().diff(start)[
+        "invocations_sent"
+    ]
+
+    baseline_kernel = Kernel()
+    baseline_filter = build_reporter(baseline_kernel, "open")
+    baseline_sink = baseline_kernel.create(
+        CollectorSink, inputs=[baseline_filter.output_endpoint("Output")]
+    )
+    start = baseline_kernel.stats.snapshot()
+    baseline_kernel.run(until=lambda: baseline_sink.done)
+    baseline_kernel.run()
+    open_invocations = baseline_kernel.stats.snapshot().diff(start)[
+        "invocations_sent"
+    ]
+
+    assert sink.collected == baseline_sink.collected == ITEMS
+    return open_thefts, cap_thefts, open_invocations, secure_invocations
+
+
+def test_bench_channel_security(benchmark):
+    open_thefts, cap_thefts, open_inv, secure_inv = benchmark(run_experiment)
+
+    # Integer/name identifiers: the attack succeeds.
+    assert open_thefts >= 2
+    # Capabilities: every guess (names, integers, 64 forged secrets) fails.
+    assert cap_thefts == 0
+    # And security is free per datum.
+    assert secure_inv == open_inv
+
+    # Direct check that the rejection is the *security* error, not a
+    # missing channel.
+    kernel = Kernel()
+    target = build_reporter(kernel, "capability")
+    try:
+        kernel.call_sync(target.uid, "Read", 1, channel="Report")
+        raise AssertionError("forged read should have been rejected")
+    except ChannelSecurityError:
+        pass
+
+    show(format_table(
+        ["identifier scheme", "attack reads that succeeded",
+         "legit per-stream invocations"],
+        [
+            ["integers / names (prototype §7)", open_thefts, open_inv],
+            ["capabilities (UIDs as channel ids)", cap_thefts, secure_inv],
+        ],
+        title="T6: the dishonest-programmer attack against channel "
+              "identifier schemes (64 forged secrets tried)",
+    ))

@@ -1,0 +1,62 @@
+"""T8 — process-switch savings (§4's bullet list).
+
+"Thus considerable savings of communications overhead and process
+switching can be realised with long pipelines."
+
+Every message delivery resumes a process, so halving messages halves
+the message-driven process switches.  The benchmark sweeps pipeline
+length and reports context switches per datum for both disciplines,
+checking the read-only advantage and that it grows with n.
+"""
+
+from repro.analysis import format_table, measure_pipeline
+
+from conftest import show
+
+LENGTHS = (1, 2, 4, 8, 16)
+ITEMS = 40
+
+
+def sweep():
+    results = {}
+    for n_filters in LENGTHS:
+        for discipline in ("readonly", "conventional"):
+            results[(n_filters, discipline)] = measure_pipeline(
+                discipline, n_filters, ITEMS
+            )
+    return results
+
+
+def test_bench_context_switches(benchmark):
+    results = benchmark(sweep)
+
+    rows = []
+    savings = []
+    for n_filters in LENGTHS:
+        readonly = results[(n_filters, "readonly")]
+        conventional = results[(n_filters, "conventional")]
+        ratio = readonly.context_switches / conventional.context_switches
+        savings.append(ratio)
+        rows.append([
+            n_filters,
+            readonly.context_switches,
+            f"{readonly.context_switches / ITEMS:.1f}",
+            conventional.context_switches,
+            f"{conventional.context_switches / ITEMS:.1f}",
+            f"{ratio:.2f}",
+        ])
+        # The read-only pipeline always switches less.
+        assert readonly.context_switches < conventional.context_switches
+
+    # The saving grows (ratio falls) as pipelines get longer — "with
+    # long pipelines".
+    assert savings[-1] < savings[0]
+    # And for long pipelines the saving approaches the message ratio.
+    assert savings[-1] < 0.75
+
+    show(format_table(
+        ["n filters", "read-only switches", "/datum",
+         "conventional switches", "/datum", "ratio"],
+        rows,
+        title=f"T8: process switches to move m={ITEMS} records",
+    ))

@@ -1,0 +1,49 @@
+"""T2 — the paper's Eject-count claims (C1 + C2), swept over n.
+
+§4: "a sequence of n filters, a source and a sink can all be
+implemented by n+2 Ejects ... [conventionally] n+1 passive buffer
+Ejects [are needed]" — i.e. 2n+3 Ejects in total.
+"""
+
+from repro.analysis import format_table, measure_pipeline, shape_for
+
+from conftest import show
+
+LENGTHS = (1, 2, 4, 8, 16)
+ITEMS = 20
+
+
+def sweep():
+    rows = []
+    for n_filters in LENGTHS:
+        row = {"n": n_filters}
+        for discipline in ("readonly", "writeonly", "conventional"):
+            row[discipline] = measure_pipeline(discipline, n_filters, ITEMS)
+        rows.append(row)
+    return rows
+
+
+def test_bench_eject_counts(benchmark):
+    rows = benchmark(sweep)
+
+    table_rows = []
+    for row in rows:
+        n_filters = row["n"]
+        for discipline in ("readonly", "writeonly", "conventional"):
+            measurement = row[discipline]
+            shape = shape_for(discipline, n_filters)
+            assert measurement.ejects == shape.ejects, (discipline, n_filters)
+            assert measurement.buffers == shape.buffers
+        table_rows.append([
+            n_filters,
+            row["readonly"].ejects, f"n+2={n_filters + 2}",
+            row["conventional"].ejects, f"2n+3={2 * n_filters + 3}",
+            row["conventional"].buffers, f"n+1={n_filters + 1}",
+        ])
+
+    show(format_table(
+        ["n filters", "read-only ejects", "paper", "conventional ejects",
+         "paper", "buffers", "paper"],
+        table_rows,
+        title="T2: Ejects needed per pipeline (read-only vs conventional)",
+    ))

@@ -1,0 +1,183 @@
+"""T5 — the fan-in/fan-out duality (claim C3, paper §5).
+
+"As we have described it so far, 'read only' transput allows arbitrary
+fan-in but no fan-out.  The dual situation exists with 'write only'
+transput. ... Conventional transput allows arbitrary fan-in and
+fan-out because both reads and writes are active."
+
+The benchmark builds the feasibility matrix by construction, including
+the two §5 remedies (channel identifiers for read-only fan-out; the
+'secondary output' ablation that re-introduces active writes) and
+demonstrates the failure mode the paper describes: two sinks reading
+one unchanneled filter *split* the stream rather than each getting a
+copy ("F cannot distinguish this from one Eject making the same total
+number of Read invocations").
+"""
+
+from repro.analysis import format_table
+from repro.core import Kernel
+from repro.filters import fanout, identity
+from repro.transput import (
+    ActiveSource,
+    CollectorSink,
+    ConventionalFilter,
+    ListSource,
+    PassiveSink,
+    Primitive,
+    ReadOnlyFilter,
+    StreamEndpoint,
+    WriteOnlyFilter,
+)
+
+from conftest import show
+
+ITEMS = [f"r{i}" for i in range(12)]
+
+
+def readonly_fan_in(kernel):
+    sources = [kernel.create(ListSource, items=ITEMS[:6]),
+               kernel.create(ListSource, items=ITEMS[6:])]
+    stage = kernel.create(
+        ReadOnlyFilter, transducer=identity(),
+        inputs=[s.output_endpoint() for s in sources],
+    )
+    sink = kernel.create(CollectorSink, inputs=[stage.output_endpoint()])
+    kernel.run(until=lambda: sink.done)
+    kernel.run()
+    return sink.collected
+
+
+def readonly_naive_fan_out(kernel):
+    """Two sinks on one channel: the stream is split, not duplicated."""
+    source = kernel.create(ListSource, items=ITEMS)
+    stage = kernel.create(
+        ReadOnlyFilter, transducer=identity(),
+        inputs=[source.output_endpoint()],
+    )
+    sinks = [
+        kernel.create(CollectorSink, inputs=[stage.output_endpoint()])
+        for _ in range(2)
+    ]
+    kernel.run(until=lambda: all(s.done for s in sinks))
+    kernel.run()
+    return [list(s.collected) for s in sinks]
+
+
+def readonly_channel_fan_out(kernel):
+    """The §5 remedy: one output channel per consumer."""
+    source = kernel.create(ListSource, items=ITEMS)
+    stage = kernel.create(
+        ReadOnlyFilter, transducer=fanout(2),
+        inputs=[source.output_endpoint()],
+    )
+    sinks = [
+        kernel.create(
+            CollectorSink, inputs=[stage.output_endpoint(f"out{i}")]
+        )
+        for i in range(2)
+    ]
+    kernel.run(until=lambda: all(s.done for s in sinks))
+    kernel.run()
+    return [list(s.collected) for s in sinks], stage
+
+
+def writeonly_fan_out(kernel):
+    sinks = [kernel.create(PassiveSink) for _ in range(2)]
+    stage = kernel.create(
+        WriteOnlyFilter, transducer=identity(),
+        outputs=[StreamEndpoint(s.uid, None) for s in sinks],
+    )
+    kernel.create(
+        ActiveSource, items=ITEMS, outputs=[StreamEndpoint(stage.uid, None)]
+    )
+    kernel.run(until=lambda: all(s.done for s in sinks))
+    kernel.run()
+    return [list(s.collected) for s in sinks]
+
+
+def writeonly_blind_fan_in(kernel):
+    """Two writers into one write-only filter: data arrives, but the
+    origins are indistinguishable (no true multi-stream fan-in)."""
+    sink = kernel.create(PassiveSink)
+    stage = kernel.create(
+        WriteOnlyFilter, transducer=identity(),
+        outputs=[StreamEndpoint(sink.uid, None)], expected_ends=2,
+    )
+    for half in (ITEMS[:6], ITEMS[6:]):
+        kernel.create(
+            ActiveSource, items=half,
+            outputs=[StreamEndpoint(stage.uid, None)],
+        )
+    kernel.run(until=lambda: sink.done)
+    kernel.run()
+    return sink.collected
+
+
+def conventional_fan_both(kernel):
+    sources = [kernel.create(ListSource, items=ITEMS[:6]),
+               kernel.create(ListSource, items=ITEMS[6:])]
+    sinks = [kernel.create(PassiveSink) for _ in range(2)]
+    kernel.create(
+        ConventionalFilter, transducer=identity(),
+        inputs=[s.output_endpoint() for s in sources],
+        outputs=[StreamEndpoint(s.uid, None) for s in sinks],
+    )
+    kernel.run(until=lambda: all(s.done for s in sinks))
+    kernel.run()
+    return [list(s.collected) for s in sinks]
+
+
+def run_matrix():
+    return {
+        "readonly_fan_in": readonly_fan_in(Kernel()),
+        "readonly_naive_fan_out": readonly_naive_fan_out(Kernel()),
+        "readonly_channel_fan_out": readonly_channel_fan_out(Kernel()),
+        "writeonly_fan_out": writeonly_fan_out(Kernel()),
+        "writeonly_blind_fan_in": writeonly_blind_fan_in(Kernel()),
+        "conventional_fan_both": conventional_fan_both(Kernel()),
+    }
+
+
+def test_bench_fan_duality(benchmark):
+    results = benchmark(run_matrix)
+
+    # Read-only fan-in: everything arrives, in input order.
+    assert results["readonly_fan_in"] == ITEMS
+
+    # Naive read-only fan-out FAILS as the paper says: the two readers
+    # split the stream between them; neither sees a full copy.
+    split = results["readonly_naive_fan_out"]
+    assert sorted(split[0] + split[1]) == sorted(ITEMS)
+    assert split[0] != ITEMS and split[1] != ITEMS
+
+    # Channel identifiers fix it: every consumer gets a full copy, and
+    # the filter stays purely read-only.
+    copies, stage = results["readonly_channel_fan_out"]
+    assert copies == [ITEMS, ITEMS]
+    assert stage.interface_primitives() <= {
+        Primitive.ACTIVE_INPUT, Primitive.PASSIVE_OUTPUT
+    }
+
+    # Write-only fan-out: every sink gets a full copy.
+    assert results["writeonly_fan_out"] == [ITEMS, ITEMS]
+
+    # Write-only "fan-in": all records arrive but interleaved —
+    # the filter cannot separate the two streams.
+    blind = results["writeonly_blind_fan_in"]
+    assert sorted(blind) == sorted(ITEMS)
+
+    # Conventional: both, for 2x the invocations (T1 covers the cost).
+    assert results["conventional_fan_both"] == [ITEMS, ITEMS]
+
+    show(format_table(
+        ["discipline", "fan-in", "fan-out", "notes"],
+        [
+            ["read-only", "yes (n input UIDs)", "no (readers split)",
+             "channels restore fan-out"],
+            ["write-only", "no (writers blur)", "yes (n output UIDs)",
+             "exact dual"],
+            ["conventional", "yes", "yes", "costs 2x invocations"],
+        ],
+        title="T5: the paper's fan-in/fan-out feasibility matrix, "
+              "verified by construction",
+    ))

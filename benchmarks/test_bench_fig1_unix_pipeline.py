@@ -1,0 +1,54 @@
+"""F1 — Figure 1: the Unix pipeline baseline.
+
+Three both-active filters with pipes p1 and p2 between them, a passive
+data source and data sink at the ends.  This is the configuration the
+read-only discipline is measured against.
+"""
+
+from repro.analysis import format_table
+from repro.figures import build_figure1, default_input
+from repro.transput import Primitive
+
+from conftest import show
+
+ITEMS = default_input(lines=60)
+
+
+def run_figure1():
+    run = build_figure1(items=ITEMS)
+    output = run.run()
+    return run, output
+
+
+def test_bench_figure1(benchmark):
+    run, output = benchmark(run_figure1)
+    assert len(output) == 40  # 60 lines, every third a comment
+
+    # The figure's structural facts.
+    assert run.eject_count() == 7
+    pipes = [e for e in run.ejects if e.name in ("p1", "p2")]
+    assert len(pipes) == 2
+    filters = [e for e in run.ejects if e.name in ("F1", "F2", "F3")]
+    for stage in filters:
+        # "The shape of the connectors ... indicate that they are
+        # performing active input and active output."
+        assert stage.interface_primitives() == {
+            Primitive.ACTIVE_INPUT, Primitive.ACTIVE_OUTPUT
+        }
+    # Pipes perform only passive transput.
+    for pipe in pipes:
+        assert pipe.interface_primitives() <= {
+            Primitive.PASSIVE_INPUT, Primitive.PASSIVE_OUTPUT
+        }
+
+    show(format_table(
+        ["metric", "value"],
+        [
+            ["ejects (boxes + circles)", run.eject_count()],
+            ["passive buffers (pipes)", len(pipes)],
+            ["invocations", run.invocations_used()],
+            ["invocations / input datum", run.invocations_used() / len(ITEMS)],
+            ["virtual makespan", run.virtual_makespan],
+        ],
+        title="Figure 1 (Unix pipeline, conventional discipline)",
+    ))

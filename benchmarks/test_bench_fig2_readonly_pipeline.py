@@ -1,0 +1,54 @@
+"""F2 — Figure 2: the same pipeline with "read only" transput.
+
+"The filters F_i all perform active input and passive output.  The
+sink actively inputs and the source passively outputs."  No pipes at
+all, and (vs Figure 1) fewer invocations for the same work.
+"""
+
+from repro.analysis import format_ratio, format_table
+from repro.figures import build_figure1, build_figure2, default_input
+from repro.transput import Primitive
+
+from conftest import show
+
+ITEMS = default_input(lines=60)
+
+
+def run_figure2():
+    run = build_figure2(items=ITEMS)
+    output = run.run()
+    return run, output
+
+
+def test_bench_figure2(benchmark):
+    run, output = benchmark(run_figure2)
+
+    baseline = build_figure1(items=ITEMS)
+    baseline_output = baseline.run()
+    assert output == baseline_output  # same computation, new discipline
+
+    # Structural facts: n + 2 Ejects, no buffers.
+    assert run.eject_count() == 5
+    for eject in run.ejects:
+        assert eject.interface_primitives() <= {
+            Primitive.ACTIVE_INPUT, Primitive.PASSIVE_OUTPUT
+        }
+
+    # The cost claim: fewer invocations than Figure 1, approaching half
+    # as n grows (exactly (n+1)/(2n+2) per hop; ends differ slightly
+    # because Figure 1's terminal hops have no pipes).
+    assert run.invocations_used() < baseline.invocations_used()
+
+    show(format_table(
+        ["metric", "figure 2 (read-only)", "figure 1 (Unix)"],
+        [
+            ["ejects", run.eject_count(), baseline.eject_count()],
+            ["passive buffers", 0, 2],
+            ["invocations", run.invocations_used(),
+             baseline.invocations_used()],
+            ["invocations ratio",
+             format_ratio(run.invocations_used(),
+                          baseline.invocations_used()), "1.00x"],
+        ],
+        title="Figure 2 vs Figure 1 (same filters, same input)",
+    ))

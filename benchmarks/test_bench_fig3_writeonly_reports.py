@@ -1,0 +1,52 @@
+"""F3 — Figure 3: an Eden pipeline in the write-only discipline, with
+report streams.
+
+"The source, F1 and F3 produce reports as well as normal output.  The
+reports from source and F1 are directed to a common destination,
+perhaps a window on a display."  Multiple outputs present no
+difficulty in this discipline — that is the point of the figure.
+"""
+
+from repro.analysis import format_table
+from repro.figures import build_figure3, default_input
+from repro.transput import Primitive
+
+from conftest import show
+
+ITEMS = default_input(lines=60)
+
+
+def run_figure3():
+    run = build_figure3(items=ITEMS, report_every=10)
+    output = run.run()
+    return run, output
+
+
+def test_bench_figure3(benchmark):
+    run, output = benchmark(run_figure3)
+    assert len(output) == 40
+
+    # The shared window carries both reporters' streams, interleaved.
+    shared = run.window_lines(0)
+    sources = {line.split("]")[0] + "]" for line in shared}
+    assert sources == {"[source]", "[F1]"}
+    f3_window = run.window_lines(1)
+    assert all(line.startswith("[F3]") for line in f3_window)
+
+    # Write-only discipline throughout: filters never perform active
+    # input on the primary path (§5) — fan-out needed no extra Ejects.
+    for eject in run.ejects:
+        if eject.name in ("source", "F1", "F2", "F3"):
+            assert Primitive.ACTIVE_INPUT not in eject.interface_primitives()
+
+    show(format_table(
+        ["metric", "value"],
+        [
+            ["ejects", run.eject_count()],
+            ["report lines (shared window)", len(shared)],
+            ["report lines (F3 window)", len(f3_window)],
+            ["invocations", run.invocations_used()],
+            ["virtual makespan", run.virtual_makespan],
+        ],
+        title="Figure 3 (write-only with report streams)",
+    ))

@@ -1,0 +1,63 @@
+"""F4 — Figure 4: the pipeline of Figure 3 in the read-only discipline.
+
+Channel identifiers restore multiple outputs to the read-only scheme:
+"the double lines indicate Read(ReportStream) requests; the single
+lines indicate Read(Output) requests.  It is assumed that the Report
+Window is designed to read from multiple sources."
+
+The benchmark checks the two figures compute identical primary output
+and carry identical report payloads, and measures the capability-
+secured variant's overhead (§5: "the cost of this additional security
+is that more work is now necessary to connect a sink to its source" —
+wiring work, not per-datum invocations).
+"""
+
+from repro.analysis import format_table
+from repro.figures import build_figure3, build_figure4, default_input
+
+from conftest import show
+
+ITEMS = default_input(lines=60)
+
+
+def run_figure4():
+    run = build_figure4(items=ITEMS, report_every=10)
+    output = run.run()
+    return run, output
+
+
+def test_bench_figure4(benchmark):
+    run, output = benchmark(run_figure4)
+
+    fig3 = build_figure3(items=ITEMS, report_every=10)
+    fig3_output = fig3.run()
+    assert output == fig3_output  # exact duals compute the same stream
+
+    # Same report payloads reach the shared window in both disciplines.
+    fig4_payloads = sorted(
+        line.split(": ", 1)[1] for line in run.window_lines(0)
+    )
+    assert fig4_payloads == sorted(fig3.window_lines(0))
+
+    # Capability-mode variant: same data, forgery-proof channels.
+    secure = build_figure4(items=ITEMS, report_every=10,
+                           channel_mode="capability")
+    secure_output = secure.run()
+    assert secure_output == output
+    assert secure.invocations_used() == run.invocations_used()
+
+    show(format_table(
+        ["metric", "fig 4 (read-only)", "fig 3 (write-only)",
+         "fig 4 (capabilities)"],
+        [
+            ["ejects", run.eject_count(), fig3.eject_count(),
+             secure.eject_count()],
+            ["invocations", run.invocations_used(),
+             fig3.invocations_used(), secure.invocations_used()],
+            ["report lines", len(run.window_lines(0)),
+             len(fig3.window_lines(0)), len(secure.window_lines(0))],
+            ["virtual makespan", run.virtual_makespan,
+             fig3.virtual_makespan, secure.virtual_makespan],
+        ],
+        title="Figure 4 vs Figure 3 (report streams, dual disciplines)",
+    ))

@@ -1,0 +1,84 @@
+"""T1 — the paper's invocation-count claims (C1 + C2), swept over n.
+
+§4: a read-only pipeline of n filters needs "only n+1 invocations ...
+to transfer a datum from one end of the pipeline to the other.
+Conversely, if each filter were to perform active output as well as
+active input, 2n+2 invocations would be needed."
+
+The sweep measures every discipline at n = 1..16 and checks the
+measured counts equal the formulas *exactly* (including end-of-stream
+traffic), and that the read-only / conventional ratio is exactly ½.
+"""
+
+import pytest
+
+from repro.analysis import (
+    format_table,
+    measure_pipeline,
+    predicted_invocations,
+)
+
+from conftest import show
+
+LENGTHS = (1, 2, 4, 8, 16)
+ITEMS = 50
+
+
+def sweep():
+    rows = []
+    for n_filters in LENGTHS:
+        readonly = measure_pipeline("readonly", n_filters, ITEMS)
+        writeonly = measure_pipeline("writeonly", n_filters, ITEMS)
+        conventional = measure_pipeline("conventional", n_filters, ITEMS)
+        rows.append((n_filters, readonly, writeonly, conventional))
+    return rows
+
+
+def test_bench_invocation_counts(benchmark):
+    rows = benchmark(sweep)
+
+    table_rows = []
+    for n_filters, readonly, writeonly, conventional in rows:
+        # Exactness against the closed forms.
+        for measurement, discipline in (
+            (readonly, "readonly"),
+            (writeonly, "writeonly"),
+            (conventional, "conventional"),
+        ):
+            assert measurement.invocations == predicted_invocations(
+                discipline, n_filters, ITEMS
+            ), (discipline, n_filters)
+        # The headline ratio is exactly one half.
+        assert readonly.invocations * 2 == conventional.invocations
+        # Write-only is the exact dual.
+        assert writeonly.invocations == readonly.invocations
+        table_rows.append([
+            n_filters,
+            readonly.invocations,
+            f"{n_filters + 1}(m+1)",
+            conventional.invocations,
+            f"{2 * n_filters + 2}(m+1)",
+            f"{readonly.invocations / conventional.invocations:.2f}",
+        ])
+
+    show(format_table(
+        ["n filters", "read-only inv", "paper", "conventional inv",
+         "paper", "ratio"],
+        table_rows,
+        title=f"T1: invocations to move m={ITEMS} records (paper: n+1 vs "
+              "2n+2 per datum; measured exactly, END included)",
+    ))
+
+
+@pytest.mark.parametrize("batch", [1, 2, 8])
+def test_bench_batching_ablation(benchmark, batch):
+    """Ablation: batching divides the per-datum invocation cost in both
+    disciplines without changing the 2x relationship."""
+    readonly = benchmark(
+        lambda: measure_pipeline("readonly", 4, ITEMS, batch=batch)
+    )
+    conventional = measure_pipeline("conventional", 4, ITEMS, batch=batch)
+    assert readonly.invocations * 2 == conventional.invocations
+    assert readonly.invocations == predicted_invocations(
+        "readonly", 4, ITEMS, batch
+    )

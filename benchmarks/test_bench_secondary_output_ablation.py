@@ -1,0 +1,162 @@
+"""T5b — ablation: the three §5 designs for multiple outputs.
+
+The paper weighs three ways to give a read-only filter a report stream:
+
+1. **secondary writes** — reports "volunteered in Write invocations"
+   to a passive buffer ("This amounts to abandoning the 'read only'
+   nature of the transput system");
+2. **write-only throughout** — the dual discipline, where fan-out is
+   natural;
+3. **channel identifiers** — "a better solution is to admit the
+   existence of multiple inputs and outputs explicitly".
+
+The ablation measures each design's Ejects, invocations, and — the
+paper's architectural point — which primitives appear at the filter's
+interface.  Only the channel design keeps the filter purely read-only.
+"""
+
+from repro.analysis import format_table
+from repro.core import Kernel
+from repro.devices import PassiveReportWindow, ReportWindow
+from repro.filters import identity, with_reports
+from repro.transput import (
+    ActiveSource,
+    CollectorSink,
+    ListSource,
+    PassiveBuffer,
+    PassiveSink,
+    Primitive,
+    ReadOnlyFilter,
+    StreamEndpoint,
+    WriteOnlyFilter,
+)
+
+from conftest import show
+
+ITEMS = [f"r{i}" for i in range(30)]
+EVERY = 5
+
+
+def design_secondary_writes():
+    """Read-only primary + reports actively written into a buffer."""
+    kernel = Kernel()
+    source = kernel.create(ListSource, items=ITEMS)
+    report_buffer = kernel.create(PassiveBuffer, name="report-buffer")
+    stage = kernel.create(
+        ReadOnlyFilter,
+        transducer=with_reports(identity(), "F", every=EVERY),
+        inputs=[source.output_endpoint()],
+        secondary_outputs={
+            "Report": [StreamEndpoint(report_buffer.uid, None)]
+        },
+    )
+    sink = kernel.create(CollectorSink, inputs=[stage.output_endpoint()])
+    window = kernel.create(
+        CollectorSink, inputs=[StreamEndpoint(report_buffer.uid, None)],
+        name="window",
+    )
+    start = kernel.stats.snapshot()
+    kernel.run(until=lambda: sink.done and window.done)
+    kernel.run()
+    delta = kernel.stats.snapshot().diff(start)
+    ejects = 5  # source, filter, report buffer, sink, window
+    return sink.collected, window.collected, delta, stage, ejects
+
+
+def design_writeonly():
+    """The whole pipeline in the write-only discipline."""
+    kernel = Kernel()
+    window = kernel.create(PassiveReportWindow, name="window")
+    sink = kernel.create(PassiveSink)
+    stage = kernel.create(
+        WriteOnlyFilter,
+        transducer=with_reports(identity(), "F", every=EVERY),
+        outputs={
+            "Output": [StreamEndpoint(sink.uid, None)],
+            "Report": [StreamEndpoint(window.uid, None)],
+        },
+    )
+    kernel.create(
+        ActiveSource, items=ITEMS, outputs=[StreamEndpoint(stage.uid, None)]
+    )
+    start = kernel.stats.snapshot()
+    kernel.run(until=lambda: sink.done and window.done)
+    kernel.run()
+    delta = kernel.stats.snapshot().diff(start)
+    ejects = 4  # source, filter, sink, window
+    return sink.collected, list(window.lines), delta, stage, ejects
+
+
+def design_channels():
+    """Read-only with channel identifiers (the paper's preference)."""
+    kernel = Kernel()
+    source = kernel.create(ListSource, items=ITEMS)
+    stage = kernel.create(
+        ReadOnlyFilter,
+        transducer=with_reports(identity(), "F", every=EVERY),
+        inputs=[source.output_endpoint()],
+    )
+    sink = kernel.create(
+        CollectorSink, inputs=[stage.output_endpoint("Output")]
+    )
+    window = kernel.create(
+        ReportWindow, inputs=[("F", stage.output_endpoint("Report"))],
+        name="window",
+    )
+    start = kernel.stats.snapshot()
+    kernel.run(until=lambda: sink.done and window.done)
+    kernel.run()
+    delta = kernel.stats.snapshot().diff(start)
+    ejects = 4  # source, filter, sink, window
+    return sink.collected, [l.split(": ", 1)[1] for l in window.lines], \
+        delta, stage, ejects
+
+
+def run_all():
+    return {
+        "secondary writes": design_secondary_writes(),
+        "write-only": design_writeonly(),
+        "channels": design_channels(),
+    }
+
+
+def test_bench_secondary_output_ablation(benchmark):
+    results = benchmark(run_all)
+
+    outputs = {name: r[0] for name, r in results.items()}
+    reports = {name: r[1] for name, r in results.items()}
+    assert all(out == ITEMS for out in outputs.values())
+    # All three carry the same report payloads.
+    baseline_reports = reports["channels"]
+    assert reports["write-only"] == baseline_reports
+    assert reports["secondary writes"] == baseline_reports
+
+    rows = []
+    for name, (_out, _rep, delta, stage, ejects) in results.items():
+        primitives = sorted(p.value for p in stage.interface_primitives())
+        rows.append([
+            name, ejects, delta["invocations_sent"], ", ".join(primitives)
+        ])
+
+    # The architectural claim: only the channel design keeps the filter
+    # to the corresponding read-only pair.
+    _, _, _, channel_stage, _ = results["channels"]
+    assert channel_stage.interface_primitives() <= {
+        Primitive.ACTIVE_INPUT, Primitive.PASSIVE_OUTPUT
+    }
+    _, _, _, hybrid_stage, _ = results["secondary writes"]
+    assert Primitive.ACTIVE_OUTPUT in hybrid_stage.interface_primitives()
+
+    # The buffer design also pays for it: an extra Eject and extra
+    # invocations (reports traverse two hops instead of one).
+    inv = {name: r[2]["invocations_sent"] for name, r in results.items()}
+    ejects = {name: r[4] for name, r in results.items()}
+    assert ejects["secondary writes"] == ejects["channels"] + 1
+    assert inv["secondary writes"] > inv["channels"]
+
+    show(format_table(
+        ["design (§5)", "ejects", "invocations", "filter's primitives"],
+        rows,
+        title="T5b: multiple-output designs for a reporting filter "
+              f"(m={len(ITEMS)}, report every {EVERY})",
+    ))

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The paper's §4 printing scenario, end to end.
+
+"A file could be printed simply by requesting the printer server to
+read from the file.  If a paginated listing were required, the printer
+server would be requested to read from the paginator, and the
+paginator to read from the file."
+
+This example builds exactly that: an Eden file Eject holding a report,
+a paginator filter reading from the file, and a printer server
+requested to read from the paginator.  Nothing pushes: the printer is
+the pump.  It then prints the same file *without* pagination to show
+dynamic redirection — "Since files are active entities, there is no
+distinction between input redirection from a file and from a program."
+"""
+
+from repro.core import Kernel
+from repro.devices import PrinterServer
+from repro.filesystem import Directory, EdenFile
+from repro.filters import paginate
+from repro.transput import ReadOnlyFilter, StreamEndpoint
+
+
+def main() -> None:
+    kernel = Kernel()
+
+    # A file Eject with some content, registered in a directory.
+    report_lines = [f"result[{i}] = {i * i}" for i in range(25)]
+    report = kernel.create(EdenFile, records=report_lines, name="report")
+    home = kernel.create(Directory, name="home")
+    kernel.call_sync(home.uid, "AddEntry", "report", report.uid)
+
+    # Look the file up by name, as a user would.
+    file_uid = kernel.call_sync(home.uid, "Lookup", "report")
+
+    # A fresh read cursor over the file (files are active entities).
+    reader_uid = kernel.call_sync(file_uid, "OpenForReading")
+
+    # The paginator reads from the file; the printer reads from the
+    # paginator.  The printer's Read invocations are the only pump.
+    paginator = kernel.create(
+        ReadOnlyFilter,
+        transducer=paginate(page_length=10, title="REPORT"),
+        inputs=[StreamEndpoint(reader_uid, None)],
+        name="paginator",
+    )
+    printer = kernel.create(PrinterServer, lines_per_page=12, name="lpr")
+    kernel.call_sync(printer.uid, "PrintFrom", paginator.output_endpoint())
+    kernel.run()
+
+    print(f"printed {len(printer.pages)} page(s):")
+    for number, page in enumerate(printer.pages, start=1):
+        print(f"--- page {number} ---")
+        for line in page:
+            print("   ", line)
+
+    # Dynamic redirection: print the raw file, no paginator, same printer.
+    reader2 = kernel.call_sync(file_uid, "OpenForReading")
+    kernel.call_sync(printer.uid, "PrintFrom", StreamEndpoint(reader2, None))
+    kernel.run()
+    print(f"\nafter the second job the printer has {len(printer.pages)} pages")
+    print(f"jobs completed: {kernel.call_sync(printer.uid, 'JobCount')}")
+
+
+if __name__ == "__main__":
+    main()

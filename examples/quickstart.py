@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's comment-stripping filter, three ways.
+
+Builds the same pipeline — a Fortran comment stripper followed by a
+line numberer — in each of the three transput disciplines, runs it on
+the simulated Eden kernel, and prints outputs and costs.  The
+read-only discipline needs no buffer Ejects and roughly half the
+invocations: the paper's headline result, visible from the very first
+run.
+"""
+
+from repro import Kernel, build_pipeline
+from repro.filters import comment_stripper, number_lines
+
+FORTRAN_DECK = [
+    "C     COMPUTE THE ANSWER",
+    "      REAL X, Y",
+    "C     INITIALISE",
+    "      X = 1.0",
+    "      Y = X * 42.0",
+    "C     DONE",
+    "      PRINT *, Y",
+]
+
+
+def main() -> None:
+    print("input deck:")
+    for line in FORTRAN_DECK:
+        print("   ", line)
+    print()
+
+    for discipline in ("readonly", "writeonly", "conventional"):
+        kernel = Kernel()
+        pipeline = build_pipeline(
+            kernel,
+            discipline,
+            FORTRAN_DECK,
+            [comment_stripper("C"), number_lines()],
+        )
+        output = pipeline.run_to_completion()
+        print(f"--- {discipline} ---")
+        for line in output:
+            print("   ", line)
+        print(
+            f"    ejects={pipeline.eject_count()} "
+            f"buffers={pipeline.buffer_count()} "
+            f"invocations={pipeline.invocations_used()} "
+            f"virtual-makespan={pipeline.virtual_makespan:.0f}"
+        )
+        print()
+
+    print(
+        "Note: the read-only pipeline used no passive buffers and about\n"
+        "half the invocations of the conventional one — paper §4."
+    )
+
+
+if __name__ == "__main__":
+    main()

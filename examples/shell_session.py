@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""A shell session over the simulated Eden system.
+
+Shows the command language wiring pipelines dynamically, including the
+``n>`` channel-redirect syntax the paper compares its channel
+identifiers to (§5), and switching transput disciplines mid-session.
+"""
+
+from repro.shell import Shell
+
+SESSION = [
+    'deck = echo "C     HEADER" "      X = 1" "C     NOTE" "      y = x" "      CALL F(y)"',
+    "deck | strip-comments C | strip | number",
+    "deck | grep CALL | upper > calls",
+    "show calls",
+    "deck | report progress 2 | upper Report> log > shouted",
+    "show log",
+    "set discipline conventional",
+    "deck | strip-comments C | wc",
+    "set discipline writeonly",
+    "deck | strip-comments C | sort",
+]
+
+
+def main() -> None:
+    shell = Shell()
+    for line in SESSION:
+        print(f"eden$ {line}")
+        for result in shell.execute(line):
+            if result is None:
+                continue
+            if isinstance(result, list):  # show statement
+                for item in result:
+                    print("   ", item)
+                continue
+            for item in result.output:
+                print("   ", item)
+            if result.redirected:
+                targets = ", ".join(sorted(result.redirected))
+                print(f"    [redirected to: {targets}; "
+                      f"{result.invocations} invocations, "
+                      f"{result.discipline}]")
+            else:
+                print(f"    [{result.invocations} invocations, "
+                      f"{result.discipline}]")
+        print()
+
+
+if __name__ == "__main__":
+    main()

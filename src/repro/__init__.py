@@ -1,0 +1,84 @@
+"""repro: a reproduction of Black's "An Asymmetric Stream Communication
+System" (SOSP 1983).
+
+The package implements the Eden object/invocation substrate as a
+deterministic discrete-event simulation, the paper's four transput
+primitives, and the read-only, write-only and conventional stream
+disciplines, together with a filter library, an Eden filesystem,
+devices, a pipeline shell and an asyncio binding.
+
+Quickstart::
+
+    from repro import Kernel, build_readonly_pipeline
+    from repro.filters import comment_stripper
+
+    kernel = Kernel()
+    pipeline = build_readonly_pipeline(
+        kernel,
+        ["C a comment", "      REAL X"],
+        [comment_stripper("C")],
+    )
+    print(pipeline.run_to_completion())   # ['      REAL X']
+
+Layers:
+
+- :mod:`repro.core` — the simulated Eden kernel (UIDs, invocation,
+  Ejects, checkpointing, nodes, transport).
+- :mod:`repro.transput` — the four primitives and three disciplines.
+- :mod:`repro.filters` — the filter/transducer library.
+- :mod:`repro.filesystem` — Eden files, directories, bootstrap Unix FS.
+- :mod:`repro.devices` — terminals, printers, windows, workload sources.
+- :mod:`repro.shell` — a pipeline command language with ``n>`` redirects.
+- :mod:`repro.figures` — the paper's Figures 1-4 as configurations.
+- :mod:`repro.analysis` — cost model and measurement harness.
+- :mod:`repro.aio` — the same design over asyncio.
+"""
+
+from repro.core import (
+    EdenError,
+    Eject,
+    Kernel,
+    Node,
+    TransportCosts,
+    UID,
+)
+from repro.figures import (
+    build_figure1,
+    build_figure2,
+    build_figure3,
+    build_figure4,
+)
+from repro.shell import Shell
+from repro.transput import (
+    FlowPolicy,
+    Pipeline,
+    Transducer,
+    build_conventional_pipeline,
+    build_pipeline,
+    build_readonly_pipeline,
+    build_writeonly_pipeline,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EdenError",
+    "Eject",
+    "FlowPolicy",
+    "Kernel",
+    "Node",
+    "Pipeline",
+    "Shell",
+    "Transducer",
+    "TransportCosts",
+    "UID",
+    "__version__",
+    "build_conventional_pipeline",
+    "build_figure1",
+    "build_figure2",
+    "build_figure3",
+    "build_figure4",
+    "build_pipeline",
+    "build_readonly_pipeline",
+    "build_writeonly_pipeline",
+]

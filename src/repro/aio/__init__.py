@@ -1,0 +1,42 @@
+"""asyncio binding of the asymmetric stream system.
+
+The same Transducer filters, the same four primitives, running on real
+coroutines instead of the deterministic simulator.
+"""
+
+from repro.aio.channels import AioReportingStage, ChannelReader
+from repro.aio.pipeline import (
+    run_conventional,
+    run_pipeline,
+    run_readonly,
+    run_writeonly,
+)
+from repro.aio.streams import (
+    AioCollector,
+    AioPipe,
+    AioReadOnlyStage,
+    AioSource,
+    AioWriteOnlyStage,
+    Readable,
+    Writable,
+    collect,
+    iterate,
+)
+
+__all__ = [
+    "AioCollector",
+    "AioReportingStage",
+    "ChannelReader",
+    "AioPipe",
+    "AioReadOnlyStage",
+    "AioSource",
+    "AioWriteOnlyStage",
+    "Readable",
+    "Writable",
+    "collect",
+    "iterate",
+    "run_conventional",
+    "run_pipeline",
+    "run_readonly",
+    "run_writeonly",
+]

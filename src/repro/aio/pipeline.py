@@ -1,0 +1,127 @@
+"""asyncio pipeline runners for all three disciplines."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Iterable, Sequence
+
+from repro.transput.filterbase import Transducer
+from repro.aio.streams import (
+    AioCollector,
+    AioPipe,
+    AioReadOnlyStage,
+    AioSource,
+    AioWriteOnlyStage,
+    collect,
+)
+from repro.transput.stream import END_TRANSFER, Transfer
+
+__all__ = [
+    "run_readonly",
+    "run_writeonly",
+    "run_conventional",
+    "run_pipeline",
+]
+
+
+async def run_readonly(
+    items: Iterable[Any],
+    transducers: Sequence[Transducer],
+    batch: int = 1,
+    lookahead: int = 0,
+) -> list[Any]:
+    """Read-only pipeline: chain stages, then pump from the tail."""
+    upstream = AioSource(items)
+    for transducer in transducers:
+        upstream = AioReadOnlyStage(
+            transducer, upstream, lookahead=lookahead, batch_in=batch
+        )
+    return await collect(upstream, batch=batch)
+
+
+async def run_writeonly(
+    items: Iterable[Any],
+    transducers: Sequence[Transducer],
+    batch: int = 1,
+) -> list[Any]:
+    """Write-only pipeline: build sink-first, push from the head."""
+    sink = AioCollector()
+    downstream = sink
+    for transducer in reversed(list(transducers)):
+        downstream = AioWriteOnlyStage(transducer, [downstream])
+    pending = list(items)
+    for start in range(0, len(pending), max(1, batch)):
+        chunk = pending[start : start + max(1, batch)]
+        await downstream.write(Transfer.of(chunk))
+    await downstream.write(END_TRANSFER)
+    await sink.done.wait()
+    return list(sink.items)
+
+
+async def run_conventional(
+    items: Iterable[Any],
+    transducers: Sequence[Transducer],
+    batch: int = 1,
+    capacity: int = 16,
+) -> list[Any]:
+    """Conventional pipeline: a pumping task per filter, pipes between.
+
+    Each filter task actively reads its inbound pipe and actively
+    writes its outbound pipe — concurrency comes from the tasks, and
+    backpressure from the bounded pipes, exactly as in Unix.
+    """
+    transducers = list(transducers)
+    pipes = [AioPipe(capacity=capacity) for _ in range(len(transducers) + 1)]
+
+    async def source_task() -> None:
+        pending = list(items)
+        for start in range(0, len(pending), max(1, batch)):
+            chunk = pending[start : start + max(1, batch)]
+            await pipes[0].write(Transfer.of(chunk))
+        await pipes[0].write(END_TRANSFER)
+
+    async def filter_task(index: int, transducer: Transducer) -> None:
+        inbound, outbound = pipes[index], pipes[index + 1]
+        for record in transducer.start():
+            await outbound.write(Transfer.single(record))
+        while True:
+            transfer = await inbound.read(batch)
+            if transfer.at_end:
+                break
+            for item in transfer.items:
+                for record in transducer.step(item):
+                    await outbound.write(Transfer.single(record))
+        for record in transducer.finish():
+            await outbound.write(Transfer.single(record))
+        await outbound.write(END_TRANSFER)
+
+    async def sink_task() -> list[Any]:
+        return await collect(pipes[-1], batch=batch)
+
+    tasks = [
+        asyncio.create_task(source_task()),
+        *(
+            asyncio.create_task(filter_task(index, transducer))
+            for index, transducer in enumerate(transducers)
+        ),
+    ]
+    output = await sink_task()
+    await asyncio.gather(*tasks)
+    return output
+
+
+def run_pipeline(
+    items: Iterable[Any],
+    transducers: Sequence[Transducer],
+    discipline: str = "readonly",
+    **kwargs: Any,
+) -> list[Any]:
+    """Synchronous front door: run an aio pipeline to completion."""
+    runners = {
+        "readonly": run_readonly,
+        "writeonly": run_writeonly,
+        "conventional": run_conventional,
+    }
+    if discipline not in runners:
+        raise ValueError(f"discipline must be one of {sorted(runners)}")
+    return asyncio.run(runners[discipline](items, transducers, **kwargs))

@@ -1,0 +1,278 @@
+"""The four transput primitives over asyncio.
+
+The simulator (:mod:`repro.core`) measures the paper's claims; this
+module shows the same asymmetric-stream design is directly usable for
+real, concurrent Python I/O.  The mapping:
+
+- **active input** — awaiting ``readable.read()``;
+- **passive output** — implementing ``read()`` (a coroutine that
+  produces on demand);
+- **active output** — awaiting ``writable.write(transfer)``;
+- **passive input** — implementing ``write()`` (a coroutine that
+  accepts, possibly applying backpressure by delaying its return).
+
+Stages carry the very same :class:`~repro.transput.filterbase.
+Transducer` objects used by the simulator, so a filter written once
+runs in both worlds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, AsyncIterator, Iterable, Protocol, runtime_checkable
+
+from repro.core.errors import StreamProtocolError
+from repro.transput.filterbase import Transducer, apply_transducer
+from repro.transput.stream import END_TRANSFER, Transfer
+
+__all__ = [
+    "Readable",
+    "Writable",
+    "AioSource",
+    "AioReadOnlyStage",
+    "AioWriteOnlyStage",
+    "AioCollector",
+    "AioPipe",
+    "collect",
+    "iterate",
+]
+
+
+@runtime_checkable
+class Readable(Protocol):
+    """Anything answering active input: a passive-output provider."""
+
+    async def read(self, batch: int = 1) -> Transfer:
+        """Produce up to ``batch`` records, or END."""
+        ...  # pragma: no cover
+
+
+@runtime_checkable
+class Writable(Protocol):
+    """Anything answering active output: a passive-input acceptor."""
+
+    async def write(self, transfer: Transfer) -> None:
+        """Accept a transfer (END terminates the stream)."""
+        ...  # pragma: no cover
+
+
+class AioSource:
+    """A passive source over an iterable (the read-only producer)."""
+
+    def __init__(self, items: Iterable[Any]) -> None:
+        self._iterator = iter(items)
+        self._exhausted = False
+
+    async def read(self, batch: int = 1) -> Transfer:
+        if self._exhausted:
+            return END_TRANSFER
+        taken: list[Any] = []
+        for _ in range(max(1, batch)):
+            try:
+                taken.append(next(self._iterator))
+            except StopIteration:
+                self._exhausted = True
+                break
+        if not taken:
+            return END_TRANSFER
+        return Transfer.of(taken)
+
+
+class AioReadOnlyStage:
+    """A read-only filter stage: active input upstream, passive output
+    downstream.
+
+    ``lookahead > 0`` starts a background prefetch task, giving real
+    pipeline parallelism exactly as §4 prescribes.
+    """
+
+    def __init__(
+        self,
+        transducer: Transducer,
+        upstream: Readable,
+        lookahead: int = 0,
+        batch_in: int = 1,
+    ) -> None:
+        self.transducer = transducer
+        self.upstream = upstream
+        self.lookahead = max(0, lookahead)
+        self.batch_in = max(1, batch_in)
+        self._buffer: list[Any] = list(transducer.start())
+        self._done = False
+        self._queue: asyncio.Queue | None = None
+        self._task: asyncio.Task | None = None
+
+    async def _pull_once(self) -> None:
+        transfer = await self.upstream.read(self.batch_in)
+        if transfer.at_end:
+            self._buffer.extend(self.transducer.finish())
+            self._done = True
+            return
+        for item in transfer.items:
+            self._buffer.extend(self.transducer.step(item))
+
+    async def _prefetch_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            transfer = await self.upstream.read(self.batch_in)
+            if transfer.at_end:
+                for record in self.transducer.finish():
+                    await self._queue.put(record)
+                await self._queue.put(END_TRANSFER)
+                return
+            for item in transfer.items:
+                for record in self.transducer.step(item):
+                    await self._queue.put(record)
+
+    def _ensure_prefetch(self) -> None:
+        if self._queue is None:
+            self._queue = asyncio.Queue(maxsize=self.lookahead)
+            self._task = asyncio.create_task(self._prefetch_loop())
+
+    async def read(self, batch: int = 1) -> Transfer:
+        batch = max(1, batch)
+        if self.lookahead > 0:
+            return await self._read_prefetched(batch)
+        while not self._buffer and not self._done:
+            await self._pull_once()
+        if not self._buffer:
+            return END_TRANSFER
+        taken, self._buffer = self._buffer[:batch], self._buffer[batch:]
+        return Transfer.of(taken)
+
+    async def _read_prefetched(self, batch: int) -> Transfer:
+        self._ensure_prefetch()
+        assert self._queue is not None
+        if self._done and not self._buffer:
+            return END_TRANSFER
+        while len(self._buffer) < batch and not self._done:
+            record = await self._queue.get()
+            if record is END_TRANSFER:
+                self._done = True
+                break
+            self._buffer.append(record)
+        if not self._buffer:
+            return END_TRANSFER
+        taken, self._buffer = self._buffer[:batch], self._buffer[batch:]
+        return Transfer.of(taken)
+
+
+class AioWriteOnlyStage:
+    """A write-only filter stage: passive input, active output.
+
+    Callers ``await stage.write(...)``; the stage pushes transformed
+    records to its downstream Writable(s) — fan-out is a list, exactly
+    as in the simulator.
+    """
+
+    def __init__(self, transducer: Transducer, outputs: list[Writable]) -> None:
+        self.transducer = transducer
+        self.outputs = list(outputs)
+        self._started = False
+        self._ended = False
+
+    async def _send(self, records: Iterable[Any]) -> None:
+        batch = list(records)
+        if not batch:
+            return
+        for output in self.outputs:
+            await output.write(Transfer.of(batch))
+
+    async def write(self, transfer: Transfer) -> None:
+        if self._ended:
+            raise StreamProtocolError("write after END")
+        if not self._started:
+            self._started = True
+            await self._send(self.transducer.start())
+        if transfer.at_end:
+            await self._send(self.transducer.finish())
+            for output in self.outputs:
+                await output.write(END_TRANSFER)
+            self._ended = True
+            return
+        for item in transfer.items:
+            await self._send(self.transducer.step(item))
+
+
+class AioCollector:
+    """A passive sink: accepts writes, signals completion."""
+
+    def __init__(self) -> None:
+        self.items: list[Any] = []
+        self.done = asyncio.Event()
+
+    async def write(self, transfer: Transfer) -> None:
+        if self.done.is_set():
+            raise StreamProtocolError("write after END")
+        if transfer.at_end:
+            self.done.set()
+            return
+        self.items.extend(transfer.items)
+
+
+class AioPipe:
+    """A bounded passive buffer: the conventional discipline's pipe.
+
+    Both ends are passive; backpressure comes from the bounded queue.
+    """
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=capacity)
+        self._ended = False
+
+    async def write(self, transfer: Transfer) -> None:
+        if self._ended:
+            raise StreamProtocolError("write after END")
+        if transfer.at_end:
+            await self._queue.put(END_TRANSFER)
+            self._ended = True
+            return
+        for item in transfer.items:
+            await self._queue.put(item)
+
+    async def read(self, batch: int = 1) -> Transfer:
+        first = await self._queue.get()
+        if first is END_TRANSFER:
+            return END_TRANSFER
+        taken = [first]
+        while len(taken) < max(1, batch):
+            try:
+                extra = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if extra is END_TRANSFER:
+                # Put END back for the next read.
+                self._queue.put_nowait(END_TRANSFER)
+                break
+            taken.append(extra)
+        return Transfer.of(taken)
+
+
+async def collect(readable: Readable, batch: int = 1) -> list[Any]:
+    """Drain a Readable to END (the pump, as a coroutine)."""
+    items: list[Any] = []
+    while True:
+        transfer = await readable.read(batch)
+        if transfer.at_end:
+            return items
+        items.extend(transfer.items)
+
+
+async def iterate(readable: Readable, batch: int = 1) -> AsyncIterator[Any]:
+    """Async-iterate a Readable's records."""
+    while True:
+        transfer = await readable.read(batch)
+        if transfer.at_end:
+            return
+        for item in transfer.items:
+            yield item
+
+
+def reference(transducers: list[Transducer], items: Iterable[Any]) -> list[Any]:
+    """Functional reference output for the aio pipelines (tests)."""
+    current = list(items)
+    for transducer in transducers:
+        current = apply_transducer(transducer, current)
+    return current

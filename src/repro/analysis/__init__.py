@@ -1,0 +1,49 @@
+"""Analysis: the paper's analytic cost model, measurement harness and
+table formatting for benchmark output."""
+
+from repro.analysis.comparison import (
+    Measurement,
+    measure_pipeline,
+    sweep_pipeline_lengths,
+)
+from repro.analysis.cost_model import (
+    PipelineShape,
+    conventional_shape,
+    invocation_savings,
+    predicted_invocations,
+    predicted_lazy_makespan,
+    predicted_pipelined_makespan,
+    readonly_shape,
+    shape_for,
+    writeonly_shape,
+)
+from repro.analysis.report import format_ratio, format_table
+from repro.analysis.trace_tools import (
+    TimelineEntry,
+    format_sequence_diagram,
+    interaction_histogram,
+    invocation_timeline,
+    participants,
+)
+
+__all__ = [
+    "Measurement",
+    "PipelineShape",
+    "conventional_shape",
+    "TimelineEntry",
+    "format_ratio",
+    "format_sequence_diagram",
+    "format_table",
+    "interaction_histogram",
+    "invocation_timeline",
+    "participants",
+    "invocation_savings",
+    "measure_pipeline",
+    "predicted_invocations",
+    "predicted_lazy_makespan",
+    "predicted_pipelined_makespan",
+    "readonly_shape",
+    "shape_for",
+    "sweep_pipeline_lengths",
+    "writeonly_shape",
+]

@@ -1,0 +1,121 @@
+"""Measurement harness: run the same pipeline in every discipline.
+
+Provides the paper-vs-measured rows the benchmarks print and
+EXPERIMENTS.md records.  All runs use identity filters so the analytic
+formulas of :mod:`repro.analysis.cost_model` apply exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cost_model import (
+    predicted_invocations,
+    shape_for,
+)
+from repro.core.kernel import Kernel
+from repro.core.transport import TransportCosts
+from repro.transput.filterbase import identity_transducer
+from repro.transput.flow import FlowPolicy
+from repro.transput.pipeline import build_pipeline
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One pipeline run's costs, measured and predicted."""
+
+    discipline: str
+    n_filters: int
+    items: int
+    ejects: int
+    buffers: int
+    invocations: int
+    predicted_invocations: int
+    predicted_ejects: int
+    predicted_buffers: int
+    context_switches: int
+    virtual_makespan: float
+
+    @property
+    def invocations_per_datum(self) -> float:
+        """Measured invocations divided by records moved."""
+        return self.invocations / self.items if self.items else 0.0
+
+    @property
+    def matches_prediction(self) -> bool:
+        """Whether the exact count claims held on this run."""
+        return (
+            self.invocations == self.predicted_invocations
+            and self.ejects == self.predicted_ejects
+            and self.buffers == self.predicted_buffers
+        )
+
+
+def measure_pipeline(
+    discipline: str,
+    n_filters: int,
+    items: int,
+    batch: int = 1,
+    lookahead: int = 0,
+    placement=None,
+    costs: TransportCosts | None = None,
+    source_work_cost: float = 0.0,
+    filter_work_cost: float = 0.0,
+    sink_work_cost: float = 0.0,
+    seed: int = 0,
+) -> Measurement:
+    """Build, run and measure one identity pipeline.
+
+    A fresh kernel per call keeps measurements independent.
+    """
+    kernel = Kernel(seed=seed, costs=costs)
+    transducers = []
+    for _ in range(n_filters):
+        transducer = identity_transducer()
+        transducer.cost_per_item = filter_work_cost
+        transducers.append(transducer)
+    flow = FlowPolicy(lookahead=lookahead, batch=batch)
+    pipeline = build_pipeline(
+        kernel,
+        discipline,
+        [f"record-{index}" for index in range(items)],
+        transducers,
+        flow=flow,
+        placement=placement,
+        source_work_cost=source_work_cost,
+        sink_work_cost=sink_work_cost,
+    )
+    output = pipeline.run_to_completion()
+    assert len(output) == items, (
+        f"{discipline} pipeline lost records: {len(output)} != {items}"
+    )
+    shape = shape_for(discipline, n_filters)
+    return Measurement(
+        discipline=discipline,
+        n_filters=n_filters,
+        items=items,
+        ejects=pipeline.eject_count(),
+        buffers=pipeline.buffer_count(),
+        invocations=pipeline.invocations_used(),
+        predicted_invocations=predicted_invocations(
+            discipline, n_filters, items, batch
+        ),
+        predicted_ejects=shape.ejects,
+        predicted_buffers=shape.buffers,
+        context_switches=pipeline.context_switches(),
+        virtual_makespan=pipeline.virtual_makespan or 0.0,
+    )
+
+
+def sweep_pipeline_lengths(
+    disciplines: tuple[str, ...],
+    lengths: tuple[int, ...],
+    items: int,
+    **kwargs,
+) -> list[Measurement]:
+    """Measure every (discipline, n) combination — the T1/T2 sweep."""
+    return [
+        measure_pipeline(discipline, n_filters, items, **kwargs)
+        for n_filters in lengths
+        for discipline in disciplines
+    ]

@@ -1,0 +1,125 @@
+"""The paper's analytic cost model (claims C1 and C2).
+
+Paper §4:
+
+    "a sequence of n filters, a source and a sink can all be
+    implemented by n+2 Ejects.  This means that only n+1 invocations
+    are needed to transfer a datum from one end of the pipeline to the
+    other.  Conversely, if each filter were to perform active output
+    as well as active input, 2n+2 invocations would be needed, as
+    would n+1 passive buffer Ejects."
+
+These formulas are *exact* for identity pipelines on our simulator
+once end-of-stream traffic is included: a stream of m records takes
+m + 1 transfers per hop (m data + 1 END), so total invocations are
+``hops × (m + 1)``.  Tests assert measured == predicted, which
+validates the simulator against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PipelineShape:
+    """A pipeline's static size for the paper's count claims."""
+
+    ejects: int
+    buffers: int
+    invocations_per_datum: float
+
+
+def readonly_shape(n_filters: int) -> PipelineShape:
+    """Read-only discipline: n + 2 Ejects, 0 buffers, n + 1 inv/datum."""
+    _check(n_filters)
+    return PipelineShape(
+        ejects=n_filters + 2,
+        buffers=0,
+        invocations_per_datum=n_filters + 1,
+    )
+
+
+def writeonly_shape(n_filters: int) -> PipelineShape:
+    """Write-only discipline: the exact dual — identical counts."""
+    return readonly_shape(n_filters)
+
+
+def conventional_shape(n_filters: int) -> PipelineShape:
+    """Conventional: 2n + 3 Ejects (n + 1 of them buffers), 2n + 2
+    invocations per datum."""
+    _check(n_filters)
+    return PipelineShape(
+        ejects=2 * n_filters + 3,
+        buffers=n_filters + 1,
+        invocations_per_datum=2 * n_filters + 2,
+    )
+
+
+def shape_for(discipline: str, n_filters: int) -> PipelineShape:
+    """Shape lookup by discipline name."""
+    table = {
+        "readonly": readonly_shape,
+        "writeonly": writeonly_shape,
+        "conventional": conventional_shape,
+    }
+    if discipline not in table:
+        raise ValueError(f"unknown discipline {discipline!r}")
+    return table[discipline](n_filters)
+
+
+def predicted_invocations(
+    discipline: str, n_filters: int, items: int, batch: int = 1
+) -> int:
+    """Exact invocation count for an identity pipeline moving ``items``
+    records in batches of ``batch``.
+
+    Each hop moves ``ceil(items / batch)`` data transfers plus one END
+    transfer; the hop count per datum comes from the discipline shape.
+    """
+    _check(n_filters)
+    if items < 0:
+        raise ValueError(f"items must be >= 0, got {items}")
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    hops = int(shape_for(discipline, n_filters).invocations_per_datum)
+    transfers_per_hop = -(-items // batch) + 1  # ceil + END
+    return hops * transfers_per_hop
+
+
+def invocation_savings(n_filters: int) -> float:
+    """The paper's "roughly half": read-only / conventional inv ratio."""
+    _check(n_filters)
+    return (n_filters + 1) / (2 * n_filters + 2)
+
+
+def predicted_lazy_makespan(
+    n_filters: int, items: int, hop_cost: float, work_cost: float = 0.0
+) -> float:
+    """Virtual makespan of a *lazy* read-only pipeline.
+
+    Every datum's journey is a chain of n+1 request/reply round trips
+    (2 messages each), fully serialized by demand-driven flow, plus the
+    per-stage compute.  Used by experiment T4's serialization baseline.
+    """
+    _check(n_filters)
+    hops = n_filters + 1
+    transfers = items + 1
+    per_transfer = 2 * hops * hop_cost
+    compute = items * work_cost * (n_filters + 1)
+    return transfers * per_transfer + compute
+
+
+def predicted_pipelined_makespan(
+    n_filters: int, items: int, stage_cost: float
+) -> float:
+    """Ideal pipeline-parallel lower bound: fill + drain at the
+    bottleneck stage rate (experiment T4's parallel asymptote)."""
+    _check(n_filters)
+    stages = n_filters + 2
+    return (items + stages - 1) * stage_cost
+
+
+def _check(n_filters: int) -> None:
+    if n_filters < 0:
+        raise ValueError(f"n_filters must be >= 0, got {n_filters}")

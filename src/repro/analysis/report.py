@@ -1,0 +1,78 @@
+"""Plain-text table rendering for benchmark output.
+
+Benchmarks print the rows the paper's claims describe; this keeps the
+formatting in one place (monospace tables, right-aligned numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Numbers are right-aligned; floats shown with 2 decimals unless they
+    are integral.
+    """
+    rendered_rows = [[_render(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    for row in rendered_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered_rows))
+        if rendered_rows
+        else len(headers[i])
+        for i in range(columns)
+    ]
+    numeric = [
+        all(_is_numeric(row[i]) for row in rendered_rows) if rendered_rows else False
+        for i in range(columns)
+    ]
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if numeric[i]:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(fmt_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def _render(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == int(cell) and abs(cell) < 1e15:
+            return str(int(cell))
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def _is_numeric(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    """``"0.50x"``-style ratio, guarding division by zero."""
+    if denominator == 0:
+        return "n/a"
+    return f"{numerator / denominator:.2f}x"

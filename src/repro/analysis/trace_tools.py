@@ -1,0 +1,130 @@
+"""Trace analysis: sequence diagrams and interaction histograms.
+
+The kernel's structured trace records every invocation, delivery and
+reply with virtual timestamps.  These helpers turn a trace into things
+humans read when debugging distributed behaviour:
+
+- :func:`invocation_timeline` — (time, sender, operation, target) rows;
+- :func:`interaction_histogram` — how many invocations each pair of
+  Ejects exchanged;
+- :func:`format_sequence_diagram` — an ASCII message-sequence chart.
+
+They operate on completed traces; enable tracing with
+``Kernel(trace=True)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.tracing import Tracer
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One invocation as it appears on the timeline."""
+
+    time: float
+    sender: str
+    operation: str
+    target: str
+    ticket: int
+
+
+def invocation_timeline(tracer: Tracer) -> list[TimelineEntry]:
+    """Every traced invocation, in send order.
+
+    ``target`` is resolved to the receiving Eject's *name* using the
+    matching deliver event when one exists (the invoke event only knows
+    the UID).
+    """
+    delivered_names: dict[int, str] = {}
+    for event in tracer.of_kind("deliver"):
+        delivered_names[event.detail["ticket"]] = event.subject
+    timeline = []
+    for event in tracer.of_kind("invoke"):
+        ticket = event.detail["ticket"]
+        timeline.append(
+            TimelineEntry(
+                time=event.time,
+                sender=event.subject,
+                operation=event.detail["op"],
+                target=delivered_names.get(ticket, event.detail["target"]),
+                ticket=ticket,
+            )
+        )
+    return timeline
+
+
+def interaction_histogram(tracer: Tracer) -> Counter:
+    """Counter of (sender, target, operation) invocation triples."""
+    histogram: Counter = Counter()
+    for entry in invocation_timeline(tracer):
+        histogram[(entry.sender, entry.target, entry.operation)] += 1
+    return histogram
+
+
+def participants(tracer: Tracer) -> list[str]:
+    """Every party that sent or received an invocation, in appearance
+    order (senders first)."""
+    seen: dict[str, None] = {}
+    for entry in invocation_timeline(tracer):
+        seen.setdefault(entry.sender)
+        seen.setdefault(entry.target)
+    return list(seen)
+
+
+def format_sequence_diagram(
+    tracer: Tracer, max_messages: int | None = 40
+) -> str:
+    """An ASCII message-sequence chart of the traced invocations.
+
+    One column per participant; one row per invocation, drawn as an
+    arrow from sender column to target column labelled with the
+    operation and virtual time.  Replies are left out to keep the
+    chart readable (every arrow implies its reply).
+    """
+    timeline = invocation_timeline(tracer)
+    if max_messages is not None:
+        timeline = timeline[:max_messages]
+    if not timeline:
+        return "(no invocations traced)"
+    parties = participants(tracer)
+    width = max(len(name) for name in parties) + 2
+    positions = {name: index * width + width // 2 for index, name in
+                 enumerate(parties)}
+    total = width * len(parties)
+
+    def column_line(fill_char: str = " ") -> list[str]:
+        line = [fill_char] * total
+        for name in parties:
+            line[positions[name]] = "|"
+        return line
+
+    lines = []
+    header = [" "] * total
+    for name in parties:
+        start = positions[name] - len(name) // 2
+        start = max(0, min(start, total - len(name)))
+        header[start : start + len(name)] = name
+    lines.append("".join(header).rstrip())
+
+    for entry in timeline:
+        row = column_line()
+        a, b = positions[entry.sender], positions[entry.target]
+        left, right = min(a, b), max(a, b)
+        for index in range(left + 1, right):
+            row[index] = "-"
+        if a == b:
+            row[a] = "O"  # self-invocation
+        elif b > a:
+            row[right] = ">"
+        else:
+            row[left] = "<"
+        label = f"  {entry.operation} @{entry.time:g}"
+        lines.append(("".join(row) + label).rstrip())
+    if max_messages is not None and len(invocation_timeline(tracer)) > max_messages:
+        lines.append(f"... ({len(invocation_timeline(tracer)) - max_messages} "
+                     "more messages)")
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""The simulated Eden substrate: UIDs, invocation, Ejects, the kernel.
+
+Public surface of the substrate layer.  Higher layers (``repro.transput``
+and friends) are built exclusively on these names.
+"""
+
+from repro.core.capability import (
+    PRIMARY_CHANNEL,
+    REPORT_CHANNEL,
+    ChannelCapability,
+    ChannelId,
+    ChannelMinter,
+)
+from repro.core.checkpoint import PassiveRepresentation, StableStore
+from repro.core.clock import VirtualClock
+from repro.core.eject import Eject
+from repro.core.errors import (
+    BufferOverflowError,
+    ChannelSecurityError,
+    CheckpointError,
+    EdenError,
+    EjectCrashedError,
+    EjectDeactivatedError,
+    EndOfStreamError,
+    ForgeryError,
+    InvocationError,
+    KernelError,
+    NoSuchChannelError,
+    NoSuchOperationError,
+    ProcessFailedError,
+    StreamProtocolError,
+    UnknownUIDError,
+)
+from repro.core.kernel import Kernel
+from repro.core.message import Invocation, Reply, ReplyStatus
+from repro.core.node import Node
+from repro.core.process import Process, ProcessState
+from repro.core.registry import TypeRegistry
+from repro.core.scheduler import Scheduler
+from repro.core.stats import KernelStats, StatsSnapshot
+from repro.core.syscalls import (
+    AwaitReply,
+    Call,
+    Deactivate,
+    DoCheckpoint,
+    ExitProcess,
+    GetTime,
+    Invoke,
+    NotifySignal,
+    Receive,
+    SendReply,
+    Signal,
+    Sleep,
+    Spawn,
+    Syscall,
+    WaitSignal,
+    YieldControl,
+)
+from repro.core.tracing import TraceEvent, Tracer
+from repro.core.transport import Transport, TransportCosts
+from repro.core.uid import UID, UIDFactory
+from repro.core.workers import WorkerPoolEject
+
+__all__ = [
+    "AwaitReply",
+    "BufferOverflowError",
+    "Call",
+    "ChannelCapability",
+    "ChannelId",
+    "ChannelMinter",
+    "ChannelSecurityError",
+    "CheckpointError",
+    "Deactivate",
+    "DoCheckpoint",
+    "EdenError",
+    "Eject",
+    "EjectCrashedError",
+    "EjectDeactivatedError",
+    "EndOfStreamError",
+    "ExitProcess",
+    "ForgeryError",
+    "GetTime",
+    "Invocation",
+    "InvocationError",
+    "Invoke",
+    "Kernel",
+    "KernelError",
+    "KernelStats",
+    "NoSuchChannelError",
+    "NoSuchOperationError",
+    "Node",
+    "NotifySignal",
+    "PRIMARY_CHANNEL",
+    "PassiveRepresentation",
+    "Process",
+    "ProcessFailedError",
+    "ProcessState",
+    "REPORT_CHANNEL",
+    "Receive",
+    "Reply",
+    "ReplyStatus",
+    "Scheduler",
+    "SendReply",
+    "Signal",
+    "Sleep",
+    "Spawn",
+    "StableStore",
+    "StatsSnapshot",
+    "StreamProtocolError",
+    "Syscall",
+    "TraceEvent",
+    "Tracer",
+    "Transport",
+    "TransportCosts",
+    "TypeRegistry",
+    "UID",
+    "UIDFactory",
+    "UnknownUIDError",
+    "WorkerPoolEject",
+    "VirtualClock",
+    "WaitSignal",
+    "YieldControl",
+]

@@ -1,0 +1,102 @@
+"""Behavioural compatibility: Eden types as abstract machines (paper §2).
+
+    "The behaviour of an Eject is the only aspect that is important to
+    its users.  The Eden type of the Eject, i.e. the identity of the
+    particular piece of type-code which defines that behaviour, is
+    irrelevant. ... provided that S' contains all the operations of S
+    and that their semantics are the same, it does not matter to E
+    that S' contains other operations in addition."
+
+A :class:`BehaviourSpec` names the operations an abstract machine must
+answer; :func:`implements` checks a concrete Eden type against it by
+introspecting its dispatchable operations.  Specs compose the way the
+paper describes: a type may implement several specs at once (MapFile
+implements both the Map and the Sequence machines), and supersets
+satisfy clients of subsets (:meth:`BehaviourSpec.specializes`).
+
+This is a *static* check over the dispatcher table; semantic
+equivalence is what the test suite establishes (e.g. the concatenator
+tests run the same Lookup scenarios against Directory and
+DirectoryConcatenator).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Type
+
+from repro.core.eject import Eject
+
+_OP_PREFIX = "op_"
+_RECEIVE_OPS = re.compile(r"operations=\{([^}]*)\}")
+
+
+def operations_of(cls: Type[Eject]) -> frozenset[str]:
+    """The operations a type's default dispatcher answers.
+
+    Collected from ``op_<Name>`` methods across the class hierarchy.
+    Types with hand-written ``main`` loops (buffers, filters) declare
+    extra operations via a class attribute ``answers_operations``.
+    """
+    operations = {
+        name[len(_OP_PREFIX):]
+        for name in dir(cls)
+        if name.startswith(_OP_PREFIX) and callable(getattr(cls, name))
+    }
+    declared = getattr(cls, "answers_operations", ())
+    operations.update(declared)
+    return frozenset(operations)
+
+
+@dataclass(frozen=True)
+class BehaviourSpec:
+    """An abstract machine: a name and the operations it answers."""
+
+    name: str
+    operations: frozenset[str]
+
+    @staticmethod
+    def of(name: str, *operations: str) -> "BehaviourSpec":
+        """Build a spec from operation names."""
+        return BehaviourSpec(name=name, operations=frozenset(operations))
+
+    def specializes(self, other: "BehaviourSpec") -> bool:
+        """Whether this machine is an S' for the other's S (superset)."""
+        return self.operations >= other.operations
+
+    def missing_from(self, cls: Type[Eject]) -> frozenset[str]:
+        """Operations the type does not answer (empty = conforms)."""
+        return self.operations - operations_of(cls)
+
+
+def implements(cls: Type[Eject], spec: BehaviourSpec) -> bool:
+    """Whether ``cls`` answers every operation of ``spec``.
+
+    "From the point of view of an Eject trying to perform a Lookup
+    operation, any Eject which responds in the appropriate way is a
+    satisfactory directory."
+    """
+    return not spec.missing_from(cls)
+
+
+# ---------------------------------------------------------------------------
+# The standard abstract machines of this system
+# ---------------------------------------------------------------------------
+
+#: Anything a name can be looked up in (paper §2's directory machine).
+DIRECTORY_SPEC = BehaviourSpec.of(
+    "directory", "Lookup", "AddEntry", "DeleteEntry", "List"
+)
+
+#: Anything that supplies a stream on demand (paper §4's source).
+SOURCE_SPEC = BehaviourSpec.of("source", "Read")
+
+#: The §7 bootstrap stream machine.
+TRANSFER_SPEC = BehaviourSpec.of("transfer-stream", "Transfer")
+
+#: Anything that accepts a pushed stream (the write-only consumer).
+SINK_SPEC = BehaviourSpec.of("sink", "Write")
+
+#: The §6 random-access machine.
+MAP_SPEC = BehaviourSpec.of("map", "ReadAt", "WriteAt", "Size")

@@ -1,0 +1,98 @@
+"""Capabilities: UIDs optionally qualified by a channel secret.
+
+Section 5 of the paper proposes using UIDs as channel identifiers so
+that "the only Ejects which are able to make valid ReadonChannel
+requests of F are those to which a channel identifier has been given
+explicitly".  We model that with :class:`ChannelCapability`: a channel
+identifier minted by the owning Eject whose secret must be presented on
+every qualified Read.
+
+Plain integer (or string) channel identifiers are also supported — the
+scheme the Eden prototype actually used (§7) — and deliberately provide
+*no* security, which benchmark T6 demonstrates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.core.uid import UID
+
+#: The type accepted wherever a channel identifier is expected.
+ChannelId = Union[int, str, "ChannelCapability"]
+
+#: Channel identifier conventionally used for a filter's primary output.
+PRIMARY_CHANNEL: str = "Output"
+
+#: Channel identifier conventionally used for a filter's report stream.
+REPORT_CHANNEL: str = "Report"
+
+
+@dataclass(frozen=True)
+class ChannelCapability:
+    """An unforgeable channel identifier (paper §5).
+
+    ``owner`` is the UID of the Eject that provides the channel; the
+    ``secret`` is known only to Ejects that were explicitly handed the
+    capability.  Equality includes the secret, so a fabricated
+    capability with a guessed secret simply compares unequal and fails
+    validation.
+    """
+
+    owner: UID
+    name: str
+    secret: int = field(repr=False)
+
+    def __str__(self) -> str:
+        return f"chan:{self.owner.brief()}/{self.name}"
+
+
+class ChannelMinter:
+    """Mints channel capabilities for one owning Eject.
+
+    Deterministically seeded from the owner UID so simulations replay
+    identically.
+    """
+
+    def __init__(self, owner: UID, seed: int = 0) -> None:
+        self._owner = owner
+        self._rng = random.Random(f"chan:{owner.space}:{owner.serial}:{seed}")
+        self._minted: dict[str, ChannelCapability] = {}
+
+    def mint(self, name: str) -> ChannelCapability:
+        """Create (or return the previously created) capability for ``name``."""
+        if name not in self._minted:
+            self._minted[name] = ChannelCapability(
+                owner=self._owner, name=name, secret=self._rng.getrandbits(64)
+            )
+        return self._minted[name]
+
+    def names(self) -> list[str]:
+        """All channel names minted so far, in mint order."""
+        return list(self._minted)
+
+    def validate(self, presented: ChannelId) -> str | None:
+        """Map a presented channel identifier to a channel name.
+
+        Returns the channel name if ``presented`` is a capability this
+        minter created (value-equal, secret included); ``None``
+        otherwise.  Integer/string identifiers are not handled here —
+        they are matched directly by name and carry no secret.
+        """
+        if not isinstance(presented, ChannelCapability):
+            return None
+        genuine = self._minted.get(presented.name)
+        if genuine is not None and genuine == presented:
+            return presented.name
+        return None
+
+
+def channel_key(channel: ChannelId) -> ChannelId:
+    """Normalize a channel identifier for dictionary keying.
+
+    Capabilities key by their (hashable) frozen identity; ints and
+    strings key by themselves.
+    """
+    return channel

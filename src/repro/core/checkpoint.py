@@ -1,0 +1,105 @@
+"""Passive representations and the stable store.
+
+Paper §1: "An Eject may perform a Checkpoint operation.  The effect of
+Checkpointing is to create a Passive Representation, a data structure
+designed to be durable across system crashes. ... The checkpoint
+primitive is the only mechanism provided by the Eden kernel whereby an
+Eject may access 'stable storage'."
+
+The stable store survives simulated crashes (it is held outside nodes),
+mirroring the disk of the prototype.  Representations are deep-copied
+on both write and read so a live Eject can never mutate its own
+checkpoint in place — durability tests rely on this isolation.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import CheckpointError
+from repro.core.uid import UID
+
+
+@dataclass(frozen=True)
+class PassiveRepresentation:
+    """A durable snapshot of one Eject.
+
+    Attributes:
+        uid: the Eject the snapshot belongs to.
+        eden_type: registered type name used to re-instantiate it.
+        data: type-specific state (must be deep-copyable).
+        checkpoint_time: virtual time of the Checkpoint operation.
+        generation: 1 for the first checkpoint, then 2, 3, …
+    """
+
+    uid: UID
+    eden_type: str
+    data: Any
+    checkpoint_time: float
+    generation: int
+
+
+class StableStore:
+    """The kernel's stable storage: UID -> latest passive representation."""
+
+    def __init__(self) -> None:
+        self._representations: dict[UID, PassiveRepresentation] = {}
+        self._writes = 0
+
+    @property
+    def write_count(self) -> int:
+        """Total checkpoints ever written (across all Ejects)."""
+        return self._writes
+
+    def write(
+        self, uid: UID, eden_type: str, data: Any, checkpoint_time: float
+    ) -> PassiveRepresentation:
+        """Persist a new passive representation for ``uid``."""
+        previous = self._representations.get(uid)
+        generation = 1 if previous is None else previous.generation + 1
+        try:
+            frozen = copy.deepcopy(data)
+        except Exception as exc:
+            raise CheckpointError(
+                f"passive representation for {uid} is not deep-copyable: {exc}"
+            ) from exc
+        representation = PassiveRepresentation(
+            uid=uid,
+            eden_type=eden_type,
+            data=frozen,
+            checkpoint_time=checkpoint_time,
+            generation=generation,
+        )
+        self._representations[uid] = representation
+        self._writes += 1
+        return representation
+
+    def read(self, uid: UID) -> PassiveRepresentation | None:
+        """Fetch the latest representation for ``uid`` (or ``None``).
+
+        The caller receives a copy whose ``data`` is safe to mutate.
+        """
+        representation = self._representations.get(uid)
+        if representation is None:
+            return None
+        return PassiveRepresentation(
+            uid=representation.uid,
+            eden_type=representation.eden_type,
+            data=copy.deepcopy(representation.data),
+            checkpoint_time=representation.checkpoint_time,
+            generation=representation.generation,
+        )
+
+    def has(self, uid: UID) -> bool:
+        """Whether any representation exists for ``uid``."""
+        return uid in self._representations
+
+    def forget(self, uid: UID) -> None:
+        """Discard the representation (used when an Eject is destroyed)."""
+        self._representations.pop(uid, None)
+
+    def uids(self) -> list[UID]:
+        """UIDs with at least one stored representation."""
+        return sorted(self._representations)

@@ -1,0 +1,95 @@
+"""Checkpoint policies: when should an Eject make itself durable?
+
+The paper gives the mechanism — "the checkpoint primitive is the only
+mechanism provided by the Eden kernel whereby an Eject may access
+'stable storage'" — and leaves policy to the Eject.  This module
+provides the two standard policies as reusable process bodies:
+
+- :func:`periodic_checkpointing` — checkpoint every T units of virtual
+  time; after a crash, at most one window of work is lost (tests bound
+  this exactly);
+- :func:`checkpoint_every` — checkpoint after every N state-changing
+  operations, driven by the Eject bumping a dirty counter.
+
+Both are ordinary processes: add them from ``process_bodies`` and the
+scheduler interleaves them with the Eject's servers.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+from repro.core.syscalls import (
+    DoCheckpoint,
+    NotifySignal,
+    Signal,
+    Sleep,
+    Syscall,
+    WaitSignal,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.eject import Eject
+
+
+def periodic_checkpointing(
+    eject: "Eject", interval: float
+) -> Generator[Syscall, None, None]:
+    """A process body that Checkpoints ``eject`` every ``interval``.
+
+    Runs forever (dies with the Eject).  The first checkpoint happens
+    after the first interval, so a brand-new Eject that crashes
+    immediately has no representation — matching Eden's "never
+    Checkpointed, disappears" semantics.
+
+    Simulation caveat: an immortal timer keeps the event heap non-empty,
+    so a kernel hosting this policy never quiesces — drive such
+    simulations with explicit ``until=`` bounds (or use the counted
+    policy, which only wakes on actual changes).
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    while True:
+        yield Sleep(interval)
+        yield DoCheckpoint()
+        eject.kernel.stats.bump("policy_checkpoints")
+
+
+class DirtyCounter:
+    """Counts state changes and wakes the checkpointing process.
+
+    The Eject calls :meth:`mark` (via ``yield from``) from its
+    operation handlers; the policy process checkpoints once ``limit``
+    changes have accumulated.
+    """
+
+    def __init__(self, name: str = "dirty") -> None:
+        self.changes = 0
+        self.total_changes = 0
+        self._signal = Signal(name)
+
+    def mark(self) -> Generator[Syscall, None, None]:
+        """Record one state change (call from an operation handler)."""
+        self.changes += 1
+        self.total_changes += 1
+        yield NotifySignal(self._signal)
+
+    def policy_body(
+        self, eject: "Eject", limit: int
+    ) -> Generator[Syscall, None, None]:
+        """The process that checkpoints after every ``limit`` changes."""
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        while True:
+            while self.changes < limit:
+                yield WaitSignal(self._signal)
+            self.changes = 0
+            yield DoCheckpoint()
+            eject.kernel.stats.bump("policy_checkpoints")
+
+
+def checkpoint_every(
+    eject: "Eject", counter: DirtyCounter, changes: int
+) -> Generator[Syscall, None, None]:
+    """Convenience wrapper: ``counter.policy_body(eject, changes)``."""
+    return counter.policy_body(eject, changes)

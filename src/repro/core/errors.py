@@ -1,0 +1,188 @@
+"""Exception hierarchy for the simulated Eden kernel.
+
+The paper's kernel reports failures to Ejects through invocation status
+codes; in this reproduction those surface as Python exceptions raised at
+the syscall boundary.  Every exception used anywhere in the library
+derives from :class:`EdenError` so callers can catch the whole family.
+"""
+
+from __future__ import annotations
+
+
+class EdenError(Exception):
+    """Base class for every error raised by the simulated Eden system."""
+
+
+class KernelError(EdenError):
+    """Internal kernel invariant violation (a bug in the simulation)."""
+
+
+class UnknownUIDError(EdenError):
+    """An invocation was addressed to a UID the kernel has never issued."""
+
+    def __init__(self, uid: object) -> None:
+        super().__init__(f"no Eject is known under UID {uid!r}")
+        self.uid = uid
+
+
+class EjectCrashedError(EdenError):
+    """The target Eject (or its node) has crashed and cannot respond."""
+
+    def __init__(self, uid: object) -> None:
+        super().__init__(f"Eject {uid!r} has crashed")
+        self.uid = uid
+
+
+class EjectDeactivatedError(EdenError):
+    """The target Eject deactivated without a passive representation.
+
+    Such an Eject cannot be reactivated (the paper: a never-Checkpointed
+    Eject that deactivates itself "disappears").
+    """
+
+    def __init__(self, uid: object) -> None:
+        super().__init__(f"Eject {uid!r} deactivated and left no checkpoint")
+        self.uid = uid
+
+
+class InvocationError(EdenError):
+    """The target Eject rejected or failed the invocation."""
+
+
+class NoSuchOperationError(InvocationError):
+    """The target Eject's type does not define the requested operation."""
+
+    def __init__(self, operation: str, target: object) -> None:
+        super().__init__(f"Eject {target!r} does not respond to {operation!r}")
+        self.operation = operation
+        self.target = target
+
+
+class NoSuchChannelError(InvocationError):
+    """A Read named a channel identifier the Eject does not provide."""
+
+    def __init__(self, channel: object, target: object) -> None:
+        super().__init__(f"Eject {target!r} has no channel {channel!r}")
+        self.channel = channel
+        self.target = target
+
+
+class ChannelSecurityError(InvocationError):
+    """A capability channel identifier failed validation (forged read)."""
+
+
+class EndOfStreamError(EdenError):
+    """A Read was attempted past the end of a stream.
+
+    Well-behaved clients stop at the END_OF_STREAM status instead of
+    provoking this.
+    """
+
+
+class StreamProtocolError(EdenError):
+    """The Sequence protocol was violated (e.g. data after end-of-stream)."""
+
+
+class BufferOverflowError(EdenError):
+    """A passive buffer was pushed beyond its capacity bound."""
+
+
+class CheckpointError(EdenError):
+    """Creating or loading a passive representation failed."""
+
+
+class SchedulerDeadlockError(KernelError):
+    """Every process is blocked and no timed event is pending."""
+
+
+class ProcessFailedError(EdenError):
+    """A process inside an Eject raised an uncaught exception."""
+
+    def __init__(self, process_name: str, cause: BaseException) -> None:
+        super().__init__(f"process {process_name!r} failed: {cause!r}")
+        self.process_name = process_name
+        self.cause = cause
+
+
+class ForgeryError(EdenError):
+    """An attempt was made to fabricate a UID or capability."""
+
+
+class ShellError(EdenError):
+    """Base class for errors raised by the pipeline shell."""
+
+
+class ShellSyntaxError(ShellError):
+    """The shell command line could not be parsed."""
+
+
+class ShellNameError(ShellError):
+    """A shell command referred to an unknown name."""
+
+
+class HostFSError(EdenError):
+    """Base class for simulated host (Unix) filesystem errors."""
+
+
+class HostFileNotFoundError(HostFSError):
+    """The named path does not exist in the simulated host filesystem."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(f"no such file or directory: {path!r}")
+        self.path = path
+
+
+class HostFileExistsError(HostFSError):
+    """The named path already exists and may not be overwritten."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(f"file exists: {path!r}")
+        self.path = path
+
+
+class HostIsADirectoryError(HostFSError):
+    """A file operation was attempted on a directory path."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(f"is a directory: {path!r}")
+        self.path = path
+
+
+class HostNotADirectoryError(HostFSError):
+    """A directory operation was attempted on a file path."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(f"not a directory: {path!r}")
+        self.path = path
+
+
+class DirectoryError(EdenError):
+    """Base class for Eden Directory Eject errors."""
+
+
+class NoSuchEntryError(DirectoryError):
+    """Lookup failed: the directory has no entry under that name."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"no directory entry named {name!r}")
+        self.name = name
+
+
+class DuplicateEntryError(DirectoryError):
+    """AddEntry failed: the directory already has an entry by that name."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"directory entry {name!r} already exists")
+        self.name = name
+
+
+class TransactionError(EdenError):
+    """Base class for the preliminary transaction layer."""
+
+
+class TransactionAbortedError(TransactionError):
+    """The transaction was aborted; none of its effects are visible."""
+
+
+class TransactionStateError(TransactionError):
+    """An operation was issued against a finished transaction."""

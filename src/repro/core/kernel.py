@@ -1,0 +1,665 @@
+"""The simulated Eden kernel.
+
+The kernel is the meeting point of the substrate: it issues UIDs, maps
+them to live Ejects, routes invocations and replies through the
+transport, activates passive Ejects on demand, writes passive
+representations to the stable store, and simulates crashes of Ejects
+and whole nodes.
+
+It also implements the messaging syscalls for the scheduler:
+``Invoke``, ``AwaitReply``, ``Call``, ``Receive``, ``SendReply``,
+``DoCheckpoint`` and ``Deactivate``.
+
+Simulation drivers (tests, examples, benchmarks) interact through
+:meth:`spawn_client`, :meth:`call_sync` and :meth:`run`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Type, TypeVar
+
+from repro.core.capability import ChannelId
+from repro.core.checkpoint import StableStore
+from repro.core.clock import VirtualClock
+from repro.core.eject import Eject
+from repro.core.errors import (
+    EdenError,
+    EjectCrashedError,
+    EjectDeactivatedError,
+    KernelError,
+    ProcessFailedError,
+    UnknownUIDError,
+)
+from repro.core.message import Invocation, Reply, ReplyStatus
+from repro.core.node import Node
+from repro.core.process import Process
+from repro.core.registry import TypeRegistry
+from repro.core.scheduler import Disposition, Scheduler
+from repro.core.stats import KernelStats
+from repro.core.syscalls import (
+    AwaitReply,
+    Call,
+    Deactivate,
+    DoCheckpoint,
+    Invoke,
+    Receive,
+    SendReply,
+    Syscall,
+)
+from repro.core.tracing import Tracer
+from repro.core.transport import Transport, TransportCosts
+from repro.core.uid import UID, UIDFactory
+
+E = TypeVar("E", bound=Eject)
+
+
+@dataclass
+class _TicketState:
+    """Book-keeping for one outstanding invocation."""
+
+    target: UID
+    origin_node: Node | None
+    waiter: Process | None = None
+    reply: Reply | None = None
+    replied: bool = False
+
+
+@dataclass
+class _EjectRecord:
+    """Kernel-side record of one UID's current status."""
+
+    eject: Eject | None  # live instance, or None while passive
+    node_name: str | None
+    deactivated: bool = False
+    parked_mail: list[Invocation] = field(default_factory=list)
+
+
+class Kernel:
+    """One simulated Eden system.
+
+    Args:
+        seed: seeds the UID nonce stream (full determinism).
+        costs: transport cost model; default is uniform unit cost.
+        trace: enable structured event tracing.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        costs: TransportCosts | None = None,
+        trace: bool = False,
+    ) -> None:
+        self.clock = VirtualClock()
+        self.stats = KernelStats()
+        self.tracer = Tracer(enabled=trace)
+        self.scheduler = Scheduler(
+            clock=self.clock,
+            stats=self.stats,
+            tracer=self.tracer,
+            syscall_handler=self._handle_syscall,
+        )
+        self.transport = Transport(self.scheduler, costs=costs, stats=self.stats)
+        self.uids = UIDFactory(space=0, seed=seed)
+        self.store = StableStore()
+        self.registry = TypeRegistry()
+        self._nodes: dict[str, Node] = {}
+        self.default_node = self.node("node-0")
+        self._records: dict[UID, _EjectRecord] = {}
+        self._tickets: dict[int, _TicketState] = {}
+        self._client_counter = 0
+        # Tickets are kernel state so whole simulations replay
+        # identically, including trace contents.
+        self._ticket_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+
+    def node(self, name: str) -> Node:
+        """Get or create the node called ``name``."""
+        if name not in self._nodes:
+            self._nodes[name] = Node(name)
+        return self._nodes[name]
+
+    def nodes(self) -> list[Node]:
+        """All nodes, in creation order."""
+        return list(self._nodes.values())
+
+    # ------------------------------------------------------------------
+    # Eject lifecycle
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        cls: Type[E],
+        *args: Any,
+        node: Node | str | None = None,
+        name: str | None = None,
+        **kwargs: Any,
+    ) -> E:
+        """Instantiate an Eject of type ``cls`` and start its processes.
+
+        Extra positional/keyword arguments are passed to the subclass
+        constructor after ``(kernel, uid)``.
+        """
+        self.registry.register(cls)
+        uid = self.uids.issue()
+        eject = cls(self, uid, *args, name=name, **kwargs)
+        home = self._resolve_node(node)
+        self._install(eject, home)
+        self.stats.bump("ejects_created")
+        self.tracer.emit(
+            self.clock.now, "create", eject.name,
+            type=cls.eden_type, node=home.name,
+        )
+        return eject
+
+    def _resolve_node(self, node: Node | str | None) -> Node:
+        if node is None:
+            return self.default_node
+        if isinstance(node, str):
+            return self.node(node)
+        return node
+
+    def _install(self, eject: Eject, node: Node) -> None:
+        eject.node = node
+        node.host(eject.uid)
+        record = self._records.get(eject.uid)
+        if record is None:
+            record = _EjectRecord(eject=eject, node_name=node.name)
+            self._records[eject.uid] = record
+        else:
+            record.eject = eject
+            record.node_name = node.name
+            record.deactivated = False
+        self._start_processes(eject)
+        # Re-deliver mail parked while the Eject was passive.
+        parked, record.parked_mail = record.parked_mail, []
+        for invocation in parked:
+            self._hand_to_eject(eject, invocation)
+
+    def _start_processes(self, eject: Eject) -> None:
+        for proc_name, body in eject.process_bodies():
+            process = self.scheduler.spawn(
+                body, name=f"{eject.name}/{proc_name}", owner=eject
+            )
+            eject.processes.append(process)
+
+    def find(self, uid: UID) -> Eject | None:
+        """The live Eject for ``uid``, or ``None`` if passive/unknown."""
+        record = self._records.get(uid)
+        return record.eject if record is not None else None
+
+    def live_ejects(self) -> list[Eject]:
+        """Every currently live (instantiated) Eject."""
+        return [r.eject for r in self._records.values() if r.eject is not None]
+
+    # ------------------------------------------------------------------
+    # Crash and recovery simulation
+    # ------------------------------------------------------------------
+
+    def crash_eject(self, uid: UID) -> None:
+        """Crash one Eject: volatile state is lost.
+
+        Pending invocations (queued or in service) fail with
+        :class:`EjectCrashedError`; later invocations reactivate it from
+        its checkpoint if one exists.
+        """
+        record = self._records.get(uid)
+        if record is None or record.eject is None:
+            return
+        eject = record.eject
+        eject.crashed = True
+        self.tracer.emit(self.clock.now, "crash", eject.name)
+        self.scheduler.kill_processes(eject.processes)
+        eject.processes.clear()
+        eject._drop_waiters()
+        queued = list(eject.mailbox)
+        eject.mailbox.clear()
+        for invocation in queued:
+            self._reply_error(invocation.ticket, EjectCrashedError(uid))
+        # In-service invocations (delivered, unreplied) also fail.
+        for ticket, state in list(self._tickets.items()):
+            if state.target == uid and not state.replied:
+                self._reply_error(ticket, EjectCrashedError(uid))
+        if eject.node is not None:
+            eject.node.evict(uid)
+        record.eject = None
+
+    def crash_node(self, node: Node | str) -> None:
+        """Crash a node and every Eject resident on it."""
+        node = self._resolve_node(node)
+        node.crash()
+        for uid in list(node.resident_uids):
+            self.crash_eject(uid)
+
+    def recover_node(self, node: Node | str) -> None:
+        """Bring a crashed node back; Ejects reactivate lazily."""
+        self._resolve_node(node).recover()
+
+    # ------------------------------------------------------------------
+    # Mobility
+    # ------------------------------------------------------------------
+
+    def migrate(self, uid: UID, node: Node | str) -> Node:
+        """Move a live Eject to another node.
+
+        Eden invocation is location-independent ("It is not necessary
+        to know the physical location of an Eject"), so moving an Eject
+        is invisible to its clients except through transport costs.
+        In-flight messages are unaffected: routing is by UID and the
+        local/remote decision is taken per message at send time.
+        """
+        record = self._records.get(uid)
+        if record is None or record.eject is None:
+            raise KernelError(f"cannot migrate {uid}: no live Eject")
+        target = self._resolve_node(node)
+        if target.crashed:
+            raise KernelError(f"cannot migrate {uid} to crashed {target.name}")
+        eject = record.eject
+        if eject.node is not None:
+            eject.node.evict(uid)
+        eject.node = target
+        target.host(uid)
+        record.node_name = target.name
+        self.stats.bump("migrations")
+        self.tracer.emit(self.clock.now, "migrate", eject.name,
+                         to=target.name)
+        return target
+
+    # ------------------------------------------------------------------
+    # Syscall handling (installed into the scheduler)
+    # ------------------------------------------------------------------
+
+    def _handle_syscall(self, process: Process, syscall: Syscall) -> Disposition:
+        if isinstance(syscall, Invoke):
+            return self._do_invoke(process, syscall, block_for_reply=False)
+        if isinstance(syscall, Call):
+            return self._do_invoke(process, syscall, block_for_reply=True)
+        if isinstance(syscall, AwaitReply):
+            return self._do_await(process, syscall.ticket)
+        if isinstance(syscall, Receive):
+            return self._do_receive(process, syscall)
+        if isinstance(syscall, SendReply):
+            return self._do_send_reply(process, syscall)
+        if isinstance(syscall, DoCheckpoint):
+            return self._do_checkpoint(process)
+        if isinstance(syscall, Deactivate):
+            return self._do_deactivate(process)
+        raise KernelError(f"unhandled syscall {type(syscall).__name__}")
+
+    # -- invocation sending --------------------------------------------
+
+    def _do_invoke(
+        self, process: Process, syscall: Invoke | Call, block_for_reply: bool
+    ) -> Disposition:
+        try:
+            self.uids.verify(syscall.target)
+        except EdenError as exc:
+            return ("throw", exc)
+        if syscall.target not in self._records:
+            return ("throw", UnknownUIDError(syscall.target))
+        sender = process.owner if isinstance(process.owner, Eject) else None
+        invocation = Invocation(
+            target=syscall.target,
+            operation=syscall.operation,
+            args=tuple(syscall.args),
+            kwargs=dict(syscall.kwargs),
+            channel=syscall.channel,
+            ticket=next(self._ticket_counter),
+            sender=sender.uid if sender is not None else None,
+        )
+        origin_node = sender.node if sender is not None else None
+        target_node_name = self._records[syscall.target].node_name
+        remote = (
+            origin_node is not None
+            and target_node_name is not None
+            and origin_node.name != target_node_name
+        )
+        state = _TicketState(target=syscall.target, origin_node=origin_node)
+        self._tickets[invocation.ticket] = state
+        self.tracer.emit(
+            self.clock.now, "invoke",
+            sender.name if sender else process.name,
+            op=invocation.operation, target=str(invocation.target),
+            ticket=invocation.ticket, channel=invocation.channel,
+        )
+        self.transport.send(
+            size=invocation.payload_size(),
+            remote=remote,
+            deliver=lambda: self._deliver_invocation(invocation),
+            kind="invocation",
+        )
+        if block_for_reply:
+            state.waiter = process
+            return ("block", f"call({invocation.operation}#{invocation.ticket})")
+        return ("resume", invocation.ticket)
+
+    def _deliver_invocation(self, invocation: Invocation) -> None:
+        ticket = invocation.ticket
+        record = self._records.get(invocation.target)
+        if record is None:
+            self._reply_error(ticket, UnknownUIDError(invocation.target))
+            return
+        if record.eject is not None:
+            node = self._nodes.get(record.node_name) if record.node_name else None
+            if node is not None and node.crashed:
+                self._reply_error(ticket, EjectCrashedError(invocation.target))
+                return
+        if record.eject is None:
+            # Passive: activate from checkpoint, or report the Eject gone.
+            if self.store.has(invocation.target):
+                self._reactivate(invocation.target)
+                record = self._records[invocation.target]
+            elif record.deactivated:
+                self._reply_error(
+                    ticket, EjectDeactivatedError(invocation.target)
+                )
+                return
+            else:
+                self._reply_error(ticket, EjectCrashedError(invocation.target))
+                return
+        assert record.eject is not None
+        # Redact the sender before the invocation reaches user code: the
+        # originator's UID is private to the kernel (paper §5).
+        redacted = Invocation(
+            target=invocation.target,
+            operation=invocation.operation,
+            args=invocation.args,
+            kwargs=invocation.kwargs,
+            channel=invocation.channel,
+            ticket=invocation.ticket,
+            sender=None,
+        )
+        self.tracer.emit(
+            self.clock.now, "deliver", record.eject.name,
+            op=redacted.operation, ticket=redacted.ticket,
+        )
+        self._hand_to_eject(record.eject, redacted)
+
+    def _hand_to_eject(self, eject: Eject, invocation: Invocation) -> None:
+        waiting = eject._enqueue(invocation)
+        if waiting is not None:
+            self.scheduler.unblock(waiting, invocation)
+
+    def _reactivate(self, uid: UID) -> None:
+        representation = self.store.read(uid)
+        if representation is None:
+            raise KernelError(f"no passive representation for {uid}")
+        wrapper = representation.data
+        record = self._records[uid]
+        node = self._pick_reactivation_node(record)
+        eject = self.registry.instantiate_blank(
+            representation.eden_type, self, uid, wrapper["name"]
+        )
+        eject.restore(wrapper["state"])
+        self._install(eject, node)
+        self.stats.bump("ejects_activated")
+        self.tracer.emit(self.clock.now, "activate", eject.name)
+
+    def _pick_reactivation_node(self, record: _EjectRecord) -> Node:
+        if record.node_name is not None:
+            node = self.node(record.node_name)
+            if not node.crashed:
+                return node
+        if self.default_node.crashed:
+            for node in self._nodes.values():
+                if not node.crashed:
+                    return node
+            raise KernelError("every node has crashed; nowhere to reactivate")
+        return self.default_node
+
+    # -- replies --------------------------------------------------------
+
+    def _do_send_reply(self, process: Process, syscall: SendReply) -> Disposition:
+        ticket = syscall.invocation.ticket
+        state = self._tickets.get(ticket)
+        if state is None or state.replied:
+            return (
+                "throw",
+                KernelError(f"no outstanding invocation with ticket {ticket}"),
+            )
+        if syscall.error is not None:
+            reply = Reply(ticket=ticket, status=ReplyStatus.ERROR,
+                          error=syscall.error)
+        else:
+            reply = Reply(ticket=ticket, status=ReplyStatus.OK,
+                          result=syscall.result)
+        state.replied = True
+        replier = process.owner if isinstance(process.owner, Eject) else None
+        if replier is not None:
+            replier.replied_count += 1
+        replier_node = replier.node if replier is not None else None
+        remote = (
+            replier_node is not None
+            and state.origin_node is not None
+            and replier_node.name != state.origin_node.name
+        )
+        self.tracer.emit(
+            self.clock.now, "reply", process.name,
+            ticket=ticket, status=reply.status.value,
+        )
+        self.transport.send(
+            size=reply.payload_size(),
+            remote=remote,
+            deliver=lambda: self._deliver_reply(reply),
+            kind="reply",
+        )
+        return ("resume", None)
+
+    def _reply_error(self, ticket: int, error: EdenError) -> None:
+        """Kernel-originated error reply (target gone, crashed, …)."""
+        state = self._tickets.get(ticket)
+        if state is None or state.replied:
+            return
+        state.replied = True
+        reply = Reply(ticket=ticket, status=ReplyStatus.ERROR, error=error)
+        self.transport.send(
+            size=0,
+            remote=False,
+            deliver=lambda: self._deliver_reply(reply),
+            kind="reply",
+        )
+
+    def _deliver_reply(self, reply: Reply) -> None:
+        state = self._tickets.pop(reply.ticket, None)
+        if state is None:
+            return  # awaiter's Eject crashed meanwhile; drop silently
+        if state.waiter is not None:
+            self._resume_with_reply(state.waiter, reply)
+        else:
+            state.reply = reply
+            self._tickets[reply.ticket] = state  # hold for AwaitReply
+
+    def _resume_with_reply(self, process: Process, reply: Reply) -> None:
+        if reply.status is ReplyStatus.ERROR:
+            assert reply.error is not None
+            self.scheduler.unblock_with_exception(process, reply.error)
+        else:
+            self.scheduler.unblock(process, reply.result)
+
+    def _do_await(self, process: Process, ticket: int) -> Disposition:
+        state = self._tickets.get(ticket)
+        if state is None:
+            return (
+                "throw",
+                KernelError(f"unknown or already-awaited ticket {ticket}"),
+            )
+        if state.reply is not None:
+            self._tickets.pop(ticket, None)
+            reply = state.reply
+            if reply.status is ReplyStatus.ERROR:
+                assert reply.error is not None
+                return ("throw", reply.error)
+            return ("resume", reply.result)
+        if state.waiter is not None:
+            return (
+                "throw",
+                KernelError(f"ticket {ticket} already has an awaiting process"),
+            )
+        state.waiter = process
+        return ("block", f"await(#{ticket})")
+
+    # -- receive ---------------------------------------------------------
+
+    def _do_receive(self, process: Process, syscall: Receive) -> Disposition:
+        owner = process.owner
+        if not isinstance(owner, Eject):
+            return (
+                "throw",
+                KernelError("only Eject processes may Receive invocations"),
+            )
+        queued = owner._register_receiver(process, syscall)
+        if queued is not None:
+            return ("resume", queued)
+        ops = sorted(syscall.operations) if syscall.operations else "any"
+        return ("block", f"receive({ops})")
+
+    # -- checkpoint / deactivate ------------------------------------------
+
+    def _do_checkpoint(self, process: Process) -> Disposition:
+        owner = process.owner
+        if not isinstance(owner, Eject):
+            return ("throw", KernelError("only Ejects may Checkpoint"))
+        self.registry.register(type(owner))
+        wrapper = {"name": owner.name, "state": owner.passive_representation()}
+        self.store.write(owner.uid, owner.eden_type, wrapper, self.clock.now)
+        self.stats.bump("checkpoints")
+        self.tracer.emit(self.clock.now, "checkpoint", owner.name)
+        return ("resume", None)
+
+    def _do_deactivate(self, process: Process) -> Disposition:
+        owner = process.owner
+        if not isinstance(owner, Eject):
+            return ("throw", KernelError("only Ejects may Deactivate"))
+        record = self._records[owner.uid]
+        self.tracer.emit(self.clock.now, "deactivate", owner.name)
+        owner.active = False
+        self.scheduler.kill_processes(
+            [p for p in owner.processes if p is not process]
+        )
+        owner.processes.clear()
+        owner._drop_waiters()
+        if self.store.has(owner.uid):
+            # Reactivatable: park unconsumed mail for the next incarnation.
+            record.parked_mail.extend(owner.mailbox)
+        else:
+            for invocation in owner.mailbox:
+                self._reply_error(
+                    invocation.ticket, EjectDeactivatedError(owner.uid)
+                )
+        owner.mailbox.clear()
+        # Invocations a (now killed) worker process had in service can
+        # never be answered by this incarnation: fail them rather than
+        # strand their senders.
+        for ticket, state in list(self._tickets.items()):
+            if state.target == owner.uid and not state.replied:
+                self._reply_error(ticket, EjectDeactivatedError(owner.uid))
+        record.deactivated = True
+        record.eject = None
+        if owner.node is not None:
+            owner.node.evict(owner.uid)
+        return ("exit", None)
+
+    # ------------------------------------------------------------------
+    # Driver interface (tests, examples, benchmarks)
+    # ------------------------------------------------------------------
+
+    def spawn_client(self, body, name: str | None = None) -> Process:
+        """Start a driver process that is not owned by any Eject.
+
+        ``body`` is a generator (already called).  Client invocations
+        carry no sender and pay local transport cost.
+        """
+        self._client_counter += 1
+        return self.scheduler.spawn(
+            body, name=name or f"client-{self._client_counter}", owner=None
+        )
+
+    def run(
+        self,
+        max_steps: int | None = 10_000_000,
+        until: Callable[[], bool] | None = None,
+        raise_on_failure: bool = True,
+    ) -> int:
+        """Run the simulation to quiescence; see :meth:`Scheduler.run`."""
+        return self.scheduler.run(
+            max_steps=max_steps, until=until, raise_on_failure=raise_on_failure
+        )
+
+    def describe_world(self) -> str:
+        """A human-readable snapshot of the simulated system.
+
+        One line per node listing its residents, then one line per live
+        Eject with its process states — the first thing to print when a
+        simulation does something surprising.
+        """
+        lines = [f"virtual time: {self.clock.now:g}"]
+        for node in self.nodes():
+            status = "CRASHED" if node.crashed else "up"
+            residents = sorted(
+                eject.name
+                for eject in self.live_ejects()
+                if eject.node is node
+            )
+            lines.append(
+                f"node {node.name} [{status}]: "
+                + (", ".join(residents) if residents else "(empty)")
+            )
+        for eject in sorted(self.live_ejects(), key=lambda e: e.name):
+            states = ", ".join(
+                f"{p.name.rsplit('/', 1)[-1]}={p.state.value}"
+                + (f"({p.blocked_on})" if p.blocked_on else "")
+                for p in eject.processes
+            )
+            mailbox = f" mailbox={len(eject.mailbox)}" if eject.mailbox else ""
+            lines.append(f"  {eject.name}: {states}{mailbox}")
+        pending = len(self._tickets)
+        if pending:
+            lines.append(f"outstanding invocations: {pending}")
+        return "\n".join(lines)
+
+    def call_sync(
+        self,
+        target: UID,
+        operation: str,
+        *args: Any,
+        channel: ChannelId | None = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Invoke ``operation`` on ``target`` and run until it replies.
+
+        Returns the invocation result (raising the carried error on an
+        error reply).  This is the standard way for host-level test code
+        to poke the simulated world.
+        """
+        box: dict[str, Any] = {}
+
+        def body():
+            box["result"] = yield Call(
+                target=target,
+                operation=operation,
+                args=args,
+                kwargs=kwargs,
+                channel=channel,
+            )
+
+        process = self.spawn_client(body())
+        try:
+            self.run(until=lambda: not process.alive)
+        except ProcessFailedError as failure:
+            if failure.process_name == process.name and isinstance(
+                failure.cause, EdenError
+            ):
+                raise failure.cause from None
+            raise
+        if process.failure is not None:
+            raise process.failure
+        if process.alive:
+            raise KernelError(
+                f"call_sync({operation}) did not complete; "
+                f"blocked on {process.blocked_on}"
+            )
+        return box.get("result")

@@ -1,0 +1,46 @@
+"""Simulated machines ("nodes") hosting Ejects.
+
+The Eden prototype was distributed over several VAX processors; an
+Eject lives on one node, but invocation is location-independent — the
+only observable difference between local and remote communication is
+cost (and node crashes).  Benchmarks place pipeline stages on distinct
+nodes to measure the remote-invocation savings of the read-only scheme.
+"""
+
+from __future__ import annotations
+
+from repro.core.uid import UID
+
+
+class Node:
+    """One simulated machine."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.crashed = False
+        self._resident: set[UID] = set()
+
+    @property
+    def resident_uids(self) -> frozenset[UID]:
+        """UIDs of Ejects currently hosted on this node."""
+        return frozenset(self._resident)
+
+    def host(self, uid: UID) -> None:
+        """Record that ``uid``'s Eject lives here."""
+        self._resident.add(uid)
+
+    def evict(self, uid: UID) -> None:
+        """Record that ``uid``'s Eject no longer lives here."""
+        self._resident.discard(uid)
+
+    def crash(self) -> None:
+        """Mark the node (and so every resident Eject) as crashed."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        """Bring the node back up; Ejects reactivate lazily on demand."""
+        self.crashed = False
+
+    def __repr__(self) -> str:
+        status = "crashed" if self.crashed else "up"
+        return f"Node({self.name}, {status}, {len(self._resident)} ejects)"

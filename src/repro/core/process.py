@@ -1,0 +1,117 @@
+"""Language-level processes: generator coroutines owned by Ejects.
+
+The Eden programming language provides each Eject with multiple
+processes (paper §1).  Here a process wraps a generator; the scheduler
+resumes it with syscall results and collects the next syscall.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.core.errors import KernelError
+from repro.core.syscalls import ProcessBody, Syscall
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a process."""
+
+    READY = "ready"  # runnable, queued for the CPU
+    RUNNING = "running"  # currently being stepped
+    BLOCKED = "blocked"  # waiting on a reply, invocation, timer or signal
+    DONE = "done"  # body returned or ExitProcess
+    FAILED = "failed"  # body raised
+
+
+class Process:
+    """One schedulable generator coroutine.
+
+    Attributes:
+        name: unique printable name, ``<eject>/<process>``.
+        owner: the owning Eject (``None`` for kernel-internal drivers).
+        state: current :class:`ProcessState`.
+        blocked_on: human-readable description of what blocks it.
+    """
+
+    def __init__(self, body: ProcessBody, name: str, owner: Any = None) -> None:
+        if not hasattr(body, "send"):
+            raise TypeError(
+                f"process body must be a generator, got {type(body).__name__}; "
+                "did you call the generator function?"
+            )
+        self._body = body
+        self.name = name
+        self.owner = owner
+        self.state = ProcessState.READY
+        self.blocked_on: str | None = None
+        # Value (or exception) to deliver at the next resumption.
+        self._pending_value: Any = None
+        self._pending_exception: BaseException | None = None
+        self.failure: BaseException | None = None
+        self.result: Any = None
+
+    @property
+    def alive(self) -> bool:
+        """Whether the process can still run."""
+        return self.state in (
+            ProcessState.READY,
+            ProcessState.RUNNING,
+            ProcessState.BLOCKED,
+        )
+
+    def resume_with(self, value: Any) -> None:
+        """Arrange for ``value`` to be sent into the body next step."""
+        self._pending_value = value
+        self._pending_exception = None
+
+    def resume_with_exception(self, exc: BaseException) -> None:
+        """Arrange for ``exc`` to be thrown into the body next step."""
+        self._pending_value = None
+        self._pending_exception = exc
+
+    def step(self) -> Syscall | None:
+        """Advance the body to its next syscall.
+
+        Returns the syscall it yielded, or ``None`` if the body
+        finished.  On an uncaught exception the process moves to
+        ``FAILED`` and the exception is re-raised for the scheduler to
+        report.
+        """
+        if not self.alive:
+            raise KernelError(f"cannot step {self.state.value} process {self.name}")
+        self.state = ProcessState.RUNNING
+        self.blocked_on = None
+        try:
+            if self._pending_exception is not None:
+                exc, self._pending_exception = self._pending_exception, None
+                yielded = self._body.throw(exc)
+            else:
+                value, self._pending_value = self._pending_value, None
+                yielded = self._body.send(value)
+        except StopIteration as stop:
+            self.state = ProcessState.DONE
+            self.result = stop.value
+            return None
+        except BaseException as exc:
+            self.state = ProcessState.FAILED
+            self.failure = exc
+            raise
+        if not isinstance(yielded, Syscall):
+            self.state = ProcessState.FAILED
+            error = KernelError(
+                f"process {self.name} yielded {yielded!r}, which is not a Syscall"
+            )
+            self.failure = error
+            raise error
+        return yielded
+
+    def kill(self) -> None:
+        """Terminate the process without running it further."""
+        if self.alive:
+            self._body.close()
+            self.state = ProcessState.DONE
+
+    def __repr__(self) -> str:
+        suffix = f" blocked_on={self.blocked_on}" if self.blocked_on else ""
+        return f"Process({self.name}, {self.state.value}{suffix})"

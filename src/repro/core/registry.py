@@ -1,0 +1,73 @@
+"""Eden-type registry: type name -> class, used for reactivation.
+
+When a passive Eject is invoked, the kernel must re-instantiate its
+type code and hand it the passive representation (paper §1).  The
+registry records how to build a blank instance of each type.
+
+Reactivation convention: a reactivatable type is constructible as
+``cls(kernel, uid, name=name)``; all configuration must live in the
+passive representation and be re-established by ``restore()``.  Types
+with richer constructors override the classmethod
+``reactivate_blank(kernel, uid, name)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Type
+
+from repro.core.errors import KernelError
+from repro.core.uid import UID
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.eject import Eject
+    from repro.core.kernel import Kernel
+
+
+class TypeRegistry:
+    """Maps Eden type names to their implementing classes."""
+
+    def __init__(self) -> None:
+        self._types: dict[str, Type["Eject"]] = {}
+
+    def register(self, cls: Type["Eject"]) -> Type["Eject"]:
+        """Register ``cls`` under its ``eden_type`` name.
+
+        Re-registering the same class is a no-op; registering a
+        *different* class under an existing name is an error (two Eden
+        types may implement the same abstract machine, but they need
+        distinct type names).
+        """
+        name = cls.eden_type
+        existing = self._types.get(name)
+        if existing is not None and existing is not cls:
+            raise KernelError(
+                f"Eden type name {name!r} already registered to "
+                f"{existing.__name__}, cannot rebind to {cls.__name__}"
+            )
+        self._types[name] = cls
+        return cls
+
+    def get(self, name: str) -> Type["Eject"]:
+        """Look up the class for ``name``."""
+        try:
+            return self._types[name]
+        except KeyError:
+            raise KernelError(f"unknown Eden type {name!r}") from None
+
+    def known(self, name: str) -> bool:
+        """Whether ``name`` is registered."""
+        return name in self._types
+
+    def names(self) -> list[str]:
+        """All registered type names, sorted."""
+        return sorted(self._types)
+
+    def instantiate_blank(
+        self, name: str, kernel: "Kernel", uid: UID, eject_name: str
+    ) -> "Eject":
+        """Build a blank instance of type ``name`` for reactivation."""
+        cls = self.get(name)
+        factory = getattr(cls, "reactivate_blank", None)
+        if factory is not None:
+            return factory(kernel, uid, eject_name)
+        return cls(kernel, uid, name=eject_name)

@@ -1,0 +1,301 @@
+"""Deterministic cooperative scheduler for the simulated Eden system.
+
+The scheduler owns the ready queue, the timed-event heap and the
+intra-Eject signal tables.  Messaging syscalls (``Invoke``, ``Receive``,
+``Call``, …) are delegated to a pluggable handler — in practice the
+:class:`~repro.core.kernel.Kernel` — so the scheduler itself knows
+nothing about UIDs or transports.
+
+Determinism: ready processes run round-robin in arrival order; timed
+events tie-break on a monotonically increasing sequence number.  Two
+runs of the same simulation produce identical schedules, counters and
+virtual times.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Iterable
+
+from repro.core.clock import VirtualClock
+from repro.core.errors import KernelError, ProcessFailedError
+from repro.core.process import Process, ProcessState
+from repro.core.stats import KernelStats
+from repro.core.syscalls import (
+    ExitProcess,
+    GetTime,
+    NotifySignal,
+    Signal,
+    Sleep,
+    Spawn,
+    Syscall,
+    WaitSignal,
+    YieldControl,
+)
+from repro.core.tracing import Tracer
+
+#: What a syscall handler may do with the issuing process.
+#:   ("resume", value)  — ready again; ``value`` sent in at next step.
+#:   ("throw", exc)     — ready again; ``exc`` thrown in at next step.
+#:   ("block", why)     — parked; someone must call unblock() later.
+#:   ("exit", None)     — terminated.
+Disposition = tuple[str, Any]
+
+SyscallHandler = Callable[[Process, Syscall], Disposition]
+
+
+class Scheduler:
+    """Runs processes and timed events against a virtual clock."""
+
+    def __init__(
+        self,
+        clock: VirtualClock | None = None,
+        stats: KernelStats | None = None,
+        tracer: Tracer | None = None,
+        syscall_handler: SyscallHandler | None = None,
+    ) -> None:
+        self.clock = clock or VirtualClock()
+        self.stats = stats or KernelStats()
+        self.tracer = tracer or Tracer()
+        self._handler = syscall_handler
+        self._ready: deque[Process] = deque()
+        self._events: list[tuple[float, int, Callable[[], None]]] = []
+        self._event_seq = 0
+        self._signal_waiters: dict[Signal, list[Process]] = {}
+        self._processes: list[Process] = []
+        self.failures: list[ProcessFailedError] = []
+
+    # ------------------------------------------------------------------
+    # Configuration and registration
+    # ------------------------------------------------------------------
+
+    def set_syscall_handler(self, handler: SyscallHandler) -> None:
+        """Install the handler for messaging syscalls (the kernel)."""
+        self._handler = handler
+
+    def add_process(self, process: Process) -> Process:
+        """Register a new process and make it ready."""
+        self._processes.append(process)
+        self._make_ready(process)
+        self.tracer.emit(self.clock.now, "spawn", process.name)
+        return process
+
+    def spawn(self, body, name: str, owner: Any = None) -> Process:
+        """Create, register and return a new process."""
+        return self.add_process(Process(body, name=name, owner=owner))
+
+    # ------------------------------------------------------------------
+    # Blocking / unblocking / timed events
+    # ------------------------------------------------------------------
+
+    def _make_ready(self, process: Process) -> None:
+        if not process.alive:
+            return
+        process.state = ProcessState.READY
+        self._ready.append(process)
+
+    def unblock(self, process: Process, value: Any = None) -> None:
+        """Move a blocked process back to the ready queue with ``value``."""
+        if process.state is not ProcessState.BLOCKED:
+            if not process.alive:
+                return  # killed while blocked (e.g. its Eject crashed)
+            raise KernelError(f"cannot unblock {process!r}")
+        process.resume_with(value)
+        self._make_ready(process)
+
+    def unblock_with_exception(self, process: Process, exc: BaseException) -> None:
+        """Move a blocked process back to ready; ``exc`` is thrown into it."""
+        if process.state is not ProcessState.BLOCKED:
+            if not process.alive:
+                return
+            raise KernelError(f"cannot unblock {process!r}")
+        process.resume_with_exception(exc)
+        self._make_ready(process)
+
+    def schedule_event(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self._event_seq += 1
+        heapq.heappush(
+            self._events, (self.clock.now + delay, self._event_seq, action)
+        )
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        max_steps: int | None = 10_000_000,
+        until: Callable[[], bool] | None = None,
+        raise_on_failure: bool = True,
+    ) -> int:
+        """Run to quiescence (or until the predicate holds).
+
+        Quiescence means: no ready process and no pending timed event.
+        Blocked processes (servers waiting for invocations) are normal
+        at quiescence.
+
+        Args:
+            max_steps: guard against runaway simulations; ``None``
+                disables the guard.
+            until: checked after every step/event; run stops once true.
+            raise_on_failure: raise the first uncaught process failure
+                instead of merely recording it in ``self.failures``.
+
+        Returns:
+            The number of process steps executed.
+        """
+        steps = 0
+        while True:
+            if until is not None and until():
+                break
+            if self._ready:
+                process = self._ready.popleft()
+                if not process.alive:
+                    continue
+                self._step_process(process, raise_on_failure)
+                steps += 1
+                if max_steps is not None and steps > max_steps:
+                    raise KernelError(
+                        f"simulation exceeded {max_steps} steps; "
+                        "likely a spinning process"
+                    )
+                continue
+            if self._events:
+                when, _seq, action = heapq.heappop(self._events)
+                self.clock.advance_to(when)
+                self.stats.bump("events_processed")
+                action()
+                continue
+            break
+        return steps
+
+    def _step_process(self, process: Process, raise_on_failure: bool) -> None:
+        self.stats.bump("context_switches")
+        try:
+            syscall = process.step()
+        except BaseException as exc:  # body raised: record, optionally re-raise
+            failure = ProcessFailedError(process.name, exc)
+            self.failures.append(failure)
+            self.tracer.emit(
+                self.clock.now, "fail", process.name, error=repr(exc)
+            )
+            if raise_on_failure:
+                raise failure from exc
+            return
+        if syscall is None:  # body returned normally
+            self.tracer.emit(self.clock.now, "exit", process.name)
+            return
+        self._dispatch(process, syscall)
+
+    def _dispatch(self, process: Process, syscall: Syscall) -> None:
+        disposition = self._handle_builtin(process, syscall)
+        if disposition is None:
+            if self._handler is None:
+                raise KernelError(
+                    f"no syscall handler installed for {type(syscall).__name__}"
+                )
+            disposition = self._handler(process, syscall)
+        kind, value = disposition
+        if kind == "resume":
+            process.resume_with(value)
+            self._make_ready(process)
+        elif kind == "throw":
+            process.resume_with_exception(value)
+            self._make_ready(process)
+        elif kind == "block":
+            process.state = ProcessState.BLOCKED
+            process.blocked_on = str(value)
+        elif kind == "exit":
+            process.kill()
+            self.tracer.emit(self.clock.now, "exit", process.name)
+        else:
+            raise KernelError(f"unknown disposition {kind!r}")
+
+    def _handle_builtin(
+        self, process: Process, syscall: Syscall
+    ) -> Disposition | None:
+        """Handle syscalls the scheduler can service without the kernel."""
+        if isinstance(syscall, Sleep):
+            self.schedule_event(
+                syscall.duration, lambda: self.unblock(process, None)
+            )
+            return ("block", f"sleep({syscall.duration})")
+        if isinstance(syscall, GetTime):
+            return ("resume", self.clock.now)
+        if isinstance(syscall, YieldControl):
+            return ("resume", None)
+        if isinstance(syscall, ExitProcess):
+            return ("exit", None)
+        if isinstance(syscall, Spawn):
+            child = Process(
+                syscall.body_factory(),
+                name=self._child_name(process, syscall.name),
+                owner=process.owner,
+            )
+            self.add_process(child)
+            return ("resume", child.name)
+        if isinstance(syscall, WaitSignal):
+            self._signal_waiters.setdefault(syscall.signal, []).append(process)
+            return ("block", f"wait({syscall.signal.name})")
+        if isinstance(syscall, NotifySignal):
+            waiters = self._signal_waiters.pop(syscall.signal, [])
+            for waiter in waiters:
+                self.unblock(waiter, syscall.value)
+            return ("resume", len(waiters))
+        return None
+
+    def _child_name(self, parent: Process, base: str) -> str:
+        prefix = parent.name.rsplit("/", 1)[0]
+        existing = {p.name for p in self._processes}
+        candidate = f"{prefix}/{base}"
+        counter = 1
+        while candidate in existing:
+            counter += 1
+            candidate = f"{prefix}/{base}-{counter}"
+        return candidate
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def processes(self) -> list[Process]:
+        """Every process ever registered (including finished ones)."""
+        return list(self._processes)
+
+    def live_processes(self) -> list[Process]:
+        """Processes that can still run."""
+        return [p for p in self._processes if p.alive]
+
+    def blocked_processes(self) -> list[Process]:
+        """Processes currently parked on a syscall."""
+        return [p for p in self._processes if p.state is ProcessState.BLOCKED]
+
+    def kill_processes(self, processes: Iterable[Process]) -> None:
+        """Terminate the given processes (used for crash simulation)."""
+        for process in processes:
+            process.kill()
+
+    def has_pending_events(self) -> bool:
+        """Whether any timed event is still scheduled."""
+        return bool(self._events)
+
+    def stuck_processes(self) -> list[Process]:
+        """Blocked processes that are *not* harmlessly serving.
+
+        At quiescence, a process parked on ``Receive`` is a server
+        waiting for work — normal.  A process parked on a reply, a
+        signal or anything else will never run again unless someone
+        wakes it: if the simulation has quiesced, that is a deadlock
+        symptom.  Callers that expected progress use this to fail
+        loudly instead of returning silently incomplete.
+        """
+        return [
+            process
+            for process in self.blocked_processes()
+            if not (process.blocked_on or "").startswith("receive")
+        ]

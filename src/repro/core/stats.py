@@ -1,0 +1,74 @@
+"""Kernel instrumentation counters.
+
+The paper's quantitative claims are about *counts*: invocations per
+datum, Ejects per pipeline, process switches saved.  The kernel feeds a
+:class:`KernelStats` instance, and benchmarks snapshot/diff it around a
+measured region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StatsSnapshot:
+    """Immutable copy of the counters at one instant."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def diff(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
+        """Return this snapshot minus an earlier one, per counter."""
+        names = set(self.counters) | set(earlier.counters)
+        return StatsSnapshot(
+            {name: self[name] - earlier[name] for name in sorted(names)}
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (a copy) of the counters."""
+        return dict(self.counters)
+
+
+class KernelStats:
+    """Monotone counters maintained by the kernel and transport.
+
+    Counter names used by the core (others may be added by subsystems):
+
+    - ``invocations_sent`` — invocation messages handed to the transport;
+    - ``replies_sent`` — reply messages handed to the transport;
+    - ``local_messages`` / ``remote_messages`` — per transport hop kind;
+    - ``bytes_transferred`` — estimated payload bytes moved;
+    - ``context_switches`` — process resumptions by the scheduler;
+    - ``ejects_created`` — Ejects instantiated;
+    - ``ejects_activated`` — passive Ejects reactivated by the kernel;
+    - ``checkpoints`` — passive representations written;
+    - ``events_processed`` — timed events popped by the scheduler.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increase counter ``name`` by ``amount`` (which must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counters are monotone; got {amount} for {name}")
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never bumped)."""
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> StatsSnapshot:
+        """Copy all counters for later diffing."""
+        return StatsSnapshot(dict(self._counters))
+
+    def names(self) -> list[str]:
+        """Sorted list of counters that have been bumped at least once."""
+        return sorted(self._counters)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
+        return f"KernelStats({inner})"

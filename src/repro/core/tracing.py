@@ -1,0 +1,81 @@
+"""Structured event tracing for the simulated kernel.
+
+Traces serve two audiences: tests assert on precise event sequences
+(e.g. "the sink's Read reached the source before any data moved"), and
+humans debug simulations by printing them.  Tracing is off by default;
+benchmarks that only need counters leave it off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record.
+
+    Attributes:
+        time: virtual time at which the event occurred.
+        kind: event category, e.g. ``"invoke"``, ``"reply"``,
+            ``"deliver"``, ``"switch"``, ``"activate"``, ``"checkpoint"``,
+            ``"crash"``, ``"spawn"``, ``"exit"``.
+        subject: printable identifier of the acting entity.
+        detail: free-form extra fields.
+    """
+
+    time: float
+    kind: str
+    subject: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:10.3f}] {self.kind:<10} {self.subject} {extras}".rstrip()
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records when enabled."""
+
+    def __init__(self, enabled: bool = False, capacity: int | None = None) -> None:
+        self.enabled = enabled
+        self._capacity = capacity
+        self._events: list[TraceEvent] = []
+        self._listeners: list[Callable[[TraceEvent], None]] = []
+
+    def emit(
+        self, time: float, kind: str, subject: str, **detail: Any
+    ) -> None:
+        """Record one event (no-op while disabled)."""
+        if not self.enabled:
+            return
+        event = TraceEvent(time=time, kind=kind, subject=subject, detail=detail)
+        self._events.append(event)
+        if self._capacity is not None and len(self._events) > self._capacity:
+            del self._events[0]
+        for listener in self._listeners:
+            listener(event)
+
+    def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Also deliver each event to ``listener`` as it is emitted."""
+        self._listeners.append(listener)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """All retained events, oldest first."""
+        return list(self._events)
+
+    def of_kind(self, *kinds: str) -> list[TraceEvent]:
+        """Retained events whose kind is one of ``kinds``."""
+        wanted = set(kinds)
+        return [event for event in self._events if event.kind in wanted]
+
+    def clear(self) -> None:
+        """Drop all retained events."""
+        self._events.clear()
+
+    def format(self, events: Iterable[TraceEvent] | None = None) -> str:
+        """Human-readable multi-line rendering of ``events`` (default all)."""
+        chosen = self._events if events is None else list(events)
+        return "\n".join(str(event) for event in chosen)

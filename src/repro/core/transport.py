@@ -1,0 +1,86 @@
+"""Simulated interconnect: the cost model for invocations and replies.
+
+The Eden prototype ran on VAXen joined by a 10 Mbit Ethernet (paper §7),
+and the paper notes that "the cost of an invocation must inevitably be
+higher than that of a system call ... because invocation is
+location-independent".  The transport charges virtual time per message:
+a cheap local hop when sender and receiver share a node, an expensive
+remote hop otherwise, plus a bandwidth term proportional to payload
+size.  Benchmarks T3 sweeps these parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.scheduler import Scheduler
+from repro.core.stats import KernelStats
+
+
+@dataclass(frozen=True)
+class TransportCosts:
+    """Virtual-time cost parameters for one simulated interconnect.
+
+    Attributes:
+        local_latency: per-message cost when both ends share a node
+            (roughly "a system call plus a context switch").
+        remote_latency: per-message cost across the Ethernet.
+        bandwidth: payload bytes moved per unit of virtual time;
+            ``None`` models infinite bandwidth (latency only).
+    """
+
+    local_latency: float = 1.0
+    remote_latency: float = 10.0
+    bandwidth: float | None = None
+
+    def message_cost(self, size: int, remote: bool) -> float:
+        """Virtual time consumed by one message of ``size`` bytes."""
+        latency = self.remote_latency if remote else self.local_latency
+        if self.bandwidth is None or size == 0:
+            return latency
+        return latency + size / self.bandwidth
+
+
+class Transport:
+    """Delivers messages with simulated latency and counts traffic.
+
+    The transport is deliberately dumb: it does not know about UIDs or
+    Ejects, only about opaque delivery thunks and whether a hop crosses
+    nodes.  The kernel supplies both.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        costs: TransportCosts | None = None,
+        stats: KernelStats | None = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self.costs = costs or TransportCosts()
+        self._stats = stats or scheduler.stats
+
+    def send(
+        self,
+        size: int,
+        remote: bool,
+        deliver: Callable[[], None],
+        kind: str = "message",
+    ) -> float:
+        """Queue a message for delivery; returns its virtual latency.
+
+        Args:
+            size: estimated payload bytes (feeds the bandwidth term).
+            remote: whether the hop crosses simulated nodes.
+            deliver: thunk run when the message arrives.
+            kind: stats label — ``"invocation"`` or ``"reply"``.
+        """
+        cost = self.costs.message_cost(size, remote)
+        self._stats.bump("remote_messages" if remote else "local_messages")
+        plural = {"invocation": "invocations", "reply": "replies"}.get(
+            kind, f"{kind}s"
+        )
+        self._stats.bump(f"{plural}_sent")
+        self._stats.bump("bytes_transferred", size)
+        self._scheduler.schedule_event(cost, deliver)
+        return cost

@@ -1,0 +1,237 @@
+"""CSP-style communication on Eden invocation (paper §3's comparison).
+
+The paper compares its four primitives with Hoare's CSP:
+
+    "In these languages transput occurs when one process executes an
+    output (!) operation and its correspondent executes an input (?)
+    operation.  This interaction may be regarded in several different
+    ways.  Both ! and ? may be regarded as active, and the (software
+    or hardware) interpreter as the passive connection which transfers
+    data from one to the other.  Alternatively, input may be regarded
+    as active ('get me data!') and output as passive ('wait until I am
+    asked for data').  The converse interpretation is also possible."
+
+This module makes the comparison concrete.  All three interpretations
+move the same values between the same two parties; they differ in who
+is active — and therefore in how many invocations and Ejects they need:
+
+1. **Both active** — :class:`RendezvousChannel`, a passive "interpreter"
+   Eject both sides invoke.  Two invocations per value plus a
+   middleman: the CSP-as-implemented view, and structurally the
+   conventional discipline's buffer with capacity zero.
+2. **Input active / output passive** — the read-only discipline: a
+   passive source answers its consumer's Reads directly.  One
+   invocation per value, no middleman.
+3. **Output active / input passive** — the write-only discipline:
+   the producer Writes straight at a passive consumer.  One invocation
+   per value, no middleman.  (Hoare's choice of allowing input in
+   guards but not output corresponds to this passive-input view.)
+
+:func:`run_interpretations` runs all three on fresh kernels and returns
+their outputs and invocation counts — tests assert outputs agree and
+costs are 2:1:1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence, TYPE_CHECKING
+
+from repro.core.eject import Eject
+from repro.core.kernel import Kernel
+from repro.core.message import Invocation
+from repro.core.syscalls import Receive
+from repro.transput.sink import PassiveSink
+from repro.transput.source import ActiveSource, ListSource
+from repro.transput.sink import CollectorSink
+from repro.transput.stream import StreamEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.uid import UID
+
+#: Sentinel a rendezvous Receive returns once the channel is closed.
+CHANNEL_CLOSED = "__channel_closed__"
+
+
+class RendezvousChannel(Eject):
+    """A synchronous CSP channel: interpretation 1 (both ends active).
+
+    ``Send(value)`` completes only when a matching ``Receive`` arrives
+    and vice versa — no buffering, pure rendezvous.  ``Close()`` makes
+    every later (and parked) Receive complete with
+    :data:`CHANNEL_CLOSED`.
+    """
+
+    eden_type = "RendezvousChannel"
+    #: Operations the main loop answers (for behaviour specs).
+    answers_operations = ("Send", "Receive", "Close")
+
+    def __init__(self, kernel: Kernel, uid: "UID", name: str | None = None) -> None:
+        super().__init__(kernel, uid, name=name)
+        self._waiting_sends: deque[Invocation] = deque()
+        self._waiting_receives: deque[Invocation] = deque()
+        self.closed = False
+        self.rendezvous_count = 0
+
+    def main(self):
+        while True:
+            invocation = yield Receive(
+                operations={"Send", "Receive", "Close"}
+            )
+            if invocation.operation == "Close":
+                self.closed = True
+                yield self.reply(invocation, True)
+                while self._waiting_receives:
+                    parked = self._waiting_receives.popleft()
+                    yield self.reply(parked, CHANNEL_CLOSED)
+                continue
+            if invocation.operation == "Send":
+                if self.closed:
+                    from repro.core.errors import StreamProtocolError
+
+                    yield self.reply(
+                        invocation,
+                        error=StreamProtocolError("Send on closed channel"),
+                    )
+                    continue
+                if self._waiting_receives:
+                    receiver = self._waiting_receives.popleft()
+                    self.rendezvous_count += 1
+                    yield self.reply(receiver, invocation.args[0])
+                    yield self.reply(invocation, True)
+                else:
+                    self._waiting_sends.append(invocation)
+                continue
+            # Receive
+            if self._waiting_sends:
+                sender = self._waiting_sends.popleft()
+                self.rendezvous_count += 1
+                yield self.reply(invocation, sender.args[0])
+                yield self.reply(sender, True)
+            elif self.closed:
+                yield self.reply(invocation, CHANNEL_CLOSED)
+            else:
+                self._waiting_receives.append(invocation)
+
+
+class CSPProducer(Eject):
+    """A process performing CSP output (!) actively on a channel."""
+
+    eden_type = "CSPProducer"
+
+    def __init__(self, kernel, uid, channel=None, values: Iterable[Any] = (),
+                 name=None):
+        super().__init__(kernel, uid, name=name)
+        self.channel = channel
+        self.values = list(values)
+        self.done = False
+
+    def main(self):
+        for value in self.values:
+            yield self.call(self.channel, "Send", value)
+        yield self.call(self.channel, "Close")
+        self.done = True
+
+
+class CSPConsumer(Eject):
+    """A process performing CSP input (?) actively on a channel."""
+
+    eden_type = "CSPConsumer"
+
+    def __init__(self, kernel, uid, channel=None, name=None):
+        super().__init__(kernel, uid, name=name)
+        self.channel = channel
+        self.received: list[Any] = []
+        self.done = False
+
+    def main(self):
+        while True:
+            value = yield self.call(self.channel, "Receive")
+            if value == CHANNEL_CLOSED:
+                break
+            self.received.append(value)
+        self.done = True
+
+
+@dataclass(frozen=True)
+class InterpretationResult:
+    """Output and cost of one §3 interpretation."""
+
+    name: str
+    output: list[Any]
+    invocations: int
+    ejects: int
+
+
+def _measure(kernel: Kernel, build) -> tuple[list[Any], int]:
+    start = kernel.stats.snapshot()
+    done_flag, output_of = build()
+    kernel.run(until=done_flag)
+    kernel.run()
+    delta = kernel.stats.snapshot().diff(start)
+    return output_of(), delta["invocations_sent"]
+
+
+def run_both_active(values: Sequence[Any]) -> InterpretationResult:
+    """Interpretation 1: ! and ? both active, a passive interpreter."""
+    kernel = Kernel()
+    channel = kernel.create(RendezvousChannel, name="chan")
+    consumer = kernel.create(CSPConsumer, channel=channel.uid)
+    producer = kernel.create(CSPProducer, channel=channel.uid, values=values)
+
+    def build():
+        return (lambda: consumer.done and producer.done,
+                lambda: list(consumer.received))
+
+    output, invocations = _measure(kernel, build)
+    return InterpretationResult("both-active", output, invocations, ejects=3)
+
+
+def run_input_active(values: Sequence[Any]) -> InterpretationResult:
+    """Interpretation 2: input active, output passive (read-only)."""
+    kernel = Kernel()
+    producer = kernel.create(ListSource, items=list(values))
+    consumer = kernel.create(
+        CollectorSink, inputs=[producer.output_endpoint()]
+    )
+
+    def build():
+        return (lambda: consumer.done, lambda: list(consumer.collected))
+
+    output, invocations = _measure(kernel, build)
+    return InterpretationResult("input-active", output, invocations, ejects=2)
+
+
+def run_output_active(values: Sequence[Any]) -> InterpretationResult:
+    """Interpretation 3: output active, input passive (write-only).
+
+    Hoare allows input commands in guards but not output — treating
+    input as "a passive wait for data, and output as the active
+    operation which generates data" (§3).
+    """
+    kernel = Kernel()
+    consumer = kernel.create(PassiveSink)
+    producer = kernel.create(
+        ActiveSource, items=list(values),
+        outputs=[StreamEndpoint(consumer.uid, None)],
+    )
+
+    def build():
+        return (lambda: consumer.done and producer.done,
+                lambda: list(consumer.collected))
+
+    output, invocations = _measure(kernel, build)
+    return InterpretationResult("output-active", output, invocations, ejects=2)
+
+
+def run_interpretations(values: Sequence[Any]) -> dict[str, InterpretationResult]:
+    """Run all three §3 interpretations over the same values."""
+    return {
+        result.name: result
+        for result in (
+            run_both_active(values),
+            run_input_active(values),
+            run_output_active(values),
+        )
+    }

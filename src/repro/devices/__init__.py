@@ -1,0 +1,31 @@
+"""Device Ejects: terminals, printers, windows, clock and workload
+sources.
+
+Devices are ordinary Ejects speaking the stream protocol — the paper's
+point that "there is no distinction between input redirection from a
+file and from a program" extends to devices.
+"""
+
+from repro.devices.printer import PrinterServer
+from repro.devices.sources import (
+    ClockSource,
+    NullSource,
+    RandomSource,
+    random_lines,
+)
+from repro.devices.terminal import Keyboard, Terminal
+from repro.devices.window import PassiveReportWindow, ReportWindow
+from repro.transput.sink import NullSink
+
+__all__ = [
+    "ClockSource",
+    "Keyboard",
+    "NullSink",
+    "NullSource",
+    "PassiveReportWindow",
+    "PrinterServer",
+    "RandomSource",
+    "ReportWindow",
+    "Terminal",
+    "random_lines",
+]

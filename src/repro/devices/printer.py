@@ -1,0 +1,120 @@
+"""The printer server.
+
+Paper §4: "A file could be printed simply by requesting the printer
+server to read from the file.  If a paginated listing were required,
+the printer server would be requested to read from the paginator, and
+the paginator to read from the file."
+
+:class:`PrinterServer` is an Eject that accepts ``PrintFrom``
+invocations naming a stream endpoint; it then *pumps* that stream
+(active input) onto paper.  Form-feed records (``"\\f"``) begin a new
+page.  Several PrintFrom jobs queue and print one at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TYPE_CHECKING
+
+from repro.core.errors import InvocationError
+from repro.core.message import Invocation
+from repro.core.syscalls import (
+    NotifySignal,
+    Signal,
+    Sleep,
+    WaitSignal,
+)
+from repro.transput.primitives import TransputEject, active_input
+from repro.transput.stream import StreamEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel import Kernel
+    from repro.core.uid import UID
+
+
+class PrinterServer(TransputEject):
+    """Prints streams onto pages; one job at a time.
+
+    Operations:
+        ``PrintFrom(endpoint)`` — queue a print job; returns the job id.
+        ``JobCount`` — jobs completed so far.
+    """
+
+    eden_type = "PrinterServer"
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        uid: "UID",
+        name: str | None = None,
+        lines_per_page: int = 60,
+        work_cost: float = 0.0,
+    ) -> None:
+        super().__init__(kernel, uid, name=name)
+        if lines_per_page < 1:
+            raise ValueError(f"lines_per_page must be >= 1, got {lines_per_page}")
+        self.lines_per_page = lines_per_page
+        self.work_cost = work_cost
+        self.pages: list[list[str]] = []
+        self._queue: list[tuple[int, StreamEndpoint]] = []
+        self._next_job = 1
+        self.jobs_done = 0
+        self._job_arrived = Signal(f"{self.name}.job")
+
+    def process_bodies(self):
+        return [("server", self.main()), ("engine", self._engine())]
+
+    def op_PrintFrom(self, invocation: Invocation):
+        endpoint = invocation.args[0]
+        if isinstance(endpoint, StreamEndpoint):
+            pass
+        else:
+            from repro.core.uid import UID as _UID
+
+            if isinstance(endpoint, _UID):
+                endpoint = StreamEndpoint(endpoint, None)
+            else:
+                raise InvocationError("PrintFrom needs a StreamEndpoint or UID")
+        job_id = self._next_job
+        self._next_job += 1
+        self._queue.append((job_id, endpoint))
+        yield NotifySignal(self._job_arrived)
+        return job_id
+
+    def op_JobCount(self, invocation: Invocation):
+        return self.jobs_done
+
+    def _engine(self):
+        """The print engine: pumps one queued job at a time."""
+        while True:
+            while not self._queue:
+                yield WaitSignal(self._job_arrived)
+            _job_id, endpoint = self._queue.pop(0)
+            page: list[str] = []
+            while True:
+                transfer = yield from active_input(self, endpoint, 1)
+                if transfer.at_end:
+                    break
+                for item in transfer.items:
+                    if self.work_cost:
+                        yield Sleep(self.work_cost)
+                    page = self._render(page, item)
+            if page:
+                self.pages.append(page)
+            self.jobs_done += 1
+
+    def _render(self, page: list[str], item: Any) -> list[str]:
+        text = str(item)
+        if text == "\f":
+            if page:
+                self.pages.append(page)
+            return []
+        page.append(text)
+        if len(page) >= self.lines_per_page:
+            self.pages.append(page)
+            return []
+        return page
+
+    @property
+    def printed_lines(self) -> list[str]:
+        """Every line printed so far, across pages."""
+        return [line for page in self.pages for line in page]

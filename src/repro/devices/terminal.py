@@ -1,0 +1,135 @@
+"""Terminal devices.
+
+Paper §4: "Output devices such as terminals and printers would provide
+a potentially infinite supply of Read invocations.  Connecting a
+terminal to a filter Eject would be rather like starting a pump; it
+would suck data through the filter and generate a partial vacuum (in
+the form of outstanding read invocations) on the far side."
+
+A :class:`Terminal` is therefore an :class:`~repro.transput.sink.
+ActiveSink` that renders what it pumps onto a display (a list of
+lines), optionally slowly (``work_cost`` models baud rate).  A
+:class:`Keyboard` is the input half: a passive source of scripted
+keystrokes/lines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, TYPE_CHECKING
+
+from repro.transput.sink import ActiveSink
+from repro.transput.source import PassiveSource
+from repro.transput.stream import StreamEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel import Kernel
+    from repro.core.uid import UID
+
+
+class Terminal(ActiveSink):
+    """A display that pumps lines out of whatever it is connected to.
+
+    Args:
+        width: lines longer than this are wrapped onto the display.
+        work_cost: virtual time per record — a 1983 terminal is slow,
+            and a slow sink throttles the whole (lazy) pipeline.
+    """
+
+    eden_type = "Terminal"
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        uid: "UID",
+        inputs: Iterable[StreamEndpoint] = (),
+        name: str | None = None,
+        width: int = 80,
+        work_cost: float = 0.0,
+        max_items: int | None = None,
+        batch: int = 1,
+    ) -> None:
+        super().__init__(
+            kernel, uid, inputs=inputs, name=name, batch=batch,
+            work_cost=work_cost, max_items=max_items,
+        )
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self.width = width
+        self.display: list[str] = []
+
+    def consume(self, item: Any) -> None:
+        text = str(item)
+        if not text:
+            self.display.append("")
+        while text:
+            self.display.append(text[: self.width])
+            text = text[self.width :]
+        self.collected.append(item)
+
+    def screen(self, lines: int = 24) -> list[str]:
+        """The last ``lines`` display lines (what the user would see)."""
+        return self.display[-lines:]
+
+    def process_bodies(self):
+        return [("pump", self.main()), ("server", self._op_server())]
+
+    def _op_server(self):
+        """Serve ShowFrom (and future) invocations alongside the pump."""
+        from repro.core.syscalls import Receive
+
+        while True:
+            invocation = yield Receive()
+            yield from self.dispatch(invocation)
+
+    def op_ShowFrom(self, invocation):
+        """Dynamic redirection (§6): point the terminal at a new stream.
+
+        The terminal spawns a pump that drains the given endpoint onto
+        the display — "Redirection of input and output can be provided
+        very naturally in a system where each entity is referred to by
+        means of a unique identifier."  Streams shown concurrently
+        interleave on the display, like output from concurrent jobs.
+        """
+        from repro.core.errors import InvocationError
+        from repro.core.syscalls import Spawn
+        from repro.core.uid import UID as _UID
+        from repro.transput.primitives import active_input
+
+        endpoint = invocation.args[0]
+        if isinstance(endpoint, _UID):
+            endpoint = StreamEndpoint(endpoint, None)
+        if not isinstance(endpoint, StreamEndpoint):
+            raise InvocationError("ShowFrom needs a StreamEndpoint or UID")
+
+        def pump():
+            self.done = False
+            while True:
+                transfer = yield from active_input(self, endpoint, self.batch)
+                self.reads_issued += 1
+                if transfer.at_end:
+                    break
+                yield from self._consume_all(transfer)
+            self.done = True
+
+        yield Spawn(pump, name="showfrom")
+        return True
+
+
+class Keyboard(PassiveSource):
+    """Scripted user input: a passive source of typed lines."""
+
+    eden_type = "Keyboard"
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        uid: "UID",
+        script: Iterable[str] = (),
+        name: str | None = None,
+        work_cost: float = 0.0,
+    ) -> None:
+        super().__init__(kernel, uid, name=name, work_cost=work_cost)
+        self.script = [str(line) for line in script]
+
+    def generate(self):
+        return iter(self.script)

@@ -1,0 +1,103 @@
+"""The report window (paper Figures 3 and 4).
+
+"The reports from source and F1 are directed to a common destination,
+perhaps a window on a display" — and in the read-only version, "It is
+assumed that the Report Window is designed to read from multiple
+sources."
+
+Two window types, one per discipline:
+
+- :class:`ReportWindow` — the Figure 4 window: actively Reads from
+  several report channels, round-robin, labelling each line with its
+  origin.
+- :class:`PassiveReportWindow` — the Figure 3 window: passively
+  accepts Writes from several reporters ("directed to a common
+  destination").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, TYPE_CHECKING
+
+from repro.transput.primitives import TransputEject, active_input
+from repro.transput.sink import PassiveSink
+from repro.transput.stream import StreamEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel import Kernel
+    from repro.core.uid import UID
+
+
+class ReportWindow(TransputEject):
+    """Reads report streams from multiple sources (read-only, Fig. 4).
+
+    Args:
+        inputs: ``(label, endpoint)`` pairs — each endpoint typically a
+            filter's Report channel.
+    """
+
+    eden_type = "ReportWindow"
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        uid: "UID",
+        inputs: Iterable[tuple[str, StreamEndpoint]] = (),
+        name: str | None = None,
+        batch: int = 1,
+    ) -> None:
+        super().__init__(kernel, uid, name=name)
+        self.inputs = list(inputs)
+        self.batch = max(1, int(batch))
+        self.lines: list[str] = []
+        self.done = False
+        self.reads_issued = 0
+
+    @property
+    def collected(self) -> list[str]:
+        """Alias so a window can stand where a sink is expected."""
+        return self.lines
+
+    def connect(self, label: str, endpoint: StreamEndpoint) -> None:
+        """Attach one more report stream (before the simulation runs)."""
+        self.inputs.append((label, endpoint))
+
+    def main(self):
+        live = list(self.inputs)
+        while live:
+            remaining = []
+            for label, endpoint in live:
+                transfer = yield from active_input(self, endpoint, self.batch)
+                self.reads_issued += 1
+                if transfer.at_end:
+                    continue
+                for item in transfer.items:
+                    self.lines.append(f"{label}: {item}")
+                remaining.append((label, endpoint))
+            live = remaining
+        self.done = True
+
+
+class PassiveReportWindow(PassiveSink):
+    """Accepts report Writes from several reporters (write-only, Fig. 3).
+
+    ``expected_ends`` must equal the number of reporters wired at it.
+    Lines arrive already labelled by their producers (write-only
+    receivers cannot tell writers apart — exactly the §5 limitation).
+    """
+
+    eden_type = "PassiveReportWindow"
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        uid: "UID",
+        name: str | None = None,
+        expected_ends: int = 1,
+    ) -> None:
+        super().__init__(kernel, uid, name=name, expected_ends=expected_ends)
+
+    @property
+    def lines(self) -> list[Any]:
+        """What the window shows."""
+        return self.collected

@@ -1,0 +1,28 @@
+"""The Eden file system: files, directories, concatenators, bootstrap.
+
+Files and directories are active Ejects (paper §2); the bootstrap
+layer (§7) bridges to a simulated host Unix filesystem; the
+transaction layer implements the §7 "preliminary design".
+"""
+
+from repro.filesystem.bootstrap import UnixFile, UnixFileSystem
+from repro.filesystem.concatenator import DirectoryConcatenator
+from repro.filesystem.directory import Directory
+from repro.filesystem.file import EdenFile, FileReader
+from repro.filesystem.hostfs import HostFileSystem, split_path
+from repro.filesystem.mapfile import MapFile, MapIndexError
+from repro.filesystem.transactions import TransactionalDirectory
+
+__all__ = [
+    "Directory",
+    "DirectoryConcatenator",
+    "EdenFile",
+    "FileReader",
+    "HostFileSystem",
+    "MapFile",
+    "MapIndexError",
+    "TransactionalDirectory",
+    "UnixFile",
+    "UnixFileSystem",
+    "split_path",
+]

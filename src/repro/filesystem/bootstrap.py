@@ -1,0 +1,178 @@
+"""The bootstrap Eden transput system (paper §7).
+
+    "a 'Unix File System' Eject for each physical machine, which
+    responds to two invocations, NewStream and UseStream. ...
+    NewStream takes as input a Unix path name, and returns as its
+    result an Eden stream, i.e. a Capability.  The Capability is
+    actually the UID of a newly created Eject (of type UnixFile),
+    whose purpose is to respond to Transfer invocations with the
+    contents of the appropriate Unix file.  When the user closes the
+    stream, the UnixFile Eject deactivates itself and, since it has
+    never Checkpointed, disappears.  UseStream does the opposite; it
+    takes as input a Unix path name and a Capability for a stream, and
+    creates a UnixFile Eject which repeatedly invokes Transfer on the
+    capability and records the data it receives.  When an end of
+    stream status is returned by Transfer, the appropriate Unix file
+    is opened, written and closed."
+
+Both directions are reproduced literally, over the simulated
+:class:`~repro.filesystem.hostfs.HostFileSystem` of the Eject's node.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TYPE_CHECKING
+
+from repro.core.errors import InvocationError
+from repro.core.message import Invocation
+from repro.core.uid import UID
+from repro.filesystem.hostfs import HostFileSystem
+from repro.transput.primitives import (
+    Primitive,
+    TransputEject,
+)
+from repro.transput.stream import END_TRANSFER, StreamEndpoint, Transfer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel import Kernel
+
+
+class UnixFile(TransputEject):
+    """A transient stream Eject over one Unix file (paper §7).
+
+    In **read mode** it answers ``Transfer`` (and ``Read``) invocations
+    with the file's lines; ``Close`` makes it deactivate and — never
+    having Checkpointed — disappear.
+
+    In **write mode** its own process "repeatedly invokes Transfer on
+    the capability and records the data it receives"; at end of stream
+    it writes the Unix file and deactivates.
+    """
+
+    eden_type = "UnixFile"
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        uid: "UID",
+        hostfs: HostFileSystem | None = None,
+        path: str = "",
+        mode: str = "read",
+        source: StreamEndpoint | None = None,
+        name: str | None = None,
+    ) -> None:
+        if mode not in ("read", "write"):
+            raise ValueError(f"mode must be 'read' or 'write', got {mode!r}")
+        super().__init__(kernel, uid, name=name)
+        self.hostfs = hostfs
+        self.path = path
+        self.mode = mode
+        self.source = source
+        self._lines: list[str] = []
+        self._cursor = 0
+        self.finished = False
+        if mode == "read" and hostfs is not None:
+            self._lines = hostfs.read_file(path)
+
+    # -- read mode ---------------------------------------------------------
+
+    def op_Transfer(self, invocation: Invocation):
+        if self.mode != "read":
+            raise InvocationError(f"{self.name} is a write-mode stream")
+        batch = invocation.args[0] if invocation.args else 1
+        batch = max(1, int(batch))
+        taken = self._lines[self._cursor : self._cursor + batch]
+        self._cursor += len(taken)
+        self.note_primitive(Primitive.PASSIVE_OUTPUT)
+        if not taken:
+            return END_TRANSFER
+        return Transfer.of(taken)
+
+    op_Read = op_Transfer
+
+    def op_Close(self, invocation: Invocation):
+        """Close the stream: deactivate; never Checkpointed => gone."""
+        yield self.reply(invocation, True)
+        yield self.deactivate()
+
+    # -- write mode ---------------------------------------------------------
+
+    def process_bodies(self):
+        if self.mode == "write":
+            return [("pump", self._pump()), ("main", self.main())]
+        return [("main", self.main())]
+
+    def _pump(self):
+        """Repeatedly invoke Transfer on the source capability (§7)."""
+        assert self.source is not None
+        while True:
+            self.note_primitive(Primitive.ACTIVE_INPUT)
+            transfer = yield self.call(
+                self.source.uid, "Transfer", 1, channel=self.source.channel
+            )
+            if transfer.at_end:
+                break
+            self._lines.extend(str(item) for item in transfer.items)
+        assert self.hostfs is not None
+        self.hostfs.write_file(self.path, self._lines)
+        self.finished = True
+        yield self.deactivate()
+
+
+class UnixFileSystem(TransputEject):
+    """The per-machine bootstrap Eject: NewStream / UseStream (§7)."""
+
+    eden_type = "UnixFileSystem"
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        uid: "UID",
+        hostfs: HostFileSystem | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(kernel, uid, name=name)
+        self.hostfs = hostfs if hostfs is not None else HostFileSystem()
+        self.streams_created = 0
+
+    def op_NewStream(self, invocation: Invocation) -> Any:
+        """Unix path -> an Eden stream (the UID of a reader UnixFile)."""
+        (path,) = invocation.args
+        reader = self.kernel.create(
+            UnixFile,
+            hostfs=self.hostfs,
+            path=str(path),
+            mode="read",
+            name=f"unixfile:{path}",
+            node=self.node,
+        )
+        self.streams_created += 1
+        return reader.uid
+
+    def op_UseStream(self, invocation: Invocation) -> Any:
+        """(Unix path, stream capability) -> a writer UnixFile's UID."""
+        path, capability = invocation.args
+        if isinstance(capability, UID):
+            endpoint = StreamEndpoint(capability, None)
+        elif isinstance(capability, StreamEndpoint):
+            endpoint = capability
+        else:
+            raise InvocationError(
+                "UseStream needs a UID or StreamEndpoint capability"
+            )
+        writer = self.kernel.create(
+            UnixFile,
+            hostfs=self.hostfs,
+            path=str(path),
+            mode="write",
+            source=endpoint,
+            name=f"unixfile:{path}",
+            node=self.node,
+        )
+        self.streams_created += 1
+        return writer.uid
+
+    def op_ListFiles(self, invocation: Invocation) -> Any:
+        """Names under a host directory (convenience beyond the paper)."""
+        path = invocation.args[0] if invocation.args else "/"
+        return self.hostfs.listdir(str(path))

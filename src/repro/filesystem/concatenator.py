@@ -1,0 +1,148 @@
+"""The Directory Concatenator (paper §2).
+
+"it is possible to provide a Directory Concatenator type which is
+initialised with a list of directories and which yields the same
+result as would be obtained from performing the lookup on all of the
+directories in turn until the name is found.  Such a concatenator
+provides a facility rather like that offered by the Unix shell and the
+PATH environment variable."
+
+This is also the paper's worked example of *behavioural compatibility*:
+"From the point of view of an Eject trying to perform a Lookup
+operation, any Eject which responds in the appropriate way is a
+satisfactory directory" — a concatenator can stand anywhere a
+Directory can (tests verify this substitutability, including nesting
+concatenators inside concatenators).
+
+Both §2 implementation strategies are provided: ``strategy="forward"``
+actually performs the multiple lookups; ``strategy="cache"`` maintains
+"some sort of table which represents the concatenation".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable, TYPE_CHECKING
+
+from repro.core.errors import InvocationError, NoSuchEntryError
+from repro.core.message import Invocation
+from repro.core.uid import UID
+from repro.transput.primitives import Primitive, TransputEject
+from repro.transput.stream import END_TRANSFER, Transfer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel import Kernel
+
+_STRATEGIES = ("forward", "cache")
+
+
+class DirectoryConcatenator(TransputEject):
+    """Behaves like the concatenation of several directories."""
+
+    eden_type = "DirectoryConcatenator"
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        uid: "UID",
+        directories: Iterable[UID] = (),
+        name: str | None = None,
+        strategy: str = "forward",
+    ) -> None:
+        if strategy not in _STRATEGIES:
+            raise ValueError(f"strategy must be one of {_STRATEGIES}")
+        super().__init__(kernel, uid, name=name)
+        self.directories: list[UID] = list(directories)
+        self.strategy = strategy
+        self._cache: dict[str, UID] = {}
+        self._cache_valid = False
+        self._listing: deque[str] = deque()
+        self.lookups_forwarded = 0
+
+    # ------------------------------------------------------------------
+
+    def op_Lookup(self, invocation: Invocation):
+        (entry_name,) = invocation.args
+        entry_name = str(entry_name)
+        if self.strategy == "cache":
+            yield from self._ensure_cache()
+            if entry_name not in self._cache:
+                raise NoSuchEntryError(entry_name)
+            return self._cache[entry_name]
+        for directory in self.directories:
+            try:
+                result = yield self.call(directory, "Lookup", entry_name)
+            except NoSuchEntryError:
+                continue
+            finally:
+                self.lookups_forwarded += 1
+            return result
+        raise NoSuchEntryError(entry_name)
+
+    def _ensure_cache(self):
+        if self._cache_valid:
+            return
+        table: dict[str, UID] = {}
+        for directory in self.directories:
+            names = yield self.call(directory, "Names")
+            for entry_name in names:
+                if entry_name in table:
+                    continue  # earlier directory wins, as with PATH
+                uid = yield self.call(directory, "Lookup", entry_name)
+                table[entry_name] = uid
+        self._cache = table
+        self._cache_valid = True
+
+    def op_Invalidate(self, invocation: Invocation):
+        """Drop the cached table (after underlying directories change)."""
+        self._cache_valid = False
+        self._cache = {}
+        return True
+
+    def op_AddDirectory(self, invocation: Invocation):
+        (directory,) = invocation.args
+        if not isinstance(directory, UID):
+            raise InvocationError("AddDirectory needs a UID")
+        self.directories.append(directory)
+        self._cache_valid = False
+        return True
+
+    # -- stream protocol: the combined listing -------------------------------
+
+    def op_List(self, invocation: Invocation):
+        lines: list[str] = []
+        for directory in self.directories:
+            count = yield self.call(directory, "List")
+            while True:
+                transfer = yield self.call(directory, "Read", max(1, count or 1))
+                if transfer.at_end:
+                    break
+                lines.extend(transfer.items)
+        self._listing = deque(lines)
+        return len(lines)
+
+    def op_Read(self, invocation: Invocation):
+        batch = invocation.args[0] if invocation.args else 1
+        batch = max(1, int(batch))
+        self.note_primitive(Primitive.PASSIVE_OUTPUT)
+        if not self._listing:
+            return END_TRANSFER
+        taken = [
+            self._listing.popleft()
+            for _ in range(min(batch, len(self._listing)))
+        ]
+        return Transfer.of(taken)
+
+    # -- durability -----------------------------------------------------------
+
+    def passive_representation(self) -> Any:
+        return {
+            "directories": list(self.directories),
+            "strategy": self.strategy,
+        }
+
+    def restore(self, data: Any) -> None:
+        self.directories = list(data["directories"])
+        self.strategy = data["strategy"]
+        self._cache_valid = False
+        self._cache = {}

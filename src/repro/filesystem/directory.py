@@ -1,0 +1,141 @@
+"""Eden directories (paper §2).
+
+"In Eden directories are also Ejects; they respond to invocations like
+Lookup, DeleteEntry, AddEntry and List.  Each entry in a directory
+Eject is in principle a pair consisting of a mnemonic lookup string and
+the Unique Identifier of the Eject."
+
+And §4: "Eden Directories also behave as sources ... The effect of a
+List invocation is to prepare the directory to receive a number of
+Read invocations, which transfer a printable representation of the
+directory's contents to the reader."
+
+Since any Eject's UID may be entered, "arbitrary networks of
+directories can be constructed" — including cycles; tests exercise
+this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, TYPE_CHECKING
+
+from repro.core.errors import (
+    DuplicateEntryError,
+    InvocationError,
+    NoSuchEntryError,
+)
+from repro.core.message import Invocation
+from repro.core.uid import UID
+from repro.transput.primitives import Primitive, TransputEject
+from repro.transput.stream import END_TRANSFER, Transfer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel import Kernel
+
+
+class Directory(TransputEject):
+    """A directory Eject: name -> UID entries, plus the stream protocol."""
+
+    eden_type = "Directory"
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        uid: "UID",
+        name: str | None = None,
+    ) -> None:
+        super().__init__(kernel, uid, name=name)
+        self.entries: dict[str, UID] = {}
+        self._listing: deque[str] = deque()
+        self._listing_prepared = False
+
+    # -- the four §2 operations ------------------------------------------
+
+    def op_AddEntry(self, invocation: Invocation):
+        entry_name, entry_uid = invocation.args
+        if not isinstance(entry_uid, UID):
+            raise InvocationError("AddEntry needs (name, UID)")
+        if entry_name in self.entries:
+            raise DuplicateEntryError(entry_name)
+        self.entries[str(entry_name)] = entry_uid
+        return True
+
+    def op_Lookup(self, invocation: Invocation):
+        (entry_name,) = invocation.args
+        uid = self.entries.get(str(entry_name))
+        if uid is None:
+            raise NoSuchEntryError(str(entry_name))
+        return uid
+
+    def op_DeleteEntry(self, invocation: Invocation):
+        (entry_name,) = invocation.args
+        if str(entry_name) not in self.entries:
+            raise NoSuchEntryError(str(entry_name))
+        del self.entries[str(entry_name)]
+        return True
+
+    def op_List(self, invocation: Invocation):
+        """Prepare the printable listing for subsequent Reads (§4)."""
+        self._listing = deque(self.render_listing())
+        self._listing_prepared = True
+        return len(self._listing)
+
+    # -- extras -------------------------------------------------------------
+
+    def op_Rename(self, invocation: Invocation):
+        old, new = (str(part) for part in invocation.args)
+        if old not in self.entries:
+            raise NoSuchEntryError(old)
+        if new in self.entries:
+            raise DuplicateEntryError(new)
+        self.entries[new] = self.entries.pop(old)
+        return True
+
+    def op_Size(self, invocation: Invocation):
+        return len(self.entries)
+
+    def op_Names(self, invocation: Invocation):
+        return sorted(self.entries)
+
+    def op_Commit(self, invocation: Invocation):
+        yield self.checkpoint()
+        return True
+
+    # -- the stream protocol (a directory is a source, §4) -------------------
+
+    def render_listing(self) -> list[str]:
+        """The printable representation a List prepares."""
+        return [
+            f"{entry_name:<24} {entry_uid.brief()}"
+            for entry_name, entry_uid in sorted(self.entries.items())
+        ]
+
+    def op_Read(self, invocation: Invocation):
+        if not self._listing_prepared:
+            # Reading without List behaves as List-then-Read (friendly).
+            self._listing = deque(self.render_listing())
+            self._listing_prepared = True
+        batch = invocation.args[0] if invocation.args else 1
+        batch = max(1, int(batch))
+        self.note_primitive(Primitive.PASSIVE_OUTPUT)
+        if not self._listing:
+            self._listing_prepared = False  # next Read re-lists
+            return END_TRANSFER
+        taken = [
+            self._listing.popleft()
+            for _ in range(min(batch, len(self._listing)))
+        ]
+        return Transfer.of(taken)
+
+    op_Transfer = op_Read
+
+    # -- durability -----------------------------------------------------------
+
+    def passive_representation(self) -> Any:
+        return {"entries": dict(self.entries)}
+
+    def restore(self, data: Any) -> None:
+        self.entries = dict(data["entries"])
+        self._listing = deque()
+        self._listing_prepared = False

@@ -1,0 +1,171 @@
+"""Eden files: active Ejects, not passive data structures.
+
+Paper §2: "In Eden, files are Ejects: they are active rather than
+passive entities.  An Eden file would itself be able to respond to
+open, close, read and write invocations ... Once a file has been
+written, the data is committed to stable storage by Checkpointing."
+
+And §4, the read-only behaviours:
+
+- "A file opened for input would respond to read invocations with the
+  appropriate data, and eventually with an indication that the end of
+  the file had been reached" — :meth:`EdenFile.op_OpenForReading`
+  creates a transient reader Eject (one independent cursor per open).
+- "A file opened for output would immediately issue a Read invocation,
+  and would continue reading until it received an end of file
+  indicator" — :meth:`EdenFile.op_ReadFrom` points the file at a
+  source; the file itself pumps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, TYPE_CHECKING
+
+from repro.core.errors import InvocationError
+from repro.core.message import Invocation
+from repro.core.syscalls import Spawn
+from repro.transput.primitives import (
+    Primitive,
+    TransputEject,
+    read_stream,
+)
+from repro.transput.source import ListSource
+from repro.transput.stream import StreamEndpoint, Transfer, WriteAck
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel import Kernel
+    from repro.core.uid import UID
+
+
+class FileReader(ListSource):
+    """A transient cursor over a file's contents at open time.
+
+    Created by ``OpenForReading``; responds to Read/Transfer; a
+    ``Close`` deactivates it, and since it never Checkpoints, it
+    disappears (the §7 UnixFile pattern).
+    """
+
+    eden_type = "FileReader"
+
+    def op_Close(self, invocation: Invocation):
+        yield self.reply(invocation, True)
+        yield self.deactivate()
+
+
+class EdenFile(TransputEject):
+    """A file Eject holding a sequence of records.
+
+    Operations:
+        ``Append(transfer)`` — add records (passive input).
+        ``Read(batch)`` — stream the whole contents (a shared, simple
+        cursor for casual use; concurrent readers should OpenForReading).
+        ``OpenForReading()`` — returns the UID of a fresh
+        :class:`FileReader` over a snapshot of the contents.
+        ``ReadFrom(endpoint)`` — pump a source into the file, then
+        Checkpoint (the "opened for output" behaviour).
+        ``Length`` / ``Contents`` / ``Clear`` / ``Commit`` — utilities.
+    """
+
+    eden_type = "EdenFile"
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        uid: "UID",
+        records: Iterable[Any] = (),
+        name: str | None = None,
+    ) -> None:
+        super().__init__(kernel, uid, name=name)
+        self.records: list[Any] = list(records)
+        self._cursor = 0
+        self.ingesting = False
+        self.ingest_count = 0
+
+    # -- writing ----------------------------------------------------------
+
+    def op_Append(self, invocation: Invocation):
+        transfer = invocation.args[0]
+        if not isinstance(transfer, Transfer):
+            raise InvocationError("Append payload must be a Transfer")
+        self.note_primitive(Primitive.PASSIVE_INPUT)
+        if transfer.at_end:
+            return WriteAck(accepted=0)
+        self.records.extend(transfer.items)
+        return WriteAck(accepted=len(transfer.items))
+
+    # Streams may also be pushed at a file with plain Writes
+    # (write-only discipline): identical semantics to Append.
+    op_Write = op_Append
+
+    def op_ReadFrom(self, invocation: Invocation):
+        """Open for output: the *file* performs the active input."""
+        endpoint = invocation.args[0]
+        if not isinstance(endpoint, StreamEndpoint):
+            raise InvocationError("ReadFrom needs a StreamEndpoint")
+        if self.ingesting:
+            raise InvocationError(f"{self.name} is already ingesting")
+        self.ingesting = True
+
+        def pump():
+            items = yield from read_stream(self, endpoint)
+            self.records.extend(items)
+            self.ingest_count = len(items)
+            self.ingesting = False
+            yield self.checkpoint()
+
+        yield Spawn(pump, name="ingest")
+        return "ingesting"
+
+    # -- reading ----------------------------------------------------------
+
+    def op_Read(self, invocation: Invocation):
+        batch = invocation.args[0] if invocation.args else 1
+        batch = max(1, int(batch))
+        taken = self.records[self._cursor : self._cursor + batch]
+        self._cursor += len(taken)
+        self.note_primitive(Primitive.PASSIVE_OUTPUT)
+        if not taken:
+            self._cursor = 0  # rewind so the file can be re-read later
+            from repro.transput.stream import END_TRANSFER
+
+            return END_TRANSFER
+        return Transfer.of(taken)
+
+    op_Transfer = op_Read
+
+    def op_OpenForReading(self, invocation: Invocation):
+        """Mint a transient reader over a snapshot of the contents."""
+        reader = self.kernel.create(
+            FileReader,
+            items=list(self.records),
+            name=f"{self.name}.reader",
+            node=self.node,
+        )
+        return reader.uid
+
+    # -- utilities ---------------------------------------------------------
+
+    def op_Length(self, invocation: Invocation):
+        return len(self.records)
+
+    def op_Contents(self, invocation: Invocation):
+        return list(self.records)
+
+    def op_Clear(self, invocation: Invocation):
+        self.records.clear()
+        self._cursor = 0
+        return True
+
+    def op_Commit(self, invocation: Invocation):
+        """Commit to stable storage by Checkpointing (paper §2)."""
+        yield self.checkpoint()
+        return True
+
+    # -- durability ---------------------------------------------------------
+
+    def passive_representation(self) -> Any:
+        return {"records": list(self.records)}
+
+    def restore(self, data: Any) -> None:
+        self.records = list(data["records"])
+        self._cursor = 0

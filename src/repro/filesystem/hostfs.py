@@ -1,0 +1,201 @@
+"""A simulated host (Unix) filesystem.
+
+Paper §7: "Currently most data of interest is in the Unix file system,
+so a bootstrap Eden transput system has been constructed."  The
+prototype's Unix lives below the Eden kernel; here it is a small
+in-memory hierarchical filesystem so the bootstrap layer
+(:mod:`repro.filesystem.bootstrap`) has something real to read and
+write.  Files hold *lines* (the record type our streams carry).
+
+This object is host-level state, not an Eject: it models the disk and
+kernel file tables of one simulated machine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.errors import (
+    HostFileExistsError,
+    HostFileNotFoundError,
+    HostIsADirectoryError,
+    HostNotADirectoryError,
+)
+
+
+def split_path(path: str) -> list[str]:
+    """Normalize a slash-separated path into components.
+
+    ``"/a//b/"`` -> ``["a", "b"]``.  ``"."`` components are dropped;
+    ``".."`` is not supported (the bootstrap layer has no notion of a
+    working directory).
+    """
+    return [part for part in path.split("/") if part and part != "."]
+
+
+class _Dir:
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        self.children: dict[str, "_Dir | list[str]"] = {}
+
+
+class HostFileSystem:
+    """One machine's Unix filesystem: directories and line files."""
+
+    def __init__(self) -> None:
+        self._root = _Dir()
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def _resolve_dir(self, parts: list[str], path: str) -> _Dir:
+        node = self._root
+        for part in parts:
+            child = node.children.get(part)
+            if child is None:
+                raise HostFileNotFoundError(path)
+            if not isinstance(child, _Dir):
+                raise HostNotADirectoryError(path)
+            node = child
+        return node
+
+    def _parent_of(self, path: str) -> tuple[_Dir, str]:
+        parts = split_path(path)
+        if not parts:
+            raise HostIsADirectoryError("/")
+        return self._resolve_dir(parts[:-1], path), parts[-1]
+
+    # ------------------------------------------------------------------
+    # Files
+    # ------------------------------------------------------------------
+
+    def write_file(
+        self, path: str, lines: Iterable[str], exclusive: bool = False
+    ) -> None:
+        """Create or replace the file at ``path`` with ``lines``.
+
+        Args:
+            exclusive: fail if the path already exists.
+        """
+        parent, leaf = self._parent_of(path)
+        existing = parent.children.get(leaf)
+        if isinstance(existing, _Dir):
+            raise HostIsADirectoryError(path)
+        if exclusive and existing is not None:
+            raise HostFileExistsError(path)
+        parent.children[leaf] = [str(line) for line in lines]
+
+    def append_file(self, path: str, lines: Iterable[str]) -> None:
+        """Append ``lines``, creating the file if absent."""
+        parent, leaf = self._parent_of(path)
+        existing = parent.children.get(leaf)
+        if isinstance(existing, _Dir):
+            raise HostIsADirectoryError(path)
+        if existing is None:
+            existing = []
+            parent.children[leaf] = existing
+        existing.extend(str(line) for line in lines)
+
+    def read_file(self, path: str) -> list[str]:
+        """The lines of the file at ``path`` (a copy)."""
+        parent, leaf = self._parent_of(path)
+        node = parent.children.get(leaf)
+        if node is None:
+            raise HostFileNotFoundError(path)
+        if isinstance(node, _Dir):
+            raise HostIsADirectoryError(path)
+        return list(node)
+
+    def unlink(self, path: str) -> None:
+        """Remove the file at ``path``."""
+        parent, leaf = self._parent_of(path)
+        node = parent.children.get(leaf)
+        if node is None:
+            raise HostFileNotFoundError(path)
+        if isinstance(node, _Dir):
+            raise HostIsADirectoryError(path)
+        del parent.children[leaf]
+
+    # ------------------------------------------------------------------
+    # Directories
+    # ------------------------------------------------------------------
+
+    def mkdir(self, path: str, parents: bool = False) -> None:
+        """Create a directory (with ancestors when ``parents``)."""
+        parts = split_path(path)
+        if not parts:
+            return
+        node = self._root
+        for index, part in enumerate(parts):
+            child = node.children.get(part)
+            last = index == len(parts) - 1
+            if child is None:
+                if last or parents:
+                    child = _Dir()
+                    node.children[part] = child
+                else:
+                    raise HostFileNotFoundError("/".join(parts[: index + 1]))
+            elif not isinstance(child, _Dir):
+                raise HostNotADirectoryError("/".join(parts[: index + 1]))
+            elif last and not parents:
+                raise HostFileExistsError(path)
+            node = child
+
+    def listdir(self, path: str = "/") -> list[str]:
+        """Names in the directory at ``path``, sorted."""
+        node = self._resolve_dir(split_path(path), path)
+        return sorted(node.children)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        """Whether anything lives at ``path``."""
+        parts = split_path(path)
+        node: _Dir | list[str] = self._root
+        for part in parts:
+            if not isinstance(node, _Dir):
+                return False
+            child = node.children.get(part)
+            if child is None:
+                return False
+            node = child
+        return True
+
+    def is_dir(self, path: str) -> bool:
+        """Whether ``path`` names a directory."""
+        parts = split_path(path)
+        node: _Dir | list[str] = self._root
+        for part in parts:
+            if not isinstance(node, _Dir):
+                return False
+            child = node.children.get(part)
+            if child is None:
+                return False
+            node = child
+        return isinstance(node, _Dir)
+
+    def walk(self, path: str = "/") -> Iterator[tuple[str, list[str], list[str]]]:
+        """Yield ``(dirpath, dirnames, filenames)`` like :func:`os.walk`."""
+        parts = split_path(path)
+        start = self._resolve_dir(parts, path)
+        stack: list[tuple[str, _Dir]] = [("/" + "/".join(parts), start)]
+        while stack:
+            dirpath, node = stack.pop()
+            dirnames = sorted(
+                name for name, child in node.children.items()
+                if isinstance(child, _Dir)
+            )
+            filenames = sorted(
+                name for name, child in node.children.items()
+                if not isinstance(child, _Dir)
+            )
+            yield dirpath, dirnames, filenames
+            for name in reversed(dirnames):
+                child = node.children[name]
+                assert isinstance(child, _Dir)
+                prefix = dirpath.rstrip("/")
+                stack.append((f"{prefix}/{name}", child))

@@ -1,0 +1,134 @@
+"""The Map protocol: random access beyond the stream abstraction.
+
+Paper §6: "The Transput protocol does not support random access; a
+disk file Eject (or an Eject with a large main store at its disposal)
+may wish to define a protocol which supports the abstraction of a Map.
+Such an Eject may not support the transput protocol at all, or it may
+support both protocols."
+
+:class:`MapFile` supports **both**: the Map operations (``ReadAt``,
+``WriteAt``, ``Size``, ``Truncate``) and the Sequence protocol
+(``Read``/``Transfer``), demonstrating the paper's point that stream
+transput "is just a special use of the underlying invocation
+mechanism" — applications that do not fit the stream mold "are free to
+use some other invocation protocol."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, TYPE_CHECKING
+
+from repro.core.errors import InvocationError
+from repro.core.message import Invocation
+from repro.transput.primitives import Primitive, TransputEject
+from repro.transput.stream import END_TRANSFER, Transfer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel import Kernel
+    from repro.core.uid import UID
+
+
+class MapIndexError(InvocationError):
+    """A Map operation addressed a slot outside the file."""
+
+    def __init__(self, index: int, size: int) -> None:
+        super().__init__(f"index {index} out of range for size {size}")
+        self.index = index
+        self.size = size
+
+
+class MapFile(TransputEject):
+    """A random-access file Eject speaking the Map protocol.
+
+    Map operations:
+        ``ReadAt(index, count=1)`` — records at [index, index+count);
+        ``WriteAt(index, records)`` — overwrite in place (the file
+        grows if the write runs past the current end);
+        ``Size()`` — current record count;
+        ``Truncate(size)`` — drop records past ``size``.
+
+    Sequence protocol (both protocols at once, §6):
+        ``Read(batch)`` / ``Transfer(batch)`` — stream from a shared
+        cursor, END at the end, cursor rewinds (like
+        :class:`~repro.filesystem.file.EdenFile`).
+
+    Checkpointable like any Eden file.
+    """
+
+    eden_type = "MapFile"
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        uid: "UID",
+        records: Iterable[Any] = (),
+        name: str | None = None,
+    ) -> None:
+        super().__init__(kernel, uid, name=name)
+        self.records: list[Any] = list(records)
+        self._cursor = 0
+        self.map_reads = 0
+        self.map_writes = 0
+
+    # -- the Map protocol ------------------------------------------------
+
+    def op_ReadAt(self, invocation: Invocation):
+        index = int(invocation.args[0])
+        count = int(invocation.args[1]) if len(invocation.args) > 1 else 1
+        if count < 0:
+            raise InvocationError(f"count must be >= 0, got {count}")
+        if index < 0 or index >= len(self.records):
+            raise MapIndexError(index, len(self.records))
+        self.map_reads += 1
+        return list(self.records[index : index + count])
+
+    def op_WriteAt(self, invocation: Invocation):
+        index = int(invocation.args[0])
+        records = list(invocation.args[1])
+        if index < 0 or index > len(self.records):
+            raise MapIndexError(index, len(self.records))
+        needed = index + len(records) - len(self.records)
+        if needed > 0:
+            self.records.extend([None] * needed)
+        self.records[index : index + len(records)] = records
+        self.map_writes += 1
+        return len(records)
+
+    def op_Size(self, invocation: Invocation):
+        return len(self.records)
+
+    def op_Truncate(self, invocation: Invocation):
+        size = int(invocation.args[0])
+        if size < 0:
+            raise InvocationError(f"size must be >= 0, got {size}")
+        del self.records[size:]
+        self._cursor = min(self._cursor, size)
+        return len(self.records)
+
+    # -- the Sequence protocol, side by side (§6) --------------------------
+
+    def op_Read(self, invocation: Invocation):
+        batch = invocation.args[0] if invocation.args else 1
+        batch = max(1, int(batch))
+        taken = self.records[self._cursor : self._cursor + batch]
+        self._cursor += len(taken)
+        self.note_primitive(Primitive.PASSIVE_OUTPUT)
+        if not taken:
+            self._cursor = 0
+            return END_TRANSFER
+        return Transfer.of(taken)
+
+    op_Transfer = op_Read
+
+    def op_Commit(self, invocation: Invocation):
+        yield self.checkpoint()
+        return True
+
+    # -- durability ---------------------------------------------------------
+
+    def passive_representation(self) -> Any:
+        return {"records": list(self.records)}
+
+    def restore(self, data: Any) -> None:
+        self.records = list(data["records"])
+        self._cursor = 0

@@ -1,0 +1,219 @@
+"""Nested transactions on directories — the paper's cited future work.
+
+Paper §7: "The preliminary design for the full Eden file system
+incorporates nested transactions and atomic updates [10].  The
+implementation of a subset which excludes transactions is underway."
+
+This module implements that preliminary design for the Directory type:
+a :class:`TransactionalDirectory` supports ``Begin`` / ``Commit`` /
+``Abort`` with arbitrary nesting.  Semantics (following Moss-style
+nesting, which [10] — the Eden Transaction-Based File System — adopts):
+
+- a transaction sees its own writes, then its ancestors', then the
+  committed state (read-your-writes up the chain);
+- committing a *nested* transaction merges its write set into its
+  parent (nothing durable happens);
+- committing a *top-level* transaction applies the merged write set to
+  the directory and Checkpoints (the atomic update);
+- aborting discards the write set and aborts any live descendants;
+- operations on a finished transaction raise
+  :class:`~repro.core.errors.TransactionStateError`.
+
+Sibling transactions are not isolated from committed state changes
+(no locking): this matches the "preliminary design / subset" status
+the paper reports, and DESIGN.md records the simplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, TYPE_CHECKING
+
+from repro.core.errors import (
+    InvocationError,
+    NoSuchEntryError,
+    TransactionStateError,
+)
+from repro.core.message import Invocation
+from repro.core.uid import UID
+from repro.filesystem.directory import Directory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel import Kernel
+
+#: Write-set value marking a deletion.
+_TOMBSTONE = None
+
+
+@dataclass
+class _Txn:
+    txn_id: int
+    parent: int | None
+    writes: dict[str, UID | None] = field(default_factory=dict)
+    children: list[int] = field(default_factory=list)
+    state: str = "active"  # active | committed | aborted
+
+
+class TransactionalDirectory(Directory):
+    """A Directory whose updates may be grouped into nested transactions.
+
+    All plain Directory operations remain available and act directly on
+    committed state; pass ``txn=<id>`` (keyword) to stage them instead.
+    """
+
+    eden_type = "TransactionalDirectory"
+
+    def __init__(
+        self, kernel: "Kernel", uid: "UID", name: str | None = None
+    ) -> None:
+        super().__init__(kernel, uid, name=name)
+        self._txns: dict[int, _Txn] = {}
+        self._next_txn = 1
+        self.commits = 0
+        self.aborts = 0
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+
+    def _get_active(self, txn_id: Any) -> _Txn:
+        txn = self._txns.get(int(txn_id))
+        if txn is None:
+            raise TransactionStateError(f"unknown transaction {txn_id}")
+        if txn.state != "active":
+            raise TransactionStateError(
+                f"transaction {txn_id} is {txn.state}, not active"
+            )
+        return txn
+
+    def op_Begin(self, invocation: Invocation):
+        parent_id = invocation.args[0] if invocation.args else None
+        parent: _Txn | None = None
+        if parent_id is not None:
+            parent = self._get_active(parent_id)
+        txn = _Txn(txn_id=self._next_txn, parent=parent_id)
+        self._next_txn += 1
+        self._txns[txn.txn_id] = txn
+        if parent is not None:
+            parent.children.append(txn.txn_id)
+        return txn.txn_id
+
+    def op_Commit(self, invocation: Invocation):
+        if not invocation.args:
+            # Plain Directory Commit: checkpoint committed state.
+            yield self.checkpoint()
+            return True
+        txn = self._get_active(invocation.args[0])
+        for child_id in txn.children:
+            child = self._txns[child_id]
+            if child.state == "active":
+                raise TransactionStateError(
+                    f"transaction {txn.txn_id} has active child {child_id}"
+                )
+        if txn.parent is not None:
+            parent = self._get_active(txn.parent)
+            parent.writes.update(txn.writes)
+            txn.state = "committed"
+            return "merged"
+        # Top-level: apply atomically and make durable.
+        for entry_name, value in txn.writes.items():
+            if value is _TOMBSTONE:
+                self.entries.pop(entry_name, None)
+            else:
+                self.entries[entry_name] = value
+        txn.state = "committed"
+        self.commits += 1
+        yield self.checkpoint()
+        return "committed"
+
+    def op_Abort(self, invocation: Invocation):
+        txn = self._get_active(invocation.args[0])
+        self._abort_tree(txn)
+        return True
+
+    def _abort_tree(self, txn: _Txn) -> None:
+        for child_id in txn.children:
+            child = self._txns[child_id]
+            if child.state == "active":
+                self._abort_tree(child)
+        txn.state = "aborted"
+        txn.writes.clear()
+        self.aborts += 1
+
+    # ------------------------------------------------------------------
+    # Transactional views of the four operations
+    # ------------------------------------------------------------------
+
+    def _effective_lookup(self, txn: _Txn, entry_name: str) -> UID:
+        current: _Txn | None = txn
+        while current is not None:
+            if entry_name in current.writes:
+                value = current.writes[entry_name]
+                if value is _TOMBSTONE:
+                    raise NoSuchEntryError(entry_name)
+                return value
+            current = self._txns.get(current.parent) if current.parent else None
+        uid = self.entries.get(entry_name)
+        if uid is None:
+            raise NoSuchEntryError(entry_name)
+        return uid
+
+    def _exists_in(self, txn: _Txn, entry_name: str) -> bool:
+        try:
+            self._effective_lookup(txn, entry_name)
+        except NoSuchEntryError:
+            return False
+        return True
+
+    def op_AddEntry(self, invocation: Invocation):
+        txn_id = invocation.kwargs.get("txn")
+        if txn_id is None:
+            return super().op_AddEntry(invocation)
+        entry_name, entry_uid = invocation.args
+        if not isinstance(entry_uid, UID):
+            raise InvocationError("AddEntry needs (name, UID)")
+        txn = self._get_active(txn_id)
+        from repro.core.errors import DuplicateEntryError
+
+        if self._exists_in(txn, str(entry_name)):
+            raise DuplicateEntryError(str(entry_name))
+        txn.writes[str(entry_name)] = entry_uid
+        return True
+
+    def op_Lookup(self, invocation: Invocation):
+        txn_id = invocation.kwargs.get("txn")
+        if txn_id is None:
+            return super().op_Lookup(invocation)
+        (entry_name,) = invocation.args
+        return self._effective_lookup(self._get_active(txn_id), str(entry_name))
+
+    def op_DeleteEntry(self, invocation: Invocation):
+        txn_id = invocation.kwargs.get("txn")
+        if txn_id is None:
+            return super().op_DeleteEntry(invocation)
+        (entry_name,) = invocation.args
+        txn = self._get_active(txn_id)
+        if not self._exists_in(txn, str(entry_name)):
+            raise NoSuchEntryError(str(entry_name))
+        txn.writes[str(entry_name)] = _TOMBSTONE
+        return True
+
+    def op_Names(self, invocation: Invocation):
+        txn_id = invocation.kwargs.get("txn")
+        if txn_id is None:
+            return super().op_Names(invocation)
+        txn = self._get_active(txn_id)
+        names = set(self.entries)
+        chain: list[_Txn] = []
+        current: _Txn | None = txn
+        while current is not None:
+            chain.append(current)
+            current = self._txns.get(current.parent) if current.parent else None
+        # Apply outermost first so inner writes win.
+        for scope in reversed(chain):
+            for entry_name, value in scope.writes.items():
+                if value is _TOMBSTONE:
+                    names.discard(entry_name)
+                else:
+                    names.add(entry_name)
+        return sorted(names)

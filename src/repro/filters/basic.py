@@ -1,0 +1,118 @@
+"""Everyday line filters (the utilities of paper §3).
+
+All of these are *pure* transducers: they transform records without
+pumping them, which is precisely the property the read-only discipline
+exploits ("the filter Ejects are pure transformers: they do not also
+pump data").
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.transput.filterbase import (
+    Transducer,
+    make_transducer,
+    map_transducer,
+)
+
+
+def identity() -> Transducer:
+    """Pass every record through unchanged."""
+    return map_transducer(lambda item: item, name="identity")
+
+
+def upper_case() -> Transducer:
+    """Map lines to upper case."""
+    return map_transducer(str.upper, name="upper")
+
+
+def lower_case() -> Transducer:
+    """Map lines to lower case."""
+    return map_transducer(str.lower, name="lower")
+
+
+def reverse_line() -> Transducer:
+    """Reverse the characters of each line."""
+    return map_transducer(lambda line: line[::-1], name="reverse")
+
+
+def strip_whitespace() -> Transducer:
+    """Trim leading and trailing whitespace from each line."""
+    return map_transducer(str.strip, name="strip")
+
+
+def expand_tabs(tabstop: int = 8) -> Transducer:
+    """Expand tab characters to spaces (like ``expand``)."""
+    if tabstop < 1:
+        raise ValueError(f"tabstop must be >= 1, got {tabstop}")
+    return map_transducer(
+        lambda line: line.expandtabs(tabstop), name=f"expand({tabstop})"
+    )
+
+
+def fold(width: int = 80) -> Transducer:
+    """Break long lines at ``width`` characters (like ``fold``).
+
+    Emits one or more records per input record — a one-to-many filter.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+
+    def split(line: str):
+        if not line:
+            return ("",)
+        return tuple(line[i : i + width] for i in range(0, len(line), width))
+
+    return make_transducer(split, name=f"fold({width})")
+
+
+def translate(source: str, target: str) -> Transducer:
+    """Character-for-character translation (like ``tr``)."""
+    if len(source) != len(target):
+        raise ValueError("translate needs equal-length source/target alphabets")
+    table = str.maketrans(source, target)
+    return map_transducer(lambda line: line.translate(table), name="tr")
+
+
+def prepend(prefix: str) -> Transducer:
+    """Prefix every record — handy for labelling merged streams."""
+    return map_transducer(lambda line: f"{prefix}{line}", name=f"prepend({prefix!r})")
+
+
+def repeat(times: int) -> Transducer:
+    """Emit each record ``times`` times (a one-to-many stress filter)."""
+    if times < 0:
+        raise ValueError(f"times must be >= 0, got {times}")
+    return make_transducer(
+        lambda item: (item,) * times, name=f"repeat({times})"
+    )
+
+
+def batch_lines(size: int) -> Transducer:
+    """Group consecutive records into tuples of ``size`` (last may be short)."""
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+
+    class _Batcher(Transducer):
+        name = f"batch({size})"
+
+        def __init__(self) -> None:
+            self._pending: list[Any] = []
+
+        def step(self, item: Any):
+            self._pending.append(item)
+            if len(self._pending) == size:
+                out = tuple(self._pending)
+                self._pending = []
+                return (out,)
+            return ()
+
+        def finish(self):
+            if self._pending:
+                out = tuple(self._pending)
+                self._pending = []
+                return (out,)
+            return ()
+
+    return _Batcher()

@@ -1,0 +1,122 @@
+"""A file-comparison filter: two inputs, one difference stream.
+
+Paper §5's other multi-input example ("file comparison programs").
+:class:`DifferenceFilter` holds *two* input endpoints — fan-in, which
+the read-only discipline supports directly because "the filter Eject F
+knows the Unique Identifier of the Eject from which it requests input
+data" — and emits a :class:`DiffRecord` per position where the streams
+disagree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, TYPE_CHECKING
+
+from repro.transput.filterbase import OUTPUT
+from repro.transput.primitives import active_input
+from repro.transput.readonly import ReadOnlyFilter
+from repro.transput.stream import StreamEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel import Kernel
+    from repro.core.uid import UID
+
+#: Marker used in DiffRecord when one stream has ended.
+MISSING = "<absent>"
+
+
+@dataclass(frozen=True)
+class DiffRecord:
+    """One position where the two inputs disagree."""
+
+    index: int
+    left: Any
+    right: Any
+
+    def __str__(self) -> str:
+        return f"{self.index}: {self.left!r} | {self.right!r}"
+
+
+class DifferenceFilter(ReadOnlyFilter):
+    """Compare two streams record-by-record; emit differences.
+
+    Args:
+        left, right: the two input endpoints.
+        emit_equal: also emit ``("=", record)`` tuples for agreeing
+            positions (default only differences flow downstream).
+    """
+
+    eden_type = "DifferenceFilter"
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        uid: "UID",
+        left: StreamEndpoint | None = None,
+        right: StreamEndpoint | None = None,
+        name: str | None = None,
+        emit_equal: bool = False,
+        batch_in: int = 1,
+        channel_mode: str = "open",
+    ) -> None:
+        inputs = [ep for ep in (left, right) if ep is not None]
+        super().__init__(
+            kernel, uid, transducer=None, inputs=inputs, name=name,
+            batch_in=batch_in, channel_mode=channel_mode,
+        )
+        self.emit_equal = emit_equal
+        self._left: deque[Any] = deque()
+        self._right: deque[Any] = deque()
+        self._left_ended = False
+        self._right_ended = False
+        self._index = 0
+        self.differences = 0
+
+    def _pull_once(self):
+        yield from self._ensure_started()
+        if len(self.inputs) != 2:
+            yield from self._finish_input()
+            return
+        if not self._left_ended and not self._left:
+            transfer = yield from active_input(self, self.inputs[0], self.batch_in)
+            self.pulls_issued += 1
+            if transfer.at_end:
+                self._left_ended = True
+            else:
+                self._left.extend(transfer.items)
+        elif not self._right_ended and not self._right:
+            transfer = yield from active_input(self, self.inputs[1], self.batch_in)
+            self.pulls_issued += 1
+            if transfer.at_end:
+                self._right_ended = True
+            else:
+                self._right.extend(transfer.items)
+        self._compare_ready()
+        if (
+            self._left_ended
+            and self._right_ended
+            and not self._left
+            and not self._right
+        ):
+            yield from self._finish_input()
+
+    def _compare_ready(self) -> None:
+        out = self.buffers[OUTPUT]
+        while self._left and self._right:
+            left, right = self._left.popleft(), self._right.popleft()
+            if left != right:
+                self.differences += 1
+                out.append(DiffRecord(self._index, left, right))
+            elif self.emit_equal:
+                out.append(("=", left))
+            self._index += 1
+        while self._left and self._right_ended:
+            self.differences += 1
+            out.append(DiffRecord(self._index, self._left.popleft(), MISSING))
+            self._index += 1
+        while self._right and self._left_ended:
+            self.differences += 1
+            out.append(DiffRecord(self._index, MISSING, self._right.popleft()))
+            self._index += 1

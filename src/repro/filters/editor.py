@@ -1,0 +1,142 @@
+"""A stream editor with a command input (paper §5's multi-input filter).
+
+"Examples of programs with multiple inputs include file comparison
+programs and stream editors that have a command input as well as a
+text input."
+
+The editor's command language (a sed subset):
+
+- ``s/PATTERN/REPLACEMENT/`` — substitute everywhere on the line;
+- ``d/PATTERN/`` — delete lines matching PATTERN;
+- ``p/PATTERN/`` — keep *only* lines matching PATTERN;
+- ``a/TEXT/`` — append TEXT as a new line after every line;
+- ``i/TEXT/`` — insert TEXT as a new line before every line.
+
+Any delimiter may replace ``/`` (the character after the command
+letter), as in sed.  Commands arrive either at construction or through
+the ``commands`` secondary input when run under a
+:class:`~repro.transput.writeonly.WriteOnlyFilter`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.core.errors import EdenError
+from repro.transput.filterbase import Transducer
+
+
+class EditorCommandError(EdenError):
+    """A stream-editor command could not be parsed."""
+
+
+@dataclass(frozen=True)
+class _Command:
+    kind: str  # "s", "d", "p", "a", "i"
+    pattern: re.Pattern | None
+    replacement: str | None
+    text: str | None
+
+    def apply(self, lines: list[str]) -> list[str]:
+        if self.kind == "s":
+            assert self.pattern is not None and self.replacement is not None
+            return [self.pattern.sub(self.replacement, line) for line in lines]
+        if self.kind == "d":
+            assert self.pattern is not None
+            return [line for line in lines if not self.pattern.search(line)]
+        if self.kind == "p":
+            assert self.pattern is not None
+            return [line for line in lines if self.pattern.search(line)]
+        if self.kind == "a":
+            assert self.text is not None
+            out: list[str] = []
+            for line in lines:
+                out.append(line)
+                out.append(self.text)
+            return out
+        if self.kind == "i":
+            assert self.text is not None
+            out = []
+            for line in lines:
+                out.append(self.text)
+                out.append(line)
+            return out
+        raise EditorCommandError(f"unknown command kind {self.kind!r}")
+
+
+def parse_command(source: str) -> _Command:
+    """Parse one editor command line."""
+    stripped = source.strip()
+    if len(stripped) < 2:
+        raise EditorCommandError(f"command too short: {source!r}")
+    kind, delimiter = stripped[0], stripped[1]
+    if kind not in "sdpai":
+        raise EditorCommandError(f"unknown command {kind!r} in {source!r}")
+    body = stripped[2:]
+    if body.endswith(delimiter):
+        body = body[:-1]
+    parts = body.split(delimiter)
+    if kind == "s":
+        if len(parts) != 2:
+            raise EditorCommandError(
+                f"s needs PATTERN{delimiter}REPLACEMENT: {source!r}"
+            )
+        return _Command(
+            kind="s",
+            pattern=_compile(parts[0], source),
+            replacement=parts[1],
+            text=None,
+        )
+    if len(parts) != 1:
+        raise EditorCommandError(f"{kind} takes one operand: {source!r}")
+    if kind in "dp":
+        return _Command(
+            kind=kind, pattern=_compile(parts[0], source),
+            replacement=None, text=None,
+        )
+    return _Command(kind=kind, pattern=None, replacement=None, text=parts[0])
+
+
+def _compile(pattern: str, source: str) -> re.Pattern:
+    try:
+        return re.compile(pattern)
+    except re.error as exc:
+        raise EditorCommandError(f"bad pattern in {source!r}: {exc}") from exc
+
+
+class StreamEditor(Transducer):
+    """The editor transducer; commands apply to every line in order.
+
+    When hosted by a write-only filter with a ``commands`` secondary
+    input, the commands arrive through :meth:`accept_secondary` before
+    the first text record is processed (paper §5's "secondary inputs,
+    which are actively read").
+    """
+
+    name = "stream-editor"
+
+    def __init__(self, commands: Iterable[str] = ()) -> None:
+        self._commands = [parse_command(command) for command in commands]
+
+    @property
+    def command_count(self) -> int:
+        """How many commands are loaded."""
+        return len(self._commands)
+
+    def accept_secondary(self, input_name: str, items: list) -> None:
+        """Receive the command script from a secondary input."""
+        if input_name != "commands":
+            return
+        self._commands.extend(
+            parse_command(str(line)) for line in items if str(line).strip()
+        )
+
+    def step(self, item: Any):
+        lines = [str(item)]
+        for command in self._commands:
+            lines = command.apply(lines)
+            if not lines:
+                return ()
+        return tuple(lines)

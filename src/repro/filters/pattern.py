@@ -1,0 +1,90 @@
+"""Pattern-based filters: the paper's motivating examples.
+
+    "A simple example of a filter is a program whose output is a copy
+    of its input except that all lines beginning with 'C' have been
+    omitted.  Such a filter might be used to strip comment lines from
+    a Fortran program.  Most filters may be parameterised: a more
+    useful program is one which deletes all lines matching a pattern
+    given as an argument."
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.transput.filterbase import (
+    Transducer,
+    filter_transducer,
+    make_transducer,
+)
+
+
+def comment_stripper(marker: str = "C") -> Transducer:
+    """The paper's Fortran comment stripper.
+
+    Omits every line *beginning with* ``marker`` (exactly the §3
+    description; pass ``"C"`` for Fortran, ``"#"`` for shellish input).
+    """
+    transducer = filter_transducer(
+        lambda line: not line.startswith(marker),
+        name=f"strip-comments({marker!r})",
+    )
+    return transducer
+
+
+def delete_matching(pattern: str) -> Transducer:
+    """Delete all lines matching ``pattern`` (a regular expression) —
+    the parameterised generalisation of the comment stripper."""
+    compiled = re.compile(pattern)
+    return filter_transducer(
+        lambda line: compiled.search(line) is None,
+        name=f"delete({pattern!r})",
+    )
+
+
+def grep(pattern: str) -> Transducer:
+    """Keep only lines matching ``pattern`` (a regular expression)."""
+    compiled = re.compile(pattern)
+    return filter_transducer(
+        lambda line: compiled.search(line) is not None,
+        name=f"grep({pattern!r})",
+    )
+
+
+def substitute(pattern: str, replacement: str, count: int = 0) -> Transducer:
+    """Replace ``pattern`` with ``replacement`` in every line (sed s///).
+
+    ``count=0`` replaces every occurrence.
+    """
+    compiled = re.compile(pattern)
+    return make_transducer(
+        lambda line: (compiled.sub(replacement, line, count=count),),
+        name=f"sub({pattern!r} -> {replacement!r})",
+    )
+
+
+def between(start_pattern: str, end_pattern: str) -> Transducer:
+    """Keep lines between a start marker and an end marker (inclusive).
+
+    A stateful pattern filter, like ``sed -n '/a/,/b/p'``.
+    """
+    start_re = re.compile(start_pattern)
+    end_re = re.compile(end_pattern)
+
+    class _Between(Transducer):
+        name = f"between({start_pattern!r}, {end_pattern!r})"
+
+        def __init__(self) -> None:
+            self._inside = False
+
+        def step(self, line: str):
+            if not self._inside:
+                if start_re.search(line):
+                    self._inside = True
+                    return (line,)
+                return ()
+            if end_re.search(line):
+                self._inside = False
+            return (line,)
+
+    return _Between()

@@ -1,0 +1,127 @@
+"""Report-producing filters (paper §5, Figures 3 and 4).
+
+"It is also common for a program to produce a stream of *Reports*
+(i.e. monitoring messages) in addition to its main output stream."
+
+:func:`with_reports` wraps any single-output transducer so it also
+emits progress reports on the ``Report`` channel; these are the impure
+filters that motivate channel identifiers (read-only) and natural
+fan-out (write-only).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.transput.filterbase import (
+    OUTPUT,
+    REPORT,
+    ReportingTransducer,
+    Transducer,
+)
+
+
+class _Reporter(ReportingTransducer):
+    """Wraps ``inner``; reports progress every ``every`` records."""
+
+    def __init__(self, inner: Transducer, label: str, every: int) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self._inner = inner
+        self._label = label
+        self._every = every
+        self._seen = 0
+        self._emitted = 0
+        self.name = f"report({inner.name})"
+        self.cost_per_item = inner.cost_per_item
+        self.channels = (OUTPUT, REPORT)
+
+    def start(self) -> dict[str, Any]:
+        return {
+            OUTPUT: list(self._inner.start()),
+            REPORT: [f"[{self._label}] starting"],
+        }
+
+    def step(self, item: Any) -> dict[str, Any]:
+        out = list(self._inner.step(item))
+        self._seen += 1
+        self._emitted += len(out)
+        reports = []
+        if self._seen % self._every == 0:
+            reports.append(
+                f"[{self._label}] {self._seen} in, {self._emitted} out"
+            )
+        return {OUTPUT: out, REPORT: reports}
+
+    def finish(self) -> dict[str, Any]:
+        out = list(self._inner.finish())
+        self._emitted += len(out)
+        return {
+            OUTPUT: out,
+            REPORT: [
+                f"[{self._label}] done: {self._seen} in, {self._emitted} out"
+            ],
+        }
+
+
+def with_reports(
+    inner: Transducer, label: str | None = None, every: int = 5
+) -> ReportingTransducer:
+    """Add a ``Report`` channel to any single-output transducer.
+
+    Args:
+        inner: the transformation to wrap.
+        label: report prefix (defaults to the inner transducer's name).
+        every: emit one progress report per this many input records.
+    """
+    return _Reporter(inner, label=label or inner.name, every=every)
+
+
+class ErrorReporting(ReportingTransducer):
+    """Applies ``fn`` per record; failures go to the Report channel.
+
+    Records that ``fn`` maps cleanly pass to ``Output``; records it
+    raises on are reported (and dropped) — the "monitoring messages"
+    use-case with real content.
+    """
+
+    channels = (OUTPUT, REPORT)
+
+    def __init__(self, fn, label: str = "errors") -> None:
+        self._fn = fn
+        self._label = label
+        self.name = f"error-reporting({label})"
+        self._failures = 0
+
+    def step(self, item: Any) -> dict[str, Any]:
+        try:
+            return {OUTPUT: [self._fn(item)]}
+        except Exception as exc:
+            self._failures += 1
+            return {REPORT: [f"[{self._label}] {item!r}: {exc}"]}
+
+    def finish(self) -> dict[str, Any]:
+        return {REPORT: [f"[{self._label}] {self._failures} failures"]}
+
+
+def fanout(channels: int) -> ReportingTransducer:
+    """Duplicate the stream onto ``channels`` output channels.
+
+    Read-only fan-out *via channel identifiers*: each duplicate stream
+    is read independently on channel ``"out<i>"`` — the §5 remedy to
+    the no-fan-out limitation (experiment T5).
+    """
+    if channels < 1:
+        raise ValueError(f"channels must be >= 1, got {channels}")
+    names = tuple(f"out{i}" for i in range(channels))
+
+    class _Fanout(ReportingTransducer):
+        name = f"fanout({channels})"
+
+        def __init__(self) -> None:
+            self.channels = names
+
+        def step(self, item: Any) -> dict[str, Any]:
+            return {channel: [item] for channel in names}
+
+    return _Fanout()

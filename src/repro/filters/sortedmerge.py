@@ -1,0 +1,101 @@
+"""Sorted-stream merging: another genuinely multi-input filter (§5).
+
+:class:`SortedMergeFilter` reads two sorted input streams and produces
+their sorted merge — the classic merge step, expressed in the
+read-only discipline where holding two input UIDs is natural.  Like
+the :class:`~repro.filters.compare.DifferenceFilter`, it shows why the
+paper wants fan-in on the consumer side: the merge *must* know which
+stream each record came from to interleave correctly, which a
+write-only (passive-input) filter cannot.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, TYPE_CHECKING
+
+from repro.transput.filterbase import OUTPUT
+from repro.transput.primitives import active_input
+from repro.transput.readonly import ReadOnlyFilter
+from repro.transput.stream import StreamEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel import Kernel
+    from repro.core.uid import UID
+
+
+class SortedMergeFilter(ReadOnlyFilter):
+    """Merge two individually sorted streams into one sorted stream.
+
+    Args:
+        left, right: the input endpoints (each must yield records in
+            non-decreasing ``key`` order; the output then is too).
+        key: sort key (default: the record itself).
+    """
+
+    eden_type = "SortedMergeFilter"
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        uid: "UID",
+        left: StreamEndpoint | None = None,
+        right: StreamEndpoint | None = None,
+        name: str | None = None,
+        key: Callable[[Any], Any] | None = None,
+        batch_in: int = 1,
+        channel_mode: str = "open",
+    ) -> None:
+        inputs = [ep for ep in (left, right) if ep is not None]
+        super().__init__(
+            kernel, uid, transducer=None, inputs=inputs, name=name,
+            batch_in=batch_in, channel_mode=channel_mode,
+        )
+        self._key = key if key is not None else lambda record: record
+        self._left: deque[Any] = deque()
+        self._right: deque[Any] = deque()
+        self._left_ended = False
+        self._right_ended = False
+
+    def _pull_once(self):
+        yield from self._ensure_started()
+        if len(self.inputs) != 2:
+            yield from self._finish_input()
+            return
+        # Refill whichever side is empty and still open (one per call,
+        # keeping per-pull progress bounded like the base class).
+        if not self._left_ended and not self._left:
+            transfer = yield from active_input(self, self.inputs[0], self.batch_in)
+            self.pulls_issued += 1
+            if transfer.at_end:
+                self._left_ended = True
+            else:
+                self._left.extend(transfer.items)
+        elif not self._right_ended and not self._right:
+            transfer = yield from active_input(self, self.inputs[1], self.batch_in)
+            self.pulls_issued += 1
+            if transfer.at_end:
+                self._right_ended = True
+            else:
+                self._right.extend(transfer.items)
+        self._merge_ready()
+        if (
+            self._left_ended and self._right_ended
+            and not self._left and not self._right
+        ):
+            yield from self._finish_input()
+
+    def _merge_ready(self) -> None:
+        out = self.buffers[OUTPUT]
+        while True:
+            if self._left and self._right:
+                if self._key(self._left[0]) <= self._key(self._right[0]):
+                    out.append(self._left.popleft())
+                else:
+                    out.append(self._right.popleft())
+            elif self._left and self._right_ended:
+                out.append(self._left.popleft())
+            elif self._right and self._left_ended:
+                out.append(self._right.popleft())
+            else:
+                return

@@ -1,0 +1,88 @@
+"""A spelling checker filter (from the paper's §3 list of filters).
+
+Emits the misspelt words found in its input — i.e. its output is a
+transformation (projection) of its input, like every filter.  The
+dictionary may be supplied at construction or through a ``dictionary``
+secondary input (write-only discipline, paper §5).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable
+
+from repro.transput.filterbase import OUTPUT, REPORT, ReportingTransducer, Transducer
+
+_WORD = re.compile(r"[A-Za-z']+")
+
+#: A small built-in dictionary so the filter works out of the box.
+DEFAULT_WORDS = frozenset(
+    """
+    a about after all an and any are as at be because been but by can
+    could data do each eden eject ejects file filter filters for from
+    had has have he her his i if in input into is it its kernel may
+    more most no not of on one only operating or other output paper
+    pipe pipeline process program read she so some stream system than
+    that the their them then there these they this to transput two
+    unix was we were what when which while will with would write you
+    """.split()
+)
+
+
+def _words_of(line: Any) -> list[str]:
+    return [word.lower() for word in _WORD.findall(str(line))]
+
+
+class SpellChecker(Transducer):
+    """Emit each misspelt word (once per occurrence, lowercased)."""
+
+    name = "spell"
+
+    def __init__(self, dictionary: Iterable[str] | None = None) -> None:
+        self._dictionary = (
+            {word.lower() for word in dictionary}
+            if dictionary is not None
+            else set(DEFAULT_WORDS)
+        )
+
+    @property
+    def dictionary_size(self) -> int:
+        """Words currently accepted as correct."""
+        return len(self._dictionary)
+
+    def accept_secondary(self, input_name: str, items: list) -> None:
+        """Extend the dictionary from a secondary input stream."""
+        if input_name != "dictionary":
+            return
+        for line in items:
+            self._dictionary.update(_words_of(line))
+
+    def step(self, item: Any):
+        return tuple(
+            word for word in _words_of(item) if word not in self._dictionary
+        )
+
+
+class SpellCheckReporter(ReportingTransducer):
+    """Pass text through; report misspellings on the Report channel.
+
+    The shape Figure 3/4 motivate: primary output is the untouched
+    text, the monitoring stream carries the complaints.
+    """
+
+    channels = (OUTPUT, REPORT)
+    name = "spell-report"
+
+    def __init__(self, dictionary: Iterable[str] | None = None) -> None:
+        self._checker = SpellChecker(dictionary)
+        self._line = 0
+
+    def accept_secondary(self, input_name: str, items: list) -> None:
+        """Extend the dictionary from a secondary input stream."""
+        self._checker.accept_secondary(input_name, items)
+
+    def step(self, item: Any):
+        self._line += 1
+        bad = self._checker.step(item)
+        reports = [f"line {self._line}: misspelt {word!r}" for word in bad]
+        return {OUTPUT: [item], REPORT: reports}

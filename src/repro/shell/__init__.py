@@ -1,0 +1,39 @@
+"""A pipeline shell over the simulated Eden system.
+
+The command language supports pipelines (``|``), channel redirection
+(``Report> win`` — the paper's "n>" comparison in §5), discipline
+selection and literal sources.
+"""
+
+from repro.shell.ast import (
+    AssignStmt,
+    PipelineStmt,
+    Redirect,
+    Script,
+    SetStmt,
+    ShowStmt,
+    Stage,
+)
+from repro.shell.builtins import BUILTINS, build_transducer
+from repro.shell.interpreter import Shell, ShellResult
+from repro.shell.repl import run_repl
+from repro.shell.lexer import Token, tokenize
+from repro.shell.parser import parse_line
+
+__all__ = [
+    "AssignStmt",
+    "BUILTINS",
+    "PipelineStmt",
+    "Redirect",
+    "Script",
+    "SetStmt",
+    "Shell",
+    "ShellResult",
+    "ShowStmt",
+    "Stage",
+    "Token",
+    "run_repl",
+    "build_transducer",
+    "parse_line",
+    "tokenize",
+]

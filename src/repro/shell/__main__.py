@@ -1,0 +1,5 @@
+"""``python -m repro.shell`` starts the interactive pipeline shell."""
+
+from repro.shell.repl import main
+
+main()

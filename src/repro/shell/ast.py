@@ -1,0 +1,77 @@
+"""AST node types for the pipeline shell."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One filter command in a pipeline: name plus arguments."""
+
+    command: str
+    args: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return " ".join([self.command, *self.args])
+
+
+@dataclass(frozen=True)
+class Redirect:
+    """One output redirection.
+
+    ``channel == ""`` is the primary output (plain ``>``); otherwise a
+    channel name or positional number as a string (the ``n>`` syntax).
+    """
+
+    channel: str
+    target: str
+
+
+@dataclass(frozen=True)
+class PipelineStmt:
+    """``source | cmd ... | cmd [chan> name ...]``"""
+
+    source: Stage
+    stages: tuple[Stage, ...]
+    redirects: tuple[Redirect, ...] = ()
+
+    def primary_target(self) -> str | None:
+        """The plain ``>`` target, if any."""
+        for redirect in self.redirects:
+            if redirect.channel == "":
+                return redirect.target
+        return None
+
+
+@dataclass(frozen=True)
+class AssignStmt:
+    """``name = echo a b c`` — bind a literal source."""
+
+    name: str
+    words: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SetStmt:
+    """``set option value`` — shell configuration."""
+
+    option: str
+    value: str
+
+
+@dataclass(frozen=True)
+class ShowStmt:
+    """``show name`` — return a binding's lines."""
+
+    name: str
+
+
+Statement = PipelineStmt | AssignStmt | SetStmt | ShowStmt
+
+
+@dataclass
+class Script:
+    """A sequence of statements (one line may hold several, ``;``-split)."""
+
+    statements: list[Statement] = field(default_factory=list)

@@ -1,0 +1,174 @@
+"""Builtin filter commands for the pipeline shell.
+
+Each builtin maps a command name and its string arguments to a
+transducer.  The table covers the paper's §3 filter catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.errors import ShellNameError, ShellSyntaxError
+from repro.filters import (
+    between,
+    cut,
+    paste,
+    comment_stripper,
+    delete_matching,
+    expand_tabs,
+    fold,
+    grep,
+    head,
+    identity,
+    lower_case,
+    number_lines,
+    paginate,
+    prepend,
+    pretty_print,
+    reverse_line,
+    sort_lines,
+    strip_whitespace,
+    substitute,
+    tail,
+    translate,
+    unique_adjacent,
+    upper_case,
+    with_reports,
+    word_count,
+)
+from repro.transput.filterbase import ReportingTransducer, Transducer
+
+#: What a builtin factory returns.
+TransducerFactory = Callable[..., Transducer | ReportingTransducer]
+
+
+def _no_args(factory: Callable[[], Transducer], command: str):
+    def build(*args: str):
+        if args:
+            raise ShellSyntaxError(f"{command} takes no arguments")
+        return factory()
+
+    return build
+
+
+def _int_arg(factory: Callable[[int], Transducer], command: str, default: int | None = None):
+    def build(*args: str):
+        if not args:
+            if default is None:
+                raise ShellSyntaxError(f"{command} needs a number")
+            return factory(default)
+        if len(args) != 1:
+            raise ShellSyntaxError(f"{command} takes one number")
+        try:
+            return factory(int(args[0]))
+        except ValueError as exc:
+            raise ShellSyntaxError(f"{command}: {exc}") from None
+
+    return build
+
+
+def _build_strip_comments(*args: str):
+    if len(args) > 1:
+        raise ShellSyntaxError("strip-comments takes at most one marker")
+    return comment_stripper(args[0] if args else "C")
+
+
+def _build_grep(*args: str):
+    if len(args) != 1:
+        raise ShellSyntaxError("grep needs exactly one pattern")
+    return grep(args[0])
+
+
+def _build_delete(*args: str):
+    if len(args) != 1:
+        raise ShellSyntaxError("delete needs exactly one pattern")
+    return delete_matching(args[0])
+
+
+def _build_sub(*args: str):
+    if len(args) != 2:
+        raise ShellSyntaxError("sub needs PATTERN REPLACEMENT")
+    return substitute(args[0], args[1])
+
+
+def _build_between(*args: str):
+    if len(args) != 2:
+        raise ShellSyntaxError("between needs START END patterns")
+    return between(args[0], args[1])
+
+
+def _build_tr(*args: str):
+    if len(args) != 2:
+        raise ShellSyntaxError("tr needs SOURCE TARGET alphabets")
+    return translate(args[0], args[1])
+
+
+def _build_prepend(*args: str):
+    if len(args) != 1:
+        raise ShellSyntaxError("prepend needs exactly one prefix")
+    return prepend(args[0])
+
+
+def _build_report(*args: str):
+    if len(args) > 2:
+        raise ShellSyntaxError("report takes [LABEL [EVERY]]")
+    label = args[0] if args else "report"
+    every = int(args[1]) if len(args) > 1 else 5
+    return with_reports(identity(), label=label, every=every)
+
+
+def _build_cut(*args: str):
+    if not args:
+        raise ShellSyntaxError("cut needs field numbers")
+    try:
+        fields = [int(arg) for arg in args]
+    except ValueError as exc:
+        raise ShellSyntaxError(f"cut: {exc}") from None
+    return cut(fields)
+
+
+def _build_paginate(*args: str):
+    if len(args) > 2:
+        raise ShellSyntaxError("paginate takes [LINES [TITLE]]")
+    page_length = int(args[0]) if args else 60
+    title = args[1] if len(args) > 1 else ""
+    return paginate(page_length=page_length, title=title)
+
+
+BUILTINS: dict[str, TransducerFactory] = {
+    "strip-comments": _build_strip_comments,
+    "grep": _build_grep,
+    "delete": _build_delete,
+    "sub": _build_sub,
+    "between": _build_between,
+    "tr": _build_tr,
+    "prepend": _build_prepend,
+    "report": _build_report,
+    "paginate": _build_paginate,
+    "cut": _build_cut,
+    "paste": _int_arg(paste, "paste"),
+    "upper": _no_args(upper_case, "upper"),
+    "lower": _no_args(lower_case, "lower"),
+    "strip": _no_args(strip_whitespace, "strip"),
+    "reverse": _no_args(reverse_line, "reverse"),
+    "number": _no_args(number_lines, "number"),
+    "wc": _no_args(word_count, "wc"),
+    "sort": _no_args(sort_lines, "sort"),
+    "uniq": _no_args(unique_adjacent, "uniq"),
+    "pretty": _no_args(pretty_print, "pretty"),
+    "cat": _no_args(identity, "cat"),
+    "head": _int_arg(head, "head"),
+    "tail": _int_arg(tail, "tail"),
+    "fold": _int_arg(fold, "fold", default=80),
+    "expand": _int_arg(expand_tabs, "expand", default=8),
+}
+
+
+def build_transducer(command: str, args: tuple[str, ...]):
+    """Instantiate the transducer for one pipeline stage."""
+    factory = BUILTINS.get(command)
+    if factory is None:
+        raise ShellNameError(
+            f"unknown filter {command!r}; known: {', '.join(sorted(BUILTINS))}"
+        )
+    return factory(*args)

@@ -1,0 +1,355 @@
+"""The pipeline shell interpreter.
+
+Executes parsed statements against a simulated Eden kernel.  A
+pipeline statement builds real Ejects in the configured discipline,
+runs the simulation to completion, and returns/binds the collected
+lines — "dynamically redirectable stream transput" (§6) driven from a
+command language.
+
+Example session::
+
+    sh = Shell()
+    sh.execute('prog = echo "C comment" "      REAL X"')
+    result = sh.execute_one("prog | strip-comments C | number")
+    result.output   # ['     1        REAL X']
+
+Channel redirection uses the ``n>`` syntax the paper cites::
+
+    sh.execute_one("prog | report F1 2 | upper Report> win > out")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.kernel import Kernel
+from repro.core.errors import ShellNameError, ShellSyntaxError
+from repro.shell.ast import (
+    AssignStmt,
+    PipelineStmt,
+    SetStmt,
+    ShowStmt,
+    Stage,
+)
+from repro.shell.builtins import build_transducer
+from repro.shell.parser import parse_line
+from repro.transput.buffer import PassiveBuffer
+from repro.transput.conventional import ConventionalFilter
+from repro.transput.filterbase import OUTPUT, as_reporting
+from repro.transput.pipeline import DISCIPLINES
+from repro.transput.readonly import ReadOnlyFilter
+from repro.transput.sink import CollectorSink, PassiveSink
+from repro.transput.source import ActiveSource, ListSource
+from repro.transput.stream import StreamEndpoint
+from repro.transput.writeonly import WriteOnlyFilter
+
+
+@dataclass
+class ShellResult:
+    """The outcome of one pipeline statement."""
+
+    output: list[Any] = field(default_factory=list)
+    redirected: dict[str, list[Any]] = field(default_factory=dict)
+    invocations: int = 0
+    discipline: str = "readonly"
+
+    def lines(self) -> list[str]:
+        """The primary output as strings."""
+        return [str(item) for item in self.output]
+
+
+class Shell:
+    """A shell session: an environment of named line-lists plus options.
+
+    Args:
+        kernel: reuse an existing simulated kernel (default: fresh one).
+        discipline: initial transput discipline for pipelines.
+    """
+
+    def __init__(
+        self, kernel: Kernel | None = None, discipline: str = "readonly"
+    ) -> None:
+        if discipline not in DISCIPLINES:
+            raise ValueError(f"discipline must be one of {DISCIPLINES}")
+        self.kernel = kernel or Kernel()
+        self.discipline = discipline
+        self.batch = 1
+        self.lookahead = 0
+        self.env: dict[str, list[Any]] = {}
+        self.history: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def define(self, name: str, lines: list[Any]) -> None:
+        """Bind ``name`` to a list of lines (a literal source)."""
+        self.env[name] = list(lines)
+
+    def execute(self, line: str) -> list[Any]:
+        """Run every statement on ``line``; returns one result each.
+
+        Results are :class:`ShellResult` for pipelines, lists for
+        ``show``, ``None`` for assignments and ``set``.
+        """
+        self.history.append(line)
+        results: list[Any] = []
+        for statement in parse_line(line).statements:
+            results.append(self._execute_statement(statement))
+        return results
+
+    def execute_one(self, line: str) -> Any:
+        """Run a line expected to hold exactly one statement."""
+        results = self.execute(line)
+        if len(results) != 1:
+            raise ShellSyntaxError(
+                f"expected one statement, got {len(results)}: {line!r}"
+            )
+        return results[0]
+
+    def run_script(self, script: str) -> list[Any]:
+        """Execute a multi-line script; returns all statement results.
+
+        Blank lines and ``#`` comment lines are skipped.
+        """
+        results: list[Any] = []
+        for line in script.splitlines():
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            results.extend(self.execute(stripped))
+        return results
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+
+    def _execute_statement(self, statement: Any) -> Any:
+        if isinstance(statement, AssignStmt):
+            self.define(statement.name, list(statement.words))
+            return None
+        if isinstance(statement, SetStmt):
+            return self._execute_set(statement)
+        if isinstance(statement, ShowStmt):
+            if statement.name not in self.env:
+                raise ShellNameError(f"no binding named {statement.name!r}")
+            return list(self.env[statement.name])
+        assert isinstance(statement, PipelineStmt)
+        return self._execute_pipeline(statement)
+
+    def _execute_set(self, statement: SetStmt) -> None:
+        if statement.option == "discipline":
+            if statement.value not in DISCIPLINES:
+                raise ShellSyntaxError(
+                    f"discipline must be one of {DISCIPLINES}, "
+                    f"got {statement.value!r}"
+                )
+            self.discipline = statement.value
+            return None
+        if statement.option in ("batch", "lookahead"):
+            try:
+                value = int(statement.value)
+            except ValueError:
+                raise ShellSyntaxError(
+                    f"{statement.option} needs an integer, "
+                    f"got {statement.value!r}"
+                ) from None
+            minimum = 1 if statement.option == "batch" else 0
+            if value < minimum:
+                raise ShellSyntaxError(
+                    f"{statement.option} must be >= {minimum}, got {value}"
+                )
+            setattr(self, statement.option, value)
+            return None
+        raise ShellSyntaxError(f"unknown option {statement.option!r}")
+
+    def _source_lines(self, source: Stage) -> list[Any]:
+        if source.command == "echo":
+            return list(source.args)
+        if source.command in self.env:
+            if source.args:
+                raise ShellSyntaxError(
+                    f"source {source.command!r} takes no arguments"
+                )
+            return list(self.env[source.command])
+        raise ShellNameError(
+            f"unknown source {source.command!r} (define it with NAME = echo …)"
+        )
+
+    def _execute_pipeline(self, statement: PipelineStmt) -> ShellResult:
+        lines = self._source_lines(statement.source)
+        transducers = [
+            as_reporting(build_transducer(stage.command, stage.args))
+            for stage in statement.stages
+        ]
+        channel_redirects = {
+            r.channel: r.target for r in statement.redirects if r.channel != ""
+        }
+        # Each named channel binds to the LAST stage advertising it.
+        owners: dict[str, int] = {}
+        for index, transducer in enumerate(transducers):
+            for channel in transducer.channels:
+                if channel != OUTPUT:
+                    owners[channel] = index
+        for channel in channel_redirects:
+            resolved = self._resolve_channel(channel, owners)
+            if resolved is None:
+                raise ShellNameError(
+                    f"no pipeline stage provides channel {channel!r}"
+                )
+        start = self.kernel.stats.snapshot()
+        if self.discipline == "readonly":
+            result = self._run_readonly(lines, transducers, channel_redirects, owners)
+        elif self.discipline == "writeonly":
+            result = self._run_writeonly(lines, transducers, channel_redirects, owners)
+        else:
+            result = self._run_conventional(
+                lines, transducers, channel_redirects, owners
+            )
+        result.invocations = (
+            self.kernel.stats.snapshot().diff(start)["invocations_sent"]
+        )
+        result.discipline = self.discipline
+        primary_target = statement.primary_target()
+        if primary_target is not None:
+            self.env[primary_target] = list(result.output)
+            result.redirected[primary_target] = list(result.output)
+            result.output = []
+        for channel, target in channel_redirects.items():
+            self.env[target] = result.redirected.get(target, [])
+        return result
+
+    def _resolve_channel(
+        self, channel: str, owners: dict[str, int]
+    ) -> tuple[str, int] | None:
+        """Map a redirect channel (name or position) to (name, stage)."""
+        if channel in owners:
+            return channel, owners[channel]
+        if channel.isdigit():
+            # Positional: the n-th non-primary channel, in stage order.
+            extras = sorted(owners.items(), key=lambda pair: pair[1])
+            position = int(channel) - 1
+            if 0 <= position < len(extras):
+                return extras[position][0], extras[position][1]
+        return None
+
+    # -- discipline-specific runners ---------------------------------------
+
+    def _run_readonly(
+        self, lines, transducers, channel_redirects, owners
+    ) -> ShellResult:
+        source = self.kernel.create(ListSource, items=lines)
+        upstream = source.output_endpoint()
+        filters: list[ReadOnlyFilter] = []
+        for transducer in transducers:
+            stage = self.kernel.create(
+                ReadOnlyFilter, transducer=transducer, inputs=[upstream],
+                batch_in=self.batch,
+                # Multi-channel stages stay lazy so channel redirects
+                # cannot starve (demand-driven prefetch needs a reader).
+                lookahead=self.lookahead if len(transducer.channels) == 1
+                else 0,
+            )
+            filters.append(stage)
+            upstream = stage.output_endpoint(OUTPUT if len(
+                transducer.channels) > 1 else None)
+        sink = self.kernel.create(
+            CollectorSink, inputs=[upstream], batch=self.batch
+        )
+        report_sinks: dict[str, CollectorSink] = {}
+        for channel, target in channel_redirects.items():
+            name, stage_index = self._resolve_channel(channel, owners)
+            report_sinks[target] = self.kernel.create(
+                CollectorSink,
+                inputs=[filters[stage_index].output_endpoint(name)],
+            )
+        watched = [sink, *report_sinks.values()]
+        self.kernel.run(until=lambda: all(s.done for s in watched))
+        self.kernel.run()
+        return ShellResult(
+            output=list(sink.collected),
+            redirected={
+                target: list(s.collected) for target, s in report_sinks.items()
+            },
+        )
+
+    def _run_writeonly(
+        self, lines, transducers, channel_redirects, owners
+    ) -> ShellResult:
+        sink = self.kernel.create(PassiveSink)
+        report_sinks: dict[str, PassiveSink] = {}
+        target_for_stage: dict[int, dict[str, StreamEndpoint]] = {}
+        for channel, target in channel_redirects.items():
+            name, stage_index = self._resolve_channel(channel, owners)
+            report_sink = self.kernel.create(PassiveSink)
+            report_sinks[target] = report_sink
+            target_for_stage.setdefault(stage_index, {})[name] = StreamEndpoint(
+                report_sink.uid, None
+            )
+        downstream = StreamEndpoint(sink.uid, None)
+        stages: list[WriteOnlyFilter] = []
+        for index in range(len(transducers) - 1, -1, -1):
+            outputs: dict[str, list[StreamEndpoint]] = {OUTPUT: [downstream]}
+            for name, endpoint in target_for_stage.get(index, {}).items():
+                outputs[name] = [endpoint]
+            stage = self.kernel.create(
+                WriteOnlyFilter, transducer=transducers[index], outputs=outputs
+            )
+            stages.append(stage)
+            downstream = StreamEndpoint(stage.uid, None)
+        self.kernel.create(ActiveSource, items=lines, outputs=[downstream])
+        watched = [sink, *report_sinks.values()]
+        self.kernel.run(until=lambda: all(s.done for s in watched))
+        self.kernel.run()
+        return ShellResult(
+            output=list(sink.collected),
+            redirected={
+                target: list(s.collected) for target, s in report_sinks.items()
+            },
+        )
+
+    def _run_conventional(
+        self, lines, transducers, channel_redirects, owners
+    ) -> ShellResult:
+        report_sinks: dict[str, PassiveSink] = {}
+        target_for_stage: dict[int, dict[str, StreamEndpoint]] = {}
+        for channel, target in channel_redirects.items():
+            name, stage_index = self._resolve_channel(channel, owners)
+            report_sink = self.kernel.create(PassiveSink)
+            report_sinks[target] = report_sink
+            target_for_stage.setdefault(stage_index, {})[name] = StreamEndpoint(
+                report_sink.uid, None
+            )
+        buffers = [
+            self.kernel.create(PassiveBuffer, name=f"sh-pipe-{i}")
+            for i in range(len(transducers) + 1)
+        ]
+        for index, transducer in enumerate(transducers):
+            outputs: dict[str, list[StreamEndpoint]] = {
+                OUTPUT: [StreamEndpoint(buffers[index + 1].uid, None)]
+            }
+            for name, endpoint in target_for_stage.get(index, {}).items():
+                outputs[name] = [endpoint]
+            self.kernel.create(
+                ConventionalFilter,
+                transducer=transducer,
+                inputs=[StreamEndpoint(buffers[index].uid, None)],
+                outputs=outputs,
+            )
+        self.kernel.create(
+            ActiveSource, items=lines,
+            outputs=[StreamEndpoint(buffers[0].uid, None)],
+        )
+        sink = self.kernel.create(
+            CollectorSink, inputs=[StreamEndpoint(buffers[-1].uid, None)]
+        )
+        watched = [sink, *report_sinks.values()]
+        self.kernel.run(until=lambda: all(s.done for s in watched))
+        self.kernel.run()
+        return ShellResult(
+            output=list(sink.collected),
+            redirected={
+                target: list(s.collected) for target, s in report_sinks.items()
+            },
+        )

@@ -1,0 +1,120 @@
+"""Lexer for the pipeline shell.
+
+The shell exists because the paper compares its channel identifiers to
+"the way transput is redirected in a conventional operating system,
+where the command language provides some primitive like ASSIGN OUTPUT
+CHANNEL name TO file, or like the Unix shell's 'n>' syntax" (§5).
+So the command language supports exactly that ``n>`` syntax, with
+channel names as well as numbers.
+
+Token kinds:
+
+- ``WORD`` — bare word (command names, arguments, names);
+- ``STRING`` — single- or double-quoted literal;
+- ``PIPE`` — ``|``;
+- ``REDIRECT`` — ``>`` (value ``""``), ``Report>`` (value ``"Report"``)
+  or ``2>`` (value ``"2"``);
+- ``ASSIGN`` — ``=``;
+- ``SEMI`` — ``;`` (statement separator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ShellSyntaxError
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str
+    value: str
+    position: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.value!r})@{self.position}"
+
+
+_WORD_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789_-./*+?[]^$\\{}()"
+)
+
+
+def tokenize(line: str) -> list[Token]:
+    """Split one command line into tokens.
+
+    Raises:
+        ShellSyntaxError: on an unterminated string or a stray
+            character.
+    """
+    tokens: list[Token] = []
+    index = 0
+    length = len(line)
+    while index < length:
+        char = line[index]
+        if char in " \t":
+            index += 1
+            continue
+        if char == "#":
+            break  # comment to end of line
+        if char == "|":
+            tokens.append(Token("PIPE", "|", index))
+            index += 1
+            continue
+        if char == ";":
+            tokens.append(Token("SEMI", ";", index))
+            index += 1
+            continue
+        if char == "=":
+            tokens.append(Token("ASSIGN", "=", index))
+            index += 1
+            continue
+        if char == ">":
+            tokens.append(Token("REDIRECT", "", index))
+            index += 1
+            continue
+        if char in "'\"":
+            end = line.find(char, index + 1)
+            if end == -1:
+                raise ShellSyntaxError(
+                    f"unterminated string starting at column {index}: {line!r}"
+                )
+            tokens.append(Token("STRING", line[index + 1 : end], index))
+            index = end + 1
+            continue
+        if char in _WORD_CHARS:
+            start = index
+            while index < length and line[index] in _WORD_CHARS:
+                index += 1
+            word = line[start:index]
+            # The Unix-shell "n>" syntax: a word glued to '>' is a
+            # channel redirect (Report> window, 2> errs).
+            if index < length and line[index] == ">":
+                tokens.append(Token("REDIRECT", word, start))
+                index += 1
+            else:
+                tokens.append(Token("WORD", word, start))
+            continue
+        raise ShellSyntaxError(
+            f"unexpected character {char!r} at column {index}: {line!r}"
+        )
+    return tokens
+
+
+def split_statements(tokens: list[Token]) -> list[list[Token]]:
+    """Split a token stream on SEMI tokens (dropping empties)."""
+    statements: list[list[Token]] = []
+    current: list[Token] = []
+    for token in tokens:
+        if token.kind == "SEMI":
+            if current:
+                statements.append(current)
+                current = []
+        else:
+            current.append(token)
+    if current:
+        statements.append(current)
+    return statements

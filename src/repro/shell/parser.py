@@ -1,0 +1,136 @@
+"""Parser for the pipeline shell.
+
+Grammar (one statement; ``;`` separates statements on a line)::
+
+    statement   := assign | set | show | pipeline
+    assign      := WORD '=' words
+    set         := 'set' WORD WORD
+    show        := 'show' WORD
+    pipeline    := stage ('|' stage)* redirect*
+    stage       := WORD arg*
+    arg         := WORD | STRING
+    redirect    := REDIRECT WORD          # '> name' or 'chan> name'
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ShellSyntaxError
+from repro.shell.ast import (
+    AssignStmt,
+    PipelineStmt,
+    Redirect,
+    Script,
+    SetStmt,
+    ShowStmt,
+    Stage,
+    Statement,
+)
+from repro.shell.lexer import Token, split_statements, tokenize
+
+
+def parse_line(line: str) -> Script:
+    """Parse one input line into a :class:`Script`."""
+    script = Script()
+    for tokens in split_statements(tokenize(line)):
+        script.statements.append(_parse_statement(tokens, line))
+    return script
+
+
+def _parse_statement(tokens: list[Token], line: str) -> Statement:
+    if len(tokens) >= 2 and tokens[0].kind == "WORD" and tokens[1].kind == "ASSIGN":
+        words = _require_args(tokens[2:], line, "assignment")
+        # `name = echo a b c` — the conventional spelling; a leading
+        # literal `echo` is the source command, not data.
+        if words and words[0] == "echo":
+            words = words[1:]
+        return AssignStmt(name=tokens[0].value, words=tuple(words))
+    if tokens and tokens[0].kind == "WORD" and tokens[0].value == "set":
+        args = _require_args(tokens[1:], line, "set")
+        if len(args) != 2:
+            raise ShellSyntaxError(f"set needs OPTION VALUE: {line!r}")
+        return SetStmt(option=args[0], value=args[1])
+    if tokens and tokens[0].kind == "WORD" and tokens[0].value == "show":
+        args = _require_args(tokens[1:], line, "show")
+        if len(args) != 1:
+            raise ShellSyntaxError(f"show needs exactly one NAME: {line!r}")
+        return ShowStmt(name=args[0])
+    return _parse_pipeline(tokens, line)
+
+
+def _require_args(tokens: list[Token], line: str, context: str) -> list[str]:
+    words: list[str] = []
+    for token in tokens:
+        if token.kind not in ("WORD", "STRING"):
+            raise ShellSyntaxError(
+                f"unexpected {token} in {context}: {line!r}"
+            )
+        words.append(token.value)
+    return words
+
+
+def _parse_pipeline(tokens: list[Token], line: str) -> PipelineStmt:
+    if not tokens:
+        raise ShellSyntaxError(f"empty statement: {line!r}")
+    stages: list[Stage] = []
+    redirects: list[Redirect] = []
+    current: list[Token] = []
+    index = 0
+
+    def flush_stage() -> None:
+        if not current:
+            raise ShellSyntaxError(f"empty pipeline stage: {line!r}")
+        head, *rest = current
+        if head.kind not in ("WORD", "STRING"):
+            raise ShellSyntaxError(f"stage must start with a command: {line!r}")
+        stages.append(
+            Stage(command=head.value, args=tuple(token.value for token in rest))
+        )
+        current.clear()
+
+    while index < len(tokens):
+        token = tokens[index]
+        if token.kind == "PIPE":
+            flush_stage()
+            index += 1
+            continue
+        if token.kind == "REDIRECT":
+            flush_stage()
+            break
+        if token.kind in ("WORD", "STRING"):
+            current.append(token)
+            index += 1
+            continue
+        raise ShellSyntaxError(f"unexpected {token} in pipeline: {line!r}")
+    else:
+        flush_stage()
+
+    # Remaining tokens are redirects: REDIRECT WORD pairs.
+    while index < len(tokens):
+        token = tokens[index]
+        if token.kind != "REDIRECT":
+            raise ShellSyntaxError(
+                f"expected a redirect, got {token}: {line!r}"
+            )
+        if index + 1 >= len(tokens) or tokens[index + 1].kind not in (
+            "WORD",
+            "STRING",
+        ):
+            raise ShellSyntaxError(f"redirect needs a target name: {line!r}")
+        redirects.append(
+            Redirect(channel=token.value, target=tokens[index + 1].value)
+        )
+        index += 2
+
+    if len(stages) < 1:
+        raise ShellSyntaxError(f"pipeline needs at least a source: {line!r}")
+    source, *rest = stages
+    seen_channels = set()
+    for redirect in redirects:
+        if redirect.channel in seen_channels:
+            raise ShellSyntaxError(
+                f"duplicate redirect for channel {redirect.channel!r}: {line!r}"
+            )
+        seen_channels.add(redirect.channel)
+    return PipelineStmt(
+        source=source, stages=tuple(rest), redirects=tuple(redirects)
+    )

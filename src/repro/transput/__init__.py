@@ -1,0 +1,134 @@
+"""Asymmetric stream transput: the paper's primary contribution.
+
+The four primitives (:mod:`repro.transput.primitives`), the Sequence
+protocol (:mod:`~repro.transput.stream`), the three disciplines
+(read-only, write-only, conventional), passive buffers, channel
+identifiers, flow control and pipeline builders.
+"""
+
+from repro.transput.buffer import DEFAULT_CAPACITY, PassiveBuffer
+from repro.transput.channels import ChannelTable
+from repro.transput.conventional import ConventionalFilter
+from repro.transput.filterbase import (
+    OUTPUT,
+    REPORT,
+    ReportingTransducer,
+    Transducer,
+    apply_reporting,
+    apply_transducer,
+    as_reporting,
+    compose_apply,
+    filter_transducer,
+    identity_transducer,
+    make_transducer,
+    map_transducer,
+)
+from repro.transput.flow import FlowPolicy
+from repro.transput.iolib import (
+    END_OF_INPUT,
+    ConventionalStyleFilter,
+    InputPort,
+    OutputPort,
+)
+from repro.transput.pipeline import (
+    DISCIPLINES,
+    Pipeline,
+    build_conventional_pipeline,
+    build_pipeline,
+    build_readonly_pipeline,
+    build_writeonly_pipeline,
+)
+from repro.transput.primitives import (
+    Primitive,
+    READ_OP,
+    TRANSFER_OP,
+    TransputEject,
+    WRITE_OP,
+    active_input,
+    active_output,
+    passive_input,
+    passive_output,
+    read_stream,
+    write_stream,
+)
+from repro.transput.merge import TaggedMerger
+from repro.transput.readonly import ReadOnlyFilter
+from repro.transput.sink import (
+    ActiveSink,
+    CollectorSink,
+    NullSink,
+    PassiveSink,
+)
+from repro.transput.source import (
+    ActiveSource,
+    FunctionSource,
+    ListSource,
+    PassiveSource,
+)
+from repro.transput.stream import (
+    END_TRANSFER,
+    StreamAssembler,
+    StreamEndpoint,
+    StreamStatus,
+    Transfer,
+    WriteAck,
+)
+from repro.transput.writeonly import WriteOnlyFilter
+
+__all__ = [
+    "ActiveSink",
+    "ActiveSource",
+    "ChannelTable",
+    "CollectorSink",
+    "ConventionalFilter",
+    "ConventionalStyleFilter",
+    "DEFAULT_CAPACITY",
+    "DISCIPLINES",
+    "END_OF_INPUT",
+    "END_TRANSFER",
+    "FlowPolicy",
+    "FunctionSource",
+    "InputPort",
+    "ListSource",
+    "NullSink",
+    "OUTPUT",
+    "OutputPort",
+    "PassiveBuffer",
+    "PassiveSink",
+    "PassiveSource",
+    "Pipeline",
+    "Primitive",
+    "READ_OP",
+    "TRANSFER_OP",
+    "REPORT",
+    "ReadOnlyFilter",
+    "ReportingTransducer",
+    "StreamAssembler",
+    "StreamEndpoint",
+    "StreamStatus",
+    "TaggedMerger",
+    "Transducer",
+    "Transfer",
+    "TransputEject",
+    "WRITE_OP",
+    "WriteAck",
+    "WriteOnlyFilter",
+    "active_input",
+    "active_output",
+    "apply_reporting",
+    "apply_transducer",
+    "as_reporting",
+    "build_conventional_pipeline",
+    "build_pipeline",
+    "build_readonly_pipeline",
+    "build_writeonly_pipeline",
+    "compose_apply",
+    "filter_transducer",
+    "identity_transducer",
+    "make_transducer",
+    "map_transducer",
+    "passive_input",
+    "passive_output",
+    "read_stream",
+    "write_stream",
+]

@@ -1,0 +1,83 @@
+"""Per-channel output batching for pushing filters.
+
+A filter that performs active output should move ``batch`` records per
+Write invocation, mirroring how a reading filter requests ``batch``
+records per Read — otherwise the two disciplines' invocation counts are
+not comparable.  :class:`OutputBatcher` accumulates records per channel
+and flushes full chunks; the remainder and the END markers go out at
+:meth:`finish`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, TYPE_CHECKING
+
+from repro.transput.stream import END_TRANSFER, StreamEndpoint, Transfer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.transput.primitives import TransputEject
+
+
+class OutputBatcher:
+    """Accumulates and flushes active output in fixed-size chunks.
+
+    Args:
+        eject: the filter performing the writes.
+        outputs: channel name -> endpoints (each chunk is written to
+            *every* endpoint of its channel — fan-out).
+        batch: records per Write invocation.
+    """
+
+    def __init__(
+        self,
+        eject: "TransputEject",
+        outputs: Mapping[str, list[StreamEndpoint]],
+        batch: int = 1,
+    ) -> None:
+        self._eject = eject
+        self._outputs = {
+            channel: list(endpoints) for channel, endpoints in outputs.items()
+        }
+        self._batch = max(1, int(batch))
+        self._pending: dict[str, list[Any]] = {
+            channel: [] for channel in self._outputs
+        }
+        self.writes_issued = 0
+        self.finished = False
+
+    def emit(self, emitted: Mapping[str, Iterable[Any]]):
+        """Queue records per channel; flush every full chunk."""
+        for channel, records in emitted.items():
+            batch = list(records)
+            if not batch:
+                continue
+            pending = self._pending.get(channel)
+            if pending is None:
+                continue  # channel not wired anywhere: drop silently
+            pending.extend(batch)
+            while len(pending) >= self._batch:
+                chunk, self._pending[channel] = (
+                    pending[: self._batch],
+                    pending[self._batch :],
+                )
+                pending = self._pending[channel]
+                yield from self._write(channel, Transfer.of(chunk))
+
+    def finish(self):
+        """Flush remainders and terminate every output with END."""
+        if self.finished:
+            return
+        self.finished = True
+        for channel, pending in self._pending.items():
+            if pending:
+                chunk, self._pending[channel] = list(pending), []
+                yield from self._write(channel, Transfer.of(chunk))
+        for channel in self._outputs:
+            yield from self._write(channel, END_TRANSFER)
+
+    def _write(self, channel: str, transfer: Transfer):
+        from repro.transput.primitives import active_output
+
+        for endpoint in self._outputs[channel]:
+            yield from active_output(self._eject, endpoint, transfer)
+            self.writes_issued += 1

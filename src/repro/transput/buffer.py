@@ -1,0 +1,192 @@
+"""The passive buffer: Eden's model of a Unix pipe.
+
+Paper §3: "The function of a pipe is to perform passive transput in
+response to the active transput operations of the filters. ...  Because
+entities like Unix pipes perform both buffering and passive transput, I
+will refer to them as *passive buffers*."
+
+A :class:`PassiveBuffer` answers both ``Write`` (passive input) and
+``Read`` (passive output).  It is bounded: a writer whose data does not
+fit is simply not answered until space frees up, and a reader of an
+empty buffer is not answered until data (or END) arrives — delayed
+replies are the flow-control mechanism, just as blocking system calls
+are in Unix.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, TYPE_CHECKING
+
+from repro.core.errors import StreamProtocolError
+from repro.core.message import Invocation
+from repro.core.syscalls import Receive
+from repro.transput.primitives import Primitive, READ_OP, TransputEject, WRITE_OP
+from repro.transput.stream import END_TRANSFER, Transfer, WriteAck
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel import Kernel
+    from repro.core.uid import UID
+
+#: Default capacity, in records (Unix pipes are likewise finite).
+DEFAULT_CAPACITY = 64
+
+
+class PassiveBuffer(TransputEject):
+    """A bounded FIFO answering Read and Write passively.
+
+    Args:
+        capacity: maximum records held; ``None`` means unbounded.  An
+            atomic Write larger than the whole capacity is accepted
+            only into an empty buffer (mirroring an atomic pipe write).
+        expected_ends: number of END transfers that terminate the
+            stream (several writers may fan in to one buffer).
+    """
+
+    eden_type = "PassiveBuffer"
+    #: Operations the hand-written main loop answers (for behaviour specs).
+    answers_operations = ("Read", "Write")
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        uid: "UID",
+        name: str | None = None,
+        capacity: int | None = DEFAULT_CAPACITY,
+        expected_ends: int = 1,
+    ) -> None:
+        super().__init__(kernel, uid, name=name)
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self.expected_ends = max(1, int(expected_ends))
+        self.items: deque[Any] = deque()
+        self.ends_seen = 0
+        self.ended = False
+        self._parked_reads: deque[Invocation] = deque()
+        self._parked_writes: deque[Invocation] = deque()
+        self.reads_served = 0
+        self.writes_accepted = 0
+        self.max_occupancy = 0
+
+    # ------------------------------------------------------------------
+
+    def main(self):
+        while True:
+            invocation = yield Receive(operations={READ_OP, WRITE_OP})
+            if invocation.operation == WRITE_OP:
+                yield from self._on_write(invocation)
+            else:
+                yield from self._on_read(invocation)
+
+    # -- write side ------------------------------------------------------
+
+    def _fits(self, count: int) -> bool:
+        if self.capacity is None:
+            return True
+        if not self.items:
+            return True  # atomic oversized write into an empty buffer
+        return len(self.items) + count <= self.capacity
+
+    def _on_write(self, invocation: Invocation):
+        transfer = invocation.args[0]
+        if not isinstance(transfer, Transfer):
+            yield self.reply(
+                invocation,
+                error=StreamProtocolError("Write payload must be a Transfer"),
+            )
+            return
+        if self.ended:
+            yield self.reply(
+                invocation,
+                error=StreamProtocolError("Write received after final END"),
+            )
+            return
+        if transfer.at_end:
+            yield from self._accept_end(invocation)
+            return
+        if not self._fits(len(transfer.items)):
+            # Exert backpressure: hold the ack until space frees up.
+            self._parked_writes.append(invocation)
+            return
+        yield from self._accept_data(invocation, transfer)
+
+    def _accept_end(self, invocation: Invocation):
+        self.ends_seen += 1
+        self.note_primitive(Primitive.PASSIVE_INPUT)
+        self.writes_accepted += 1
+        if self.ends_seen >= self.expected_ends:
+            self.ended = True
+        yield self.reply(invocation, WriteAck(accepted=0))
+        if self.ended:
+            # Writers parked for space can never be admitted now: data
+            # after END would violate the protocol.  Fail them the way
+            # Unix fails a write on a closed pipe.
+            while self._parked_writes:
+                stranded = self._parked_writes.popleft()
+                yield self.reply(
+                    stranded,
+                    error=StreamProtocolError(
+                        "stream ended while this Write awaited space"
+                    ),
+                )
+            yield from self._drain_parked_reads()
+
+    def _accept_data(self, invocation: Invocation, transfer: Transfer):
+        self.items.extend(transfer.items)
+        self.max_occupancy = max(self.max_occupancy, len(self.items))
+        self.note_primitive(Primitive.PASSIVE_INPUT)
+        self.writes_accepted += 1
+        yield self.reply(invocation, WriteAck(accepted=len(transfer.items)))
+        yield from self._drain_parked_reads()
+
+    # -- read side -------------------------------------------------------
+
+    def _on_read(self, invocation: Invocation):
+        if not self.items and not self.ended:
+            self._parked_reads.append(invocation)
+            return
+        yield from self._answer_read(invocation)
+
+    def _answer_read(self, invocation: Invocation):
+        batch = invocation.args[0] if invocation.args else 1
+        batch = max(1, int(batch))
+        if self.items:
+            taken = [self.items.popleft() for _ in range(min(batch, len(self.items)))]
+            reply_transfer = Transfer.of(taken)
+        elif self.ended:
+            reply_transfer = END_TRANSFER
+        else:  # pragma: no cover - guarded by caller
+            raise StreamProtocolError("answering a read with nothing to say")
+        self.note_primitive(Primitive.PASSIVE_OUTPUT)
+        self.reads_served += 1
+        yield self.reply(invocation, reply_transfer)
+        yield from self._unpark_writes()
+
+    def _drain_parked_reads(self):
+        while self._parked_reads and (self.items or self.ended):
+            parked = self._parked_reads.popleft()
+            yield from self._answer_read(parked)
+
+    def _unpark_writes(self):
+        while self._parked_writes and not self.ended:
+            candidate = self._parked_writes[0]
+            transfer = candidate.args[0]
+            if not self._fits(len(transfer.items)):
+                break
+            self._parked_writes.popleft()
+            yield from self._accept_data(candidate, transfer)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        """Records currently buffered."""
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PassiveBuffer {self.name} {self.occupancy}"
+            f"/{self.capacity if self.capacity is not None else '∞'}"
+            f"{' ended' if self.ended else ''}>"
+        )

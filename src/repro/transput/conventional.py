@@ -1,0 +1,131 @@
+"""The conventional (both-active) transput discipline (paper §3).
+
+A :class:`ConventionalFilter` takes the initiative in *both*
+directions — "it is F which calls the Read and Write operations" — so
+it can only be connected to correspondents that respond passively:
+passive sources, passive sinks and, between filters,
+:class:`~repro.transput.buffer.PassiveBuffer`s (the Unix pipes of
+Figure 1).
+
+Besides transforming, such a filter "acts as a data pump": the cost is
+two invocations per datum per stage instead of one, which is exactly
+the overhead the read-only discipline eliminates (experiments T1/T8).
+
+Conventional transput allows both fan-in (multiple inputs actively
+read) and fan-out (multiple outputs actively written) — the flexible
+but expensive corner of the design space (experiment T5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, TYPE_CHECKING
+
+from repro.core.syscalls import Sleep
+from repro.transput.filterbase import (
+    OUTPUT,
+    ReportingTransducer,
+    Transducer,
+    as_reporting,
+)
+from repro.transput.batching import OutputBatcher
+from repro.transput.primitives import (
+    TransputEject,
+    active_input,
+)
+from repro.transput.stream import StreamEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel import Kernel
+    from repro.core.uid import UID
+
+
+class ConventionalFilter(TransputEject):
+    """A filter performing active input and active output.
+
+    Args:
+        transducer: the transformation (single- or multi-output).
+        inputs: endpoints actively read (fan-in; ``"concat"`` or
+            ``"round_robin"`` strategy as for read-only filters).
+        outputs: channel name -> endpoints actively written (fan-out);
+            a plain sequence is shorthand for the primary channel.
+        batch: records moved per Read and per Write.
+    """
+
+    eden_type = "ConventionalFilter"
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        uid: "UID",
+        transducer: Transducer | ReportingTransducer | None = None,
+        inputs: Iterable[StreamEndpoint] = (),
+        outputs: Mapping[str, Sequence[StreamEndpoint]] | Sequence[StreamEndpoint] = (),
+        name: str | None = None,
+        input_strategy: str = "concat",
+        batch: int = 1,
+    ) -> None:
+        if input_strategy not in ("concat", "round_robin"):
+            raise ValueError(f"unknown input strategy {input_strategy!r}")
+        super().__init__(kernel, uid, name=name)
+        self.transducer = as_reporting(
+            transducer if transducer is not None else _identity()
+        )
+        self.inputs = list(inputs)
+        self.outputs = _normalize_outputs(outputs)
+        self.input_strategy = input_strategy
+        self.batch = max(1, int(batch))
+        self.done = False
+        self.reads_issued = 0
+        self._batcher: OutputBatcher | None = None
+
+    @property
+    def writes_issued(self) -> int:
+        """Write invocations this filter has performed so far."""
+        return self._batcher.writes_issued if self._batcher else 0
+
+    def connect_input(self, endpoint: StreamEndpoint) -> None:
+        """Add an upstream endpoint (before the simulation runs)."""
+        self.inputs.append(endpoint)
+
+    def connect_output(self, endpoint: StreamEndpoint, channel: str = OUTPUT) -> None:
+        """Add a downstream endpoint for ``channel`` (before running)."""
+        self.outputs.setdefault(channel, []).append(endpoint)
+
+    def main(self):
+        # Built lazily so outputs connected after creation are included.
+        self._batcher = OutputBatcher(self, self.outputs, batch=self.batch)
+        yield from self._batcher.emit(self.transducer.start())
+        cost = self.transducer.cost_per_item
+        live = list(self.inputs)
+        index = 0
+        while live:
+            index %= len(live)
+            endpoint = live[index]
+            transfer = yield from active_input(self, endpoint, self.batch)
+            self.reads_issued += 1
+            if transfer.at_end:
+                live.pop(index)
+                continue
+            if self.input_strategy == "round_robin":
+                index += 1
+            for item in transfer.items:
+                if cost:
+                    yield Sleep(cost)
+                yield from self._batcher.emit(self.transducer.step(item))
+        yield from self._batcher.emit(self.transducer.finish())
+        yield from self._batcher.finish()
+        self.done = True
+
+
+def _normalize_outputs(
+    outputs: Mapping[str, Sequence[StreamEndpoint]] | Sequence[StreamEndpoint],
+) -> dict[str, list[StreamEndpoint]]:
+    if isinstance(outputs, Mapping):
+        return {channel: list(eps) for channel, eps in outputs.items()}
+    return {OUTPUT: list(outputs)}
+
+
+def _identity() -> Transducer:
+    from repro.transput.filterbase import identity_transducer
+
+    return identity_transducer()

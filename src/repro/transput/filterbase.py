@@ -1,0 +1,228 @@
+"""Transducers: discipline-independent filter transformations.
+
+Paper §3: "A filter is a program which takes a single stream of input
+and produces a single stream of output; the output is some
+transformation of the input."  The *transformation* is independent of
+which transput discipline carries the data, so we factor it out: a
+:class:`Transducer` describes the pure function, and the discipline
+wrappers (:mod:`repro.transput.readonly`, ``writeonly``,
+``conventional``) each run the *same* transducer.  That is what makes
+the paper's cost comparisons apples-to-apples, and it gives the
+property tests a functional reference semantics
+(:func:`apply_transducer`).
+
+A transducer may emit zero or more output records per input record,
+may hold state, may emit prologue records before any input
+(:meth:`Transducer.start`) and epilogue records at end of input
+(:meth:`Transducer.finish`).
+
+:class:`ReportingTransducer` generalizes to multiple named output
+channels (paper §5's impure filters: "a large number of filters
+produce reports").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+#: The conventional primary-output channel name.
+OUTPUT = "Output"
+#: The conventional report-stream channel name.
+REPORT = "Report"
+
+
+class Transducer:
+    """A single-output stream transformation.
+
+    Attributes:
+        name: printable label used by pipelines and the shell.
+        cost_per_item: virtual compute time the hosting filter charges
+            for each *input* record processed (lets benchmarks model
+            non-trivial filters; see experiment T4).
+    """
+
+    name = "transducer"
+    cost_per_item: float = 0.0
+
+    def start(self) -> Iterable[Any]:
+        """Records to emit before any input is consumed."""
+        return ()
+
+    def step(self, item: Any) -> Iterable[Any]:
+        """Records to emit in response to one input record."""
+        raise NotImplementedError
+
+    def finish(self) -> Iterable[Any]:
+        """Records to emit once the input stream has ended."""
+        return ()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class ReportingTransducer:
+    """A multi-output stream transformation (primary output + reports).
+
+    Each hook returns a mapping from channel name to the records to
+    emit on that channel; absent channels emit nothing.  ``channels``
+    lists every channel the transducer may ever emit on — the hosting
+    filter advertises exactly these.
+    """
+
+    name = "reporting-transducer"
+    cost_per_item: float = 0.0
+    channels: Sequence[str] = (OUTPUT, REPORT)
+
+    def start(self) -> dict[str, Iterable[Any]]:
+        """Per-channel records to emit before any input."""
+        return {}
+
+    def step(self, item: Any) -> dict[str, Iterable[Any]]:
+        """Per-channel records to emit for one input record."""
+        raise NotImplementedError
+
+    def finish(self) -> dict[str, Iterable[Any]]:
+        """Per-channel records to emit at end of input."""
+        return {}
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} channels={list(self.channels)}>"
+
+
+class _FunctionTransducer(Transducer):
+    """Transducer built from plain functions (see :func:`make_transducer`)."""
+
+    def __init__(
+        self,
+        step: Callable[[Any], Iterable[Any]],
+        name: str,
+        start: Callable[[], Iterable[Any]] | None = None,
+        finish: Callable[[], Iterable[Any]] | None = None,
+        cost_per_item: float = 0.0,
+    ) -> None:
+        self._step = step
+        self._start = start
+        self._finish = finish
+        self.name = name
+        self.cost_per_item = cost_per_item
+
+    def start(self) -> Iterable[Any]:
+        return self._start() if self._start is not None else ()
+
+    def step(self, item: Any) -> Iterable[Any]:
+        return self._step(item)
+
+    def finish(self) -> Iterable[Any]:
+        return self._finish() if self._finish is not None else ()
+
+
+def make_transducer(
+    step: Callable[[Any], Iterable[Any]],
+    name: str = "anonymous",
+    start: Callable[[], Iterable[Any]] | None = None,
+    finish: Callable[[], Iterable[Any]] | None = None,
+    cost_per_item: float = 0.0,
+) -> Transducer:
+    """Build a transducer from functions.
+
+    ``step`` maps one input record to an iterable of output records.
+    """
+    return _FunctionTransducer(
+        step=step, name=name, start=start, finish=finish,
+        cost_per_item=cost_per_item,
+    )
+
+
+def map_transducer(fn: Callable[[Any], Any], name: str | None = None) -> Transducer:
+    """One-output-per-input transducer applying ``fn`` to each record."""
+    return make_transducer(
+        lambda item: (fn(item),), name=name or f"map({fn.__name__})"
+    )
+
+
+def filter_transducer(
+    predicate: Callable[[Any], bool], name: str | None = None
+) -> Transducer:
+    """Keep only records satisfying ``predicate``."""
+    return make_transducer(
+        lambda item: (item,) if predicate(item) else (),
+        name=name or f"filter({predicate.__name__})",
+    )
+
+
+def identity_transducer(name: str = "identity") -> Transducer:
+    """Pass every record through unchanged."""
+    return make_transducer(lambda item: (item,), name=name)
+
+
+class _AsReporting(ReportingTransducer):
+    """Adapter presenting a single-output transducer as multi-output."""
+
+    def __init__(self, inner: Transducer, channel: str = OUTPUT) -> None:
+        self._inner = inner
+        self._channel = channel
+        self.name = inner.name
+        self.cost_per_item = inner.cost_per_item
+        self.channels = (channel,)
+
+    def start(self) -> dict[str, Iterable[Any]]:
+        return {self._channel: self._inner.start()}
+
+    def step(self, item: Any) -> dict[str, Iterable[Any]]:
+        return {self._channel: self._inner.step(item)}
+
+    def finish(self) -> dict[str, Iterable[Any]]:
+        return {self._channel: self._inner.finish()}
+
+    def accept_secondary(self, input_name: str, items: list) -> None:
+        """Forward secondary-input data to the wrapped transducer."""
+        accept = getattr(self._inner, "accept_secondary", None)
+        if accept is not None:
+            accept(input_name, items)
+
+
+def as_reporting(
+    transducer: Transducer | ReportingTransducer, channel: str = OUTPUT
+) -> ReportingTransducer:
+    """View any transducer uniformly as a multi-channel one."""
+    if isinstance(transducer, ReportingTransducer):
+        return transducer
+    return _AsReporting(transducer, channel=channel)
+
+
+def apply_transducer(transducer: Transducer, items: Iterable[Any]) -> list[Any]:
+    """Functional reference semantics: run ``transducer`` over ``items``.
+
+    This is what any discipline's pipeline must compute; property tests
+    compare simulated pipelines against it.
+    """
+    out: list[Any] = list(transducer.start())
+    for item in items:
+        out.extend(transducer.step(item))
+    out.extend(transducer.finish())
+    return out
+
+
+def apply_reporting(
+    transducer: ReportingTransducer, items: Iterable[Any]
+) -> dict[str, list[Any]]:
+    """Reference semantics for multi-output transducers (per channel)."""
+    out: dict[str, list[Any]] = {channel: [] for channel in transducer.channels}
+
+    def fold(emitted: dict[str, Iterable[Any]]) -> None:
+        for channel, records in emitted.items():
+            out.setdefault(channel, []).extend(records)
+
+    fold(transducer.start())
+    for item in items:
+        fold(transducer.step(item))
+    fold(transducer.finish())
+    return out
+
+
+def compose_apply(transducers: Sequence[Transducer], items: Iterable[Any]) -> list[Any]:
+    """Reference semantics of a whole single-output pipeline."""
+    current = list(items)
+    for transducer in transducers:
+        current = apply_transducer(transducer, current)
+    return current

@@ -1,0 +1,66 @@
+"""Flow-control policy for pipelines (paper §4's laziness discussion).
+
+"Laziness, however, is not desirable in a system which permits parallel
+execution.  Instead, one would prefer that each Eject does a certain
+amount of computation in advance ... In this way all the Ejects in a
+pipeline can run concurrently."
+
+A :class:`FlowPolicy` bundles the knobs that govern how eagerly data
+moves: per-filter lookahead (anticipatory buffering), the Read batch
+size, and the passive-buffer capacity used in the conventional
+discipline.  Experiment T4 sweeps the lookahead and shows the
+serialization → pipeline-parallel transition the paper predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class FlowPolicy:
+    """How eagerly a pipeline moves data.
+
+    Attributes:
+        lookahead: records each read-only filter computes in advance
+            (0 = pure lazy / demand-driven).
+        batch: records per Read/Write invocation (1 matches the paper's
+            one-invocation-per-datum accounting).
+        buffer_capacity: capacity of conventional-discipline pipes.
+        inbox_capacity: write-only filters' input queue bound
+            (``None`` = unbounded).
+    """
+
+    lookahead: int = 0
+    batch: int = 1
+    buffer_capacity: int | None = 64
+    inbox_capacity: int | None = None
+
+    #: Pure demand-driven flow: nothing moves until the sink asks.
+    @staticmethod
+    def lazy() -> "FlowPolicy":
+        """Demand-driven: no anticipatory work anywhere."""
+        return FlowPolicy(lookahead=0)
+
+    @staticmethod
+    def eager(lookahead: int = 8) -> "FlowPolicy":
+        """Anticipatory: each filter keeps ``lookahead`` records ready."""
+        return FlowPolicy(lookahead=lookahead)
+
+    def with_batch(self, batch: int) -> "FlowPolicy":
+        """The same policy moving ``batch`` records per invocation."""
+        return replace(self, batch=batch)
+
+    def __post_init__(self) -> None:
+        if self.lookahead < 0:
+            raise ValueError(f"lookahead must be >= 0, got {self.lookahead}")
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+        if self.buffer_capacity is not None and self.buffer_capacity < 1:
+            raise ValueError(
+                f"buffer_capacity must be >= 1 or None, got {self.buffer_capacity}"
+            )
+        if self.inbox_capacity is not None and self.inbox_capacity < 1:
+            raise ValueError(
+                f"inbox_capacity must be >= 1 or None, got {self.inbox_capacity}"
+            )

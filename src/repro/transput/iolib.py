@@ -1,0 +1,257 @@
+"""The "standard IO module" (paper §4 and §5).
+
+The paper observes that a filter author need not program against Read
+invocations directly:
+
+    "It is possible to adopt a more conventional style of programming
+    by adding an extra process to the filter.  The standard IO module
+    obtained from a library would implement the usual Write operations
+    that put characters into a buffer.  However, that buffer would be
+    shared with a process that receives invocations which request data
+    and services them."
+
+:class:`OutputPort` is that module for the read-only discipline: the
+filter's own process calls ``write()`` / ``close()`` (conventional
+style, intra-Eject, costing no invocations), while the port's *server
+process* answers external Read invocations from the shared buffer.
+
+:class:`InputPort` is the §5 dual for the write-only discipline: "a
+conventional Read routine could be implemented by extracting data from
+an internal buffer; another process would respond to incoming Write
+invocations and use the data thus obtained to fill the same buffer."
+
+See :class:`ConventionalStyleFilter` for the two combined: an Eject
+whose author writes an ordinary read/transform/write loop, yet whose
+external interface is pure read-only transput.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, TYPE_CHECKING
+
+from repro.core.errors import StreamProtocolError
+from repro.core.syscalls import (
+    NotifySignal,
+    Receive,
+    Signal,
+    Syscall,
+    WaitSignal,
+)
+from repro.transput.primitives import (
+    Primitive,
+    READ_OP,
+    TRANSFER_OP,
+    TransputEject,
+    WRITE_OP,
+)
+from repro.transput.stream import (
+    END_TRANSFER,
+    StreamEndpoint,
+    Transfer,
+    WriteAck,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel import Kernel
+    from repro.core.uid import UID
+
+#: Sentinel returned by :meth:`InputPort.read` at end of stream.
+END_OF_INPUT = object()
+
+
+class OutputPort:
+    """Conventional ``write()`` calls backed by a Read-serving process.
+
+    Use inside a :class:`TransputEject`: call :meth:`server_body` once
+    from ``process_bodies`` and drive :meth:`write` / :meth:`close`
+    (with ``yield from``) from the filter's own process.
+
+    Args:
+        owner: the hosting Eject.
+        capacity: bound on buffered-but-unread records; ``write`` blocks
+            (intra-Eject, via signals — *not* invocations) when full.
+    """
+
+    def __init__(self, owner: TransputEject, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.owner = owner
+        self.capacity = capacity
+        self.buffer: deque[Any] = deque()
+        self.closed = False
+        self._data = Signal(f"{owner.name}.outport.data")
+        self._space = Signal(f"{owner.name}.outport.space")
+
+    def write(self, item: Any) -> Generator[Syscall, Any, None]:
+        """Append one record ("the usual Write operation")."""
+        if self.closed:
+            raise StreamProtocolError("write() after close()")
+        while self.capacity is not None and len(self.buffer) >= self.capacity:
+            yield WaitSignal(self._space)
+        self.buffer.append(item)
+        yield NotifySignal(self._data)
+
+    def write_all(self, items: Iterable[Any]) -> Generator[Syscall, Any, None]:
+        """Append several records."""
+        for item in items:
+            yield from self.write(item)
+
+    def close(self) -> Generator[Syscall, Any, None]:
+        """Mark end of stream; subsequent Reads eventually see END."""
+        self.closed = True
+        yield NotifySignal(self._data)
+
+    def server_body(self) -> Generator[Syscall, Any, None]:
+        """The process that services external Read invocations."""
+        owner = self.owner
+        while True:
+            invocation = yield Receive(operations={READ_OP, TRANSFER_OP})
+            while not self.buffer and not self.closed:
+                yield WaitSignal(self._data)
+            batch = invocation.args[0] if invocation.args else 1
+            batch = max(1, int(batch))
+            if self.buffer:
+                taken = [
+                    self.buffer.popleft()
+                    for _ in range(min(batch, len(self.buffer)))
+                ]
+                transfer = Transfer.of(taken)
+            else:
+                transfer = END_TRANSFER
+            owner.note_primitive(Primitive.PASSIVE_OUTPUT)
+            yield owner.reply(invocation, transfer)
+            yield NotifySignal(self._space)
+
+
+class InputPort:
+    """Conventional ``read()`` calls backed by a Write-accepting process.
+
+    The dual helper (paper §5): the server process responds to incoming
+    Write invocations and fills the shared buffer; the filter's own
+    process extracts records with :meth:`read`.
+    """
+
+    def __init__(
+        self,
+        owner: TransputEject,
+        capacity: int | None = None,
+        expected_ends: int = 1,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.owner = owner
+        self.capacity = capacity
+        self.expected_ends = max(1, int(expected_ends))
+        self.buffer: deque[Any] = deque()
+        self.ends_seen = 0
+        self.ended = False
+        self._data = Signal(f"{owner.name}.inport.data")
+        self._space = Signal(f"{owner.name}.inport.space")
+
+    def read(self) -> Generator[Syscall, Any, Any]:
+        """Take one record, or :data:`END_OF_INPUT` once the stream ends."""
+        while not self.buffer and not self.ended:
+            yield WaitSignal(self._data)
+        if self.buffer:
+            item = self.buffer.popleft()
+            yield NotifySignal(self._space)
+            return item
+        return END_OF_INPUT
+
+    def read_all(self) -> Generator[Syscall, Any, list]:
+        """Drain to end of stream; returns the record list."""
+        items: list[Any] = []
+        while True:
+            item = yield from self.read()
+            if item is END_OF_INPUT:
+                return items
+            items.append(item)
+
+    def server_body(self) -> Generator[Syscall, Any, None]:
+        """The process that services external Write invocations."""
+        owner = self.owner
+        while True:
+            invocation = yield Receive(operations={WRITE_OP})
+            transfer = invocation.args[0]
+            if not isinstance(transfer, Transfer):
+                yield owner.reply(
+                    invocation,
+                    error=StreamProtocolError("Write payload must be a Transfer"),
+                )
+                continue
+            if transfer.at_end:
+                self.ends_seen += 1
+                if self.ends_seen >= self.expected_ends:
+                    self.ended = True
+                owner.note_primitive(Primitive.PASSIVE_INPUT)
+                yield owner.reply(invocation, WriteAck(accepted=0))
+                yield NotifySignal(self._data)
+                continue
+            while (
+                self.capacity is not None
+                and len(self.buffer) + len(transfer.items) > self.capacity
+                and self.buffer
+            ):
+                yield WaitSignal(self._space)
+            self.buffer.extend(transfer.items)
+            owner.note_primitive(Primitive.PASSIVE_INPUT)
+            yield owner.reply(invocation, WriteAck(accepted=len(transfer.items)))
+            yield NotifySignal(self._data)
+
+
+class ConventionalStyleFilter(TransputEject):
+    """A read-only filter written in the conventional style.
+
+    The author supplies ``body(filter)``: an ordinary-looking generator
+    that calls ``yield from self.read_input()`` and ``yield from
+    self.stdout.write(...)`` — exactly the programming model the paper
+    promises the standard IO module restores.  Externally the Eject
+    still performs only active input and passive output.
+    """
+
+    eden_type = "ConventionalStyleFilter"
+    #: Operations the IO server process answers (for behaviour specs).
+    answers_operations = ("Read", "Transfer")
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        uid: "UID",
+        body: Callable[["ConventionalStyleFilter"], Generator] | None = None,
+        input: StreamEndpoint | None = None,
+        name: str | None = None,
+        buffer_capacity: int | None = None,
+    ) -> None:
+        super().__init__(kernel, uid, name=name)
+        self._body = body
+        self.input = input
+        self.stdout = OutputPort(self, capacity=buffer_capacity)
+        self._pending: deque[Any] = deque()
+        self._input_ended = False
+
+    def read_input(self) -> Generator[Syscall, Any, Any]:
+        """Read one record from the connected input (active input)."""
+        from repro.transput.primitives import active_input
+
+        if self._pending:
+            return self._pending.popleft()
+        if self._input_ended or self.input is None:
+            return END_OF_INPUT
+        transfer = yield from active_input(self, self.input)
+        if transfer.at_end:
+            self._input_ended = True
+            return END_OF_INPUT
+        self._pending.extend(transfer.items)
+        return self._pending.popleft()
+
+    def _filter_body(self):
+        if self._body is not None:
+            yield from self._body(self)
+        yield from self.stdout.close()
+
+    def process_bodies(self):
+        return [
+            ("filter", self._filter_body()),
+            ("ioserver", self.stdout.server_body()),
+        ]

@@ -1,0 +1,96 @@
+"""Tagged merging: fan-in that preserves stream identity.
+
+Paper §5 observes that plain fan-in blurs origins: several correspondents
+"cannot be distinguished" by the receiving filter.  In the read-only
+discipline the *consumer* holds the input UIDs, so it can preserve
+identity simply by remembering which endpoint each record came from —
+something the write-only dual fundamentally cannot do.
+:class:`TaggedMerger` does exactly that: records emerge as
+``(label, record)`` pairs.
+
+This is the mechanism behind Figure 4's report window (which labels by
+source); the merger makes it available as an ordinary pipeline stage.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TYPE_CHECKING
+
+from repro.transput.primitives import active_input
+from repro.transput.readonly import ReadOnlyFilter
+from repro.transput.stream import StreamEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel import Kernel
+    from repro.core.uid import UID
+
+
+class TaggedMerger(ReadOnlyFilter):
+    """Merge several input streams into one stream of labelled pairs.
+
+    Args:
+        inputs: ``(label, endpoint)`` pairs.
+        strategy: ``"round_robin"`` (default — interleave one batch per
+            live input per round) or ``"concat"`` (drain in order).
+    """
+
+    eden_type = "TaggedMerger"
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        uid: "UID",
+        inputs: Sequence[tuple[str, StreamEndpoint]] = (),
+        name: str | None = None,
+        strategy: str = "round_robin",
+        batch_in: int = 1,
+        channel_mode: str = "open",
+    ) -> None:
+        if strategy not in ("concat", "round_robin"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        super().__init__(
+            kernel, uid, transducer=None,
+            inputs=[endpoint for _label, endpoint in inputs],
+            name=name, batch_in=batch_in, channel_mode=channel_mode,
+            input_strategy=strategy,
+        )
+        self.labels = [label for label, _endpoint in inputs]
+        self._tagged_live: list[tuple[str, StreamEndpoint]] = []
+        self._round_index = 0
+
+    def connect_labelled(self, label: str, endpoint: StreamEndpoint) -> None:
+        """Attach one more labelled input (before the simulation runs)."""
+        self.labels.append(label)
+        self.inputs.append(endpoint)
+
+    def _pull_once(self):
+        yield from self._ensure_started()
+        if not self._tagged_live and not self._input_done:
+            if not self._started_tagged():
+                yield from self._finish_input()
+                return
+        if not self._tagged_live:
+            yield from self._finish_input()
+            return
+        self._round_index %= len(self._tagged_live)
+        label, endpoint = self._tagged_live[self._round_index]
+        transfer = yield from active_input(self, endpoint, self.batch_in)
+        self.pulls_issued += 1
+        if transfer.at_end:
+            self._tagged_live.pop(self._round_index)
+            if not self._tagged_live:
+                yield from self._finish_input()
+            return
+        if self.input_strategy == "round_robin":
+            self._round_index += 1
+        buffer = self.buffers[self.channel_table.default]
+        for item in transfer.items:
+            buffer.append((label, item))
+
+    def _started_tagged(self) -> bool:
+        if self._tagged_live or self._input_done:
+            return bool(self._tagged_live)
+        if not self.inputs:
+            return False
+        self._tagged_live = list(zip(self.labels, self.inputs))
+        return True

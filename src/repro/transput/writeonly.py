@@ -1,0 +1,212 @@
+"""The write-only transput discipline (paper §5).
+
+The exact dual of read-only: a :class:`WriteOnlyFilter` performs
+**passive input** (it accepts Write invocations from whoever feeds it —
+"would not in general be concerned with the origin of the data it
+processed") and **active output** (it Writes its results to the
+endpoints it was told about at initialisation).
+
+Duality consequences reproduced here:
+
+- **Fan-out** is natural: any number of output endpoints per channel
+  ("can direct output to as many sinks as is convenient").
+- **Fan-in** is not: a filter has one logical primary input; several
+  writers are indistinguishable ("F cannot distinguish this from one
+  Eject making the same total number of Read invocations" — dually for
+  writes).  ``expected_ends`` only counts stream terminations; it
+  cannot separate interleaved streams.
+- **Secondary inputs** (§5): "a number of secondary inputs, which are
+  actively read.  These secondary inputs will typically be passive
+  buffers" — named endpoints drained with active Reads before the
+  primary stream is processed (e.g. a stream editor's command input).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Mapping, Sequence, TYPE_CHECKING
+
+from repro.core.errors import StreamProtocolError
+from repro.core.message import Invocation
+from repro.core.syscalls import (
+    NotifySignal,
+    Receive,
+    Signal,
+    Sleep,
+    WaitSignal,
+)
+from repro.transput.batching import OutputBatcher
+from repro.transput.filterbase import (
+    OUTPUT,
+    ReportingTransducer,
+    Transducer,
+    as_reporting,
+)
+from repro.transput.primitives import (
+    Primitive,
+    TransputEject,
+    WRITE_OP,
+    read_stream,
+)
+from repro.transput.stream import (
+    StreamEndpoint,
+    Transfer,
+    WriteAck,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.kernel import Kernel
+    from repro.core.uid import UID
+
+#: Marker queued internally when the primary input ends.
+_END = object()
+
+
+class WriteOnlyFilter(TransputEject):
+    """A filter in the write-only discipline.
+
+    Args:
+        transducer: the transformation (single- or multi-output).
+        outputs: channel name -> downstream endpoints (every channel
+            record is written to *each* of its endpoints — fan-out).
+            A plain sequence of endpoints is shorthand for
+            ``{"Output": endpoints}``.
+        secondary_inputs: name -> endpoint actively read (fully, in
+            declaration order) before primary processing starts; the
+            collected records are handed to the transducer via its
+            ``accept_secondary(name, items)`` method if it has one.
+        inbox_capacity: bound on queued unprocessed records; writers
+            are acknowledged only when their records fit (backpressure).
+        expected_ends: END transfers required to close the primary
+            input (several upstream writers may feed this filter).
+    """
+
+    eden_type = "WriteOnlyFilter"
+    #: Operations the receiver process answers (for behaviour specs).
+    answers_operations = ("Write",)
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        uid: "UID",
+        transducer: Transducer | ReportingTransducer | None = None,
+        outputs: Mapping[str, Sequence[StreamEndpoint]] | Sequence[StreamEndpoint] = (),
+        name: str | None = None,
+        secondary_inputs: Mapping[str, StreamEndpoint] | None = None,
+        inbox_capacity: int | None = None,
+        expected_ends: int = 1,
+        batch_out: int = 1,
+    ) -> None:
+        super().__init__(kernel, uid, name=name)
+        self.transducer = as_reporting(
+            transducer if transducer is not None else _identity()
+        )
+        self.outputs = _normalize_outputs(outputs)
+        self.secondary_inputs = dict(secondary_inputs or {})
+        self.inbox_capacity = inbox_capacity
+        self.expected_ends = max(1, int(expected_ends))
+        self.batch_out = max(1, int(batch_out))
+        self._inbox: deque[Any] = deque()
+        self._parked_writes: deque[Invocation] = deque()
+        self._ends_seen = 0
+        self.done = False
+        self.writes_accepted = 0
+        self._batcher: OutputBatcher | None = None
+        self._work = Signal(f"{self.name}.work")
+        self._space = Signal(f"{self.name}.space")
+
+    @property
+    def writes_issued(self) -> int:
+        """Write invocations this filter has performed so far."""
+        return self._batcher.writes_issued if self._batcher else 0
+
+    def connect_output(
+        self, endpoint: StreamEndpoint, channel: str = OUTPUT
+    ) -> None:
+        """Add a downstream endpoint for ``channel`` (fan-out)."""
+        self.outputs.setdefault(channel, []).append(endpoint)
+
+    # ------------------------------------------------------------------
+    # Processes: a receiver (passive input) and a worker (active output)
+    # ------------------------------------------------------------------
+
+    def process_bodies(self):
+        return [("receiver", self._receiver()), ("worker", self._worker())]
+
+    def _fits(self, count: int) -> bool:
+        if self.inbox_capacity is None:
+            return True
+        if not self._inbox:
+            return True
+        return len(self._inbox) + count <= self.inbox_capacity
+
+    def _receiver(self):
+        while True:
+            invocation = yield Receive(operations={WRITE_OP})
+            transfer = invocation.args[0]
+            if not isinstance(transfer, Transfer):
+                yield self.reply(
+                    invocation,
+                    error=StreamProtocolError("Write payload must be a Transfer"),
+                )
+                continue
+            if transfer.at_end:
+                self._ends_seen += 1
+                self.note_primitive(Primitive.PASSIVE_INPUT)
+                self.writes_accepted += 1
+                yield self.reply(invocation, WriteAck(accepted=0))
+                if self._ends_seen >= self.expected_ends:
+                    self._inbox.append(_END)
+                    yield NotifySignal(self._work)
+                continue
+            while not self._fits(len(transfer.items)):
+                yield WaitSignal(self._space)
+            self._inbox.extend(transfer.items)
+            self.note_primitive(Primitive.PASSIVE_INPUT)
+            self.writes_accepted += 1
+            yield self.reply(invocation, WriteAck(accepted=len(transfer.items)))
+            yield NotifySignal(self._work)
+
+    def _worker(self):
+        # Build the batcher lazily so outputs connected after creation
+        # (but before the simulation runs) are included.
+        self._batcher = OutputBatcher(self, self.outputs, batch=self.batch_out)
+        yield from self._read_secondary_inputs()
+        yield from self._batcher.emit(self.transducer.start())
+        cost = self.transducer.cost_per_item
+        while True:
+            while not self._inbox:
+                yield WaitSignal(self._work)
+            item = self._inbox.popleft()
+            yield NotifySignal(self._space)
+            if item is _END:
+                break
+            if cost:
+                yield Sleep(cost)
+            yield from self._batcher.emit(self.transducer.step(item))
+        yield from self._batcher.emit(self.transducer.finish())
+        yield from self._batcher.finish()
+        self.done = True
+
+    def _read_secondary_inputs(self):
+        """Drain each secondary input fully with active Reads (§5)."""
+        accept = getattr(self.transducer, "accept_secondary", None)
+        for input_name, endpoint in self.secondary_inputs.items():
+            items = yield from read_stream(self, endpoint)
+            if accept is not None:
+                accept(input_name, items)
+
+
+
+def _normalize_outputs(
+    outputs: Mapping[str, Sequence[StreamEndpoint]] | Sequence[StreamEndpoint],
+) -> dict[str, list[StreamEndpoint]]:
+    if isinstance(outputs, Mapping):
+        return {channel: list(eps) for channel, eps in outputs.items()}
+    return {OUTPUT: list(outputs)}
+
+
+def _identity() -> Transducer:
+    from repro.transput.filterbase import identity_transducer
+
+    return identity_transducer()

@@ -1,0 +1,162 @@
+"""Cost model exactness, the measurement harness, table rendering."""
+
+import pytest
+
+from repro.analysis import (
+    Measurement,
+    conventional_shape,
+    format_ratio,
+    format_table,
+    invocation_savings,
+    measure_pipeline,
+    predicted_invocations,
+    predicted_lazy_makespan,
+    predicted_pipelined_makespan,
+    readonly_shape,
+    shape_for,
+    sweep_pipeline_lengths,
+    writeonly_shape,
+)
+from repro.core import TransportCosts
+
+
+class TestShapes:
+    def test_paper_formulas(self):
+        """C1/C2 verbatim: n+2 Ejects & n+1 inv/datum vs 2n+3 & 2n+2."""
+        for n in range(0, 10):
+            ro = readonly_shape(n)
+            assert ro.ejects == n + 2
+            assert ro.buffers == 0
+            assert ro.invocations_per_datum == n + 1
+            conv = conventional_shape(n)
+            assert conv.ejects == 2 * n + 3
+            assert conv.buffers == n + 1
+            assert conv.invocations_per_datum == 2 * n + 2
+            assert writeonly_shape(n) == ro
+
+    def test_savings_is_exactly_half(self):
+        """§4: "roughly half as many invocations" — exactly half here."""
+        for n in range(0, 10):
+            assert invocation_savings(n) == 0.5
+
+    def test_shape_for_dispatch(self):
+        assert shape_for("readonly", 2) == readonly_shape(2)
+        with pytest.raises(ValueError):
+            shape_for("psychic", 2)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            readonly_shape(-1)
+
+
+class TestPredictedInvocations:
+    def test_batching(self):
+        # 10 items, batch 4 -> 3 data + 1 END = 4 transfers per hop.
+        assert predicted_invocations("readonly", 2, 10, batch=4) == 3 * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predicted_invocations("readonly", 1, -1)
+        with pytest.raises(ValueError):
+            predicted_invocations("readonly", 1, 10, batch=0)
+
+    def test_makespan_models_monotone(self):
+        assert predicted_lazy_makespan(3, 100, 1.0) > predicted_lazy_makespan(
+            1, 100, 1.0
+        )
+        assert predicted_pipelined_makespan(3, 100, 2.0) == (100 + 4) * 2.0
+        with pytest.raises(ValueError):
+            predicted_lazy_makespan(-1, 1, 1.0)
+        with pytest.raises(ValueError):
+            predicted_pipelined_makespan(-1, 1, 1.0)
+
+
+class TestMeasureMatchesModel:
+    @pytest.mark.parametrize("discipline", ["readonly", "writeonly",
+                                            "conventional"])
+    @pytest.mark.parametrize("n", [0, 1, 3, 6])
+    def test_exact_for_identity_pipelines(self, discipline, n):
+        """The simulator reproduces the paper's counts *exactly*."""
+        measurement = measure_pipeline(discipline, n, items=12)
+        assert measurement.matches_prediction, measurement
+
+    @pytest.mark.parametrize("batch", [1, 2, 5])
+    def test_exact_across_batch_sizes(self, batch):
+        measurement = measure_pipeline("readonly", 2, items=10, batch=batch)
+        assert measurement.invocations == measurement.predicted_invocations
+
+    def test_sweep(self):
+        measurements = sweep_pipeline_lengths(
+            ("readonly", "conventional"), (1, 2), items=5
+        )
+        assert len(measurements) == 4
+        assert all(m.matches_prediction for m in measurements)
+
+    def test_invocations_per_datum_property(self):
+        measurement = measure_pipeline("readonly", 3, items=50)
+        # n+1 = 4 plus END overhead: between 4 and 4.1.
+        assert 4.0 <= measurement.invocations_per_datum <= 4.1
+
+    def test_custom_costs_affect_makespan_not_counts(self):
+        cheap = measure_pipeline("readonly", 2, items=5)
+        slow = measure_pipeline(
+            "readonly", 2, items=5,
+            costs=TransportCosts(local_latency=10.0),
+        )
+        assert cheap.invocations == slow.invocations
+        assert slow.virtual_makespan > cheap.virtual_makespan
+
+    def test_zero_items_per_datum_guard(self):
+        measurement = measure_pipeline("readonly", 1, items=0)
+        assert measurement.invocations_per_datum == 0.0
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        table = format_table(
+            ["name", "n"], [["readonly", 3], ["conventional", 10]],
+            title="T",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert lines[3].endswith("3")
+        assert lines[4].endswith("10")
+
+    def test_float_rendering(self):
+        table = format_table(["x"], [[1.0], [1.25]])
+        assert " 1" in table or "1\n" in table
+        assert "1.25" in table
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        table = format_table(["a"], [])
+        assert "a" in table
+
+    def test_ratio(self):
+        assert format_ratio(1, 2) == "0.50x"
+        assert format_ratio(1, 0) == "n/a"
+
+
+class TestMeasurementMismatchPath:
+    def test_matches_prediction_false_when_counts_differ(self):
+        from dataclasses import replace
+
+        measurement = measure_pipeline("readonly", 1, items=5)
+        broken = replace(measurement, invocations=measurement.invocations + 1)
+        assert measurement.matches_prediction
+        assert not broken.matches_prediction
+
+
+class TestTracerFormatting:
+    def test_format_subset(self):
+        from repro.core.tracing import Tracer
+
+        tracer = Tracer(enabled=True)
+        tracer.emit(1.0, "invoke", "a")
+        tracer.emit(2.0, "reply", "b")
+        only_replies = tracer.format(tracer.of_kind("reply"))
+        assert "reply" in only_replies and "invoke" not in only_replies

@@ -1,0 +1,104 @@
+"""Trace analysis helpers: timelines, histograms, sequence diagrams."""
+
+import pytest
+
+from repro.analysis import (
+    format_sequence_diagram,
+    interaction_histogram,
+    invocation_timeline,
+    participants,
+)
+from repro.core import Kernel
+from repro.filters import upper_case
+from repro.transput import build_readonly_pipeline
+
+
+@pytest.fixture
+def traced_run():
+    kernel = Kernel(trace=True)
+    pipeline = build_readonly_pipeline(kernel, ["a", "b"], [upper_case()])
+    pipeline.run_to_completion()
+    return kernel, pipeline
+
+
+class TestTimeline:
+    def test_rows_in_send_order(self, traced_run):
+        kernel, _ = traced_run
+        timeline = invocation_timeline(kernel.tracer)
+        assert len(timeline) == 6  # 3 sink reads + 3 filter reads
+        assert all(
+            earlier.time <= later.time
+            for earlier, later in zip(timeline, timeline[1:])
+        )
+
+    def test_targets_resolved_to_names(self, traced_run):
+        kernel, pipeline = traced_run
+        timeline = invocation_timeline(kernel.tracer)
+        names = {entry.target for entry in timeline}
+        assert pipeline.filters[0].name in names
+        assert pipeline.source.name in names
+
+    def test_empty_trace(self):
+        kernel = Kernel(trace=True)
+        assert invocation_timeline(kernel.tracer) == []
+
+
+class TestHistogram:
+    def test_counts_per_edge(self, traced_run):
+        kernel, pipeline = traced_run
+        histogram = interaction_histogram(kernel.tracer)
+        sink_edge = (
+            pipeline.sink.name, pipeline.filters[0].name, "Read"
+        )
+        filter_edge = (
+            pipeline.filters[0].name, pipeline.source.name, "Read"
+        )
+        assert histogram[sink_edge] == 3
+        assert histogram[filter_edge] == 3
+
+    def test_participants_order(self, traced_run):
+        kernel, pipeline = traced_run
+        names = participants(kernel.tracer)
+        assert names[0] == pipeline.sink.name  # first sender
+
+
+class TestSequenceDiagram:
+    def test_renders_all_parties(self, traced_run):
+        kernel, pipeline = traced_run
+        diagram = format_sequence_diagram(kernel.tracer)
+        for eject in pipeline.ejects:
+            assert eject.name in diagram
+        assert "Read @" in diagram
+        assert ">" in diagram
+
+    def test_truncation_note(self, traced_run):
+        kernel, _ = traced_run
+        diagram = format_sequence_diagram(kernel.tracer, max_messages=2)
+        assert "more messages" in diagram
+
+    def test_empty(self):
+        kernel = Kernel(trace=True)
+        assert "no invocations" in format_sequence_diagram(kernel.tracer)
+
+    def test_self_invocation_marked(self):
+        from repro.core import Eject
+
+        kernel = Kernel(trace=True)
+
+        class Selfie(Eject):
+            eden_type = "Selfie"
+
+            def op_Pong(self, invocation):
+                return True
+
+            def op_Go(self, invocation):
+                # Invoke ourselves; the second server process answers.
+                return (yield self.call(self.uid, "Pong"))
+
+            def process_bodies(self):
+                return [("main", self.main()), ("second", self.main())]
+
+        selfie = kernel.create(Selfie)
+        assert kernel.call_sync(selfie.uid, "Go") is True
+        diagram = format_sequence_diagram(kernel.tracer)
+        assert "O" in diagram

@@ -1,0 +1,25 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Kernel
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    """A fresh deterministic kernel per test."""
+    return Kernel(seed=0)
+
+
+@pytest.fixture
+def traced_kernel() -> Kernel:
+    """A kernel with structured tracing enabled."""
+    return Kernel(seed=0, trace=True)
+
+
+def run_until_done(kernel: Kernel, *parts, max_steps: int | None = 1_000_000):
+    """Run the simulation until every part's ``done`` flag is set."""
+    kernel.run(max_steps=max_steps, until=lambda: all(p.done for p in parts))
+    kernel.run(max_steps=max_steps)

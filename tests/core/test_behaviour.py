@@ -1,0 +1,102 @@
+"""Behavioural compatibility checks (paper §2)."""
+
+from repro.core import Eject
+from repro.core.behaviour import (
+    BehaviourSpec,
+    DIRECTORY_SPEC,
+    MAP_SPEC,
+    SINK_SPEC,
+    SOURCE_SPEC,
+    TRANSFER_SPEC,
+    implements,
+    operations_of,
+)
+from repro.filesystem import (
+    Directory,
+    DirectoryConcatenator,
+    EdenFile,
+    MapFile,
+    TransactionalDirectory,
+    UnixFile,
+)
+from repro.transput import ListSource, PassiveBuffer, PassiveSink
+from repro.transput.readonly import ReadOnlyFilter
+
+
+class TestOperationsOf:
+    def test_op_methods_collected(self):
+        class Sample(Eject):
+            eden_type = "Sample"
+
+            def op_Foo(self, invocation):
+                return 1
+
+            def op_Bar(self, invocation):
+                return 2
+
+        assert operations_of(Sample) == {"Foo", "Bar"}
+
+    def test_inherited_operations_included(self):
+        assert "Lookup" in operations_of(TransactionalDirectory)
+
+    def test_declared_operations_included(self):
+        class Manual(Eject):
+            eden_type = "Manual"
+            answers_operations = ("Ping",)
+
+        assert "Ping" in operations_of(Manual)
+
+
+class TestTheDirectoryMachine:
+    def test_directory_implements_it(self):
+        assert implements(Directory, DIRECTORY_SPEC)
+
+    def test_concatenator_is_a_satisfactory_directory(self):
+        """The paper's §2 worked example: "any Eject which responds in
+        the appropriate way is a satisfactory directory" — modulo the
+        mutating operations, which the concatenator also answers (via
+        AddDirectory semantics it forwards differently, so we check the
+        Lookup/List face)."""
+        lookup_face = BehaviourSpec.of("lookup-face", "Lookup", "List")
+        assert implements(DirectoryConcatenator, lookup_face)
+
+    def test_transactional_directory_specializes_directory(self):
+        base = BehaviourSpec("dir", operations_of(Directory))
+        extended = BehaviourSpec(
+            "txn-dir", operations_of(TransactionalDirectory)
+        )
+        assert extended.specializes(base)  # S' ⊇ S
+
+    def test_missing_operations_reported(self):
+        assert DIRECTORY_SPEC.missing_from(ListSource) == {
+            "Lookup", "AddEntry", "DeleteEntry", "List"
+        }
+
+
+class TestTheStreamMachines:
+    def test_sources_everywhere(self):
+        for cls in (ListSource, EdenFile, Directory, MapFile, UnixFile):
+            assert implements(cls, SOURCE_SPEC), cls
+            assert implements(cls, TRANSFER_SPEC), cls
+
+    def test_sinks(self):
+        assert implements(PassiveSink, SINK_SPEC)
+        assert implements(EdenFile, SINK_SPEC)  # files accept Writes too
+
+    def test_mapfile_implements_both_protocols(self):
+        """§6: "it may support both protocols"."""
+        assert implements(MapFile, MAP_SPEC)
+        assert implements(MapFile, SOURCE_SPEC)
+
+    def test_plain_file_is_not_a_map(self):
+        assert not implements(EdenFile, MAP_SPEC)
+
+    def test_buffer_answers_both_faces(self):
+        # PassiveBuffer serves Read/Write from a hand-written main
+        # loop; it declares them via answers_operations.
+        assert implements(PassiveBuffer, SOURCE_SPEC)
+        assert implements(PassiveBuffer, SINK_SPEC)
+
+    def test_readonly_filter_is_a_source_not_a_sink(self):
+        assert implements(ReadOnlyFilter, SOURCE_SPEC)
+        assert not implements(ReadOnlyFilter, SINK_SPEC)

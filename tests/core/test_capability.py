@@ -1,0 +1,75 @@
+"""Channel capability minting and validation (paper §5 security)."""
+
+from repro.core.capability import (
+    PRIMARY_CHANNEL,
+    REPORT_CHANNEL,
+    ChannelCapability,
+    ChannelMinter,
+)
+from repro.core.uid import UIDFactory
+
+
+def make_minter(seed: int = 0) -> ChannelMinter:
+    return ChannelMinter(UIDFactory(seed=seed).issue())
+
+
+class TestMinting:
+    def test_mint_is_idempotent(self):
+        minter = make_minter()
+        first = minter.mint("Output")
+        second = minter.mint("Output")
+        assert first == second
+        assert minter.names() == ["Output"]
+
+    def test_distinct_channels_distinct_secrets(self):
+        minter = make_minter()
+        a = minter.mint(PRIMARY_CHANNEL)
+        b = minter.mint(REPORT_CHANNEL)
+        assert a != b
+        assert a.secret != b.secret
+
+    def test_deterministic_across_runs(self):
+        a = make_minter().mint("Output")
+        b = make_minter().mint("Output")
+        assert a == b
+
+    def test_str_form(self):
+        cap = make_minter().mint("Report")
+        assert "Report" in str(cap)
+
+
+class TestValidation:
+    def test_genuine_validates(self):
+        minter = make_minter()
+        cap = minter.mint("Output")
+        assert minter.validate(cap) == "Output"
+
+    def test_forged_secret_rejected(self):
+        minter = make_minter()
+        cap = minter.mint("Output")
+        forged = ChannelCapability(owner=cap.owner, name="Output",
+                                   secret=cap.secret ^ 1)
+        assert minter.validate(forged) is None
+
+    def test_unminted_name_rejected(self):
+        minter = make_minter()
+        minter.mint("Output")
+        foreign = ChannelCapability(
+            owner=minter.mint("Output").owner, name="Report", secret=123
+        )
+        assert minter.validate(foreign) is None
+
+    def test_other_minters_capability_rejected(self):
+        ours = make_minter(seed=0)
+        ours.mint("Output")
+        # A minter over a *different* UID mints capabilities that must
+        # not validate against ours, even for the same channel name.
+        other_uid = list(UIDFactory(seed=5).issue_many(2))[1]
+        cap = ChannelMinter(other_uid).mint("Output")
+        assert ours.validate(cap) is None
+
+    def test_plain_identifiers_not_validated_here(self):
+        minter = make_minter()
+        minter.mint("Output")
+        assert minter.validate("Output") is None  # type: ignore[arg-type]
+        assert minter.validate(0) is None  # type: ignore[arg-type]

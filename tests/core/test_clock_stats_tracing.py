@@ -1,0 +1,104 @@
+"""VirtualClock, KernelStats and Tracer behaviour."""
+
+import pytest
+
+from repro.core.clock import VirtualClock
+from repro.core.errors import KernelError
+from repro.core.stats import KernelStats
+from repro.core.tracing import Tracer
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance_to(4.5)
+        assert clock.now == 4.5
+
+    def test_advance_to_same_time_is_fine(self):
+        clock = VirtualClock(start=3.0)
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_backwards_rejected(self):
+        clock = VirtualClock(start=10.0)
+        with pytest.raises(KernelError):
+            clock.advance_to(9.0)
+
+
+class TestStats:
+    def test_bump_and_get(self):
+        stats = KernelStats()
+        stats.bump("x")
+        stats.bump("x", 4)
+        assert stats.get("x") == 5
+        assert stats.get("missing") == 0
+
+    def test_negative_bump_rejected(self):
+        with pytest.raises(ValueError):
+            KernelStats().bump("x", -1)
+
+    def test_snapshot_is_isolated(self):
+        stats = KernelStats()
+        stats.bump("x")
+        snap = stats.snapshot()
+        stats.bump("x")
+        assert snap["x"] == 1
+        assert stats.get("x") == 2
+
+    def test_diff(self):
+        stats = KernelStats()
+        stats.bump("a", 3)
+        before = stats.snapshot()
+        stats.bump("a", 2)
+        stats.bump("b", 7)
+        delta = stats.snapshot().diff(before)
+        assert delta["a"] == 2
+        assert delta["b"] == 7
+
+    def test_names_sorted(self):
+        stats = KernelStats()
+        stats.bump("zeta")
+        stats.bump("alpha")
+        assert stats.names() == ["alpha", "zeta"]
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "invoke", "someone")
+        assert tracer.events == []
+
+    def test_enabled_collects(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit(1.0, "invoke", "a", op="Read")
+        tracer.emit(2.0, "reply", "b")
+        assert len(tracer.events) == 2
+        assert tracer.of_kind("invoke")[0].detail["op"] == "Read"
+
+    def test_capacity_drops_oldest(self):
+        tracer = Tracer(enabled=True, capacity=2)
+        for index in range(5):
+            tracer.emit(float(index), "tick", f"s{index}")
+        assert [event.subject for event in tracer.events] == ["s3", "s4"]
+
+    def test_listener_called(self):
+        tracer = Tracer(enabled=True)
+        seen = []
+        tracer.subscribe(seen.append)
+        tracer.emit(0.0, "x", "y")
+        assert len(seen) == 1
+
+    def test_format_renders_lines(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit(1.5, "invoke", "client", op="Read")
+        text = tracer.format()
+        assert "invoke" in text and "op=Read" in text
+
+    def test_clear(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit(0.0, "x", "y")
+        tracer.clear()
+        assert tracer.events == []

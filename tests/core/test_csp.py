@@ -1,0 +1,105 @@
+"""The §3 CSP comparison: rendezvous channels, three interpretations."""
+
+import pytest
+
+from repro.core import Kernel
+from repro.core.errors import StreamProtocolError
+from repro.csp import (
+    CHANNEL_CLOSED,
+    CSPConsumer,
+    CSPProducer,
+    RendezvousChannel,
+    run_interpretations,
+)
+
+VALUES = list(range(10))
+
+
+class TestRendezvousChannel:
+    def test_send_receive_round_trip(self, kernel):
+        channel = kernel.create(RendezvousChannel)
+        consumer = kernel.create(CSPConsumer, channel=channel.uid)
+        producer = kernel.create(
+            CSPProducer, channel=channel.uid, values=["a", "b"]
+        )
+        kernel.run()
+        assert consumer.received == ["a", "b"]
+        assert producer.done and consumer.done
+        assert channel.rendezvous_count == 2
+
+    def test_sender_blocks_until_receiver(self, kernel):
+        channel = kernel.create(RendezvousChannel)
+        producer = kernel.create(
+            CSPProducer, channel=channel.uid, values=["x"]
+        )
+        kernel.run()
+        assert not producer.done  # parked in rendezvous
+        consumer = kernel.create(CSPConsumer, channel=channel.uid)
+        kernel.run()
+        assert producer.done and consumer.received == ["x"]
+
+    def test_receiver_blocks_until_sender(self, kernel):
+        channel = kernel.create(RendezvousChannel)
+        consumer = kernel.create(CSPConsumer, channel=channel.uid)
+        kernel.run()
+        assert not consumer.done
+        kernel.create(CSPProducer, channel=channel.uid, values=["y"])
+        kernel.run()
+        assert consumer.done and consumer.received == ["y"]
+
+    def test_close_releases_parked_receivers(self, kernel):
+        channel = kernel.create(RendezvousChannel)
+        consumer = kernel.create(CSPConsumer, channel=channel.uid)
+        kernel.run()
+        kernel.call_sync(channel.uid, "Close")
+        kernel.run()
+        assert consumer.done and consumer.received == []
+
+    def test_receive_after_close_returns_closed(self, kernel):
+        channel = kernel.create(RendezvousChannel)
+        kernel.call_sync(channel.uid, "Close")
+        assert kernel.call_sync(channel.uid, "Receive") == CHANNEL_CLOSED
+
+    def test_send_after_close_rejected(self, kernel):
+        channel = kernel.create(RendezvousChannel)
+        kernel.call_sync(channel.uid, "Close")
+        with pytest.raises(StreamProtocolError):
+            kernel.call_sync(channel.uid, "Send", "late")
+
+    def test_no_buffering(self, kernel):
+        """Rendezvous means the k-th send cannot complete before the
+        k-th receive: strictly synchronous."""
+        channel = kernel.create(RendezvousChannel)
+        producer = kernel.create(
+            CSPProducer, channel=channel.uid, values=[1, 2, 3]
+        )
+        kernel.run()
+        # Producer stuck on the *first* send; nothing got through.
+        assert not producer.done
+        assert channel.rendezvous_count == 0
+
+
+class TestInterpretations:
+    def test_all_three_move_the_same_values(self):
+        results = run_interpretations(VALUES)
+        outputs = {result.output == VALUES for result in results.values()}
+        assert outputs == {True}
+
+    def test_cost_structure_is_2_1_1(self):
+        """§3 quantified: making one side passive removes the
+        interpreter Eject and half the invocations."""
+        results = run_interpretations(VALUES)
+        both = results["both-active"]
+        read = results["input-active"]
+        write = results["output-active"]
+        # both-active: m Sends + (m+1) Receives + 1 Close = 2m + 2;
+        # the direct forms: m transfers + 1 END = m + 1.
+        assert both.invocations == 2 * len(VALUES) + 2
+        assert read.invocations == len(VALUES) + 1
+        assert write.invocations == len(VALUES) + 1
+        assert both.ejects == 3
+        assert read.ejects == write.ejects == 2
+
+    def test_empty_stream(self):
+        results = run_interpretations([])
+        assert all(result.output == [] for result in results.values())

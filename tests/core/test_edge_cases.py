@@ -1,0 +1,265 @@
+"""Edge cases across the core: receive filters, parked mail, signals,
+scheduler misuse, channel helpers."""
+
+import pytest
+
+from repro.core import (
+    Call,
+    Eject,
+    Kernel,
+    Receive,
+    SendReply,
+    Sleep,
+)
+from repro.core.capability import ChannelCapability
+from repro.core.errors import EjectDeactivatedError, KernelError
+from repro.core.process import Process, ProcessState
+from repro.core.scheduler import Scheduler
+from repro.core.syscalls import GetTime
+
+
+class TestReceiveChannelFiltering:
+    def test_channel_qualified_receive(self, kernel):
+        order = []
+
+        class Demux(Eject):
+            eden_type = "Demux"
+
+            def main(self):
+                red = yield Receive.of(channels=["red"])
+                order.append(("red", red.args[0]))
+                yield SendReply(red, None)
+                blue = yield Receive.of(channels=["blue"])
+                order.append(("blue", blue.args[0]))
+                yield SendReply(blue, None)
+
+        demux = kernel.create(Demux)
+
+        def client_blue():
+            yield Call(target=demux.uid, operation="Put", args=(1,),
+                       channel="blue")
+
+        def client_red():
+            yield Sleep(1.0)
+            yield Call(target=demux.uid, operation="Put", args=(2,),
+                       channel="red")
+
+        kernel.spawn_client(client_blue())
+        kernel.spawn_client(client_red())
+        kernel.run()
+        # The red receive matched first despite blue arriving earlier.
+        assert order == [("red", 2), ("blue", 1)]
+
+    def test_unqualified_invocation_matches_none_channel_filter(self, kernel):
+        got = []
+
+        class OnlyPlain(Eject):
+            eden_type = "OnlyPlain"
+
+            def main(self):
+                invocation = yield Receive.of(channels=[None])
+                got.append(invocation.channel)
+                yield SendReply(invocation, None)
+
+        plain = kernel.create(OnlyPlain)
+        kernel.call_sync(plain.uid, "Op")
+        assert got == [None]
+
+
+class TestParkedMailAcrossDeactivation:
+    def test_mail_parked_while_passive_is_redelivered(self, kernel):
+        class Sleeper(Eject):
+            eden_type = "Sleeper"
+
+            def __init__(self, kernel, uid, name=None):
+                super().__init__(kernel, uid, name=name)
+                self.handled = []
+
+            def op_Note(self, invocation):
+                self.handled.append(invocation.args[0])
+                return True
+
+            def op_Nap(self, invocation):
+                yield self.checkpoint()
+                yield self.reply(invocation, True)
+                yield self.deactivate()
+
+            def passive_representation(self):
+                return {"handled": list(self.handled)}
+
+            def restore(self, data):
+                self.handled = list(data["handled"])
+
+        sleeper = kernel.create(Sleeper)
+        kernel.call_sync(sleeper.uid, "Nap")
+        assert kernel.find(sleeper.uid) is None
+        # Invoking the passive Eject reactivates it and serves the call.
+        assert kernel.call_sync(sleeper.uid, "Note", "wake") is True
+        reborn = kernel.find(sleeper.uid)
+        assert reborn is not sleeper
+        assert reborn.handled == ["wake"]
+
+    def test_deactivate_without_checkpoint_errors_queued_mail(self, kernel):
+        class Quitter(Eject):
+            eden_type = "Quitter"
+
+            def main(self):
+                first = yield Receive()
+                yield self.reply(first, "served")
+                yield self.deactivate()
+
+        quitter = kernel.create(Quitter)
+        results = {}
+
+        def client(tag):
+            def body():
+                try:
+                    results[tag] = yield Call(target=quitter.uid, operation="Op")
+                except EjectDeactivatedError as exc:
+                    results[tag] = exc
+
+            return body
+
+        kernel.spawn_client(client("first")())
+        kernel.spawn_client(client("second")())
+        kernel.run()
+        assert results["first"] == "served"
+        assert isinstance(results["second"], EjectDeactivatedError)
+
+
+class TestSchedulerMisuse:
+    def test_unblock_ready_process_rejected(self):
+        scheduler = Scheduler()
+
+        def body():
+            yield GetTime()
+
+        process = scheduler.spawn(body(), name="p")
+        with pytest.raises(KernelError):
+            scheduler.unblock(process, None)
+
+    def test_unblock_dead_process_is_noop(self):
+        scheduler = Scheduler()
+
+        def body():
+            return
+            yield  # pragma: no cover
+
+        process = scheduler.spawn(body(), name="p")
+        scheduler.run()
+        scheduler.unblock(process, None)  # silently ignored
+        assert process.state is ProcessState.DONE
+
+    def test_step_finished_process_rejected(self):
+        def body():
+            return
+            yield  # pragma: no cover
+
+        process = Process(body(), name="p")
+        process.step()
+        with pytest.raises(KernelError):
+            process.step()
+
+    def test_receive_outside_eject_rejected(self, kernel):
+        def rogue():
+            yield Receive()
+
+        process = kernel.spawn_client(rogue())
+        with pytest.raises(Exception, match="only Eject processes"):
+            kernel.run(until=lambda: not process.alive)
+
+    def test_checkpoint_outside_eject_rejected(self, kernel):
+        from repro.core.syscalls import DoCheckpoint
+
+        def rogue():
+            yield DoCheckpoint()
+
+        process = kernel.spawn_client(rogue())
+        with pytest.raises(Exception, match="only Ejects"):
+            kernel.run(until=lambda: not process.alive)
+
+
+class TestChannelHelpersOnEject:
+    def test_mint_and_validate(self, kernel):
+        class Owner(Eject):
+            eden_type = "ChanOwner"
+
+        owner = kernel.create(Owner)
+        cap = owner.mint_channel("Report")
+        assert owner.validate_channel(cap) == "Report"
+        assert owner.validate_channel("Report") == "Report"
+        assert owner.validate_channel(3) == "3"
+        assert owner.validate_channel(None) is None
+
+    def test_foreign_capability_fails_validation(self, kernel):
+        class Owner(Eject):
+            eden_type = "ChanOwner2"
+
+        ours = kernel.create(Owner)
+        ours.mint_channel("Report")
+        foreign = ChannelCapability(
+            owner=ours.uid, name="Report", secret=12345
+        )
+        assert ours.validate_channel(foreign) is None
+
+
+class TestReactivationCornerCases:
+    def test_all_nodes_crashed_is_fatal(self):
+        kernel = Kernel()
+
+        class Durable(Eject):
+            eden_type = "Durable"
+
+            def op_Save(self, invocation):
+                yield self.checkpoint()
+                return True
+
+        durable = kernel.create(Durable)
+        kernel.call_sync(durable.uid, "Save")
+        kernel.crash_node("node-0")
+        # Everything is down; the invocation cannot find a home.
+        with pytest.raises(Exception):
+            kernel.call_sync(durable.uid, "Save")
+
+
+class TestDeactivateWithInFlightService:
+    def test_in_service_invocation_fails_on_deactivate(self, kernel):
+        """A worker mid-operation when another process deactivates the
+        Eject: the stranded caller gets a clean error, not a hang."""
+        from repro.core import Eject, Sleep
+        from repro.core.syscalls import Call
+
+        class TwoFace(Eject):
+            eden_type = "TwoFace"
+
+            def op_Slow(self, invocation):
+                yield Sleep(100.0)
+                return "never"
+
+            def op_Quit(self, invocation):
+                yield self.reply(invocation, "bye")
+                yield self.deactivate()
+
+            def process_bodies(self):
+                return [("a", self.main()), ("b", self.main())]
+
+        service = kernel.create(TwoFace)
+        outcomes = {}
+
+        def slow_client():
+            try:
+                outcomes["slow"] = yield Call(target=service.uid,
+                                              operation="Slow")
+            except EjectDeactivatedError as exc:
+                outcomes["slow"] = exc
+
+        def quit_client():
+            yield Sleep(5.0)  # let Slow get into service first
+            outcomes["quit"] = yield Call(target=service.uid,
+                                          operation="Quit")
+
+        kernel.spawn_client(slow_client())
+        kernel.spawn_client(quit_client())
+        kernel.run()
+        assert outcomes["quit"] == "bye"
+        assert isinstance(outcomes["slow"], EjectDeactivatedError)

@@ -1,0 +1,406 @@
+"""Ejects, invocation dispatch, and the kernel's lifecycle machinery."""
+
+import pytest
+
+from repro.core import (
+    Call,
+    Eject,
+    Invoke,
+    AwaitReply,
+    Kernel,
+    Receive,
+    SendReply,
+    Sleep,
+)
+from repro.core.errors import (
+    EjectCrashedError,
+    EjectDeactivatedError,
+    ForgeryError,
+    InvocationError,
+    KernelError,
+    NoSuchOperationError,
+    UnknownUIDError,
+)
+from repro.core.uid import UID
+
+
+class Greeter(Eject):
+    eden_type = "Greeter"
+
+    def op_Greet(self, invocation):
+        return f"hello, {invocation.args[0]}"
+
+    def op_Fail(self, invocation):
+        raise InvocationError("deliberate")
+
+    def op_Boom(self, invocation):
+        raise RuntimeError("not an EdenError")
+
+    def op_Slow(self, invocation):
+        yield Sleep(10.0)
+        return "finally"
+
+
+class Counter(Eject):
+    eden_type = "Counter"
+
+    def __init__(self, kernel, uid, name=None, start=0):
+        super().__init__(kernel, uid, name=name)
+        self.value = start
+
+    def op_Increment(self, invocation):
+        self.value += 1
+        return self.value
+
+    def op_Value(self, invocation):
+        return self.value
+
+    def op_Save(self, invocation):
+        yield self.checkpoint()
+        return True
+
+    def op_Quit(self, invocation):
+        yield self.reply(invocation, "bye")
+        yield self.deactivate()
+
+    def passive_representation(self):
+        return {"value": self.value}
+
+    def restore(self, data):
+        self.value = data["value"]
+
+
+class TestDispatch:
+    def test_call_sync_round_trip(self, kernel):
+        greeter = kernel.create(Greeter)
+        assert kernel.call_sync(greeter.uid, "Greet", "world") == "hello, world"
+
+    def test_unknown_operation(self, kernel):
+        greeter = kernel.create(Greeter)
+        with pytest.raises(NoSuchOperationError):
+            kernel.call_sync(greeter.uid, "Nope")
+
+    def test_eden_error_becomes_error_reply(self, kernel):
+        greeter = kernel.create(Greeter)
+        with pytest.raises(InvocationError, match="deliberate"):
+            kernel.call_sync(greeter.uid, "Fail")
+        # The server loop survives the error.
+        assert kernel.call_sync(greeter.uid, "Greet", "x") == "hello, x"
+
+    def test_non_eden_error_fails_the_process(self, kernel):
+        greeter = kernel.create(Greeter)
+        with pytest.raises(Exception, match="not an EdenError"):
+            kernel.call_sync(greeter.uid, "Boom")
+
+    def test_generator_handler_with_syscalls(self, kernel):
+        greeter = kernel.create(Greeter)
+        assert kernel.call_sync(greeter.uid, "Slow") == "finally"
+        assert kernel.clock.now >= 10.0
+
+    def test_state_persists_across_invocations(self, kernel):
+        counter = kernel.create(Counter, start=5)
+        assert kernel.call_sync(counter.uid, "Increment") == 6
+        assert kernel.call_sync(counter.uid, "Increment") == 7
+
+    def test_sender_is_redacted(self, kernel):
+        seen = {}
+
+        class Spy(Eject):
+            eden_type = "Spy"
+
+            def op_Probe(self, invocation):
+                seen["sender"] = invocation.sender
+                return True
+
+        spy = kernel.create(Spy)
+        greeter = kernel.create(Greeter)
+
+        class Caller(Eject):
+            eden_type = "Caller"
+
+            def main(self):
+                yield self.call(spy.uid, "Probe")
+
+        kernel.create(Caller)
+        kernel.run()
+        # The kernel knows the sender (for reply routing) but the
+        # receiving Eject must not (paper §5).
+        assert seen["sender"] is None
+        assert greeter is not None
+
+
+class TestAsynchronousInvocation:
+    def test_invoke_does_not_suspend_sender(self, kernel):
+        """Eden semantics: sending does not block (paper §1)."""
+        order = []
+        greeter = kernel.create(Greeter)
+
+        class Sender(Eject):
+            eden_type = "Sender"
+
+            def main(self):
+                ticket = yield Invoke(target=greeter.uid, operation="Slow")
+                order.append("sent")
+                order.append("working-while-waiting")
+                result = yield AwaitReply(ticket)
+                order.append(result)
+
+        kernel.create(Sender)
+        kernel.run()
+        assert order == ["sent", "working-while-waiting", "finally"]
+
+    def test_multiple_outstanding_invocations(self, kernel):
+        greeter = kernel.create(Greeter)
+        results = []
+
+        class Fanner(Eject):
+            eden_type = "Fanner"
+
+            def main(self):
+                tickets = []
+                for name in ("a", "b", "c"):
+                    tickets.append(
+                        (yield Invoke(target=greeter.uid, operation="Greet",
+                                      args=(name,)))
+                    )
+                for ticket in tickets:
+                    results.append((yield AwaitReply(ticket)))
+
+        kernel.create(Fanner)
+        kernel.run()
+        assert results == ["hello, a", "hello, b", "hello, c"]
+
+    def test_await_unknown_ticket(self, kernel):
+        class Bad(Eject):
+            eden_type = "Bad"
+
+            def main(self):
+                yield AwaitReply(999_999)
+
+        kernel.create(Bad)
+        with pytest.raises(Exception, match="ticket"):
+            kernel.run()
+
+    def test_double_await_rejected(self, kernel):
+        greeter = kernel.create(Greeter)
+        errors = []
+
+        class Bad2(Eject):
+            eden_type = "Bad2"
+
+            def main(self):
+                ticket = yield Invoke(target=greeter.uid, operation="Slow")
+                result = yield AwaitReply(ticket)
+                try:
+                    yield AwaitReply(ticket)
+                except KernelError as exc:
+                    errors.append((result, exc))
+
+        kernel.create(Bad2)
+        kernel.run()
+        assert errors and errors[0][0] == "finally"
+
+
+class TestTargetValidation:
+    def test_forged_uid_rejected(self, kernel):
+        kernel.create(Greeter)
+        forged = UID(space=0, serial=0, nonce=12345)
+        with pytest.raises(ForgeryError):
+            kernel.call_sync(forged, "Greet", "x")
+
+    def test_unknown_uid_rejected(self, kernel):
+        # Genuine UID, but no Eject was ever created for it.
+        orphan = kernel.uids.issue()
+        with pytest.raises(UnknownUIDError):
+            kernel.call_sync(orphan, "Greet", "x")
+
+
+class TestCrashRecovery:
+    def test_crash_without_checkpoint_then_invoke(self, kernel):
+        counter = kernel.create(Counter)
+        kernel.crash_eject(counter.uid)
+        with pytest.raises(EjectCrashedError):
+            kernel.call_sync(counter.uid, "Value")
+
+    def test_crash_with_checkpoint_reactivates(self, kernel):
+        counter = kernel.create(Counter, start=3)
+        kernel.call_sync(counter.uid, "Increment")
+        kernel.call_sync(counter.uid, "Save")
+        kernel.call_sync(counter.uid, "Increment")  # not checkpointed
+        kernel.crash_eject(counter.uid)
+        # Reactivated from the passive representation: value == 4.
+        assert kernel.call_sync(counter.uid, "Value") == 4
+        assert kernel.stats.get("ejects_activated") == 1
+
+    def test_node_crash_takes_down_residents(self, kernel):
+        node = kernel.node("vax2")
+        counter = kernel.create(Counter, node=node)
+        kernel.crash_node("vax2")
+        with pytest.raises(EjectCrashedError):
+            kernel.call_sync(counter.uid, "Value")
+
+    def test_node_recovery_allows_reactivation(self, kernel):
+        node = kernel.node("vax2")
+        counter = kernel.create(Counter, start=9, node=node)
+        kernel.call_sync(counter.uid, "Save")
+        kernel.crash_node("vax2")
+        kernel.recover_node("vax2")
+        assert kernel.call_sync(counter.uid, "Value") == 9
+        assert kernel.find(counter.uid).node.name == "vax2"
+
+    def test_reactivates_elsewhere_if_home_node_down(self, kernel):
+        node = kernel.node("vax2")
+        counter = kernel.create(Counter, start=1, node=node)
+        kernel.call_sync(counter.uid, "Save")
+        kernel.crash_node("vax2")
+        # vax2 stays down; the Eject comes back on the default node.
+        assert kernel.call_sync(counter.uid, "Value") == 1
+        assert kernel.find(counter.uid).node.name == "node-0"
+
+    def test_in_service_invocation_fails_on_crash(self, kernel):
+        greeter = kernel.create(Greeter)
+        failures = []
+
+        class Caller(Eject):
+            eden_type = "Caller2"
+
+            def main(self):
+                try:
+                    yield self.call(greeter.uid, "Slow")
+                except EjectCrashedError as exc:
+                    failures.append(exc)
+
+        kernel.create(Caller)
+        # Let the call get delivered, then crash mid-service.
+        kernel.run(until=lambda: greeter.received_count > 0)
+        kernel.crash_eject(greeter.uid)
+        kernel.run()
+        assert len(failures) == 1
+
+
+class TestDeactivation:
+    def test_deactivate_without_checkpoint_disappears(self, kernel):
+        counter = kernel.create(Counter)
+        assert kernel.call_sync(counter.uid, "Quit") == "bye"
+        with pytest.raises(EjectDeactivatedError):
+            kernel.call_sync(counter.uid, "Value")
+
+    def test_deactivate_with_checkpoint_reactivates(self, kernel):
+        counter = kernel.create(Counter, start=8)
+        kernel.call_sync(counter.uid, "Save")
+        kernel.call_sync(counter.uid, "Quit")
+        assert kernel.find(counter.uid) is None
+        assert kernel.call_sync(counter.uid, "Value") == 8
+
+
+class TestReceiveMatching:
+    def test_selective_receive_by_operation(self, kernel):
+        order = []
+
+        class Picky(Eject):
+            eden_type = "Picky"
+
+            def main(self):
+                first = yield Receive(operations=frozenset({"B"}))
+                order.append(first.operation)
+                yield SendReply(first, "b done")
+                second = yield Receive(operations=frozenset({"A"}))
+                order.append(second.operation)
+                yield SendReply(second, "a done")
+
+        picky = kernel.create(Picky)
+        results = {}
+
+        def client_a():
+            results["a"] = yield Call(target=picky.uid, operation="A")
+
+        def client_b():
+            yield Sleep(1.0)  # B arrives after A is already queued
+            results["b"] = yield Call(target=picky.uid, operation="B")
+
+        kernel.spawn_client(client_a())
+        kernel.spawn_client(client_b())
+        kernel.run()
+        assert order == ["B", "A"]
+        assert results == {"a": "a done", "b": "b done"}
+
+    def test_mailbox_fifo_within_filter(self, kernel):
+        served = []
+
+        class Server(Eject):
+            eden_type = "Server"
+
+            def main(self):
+                while True:
+                    invocation = yield Receive()
+                    served.append(invocation.args[0])
+                    yield SendReply(invocation, None)
+
+        server = kernel.create(Server)
+        for index in range(5):
+            kernel.call_sync(server.uid, "Op", index)
+        assert served == [0, 1, 2, 3, 4]
+
+
+class TestKernelHousekeeping:
+    def test_ejects_created_counted(self, kernel):
+        kernel.create(Greeter)
+        kernel.create(Greeter)
+        assert kernel.stats.get("ejects_created") == 2
+
+    def test_live_ejects_listed(self, kernel):
+        greeter = kernel.create(Greeter)
+        assert greeter in kernel.live_ejects()
+
+    def test_registry_rejects_name_collision(self, kernel):
+        kernel.create(Greeter)
+
+        class Impostor(Eject):
+            eden_type = "Greeter"
+
+        with pytest.raises(KernelError, match="already registered"):
+            kernel.create(Impostor)
+
+    def test_nodes_accumulate(self, kernel):
+        kernel.node("a")
+        kernel.node("b")
+        assert {node.name for node in kernel.nodes()} >= {"node-0", "a", "b"}
+
+    def test_reply_to_forged_ticket_rejected(self, kernel):
+        from repro.core.message import Invocation
+
+        class Forger(Eject):
+            eden_type = "Forger"
+            outcome = []
+
+            def main(self):
+                fake = Invocation(target=self.uid, operation="X", ticket=424242)
+                try:
+                    yield SendReply(fake, "gotcha")
+                except KernelError as exc:
+                    Forger.outcome.append(exc)
+
+        kernel.create(Forger)
+        kernel.run()
+        assert len(Forger.outcome) == 1
+
+
+class TestDescribeWorld:
+    def test_snapshot_mentions_everything(self, kernel):
+        greeter = kernel.create(Greeter, name="greeter", node="vaxQ")
+        kernel.run()
+        description = kernel.describe_world()
+        assert "virtual time" in description
+        assert "node vaxQ" in description
+        assert "greeter" in description
+        assert "blocked" in description  # the server waits on Receive
+
+    def test_crashed_node_flagged(self, kernel):
+        kernel.node("dead").crash()
+        assert "CRASHED" in kernel.describe_world()
+
+    def test_empty_world(self):
+        from repro.core import Kernel
+
+        description = Kernel().describe_world()
+        assert "(empty)" in description

@@ -1,0 +1,161 @@
+"""The error hierarchy, the type registry, deadlock detection, and the
+small utility corners of the core."""
+
+import pytest
+
+from repro.core import Eject, Kernel
+from repro.core.capability import ChannelMinter, channel_key
+from repro.core.errors import (
+    BufferOverflowError,
+    ChannelSecurityError,
+    CheckpointError,
+    DirectoryError,
+    DuplicateEntryError,
+    EdenError,
+    EjectCrashedError,
+    EndOfStreamError,
+    HostFSError,
+    HostFileNotFoundError,
+    InvocationError,
+    KernelError,
+    NoSuchChannelError,
+    NoSuchEntryError,
+    SchedulerDeadlockError,
+    ShellError,
+    ShellNameError,
+    ShellSyntaxError,
+    StreamProtocolError,
+    TransactionAbortedError,
+    TransactionError,
+    TransactionStateError,
+)
+from repro.core.registry import TypeRegistry
+from repro.core.uid import UIDFactory
+from repro.shell.lexer import split_statements, tokenize
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_cls",
+        [
+            BufferOverflowError, ChannelSecurityError, CheckpointError,
+            DirectoryError, EjectCrashedError, EndOfStreamError,
+            HostFSError, InvocationError, KernelError, ShellError,
+            StreamProtocolError, TransactionError, SchedulerDeadlockError,
+        ],
+    )
+    def test_everything_is_an_eden_error(self, error_cls):
+        assert issubclass(error_cls, EdenError)
+
+    def test_specific_parentage(self):
+        assert issubclass(NoSuchChannelError, InvocationError)
+        assert issubclass(ChannelSecurityError, InvocationError)
+        assert issubclass(NoSuchEntryError, DirectoryError)
+        assert issubclass(DuplicateEntryError, DirectoryError)
+        assert issubclass(HostFileNotFoundError, HostFSError)
+        assert issubclass(ShellSyntaxError, ShellError)
+        assert issubclass(ShellNameError, ShellError)
+        assert issubclass(TransactionAbortedError, TransactionError)
+        assert issubclass(TransactionStateError, TransactionError)
+        assert issubclass(SchedulerDeadlockError, KernelError)
+
+    def test_messages_carry_context(self):
+        uid = UIDFactory().issue()
+        assert repr(uid) in str(EjectCrashedError(uid))
+        assert "ghost" in str(NoSuchEntryError("ghost"))
+        assert "/x" in str(HostFileNotFoundError("/x"))
+
+
+class TestTypeRegistry:
+    class Thing(Eject):
+        eden_type = "RegistryThing"
+
+    def test_register_and_get(self):
+        registry = TypeRegistry()
+        registry.register(self.Thing)
+        assert registry.get("RegistryThing") is self.Thing
+        assert registry.known("RegistryThing")
+        assert "RegistryThing" in registry.names()
+
+    def test_reregistering_same_class_is_noop(self):
+        registry = TypeRegistry()
+        registry.register(self.Thing)
+        registry.register(self.Thing)
+        assert registry.names().count("RegistryThing") == 1
+
+    def test_collision_rejected(self):
+        registry = TypeRegistry()
+        registry.register(self.Thing)
+
+        class Impostor(Eject):
+            eden_type = "RegistryThing"
+
+        with pytest.raises(KernelError):
+            registry.register(Impostor)
+
+    def test_unknown_type(self):
+        with pytest.raises(KernelError):
+            TypeRegistry().get("Nope")
+
+    def test_instantiate_blank(self):
+        registry = TypeRegistry()
+        registry.register(self.Thing)
+        kernel = Kernel()
+        uid = kernel.uids.issue()
+        blank = registry.instantiate_blank("RegistryThing", kernel, uid, "t")
+        assert isinstance(blank, self.Thing)
+        assert blank.name == "t"
+
+
+class TestChannelKey:
+    def test_identity_for_plain_ids(self):
+        assert channel_key("Report") == "Report"
+        assert channel_key(2) == 2
+
+    def test_capabilities_key_by_value(self):
+        minter = ChannelMinter(UIDFactory().issue())
+        cap = minter.mint("Output")
+        assert channel_key(cap) == cap
+        assert {channel_key(cap): 1}[minter.mint("Output")] == 1
+
+
+class TestDeadlockDetection:
+    def test_cyclic_pipeline_raises(self):
+        """Two lazy filters reading each other can never finish; the
+        pipeline fails loudly instead of returning a short stream."""
+        from repro.filters import identity
+        from repro.transput import (
+            CollectorSink,
+            ReadOnlyFilter,
+            StreamEndpoint,
+        )
+        from repro.transput.pipeline import Pipeline
+
+        kernel = Kernel()
+        a = kernel.create(ReadOnlyFilter, transducer=identity(), name="A")
+        b = kernel.create(
+            ReadOnlyFilter, transducer=identity(), name="B",
+            inputs=[StreamEndpoint(a.uid, None)],
+        )
+        a.connect_input(StreamEndpoint(b.uid, None))
+        sink = kernel.create(
+            CollectorSink, inputs=[StreamEndpoint(a.uid, None)]
+        )
+        pipeline = Pipeline(
+            kernel=kernel, discipline="readonly", source=a,
+            filters=[b], sinks=[sink],
+        )
+        with pytest.raises(SchedulerDeadlockError, match="blocked on"):
+            pipeline.run_to_completion()
+
+    def test_stuck_processes_excludes_servers(self):
+        from repro.transput import ListSource
+
+        kernel = Kernel()
+        kernel.create(ListSource, items=[1])  # a server parked on Receive
+        kernel.run()
+        assert kernel.scheduler.stuck_processes() == []
+
+    def test_lexer_split_statements(self):
+        statements = split_statements(tokenize("a | b; c; ; d"))
+        assert len(statements) == 3

@@ -1,0 +1,115 @@
+"""Golden trace tests: exact event sequences for small scenarios.
+
+These lock the simulator's deterministic semantics: any change to the
+scheduler, transport or dispatcher that alters ordering shows up here
+as a precise diff, not a flaky benchmark.
+"""
+
+from repro.core import Eject, Kernel
+from repro.transput import CollectorSink, ListSource
+from tests.conftest import run_until_done
+
+
+def event_summary(kernel, kinds):
+    """(kind, subject) pairs of the selected trace kinds, in order."""
+    return [(e.kind, e.subject) for e in kernel.tracer.of_kind(*kinds)]
+
+
+class Echo(Eject):
+    eden_type = "Echo"
+
+    def op_Ping(self, invocation):
+        return invocation.args[0]
+
+
+class TestInvocationTrace:
+    def test_single_call_sequence(self):
+        kernel = Kernel(trace=True)
+        echo = kernel.create(Echo, name="echo")
+        kernel.call_sync(echo.uid, "Ping", 1)
+        kinds = [e.kind for e in kernel.tracer.events]
+        # create/spawn, client spawn, invoke, deliver, reply, exit.
+        assert kinds == ["spawn", "create", "spawn", "invoke", "deliver",
+                         "reply", "exit"]
+
+    def test_invoke_deliver_reply_causality(self):
+        kernel = Kernel(trace=True)
+        echo = kernel.create(Echo, name="echo")
+        kernel.call_sync(echo.uid, "Ping", 1)
+        events = {e.kind: e.time for e in kernel.tracer.events
+                  if e.kind in ("invoke", "deliver", "reply")}
+        assert events["invoke"] < events["deliver"] <= events["reply"]
+
+    def test_two_calls_serialize_through_one_server(self):
+        kernel = Kernel(trace=True)
+        echo = kernel.create(Echo, name="echo")
+        kernel.call_sync(echo.uid, "Ping", 1)
+        kernel.call_sync(echo.uid, "Ping", 2)
+        delivers = kernel.tracer.of_kind("deliver")
+        assert [e.detail["ticket"] for e in delivers] == sorted(
+            e.detail["ticket"] for e in delivers
+        )
+
+
+class TestStreamTrace:
+    def test_lazy_pipeline_demand_order(self):
+        """The sink's Read reaches the filter *before* the filter reads
+        the source: demand flows upstream, data flows downstream."""
+        kernel = Kernel(trace=True)
+        source = kernel.create(ListSource, items=["x"], name="src")
+        from repro.transput import ReadOnlyFilter
+        from repro.filters import identity
+
+        stage = kernel.create(
+            ReadOnlyFilter, transducer=identity(),
+            inputs=[source.output_endpoint()], name="f",
+        )
+        sink = kernel.create(
+            CollectorSink, inputs=[stage.output_endpoint()], name="sink"
+        )
+        run_until_done(kernel, sink)
+
+        invokes = [
+            (e.subject, e.detail["target"])
+            for e in kernel.tracer.of_kind("invoke")
+        ]
+        first_sink_read = invokes.index(("sink", str(stage.uid)))
+        first_filter_read = invokes.index(("f", str(source.uid)))
+        assert first_sink_read < first_filter_read
+
+    def test_trace_replays_identically(self):
+        def run():
+            kernel = Kernel(trace=True)
+            source = kernel.create(ListSource, items=list("abc"), name="src")
+            sink = kernel.create(
+                CollectorSink, inputs=[source.output_endpoint()], name="sink"
+            )
+            run_until_done(kernel, sink)
+            return [
+                (e.time, e.kind, e.subject, tuple(sorted(e.detail.items())))
+                for e in kernel.tracer.events
+            ]
+
+        assert run() == run()
+
+
+class TestLifecycleTrace:
+    def test_checkpoint_crash_activate_events(self):
+        from repro.filesystem import EdenFile
+
+        kernel = Kernel(trace=True)
+        f = kernel.create(EdenFile, records=["x"], name="file")
+        kernel.call_sync(f.uid, "Commit")
+        kernel.crash_eject(f.uid)
+        kernel.call_sync(f.uid, "Length")
+        kinds = [e.kind for e in kernel.tracer.events]
+        for expected in ("checkpoint", "crash", "activate"):
+            assert expected in kinds
+        assert kinds.index("crash") < kinds.index("activate")
+
+    def test_migrate_event(self):
+        kernel = Kernel(trace=True)
+        f = kernel.create(Echo, name="echo")
+        kernel.migrate(f.uid, "vaxB")
+        (migrate,) = kernel.tracer.of_kind("migrate")
+        assert migrate.detail["to"] == "vaxB"

@@ -1,0 +1,78 @@
+"""Invocation/Reply records and the payload size model."""
+
+import pytest
+
+from repro.core.message import Invocation, Reply, ReplyStatus, _estimate_size
+from repro.core.uid import UIDFactory
+
+
+@pytest.fixture
+def target():
+    return UIDFactory().issue()
+
+
+class TestInvocation:
+    def test_tickets_are_unique(self, target):
+        a = Invocation(target=target, operation="Read")
+        b = Invocation(target=target, operation="Read")
+        assert a.ticket != b.ticket
+
+    def test_str_mentions_operation_and_target(self, target):
+        invocation = Invocation(target=target, operation="Lookup")
+        assert "Lookup" in str(invocation)
+        assert target.brief() in str(invocation)
+
+    def test_channel_in_str(self, target):
+        invocation = Invocation(target=target, operation="Read", channel="Report")
+        assert "Report" in str(invocation)
+
+    def test_payload_size_counts_args_and_kwargs(self, target):
+        small = Invocation(target=target, operation="Op")
+        big = Invocation(
+            target=target, operation="Op", args=("x" * 100,),
+            kwargs={"data": "y" * 100},
+        )
+        assert big.payload_size() > small.payload_size() + 150
+
+
+class TestReply:
+    def test_ok_unwrap(self):
+        reply = Reply(ticket=1, status=ReplyStatus.OK, result=42)
+        assert reply.ok
+        assert reply.unwrap() == 42
+
+    def test_error_unwrap_raises(self):
+        boom = ValueError("boom")
+        reply = Reply(ticket=1, status=ReplyStatus.ERROR, error=boom)
+        assert not reply.ok
+        with pytest.raises(ValueError, match="boom"):
+            reply.unwrap()
+
+
+class TestSizeModel:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (None, 0),
+            (True, 1),
+            (7, 8),
+            (3.14, 8),
+            (b"abcd", 4),
+            ("abcd", 4),
+        ],
+    )
+    def test_scalars(self, value, expected):
+        assert _estimate_size(value) == expected
+
+    def test_collections_sum_members(self):
+        assert _estimate_size(["ab", "cd"]) == 8 + 4
+        assert _estimate_size({"k": "vv"}) == 8 + 1 + 2
+
+    def test_unicode_measured_in_bytes(self):
+        assert _estimate_size("héllo") == len("héllo".encode("utf-8"))
+
+    def test_opaque_objects_flat(self):
+        class Thing:
+            pass
+
+        assert _estimate_size(Thing()) == 16

@@ -1,0 +1,94 @@
+"""Eject migration: location-independent invocation made visible only
+through transport costs."""
+
+import pytest
+
+from repro.core import Kernel, TransportCosts
+from repro.core.errors import KernelError
+from repro.filesystem import EdenFile
+from repro.transput import (
+    CollectorSink,
+    FlowPolicy,
+    ListSource,
+    build_readonly_pipeline,
+)
+from repro.filters import upper_case
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(costs=TransportCosts(local_latency=1.0, remote_latency=10.0))
+
+
+class TestMigration:
+    def test_clients_unaffected(self, kernel):
+        f = kernel.create(EdenFile, records=["x"])
+        assert kernel.call_sync(f.uid, "Length") == 1
+        kernel.migrate(f.uid, "vax9")
+        # Same UID, same behaviour: location independence.
+        assert kernel.call_sync(f.uid, "Length") == 1
+        assert f.node.name == "vax9"
+        assert kernel.stats.get("migrations") == 1
+
+    def test_costs_change_after_migration(self, kernel):
+        source = kernel.create(ListSource, items=list(range(10)), node="vaxA")
+        sink = kernel.create(
+            CollectorSink, inputs=[source.output_endpoint()], node="vaxA"
+        )
+        # Colocated: cheap.  Move the source away mid-wiring: expensive.
+        kernel.migrate(source.uid, "vaxB")
+        start_time = kernel.clock.now
+        kernel.run(until=lambda: sink.done)
+        kernel.run()
+        remote_span = kernel.clock.now - start_time
+        assert kernel.stats.get("remote_messages") > 0
+
+        # Reference run, colocated throughout.
+        reference = Kernel(
+            costs=TransportCosts(local_latency=1.0, remote_latency=10.0)
+        )
+        ref_source = reference.create(
+            ListSource, items=list(range(10)), node="vaxA"
+        )
+        ref_sink = reference.create(
+            CollectorSink, inputs=[ref_source.output_endpoint()], node="vaxA"
+        )
+        reference.run(until=lambda: ref_sink.done)
+        assert remote_span > reference.clock.now
+
+    def test_migrate_back_home(self, kernel):
+        f = kernel.create(EdenFile, records=["x"], node="vaxA")
+        kernel.migrate(f.uid, "vaxB")
+        kernel.migrate(f.uid, "vaxA")
+        assert f.node.name == "vaxA"
+        assert kernel.node("vaxB").resident_uids == frozenset()
+
+    def test_cannot_migrate_to_crashed_node(self, kernel):
+        f = kernel.create(EdenFile)
+        kernel.node("dead").crash()
+        with pytest.raises(KernelError, match="crashed"):
+            kernel.migrate(f.uid, "dead")
+
+    def test_cannot_migrate_passive_eject(self, kernel):
+        f = kernel.create(EdenFile)
+        kernel.crash_eject(f.uid)
+        with pytest.raises(KernelError, match="no live Eject"):
+            kernel.migrate(f.uid, "vaxB")
+
+    def test_checkpointed_eject_reactivates_on_new_home(self, kernel):
+        f = kernel.create(EdenFile, records=["kept"], node="vaxA")
+        kernel.migrate(f.uid, "vaxB")
+        kernel.call_sync(f.uid, "Commit")
+        kernel.crash_eject(f.uid)
+        # Reactivates where it lived last.
+        assert kernel.call_sync(f.uid, "Contents") == ["kept"]
+        assert kernel.find(f.uid).node.name == "vaxB"
+
+    def test_pipeline_survives_stage_migration_between_runs(self, kernel):
+        pipeline = build_readonly_pipeline(
+            kernel, [f"r{i}" for i in range(6)], [upper_case()],
+            flow=FlowPolicy(lookahead=0),
+        )
+        stage = pipeline.filters[0]
+        kernel.migrate(stage.uid, "vaxZ")
+        assert pipeline.run_to_completion() == [f"R{i}" for i in range(6)]

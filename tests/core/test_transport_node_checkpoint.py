@@ -1,0 +1,137 @@
+"""Transport cost model, node lifecycle, stable store."""
+
+import pytest
+
+from repro.core.checkpoint import StableStore
+from repro.core.errors import CheckpointError
+from repro.core.node import Node
+from repro.core.scheduler import Scheduler
+from repro.core.transport import Transport, TransportCosts
+from repro.core.uid import UIDFactory
+
+
+class TestTransportCosts:
+    def test_local_vs_remote_latency(self):
+        costs = TransportCosts(local_latency=1.0, remote_latency=10.0)
+        assert costs.message_cost(0, remote=False) == 1.0
+        assert costs.message_cost(0, remote=True) == 10.0
+
+    def test_bandwidth_term(self):
+        costs = TransportCosts(local_latency=1.0, remote_latency=10.0,
+                               bandwidth=100.0)
+        assert costs.message_cost(200, remote=False) == pytest.approx(3.0)
+        assert costs.message_cost(200, remote=True) == pytest.approx(12.0)
+
+    def test_infinite_bandwidth(self):
+        costs = TransportCosts(bandwidth=None)
+        assert costs.message_cost(10_000, remote=False) == costs.local_latency
+
+
+class TestTransport:
+    def test_delivery_after_latency(self):
+        scheduler = Scheduler()
+        transport = Transport(scheduler, TransportCosts(local_latency=3.0))
+        arrived = []
+        transport.send(0, remote=False, deliver=lambda: arrived.append(
+            scheduler.clock.now))
+        scheduler.run()
+        assert arrived == [3.0]
+
+    def test_counters(self):
+        scheduler = Scheduler()
+        transport = Transport(scheduler)
+        transport.send(10, remote=False, deliver=lambda: None, kind="invocation")
+        transport.send(20, remote=True, deliver=lambda: None, kind="reply")
+        scheduler.run()
+        stats = scheduler.stats
+        assert stats.get("local_messages") == 1
+        assert stats.get("remote_messages") == 1
+        assert stats.get("invocations_sent") == 1
+        assert stats.get("replies_sent") == 1
+        assert stats.get("bytes_transferred") == 30
+
+    def test_fifo_between_same_cost_messages(self):
+        scheduler = Scheduler()
+        transport = Transport(scheduler)
+        order = []
+        transport.send(0, remote=False, deliver=lambda: order.append(1))
+        transport.send(0, remote=False, deliver=lambda: order.append(2))
+        scheduler.run()
+        assert order == [1, 2]
+
+
+class TestNode:
+    def test_host_and_evict(self):
+        node = Node("n")
+        uid = UIDFactory().issue()
+        node.host(uid)
+        assert uid in node.resident_uids
+        node.evict(uid)
+        assert uid not in node.resident_uids
+
+    def test_crash_recover(self):
+        node = Node("n")
+        node.crash()
+        assert node.crashed
+        node.recover()
+        assert not node.crashed
+
+    def test_repr(self):
+        node = Node("vax1")
+        assert "vax1" in repr(node)
+
+
+class TestStableStore:
+    def test_round_trip(self):
+        store = StableStore()
+        uid = UIDFactory().issue()
+        store.write(uid, "File", {"records": [1, 2]}, checkpoint_time=5.0)
+        rep = store.read(uid)
+        assert rep is not None
+        assert rep.data == {"records": [1, 2]}
+        assert rep.eden_type == "File"
+        assert rep.generation == 1
+
+    def test_generations_increment(self):
+        store = StableStore()
+        uid = UIDFactory().issue()
+        store.write(uid, "File", 1, 0.0)
+        store.write(uid, "File", 2, 1.0)
+        rep = store.read(uid)
+        assert rep.generation == 2
+        assert rep.data == 2
+        assert store.write_count == 2
+
+    def test_write_deep_copies(self):
+        store = StableStore()
+        uid = UIDFactory().issue()
+        live = {"records": [1]}
+        store.write(uid, "File", live, 0.0)
+        live["records"].append(2)
+        assert store.read(uid).data == {"records": [1]}
+
+    def test_read_deep_copies(self):
+        store = StableStore()
+        uid = UIDFactory().issue()
+        store.write(uid, "File", {"records": [1]}, 0.0)
+        first = store.read(uid)
+        first.data["records"].append(99)
+        assert store.read(uid).data == {"records": [1]}
+
+    def test_missing_is_none(self):
+        assert StableStore().read(UIDFactory().issue()) is None
+
+    def test_forget(self):
+        store = StableStore()
+        uid = UIDFactory().issue()
+        store.write(uid, "File", 1, 0.0)
+        store.forget(uid)
+        assert not store.has(uid)
+        assert store.uids() == []
+
+    def test_uncopyable_rejected(self):
+        store = StableStore()
+        uid = UIDFactory().issue()
+        uncopyable = (value for value in [])  # generators can't deep-copy
+        with pytest.raises(CheckpointError):
+            store.write(uid, "File", uncopyable, 0.0)

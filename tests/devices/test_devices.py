@@ -1,0 +1,277 @@
+"""Devices: terminals, keyboards, printers, windows, clock, workloads."""
+
+import pytest
+
+from repro.devices import (
+    ClockSource,
+    Keyboard,
+    NullSource,
+    PassiveReportWindow,
+    PrinterServer,
+    RandomSource,
+    ReportWindow,
+    Terminal,
+    random_lines,
+)
+from repro.filesystem import EdenFile
+from repro.filters import paginate, identity, with_reports
+from repro.transput import (
+    CollectorSink,
+    ListSource,
+    ReadOnlyFilter,
+    StreamEndpoint,
+    Transfer,
+)
+from repro.transput.stream import END_TRANSFER
+from tests.conftest import run_until_done
+
+
+class TestTerminal:
+    def test_pumps_and_displays(self, kernel):
+        source = kernel.create(ListSource, items=["hello", "world"])
+        terminal = kernel.create(Terminal, inputs=[source.output_endpoint()])
+        run_until_done(kernel, terminal)
+        assert terminal.display == ["hello", "world"]
+        assert terminal.collected == ["hello", "world"]
+
+    def test_wraps_long_lines(self, kernel):
+        source = kernel.create(ListSource, items=["x" * 25])
+        terminal = kernel.create(
+            Terminal, inputs=[source.output_endpoint()], width=10
+        )
+        run_until_done(kernel, terminal)
+        assert terminal.display == ["x" * 10, "x" * 10, "x" * 5]
+
+    def test_screen_shows_tail(self, kernel):
+        source = kernel.create(ListSource, items=[str(i) for i in range(50)])
+        terminal = kernel.create(Terminal, inputs=[source.output_endpoint()])
+        run_until_done(kernel, terminal)
+        assert terminal.screen(lines=3) == ["47", "48", "49"]
+
+    def test_empty_line(self, kernel):
+        source = kernel.create(ListSource, items=[""])
+        terminal = kernel.create(Terminal, inputs=[source.output_endpoint()])
+        run_until_done(kernel, terminal)
+        assert terminal.display == [""]
+
+    def test_slow_terminal_throttles(self, kernel):
+        source = kernel.create(ListSource, items=["a", "b", "c"])
+        terminal = kernel.create(
+            Terminal, inputs=[source.output_endpoint()], work_cost=100.0
+        )
+        run_until_done(kernel, terminal)
+        assert kernel.clock.now >= 300.0
+
+    def test_invalid_width(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.create(Terminal, width=0)
+
+
+class TestKeyboard:
+    def test_scripted_input(self, kernel):
+        keyboard = kernel.create(Keyboard, script=["ls", "cat f"])
+        sink = kernel.create(
+            CollectorSink, inputs=[keyboard.output_endpoint()]
+        )
+        run_until_done(kernel, sink)
+        assert sink.collected == ["ls", "cat f"]
+
+
+class TestPrinter:
+    def test_print_from_file(self, kernel):
+        """§4: print a file by asking the printer to read from it."""
+        f = kernel.create(EdenFile, records=[f"line {i}" for i in range(5)])
+        reader = kernel.call_sync(f.uid, "OpenForReading")
+        printer = kernel.create(PrinterServer, lines_per_page=3)
+        job = kernel.call_sync(
+            printer.uid, "PrintFrom", StreamEndpoint(reader, None)
+        )
+        kernel.run()
+        assert job == 1
+        assert len(printer.pages) == 2
+        assert printer.printed_lines == [f"line {i}" for i in range(5)]
+
+    def test_print_from_paginator(self, kernel):
+        """§4's paginated listing: printer <- paginator <- file."""
+        f = kernel.create(EdenFile, records=[f"r{i}" for i in range(4)])
+        reader = kernel.call_sync(f.uid, "OpenForReading")
+        paginator = kernel.create(
+            ReadOnlyFilter, transducer=paginate(page_length=2, title="F"),
+            inputs=[StreamEndpoint(reader, None)],
+        )
+        printer = kernel.create(PrinterServer, lines_per_page=100)
+        kernel.call_sync(printer.uid, "PrintFrom", paginator.output_endpoint())
+        kernel.run()
+        # Form feeds split physical pages at the paginator's boundaries.
+        assert len(printer.pages) == 2
+        assert printer.pages[0][0] == "--- F page 1 ---"
+
+    def test_jobs_queue_and_count(self, kernel):
+        a = kernel.create(ListSource, items=["a"])
+        b = kernel.create(ListSource, items=["b"])
+        printer = kernel.create(PrinterServer)
+        kernel.call_sync(printer.uid, "PrintFrom", a.output_endpoint())
+        kernel.call_sync(printer.uid, "PrintFrom", b.output_endpoint())
+        kernel.run()
+        assert kernel.call_sync(printer.uid, "JobCount") == 2
+        assert printer.printed_lines == ["a", "b"]
+
+    def test_accepts_bare_uid(self, kernel):
+        source = kernel.create(ListSource, items=["x"])
+        printer = kernel.create(PrinterServer)
+        kernel.call_sync(printer.uid, "PrintFrom", source.uid)
+        kernel.run()
+        assert printer.printed_lines == ["x"]
+
+    def test_rejects_junk(self, kernel):
+        from repro.core.errors import InvocationError
+
+        printer = kernel.create(PrinterServer)
+        with pytest.raises(InvocationError):
+            kernel.call_sync(printer.uid, "PrintFrom", 42)
+
+    def test_invalid_page_length(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.create(PrinterServer, lines_per_page=0)
+
+
+class TestClockSource:
+    def test_returns_virtual_time(self, kernel):
+        clock = kernel.create(ClockSource)
+        first = kernel.call_sync(clock.uid, "Read", 1).items[0]
+        assert first.startswith("time=")
+
+    def test_never_ends_use_bounded_sink(self, kernel):
+        clock = kernel.create(ClockSource)
+        sink = kernel.create(
+            CollectorSink, inputs=[clock.output_endpoint()], max_items=4
+        )
+        run_until_done(kernel, sink)
+        assert len(sink.collected) == 4
+
+
+class TestWorkloadSources:
+    def test_random_source_deterministic(self, kernel):
+        a = kernel.create(RandomSource, count=5, seed=3)
+        b = kernel.create(RandomSource, count=5, seed=3)
+        ta = kernel.call_sync(a.uid, "Read", 5).items
+        tb = kernel.call_sync(b.uid, "Read", 5).items
+        assert ta == tb
+        assert len(ta) == 5
+
+    def test_random_lines_matches_width(self):
+        lines = random_lines(count=3, width=4, seed=0)
+        assert len(lines) == 3
+        assert all(len(line.split()) == 4 for line in lines)
+        assert random_lines(3, 4, 0) == lines
+
+    def test_random_source_validation(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.create(RandomSource, count=-1)
+        with pytest.raises(ValueError):
+            kernel.create(RandomSource, width=0)
+
+    def test_null_source_immediately_ends(self, kernel):
+        null = kernel.create(NullSource)
+        assert kernel.call_sync(null.uid, "Read", 1).at_end
+
+
+class TestReportWindows:
+    def test_active_window_labels_sources(self, kernel):
+        a = kernel.create(ListSource, items=["a1", "a2"])
+        b = kernel.create(ListSource, items=["b1"])
+        window = kernel.create(
+            ReportWindow,
+            inputs=[("A", a.output_endpoint()), ("B", b.output_endpoint())],
+        )
+        run_until_done(kernel, window)
+        assert window.lines == ["A: a1", "B: b1", "A: a2"]
+        assert window.collected == window.lines
+
+    def test_window_connect_before_run(self, kernel):
+        a = kernel.create(ListSource, items=["x"])
+        window = kernel.create(ReportWindow)
+        window.connect("A", a.output_endpoint())
+        run_until_done(kernel, window)
+        assert window.lines == ["A: x"]
+
+    def test_window_reads_report_channels(self, kernel):
+        source = kernel.create(ListSource, items=["i1", "i2"])
+        stage = kernel.create(
+            ReadOnlyFilter, transducer=with_reports(identity(), "F", every=1),
+            inputs=[source.output_endpoint()],
+        )
+        window = kernel.create(
+            ReportWindow, inputs=[("F", stage.output_endpoint("Report"))]
+        )
+        sink = kernel.create(
+            CollectorSink, inputs=[stage.output_endpoint("Output")]
+        )
+        run_until_done(kernel, window, sink)
+        assert sink.collected == ["i1", "i2"]
+        assert window.lines[0] == "F: [F] starting"
+
+    def test_passive_window_counts_ends(self, kernel):
+        window = kernel.create(PassiveReportWindow, expected_ends=2)
+        kernel.call_sync(window.uid, "Write", Transfer.of(["r1"]))
+        kernel.call_sync(window.uid, "Write", END_TRANSFER)
+        assert not window.done
+        kernel.call_sync(window.uid, "Write", END_TRANSFER)
+        assert window.done
+        assert window.lines == ["r1"]
+
+
+class TestTerminalShowFrom:
+    """Dynamic redirection at the device (§6)."""
+
+    def test_show_from_endpoint(self, kernel):
+        terminal = kernel.create(Terminal)
+        source = kernel.create(ListSource, items=["hello"])
+        kernel.call_sync(terminal.uid, "ShowFrom", source.output_endpoint())
+        kernel.run()
+        assert terminal.display == ["hello"]
+        assert terminal.done
+
+    def test_show_from_bare_uid(self, kernel):
+        terminal = kernel.create(Terminal)
+        source = kernel.create(ListSource, items=["x"])
+        kernel.call_sync(terminal.uid, "ShowFrom", source.uid)
+        kernel.run()
+        assert terminal.display == ["x"]
+
+    def test_sequential_jobs_append(self, kernel):
+        terminal = kernel.create(Terminal)
+        for text in ("one", "two"):
+            source = kernel.create(ListSource, items=[text])
+            kernel.call_sync(terminal.uid, "ShowFrom", source.output_endpoint())
+            kernel.run()
+        assert terminal.display == ["one", "two"]
+
+    def test_redirect_from_file_and_from_filter_look_identical(self, kernel):
+        """§4: "there is no distinction between input redirection from
+        a file and from a program"."""
+        from repro.filesystem import EdenFile
+        from repro.filters import upper_case
+        from repro.transput import ReadOnlyFilter
+
+        terminal = kernel.create(Terminal)
+        f = kernel.create(EdenFile, records=["data"])
+        reader = kernel.call_sync(f.uid, "OpenForReading")
+        kernel.call_sync(terminal.uid, "ShowFrom", reader)
+        kernel.run()
+
+        reader2 = kernel.call_sync(f.uid, "OpenForReading")
+        stage = kernel.create(
+            ReadOnlyFilter, transducer=upper_case(),
+            inputs=[StreamEndpoint(reader2, None)],
+        )
+        kernel.call_sync(terminal.uid, "ShowFrom", stage.output_endpoint())
+        kernel.run()
+        assert terminal.display == ["data", "DATA"]
+
+    def test_show_from_junk_rejected(self, kernel):
+        from repro.core.errors import InvocationError
+
+        terminal = kernel.create(Terminal)
+        with pytest.raises(InvocationError):
+            kernel.call_sync(terminal.uid, "ShowFrom", 42)

@@ -1,0 +1,193 @@
+"""Directory concatenator and the §7 bootstrap Unix FS."""
+
+import pytest
+
+from repro.core.errors import (
+    EjectDeactivatedError,
+    HostFileNotFoundError,
+    InvocationError,
+    NoSuchEntryError,
+)
+from repro.filesystem import (
+    Directory,
+    DirectoryConcatenator,
+    EdenFile,
+    HostFileSystem,
+    UnixFileSystem,
+)
+from repro.filters import upper_case
+from repro.transput import ReadOnlyFilter, StreamEndpoint
+
+
+@pytest.fixture
+def dirs(kernel):
+    """Two directories with overlapping names, plus their files."""
+    first = kernel.create(Directory, name="first")
+    second = kernel.create(Directory, name="second")
+    f_only_first = kernel.create(EdenFile, name="only-first")
+    f_shared_first = kernel.create(EdenFile, name="shared-first")
+    f_shared_second = kernel.create(EdenFile, name="shared-second")
+    f_only_second = kernel.create(EdenFile, name="only-second")
+    kernel.call_sync(first.uid, "AddEntry", "only1", f_only_first.uid)
+    kernel.call_sync(first.uid, "AddEntry", "shared", f_shared_first.uid)
+    kernel.call_sync(second.uid, "AddEntry", "shared", f_shared_second.uid)
+    kernel.call_sync(second.uid, "AddEntry", "only2", f_only_second.uid)
+    return first, second, f_only_first, f_shared_first, f_shared_second, f_only_second
+
+
+class TestConcatenator:
+    @pytest.mark.parametrize("strategy", ["forward", "cache"])
+    def test_lookup_order(self, kernel, dirs, strategy):
+        first, second, only1, shared1, _, only2 = dirs
+        concat = kernel.create(
+            DirectoryConcatenator, directories=[first.uid, second.uid],
+            strategy=strategy,
+        )
+        assert kernel.call_sync(concat.uid, "Lookup", "only1") == only1.uid
+        assert kernel.call_sync(concat.uid, "Lookup", "only2") == only2.uid
+        # Earlier directory wins, as with PATH.
+        assert kernel.call_sync(concat.uid, "Lookup", "shared") == shared1.uid
+
+    @pytest.mark.parametrize("strategy", ["forward", "cache"])
+    def test_missing_everywhere(self, kernel, dirs, strategy):
+        first, second, *_ = dirs
+        concat = kernel.create(
+            DirectoryConcatenator, directories=[first.uid, second.uid],
+            strategy=strategy,
+        )
+        with pytest.raises(NoSuchEntryError):
+            kernel.call_sync(concat.uid, "Lookup", "ghost")
+
+    def test_cache_invalidate_sees_new_entries(self, kernel, dirs):
+        first, second, *_ = dirs
+        concat = kernel.create(
+            DirectoryConcatenator, directories=[first.uid], strategy="cache"
+        )
+        kernel.call_sync(concat.uid, "Lookup", "only1")  # builds cache
+        newfile = kernel.create(EdenFile)
+        kernel.call_sync(first.uid, "AddEntry", "fresh", newfile.uid)
+        with pytest.raises(NoSuchEntryError):
+            kernel.call_sync(concat.uid, "Lookup", "fresh")
+        kernel.call_sync(concat.uid, "Invalidate")
+        assert kernel.call_sync(concat.uid, "Lookup", "fresh") == newfile.uid
+
+    def test_add_directory(self, kernel, dirs):
+        first, second, *_ = dirs
+        concat = kernel.create(
+            DirectoryConcatenator, directories=[first.uid]
+        )
+        with pytest.raises(NoSuchEntryError):
+            kernel.call_sync(concat.uid, "Lookup", "only2")
+        kernel.call_sync(concat.uid, "AddDirectory", second.uid)
+        kernel.call_sync(concat.uid, "Lookup", "only2")
+        with pytest.raises(InvocationError):
+            kernel.call_sync(concat.uid, "AddDirectory", "not-a-uid")
+
+    def test_behavioural_compatibility(self, kernel, dirs):
+        """§2: anything that responds like a directory *is* one — a
+        concatenator can be nested inside another concatenator."""
+        first, second, only1, *_ = dirs
+        inner = kernel.create(
+            DirectoryConcatenator, directories=[first.uid], name="inner"
+        )
+        outer = kernel.create(
+            DirectoryConcatenator, directories=[inner.uid, second.uid],
+            name="outer",
+        )
+        assert kernel.call_sync(outer.uid, "Lookup", "only1") == only1.uid
+        assert kernel.call_sync(outer.uid, "Lookup", "only2")
+
+    def test_combined_listing(self, kernel, dirs):
+        first, second, *_ = dirs
+        concat = kernel.create(
+            DirectoryConcatenator, directories=[first.uid, second.uid]
+        )
+        total = kernel.call_sync(concat.uid, "List")
+        assert total == 4
+        transfer = kernel.call_sync(concat.uid, "Read", 10)
+        assert len(transfer.items) == 4
+
+    def test_forward_counts_forwarded_lookups(self, kernel, dirs):
+        first, second, *_ = dirs
+        concat = kernel.create(
+            DirectoryConcatenator, directories=[first.uid, second.uid]
+        )
+        kernel.call_sync(concat.uid, "Lookup", "only2")
+        assert concat.lookups_forwarded == 2  # missed first, hit second
+
+    def test_bad_strategy(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.create(DirectoryConcatenator, strategy="psychic")
+
+
+@pytest.fixture
+def hostfs():
+    fs = HostFileSystem()
+    fs.mkdir("/tmp")
+    fs.write_file("/tmp/in.txt", ["alpha", "beta", "gamma"])
+    return fs
+
+
+class TestBootstrap:
+    def test_new_stream_reads_unix_file(self, kernel, hostfs):
+        ufs = kernel.create(UnixFileSystem, hostfs=hostfs)
+        stream = kernel.call_sync(ufs.uid, "NewStream", "/tmp/in.txt")
+        assert kernel.call_sync(stream, "Transfer", 2).items == ("alpha", "beta")
+        assert kernel.call_sync(stream, "Transfer", 2).items == ("gamma",)
+        assert kernel.call_sync(stream, "Transfer", 1).at_end
+
+    def test_close_makes_stream_disappear(self, kernel, hostfs):
+        """§7: never Checkpointed, the UnixFile disappears on Close."""
+        ufs = kernel.create(UnixFileSystem, hostfs=hostfs)
+        stream = kernel.call_sync(ufs.uid, "NewStream", "/tmp/in.txt")
+        kernel.call_sync(stream, "Close")
+        with pytest.raises(EjectDeactivatedError):
+            kernel.call_sync(stream, "Transfer", 1)
+
+    def test_new_stream_missing_file(self, kernel, hostfs):
+        ufs = kernel.create(UnixFileSystem, hostfs=hostfs)
+        with pytest.raises(HostFileNotFoundError):
+            kernel.call_sync(ufs.uid, "NewStream", "/tmp/ghost")
+
+    def test_use_stream_copies(self, kernel, hostfs):
+        ufs = kernel.create(UnixFileSystem, hostfs=hostfs)
+        stream = kernel.call_sync(ufs.uid, "NewStream", "/tmp/in.txt")
+        kernel.call_sync(ufs.uid, "UseStream", "/tmp/out.txt", stream)
+        kernel.run()
+        assert hostfs.read_file("/tmp/out.txt") == ["alpha", "beta", "gamma"]
+
+    def test_use_stream_through_filter(self, kernel, hostfs):
+        ufs = kernel.create(UnixFileSystem, hostfs=hostfs)
+        stream = kernel.call_sync(ufs.uid, "NewStream", "/tmp/in.txt")
+        stage = kernel.create(
+            ReadOnlyFilter, transducer=upper_case(),
+            inputs=[StreamEndpoint(stream, None)],
+        )
+        kernel.call_sync(
+            ufs.uid, "UseStream", "/tmp/out.txt", stage.output_endpoint()
+        )
+        kernel.run()
+        assert hostfs.read_file("/tmp/out.txt") == ["ALPHA", "BETA", "GAMMA"]
+
+    def test_writer_deactivates_after_writing(self, kernel, hostfs):
+        ufs = kernel.create(UnixFileSystem, hostfs=hostfs)
+        stream = kernel.call_sync(ufs.uid, "NewStream", "/tmp/in.txt")
+        writer = kernel.call_sync(ufs.uid, "UseStream", "/tmp/out.txt", stream)
+        kernel.run()
+        with pytest.raises(EjectDeactivatedError):
+            kernel.call_sync(writer, "Transfer", 1)
+
+    def test_use_stream_bad_capability(self, kernel, hostfs):
+        ufs = kernel.create(UnixFileSystem, hostfs=hostfs)
+        with pytest.raises(InvocationError):
+            kernel.call_sync(ufs.uid, "UseStream", "/tmp/out.txt", "junk")
+
+    def test_list_files(self, kernel, hostfs):
+        ufs = kernel.create(UnixFileSystem, hostfs=hostfs)
+        assert kernel.call_sync(ufs.uid, "ListFiles", "/tmp") == ["in.txt"]
+
+    def test_streams_created_counter(self, kernel, hostfs):
+        ufs = kernel.create(UnixFileSystem, hostfs=hostfs)
+        stream = kernel.call_sync(ufs.uid, "NewStream", "/tmp/in.txt")
+        kernel.call_sync(ufs.uid, "UseStream", "/tmp/o", stream)
+        assert ufs.streams_created == 2

@@ -1,0 +1,195 @@
+"""Eden files and directories as active Ejects."""
+
+import pytest
+
+from repro.core.errors import (
+    DuplicateEntryError,
+    EjectDeactivatedError,
+    InvocationError,
+    NoSuchEntryError,
+)
+from repro.filesystem import Directory, EdenFile
+from repro.transput import (
+    CollectorSink,
+    ListSource,
+    StreamEndpoint,
+    Transfer,
+)
+from tests.conftest import run_until_done
+
+
+class TestEdenFile:
+    def test_append_and_contents(self, kernel):
+        f = kernel.create(EdenFile)
+        ack = kernel.call_sync(f.uid, "Append", Transfer.of(["a", "b"]))
+        assert ack.accepted == 2
+        assert kernel.call_sync(f.uid, "Contents") == ["a", "b"]
+        assert kernel.call_sync(f.uid, "Length") == 2
+
+    def test_write_synonym(self, kernel):
+        f = kernel.create(EdenFile)
+        kernel.call_sync(f.uid, "Write", Transfer.of(["x"]))
+        assert kernel.call_sync(f.uid, "Contents") == ["x"]
+
+    def test_append_non_transfer_rejected(self, kernel):
+        f = kernel.create(EdenFile)
+        with pytest.raises(InvocationError):
+            kernel.call_sync(f.uid, "Append", ["raw"])
+
+    def test_read_streams_and_rewinds(self, kernel):
+        f = kernel.create(EdenFile, records=["a", "b"])
+        assert kernel.call_sync(f.uid, "Read", 1).items == ("a",)
+        assert kernel.call_sync(f.uid, "Read", 1).items == ("b",)
+        assert kernel.call_sync(f.uid, "Read", 1).at_end
+        # The shared cursor rewinds after END: the file can be re-read.
+        assert kernel.call_sync(f.uid, "Read", 2).items == ("a", "b")
+
+    def test_open_for_reading_gives_independent_cursors(self, kernel):
+        f = kernel.create(EdenFile, records=["a", "b"])
+        r1 = kernel.call_sync(f.uid, "OpenForReading")
+        r2 = kernel.call_sync(f.uid, "OpenForReading")
+        assert kernel.call_sync(r1, "Read", 1).items == ("a",)
+        assert kernel.call_sync(r2, "Read", 2).items == ("a", "b")
+        assert kernel.call_sync(r1, "Read", 1).items == ("b",)
+
+    def test_reader_is_a_snapshot(self, kernel):
+        f = kernel.create(EdenFile, records=["a"])
+        reader = kernel.call_sync(f.uid, "OpenForReading")
+        kernel.call_sync(f.uid, "Append", Transfer.of(["late"]))
+        assert kernel.call_sync(reader, "Read", 5).items == ("a",)
+
+    def test_reader_close_disappears(self, kernel):
+        f = kernel.create(EdenFile, records=["a"])
+        reader = kernel.call_sync(f.uid, "OpenForReading")
+        assert kernel.call_sync(reader, "Close") is True
+        with pytest.raises(EjectDeactivatedError):
+            kernel.call_sync(reader, "Read", 1)
+
+    def test_read_from_pumps_a_source(self, kernel):
+        """§4: "A file opened for output would immediately issue a Read
+        invocation"."""
+        source = kernel.create(ListSource, items=["1", "2", "3"])
+        f = kernel.create(EdenFile)
+        assert kernel.call_sync(
+            f.uid, "ReadFrom", source.output_endpoint()
+        ) == "ingesting"
+        kernel.run()
+        assert kernel.call_sync(f.uid, "Contents") == ["1", "2", "3"]
+        assert f.ingest_count == 3
+        # ReadFrom checkpoints on completion: the data is durable.
+        kernel.crash_eject(f.uid)
+        assert kernel.call_sync(f.uid, "Contents") == ["1", "2", "3"]
+
+    def test_read_from_bad_argument(self, kernel):
+        f = kernel.create(EdenFile)
+        with pytest.raises(InvocationError):
+            kernel.call_sync(f.uid, "ReadFrom", "not an endpoint")
+
+    def test_concurrent_ingest_rejected(self, kernel):
+        slow = kernel.create(ListSource, items=["x"], work_cost=100.0)
+        f = kernel.create(EdenFile)
+        kernel.call_sync(f.uid, "ReadFrom", slow.output_endpoint())
+        with pytest.raises(InvocationError, match="already ingesting"):
+            kernel.call_sync(f.uid, "ReadFrom", slow.output_endpoint())
+
+    def test_clear(self, kernel):
+        f = kernel.create(EdenFile, records=["a"])
+        kernel.call_sync(f.uid, "Clear")
+        assert kernel.call_sync(f.uid, "Length") == 0
+
+    def test_commit_then_crash_recovers(self, kernel):
+        f = kernel.create(EdenFile, records=["kept"])
+        kernel.call_sync(f.uid, "Commit")
+        kernel.call_sync(f.uid, "Append", Transfer.of(["lost"]))
+        kernel.crash_eject(f.uid)
+        assert kernel.call_sync(f.uid, "Contents") == ["kept"]
+
+
+class TestDirectory:
+    def test_add_lookup_delete(self, kernel):
+        d = kernel.create(Directory)
+        f = kernel.create(EdenFile)
+        kernel.call_sync(d.uid, "AddEntry", "f", f.uid)
+        assert kernel.call_sync(d.uid, "Lookup", "f") == f.uid
+        kernel.call_sync(d.uid, "DeleteEntry", "f")
+        with pytest.raises(NoSuchEntryError):
+            kernel.call_sync(d.uid, "Lookup", "f")
+
+    def test_duplicate_rejected(self, kernel):
+        d = kernel.create(Directory)
+        f = kernel.create(EdenFile)
+        kernel.call_sync(d.uid, "AddEntry", "f", f.uid)
+        with pytest.raises(DuplicateEntryError):
+            kernel.call_sync(d.uid, "AddEntry", "f", f.uid)
+
+    def test_delete_missing_rejected(self, kernel):
+        d = kernel.create(Directory)
+        with pytest.raises(NoSuchEntryError):
+            kernel.call_sync(d.uid, "DeleteEntry", "ghost")
+
+    def test_non_uid_rejected(self, kernel):
+        d = kernel.create(Directory)
+        with pytest.raises(InvocationError):
+            kernel.call_sync(d.uid, "AddEntry", "x", "not-a-uid")
+
+    def test_rename(self, kernel):
+        d = kernel.create(Directory)
+        f = kernel.create(EdenFile)
+        kernel.call_sync(d.uid, "AddEntry", "old", f.uid)
+        kernel.call_sync(d.uid, "Rename", "old", "new")
+        assert kernel.call_sync(d.uid, "Lookup", "new") == f.uid
+        with pytest.raises(NoSuchEntryError):
+            kernel.call_sync(d.uid, "Lookup", "old")
+
+    def test_names_and_size(self, kernel):
+        d = kernel.create(Directory)
+        f = kernel.create(EdenFile)
+        kernel.call_sync(d.uid, "AddEntry", "b", f.uid)
+        kernel.call_sync(d.uid, "AddEntry", "a", f.uid)
+        assert kernel.call_sync(d.uid, "Names") == ["a", "b"]
+        assert kernel.call_sync(d.uid, "Size") == 2
+
+    def test_arbitrary_networks_with_cycles(self, kernel):
+        """§2: "arbitrary networks of directories can be constructed"."""
+        a = kernel.create(Directory)
+        b = kernel.create(Directory)
+        kernel.call_sync(a.uid, "AddEntry", "b", b.uid)
+        kernel.call_sync(b.uid, "AddEntry", "a", a.uid)  # a cycle
+        assert kernel.call_sync(
+            kernel.call_sync(a.uid, "Lookup", "b"), "Lookup", "a"
+        ) == a.uid
+
+    def test_list_then_read_streams_listing(self, kernel):
+        """§4: List prepares the directory for Read invocations."""
+        d = kernel.create(Directory)
+        f = kernel.create(EdenFile)
+        kernel.call_sync(d.uid, "AddEntry", "zz", f.uid)
+        kernel.call_sync(d.uid, "AddEntry", "aa", f.uid)
+        count = kernel.call_sync(d.uid, "List")
+        assert count == 2
+        transfer = kernel.call_sync(d.uid, "Read", 10)
+        assert [line.split()[0] for line in transfer.items] == ["aa", "zz"]
+        assert kernel.call_sync(d.uid, "Read", 1).at_end
+
+    def test_directory_is_a_source_for_pipelines(self, kernel):
+        """A directory can feed an ordinary sink: it *is* a source."""
+        d = kernel.create(Directory)
+        f = kernel.create(EdenFile)
+        kernel.call_sync(d.uid, "AddEntry", "entry", f.uid)
+        sink = kernel.create(
+            CollectorSink, inputs=[StreamEndpoint(d.uid, None)]
+        )
+        run_until_done(kernel, sink)
+        assert len(sink.collected) == 1
+        assert sink.collected[0].startswith("entry")
+
+    def test_checkpoint_recovery(self, kernel):
+        d = kernel.create(Directory)
+        f = kernel.create(EdenFile)
+        kernel.call_sync(d.uid, "AddEntry", "kept", f.uid)
+        kernel.call_sync(d.uid, "Commit")
+        kernel.call_sync(d.uid, "AddEntry", "lost", f.uid)
+        kernel.crash_eject(d.uid)
+        assert kernel.call_sync(d.uid, "Names") == ["kept"]
+        # The recovered entry still points at the right Eject.
+        assert kernel.call_sync(d.uid, "Lookup", "kept") == f.uid

@@ -1,0 +1,148 @@
+"""The simulated host (Unix) filesystem."""
+
+import pytest
+
+from repro.core.errors import (
+    HostFileExistsError,
+    HostFileNotFoundError,
+    HostIsADirectoryError,
+    HostNotADirectoryError,
+)
+from repro.filesystem import HostFileSystem, split_path
+
+
+class TestSplitPath:
+    @pytest.mark.parametrize(
+        "path, expected",
+        [
+            ("/a/b", ["a", "b"]),
+            ("a/b/", ["a", "b"]),
+            ("//a//b//", ["a", "b"]),
+            ("/", []),
+            ("", []),
+            ("./a/./b", ["a", "b"]),
+        ],
+    )
+    def test_normalization(self, path, expected):
+        assert split_path(path) == expected
+
+
+class TestFiles:
+    def test_write_read_round_trip(self):
+        fs = HostFileSystem()
+        fs.write_file("/f.txt", ["one", "two"])
+        assert fs.read_file("/f.txt") == ["one", "two"]
+
+    def test_read_returns_copy(self):
+        fs = HostFileSystem()
+        fs.write_file("/f.txt", ["x"])
+        fs.read_file("/f.txt").append("mutation")
+        assert fs.read_file("/f.txt") == ["x"]
+
+    def test_lines_coerced_to_str(self):
+        fs = HostFileSystem()
+        fs.write_file("/f.txt", [1, 2])
+        assert fs.read_file("/f.txt") == ["1", "2"]
+
+    def test_overwrite(self):
+        fs = HostFileSystem()
+        fs.write_file("/f.txt", ["a"])
+        fs.write_file("/f.txt", ["b"])
+        assert fs.read_file("/f.txt") == ["b"]
+
+    def test_exclusive_create(self):
+        fs = HostFileSystem()
+        fs.write_file("/f.txt", ["a"])
+        with pytest.raises(HostFileExistsError):
+            fs.write_file("/f.txt", ["b"], exclusive=True)
+
+    def test_append_creates(self):
+        fs = HostFileSystem()
+        fs.append_file("/f.txt", ["a"])
+        fs.append_file("/f.txt", ["b"])
+        assert fs.read_file("/f.txt") == ["a", "b"]
+
+    def test_missing_file(self):
+        with pytest.raises(HostFileNotFoundError):
+            HostFileSystem().read_file("/nope")
+
+    def test_unlink(self):
+        fs = HostFileSystem()
+        fs.write_file("/f.txt", ["a"])
+        fs.unlink("/f.txt")
+        assert not fs.exists("/f.txt")
+        with pytest.raises(HostFileNotFoundError):
+            fs.unlink("/f.txt")
+
+    def test_file_in_missing_dir(self):
+        with pytest.raises(HostFileNotFoundError):
+            HostFileSystem().write_file("/no/dir/f.txt", ["a"])
+
+    def test_root_is_not_a_file(self):
+        with pytest.raises(HostIsADirectoryError):
+            HostFileSystem().write_file("/", ["a"])
+
+
+class TestDirectories:
+    def test_mkdir_and_list(self):
+        fs = HostFileSystem()
+        fs.mkdir("/a")
+        fs.write_file("/a/f", ["x"])
+        fs.mkdir("/a/sub")
+        assert fs.listdir("/a") == ["f", "sub"]
+
+    def test_mkdir_parents(self):
+        fs = HostFileSystem()
+        fs.mkdir("/a/b/c", parents=True)
+        assert fs.is_dir("/a/b/c")
+
+    def test_mkdir_without_parents_fails(self):
+        with pytest.raises(HostFileNotFoundError):
+            HostFileSystem().mkdir("/a/b/c")
+
+    def test_mkdir_existing_fails(self):
+        fs = HostFileSystem()
+        fs.mkdir("/a")
+        with pytest.raises(HostFileExistsError):
+            fs.mkdir("/a")
+        fs.mkdir("/a", parents=True)  # idempotent with parents
+
+    def test_file_is_not_a_directory(self):
+        fs = HostFileSystem()
+        fs.write_file("/f", ["x"])
+        with pytest.raises(HostNotADirectoryError):
+            fs.mkdir("/f/sub")
+        with pytest.raises(HostNotADirectoryError):
+            fs.listdir("/f")
+
+    def test_unlink_directory_rejected(self):
+        fs = HostFileSystem()
+        fs.mkdir("/a")
+        with pytest.raises(HostIsADirectoryError):
+            fs.unlink("/a")
+
+    def test_read_directory_rejected(self):
+        fs = HostFileSystem()
+        fs.mkdir("/a")
+        with pytest.raises(HostIsADirectoryError):
+            fs.read_file("/a")
+
+
+class TestQueries:
+    def test_exists_and_is_dir(self):
+        fs = HostFileSystem()
+        fs.mkdir("/a")
+        fs.write_file("/a/f", [])
+        assert fs.exists("/a") and fs.is_dir("/a")
+        assert fs.exists("/a/f") and not fs.is_dir("/a/f")
+        assert not fs.exists("/a/g")
+        assert not fs.exists("/a/f/deeper")
+
+    def test_walk(self):
+        fs = HostFileSystem()
+        fs.mkdir("/a/b", parents=True)
+        fs.write_file("/a/top", [])
+        fs.write_file("/a/b/inner", [])
+        walked = list(fs.walk("/a"))
+        assert walked[0] == ("/a", ["b"], ["top"])
+        assert walked[1] == ("/a/b", [], ["inner"])

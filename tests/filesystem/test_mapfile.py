@@ -1,0 +1,92 @@
+"""The Map protocol Eject (paper §6): random access + both protocols."""
+
+import pytest
+
+from repro.core.errors import InvocationError
+from repro.filesystem import MapFile, MapIndexError
+from repro.transput import CollectorSink, StreamEndpoint
+from tests.conftest import run_until_done
+
+
+class TestMapProtocol:
+    def test_read_at(self, kernel):
+        f = kernel.create(MapFile, records=["a", "b", "c", "d"])
+        assert kernel.call_sync(f.uid, "ReadAt", 1, 2) == ["b", "c"]
+        assert kernel.call_sync(f.uid, "ReadAt", 3) == ["d"]
+
+    def test_read_at_out_of_range(self, kernel):
+        f = kernel.create(MapFile, records=["a"])
+        with pytest.raises(MapIndexError):
+            kernel.call_sync(f.uid, "ReadAt", 5)
+        with pytest.raises(MapIndexError):
+            kernel.call_sync(f.uid, "ReadAt", -1)
+
+    def test_write_at_overwrites(self, kernel):
+        f = kernel.create(MapFile, records=["a", "b", "c"])
+        assert kernel.call_sync(f.uid, "WriteAt", 1, ["X", "Y"]) == 2
+        assert kernel.call_sync(f.uid, "ReadAt", 0, 3) == ["a", "X", "Y"]
+
+    def test_write_at_grows(self, kernel):
+        f = kernel.create(MapFile, records=["a"])
+        kernel.call_sync(f.uid, "WriteAt", 1, ["b", "c"])
+        assert kernel.call_sync(f.uid, "Size") == 3
+
+    def test_write_past_end_rejected(self, kernel):
+        f = kernel.create(MapFile, records=["a"])
+        with pytest.raises(MapIndexError):
+            kernel.call_sync(f.uid, "WriteAt", 5, ["x"])
+
+    def test_truncate(self, kernel):
+        f = kernel.create(MapFile, records=list("abcd"))
+        assert kernel.call_sync(f.uid, "Truncate", 2) == 2
+        assert kernel.call_sync(f.uid, "ReadAt", 0, 10) == ["a", "b"]
+        with pytest.raises(InvocationError):
+            kernel.call_sync(f.uid, "Truncate", -1)
+
+    def test_counters(self, kernel):
+        f = kernel.create(MapFile, records=["a"])
+        kernel.call_sync(f.uid, "ReadAt", 0)
+        kernel.call_sync(f.uid, "WriteAt", 0, ["b"])
+        assert f.map_reads == 1
+        assert f.map_writes == 1
+
+
+class TestBothProtocols:
+    """§6: an Eject "may support both protocols"."""
+
+    def test_stream_protocol_works_too(self, kernel):
+        f = kernel.create(MapFile, records=["a", "b"])
+        sink = kernel.create(
+            CollectorSink, inputs=[StreamEndpoint(f.uid, None)]
+        )
+        run_until_done(kernel, sink)
+        assert sink.collected == ["a", "b"]
+
+    def test_map_writes_visible_to_stream_reads(self, kernel):
+        f = kernel.create(MapFile, records=["a", "b"])
+        kernel.call_sync(f.uid, "WriteAt", 0, ["A"])
+        sink = kernel.create(
+            CollectorSink, inputs=[StreamEndpoint(f.uid, None)]
+        )
+        run_until_done(kernel, sink)
+        assert sink.collected == ["A", "b"]
+
+    def test_transfer_synonym(self, kernel):
+        f = kernel.create(MapFile, records=["x"])
+        assert kernel.call_sync(f.uid, "Transfer", 1).items == ("x",)
+
+    def test_truncate_clamps_stream_cursor(self, kernel):
+        f = kernel.create(MapFile, records=list("abcd"))
+        kernel.call_sync(f.uid, "Read", 3)  # cursor at 3
+        kernel.call_sync(f.uid, "Truncate", 1)
+        assert kernel.call_sync(f.uid, "Read", 5).at_end  # rewinds
+        assert kernel.call_sync(f.uid, "Read", 5).items == ("a",)
+
+
+class TestDurability:
+    def test_checkpoint_round_trip(self, kernel):
+        f = kernel.create(MapFile, records=["keep"])
+        kernel.call_sync(f.uid, "Commit")
+        kernel.call_sync(f.uid, "WriteAt", 0, ["lost"])
+        kernel.crash_eject(f.uid)
+        assert kernel.call_sync(f.uid, "ReadAt", 0) == ["keep"]

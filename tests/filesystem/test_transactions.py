@@ -1,0 +1,179 @@
+"""Nested transactions on directories (the §7 preliminary design)."""
+
+import pytest
+
+from repro.core.errors import (
+    DuplicateEntryError,
+    NoSuchEntryError,
+    TransactionStateError,
+)
+from repro.filesystem import EdenFile, TransactionalDirectory
+
+
+@pytest.fixture
+def setup(kernel):
+    directory = kernel.create(TransactionalDirectory)
+    file_a = kernel.create(EdenFile, name="a")
+    file_b = kernel.create(EdenFile, name="b")
+    return directory, file_a, file_b
+
+
+class TestTopLevel:
+    def test_commit_applies_atomically(self, kernel, setup):
+        directory, file_a, file_b = setup
+        txn = kernel.call_sync(directory.uid, "Begin")
+        kernel.call_sync(directory.uid, "AddEntry", "a", file_a.uid, txn=txn)
+        kernel.call_sync(directory.uid, "AddEntry", "b", file_b.uid, txn=txn)
+        assert kernel.call_sync(directory.uid, "Names") == []
+        assert kernel.call_sync(directory.uid, "Commit", txn) == "committed"
+        assert kernel.call_sync(directory.uid, "Names") == ["a", "b"]
+
+    def test_abort_discards(self, kernel, setup):
+        directory, file_a, _ = setup
+        txn = kernel.call_sync(directory.uid, "Begin")
+        kernel.call_sync(directory.uid, "AddEntry", "a", file_a.uid, txn=txn)
+        kernel.call_sync(directory.uid, "Abort", txn)
+        assert kernel.call_sync(directory.uid, "Names") == []
+
+    def test_read_your_writes(self, kernel, setup):
+        directory, file_a, _ = setup
+        txn = kernel.call_sync(directory.uid, "Begin")
+        kernel.call_sync(directory.uid, "AddEntry", "a", file_a.uid, txn=txn)
+        assert kernel.call_sync(directory.uid, "Lookup", "a", txn=txn) == file_a.uid
+        with pytest.raises(NoSuchEntryError):
+            kernel.call_sync(directory.uid, "Lookup", "a")
+
+    def test_transactional_delete(self, kernel, setup):
+        directory, file_a, _ = setup
+        kernel.call_sync(directory.uid, "AddEntry", "a", file_a.uid)
+        txn = kernel.call_sync(directory.uid, "Begin")
+        kernel.call_sync(directory.uid, "DeleteEntry", "a", txn=txn)
+        with pytest.raises(NoSuchEntryError):
+            kernel.call_sync(directory.uid, "Lookup", "a", txn=txn)
+        # Outside the transaction the entry is still there.
+        assert kernel.call_sync(directory.uid, "Lookup", "a") == file_a.uid
+        kernel.call_sync(directory.uid, "Commit", txn)
+        with pytest.raises(NoSuchEntryError):
+            kernel.call_sync(directory.uid, "Lookup", "a")
+
+    def test_commit_checkpoints(self, kernel, setup):
+        """Top-level commit is the durable atomic update."""
+        directory, file_a, _ = setup
+        txn = kernel.call_sync(directory.uid, "Begin")
+        kernel.call_sync(directory.uid, "AddEntry", "a", file_a.uid, txn=txn)
+        kernel.call_sync(directory.uid, "Commit", txn)
+        kernel.crash_eject(directory.uid)
+        assert kernel.call_sync(directory.uid, "Names") == ["a"]
+
+    def test_duplicate_within_txn_rejected(self, kernel, setup):
+        directory, file_a, file_b = setup
+        txn = kernel.call_sync(directory.uid, "Begin")
+        kernel.call_sync(directory.uid, "AddEntry", "a", file_a.uid, txn=txn)
+        with pytest.raises(DuplicateEntryError):
+            kernel.call_sync(directory.uid, "AddEntry", "a", file_b.uid, txn=txn)
+
+    def test_duplicate_against_committed_rejected(self, kernel, setup):
+        directory, file_a, file_b = setup
+        kernel.call_sync(directory.uid, "AddEntry", "a", file_a.uid)
+        txn = kernel.call_sync(directory.uid, "Begin")
+        with pytest.raises(DuplicateEntryError):
+            kernel.call_sync(directory.uid, "AddEntry", "a", file_b.uid, txn=txn)
+
+
+class TestNesting:
+    def test_nested_commit_merges_into_parent(self, kernel, setup):
+        directory, file_a, _ = setup
+        outer = kernel.call_sync(directory.uid, "Begin")
+        inner = kernel.call_sync(directory.uid, "Begin", outer)
+        kernel.call_sync(directory.uid, "AddEntry", "a", file_a.uid, txn=inner)
+        assert kernel.call_sync(directory.uid, "Commit", inner) == "merged"
+        # Visible in the parent, not yet committed.
+        assert kernel.call_sync(directory.uid, "Lookup", "a", txn=outer)
+        assert kernel.call_sync(directory.uid, "Names") == []
+        kernel.call_sync(directory.uid, "Commit", outer)
+        assert kernel.call_sync(directory.uid, "Names") == ["a"]
+
+    def test_nested_abort_leaves_parent_clean(self, kernel, setup):
+        directory, file_a, _ = setup
+        outer = kernel.call_sync(directory.uid, "Begin")
+        inner = kernel.call_sync(directory.uid, "Begin", outer)
+        kernel.call_sync(directory.uid, "AddEntry", "a", file_a.uid, txn=inner)
+        kernel.call_sync(directory.uid, "Abort", inner)
+        kernel.call_sync(directory.uid, "Commit", outer)
+        assert kernel.call_sync(directory.uid, "Names") == []
+
+    def test_child_sees_parent_writes(self, kernel, setup):
+        directory, file_a, _ = setup
+        outer = kernel.call_sync(directory.uid, "Begin")
+        kernel.call_sync(directory.uid, "AddEntry", "a", file_a.uid, txn=outer)
+        inner = kernel.call_sync(directory.uid, "Begin", outer)
+        assert kernel.call_sync(directory.uid, "Lookup", "a", txn=inner)
+
+    def test_inner_overrides_parent_view(self, kernel, setup):
+        directory, file_a, file_b = setup
+        outer = kernel.call_sync(directory.uid, "Begin")
+        kernel.call_sync(directory.uid, "AddEntry", "a", file_a.uid, txn=outer)
+        inner = kernel.call_sync(directory.uid, "Begin", outer)
+        kernel.call_sync(directory.uid, "DeleteEntry", "a", txn=inner)
+        kernel.call_sync(directory.uid, "AddEntry", "a", file_b.uid, txn=inner)
+        assert kernel.call_sync(directory.uid, "Lookup", "a", txn=inner) == file_b.uid
+        assert kernel.call_sync(directory.uid, "Lookup", "a", txn=outer) == file_a.uid
+
+    def test_commit_with_active_child_rejected(self, kernel, setup):
+        directory, *_ = setup
+        outer = kernel.call_sync(directory.uid, "Begin")
+        kernel.call_sync(directory.uid, "Begin", outer)
+        with pytest.raises(TransactionStateError, match="active child"):
+            kernel.call_sync(directory.uid, "Commit", outer)
+
+    def test_abort_cascades_to_children(self, kernel, setup):
+        directory, file_a, _ = setup
+        outer = kernel.call_sync(directory.uid, "Begin")
+        inner = kernel.call_sync(directory.uid, "Begin", outer)
+        kernel.call_sync(directory.uid, "Abort", outer)
+        with pytest.raises(TransactionStateError):
+            kernel.call_sync(
+                directory.uid, "AddEntry", "a", file_a.uid, txn=inner
+            )
+        assert directory.aborts == 2
+
+    def test_names_merges_the_chain(self, kernel, setup):
+        directory, file_a, file_b = setup
+        kernel.call_sync(directory.uid, "AddEntry", "base", file_a.uid)
+        outer = kernel.call_sync(directory.uid, "Begin")
+        kernel.call_sync(directory.uid, "AddEntry", "outer", file_a.uid, txn=outer)
+        inner = kernel.call_sync(directory.uid, "Begin", outer)
+        kernel.call_sync(directory.uid, "DeleteEntry", "base", txn=inner)
+        kernel.call_sync(directory.uid, "AddEntry", "inner", file_b.uid, txn=inner)
+        assert kernel.call_sync(directory.uid, "Names", txn=inner) == [
+            "inner", "outer"
+        ]
+
+
+class TestLifecycleErrors:
+    def test_unknown_txn(self, kernel, setup):
+        directory, *_ = setup
+        with pytest.raises(TransactionStateError):
+            kernel.call_sync(directory.uid, "Commit", 999)
+
+    def test_finished_txn_rejected(self, kernel, setup):
+        directory, file_a, _ = setup
+        txn = kernel.call_sync(directory.uid, "Begin")
+        kernel.call_sync(directory.uid, "Commit", txn)
+        with pytest.raises(TransactionStateError):
+            kernel.call_sync(directory.uid, "AddEntry", "a", file_a.uid, txn=txn)
+        with pytest.raises(TransactionStateError):
+            kernel.call_sync(directory.uid, "Commit", txn)
+
+    def test_begin_under_finished_parent_rejected(self, kernel, setup):
+        directory, *_ = setup
+        txn = kernel.call_sync(directory.uid, "Begin")
+        kernel.call_sync(directory.uid, "Abort", txn)
+        with pytest.raises(TransactionStateError):
+            kernel.call_sync(directory.uid, "Begin", txn)
+
+    def test_plain_operations_still_work(self, kernel, setup):
+        directory, file_a, _ = setup
+        kernel.call_sync(directory.uid, "AddEntry", "plain", file_a.uid)
+        assert kernel.call_sync(directory.uid, "Lookup", "plain") == file_a.uid
+        assert kernel.call_sync(directory.uid, "Commit") is True  # checkpoint

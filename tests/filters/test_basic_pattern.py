@@ -1,0 +1,110 @@
+"""Basic and pattern filters as pure transducers."""
+
+import pytest
+
+from repro.filters import (
+    batch_lines,
+    between,
+    comment_stripper,
+    delete_matching,
+    expand_tabs,
+    fold,
+    grep,
+    identity,
+    lower_case,
+    prepend,
+    repeat,
+    reverse_line,
+    strip_whitespace,
+    substitute,
+    translate,
+    upper_case,
+)
+from repro.transput import apply_transducer
+
+
+class TestBasic:
+    def test_identity(self):
+        assert apply_transducer(identity(), [1, "a"]) == [1, "a"]
+
+    def test_case_mapping(self):
+        assert apply_transducer(upper_case(), ["aB"]) == ["AB"]
+        assert apply_transducer(lower_case(), ["aB"]) == ["ab"]
+
+    def test_reverse(self):
+        assert apply_transducer(reverse_line(), ["abc"]) == ["cba"]
+
+    def test_strip(self):
+        assert apply_transducer(strip_whitespace(), ["  x  "]) == ["x"]
+
+    def test_expand_tabs(self):
+        assert apply_transducer(expand_tabs(4), ["a\tb"]) == ["a   b"]
+        with pytest.raises(ValueError):
+            expand_tabs(0)
+
+    def test_fold_splits_long_lines(self):
+        assert apply_transducer(fold(3), ["abcdefg"]) == ["abc", "def", "g"]
+        assert apply_transducer(fold(3), [""]) == [""]
+        with pytest.raises(ValueError):
+            fold(0)
+
+    def test_translate(self):
+        assert apply_transducer(translate("abc", "xyz"), ["cab"]) == ["zxy"]
+        with pytest.raises(ValueError):
+            translate("ab", "x")
+
+    def test_prepend(self):
+        assert apply_transducer(prepend(">> "), ["hi"]) == [">> hi"]
+
+    def test_repeat(self):
+        assert apply_transducer(repeat(3), ["x"]) == ["x", "x", "x"]
+        assert apply_transducer(repeat(0), ["x"]) == []
+        with pytest.raises(ValueError):
+            repeat(-1)
+
+    def test_batch_lines(self):
+        assert apply_transducer(batch_lines(2), [1, 2, 3, 4, 5]) == [
+            (1, 2), (3, 4), (5,)
+        ]
+        with pytest.raises(ValueError):
+            batch_lines(0)
+
+
+class TestCommentStripper:
+    def test_papers_fortran_example(self):
+        """§3: omit all lines beginning with "C"."""
+        deck = ["C comment", "      REAL X", "CONTINUE IS NOT SAFE",
+                "      X = 1"]
+        out = apply_transducer(comment_stripper("C"), deck)
+        assert out == ["      REAL X", "      X = 1"]
+
+    def test_custom_marker(self):
+        assert apply_transducer(comment_stripper("#"), ["# a", "b"]) == ["b"]
+
+
+class TestPatternFilters:
+    def test_delete_matching(self):
+        out = apply_transducer(delete_matching(r"\d"), ["a1", "bc", "2d"])
+        assert out == ["bc"]
+
+    def test_grep(self):
+        out = apply_transducer(grep(r"^b"), ["abc", "bcd", "bxx"])
+        assert out == ["bcd", "bxx"]
+
+    def test_substitute(self):
+        out = apply_transducer(substitute(r"o+", "0"), ["foo boo"])
+        assert out == ["f0 b0"]
+
+    def test_substitute_count(self):
+        out = apply_transducer(substitute("o", "0", count=1), ["foo"])
+        assert out == ["f0o"]
+
+    def test_between_stateful(self):
+        lines = ["x", "BEGIN", "a", "END", "y", "BEGIN", "b", "END", "z"]
+        out = apply_transducer(between("BEGIN", "END"), lines)
+        assert out == ["BEGIN", "a", "END", "BEGIN", "b", "END"]
+
+    def test_grep_is_reusable_fresh_instances(self):
+        first = apply_transducer(grep("a"), ["a", "b"])
+        second = apply_transducer(grep("a"), ["ab"])
+        assert first == ["a"] and second == ["ab"]

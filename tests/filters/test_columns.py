@@ -1,0 +1,66 @@
+"""Column filters and run-length coding."""
+
+import pytest
+
+from repro.core.errors import StreamProtocolError
+from repro.filters import cut, paste, rle_decode, rle_encode
+from repro.transput import apply_transducer
+
+
+class TestCut:
+    def test_selects_fields(self):
+        assert apply_transducer(cut([0, 2]), ["a b c", "d e f"]) == [
+            "a c", "d f"
+        ]
+
+    def test_missing_fields_skipped(self):
+        assert apply_transducer(cut([0, 5]), ["a b"]) == ["a"]
+
+    def test_custom_delimiter(self):
+        assert apply_transducer(cut([1], delimiter=","), ["a,b,c"]) == ["b"]
+
+    def test_negative_field_rejected(self):
+        with pytest.raises(ValueError):
+            cut([-1])
+
+
+class TestPaste:
+    def test_merges_rows(self):
+        assert apply_transducer(paste(2, "|"), ["a", "b", "c", "d"]) == [
+            "a|b", "c|d"
+        ]
+
+    def test_partial_tail(self):
+        assert apply_transducer(paste(3), ["a", "b", "c", "d"]) == [
+            "a\tb\tc", "d"
+        ]
+
+    def test_invalid_columns(self):
+        with pytest.raises(ValueError):
+            paste(0)
+
+
+class TestRunLength:
+    def test_encode(self):
+        assert apply_transducer(rle_encode(), ["a", "a", "b", "a"]) == [
+            (2, "a"), (1, "b"), (1, "a")
+        ]
+
+    def test_empty(self):
+        assert apply_transducer(rle_encode(), []) == []
+        assert apply_transducer(rle_decode(), []) == []
+
+    def test_decode(self):
+        assert apply_transducer(rle_decode(), [(2, "a"), (1, "b")]) == [
+            "a", "a", "b"
+        ]
+
+    def test_round_trip(self):
+        items = ["x"] * 5 + ["y"] + ["x"] * 2
+        encoded = apply_transducer(rle_encode(), items)
+        assert apply_transducer(rle_decode(), encoded) == items
+
+    @pytest.mark.parametrize("junk", ["ab", (0, "a"), (1,), ("a", 1)])
+    def test_decode_rejects_junk(self, junk):
+        with pytest.raises(StreamProtocolError):
+            apply_transducer(rle_decode(), [junk])

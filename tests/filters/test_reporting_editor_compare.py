@@ -1,0 +1,183 @@
+"""Reporting wrappers, the stream editor, the comparator, spell check."""
+
+import pytest
+
+from repro.core.errors import EdenError
+from repro.filters import (
+    DiffRecord,
+    DifferenceFilter,
+    EditorCommandError,
+    ErrorReporting,
+    MISSING,
+    SpellChecker,
+    SpellCheckReporter,
+    StreamEditor,
+    fanout,
+    parse_command,
+    upper_case,
+    with_reports,
+)
+from repro.transput import (
+    CollectorSink,
+    ListSource,
+    apply_reporting,
+    apply_transducer,
+)
+from tests.conftest import run_until_done
+
+
+class TestWithReports:
+    def test_output_passes_through(self):
+        result = apply_reporting(with_reports(upper_case(), "F", every=2),
+                                 ["a", "b", "c"])
+        assert result["Output"] == ["A", "B", "C"]
+
+    def test_reports_every_k(self):
+        result = apply_reporting(with_reports(upper_case(), "F", every=2),
+                                 ["a", "b", "c"])
+        reports = result["Report"]
+        assert reports[0] == "[F] starting"
+        assert any("2 in" in line for line in reports)
+        assert reports[-1].startswith("[F] done: 3 in")
+
+    def test_label_defaults_to_inner_name(self):
+        wrapped = with_reports(upper_case())
+        result = apply_reporting(wrapped, ["x"])
+        assert "[upper]" in result["Report"][0]
+
+    def test_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            with_reports(upper_case(), every=0)
+
+
+class TestErrorReporting:
+    def test_failures_reported_not_raised(self):
+        transducer = ErrorReporting(lambda x: 10 // int(x), label="div")
+        result = apply_reporting(transducer, ["5", "0", "2"])
+        assert result["Output"] == [2, 5]
+        assert any("'0'" in line for line in result["Report"])
+        assert result["Report"][-1] == "[div] 1 failures"
+
+
+class TestFanout:
+    def test_duplicates_to_each_channel(self):
+        result = apply_reporting(fanout(3), ["x", "y"])
+        assert result == {
+            "out0": ["x", "y"], "out1": ["x", "y"], "out2": ["x", "y"]
+        }
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            fanout(0)
+
+
+class TestEditorParsing:
+    def test_substitute(self):
+        command = parse_command("s/cat/dog/")
+        assert command.apply(["a cat sat"]) == ["a dog sat"]
+
+    def test_alternate_delimiter(self):
+        command = parse_command("s|/usr|/opt|")
+        assert command.apply(["/usr/bin"]) == ["/opt/bin"]
+
+    def test_delete(self):
+        command = parse_command("d/^#/")
+        assert command.apply(["# x", "y"]) == ["y"]
+
+    def test_keep(self):
+        command = parse_command("p/keep/")
+        assert command.apply(["keep me", "drop me"]) == ["keep me"]
+
+    def test_append_insert(self):
+        assert parse_command("a/AFTER/").apply(["x"]) == ["x", "AFTER"]
+        assert parse_command("i/BEFORE/").apply(["x"]) == ["BEFORE", "x"]
+
+    @pytest.mark.parametrize(
+        "bad", ["", "x", "q/foo/", "s/only-one/", "d/a/b/", "s/[/x/"]
+    )
+    def test_bad_commands_rejected(self, bad):
+        with pytest.raises(EditorCommandError):
+            parse_command(bad)
+
+
+class TestStreamEditor:
+    def test_commands_apply_in_order(self):
+        editor = StreamEditor(["s/a/b/", "p/b/"])
+        assert apply_transducer(editor, ["aaa", "xyz"]) == ["bbb"]
+
+    def test_delete_stops_chain(self):
+        editor = StreamEditor(["d/x/", "s/y/z/"])
+        assert apply_transducer(editor, ["x y", "y"]) == ["z"]
+
+    def test_secondary_commands(self):
+        editor = StreamEditor()
+        editor.accept_secondary("commands", ["s/1/one/", "", "  "])
+        assert editor.command_count == 1
+        assert apply_transducer(editor, ["1!"]) == ["one!"]
+
+    def test_other_secondary_ignored(self):
+        editor = StreamEditor()
+        editor.accept_secondary("dictionary", ["s/1/one/"])
+        assert editor.command_count == 0
+
+    def test_empty_editor_is_identity(self):
+        assert apply_transducer(StreamEditor(), ["x"]) == ["x"]
+
+
+class TestDifferenceFilter:
+    def build(self, kernel, left, right, **kwargs):
+        a = kernel.create(ListSource, items=list(left))
+        b = kernel.create(ListSource, items=list(right))
+        diff = kernel.create(
+            DifferenceFilter, left=a.output_endpoint(),
+            right=b.output_endpoint(), **kwargs,
+        )
+        sink = kernel.create(CollectorSink, inputs=[diff.output_endpoint()])
+        run_until_done(kernel, sink)
+        return diff, sink.collected
+
+    def test_identical_streams_no_output(self, kernel):
+        diff, out = self.build(kernel, ["a", "b"], ["a", "b"])
+        assert out == []
+        assert diff.differences == 0
+
+    def test_differences_reported_with_index(self, kernel):
+        _, out = self.build(kernel, ["a", "x", "c"], ["a", "y", "c"])
+        assert out == [DiffRecord(1, "x", "y")]
+
+    def test_left_longer(self, kernel):
+        _, out = self.build(kernel, ["a", "b", "c"], ["a"])
+        assert out == [DiffRecord(1, "b", MISSING), DiffRecord(2, "c", MISSING)]
+
+    def test_right_longer(self, kernel):
+        _, out = self.build(kernel, ["a"], ["a", "z"])
+        assert out == [DiffRecord(1, MISSING, "z")]
+
+    def test_emit_equal_mode(self, kernel):
+        _, out = self.build(kernel, ["a", "b"], ["a", "c"], emit_equal=True)
+        assert out == [("=", "a"), DiffRecord(1, "b", "c")]
+
+    def test_diff_record_str(self):
+        assert "0:" in str(DiffRecord(0, "a", "b"))
+
+
+class TestSpellCheck:
+    def test_misspellings_emitted(self):
+        checker = SpellChecker(dictionary=["the", "cat"])
+        assert apply_transducer(checker, ["the cct sat"]) == ["cct", "sat"]
+
+    def test_default_dictionary(self):
+        checker = SpellChecker()
+        assert apply_transducer(checker, ["the stream"]) == []
+
+    def test_secondary_dictionary_input(self):
+        checker = SpellChecker(dictionary=["a"])
+        checker.accept_secondary("dictionary", ["zebra yak"])
+        assert checker.dictionary_size == 3
+        assert apply_transducer(checker, ["a zebra"]) == []
+
+    def test_reporter_form(self):
+        reporter = SpellCheckReporter(dictionary=["ok"])
+        result = apply_reporting(reporter, ["ok bad"])
+        assert result["Output"] == ["ok bad"]
+        assert result["Report"] == ["line 1: misspelt 'bad'"]

@@ -1,0 +1,57 @@
+"""SortedMergeFilter: order-preserving two-stream fan-in."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.filters import SortedMergeFilter
+from repro.transput import CollectorSink, ListSource
+from repro.core import Kernel
+from tests.conftest import run_until_done
+
+
+def merge(kernel, left, right, **kwargs):
+    a = kernel.create(ListSource, items=list(left))
+    b = kernel.create(ListSource, items=list(right))
+    merger = kernel.create(
+        SortedMergeFilter, left=a.output_endpoint(),
+        right=b.output_endpoint(), **kwargs,
+    )
+    sink = kernel.create(CollectorSink, inputs=[merger.output_endpoint()])
+    run_until_done(kernel, sink)
+    return sink.collected
+
+
+class TestSortedMerge:
+    def test_interleaves_sorted_streams(self, kernel):
+        assert merge(kernel, [1, 3, 5], [2, 4, 6]) == [1, 2, 3, 4, 5, 6]
+
+    def test_uneven_lengths(self, kernel):
+        assert merge(kernel, [10], [1, 2, 3]) == [1, 2, 3, 10]
+
+    def test_empty_sides(self, kernel):
+        assert merge(kernel, [], [1, 2]) == [1, 2]
+
+    def test_both_empty(self, kernel):
+        assert merge(kernel, [], []) == []
+
+    def test_duplicates_stable_left_first(self, kernel):
+        assert merge(kernel, ["a1"], ["a2"], key=lambda s: s[0]) == ["a1", "a2"]
+
+    def test_custom_key(self, kernel):
+        out = merge(kernel, ["bb", "dddd"], ["a", "ccc"], key=len)
+        assert out == ["a", "bb", "ccc", "dddd"]
+
+    def test_batching(self, kernel):
+        left = list(range(0, 20, 2))
+        right = list(range(1, 20, 2))
+        assert merge(kernel, left, right, batch_in=4) == list(range(20))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        left=st.lists(st.integers(min_value=-50, max_value=50), max_size=12),
+        right=st.lists(st.integers(min_value=-50, max_value=50), max_size=12),
+    )
+    def test_merge_of_sorted_is_sorted_concat(self, left, right):
+        kernel = Kernel()
+        out = merge(kernel, sorted(left), sorted(right))
+        assert out == sorted(left + right)

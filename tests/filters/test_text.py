@@ -1,0 +1,108 @@
+"""Text-processing filters: numbering, pagination, counting, sorting."""
+
+import pytest
+
+from repro.filters import (
+    WordCountSummary,
+    head,
+    number_lines,
+    paginate,
+    pretty_print,
+    sort_lines,
+    tail,
+    unique_adjacent,
+    word_count,
+)
+from repro.transput import apply_transducer
+
+
+class TestNumberLines:
+    def test_numbers_from_one(self):
+        out = apply_transducer(number_lines(), ["a", "b"])
+        assert out == ["     1  a", "     2  b"]
+
+    def test_custom_start_and_template(self):
+        out = apply_transducer(
+            number_lines(start=10, template="{number}:{line}"), ["x"]
+        )
+        assert out == ["10:x"]
+
+
+class TestPaginate:
+    def test_pages_and_headers(self):
+        out = apply_transducer(paginate(page_length=2, title="T"), list("abcde"))
+        assert out[0] == "--- T page 1 ---"
+        assert out.count("\f") == 3  # two full pages + final partial
+        assert out[-1] == "\f"
+
+    def test_exact_multiple_has_no_trailing_partial(self):
+        out = apply_transducer(paginate(page_length=2), list("abcd"))
+        assert out.count("\f") == 2
+
+    def test_headerless(self):
+        out = apply_transducer(paginate(page_length=2, header=False), ["a"])
+        assert out == ["a", "\f"]
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            paginate(page_length=0)
+
+
+class TestWordCount:
+    def test_counts(self):
+        out = apply_transducer(word_count(), ["one two", "three"])
+        assert out == [WordCountSummary(lines=2, words=3,
+                                        characters=len("one two") + 1
+                                        + len("three") + 1)]
+
+    def test_empty_stream(self):
+        out = apply_transducer(word_count(), [])
+        assert out == [WordCountSummary(0, 0, 0)]
+
+    def test_str_form(self):
+        summary = WordCountSummary(1, 2, 3)
+        assert str(summary).split() == ["1", "2", "3"]
+
+
+class TestSortUnique:
+    def test_sort(self):
+        assert apply_transducer(sort_lines(), ["c", "a", "b"]) == ["a", "b", "c"]
+
+    def test_sort_key_reverse(self):
+        out = apply_transducer(
+            sort_lines(key=len, reverse=True), ["aa", "bbb", "c"]
+        )
+        assert out == ["bbb", "aa", "c"]
+
+    def test_unique_adjacent(self):
+        out = apply_transducer(unique_adjacent(), ["a", "a", "b", "a"])
+        assert out == ["a", "b", "a"]
+
+
+class TestHeadTail:
+    def test_head(self):
+        assert apply_transducer(head(2), [1, 2, 3, 4]) == [1, 2]
+        assert apply_transducer(head(0), [1]) == []
+        with pytest.raises(ValueError):
+            head(-1)
+
+    def test_tail(self):
+        assert apply_transducer(tail(2), [1, 2, 3, 4]) == [3, 4]
+        assert apply_transducer(tail(10), [1, 2]) == [1, 2]
+        with pytest.raises(ValueError):
+            tail(-1)
+
+
+class TestPrettyPrint:
+    def test_indents_by_nesting(self):
+        source = ["proc f {", "if x {", "y", "}", "}"]
+        out = apply_transducer(pretty_print(indent=2), source)
+        assert out == ["proc f {", "  if x {", "    y", "  }", "}"]
+
+    def test_depth_never_negative(self):
+        out = apply_transducer(pretty_print(), ["}", "}", "x"])
+        assert out == ["}", "}", "x"]
+
+    def test_invalid_indent(self):
+        with pytest.raises(ValueError):
+            pretty_print(indent=-1)

@@ -1,0 +1,32 @@
+"""Documentation consistency: generated docs are fresh, manifests exist."""
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_api_docs_are_fresh():
+    """docs/api.md matches the current source (regenerate if this fails)."""
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        import gen_api_docs
+    finally:
+        sys.path.pop(0)
+    assert gen_api_docs.render() == (ROOT / "docs" / "api.md").read_text()
+
+
+def test_required_documents_exist():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE",
+                 "docs/architecture.md", "docs/protocol.md",
+                 "docs/paper_map.md", "docs/api.md"):
+        path = ROOT / name
+        assert path.exists(), name
+        assert len(path.read_text()) > 200, name
+
+
+def test_design_lists_every_bench():
+    design = (ROOT / "DESIGN.md").read_text()
+    for bench in sorted((ROOT / "benchmarks").glob("test_bench_*.py")):
+        assert bench.name in design, f"{bench.name} missing from DESIGN.md"

@@ -1,0 +1,152 @@
+"""Systematic fault injection: crash every component, at every phase.
+
+The substrate promises clean failure (errors, not hangs) and
+checkpoint-bounded recovery; these tests walk a pipeline's components
+and crash each one before, during and after the stream flows.
+"""
+
+import pytest
+
+from repro.core import Kernel
+from repro.core.errors import (
+    EjectCrashedError,
+    ProcessFailedError,
+)
+from repro.filters import upper_case
+from repro.filesystem import EdenFile
+from repro.transput import (
+    ActiveSource,
+    CollectorSink,
+    ListSource,
+    PassiveBuffer,
+    PassiveSink,
+    ReadOnlyFilter,
+    StreamEndpoint,
+    Transfer,
+    WriteOnlyFilter,
+    build_readonly_pipeline,
+)
+
+ITEMS = [f"r{i}" for i in range(8)]
+
+
+def fresh_pipeline(kernel):
+    return build_readonly_pipeline(
+        kernel, ITEMS, [upper_case(), upper_case()]
+    )
+
+
+class TestCrashEveryReadonlyStage:
+    @pytest.mark.parametrize("victim_index", [0, 1, 2])
+    def test_crash_before_flow(self, victim_index):
+        """Crash each of source/filter1/filter2 before anything runs."""
+        kernel = Kernel()
+        pipeline = fresh_pipeline(kernel)
+        victims = [pipeline.source, *pipeline.filters]
+        kernel.crash_eject(victims[victim_index].uid)
+        with pytest.raises(ProcessFailedError) as excinfo:
+            pipeline.run_to_completion()
+        assert isinstance(excinfo.value.cause, EjectCrashedError)
+
+    @pytest.mark.parametrize("victim_index", [0, 1, 2])
+    def test_crash_mid_stream(self, victim_index):
+        kernel = Kernel()
+        pipeline = fresh_pipeline(kernel)
+        victims = [pipeline.source, *pipeline.filters]
+        # Let a few records through, then pull the rug.
+        kernel.run(
+            until=lambda: len(pipeline.sink.collected) >= 3,
+            max_steps=100_000,
+        )
+        kernel.crash_eject(victims[victim_index].uid)
+        with pytest.raises(ProcessFailedError) as excinfo:
+            pipeline.run_to_completion()
+        assert isinstance(excinfo.value.cause, EjectCrashedError)
+        # What got through before the crash is intact and in order.
+        assert pipeline.sink.collected == [
+            item.upper() for item in ITEMS[: len(pipeline.sink.collected)]
+        ]
+
+    def test_crash_after_completion_is_harmless(self):
+        kernel = Kernel()
+        pipeline = fresh_pipeline(kernel)
+        output = pipeline.run_to_completion()
+        kernel.crash_eject(pipeline.filters[0].uid)
+        assert output == [item.upper() for item in ITEMS]
+
+
+class TestWriteOnlyFaults:
+    def test_sink_crash_fails_the_pushers(self):
+        kernel = Kernel()
+        sink = kernel.create(PassiveSink, work_cost=5.0)  # slow
+        stage = kernel.create(
+            WriteOnlyFilter, transducer=upper_case(),
+            outputs=[StreamEndpoint(sink.uid, None)],
+        )
+        kernel.create(
+            ActiveSource, items=ITEMS,
+            outputs=[StreamEndpoint(stage.uid, None)],
+        )
+        kernel.run(until=lambda: len(sink.collected) >= 2, max_steps=100_000)
+        kernel.crash_eject(sink.uid)
+        with pytest.raises(ProcessFailedError) as excinfo:
+            kernel.run()
+        assert isinstance(excinfo.value.cause, EjectCrashedError)
+
+    def test_buffer_crash_fails_both_sides(self):
+        kernel = Kernel()
+        buffer = kernel.create(PassiveBuffer, capacity=2)
+        kernel.call_sync(buffer.uid, "Write", Transfer.of([1, 2]))
+        kernel.crash_eject(buffer.uid)
+        with pytest.raises(EjectCrashedError):
+            kernel.call_sync(buffer.uid, "Read", 1)
+        with pytest.raises(EjectCrashedError):
+            kernel.call_sync(buffer.uid, "Write", Transfer.single(3))
+
+
+class TestRecoveryPaths:
+    def test_checkpointed_source_resumes_pipeline(self):
+        """A durable source crashes mid-stream; a new sink drains the
+        reactivated instance from its checkpointed position."""
+        kernel = Kernel()
+        source = kernel.create(ListSource, items=ITEMS)
+        # Read three records, checkpoint (position saved), crash.
+        for _ in range(3):
+            kernel.call_sync(source.uid, "Read", 1)
+
+        def save():
+            yield source.checkpoint()
+
+        process = kernel.scheduler.spawn(save(), name="saver", owner=source)
+        kernel.run(until=lambda: not process.alive)
+        kernel.crash_eject(source.uid)
+        sink = kernel.create(
+            CollectorSink, inputs=[source.output_endpoint()]
+        )
+        kernel.run(until=lambda: sink.done)
+        kernel.run()
+        assert sink.collected == ITEMS[3:]
+
+    def test_double_crash_still_recovers_to_checkpoint(self):
+        kernel = Kernel()
+        f = kernel.create(EdenFile, records=["stable"])
+        kernel.call_sync(f.uid, "Commit")
+        for _ in range(2):
+            kernel.crash_eject(f.uid)
+            assert kernel.call_sync(f.uid, "Contents") == ["stable"]
+        assert kernel.stats.get("ejects_activated") == 2
+
+    def test_crash_storm_on_node(self):
+        """Crash/recover a whole node repeatedly; durable residents
+        keep answering, volatile ones stay gone."""
+        kernel = Kernel()
+        node = kernel.node("flaky")
+        durable = kernel.create(EdenFile, records=["d"], node=node)
+        kernel.call_sync(durable.uid, "Commit")
+        volatile = kernel.create(EdenFile, records=["v"], node=node)
+        for _ in range(3):
+            kernel.crash_node("flaky")
+            kernel.recover_node("flaky")
+            assert kernel.call_sync(durable.uid, "Contents") == ["d"]
+            with pytest.raises(EjectCrashedError):
+                kernel.call_sync(volatile.uid, "Contents")

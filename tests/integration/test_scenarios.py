@@ -1,0 +1,207 @@
+"""End-to-end scenarios crossing every subsystem."""
+
+import pytest
+
+from repro.analysis import predicted_invocations
+from repro.core import Kernel, TransportCosts
+from repro.core.errors import EjectCrashedError, ProcessFailedError
+from repro.devices import PrinterServer, ReportWindow, Terminal
+from repro.filesystem import (
+    Directory,
+    DirectoryConcatenator,
+    EdenFile,
+    HostFileSystem,
+    UnixFileSystem,
+)
+from repro.filters import (
+    comment_stripper,
+    grep,
+    number_lines,
+    paginate,
+    identity,
+    with_reports,
+    upper_case,
+)
+from repro.shell import Shell
+from repro.transput import (
+    CollectorSink,
+    FlowPolicy,
+    ReadOnlyFilter,
+    StreamEndpoint,
+    build_pipeline,
+    build_readonly_pipeline,
+)
+from tests.conftest import run_until_done
+
+
+class TestDocumentWorkflow:
+    """The full §4 story: Unix file -> Eden filters -> devices."""
+
+    def test_bootstrap_filter_print_and_report(self):
+        kernel = Kernel()
+        hostfs = HostFileSystem()
+        hostfs.mkdir("/src")
+        hostfs.write_file(
+            "/src/prog.f",
+            [f"C comment {i}" if i % 2 else f"      stmt {i}"
+             for i in range(20)],
+        )
+        unixfs = kernel.create(UnixFileSystem, hostfs=hostfs)
+        stream = kernel.call_sync(unixfs.uid, "NewStream", "/src/prog.f")
+
+        stripper = kernel.create(
+            ReadOnlyFilter,
+            transducer=with_reports(comment_stripper("C"), "strip", every=5),
+            inputs=[StreamEndpoint(stream, None)],
+        )
+        paginator = kernel.create(
+            ReadOnlyFilter,
+            transducer=paginate(page_length=4, title="PROG"),
+            inputs=[stripper.output_endpoint("Output")],
+        )
+        printer = kernel.create(PrinterServer, lines_per_page=100)
+        window = kernel.create(
+            ReportWindow,
+            inputs=[("strip", stripper.output_endpoint("Report"))],
+        )
+        kernel.call_sync(printer.uid, "PrintFrom", paginator.output_endpoint())
+        kernel.run()
+
+        assert len(printer.pages) == 3  # 10 statements / 4 per page
+        assert printer.pages[0][0] == "--- PROG page 1 ---"
+        assert any("done" in line for line in window.lines)
+
+    def test_round_trip_back_to_unix(self):
+        kernel = Kernel()
+        hostfs = HostFileSystem()
+        hostfs.mkdir("/data")
+        hostfs.write_file("/data/in", ["b", "a", "c"])
+        unixfs = kernel.create(UnixFileSystem, hostfs=hostfs)
+        stream = kernel.call_sync(unixfs.uid, "NewStream", "/data/in")
+        shout = kernel.create(
+            ReadOnlyFilter, transducer=upper_case(),
+            inputs=[StreamEndpoint(stream, None)],
+        )
+        kernel.call_sync(
+            unixfs.uid, "UseStream", "/data/out", shout.output_endpoint()
+        )
+        kernel.run()
+        assert hostfs.read_file("/data/out") == ["B", "A", "C"]
+
+
+class TestNamingAndPrinting:
+    def test_lookup_through_path_then_print(self):
+        kernel = Kernel()
+        system_dir = kernel.create(Directory, name="system")
+        user_dir = kernel.create(Directory, name="user")
+        report = kernel.create(EdenFile, records=["r1", "r2"], name="report")
+        kernel.call_sync(user_dir.uid, "AddEntry", "report", report.uid)
+        path = kernel.create(
+            DirectoryConcatenator,
+            directories=[system_dir.uid, user_dir.uid],
+        )
+        found = kernel.call_sync(path.uid, "Lookup", "report")
+        reader = kernel.call_sync(found, "OpenForReading")
+        terminal = kernel.create(
+            Terminal, inputs=[StreamEndpoint(reader, None)]
+        )
+        run_until_done(kernel, terminal)
+        assert terminal.display == ["r1", "r2"]
+
+
+class TestDistributedPipelines:
+    def test_sixteen_stage_pipeline_matches_model(self):
+        """A long pipeline: measured invocations == the paper's formula."""
+        kernel = Kernel()
+        pipeline = build_pipeline(
+            kernel, "readonly", [f"r{i}" for i in range(25)],
+            [identity() for _ in range(16)],
+        )
+        pipeline.run_to_completion()
+        assert pipeline.invocations_used() == predicted_invocations(
+            "readonly", 16, 25
+        )
+
+    def test_cross_node_pipeline_with_lookahead(self):
+        kernel = Kernel(costs=TransportCosts(local_latency=1.0,
+                                             remote_latency=8.0))
+        pipeline = build_readonly_pipeline(
+            kernel, [f"r{i}" for i in range(30)],
+            [grep("r"), upper_case(), number_lines()],
+            placement="spread",
+            flow=FlowPolicy(lookahead=6),
+        )
+        out = pipeline.run_to_completion()
+        assert len(out) == 30
+        assert out[0].endswith("R0")
+
+    def test_node_crash_fails_pipeline_cleanly(self):
+        kernel = Kernel()
+        pipeline = build_readonly_pipeline(
+            kernel, ["a", "b"], [upper_case(), upper_case()],
+            placement="spread",
+        )
+        kernel.crash_node("pipe-1")
+        with pytest.raises(ProcessFailedError) as excinfo:
+            pipeline.run_to_completion()
+        assert isinstance(excinfo.value.cause, EjectCrashedError)
+
+
+class TestShellDrivesTheWholeSystem:
+    def test_session_with_all_disciplines(self):
+        shell = Shell()
+        shell.execute('src = echo "C x" "hello" "world" "hello"')
+        outputs = {}
+        for discipline in ("readonly", "writeonly", "conventional"):
+            shell.execute_one(f"set discipline {discipline}")
+            outputs[discipline] = shell.execute_one(
+                "src | strip-comments C | sort | uniq"
+            ).output
+        assert (
+            outputs["readonly"] == outputs["writeonly"]
+            == outputs["conventional"] == ["hello", "world"]
+        )
+
+    def test_shared_kernel_accumulates_state(self):
+        kernel = Kernel()
+        shell = Shell(kernel=kernel)
+        shell.execute('a = echo "1" "2"')
+        shell.execute_one("a | number > numbered")
+        before = kernel.stats.get("ejects_created")
+        shell.execute_one("numbered | upper")
+        assert kernel.stats.get("ejects_created") > before
+
+
+class TestDurabilityAcrossSubsystems:
+    def test_directory_of_checkpointed_files_survives_node_crash(self):
+        kernel = Kernel()
+        vax = kernel.node("vax3")
+        directory = kernel.create(Directory, node=vax)
+        files = []
+        for index in range(3):
+            f = kernel.create(
+                EdenFile, records=[f"content-{index}"], node=vax
+            )
+            kernel.call_sync(f.uid, "Commit")
+            kernel.call_sync(directory.uid, "AddEntry", f"f{index}", f.uid)
+            files.append(f)
+        kernel.call_sync(directory.uid, "Commit")
+        kernel.crash_node("vax3")
+        kernel.recover_node("vax3")
+        # Everything reactivates on demand, entries intact.
+        for index in range(3):
+            uid = kernel.call_sync(directory.uid, "Lookup", f"f{index}")
+            assert kernel.call_sync(uid, "Contents") == [f"content-{index}"]
+
+    def test_pipeline_over_recovered_file(self):
+        kernel = Kernel()
+        f = kernel.create(EdenFile, records=["C gone", "kept"])
+        kernel.call_sync(f.uid, "Commit")
+        kernel.crash_eject(f.uid)
+        reader = kernel.call_sync(f.uid, "OpenForReading")
+        pipeline_sink = kernel.create(
+            CollectorSink,
+            inputs=[StreamEndpoint(reader, None)],
+        )
+        run_until_done(kernel, pipeline_sink)
+        assert pipeline_sink.collected == ["C gone", "kept"]

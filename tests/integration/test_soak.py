@@ -1,0 +1,81 @@
+"""Soak tests: larger topologies, exact counts at scale."""
+
+import pytest
+
+from repro.analysis import predicted_invocations
+from repro.core import Kernel
+from repro.filters import grep, sort_lines, unique_adjacent, upper_case
+from repro.transput import FlowPolicy, build_pipeline, compose_apply
+from repro.devices import random_lines
+
+
+@pytest.mark.parametrize("discipline", ["readonly", "writeonly",
+                                        "conventional"])
+def test_thousand_records_ten_stages_exact(discipline):
+    """1000 records through 10 identity stages: counts exact at scale."""
+    from repro.transput.filterbase import identity_transducer
+
+    kernel = Kernel()
+    items = [f"record-{index}" for index in range(1000)]
+    pipeline = build_pipeline(
+        kernel, discipline, items,
+        [identity_transducer() for _ in range(10)],
+    )
+    output = pipeline.run_to_completion(max_steps=None)
+    assert output == items
+    assert pipeline.invocations_used() == predicted_invocations(
+        discipline, 10, 1000
+    )
+
+
+def test_wide_fan_in_then_processing():
+    """Sixteen sources fanned into one filter, then a real filter chain."""
+    from repro.transput import CollectorSink, ListSource, ReadOnlyFilter
+
+    kernel = Kernel()
+    sources = [
+        kernel.create(ListSource, items=random_lines(20, seed=index))
+        for index in range(16)
+    ]
+    merger = kernel.create(
+        ReadOnlyFilter,
+        inputs=[source.output_endpoint() for source in sources],
+        input_strategy="round_robin",
+    )
+    chain = kernel.create(
+        ReadOnlyFilter, transducer=grep("stream"),
+        inputs=[merger.output_endpoint()],
+    )
+    sink = kernel.create(CollectorSink, inputs=[chain.output_endpoint()])
+    kernel.run(until=lambda: sink.done, max_steps=None)
+    kernel.run(max_steps=None)
+    everything = [
+        line for index in range(16) for line in random_lines(20, seed=index)
+    ]
+    assert sorted(sink.collected) == sorted(
+        line for line in everything if "stream" in line
+    )
+
+
+def test_mixed_workload_repeated_runs_are_identical():
+    """A non-trivial pipeline re-run from scratch twice: identical
+    output, counts and virtual time (whole-system determinism)."""
+
+    def run():
+        kernel = Kernel()
+        items = random_lines(200, seed=5)
+        pipeline = build_pipeline(
+            kernel, "readonly", items,
+            [grep("eject"), upper_case(), sort_lines(), unique_adjacent()],
+            flow=FlowPolicy(lookahead=4, batch=3),
+        )
+        output = pipeline.run_to_completion(max_steps=None)
+        return output, pipeline.invocations_used(), pipeline.virtual_makespan
+
+    first, second = run(), run()
+    assert first == second
+    reference = compose_apply(
+        [grep("eject"), upper_case(), sort_lines(), unique_adjacent()],
+        random_lines(200, seed=5),
+    )
+    assert first[0] == reference

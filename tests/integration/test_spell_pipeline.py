@@ -1,0 +1,70 @@
+"""The classic `spell` pipeline, built from this library's parts.
+
+Johnson's original Unix spell was itself a pipeline — normalize, sort,
+unique, compare against a dictionary — i.e. exactly the §3 filter
+catalogue composed.  We build it in all three disciplines and check
+they agree with the functional reference.
+"""
+
+import pytest
+
+from repro.core import Kernel
+from repro.filters import SpellChecker, lower_case, sort_lines, unique_adjacent
+from repro.transput import build_pipeline, compose_apply, make_transducer
+
+DOCUMENT = [
+    "The Eden sistem is an object oriented system",
+    "Each EJECT has a unique identifier",
+    "the kernel delivers invocations to each ejectt",
+]
+
+DICTIONARY = [
+    "the", "eden", "system", "is", "an", "object", "oriented", "each",
+    "eject", "has", "a", "unique", "identifier", "kernel", "delivers",
+    "invocations", "to",
+]
+
+
+def words():
+    """Split lines into words (the tr step of classic spell)."""
+    return make_transducer(lambda line: tuple(str(line).split()),
+                           name="words")
+
+
+def spell_stages():
+    return [
+        words(),
+        lower_case(),
+        sort_lines(),
+        unique_adjacent(),
+        SpellChecker(dictionary=DICTIONARY),
+    ]
+
+
+EXPECTED = ["ejectt", "sistem"]
+
+
+class TestSpellPipeline:
+    def test_reference_semantics(self):
+        assert compose_apply(spell_stages(), DOCUMENT) == EXPECTED
+
+    @pytest.mark.parametrize("discipline", ["readonly", "writeonly",
+                                            "conventional"])
+    def test_all_disciplines_find_the_same_typos(self, discipline):
+        kernel = Kernel()
+        pipeline = build_pipeline(
+            kernel, discipline, DOCUMENT, spell_stages()
+        )
+        assert pipeline.run_to_completion() == EXPECTED
+
+    def test_clean_document_is_silent(self):
+        kernel = Kernel()
+        clean = ["the eden system", "each eject has a unique identifier"]
+        pipeline = build_pipeline(kernel, "readonly", clean, spell_stages())
+        assert pipeline.run_to_completion() == []
+
+    def test_aio_runtime_agrees(self):
+        from repro.aio import run_pipeline
+
+        assert run_pipeline(DOCUMENT, spell_stages(),
+                            discipline="readonly") == EXPECTED

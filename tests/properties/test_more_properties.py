@@ -1,0 +1,134 @@
+"""Further hypothesis properties: coding round trips, shell/pipeline
+agreement, figure parity, aio/simulator agreement."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.aio import run_pipeline as aio_run_pipeline
+from repro.core import Kernel
+from repro.figures import build_figure3, build_figure4
+from repro.filters import (
+    comment_stripper,
+    paste,
+    rle_decode,
+    rle_encode,
+    sort_lines,
+    upper_case,
+)
+from repro.shell import Shell
+from repro.transput import build_pipeline, compose_apply
+
+# Words safe for shell round-tripping (no quotes or redirect syntax).
+shell_words = st.lists(
+    st.text(
+        alphabet=st.characters(
+            whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=127
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+small_runs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=4),
+        st.sampled_from(["a", "b", "c"]),
+    ),
+    max_size=8,
+)
+
+disciplines = st.sampled_from(["readonly", "writeonly", "conventional"])
+
+
+class TestCodingRoundTrips:
+    @settings(max_examples=40, deadline=None)
+    @given(runs=small_runs, discipline=disciplines)
+    def test_rle_round_trip_through_any_discipline(self, runs, discipline):
+        items = [symbol for count, symbol in runs for _ in range(count)]
+        kernel = Kernel()
+        pipeline = build_pipeline(
+            kernel, discipline, items, [rle_encode(), rle_decode()]
+        )
+        assert pipeline.run_to_completion() == items
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        items=st.lists(
+            st.text(
+                alphabet=st.characters(
+                    min_codepoint=32, max_codepoint=126,
+                    blacklist_characters="|",
+                ),
+                max_size=5,
+            ),
+            max_size=10,
+        ),
+        columns=st.integers(min_value=1, max_value=4),
+    )
+    def test_paste_conserves_content(self, items, columns):
+        rows = compose_apply([paste(columns, "|")], items)
+        reassembled = [
+            cell for row in rows for cell in row.split("|")
+        ]
+        assert reassembled == [str(item) for item in items]
+
+
+class TestShellAgreement:
+    @settings(max_examples=25, deadline=None)
+    @given(words=shell_words, discipline=disciplines)
+    def test_shell_matches_direct_pipeline(self, words, discipline):
+        """The shell is just wiring: its result must equal a directly
+        built pipeline over the same transducers."""
+        shell = Shell(discipline=discipline)
+        shell.define("src", list(words))
+        result = shell.execute_one("src | strip-comments C | upper | sort")
+
+        kernel = Kernel()
+        direct = build_pipeline(
+            kernel, discipline, list(words),
+            [comment_stripper("C"), upper_case(), sort_lines()],
+        )
+        assert result.output == direct.run_to_completion()
+
+
+class TestAioAgreement:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        items=st.lists(st.text(max_size=6), max_size=10),
+        discipline=disciplines,
+    )
+    def test_aio_matches_simulator(self, items, discipline):
+        """Both runtimes implement the same semantics."""
+        aio_out = aio_run_pipeline(
+            items, [comment_stripper("C"), upper_case(), sort_lines()],
+            discipline=discipline,
+        )
+        kernel = Kernel()
+        sim_out = build_pipeline(
+            kernel, discipline, items,
+            [comment_stripper("C"), upper_case(), sort_lines()],
+        ).run_to_completion()
+        assert aio_out == sim_out
+
+
+class TestFigureParity:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        items=st.lists(
+            st.text(
+                alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                max_size=10,
+            ),
+            max_size=10,
+        )
+    )
+    def test_figures_3_and_4_agree_on_any_input(self, items):
+        fig3 = build_figure3(items=items)
+        fig4 = build_figure4(items=items)
+        out3, out4 = fig3.run(), fig4.run()
+        assert out3 == out4
+        fig4_payloads = sorted(
+            line.split(": ", 1)[1] for line in fig4.window_lines(0)
+        )
+        assert fig4_payloads == sorted(fig3.window_lines(0))

@@ -1,0 +1,91 @@
+"""Stateful (model-based) testing of the PassiveBuffer.
+
+A hypothesis rule machine drives a real simulated buffer and a plain
+deque model with the same operation sequence; the buffer must agree
+with the model at every step.  This hunts ordering/flow-control bugs
+that example-based tests miss.
+"""
+
+from collections import deque
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import Kernel
+from repro.transput import PassiveBuffer, Transfer
+from repro.transput.stream import END_TRANSFER
+
+CAPACITY = 6
+
+
+class BufferMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.kernel = Kernel()
+        self.buffer = self.kernel.create(PassiveBuffer, capacity=CAPACITY)
+        self.model: deque = deque()
+        self.ended = False
+        self.counter = 0
+
+    # -- operations ---------------------------------------------------------
+
+    @precondition(lambda self: not self.ended)
+    @rule(count=st.integers(min_value=1, max_value=3))
+    def write(self, count):
+        # Mirror the buffer's own admission rule so the model and the
+        # buffer accept exactly the same writes (a parked write would
+        # hang call_sync, so only issue writes that fit).
+        fits = not self.model or len(self.model) + count <= CAPACITY
+        if not fits:
+            return
+        chunk = [self.counter + i for i in range(count)]
+        self.counter += count
+        ack = self.kernel.call_sync(
+            self.buffer.uid, "Write", Transfer.of(chunk)
+        )
+        assert ack.accepted == count
+        self.model.extend(chunk)
+
+    @precondition(lambda self: len(list(self.model)) > 0 or self.ended)
+    @rule(batch=st.integers(min_value=1, max_value=4))
+    def read(self, batch):
+        transfer = self.kernel.call_sync(self.buffer.uid, "Read", batch)
+        if not self.model:
+            assert transfer.at_end and self.ended
+            return
+        expected = [
+            self.model.popleft() for _ in range(min(batch, len(self.model)))
+        ]
+        assert list(transfer.items) == expected
+
+    @precondition(lambda self: not self.ended)
+    @rule()
+    def end(self):
+        self.kernel.call_sync(self.buffer.uid, "Write", END_TRANSFER)
+        self.ended = True
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def occupancy_matches_model(self):
+        if hasattr(self, "buffer"):
+            assert self.buffer.occupancy == len(self.model)
+
+    @invariant()
+    def occupancy_bounded(self):
+        if hasattr(self, "buffer"):
+            assert self.buffer.occupancy <= max(CAPACITY, self.buffer.max_occupancy)
+            assert self.buffer.max_occupancy <= CAPACITY + 3  # atomic writes
+
+
+TestBufferAgainstModel = BufferMachine.TestCase
+TestBufferAgainstModel.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,115 @@
+"""Shell lexing and parsing."""
+
+import pytest
+
+from repro.core.errors import ShellSyntaxError
+from repro.shell import parse_line, tokenize
+from repro.shell.ast import AssignStmt, PipelineStmt, SetStmt, ShowStmt
+
+
+class TestLexer:
+    def test_words_and_pipes(self):
+        tokens = tokenize("a | b c")
+        assert [(t.kind, t.value) for t in tokens] == [
+            ("WORD", "a"), ("PIPE", "|"), ("WORD", "b"), ("WORD", "c"),
+        ]
+
+    def test_quoted_strings(self):
+        tokens = tokenize("echo 'one two' \"three\"")
+        assert [t.value for t in tokens] == ["echo", "one two", "three"]
+
+    def test_channel_redirect_token(self):
+        tokens = tokenize("f Report> win")
+        assert tokens[1].kind == "REDIRECT"
+        assert tokens[1].value == "Report"
+
+    def test_numeric_redirect(self):
+        tokens = tokenize("f 2> errs")
+        assert tokens[1] == type(tokens[1])("REDIRECT", "2", 2)
+
+    def test_plain_redirect(self):
+        tokens = tokenize("f > out")
+        assert tokens[1].kind == "REDIRECT" and tokens[1].value == ""
+
+    def test_comment_ignored(self):
+        assert tokenize("a b # comment | c") [-1].value == "b"
+
+    def test_semicolons(self):
+        tokens = tokenize("a; b")
+        assert [t.kind for t in tokens] == ["WORD", "SEMI", "WORD"]
+
+    def test_regex_chars_in_words(self):
+        tokens = tokenize(r"grep ^x.*$ | upper")
+        assert tokens[1].value == "^x.*$"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ShellSyntaxError, match="unterminated"):
+            tokenize("echo 'oops")
+
+    def test_stray_character(self):
+        with pytest.raises(ShellSyntaxError, match="unexpected"):
+            tokenize("a & b")
+
+
+class TestParser:
+    def test_pipeline(self):
+        (stmt,) = parse_line("src | upper | number").statements
+        assert isinstance(stmt, PipelineStmt)
+        assert stmt.source.command == "src"
+        assert [s.command for s in stmt.stages] == ["upper", "number"]
+
+    def test_stage_args(self):
+        (stmt,) = parse_line("src | grep 'a b' | head 3").statements
+        assert stmt.stages[0].args == ("a b",)
+        assert stmt.stages[1].args == ("3",)
+
+    def test_redirects(self):
+        (stmt,) = parse_line("src | report F Report> win > out").statements
+        channels = {r.channel: r.target for r in stmt.redirects}
+        assert channels == {"Report": "win", "": "out"}
+        assert stmt.primary_target() == "out"
+
+    def test_no_primary_target(self):
+        (stmt,) = parse_line("src | upper").statements
+        assert stmt.primary_target() is None
+
+    def test_assignment(self):
+        (stmt,) = parse_line('x = echo "a" b').statements
+        assert isinstance(stmt, AssignStmt)
+        assert stmt.name == "x"
+        assert stmt.words == ("a", "b")
+
+    def test_set(self):
+        (stmt,) = parse_line("set discipline writeonly").statements
+        assert isinstance(stmt, SetStmt)
+        assert (stmt.option, stmt.value) == ("discipline", "writeonly")
+
+    def test_show(self):
+        (stmt,) = parse_line("show out").statements
+        assert isinstance(stmt, ShowStmt)
+        assert stmt.name == "out"
+
+    def test_multiple_statements(self):
+        script = parse_line("x = echo a; x | upper")
+        assert len(script.statements) == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "| upper",          # empty source stage
+            "src | | upper",    # empty middle stage
+            "src | upper >",    # redirect with no target
+            "set discipline",   # set needs two args
+            "show",             # show needs a name
+            "show a b",         # show takes one name
+            "src > out > out",  # duplicate primary redirect
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(ShellSyntaxError):
+            parse_line(bad)
+
+    def test_source_only_pipeline_allowed(self):
+        (stmt,) = parse_line("src").statements
+        assert isinstance(stmt, PipelineStmt)
+        assert stmt.stages == ()

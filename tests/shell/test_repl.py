@@ -1,0 +1,62 @@
+"""The interactive REPL loop."""
+
+import io
+
+from repro.shell import Shell
+from repro.shell.repl import run_repl
+
+
+def repl(script: str, shell: Shell | None = None):
+    out = io.StringIO()
+    shell = run_repl(io.StringIO(script), out, shell=shell, prompt=False)
+    return shell, out.getvalue()
+
+
+class TestRepl:
+    def test_pipeline_output_printed(self):
+        _, output = repl('x = echo hello world\nx | upper\n')
+        assert "HELLO" in output and "WORLD" in output
+        assert "invocations" in output
+
+    def test_redirect_summarized(self):
+        _, output = repl('x = echo a\nx | upper > loud\n')
+        assert "redirected: loud" in output
+
+    def test_show_and_env(self):
+        shell, output = repl('x = echo a b\nx | upper > loud\nshow loud\nenv\n')
+        assert "A" in output
+        assert "loud (2 lines)" in output
+        assert "x (2 lines)" in output
+        assert shell.env["loud"] == ["A", "B"]
+
+    def test_stats_listed(self):
+        _, output = repl('x = echo a\nx | cat\nstats\n')
+        assert "invocations_sent" in output
+
+    def test_help(self):
+        _, output = repl("help\n")
+        assert "set discipline" in output
+        assert "strip-comments" in output
+
+    def test_errors_reported_not_fatal(self):
+        _, output = repl('nosuch | upper\nx = echo ok\nx | cat\n')
+        assert "error:" in output
+        assert "ok" in output
+
+    def test_exit_stops(self):
+        _, output = repl('exit\nx = echo never\nx | cat\n')
+        assert "never" not in output
+
+    def test_blank_lines_skipped(self):
+        _, output = repl("\n\n  \nexit\n")
+        assert output == ""
+
+    def test_session_state_persists(self):
+        shell = Shell()
+        repl("x = echo 1 2 3\n", shell=shell)
+        _, output = repl("x | wc\n", shell=shell)
+        assert "3" in output
+
+    def test_eof_ends_loop(self):
+        _, output = repl("")  # immediate EOF
+        assert output == ""

@@ -1,0 +1,87 @@
+"""The OutputBatcher: chunking, remainders, fan-out, unwired channels."""
+
+from repro.transput import (
+    ActiveSource,
+    PassiveSink,
+    StreamEndpoint,
+    WriteOnlyFilter,
+)
+from repro.transput.batching import OutputBatcher
+from repro.transput.filterbase import make_transducer
+from tests.conftest import run_until_done
+
+
+def exploding(n):
+    """A transducer emitting n outputs per input."""
+    return make_transducer(lambda x: (x,) * n, name=f"explode({n})")
+
+
+class TestChunking:
+    def test_full_chunks_flush_incrementally(self, kernel):
+        sink = kernel.create(PassiveSink)
+        stage = kernel.create(
+            WriteOnlyFilter, transducer=exploding(3),
+            outputs=[StreamEndpoint(sink.uid, None)], batch_out=4,
+        )
+        kernel.create(
+            ActiveSource, items=list(range(4)),
+            outputs=[StreamEndpoint(stage.uid, None)],
+        )
+        run_until_done(kernel, sink)
+        # 12 outputs in chunks of 4 + END = 4 writes downstream.
+        assert stage.writes_issued == 4
+        assert sink.collected == [i for i in range(4) for _ in range(3)]
+
+    def test_remainder_flushes_at_finish(self, kernel):
+        sink = kernel.create(PassiveSink)
+        stage = kernel.create(
+            WriteOnlyFilter, transducer=exploding(1),
+            outputs=[StreamEndpoint(sink.uid, None)], batch_out=4,
+        )
+        kernel.create(
+            ActiveSource, items=list(range(6)),
+            outputs=[StreamEndpoint(stage.uid, None)],
+        )
+        run_until_done(kernel, sink)
+        # 6 outputs: one chunk of 4, one remainder of 2, one END.
+        assert stage.writes_issued == 3
+        assert sink.collected == list(range(6))
+
+    def test_fan_out_counts_per_endpoint(self, kernel):
+        sinks = [kernel.create(PassiveSink) for _ in range(3)]
+        stage = kernel.create(
+            WriteOnlyFilter, transducer=exploding(1),
+            outputs=[StreamEndpoint(s.uid, None) for s in sinks],
+        )
+        kernel.create(
+            ActiveSource, items=["x"], outputs=[StreamEndpoint(stage.uid, None)]
+        )
+        run_until_done(kernel, *sinks)
+        assert stage.writes_issued == 6  # (1 data + 1 END) x 3 endpoints
+
+    def test_unwired_channel_dropped(self, kernel):
+        sink = kernel.create(PassiveSink)
+        batcher_holder = kernel.create(
+            WriteOnlyFilter,
+            transducer=make_transducer(lambda x: (x,), name="id"),
+            outputs={"Output": [StreamEndpoint(sink.uid, None)]},
+        )
+        batcher = OutputBatcher(
+            batcher_holder, {"Output": []}, batch=1
+        )
+        # Emitting on a channel with no endpoints (or an undeclared
+        # one) silently drops — verified by exhausting the generators.
+        list(batcher.emit({"Output": ["a"], "Ghost": ["b"]}))
+        assert batcher.writes_issued == 0
+
+    def test_finish_is_idempotent(self, kernel):
+        sink = kernel.create(PassiveSink)
+        host = kernel.create(
+            WriteOnlyFilter,
+            transducer=make_transducer(lambda x: (x,), name="id"),
+            outputs=[StreamEndpoint(sink.uid, None)],
+        )
+        batcher = OutputBatcher(host, {"Output": []}, batch=1)
+        list(batcher.finish())
+        list(batcher.finish())  # no error, no double END
+        assert batcher.finished

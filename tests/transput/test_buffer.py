@@ -1,0 +1,233 @@
+"""The passive buffer: backpressure, parking, FIFO, protocol errors."""
+
+import pytest
+
+from repro.core import Eject
+from repro.core.errors import StreamProtocolError
+from repro.transput import PassiveBuffer, StreamEndpoint, Transfer
+from repro.transput.stream import END_TRANSFER
+from repro.transput.primitives import active_input, active_output, TransputEject
+
+
+class TestBasicFlow:
+    def test_write_then_read(self, kernel):
+        buffer = kernel.create(PassiveBuffer)
+        kernel.call_sync(buffer.uid, "Write", Transfer.of([1, 2]))
+        assert kernel.call_sync(buffer.uid, "Read", 2).items == (1, 2)
+
+    def test_fifo_order(self, kernel):
+        buffer = kernel.create(PassiveBuffer)
+        for value in range(5):
+            kernel.call_sync(buffer.uid, "Write", Transfer.single(value))
+        got = [kernel.call_sync(buffer.uid, "Read", 1).items[0] for _ in range(5)]
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_end_then_read_returns_end(self, kernel):
+        buffer = kernel.create(PassiveBuffer)
+        kernel.call_sync(buffer.uid, "Write", END_TRANSFER)
+        assert kernel.call_sync(buffer.uid, "Read", 1).at_end
+
+    def test_data_drains_before_end(self, kernel):
+        buffer = kernel.create(PassiveBuffer)
+        kernel.call_sync(buffer.uid, "Write", Transfer.single("x"))
+        kernel.call_sync(buffer.uid, "Write", END_TRANSFER)
+        assert kernel.call_sync(buffer.uid, "Read", 1).items == ("x",)
+        assert kernel.call_sync(buffer.uid, "Read", 1).at_end
+
+
+class TestParkedReads:
+    def test_read_blocks_until_write(self, kernel):
+        buffer = kernel.create(PassiveBuffer)
+        results = []
+
+        class Reader(TransputEject):
+            eden_type = "BufReader"
+
+            def main(self):
+                transfer = yield from active_input(
+                    self, StreamEndpoint(buffer.uid, None)
+                )
+                results.append(transfer.items)
+
+        kernel.create(Reader)
+        kernel.run()
+        assert results == []  # reader is parked
+        kernel.call_sync(buffer.uid, "Write", Transfer.single("late"))
+        kernel.run()
+        assert results == [("late",)]
+
+    def test_parked_reads_served_fifo(self, kernel):
+        buffer = kernel.create(PassiveBuffer)
+        results = []
+
+        class Reader(TransputEject):
+            eden_type = "BufReader2"
+
+            def __init__(self, kernel, uid, tag=None, name=None):
+                super().__init__(kernel, uid, name=name)
+                self.tag = tag
+
+            def main(self):
+                transfer = yield from active_input(
+                    self, StreamEndpoint(buffer.uid, None)
+                )
+                results.append((self.tag, transfer.items[0]))
+
+        kernel.create(Reader, tag="first")
+        kernel.run()
+        kernel.create(Reader, tag="second")
+        kernel.run()
+        kernel.call_sync(buffer.uid, "Write", Transfer.of(["a", "b"]))
+        kernel.run()
+        assert results == [("first", "a"), ("second", "b")]
+
+    def test_end_releases_all_parked_readers(self, kernel):
+        buffer = kernel.create(PassiveBuffer)
+        ends = []
+
+        class Reader(TransputEject):
+            eden_type = "BufReader3"
+
+            def main(self):
+                transfer = yield from active_input(
+                    self, StreamEndpoint(buffer.uid, None)
+                )
+                ends.append(transfer.at_end)
+
+        kernel.create(Reader)
+        kernel.create(Reader)
+        kernel.run()
+        kernel.call_sync(buffer.uid, "Write", END_TRANSFER)
+        kernel.run()
+        assert ends == [True, True]
+
+
+class TestBackpressure:
+    def test_writer_blocks_when_full(self, kernel):
+        buffer = kernel.create(PassiveBuffer, capacity=2)
+        progress = []
+
+        class Writer(TransputEject):
+            eden_type = "BufWriter"
+
+            def main(self):
+                endpoint = StreamEndpoint(buffer.uid, None)
+                for value in range(4):
+                    yield from active_output(self, endpoint, Transfer.single(value))
+                    progress.append(value)
+
+        kernel.create(Writer)
+        kernel.run()
+        assert progress == [0, 1]  # third write parked: buffer full
+        assert buffer.occupancy == 2
+        # A read frees space; the writer resumes.
+        assert kernel.call_sync(buffer.uid, "Read", 1).items == (0,)
+        kernel.run()
+        assert progress == [0, 1, 2]
+
+    def test_oversized_write_accepted_into_empty(self, kernel):
+        buffer = kernel.create(PassiveBuffer, capacity=2)
+        kernel.call_sync(buffer.uid, "Write", Transfer.of([1, 2, 3, 4]))
+        assert buffer.occupancy == 4  # atomic oversized write
+
+    def test_occupancy_tracking(self, kernel):
+        buffer = kernel.create(PassiveBuffer, capacity=10)
+        kernel.call_sync(buffer.uid, "Write", Transfer.of([1, 2, 3]))
+        kernel.call_sync(buffer.uid, "Read", 2)
+        assert buffer.occupancy == 1
+        assert buffer.max_occupancy == 3
+
+    def test_invalid_capacity_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.create(PassiveBuffer, capacity=0)
+
+
+class TestProtocolErrors:
+    def test_write_after_end_rejected(self, kernel):
+        buffer = kernel.create(PassiveBuffer)
+        kernel.call_sync(buffer.uid, "Write", END_TRANSFER)
+        with pytest.raises(StreamProtocolError):
+            kernel.call_sync(buffer.uid, "Write", Transfer.single("x"))
+
+    def test_non_transfer_rejected(self, kernel):
+        buffer = kernel.create(PassiveBuffer)
+        with pytest.raises(StreamProtocolError):
+            kernel.call_sync(buffer.uid, "Write", [1, 2])
+
+
+class TestFanIn:
+    def test_expected_ends(self, kernel):
+        buffer = kernel.create(PassiveBuffer, expected_ends=2)
+        kernel.call_sync(buffer.uid, "Write", Transfer.single("a"))
+        kernel.call_sync(buffer.uid, "Write", END_TRANSFER)
+        assert not buffer.ended
+        kernel.call_sync(buffer.uid, "Write", Transfer.single("b"))
+        kernel.call_sync(buffer.uid, "Write", END_TRANSFER)
+        assert buffer.ended
+        assert kernel.call_sync(buffer.uid, "Read", 5).items == ("a", "b")
+
+    def test_counters(self, kernel):
+        buffer = kernel.create(PassiveBuffer)
+        kernel.call_sync(buffer.uid, "Write", Transfer.single("a"))
+        kernel.call_sync(buffer.uid, "Read", 1)
+        assert buffer.writes_accepted == 1
+        assert buffer.reads_served == 1
+
+
+class TestEndWhileWritesParked:
+    def test_parked_write_fails_on_end(self, kernel):
+        """A write waiting for space when the stream ends gets a clean
+        error (like EPIPE), not silent admission after END."""
+        buffer = kernel.create(PassiveBuffer, capacity=2, expected_ends=2)
+        kernel.call_sync(buffer.uid, "Write", Transfer.of([1, 2]))  # full
+        failures = []
+
+        class Writer(TransputEject):
+            eden_type = "StrandedWriter"
+
+            def main(self):
+                try:
+                    yield from active_output(
+                        self, StreamEndpoint(buffer.uid, None),
+                        Transfer.single(3),
+                    )
+                except StreamProtocolError as exc:
+                    failures.append(exc)
+
+        kernel.create(Writer)
+        kernel.run()  # the write parks (buffer full)
+        assert failures == []
+        kernel.call_sync(buffer.uid, "Write", END_TRANSFER)
+        assert not buffer.ended  # first of two expected ENDs
+        kernel.call_sync(buffer.uid, "Write", END_TRANSFER)
+        kernel.run()
+        assert len(failures) == 1
+        # The buffered data is intact and the stream terminates cleanly.
+        assert kernel.call_sync(buffer.uid, "Read", 5).items == (1, 2)
+        assert kernel.call_sync(buffer.uid, "Read", 1).at_end
+
+    def test_read_after_end_never_admits_parked_write(self, kernel):
+        buffer = kernel.create(PassiveBuffer, capacity=1)
+        kernel.call_sync(buffer.uid, "Write", Transfer.single("a"))
+        errors = []
+
+        class Writer(TransputEject):
+            eden_type = "StrandedWriter2"
+
+            def main(self):
+                try:
+                    yield from active_output(
+                        self, StreamEndpoint(buffer.uid, None),
+                        Transfer.single("late"),
+                    )
+                except StreamProtocolError as exc:
+                    errors.append(exc)
+
+        kernel.create(Writer)
+        kernel.run()
+        kernel.call_sync(buffer.uid, "Write", END_TRANSFER)
+        # Draining the buffer frees space, but END already closed it.
+        assert kernel.call_sync(buffer.uid, "Read", 1).items == ("a",)
+        assert kernel.call_sync(buffer.uid, "Read", 1).at_end
+        kernel.run()
+        assert len(errors) == 1

@@ -1,0 +1,179 @@
+"""Channel identifiers: names, positions and capabilities (paper §5)."""
+
+import pytest
+
+from repro.core import Kernel
+from repro.core.errors import ChannelSecurityError, NoSuchChannelError
+from repro.transput import (
+    ChannelTable,
+    CollectorSink,
+    ListSource,
+    ReadOnlyFilter,
+)
+from repro.filters import with_reports, identity
+from tests.conftest import run_until_done
+
+
+@pytest.fixture
+def reporter(kernel):
+    """A read-only filter with Output and Report channels (open mode)."""
+    source = kernel.create(ListSource, items=[f"item-{i}" for i in range(4)])
+    return kernel.create(
+        ReadOnlyFilter,
+        transducer=with_reports(identity(), "F", every=2),
+        inputs=[source.output_endpoint()],
+    )
+
+
+@pytest.fixture
+def secure_reporter(kernel):
+    """The same filter in capability mode."""
+    source = kernel.create(ListSource, items=[f"item-{i}" for i in range(4)])
+    return kernel.create(
+        ReadOnlyFilter,
+        transducer=with_reports(identity(), "F", every=2),
+        inputs=[source.output_endpoint()],
+        channel_mode="capability",
+    )
+
+
+class TestChannelTable:
+    def make(self, kernel, mode="open"):
+        owner = kernel.create(ListSource, items=[])
+        return ChannelTable(owner, ["Output", "Report"], mode=mode), owner
+
+    def test_default_is_first(self, kernel):
+        table, _ = self.make(kernel)
+        assert table.default == "Output"
+        assert table.resolve(None) == "Output"
+
+    def test_name_resolution(self, kernel):
+        table, _ = self.make(kernel)
+        assert table.resolve("Report") == "Report"
+
+    def test_integer_resolution(self, kernel):
+        table, _ = self.make(kernel)
+        assert table.resolve(0) == "Output"
+        assert table.resolve(1) == "Report"
+
+    def test_unknown_name_rejected(self, kernel):
+        table, _ = self.make(kernel)
+        with pytest.raises(NoSuchChannelError):
+            table.resolve("Errors")
+
+    def test_out_of_range_integer_rejected(self, kernel):
+        table, _ = self.make(kernel)
+        with pytest.raises(NoSuchChannelError):
+            table.resolve(2)
+
+    def test_capability_accepted_in_open_mode(self, kernel):
+        table, owner = self.make(kernel)
+        assert table.resolve(table.capability("Report")) == "Report"
+
+    def test_capability_mode_rejects_plain_ids(self, kernel):
+        table, _ = self.make(kernel, mode="capability")
+        with pytest.raises(ChannelSecurityError):
+            table.resolve("Report")
+        with pytest.raises(ChannelSecurityError):
+            table.resolve(0)
+        with pytest.raises(ChannelSecurityError):
+            table.resolve(None)
+
+    def test_advertise(self, kernel):
+        open_table, _ = self.make(kernel)
+        assert open_table.advertise() == {"Output": "Output", "Report": "Report"}
+        cap_table, _ = self.make(kernel, mode="capability")
+        advertised = cap_table.advertise()
+        assert set(advertised) == {"Output", "Report"}
+        assert all(hasattr(cap, "secret") for cap in advertised.values())
+
+    def test_capability_for_unknown_channel_rejected(self, kernel):
+        table, _ = self.make(kernel)
+        with pytest.raises(NoSuchChannelError):
+            table.capability("Nope")
+
+    def test_bad_mode_rejected(self, kernel):
+        owner = kernel.create(ListSource, items=[])
+        with pytest.raises(ValueError):
+            ChannelTable(owner, ["Output"], mode="paranoid")
+
+    def test_empty_names_rejected(self, kernel):
+        owner = kernel.create(ListSource, items=[])
+        with pytest.raises(ValueError):
+            ChannelTable(owner, [])
+
+
+class TestChannelQualifiedReads:
+    def test_read_by_name(self, kernel, reporter):
+        transfer = kernel.call_sync(reporter.uid, "Read", 1, channel="Report")
+        assert "[F] starting" in transfer.items[0]
+
+    def test_read_by_integer(self, kernel, reporter):
+        transfer = kernel.call_sync(reporter.uid, "Read", 1, channel=1)
+        assert "[F]" in transfer.items[0]
+
+    def test_unqualified_read_is_primary(self, kernel, reporter):
+        transfer = kernel.call_sync(reporter.uid, "Read", 1)
+        assert transfer.items == ("item-0",)
+
+    def test_unknown_channel_errors(self, kernel, reporter):
+        with pytest.raises(NoSuchChannelError):
+            kernel.call_sync(reporter.uid, "Read", 1, channel="Bogus")
+
+    def test_channels_are_independent_streams(self, kernel, reporter):
+        out = kernel.create(
+            CollectorSink, inputs=[reporter.output_endpoint("Output")]
+        )
+        rep = kernel.create(
+            CollectorSink, inputs=[reporter.output_endpoint("Report")]
+        )
+        run_until_done(kernel, out, rep)
+        assert out.collected == [f"item-{i}" for i in range(4)]
+        assert rep.collected[0] == "[F] starting"
+        assert rep.collected[-1].startswith("[F] done")
+
+
+class TestCapabilitySecurity:
+    def test_holder_of_capability_may_read(self, kernel, secure_reporter):
+        endpoint = secure_reporter.output_endpoint("Report")
+        transfer = kernel.call_sync(
+            secure_reporter.uid, "Read", 1, channel=endpoint.channel
+        )
+        assert "[F]" in transfer.items[0]
+
+    def test_name_read_rejected(self, kernel, secure_reporter):
+        """Told to read channel Output, nothing lets you read Report by
+        name — the §5 dishonest-programmer scenario."""
+        with pytest.raises(ChannelSecurityError):
+            kernel.call_sync(secure_reporter.uid, "Read", 1, channel="Report")
+
+    def test_unqualified_read_rejected(self, kernel, secure_reporter):
+        with pytest.raises(ChannelSecurityError):
+            kernel.call_sync(secure_reporter.uid, "Read", 1)
+
+    def test_foreign_capability_rejected(self, kernel, secure_reporter):
+        other_kernel_filter_cap = Kernel(seed=99)
+        src = other_kernel_filter_cap.create(ListSource, items=[])
+        foreign = src.mint_channel("Report")
+        with pytest.raises(ChannelSecurityError):
+            kernel.call_sync(
+                secure_reporter.uid, "Read", 1, channel=foreign
+            )
+
+    def test_forged_secret_rejected(self, kernel, secure_reporter):
+        from repro.core.capability import ChannelCapability
+
+        genuine = secure_reporter.output_endpoint("Report").channel
+        forged = ChannelCapability(
+            owner=genuine.owner, name=genuine.name,
+            secret=genuine.secret ^ 0xDEADBEEF,
+        )
+        with pytest.raises(ChannelSecurityError):
+            kernel.call_sync(secure_reporter.uid, "Read", 1, channel=forged)
+
+    def test_end_to_end_with_capabilities(self, kernel, secure_reporter):
+        sink = kernel.create(
+            CollectorSink, inputs=[secure_reporter.output_endpoint("Output")]
+        )
+        run_until_done(kernel, sink)
+        assert sink.collected == [f"item-{i}" for i in range(4)]

@@ -1,0 +1,126 @@
+"""The four paper figures: parity, shape and cost relationships."""
+
+import pytest
+
+from repro.figures import (
+    build_figure1,
+    build_figure2,
+    build_figure3,
+    build_figure4,
+    default_filters,
+    default_input,
+)
+from repro.transput import Primitive, compose_apply
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Run every figure once on the default input."""
+    results = {}
+    for build in (build_figure1, build_figure2, build_figure3, build_figure4):
+        run = build()
+        output = run.run()
+        results[run.figure] = (run, output)
+    return results
+
+
+REFERENCE = compose_apply(default_filters(), default_input())
+
+
+class TestOutputs:
+    @pytest.mark.parametrize(
+        "figure", ["figure1", "figure2", "figure3", "figure4"]
+    )
+    def test_every_figure_computes_the_same_output(self, runs, figure):
+        _, output = runs[figure]
+        assert output == REFERENCE
+
+    def test_reference_is_nontrivial(self):
+        assert len(REFERENCE) >= 4
+
+
+class TestShapes:
+    def test_figure1_has_two_pipes(self, runs):
+        run, _ = runs["figure1"]
+        names = [eject.name for eject in run.ejects]
+        assert "p1" in names and "p2" in names
+        assert run.eject_count() == 7  # source, 3 filters, 2 pipes, sink
+
+    def test_figure2_has_no_pipes(self, runs):
+        run, _ = runs["figure2"]
+        assert run.eject_count() == 5  # n + 2
+
+    def test_figure2_cheaper_than_figure1(self, runs):
+        fig1, _ = runs["figure1"]
+        fig2, _ = runs["figure2"]
+        assert fig2.invocations_used() < fig1.invocations_used()
+
+    def test_figure3_and_4_have_matching_boxes(self, runs):
+        fig3, _ = runs["figure3"]
+        fig4, _ = runs["figure4"]
+        assert fig3.eject_count() == fig4.eject_count()
+
+
+class TestPrimitiveDiscipline:
+    def test_figure2_filters_are_read_only(self, runs):
+        run, _ = runs["figure2"]
+        for eject in run.ejects[1:-1]:
+            assert eject.interface_primitives() <= {
+                Primitive.ACTIVE_INPUT, Primitive.PASSIVE_OUTPUT
+            }
+
+    def test_figure3_filters_are_write_only(self, runs):
+        run, _ = runs["figure3"]
+        for eject in run.ejects:
+            if eject.name in ("source", "F1", "F2", "F3"):
+                assert eject.interface_primitives() <= {
+                    Primitive.PASSIVE_INPUT, Primitive.ACTIVE_OUTPUT
+                }
+
+    def test_figure1_filters_are_both_active(self, runs):
+        run, _ = runs["figure1"]
+        for eject in run.ejects:
+            if eject.name in ("F1", "F2", "F3"):
+                assert eject.interface_primitives() == {
+                    Primitive.ACTIVE_INPUT, Primitive.ACTIVE_OUTPUT
+                }
+
+
+class TestReportStreams:
+    def test_shared_window_carries_both_reporters(self, runs):
+        for figure in ("figure3", "figure4"):
+            run, _ = runs[figure]
+            window_text = "\n".join(run.window_lines(0))
+            assert "[source]" in window_text
+            assert "[F1]" in window_text
+            assert "[F3]" not in window_text
+
+    def test_f3_window_only_carries_f3(self, runs):
+        for figure in ("figure3", "figure4"):
+            run, _ = runs[figure]
+            window_text = "\n".join(run.window_lines(1))
+            assert "[F3]" in window_text
+            assert "[F1]" not in window_text
+
+    def test_report_contents_match_across_disciplines(self, runs):
+        """The same report lines flow in both disciplines; Figure 4's
+        window additionally labels them with the origin it read from."""
+        fig3, _ = runs["figure3"]
+        fig4, _ = runs["figure4"]
+        fig3_payloads = sorted(fig3.window_lines(0))
+        fig4_payloads = sorted(
+            line.split(": ", 1)[1] for line in fig4.window_lines(0)
+        )
+        assert fig3_payloads == fig4_payloads
+
+
+class TestCapabilityVariant:
+    def test_figure4_capability_mode_runs_identically(self):
+        open_run = build_figure4()
+        secure_run = build_figure4(channel_mode="capability")
+        assert open_run.run() == secure_run.run()
+
+    def test_run_twice_not_required(self):
+        run = build_figure2()
+        with pytest.raises(RuntimeError):
+            run.invocations_used()

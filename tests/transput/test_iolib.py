@@ -1,0 +1,204 @@
+"""The standard IO module: OutputPort, InputPort, conventional style."""
+
+import pytest
+
+from repro.core.errors import StreamProtocolError
+from repro.transput import (
+    ActiveSource,
+    CollectorSink,
+    ConventionalStyleFilter,
+    END_OF_INPUT,
+    InputPort,
+    ListSource,
+    OutputPort,
+    Primitive,
+    StreamEndpoint,
+    TransputEject,
+)
+from tests.conftest import run_until_done
+
+
+class PortHost(TransputEject):
+    """An Eject that writes a fixed script through an OutputPort."""
+
+    eden_type = "PortHost"
+
+    def __init__(self, kernel, uid, script=(), capacity=None, name=None):
+        super().__init__(kernel, uid, name=name)
+        self.port = OutputPort(self, capacity=capacity)
+        self.script = list(script)
+
+    def writer(self):
+        yield from self.port.write_all(self.script)
+        yield from self.port.close()
+
+    def process_bodies(self):
+        return [("writer", self.writer()), ("server", self.port.server_body())]
+
+
+class TestOutputPort:
+    def test_serves_reads_from_internal_writes(self, kernel):
+        host = kernel.create(PortHost, script=["a", "b", "c"])
+        sink = kernel.create(
+            CollectorSink, inputs=[StreamEndpoint(host.uid, None)]
+        )
+        run_until_done(kernel, sink)
+        assert sink.collected == ["a", "b", "c"]
+        # Externally the Eject performed only passive output.
+        assert host.interface_primitives() == {Primitive.PASSIVE_OUTPUT}
+
+    def test_reader_blocks_until_writer_produces(self, kernel):
+        host = kernel.create(PortHost, script=[])
+        # A fresh port with a closed empty stream answers END.
+        assert kernel.call_sync(host.uid, "Read", 1).at_end
+
+    def test_capacity_blocks_writer(self, kernel):
+        host = kernel.create(PortHost, script=list(range(10)), capacity=3)
+        kernel.run()
+        assert len(host.port.buffer) == 3  # writer parked at capacity
+        sink = kernel.create(
+            CollectorSink, inputs=[StreamEndpoint(host.uid, None)]
+        )
+        run_until_done(kernel, sink)
+        assert sink.collected == list(range(10))
+
+    def test_write_after_close_rejected(self, kernel):
+        host = kernel.create(PortHost, script=[])
+        kernel.run()
+        with pytest.raises(StreamProtocolError):
+            next(host.port.write("late"))
+
+    def test_invalid_capacity(self, kernel):
+        host = kernel.create(PortHost, script=[])
+        with pytest.raises(ValueError):
+            OutputPort(host, capacity=0)
+
+
+class InHost(TransputEject):
+    """An Eject that drains an InputPort into ``got``."""
+
+    eden_type = "InHost"
+
+    def __init__(self, kernel, uid, name=None, capacity=None):
+        super().__init__(kernel, uid, name=name)
+        self.port = InputPort(self, capacity=capacity)
+        self.got = []
+        self.done = False
+
+    def reader(self):
+        self.got = yield from self.port.read_all()
+        self.done = True
+
+    def process_bodies(self):
+        return [("reader", self.reader()), ("server", self.port.server_body())]
+
+
+class TestInputPort:
+    def test_conventional_reads_from_pushed_writes(self, kernel):
+        host = kernel.create(InHost)
+        kernel.create(
+            ActiveSource, items=["x", "y"],
+            outputs=[StreamEndpoint(host.uid, None)],
+        )
+        run_until_done(kernel, host)
+        assert host.got == ["x", "y"]
+        assert host.interface_primitives() == {Primitive.PASSIVE_INPUT}
+
+    def test_end_of_input_sentinel(self, kernel):
+        host = kernel.create(InHost)
+        kernel.create(
+            ActiveSource, items=[], outputs=[StreamEndpoint(host.uid, None)]
+        )
+        run_until_done(kernel, host)
+        assert host.got == []
+
+    def test_rejects_non_transfer(self, kernel):
+        host = kernel.create(InHost)
+        with pytest.raises(StreamProtocolError):
+            kernel.call_sync(host.uid, "Write", 42)
+
+
+class TestConventionalStyleFilter:
+    def test_body_reads_and_writes_conventionally(self, kernel):
+        """The paper's promised programming model (§4)."""
+
+        def body(filt):
+            while True:
+                item = yield from filt.read_input()
+                if item is END_OF_INPUT:
+                    return
+                if not str(item).startswith("C"):
+                    yield from filt.stdout.write(str(item).upper())
+
+        source = kernel.create(ListSource, items=["C skip", "keep", "also"])
+        stage = kernel.create(
+            ConventionalStyleFilter, body=body,
+            input=source.output_endpoint(),
+        )
+        sink = kernel.create(
+            CollectorSink, inputs=[StreamEndpoint(stage.uid, None)]
+        )
+        run_until_done(kernel, sink)
+        assert sink.collected == ["KEEP", "ALSO"]
+        # Externally: still pure read-only transput.
+        assert stage.interface_primitives() == {
+            Primitive.ACTIVE_INPUT, Primitive.PASSIVE_OUTPUT
+        }
+
+    def test_no_body_is_empty_stream(self, kernel):
+        stage = kernel.create(ConventionalStyleFilter)
+        assert kernel.call_sync(stage.uid, "Read", 1).at_end
+
+    def test_no_input_reads_end(self, kernel):
+        seen = []
+
+        def body(filt):
+            seen.append((yield from filt.read_input()))
+
+        kernel.create(ConventionalStyleFilter, body=body)
+        kernel.run()
+        assert seen == [END_OF_INPUT]
+
+
+class TestInputPortCapacity:
+    def test_bounded_inport_backpressures_writers(self, kernel):
+        host = kernel.create(InHost, capacity=2)
+        # A fast writer against a reader that drains slowly: the port's
+        # bounded buffer delays acks rather than dropping records.
+        kernel.create(
+            ActiveSource, items=list(range(12)),
+            outputs=[StreamEndpoint(host.uid, None)],
+        )
+        run_until_done(kernel, host)
+        assert host.got == list(range(12))
+
+    def test_invalid_capacity(self, kernel):
+        host = kernel.create(InHost)
+        with pytest.raises(ValueError):
+            InputPort(host, capacity=0)
+
+
+class TestEjectSyscallHelpers:
+    def test_invoke_and_await_reply_helpers(self, kernel):
+        """The Eject helper methods build working syscalls."""
+        from repro.core import Eject
+
+        class Pong(Eject):
+            eden_type = "PongHelper"
+
+            def op_Ping(self, invocation):
+                return "pong"
+
+        results = []
+
+        class Caller(Eject):
+            eden_type = "CallerHelper"
+
+            def main(self):
+                ticket = yield self.invoke(pong.uid, "Ping")
+                results.append((yield self.await_reply(ticket)))
+
+        pong = kernel.create(Pong)
+        kernel.create(Caller)
+        kernel.run()
+        assert results == ["pong"]

@@ -1,0 +1,74 @@
+"""TaggedMerger: fan-in that keeps stream identity (read-only only)."""
+
+import pytest
+
+from repro.transput import CollectorSink, ListSource, Primitive, TaggedMerger
+from tests.conftest import run_until_done
+
+
+def build(kernel, streams, **kwargs):
+    sources = {
+        label: kernel.create(ListSource, items=list(items))
+        for label, items in streams.items()
+    }
+    merger = kernel.create(
+        TaggedMerger,
+        inputs=[(label, source.output_endpoint())
+                for label, source in sources.items()],
+        **kwargs,
+    )
+    sink = kernel.create(CollectorSink, inputs=[merger.output_endpoint()])
+    run_until_done(kernel, sink)
+    return merger, sink.collected
+
+
+class TestTaggedMerger:
+    def test_round_robin_interleaves_with_labels(self, kernel):
+        _, out = build(kernel, {"A": ["a1", "a2", "a3"], "B": ["b1"]})
+        assert out == [("A", "a1"), ("B", "b1"), ("A", "a2"), ("A", "a3")]
+
+    def test_concat_drains_in_order(self, kernel):
+        _, out = build(
+            kernel, {"A": ["a1", "a2"], "B": ["b1"]}, strategy="concat"
+        )
+        assert out == [("A", "a1"), ("A", "a2"), ("B", "b1")]
+
+    def test_identity_preserved_unlike_writeonly_fan_in(self, kernel):
+        """The §5 contrast: the read-only consumer can always tell its
+        inputs apart because it holds their UIDs."""
+        _, out = build(kernel, {"A": ["x"], "B": ["x"], "C": ["x"]})
+        assert sorted(label for label, _ in out) == ["A", "B", "C"]
+
+    def test_stays_purely_read_only(self, kernel):
+        merger, _ = build(kernel, {"A": ["a"], "B": ["b"]})
+        assert merger.interface_primitives() <= {
+            Primitive.ACTIVE_INPUT, Primitive.PASSIVE_OUTPUT
+        }
+
+    def test_no_inputs_ends(self, kernel):
+        merger = kernel.create(TaggedMerger)
+        assert kernel.call_sync(merger.uid, "Read", 1).at_end
+
+    def test_connect_labelled(self, kernel):
+        source = kernel.create(ListSource, items=["late"])
+        merger = kernel.create(TaggedMerger)
+        merger.connect_labelled("L", source.output_endpoint())
+        sink = kernel.create(CollectorSink, inputs=[merger.output_endpoint()])
+        run_until_done(kernel, sink)
+        assert sink.collected == [("L", "late")]
+
+    def test_batching(self, kernel):
+        _, out = build(
+            kernel, {"A": list(range(6)), "B": list(range(10, 13))},
+            batch_in=2,
+        )
+        assert [pair for pair in out if pair[0] == "A"] == [
+            ("A", value) for value in range(6)
+        ]
+        assert [pair for pair in out if pair[0] == "B"] == [
+            ("B", value) for value in range(10, 13)
+        ]
+
+    def test_bad_strategy(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.create(TaggedMerger, strategy="psychic")

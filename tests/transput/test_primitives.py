@@ -1,0 +1,194 @@
+"""The four primitives: correspondence, accounting, helper routines."""
+
+import pytest
+
+from repro.core import Receive
+from repro.transput import (
+    ListSource,
+    PassiveSink,
+    Primitive,
+    StreamEndpoint,
+    Transfer,
+    TransputEject,
+    active_input,
+    active_output,
+    passive_input,
+    passive_output,
+    read_stream,
+    write_stream,
+)
+
+
+class TestCorrespondence:
+    def test_pairs(self):
+        assert Primitive.ACTIVE_INPUT.corresponding is Primitive.PASSIVE_OUTPUT
+        assert Primitive.PASSIVE_OUTPUT.corresponding is Primitive.ACTIVE_INPUT
+        assert Primitive.ACTIVE_OUTPUT.corresponding is Primitive.PASSIVE_INPUT
+        assert Primitive.PASSIVE_INPUT.corresponding is Primitive.ACTIVE_OUTPUT
+
+    def test_correspondence_is_involutive(self):
+        for primitive in Primitive:
+            assert primitive.corresponding.corresponding is primitive
+
+    def test_active_flags(self):
+        assert Primitive.ACTIVE_INPUT.active
+        assert Primitive.ACTIVE_OUTPUT.active
+        assert not Primitive.PASSIVE_INPUT.active
+        assert not Primitive.PASSIVE_OUTPUT.active
+
+    def test_every_pair_couples_active_with_passive(self):
+        for primitive in Primitive:
+            assert primitive.active != primitive.corresponding.active
+
+
+class Reader(TransputEject):
+    eden_type = "TestReader"
+
+    def __init__(self, kernel, uid, source=None, name=None, batch=1):
+        super().__init__(kernel, uid, name=name)
+        self.source = source
+        self.batch = batch
+        self.got = None
+        self.done = False
+
+    def main(self):
+        self.got = yield from read_stream(
+            self, StreamEndpoint(self.source, None), self.batch
+        )
+        self.done = True
+
+
+class Writer(TransputEject):
+    eden_type = "TestWriter"
+
+    def __init__(self, kernel, uid, target=None, items=(), name=None, batch=1):
+        super().__init__(kernel, uid, name=name)
+        self.target = target
+        self.items = list(items)
+        self.batch = batch
+        self.writes = None
+        self.done = False
+
+    def main(self):
+        self.writes = yield from write_stream(
+            self, StreamEndpoint(self.target, None), self.items, self.batch
+        )
+        self.done = True
+
+
+class TestReadPair:
+    def test_read_stream_drains_source(self, kernel):
+        source = kernel.create(ListSource, items=[1, 2, 3])
+        reader = kernel.create(Reader, source=source.uid)
+        kernel.run()
+        assert reader.got == [1, 2, 3]
+
+    def test_primitive_accounting(self, kernel):
+        source = kernel.create(ListSource, items=[1, 2, 3])
+        reader = kernel.create(Reader, source=source.uid)
+        kernel.run()
+        # 3 data reads + 1 END read.
+        assert reader.primitive_use[Primitive.ACTIVE_INPUT] == 4
+        assert source.primitive_use[Primitive.PASSIVE_OUTPUT] == 4
+        assert kernel.stats.get("prim_active_input") == 4
+        assert kernel.stats.get("prim_passive_output") == 4
+
+    def test_batching_reduces_interactions(self, kernel):
+        source = kernel.create(ListSource, items=list(range(10)))
+        reader = kernel.create(Reader, source=source.uid, batch=5)
+        kernel.run()
+        assert reader.got == list(range(10))
+        assert reader.primitive_use[Primitive.ACTIVE_INPUT] == 3  # 2 data + END
+
+    def test_interface_primitives_sets(self, kernel):
+        source = kernel.create(ListSource, items=[1])
+        reader = kernel.create(Reader, source=source.uid)
+        kernel.run()
+        assert reader.interface_primitives() == {Primitive.ACTIVE_INPUT}
+        assert source.interface_primitives() == {Primitive.PASSIVE_OUTPUT}
+
+
+class TestWritePair:
+    def test_write_stream_fills_sink(self, kernel):
+        sink = kernel.create(PassiveSink)
+        writer = kernel.create(Writer, target=sink.uid, items=["a", "b"])
+        kernel.run()
+        assert sink.collected == ["a", "b"]
+        assert sink.done
+        assert writer.writes == 3  # 2 data + 1 END
+
+    def test_primitive_accounting(self, kernel):
+        sink = kernel.create(PassiveSink)
+        writer = kernel.create(Writer, target=sink.uid, items=["a", "b"])
+        kernel.run()
+        assert writer.primitive_use[Primitive.ACTIVE_OUTPUT] == 3
+        assert sink.primitive_use[Primitive.PASSIVE_INPUT] == 3
+
+    def test_write_batching(self, kernel):
+        sink = kernel.create(PassiveSink)
+        writer = kernel.create(Writer, target=sink.uid,
+                               items=list(range(10)), batch=4)
+        kernel.run()
+        assert sink.collected == list(range(10))
+        assert writer.writes == 4  # ceil(10/4)=3 data + 1 END
+
+
+class TestLowLevelPrimitives:
+    def test_passive_input_returns_transfer_and_acks(self, kernel):
+        class Acceptor(TransputEject):
+            eden_type = "Acceptor"
+
+            def __init__(self, kernel, uid, name=None):
+                super().__init__(kernel, uid, name=name)
+                self.seen = []
+
+            def main(self):
+                invocation = yield Receive(operations={"Write"})
+                transfer = yield from passive_input(self, invocation)
+                self.seen.append(transfer.items)
+
+        acceptor = kernel.create(Acceptor)
+        ack = kernel.call_sync(acceptor.uid, "Write", Transfer.of([1, 2]))
+        assert ack.accepted == 2
+        assert acceptor.seen == [(1, 2)]
+
+    def test_passive_output_answers_a_read(self, kernel):
+        class Producer(TransputEject):
+            eden_type = "Producer"
+
+            def main(self):
+                invocation = yield Receive(operations={"Read"})
+                yield from passive_output(self, invocation, Transfer.single(7))
+
+        producer = kernel.create(Producer)
+        transfer = kernel.call_sync(producer.uid, "Read", 1)
+        assert transfer.items == (7,)
+
+    def test_active_pair_between_two_ejects(self, kernel):
+        results = {}
+
+        class Passive(TransputEject):
+            eden_type = "PassiveBoth"
+
+            def main(self):
+                invocation = yield Receive(operations={"Write"})
+                transfer = yield from passive_input(self, invocation)
+                results["got"] = transfer.items
+                invocation = yield Receive(operations={"Read"})
+                yield from passive_output(
+                    self, invocation, Transfer.of(list(transfer.items))
+                )
+
+        class Active(TransputEject):
+            eden_type = "ActiveBoth"
+
+            def main(self):
+                endpoint = StreamEndpoint(passive.uid, None)
+                yield from active_output(self, endpoint, Transfer.of(["ping"]))
+                transfer = yield from active_input(self, endpoint)
+                results["back"] = transfer.items
+
+        passive = kernel.create(Passive)
+        kernel.create(Active)
+        kernel.run()
+        assert results == {"got": ("ping",), "back": ("ping",)}

@@ -1,0 +1,301 @@
+"""The read-only filter: laziness, lookahead, fan-in, secondary outputs."""
+
+import pytest
+
+from repro.core.errors import NoSuchChannelError
+from repro.transput import (
+    CollectorSink,
+    ListSource,
+    PassiveSink,
+    Primitive,
+    ReadOnlyFilter,
+    StreamEndpoint,
+)
+from repro.filters import (
+    identity,
+    sort_lines,
+    upper_case,
+    with_reports,
+)
+from repro.transput.filterbase import make_transducer
+from tests.conftest import run_until_done
+
+
+def build_chain(kernel, items, transducers, **filter_kwargs):
+    source = kernel.create(ListSource, items=list(items))
+    upstream = source.output_endpoint()
+    filters = []
+    for transducer in transducers:
+        stage = kernel.create(
+            ReadOnlyFilter, transducer=transducer, inputs=[upstream],
+            **filter_kwargs,
+        )
+        filters.append(stage)
+        upstream = stage.output_endpoint()
+    sink = kernel.create(CollectorSink, inputs=[upstream])
+    return source, filters, sink
+
+
+class TestBasicOperation:
+    def test_single_stage(self, kernel):
+        _, _, sink = build_chain(kernel, ["a", "b"], [upper_case()])
+        run_until_done(kernel, sink)
+        assert sink.collected == ["A", "B"]
+
+    def test_multi_stage(self, kernel):
+        _, _, sink = build_chain(
+            kernel, ["c", "a", "b"], [upper_case(), sort_lines()]
+        )
+        run_until_done(kernel, sink)
+        assert sink.collected == ["A", "B", "C"]
+
+    def test_one_to_many_transducer(self, kernel):
+        doubler = make_transducer(lambda x: (x, x), name="double")
+        _, _, sink = build_chain(kernel, [1, 2], [doubler])
+        run_until_done(kernel, sink)
+        assert sink.collected == [1, 1, 2, 2]
+
+    def test_end_is_idempotent(self, kernel):
+        source = kernel.create(ListSource, items=["x"])
+        stage = kernel.create(
+            ReadOnlyFilter, transducer=identity(),
+            inputs=[source.output_endpoint()],
+        )
+        kernel.call_sync(stage.uid, "Read", 1)
+        assert kernel.call_sync(stage.uid, "Read", 1).at_end
+        assert kernel.call_sync(stage.uid, "Read", 1).at_end
+
+    def test_uses_only_readonly_primitives(self, kernel):
+        """Paper §8: the read-only pipeline needs just two primitives."""
+        source, filters, sink = build_chain(
+            kernel, list("ab"), [identity(), identity()]
+        )
+        run_until_done(kernel, sink)
+        for stage in filters:
+            assert stage.interface_primitives() <= {
+                Primitive.ACTIVE_INPUT, Primitive.PASSIVE_OUTPUT
+            }
+        assert source.interface_primitives() == {Primitive.PASSIVE_OUTPUT}
+        assert sink.interface_primitives() == {Primitive.ACTIVE_INPUT}
+
+
+class TestLaziness:
+    def test_no_pulls_before_demand(self, kernel):
+        """Paper §4: "No data flows until a sink is connected"."""
+        source = kernel.create(ListSource, items=[1, 2, 3])
+        stage = kernel.create(
+            ReadOnlyFilter, transducer=identity(),
+            inputs=[source.output_endpoint()],
+        )
+        kernel.run()  # quiesce with no sink attached
+        assert stage.pulls_issued == 0
+        assert source.reads_served == 0
+
+    def test_demand_pulls_exactly_enough(self, kernel):
+        source = kernel.create(ListSource, items=[1, 2, 3])
+        stage = kernel.create(
+            ReadOnlyFilter, transducer=identity(),
+            inputs=[source.output_endpoint()],
+        )
+        kernel.call_sync(stage.uid, "Read", 1)
+        assert stage.pulls_issued == 1  # not 3
+
+    def test_head_via_laziness_avoids_work(self, kernel):
+        """Reading only k records computes only k — laziness subsumes
+        early exit."""
+        source = kernel.create(ListSource, items=list(range(1000)))
+        stage = kernel.create(
+            ReadOnlyFilter, transducer=identity(),
+            inputs=[source.output_endpoint()],
+        )
+        sink = kernel.create(
+            CollectorSink, inputs=[stage.output_endpoint()], max_items=5
+        )
+        run_until_done(kernel, sink)
+        assert sink.collected == [0, 1, 2, 3, 4]
+        assert stage.pulls_issued <= 6
+
+
+class TestLookahead:
+    def test_same_output_as_lazy(self, kernel):
+        _, _, sink = build_chain(
+            kernel, list(range(20)), [upper_caseish()], lookahead=4
+        )
+        run_until_done(kernel, sink)
+        assert sink.collected == [i * 10 for i in range(20)]
+
+    def test_prefetches_without_demand(self, kernel):
+        source = kernel.create(ListSource, items=list(range(50)))
+        stage = kernel.create(
+            ReadOnlyFilter, transducer=identity(),
+            inputs=[source.output_endpoint()], lookahead=8,
+        )
+        kernel.run()  # no sink: the prefetcher still buffers ahead
+        assert 8 <= stage.pulls_issued <= 10
+        assert sum(len(b) for b in stage.buffers.values()) >= 8
+
+    def test_lookahead_bounded(self, kernel):
+        source = kernel.create(ListSource, items=list(range(100)))
+        stage = kernel.create(
+            ReadOnlyFilter, transducer=identity(),
+            inputs=[source.output_endpoint()], lookahead=5,
+        )
+        kernel.run()
+        assert sum(len(b) for b in stage.buffers.values()) <= 6
+
+    def test_multichannel_lookahead(self, kernel):
+        """Demand-driven prefetch: a parked Report reader keeps the
+        prefetcher pulling even when Output already meets the lookahead
+        target."""
+        source = kernel.create(
+            ListSource, items=[f"i{n}" for n in range(20)]
+        )
+        stage = kernel.create(
+            ReadOnlyFilter,
+            transducer=with_reports(identity(), "F", every=4),
+            inputs=[source.output_endpoint()],
+            lookahead=4,
+        )
+        out = kernel.create(
+            CollectorSink, inputs=[stage.output_endpoint("Output")]
+        )
+        reports = kernel.create(
+            CollectorSink, inputs=[stage.output_endpoint("Report")]
+        )
+        run_until_done(kernel, out, reports)
+        assert out.collected == [f"i{n}" for n in range(20)]
+        assert reports.collected[0] == "[F] starting"
+        assert reports.collected[-1].startswith("[F] done")
+
+    def test_multichannel_lookahead_report_only_reader(self, kernel):
+        """Reading only the Report channel must not deadlock even though
+        the Output buffer grows past the lookahead bound."""
+        source = kernel.create(
+            ListSource, items=[f"i{n}" for n in range(10)]
+        )
+        stage = kernel.create(
+            ReadOnlyFilter,
+            transducer=with_reports(identity(), "F", every=3),
+            inputs=[source.output_endpoint()],
+            lookahead=2,
+        )
+        reports = kernel.create(
+            CollectorSink, inputs=[stage.output_endpoint("Report")]
+        )
+        run_until_done(kernel, reports)
+        assert reports.collected[-1].startswith("[F] done")
+        assert len(stage.buffers["Output"]) == 10  # parked, undemanded
+
+
+def upper_caseish():
+    return make_transducer(lambda x: (x * 10,), name="x10")
+
+
+class TestFanIn:
+    def test_concat_inputs(self, kernel):
+        a = kernel.create(ListSource, items=[1, 2])
+        b = kernel.create(ListSource, items=[3, 4])
+        stage = kernel.create(
+            ReadOnlyFilter, transducer=identity(),
+            inputs=[a.output_endpoint(), b.output_endpoint()],
+        )
+        sink = kernel.create(CollectorSink, inputs=[stage.output_endpoint()])
+        run_until_done(kernel, sink)
+        assert sink.collected == [1, 2, 3, 4]
+
+    def test_round_robin_inputs(self, kernel):
+        a = kernel.create(ListSource, items=[1, 2, 3])
+        b = kernel.create(ListSource, items=[10, 20])
+        stage = kernel.create(
+            ReadOnlyFilter, transducer=identity(),
+            inputs=[a.output_endpoint(), b.output_endpoint()],
+            input_strategy="round_robin",
+        )
+        sink = kernel.create(CollectorSink, inputs=[stage.output_endpoint()])
+        run_until_done(kernel, sink)
+        assert sorted(sink.collected) == [1, 2, 3, 10, 20]
+
+    def test_many_inputs(self, kernel):
+        """§5: "If F needs n inputs, it maintains n UIDs"."""
+        sources = [
+            kernel.create(ListSource, items=[f"s{i}"]) for i in range(6)
+        ]
+        stage = kernel.create(
+            ReadOnlyFilter, transducer=identity(),
+            inputs=[s.output_endpoint() for s in sources],
+        )
+        sink = kernel.create(CollectorSink, inputs=[stage.output_endpoint()])
+        run_until_done(kernel, sink)
+        assert sink.collected == [f"s{i}" for i in range(6)]
+
+    def test_no_inputs_ends_immediately(self, kernel):
+        stage = kernel.create(ReadOnlyFilter, transducer=identity())
+        assert kernel.call_sync(stage.uid, "Read", 1).at_end
+
+
+class TestSecondaryOutputs:
+    def test_reports_volunteered_by_write(self, kernel):
+        """The §5 'unsatisfactory' variant: reports pushed actively."""
+        source = kernel.create(ListSource, items=["a", "b", "c", "d"])
+        report_buffer = kernel.create(PassiveSink)
+        stage = kernel.create(
+            ReadOnlyFilter,
+            transducer=with_reports(identity(), "F", every=2),
+            inputs=[source.output_endpoint()],
+            secondary_outputs={
+                "Report": [StreamEndpoint(report_buffer.uid, None)]
+            },
+        )
+        sink = kernel.create(CollectorSink, inputs=[stage.output_endpoint()])
+        run_until_done(kernel, sink, report_buffer)
+        assert sink.collected == ["a", "b", "c", "d"]
+        assert any("done" in line for line in report_buffer.collected)
+        # The filter is no longer purely read-only: it used active output.
+        assert Primitive.ACTIVE_OUTPUT in stage.interface_primitives()
+
+    def test_secondary_channel_not_readable(self, kernel):
+        source = kernel.create(ListSource, items=["a"])
+        report_buffer = kernel.create(PassiveSink)
+        stage = kernel.create(
+            ReadOnlyFilter,
+            transducer=with_reports(identity(), "F"),
+            inputs=[source.output_endpoint()],
+            secondary_outputs={
+                "Report": [StreamEndpoint(report_buffer.uid, None)]
+            },
+        )
+        with pytest.raises(NoSuchChannelError):
+            kernel.call_sync(stage.uid, "Read", 1, channel="Report")
+
+    def test_all_channels_secondary_rejected(self, kernel):
+        source = kernel.create(ListSource, items=[])
+        sink = kernel.create(PassiveSink)
+        with pytest.raises(ValueError, match="readable"):
+            kernel.create(
+                ReadOnlyFilter,
+                transducer=identity(),
+                inputs=[source.output_endpoint()],
+                secondary_outputs={
+                    "Output": [StreamEndpoint(sink.uid, None)]
+                },
+            )
+
+
+class TestValidation:
+    def test_bad_strategy(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.create(
+                ReadOnlyFilter, transducer=identity(), input_strategy="random"
+            )
+
+    def test_work_cost_charged(self, kernel):
+        expensive = identity()
+        expensive.cost_per_item = 5.0
+        source = kernel.create(ListSource, items=[1, 2])
+        stage = kernel.create(
+            ReadOnlyFilter, transducer=expensive,
+            inputs=[source.output_endpoint()],
+        )
+        sink = kernel.create(CollectorSink, inputs=[stage.output_endpoint()])
+        run_until_done(kernel, sink)
+        assert kernel.clock.now >= 10.0

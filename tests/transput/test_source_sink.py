@@ -1,0 +1,213 @@
+"""Sources and sinks in both roles."""
+
+import pytest
+
+from repro.core.errors import StreamProtocolError
+from repro.transput import (
+    ActiveSink,
+    ActiveSource,
+    CollectorSink,
+    FunctionSource,
+    ListSource,
+    NullSink,
+    PassiveSink,
+    StreamEndpoint,
+    Transfer,
+)
+from tests.conftest import run_until_done
+
+
+class TestListSource:
+    def test_serves_reads_then_end(self, kernel):
+        source = kernel.create(ListSource, items=["a", "b"])
+        assert kernel.call_sync(source.uid, "Read", 1).items == ("a",)
+        assert kernel.call_sync(source.uid, "Read", 1).items == ("b",)
+        assert kernel.call_sync(source.uid, "Read", 1).at_end
+        # END is idempotent.
+        assert kernel.call_sync(source.uid, "Read", 1).at_end
+
+    def test_batch_read(self, kernel):
+        source = kernel.create(ListSource, items=list(range(5)))
+        assert kernel.call_sync(source.uid, "Read", 3).items == (0, 1, 2)
+        assert kernel.call_sync(source.uid, "Read", 3).items == (3, 4)
+
+    def test_transfer_synonym(self, kernel):
+        source = kernel.create(ListSource, items=["x"])
+        assert kernel.call_sync(source.uid, "Transfer", 1).items == ("x",)
+
+    def test_missing_batch_defaults_to_one(self, kernel):
+        source = kernel.create(ListSource, items=["x", "y"])
+        assert kernel.call_sync(source.uid, "Read").items == ("x",)
+
+    def test_work_cost_charges_time(self, kernel):
+        source = kernel.create(ListSource, items=["x"], work_cost=7.0)
+        kernel.call_sync(source.uid, "Read", 1)
+        assert kernel.clock.now >= 7.0
+
+    def test_checkpoint_restores_position(self, kernel):
+        source = kernel.create(ListSource, items=["a", "b", "c"])
+        kernel.call_sync(source.uid, "Read", 1)
+
+        # Checkpoint mid-stream, crash, then continue where we left off.
+        class _Saver:
+            pass
+
+        def save():
+            yield source.checkpoint()
+
+        process = kernel.scheduler.spawn(save(), name="saver", owner=source)
+        kernel.run(until=lambda: not process.alive)
+        kernel.crash_eject(source.uid)
+        assert kernel.call_sync(source.uid, "Read", 1).items == ("b",)
+
+    def test_reads_served_counter(self, kernel):
+        source = kernel.create(ListSource, items=["a"])
+        kernel.call_sync(source.uid, "Read", 1)
+        kernel.call_sync(source.uid, "Read", 1)
+        assert source.reads_served == 2
+
+
+class TestFunctionSource:
+    def test_producer_called_lazily(self, kernel):
+        calls = []
+
+        def producer():
+            calls.append(1)
+            return (i * i for i in range(3))
+
+        source = kernel.create(FunctionSource, producer=producer)
+        assert calls == []  # nothing until the first Read
+        assert kernel.call_sync(source.uid, "Read", 3).items == (0, 1, 4)
+        assert calls == [1]
+
+    def test_empty_producer(self, kernel):
+        source = kernel.create(FunctionSource, producer=None)
+        assert kernel.call_sync(source.uid, "Read", 1).at_end
+
+
+class TestActiveSource:
+    def test_pushes_to_sink(self, kernel):
+        sink = kernel.create(PassiveSink)
+        source = kernel.create(
+            ActiveSource, items=[1, 2, 3],
+            outputs=[StreamEndpoint(sink.uid, None)],
+        )
+        run_until_done(kernel, sink)
+        assert sink.collected == [1, 2, 3]
+        assert source.done
+        assert source.writes_issued == 4
+
+    def test_fan_out_duplicates(self, kernel):
+        sinks = [kernel.create(PassiveSink) for _ in range(3)]
+        kernel.create(
+            ActiveSource, items=["x", "y"],
+            outputs=[StreamEndpoint(s.uid, None) for s in sinks],
+        )
+        run_until_done(kernel, *sinks)
+        for sink in sinks:
+            assert sink.collected == ["x", "y"]
+
+    def test_no_outputs_is_inert(self, kernel):
+        source = kernel.create(ActiveSource, items=[1, 2])
+        kernel.run()
+        assert not source.done
+        assert source.writes_issued == 0
+
+    def test_batching(self, kernel):
+        sink = kernel.create(PassiveSink)
+        source = kernel.create(
+            ActiveSource, items=list(range(10)), batch=4,
+            outputs=[StreamEndpoint(sink.uid, None)],
+        )
+        run_until_done(kernel, sink)
+        assert source.writes_issued == 4  # 3 data + END
+        assert sink.collected == list(range(10))
+
+
+class TestActiveSink:
+    def test_collects_everything(self, kernel):
+        source = kernel.create(ListSource, items=list("abc"))
+        sink = kernel.create(CollectorSink, inputs=[source.output_endpoint()])
+        run_until_done(kernel, sink)
+        assert sink.collected == ["a", "b", "c"]
+        assert sink.reads_issued == 4
+
+    def test_null_sink_discards(self, kernel):
+        source = kernel.create(ListSource, items=list(range(7)))
+        sink = kernel.create(NullSink, inputs=[source.output_endpoint()])
+        run_until_done(kernel, sink)
+        assert sink.collected == []
+        assert sink.discarded == 7
+
+    def test_max_items_bounds_the_pump(self, kernel):
+        source = kernel.create(ListSource, items=list(range(100)))
+        sink = kernel.create(
+            CollectorSink, inputs=[source.output_endpoint()], max_items=5
+        )
+        run_until_done(kernel, sink)
+        assert sink.collected == [0, 1, 2, 3, 4]
+
+    def test_concat_strategy_multiple_inputs(self, kernel):
+        a = kernel.create(ListSource, items=[1, 2])
+        b = kernel.create(ListSource, items=[3, 4])
+        sink = kernel.create(
+            CollectorSink,
+            inputs=[a.output_endpoint(), b.output_endpoint()],
+            strategy="concat",
+        )
+        run_until_done(kernel, sink)
+        assert sink.collected == [1, 2, 3, 4]
+
+    def test_round_robin_strategy_interleaves(self, kernel):
+        a = kernel.create(ListSource, items=[1, 2, 3])
+        b = kernel.create(ListSource, items=[10, 20])
+        sink = kernel.create(
+            CollectorSink,
+            inputs=[a.output_endpoint(), b.output_endpoint()],
+            strategy="round_robin",
+        )
+        run_until_done(kernel, sink)
+        assert sink.collected == [1, 10, 2, 20, 3]
+
+    def test_no_inputs_is_immediately_done(self, kernel):
+        sink = kernel.create(CollectorSink)
+        kernel.run()
+        assert sink.done
+
+    def test_invalid_strategy_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.create(CollectorSink, strategy="zigzag")
+
+
+class TestPassiveSink:
+    def test_accepts_writes(self, kernel):
+        sink = kernel.create(PassiveSink)
+        kernel.call_sync(sink.uid, "Write", Transfer.of([1, 2]))
+        kernel.call_sync(sink.uid, "Write", Transfer.of([3]))
+        from repro.transput.stream import END_TRANSFER
+
+        kernel.call_sync(sink.uid, "Write", END_TRANSFER)
+        assert sink.collected == [1, 2, 3]
+        assert sink.done
+
+    def test_expected_ends_fan_in(self, kernel):
+        from repro.transput.stream import END_TRANSFER
+
+        sink = kernel.create(PassiveSink, expected_ends=2)
+        kernel.call_sync(sink.uid, "Write", END_TRANSFER)
+        assert not sink.done
+        kernel.call_sync(sink.uid, "Write", END_TRANSFER)
+        assert sink.done
+
+    def test_write_after_end_rejected(self, kernel):
+        from repro.transput.stream import END_TRANSFER
+
+        sink = kernel.create(PassiveSink)
+        kernel.call_sync(sink.uid, "Write", END_TRANSFER)
+        with pytest.raises(StreamProtocolError):
+            kernel.call_sync(sink.uid, "Write", Transfer.single("late"))
+
+    def test_non_transfer_payload_rejected(self, kernel):
+        sink = kernel.create(PassiveSink)
+        with pytest.raises(StreamProtocolError):
+            kernel.call_sync(sink.uid, "Write", "not a transfer")

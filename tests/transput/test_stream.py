@@ -1,0 +1,72 @@
+"""The Sequence protocol records: Transfer, WriteAck, endpoints."""
+
+import pytest
+
+from repro.core.errors import StreamProtocolError
+from repro.core.uid import UIDFactory
+from repro.transput.stream import (
+    END_TRANSFER,
+    StreamAssembler,
+    StreamEndpoint,
+    StreamStatus,
+    Transfer,
+)
+
+
+class TestTransfer:
+    def test_of_builds_data(self):
+        transfer = Transfer.of(["a", "b"])
+        assert transfer.status is StreamStatus.DATA
+        assert transfer.items == ("a", "b")
+        assert not transfer.at_end
+
+    def test_single(self):
+        assert Transfer.single("x").items == ("x",)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(StreamProtocolError):
+            Transfer.of([])
+
+    def test_end_carries_nothing(self):
+        assert END_TRANSFER.at_end
+        assert END_TRANSFER.items == ()
+
+    def test_end_with_items_rejected(self):
+        with pytest.raises(StreamProtocolError):
+            Transfer(status=StreamStatus.END, items=("x",))
+
+    def test_frozen(self):
+        transfer = Transfer.single("x")
+        with pytest.raises(Exception):
+            transfer.items = ()  # type: ignore[misc]
+
+
+class TestEndpoint:
+    def test_str_without_channel(self):
+        uid = UIDFactory().issue()
+        assert str(StreamEndpoint(uid)) == str(uid)
+
+    def test_str_with_channel(self):
+        uid = UIDFactory().issue()
+        assert "[Report]" in str(StreamEndpoint(uid, "Report"))
+
+    def test_equality(self):
+        uid = UIDFactory().issue()
+        assert StreamEndpoint(uid, "a") == StreamEndpoint(uid, "a")
+        assert StreamEndpoint(uid, "a") != StreamEndpoint(uid, "b")
+
+
+class TestAssembler:
+    def test_accumulates_until_end(self):
+        assembler = StreamAssembler()
+        assert not assembler.accept(Transfer.of([1, 2]))
+        assert not assembler.accept(Transfer.of([3]))
+        assert assembler.accept(END_TRANSFER)
+        assert assembler.items == [1, 2, 3]
+        assert assembler.transfers == 3
+
+    def test_rejects_data_after_end(self):
+        assembler = StreamAssembler()
+        assembler.accept(END_TRANSFER)
+        with pytest.raises(StreamProtocolError):
+            assembler.accept(Transfer.single("late"))

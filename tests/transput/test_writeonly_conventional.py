@@ -1,0 +1,227 @@
+"""Write-only and conventional filters: duality, fan-out, secondaries."""
+
+import pytest
+
+from repro.transput import (
+    ActiveSource,
+    CollectorSink,
+    ConventionalFilter,
+    ListSource,
+    PassiveBuffer,
+    PassiveSink,
+    Primitive,
+    StreamEndpoint,
+    Transfer,
+    WriteOnlyFilter,
+)
+from repro.filters import StreamEditor, identity, upper_case, with_reports
+from repro.transput.stream import END_TRANSFER
+from tests.conftest import run_until_done
+
+
+class TestWriteOnlyBasics:
+    def build(self, kernel, items, transducer, **kwargs):
+        sink = kernel.create(PassiveSink)
+        stage = kernel.create(
+            WriteOnlyFilter, transducer=transducer,
+            outputs=[StreamEndpoint(sink.uid, None)], **kwargs,
+        )
+        kernel.create(
+            ActiveSource, items=list(items),
+            outputs=[StreamEndpoint(stage.uid, None)],
+        )
+        return stage, sink
+
+    def test_transforms(self, kernel):
+        _, sink = self.build(kernel, ["a", "b"], upper_case())
+        run_until_done(kernel, sink)
+        assert sink.collected == ["A", "B"]
+
+    def test_uses_only_writeonly_primitives(self, kernel):
+        stage, sink = self.build(kernel, ["a"], identity())
+        run_until_done(kernel, sink)
+        assert stage.interface_primitives() <= {
+            Primitive.PASSIVE_INPUT, Primitive.ACTIVE_OUTPUT
+        }
+
+    def test_fan_out(self, kernel):
+        """§5: write-only has "arbitrary fan-out"."""
+        sinks = [kernel.create(PassiveSink) for _ in range(3)]
+        stage = kernel.create(
+            WriteOnlyFilter, transducer=upper_case(),
+            outputs=[StreamEndpoint(s.uid, None) for s in sinks],
+        )
+        kernel.create(
+            ActiveSource, items=["x"], outputs=[StreamEndpoint(stage.uid, None)]
+        )
+        run_until_done(kernel, *sinks)
+        for sink in sinks:
+            assert sink.collected == ["X"]
+
+    def test_multi_channel_outputs(self, kernel):
+        out = kernel.create(PassiveSink)
+        reports = kernel.create(PassiveSink)
+        stage = kernel.create(
+            WriteOnlyFilter,
+            transducer=with_reports(identity(), "W", every=1),
+            outputs={
+                "Output": [StreamEndpoint(out.uid, None)],
+                "Report": [StreamEndpoint(reports.uid, None)],
+            },
+        )
+        kernel.create(
+            ActiveSource, items=["a", "b"],
+            outputs=[StreamEndpoint(stage.uid, None)],
+        )
+        run_until_done(kernel, out, reports)
+        assert out.collected == ["a", "b"]
+        assert reports.collected[0] == "[W] starting"
+
+    def test_unwired_channel_dropped_silently(self, kernel):
+        out = kernel.create(PassiveSink)
+        stage = kernel.create(
+            WriteOnlyFilter,
+            transducer=with_reports(identity(), "W"),
+            outputs={"Output": [StreamEndpoint(out.uid, None)]},
+        )
+        kernel.create(
+            ActiveSource, items=["a"], outputs=[StreamEndpoint(stage.uid, None)]
+        )
+        run_until_done(kernel, out)
+        assert out.collected == ["a"]
+
+    def test_expected_ends_fan_in(self, kernel):
+        """Several writers, indistinguishable to the filter (§5)."""
+        sink = kernel.create(PassiveSink)
+        stage = kernel.create(
+            WriteOnlyFilter, transducer=identity(),
+            outputs=[StreamEndpoint(sink.uid, None)], expected_ends=2,
+        )
+        for items in ([1, 2], [3, 4]):
+            kernel.create(
+                ActiveSource, items=items,
+                outputs=[StreamEndpoint(stage.uid, None)],
+            )
+        run_until_done(kernel, sink)
+        assert sorted(sink.collected) == [1, 2, 3, 4]
+
+    def test_inbox_capacity_backpressure(self, kernel):
+        sink = kernel.create(PassiveSink, work_cost=5.0)  # slow consumer
+        stage = kernel.create(
+            WriteOnlyFilter, transducer=identity(),
+            outputs=[StreamEndpoint(sink.uid, None)], inbox_capacity=2,
+        )
+        kernel.create(
+            ActiveSource, items=list(range(10)),
+            outputs=[StreamEndpoint(stage.uid, None)],
+        )
+        run_until_done(kernel, sink)
+        assert sink.collected == list(range(10))
+
+    def test_non_transfer_payload_rejected(self, kernel):
+        from repro.core.errors import StreamProtocolError
+
+        stage = kernel.create(WriteOnlyFilter, transducer=identity())
+        with pytest.raises(StreamProtocolError):
+            kernel.call_sync(stage.uid, "Write", "junk")
+
+
+class TestSecondaryInputs:
+    def test_stream_editor_reads_command_input(self, kernel):
+        """§5: "a number of secondary inputs, which are actively read.
+        These secondary inputs will typically be passive buffers"."""
+        commands = kernel.create(PassiveBuffer, name="commands")
+        kernel.call_sync(commands.uid, "Write", Transfer.of(["s/a/o/"]))
+        kernel.call_sync(commands.uid, "Write", END_TRANSFER)
+
+        sink = kernel.create(PassiveSink)
+        editor = kernel.create(
+            WriteOnlyFilter,
+            transducer=StreamEditor(),
+            outputs=[StreamEndpoint(sink.uid, None)],
+            secondary_inputs={"commands": StreamEndpoint(commands.uid, None)},
+        )
+        kernel.create(
+            ActiveSource, items=["cat", "bat"],
+            outputs=[StreamEndpoint(editor.uid, None)],
+        )
+        run_until_done(kernel, sink)
+        assert sink.collected == ["cot", "bot"]
+        assert Primitive.ACTIVE_INPUT in editor.interface_primitives()
+
+
+class TestConventionalFilter:
+    def test_pumps_between_passive_ends(self, kernel):
+        source = kernel.create(ListSource, items=["a", "b"])
+        sink = kernel.create(PassiveSink)
+        stage = kernel.create(
+            ConventionalFilter, transducer=upper_case(),
+            inputs=[source.output_endpoint()],
+            outputs=[StreamEndpoint(sink.uid, None)],
+        )
+        run_until_done(kernel, sink)
+        assert sink.collected == ["A", "B"]
+        assert stage.done
+        # Both active primitives used: the filter is the pump (§3).
+        assert stage.interface_primitives() == {
+            Primitive.ACTIVE_INPUT, Primitive.ACTIVE_OUTPUT
+        }
+
+    def test_fan_in_and_fan_out(self, kernel):
+        """Conventional transput allows both (§5)."""
+        a = kernel.create(ListSource, items=[1])
+        b = kernel.create(ListSource, items=[2])
+        sinks = [kernel.create(PassiveSink) for _ in range(2)]
+        kernel.create(
+            ConventionalFilter, transducer=identity(),
+            inputs=[a.output_endpoint(), b.output_endpoint()],
+            outputs=[StreamEndpoint(s.uid, None) for s in sinks],
+        )
+        run_until_done(kernel, *sinks)
+        for sink in sinks:
+            assert sink.collected == [1, 2]
+
+    def test_through_buffers(self, kernel):
+        source = kernel.create(ListSource, items=list(range(5)))
+        pipe_in = kernel.create(PassiveBuffer)
+        pipe_out = kernel.create(PassiveBuffer)
+        kernel.create(
+            ConventionalFilter, transducer=upper_caseish(),
+            inputs=[StreamEndpoint(pipe_in.uid, None)],
+            outputs=[StreamEndpoint(pipe_out.uid, None)],
+        )
+        kernel.create(
+            ConventionalFilter, transducer=identity(),
+            inputs=[source.output_endpoint()],
+            outputs=[StreamEndpoint(pipe_in.uid, None)],
+        )
+        sink = kernel.create(
+            CollectorSink, inputs=[StreamEndpoint(pipe_out.uid, None)]
+        )
+        run_until_done(kernel, sink)
+        assert sink.collected == [i * 2 for i in range(5)]
+
+    def test_counters(self, kernel):
+        source = kernel.create(ListSource, items=[1, 2, 3])
+        sink = kernel.create(PassiveSink)
+        stage = kernel.create(
+            ConventionalFilter, transducer=identity(),
+            inputs=[source.output_endpoint()],
+            outputs=[StreamEndpoint(sink.uid, None)],
+        )
+        run_until_done(kernel, sink)
+        assert stage.reads_issued == 4   # 3 data + END
+        assert stage.writes_issued == 4
+
+    def test_bad_strategy_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.create(
+                ConventionalFilter, transducer=identity(),
+                input_strategy="middle-out",
+            )
+
+
+def upper_caseish():
+    from repro.transput.filterbase import make_transducer
+
+    return make_transducer(lambda x: (x * 2,), name="x2")
