@@ -1,0 +1,62 @@
+"""T10 — C1/C2 on real sockets: the wire runtime's frame counts.
+
+The simulator proves the formulas in virtual time; this bench proves
+them on localhost TCP with one OS process per stage.  For n identity
+filters moving m records, the asymmetric disciplines must measure
+exactly ``(n+1)(m+1)`` request frames on the wire, and the
+conventional emulation — every pipe its own process — exactly
+``(2n+2)(m+1)``: the paper's ratio of one half, with real `sendmsg`
+traffic instead of simulated invocations.
+"""
+
+from repro.analysis import format_table, predicted_invocations
+from repro.net.launch import IDENTITY, execute, plan_pipeline
+
+from conftest import show
+
+LENGTHS = (1, 2, 3)
+ITEMS = 10
+
+
+def sweep(workdir):
+    rows = []
+    for n_filters in LENGTHS:
+        measured = {}
+        for discipline in ("readonly", "writeonly", "conventional"):
+            plans = plan_pipeline(
+                discipline, [IDENTITY] * n_filters,
+                f"{workdir}/{discipline}-{n_filters}",
+                source_items=list(range(ITEMS)),
+            )
+            result = execute(plans, timeout=60)
+            measured[discipline] = (result.invocations, len(plans))
+        rows.append((n_filters, measured))
+    return rows
+
+
+def test_bench_wire_counts(benchmark, tmp_path):
+    rows = benchmark.pedantic(sweep, args=(str(tmp_path),), rounds=1)
+
+    table_rows = []
+    for n_filters, measured in rows:
+        for discipline, (invocations, _processes) in measured.items():
+            assert invocations == predicted_invocations(
+                discipline, n_filters, ITEMS
+            ), (discipline, n_filters)
+        readonly, ro_procs = measured["readonly"]
+        writeonly, _ = measured["writeonly"]
+        conventional, cv_procs = measured["conventional"]
+        assert readonly * 2 == conventional
+        assert writeonly == readonly
+        table_rows.append([
+            n_filters, ro_procs, readonly, cv_procs, conventional,
+            f"{readonly / conventional:.2f}",
+        ])
+
+    show(format_table(
+        ["n filters", "RO procs", "RO requests", "CV procs",
+         "CV requests", "ratio"],
+        table_rows,
+        title=f"T10: on-wire request frames to move m={ITEMS} records over "
+              "TCP (paper: n+1 vs 2n+2 per datum; measured exactly)",
+    ))

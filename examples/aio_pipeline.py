@@ -21,7 +21,6 @@ from repro.aio import (
     AioCollector,
     AioReadOnlyStage,
     AioWriteOnlyStage,
-    collect,
     run_pipeline,
 )
 from repro.filters import comment_stripper, number_lines, upper_case

@@ -56,7 +56,7 @@ from repro.core.syscalls import (
     WaitSignal,
     YieldControl,
 )
-from repro.core.tracing import TraceEvent, Tracer
+from repro.core.tracing import TraceEvent, Tracer, load_jsonl
 from repro.core.transport import Transport, TransportCosts
 from repro.core.uid import UID, UIDFactory
 from repro.core.workers import WorkerPoolEject
@@ -110,6 +110,7 @@ __all__ = [
     "Syscall",
     "TraceEvent",
     "Tracer",
+    "load_jsonl",
     "Transport",
     "TransportCosts",
     "TypeRegistry",

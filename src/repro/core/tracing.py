@@ -8,8 +8,9 @@ benchmarks that only need counters leave it off.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from typing import IO, Any, Callable, Iterable, Union
 
 
 @dataclass(frozen=True)
@@ -79,3 +80,65 @@ class Tracer:
         """Human-readable multi-line rendering of ``events`` (default all)."""
         chosen = self._events if events is None else list(events)
         return "\n".join(str(event) for event in chosen)
+
+    def to_jsonl(self, sink: Union[str, IO[str]]) -> int:
+        """Export retained events as JSON Lines; returns the line count.
+
+        One event per line, keys ``time``/``kind``/``subject``/
+        ``detail``.  This is the interchange format shared by simulator
+        traces and the TCP runtime's frame logs (``eden-stage
+        --trace-file``), so one set of analysis tools reads both.
+        Detail values that are not JSON-representable are stringified
+        rather than lost.
+        """
+        if isinstance(sink, str):
+            with open(sink, "w", encoding="utf-8") as handle:
+                return self.to_jsonl(handle)
+        count = 0
+        for event in self._events:
+            sink.write(json.dumps(event_to_dict(event), sort_keys=True) + "\n")
+            count += 1
+        return count
+
+
+def event_to_dict(event: TraceEvent) -> dict[str, Any]:
+    """The JSONL wire form of one event (stringifying exotic details)."""
+    detail: dict[str, Any] = {}
+    for key, value in event.detail.items():
+        try:
+            json.dumps(value)
+            detail[str(key)] = value
+        except (TypeError, ValueError):
+            detail[str(key)] = str(value)
+    return {
+        "time": event.time,
+        "kind": event.kind,
+        "subject": event.subject,
+        "detail": detail,
+    }
+
+
+def load_jsonl(source: Union[str, IO[str], Iterable[str]]) -> list[TraceEvent]:
+    """Parse :meth:`Tracer.to_jsonl` output back into events.
+
+    Accepts a path, an open text file, or any iterable of lines; blank
+    lines are skipped so concatenated logs load cleanly.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return load_jsonl(handle)
+    events: list[TraceEvent] = []
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        events.append(
+            TraceEvent(
+                time=float(record["time"]),
+                kind=str(record["kind"]),
+                subject=str(record["subject"]),
+                detail=dict(record.get("detail", {})),
+            )
+        )
+    return events

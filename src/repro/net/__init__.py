@@ -1,0 +1,102 @@
+"""repro.net: the asymmetric stream protocol on real TCP sockets.
+
+The simulator (:mod:`repro.core`) proves the paper's claims under a
+virtual clock; :mod:`repro.aio` shows the four primitives working on
+coroutines inside one process.  This package takes the final step the
+ROADMAP asks for: the same :class:`~repro.transput.filterbase.
+Transducer` filters running in *separate OS processes*, connected by
+length-prefixed frames over TCP.
+
+Layer map:
+
+- :mod:`repro.net.framing` — the binary frame codec (``READ``,
+  ``DATA``, ``WRITE``, ``ACK``, ``END``, ``ERROR`` + handshake frames),
+  with channel identifiers on every stream frame (paper §5).
+- :mod:`repro.net.handshake` — the UID/capability hello: a connection
+  is accepted only if it presents a genuine ticket UID, mirroring the
+  simulated kernel's forgery check (paper §5, claim C4).
+- :mod:`repro.net.protocol` — the four primitives as wire roles:
+  active input issues ``READ`` and receives ``DATA`` (the read-only
+  discipline); active output pushes ``WRITE`` under a credit window
+  granted by the passive input (the write-only discipline).
+- :mod:`repro.net.stage` — an asyncio server/client hosting one
+  pipeline stage, runnable as ``python -m repro.net.stage`` (installed
+  as ``eden-stage``).
+- :mod:`repro.net.metrics` — on-wire frame/byte counters shaped like
+  :class:`~repro.core.stats.KernelStats`, so integration tests can
+  check the paper's invocation formulas (n+1 vs 2n+2) on real traffic.
+"""
+
+from repro.net.framing import (
+    Frame,
+    FrameDecoder,
+    FrameError,
+    FrameType,
+    MAX_FRAME_BODY,
+    decode_frame,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    read_frame,
+    write_frame,
+)
+from repro.net.handshake import (
+    HandshakeError,
+    TicketBook,
+    expect_hello,
+    send_hello,
+)
+from repro.net.metrics import NetStats, merge_stats
+from repro.net.protocol import (
+    Connection,
+    RemoteReadable,
+    RemoteWritable,
+    connect_with_backoff,
+    serve_pull,
+    serve_push,
+)
+
+#: Orchestration names live in :mod:`repro.net.launch`, which imports
+#: :mod:`repro.net.stage`; loading them lazily keeps ``python -m
+#: repro.net.stage`` from importing the stage module twice (runpy's
+#: "found in sys.modules" warning).
+_LAUNCH_NAMES = ("PipelineResult", "StagePlan", "execute", "plan_pipeline")
+
+
+def __getattr__(name):
+    if name in _LAUNCH_NAMES:
+        from repro.net import launch
+
+        return getattr(launch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Connection",
+    "Frame",
+    "FrameDecoder",
+    "FrameError",
+    "FrameType",
+    "HandshakeError",
+    "MAX_FRAME_BODY",
+    "NetStats",
+    "PipelineResult",
+    "RemoteReadable",
+    "RemoteWritable",
+    "StagePlan",
+    "TicketBook",
+    "connect_with_backoff",
+    "decode_frame",
+    "decode_payload",
+    "encode_frame",
+    "encode_payload",
+    "execute",
+    "expect_hello",
+    "merge_stats",
+    "plan_pipeline",
+    "read_frame",
+    "send_hello",
+    "serve_pull",
+    "serve_push",
+    "write_frame",
+]

@@ -1,0 +1,303 @@
+"""Length-prefixed binary frames for the wire protocol.
+
+One frame is one protocol message.  The layout (all integers
+big-endian) is::
+
+    +-------+------+----------+--------------------+
+    | magic | type | body len | body (UTF-8 JSON)  |
+    | 4 B   | 1 B  | 4 B      | body-len bytes     |
+    +-------+------+----------+--------------------+
+
+``magic`` is ``b"EDN1"`` (protocol name + version); a connection
+presenting anything else is dropped with :class:`FrameError` rather
+than mis-parsed.  The body is a JSON object whose fields depend on the
+frame type; records and channel identifiers are encoded by
+:func:`encode_payload`, which extends JSON with tagged forms for the
+Python values Eden streams actually carry (bytes, tuples,
+:class:`~repro.core.uid.UID`, :class:`~repro.core.capability.
+ChannelCapability`, and dicts with non-string keys).
+
+Frame types map one-to-one onto the protocol's messages:
+
+- ``HELLO`` / ``WELCOME`` / ``ERROR`` — connection setup (see
+  :mod:`repro.net.handshake`);
+- ``READ`` — active input's demand (request);
+- ``DATA`` — passive output's reply to a ``READ``;
+- ``WRITE`` — active output's push (request);
+- ``ACK`` — passive input's credit grant (reply; see
+  :mod:`repro.net.protocol` for the credit rules);
+- ``END`` — end of stream; a reply when answering a ``READ``, a
+  request when pushed by a writer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import enum
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.capability import ChannelCapability
+from repro.core.errors import EdenError
+from repro.core.uid import UID
+
+__all__ = [
+    "FrameError",
+    "FrameType",
+    "Frame",
+    "FrameDecoder",
+    "MAGIC",
+    "HEADER",
+    "MAX_FRAME_BODY",
+    "encode_payload",
+    "decode_payload",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "read_frame_sized",
+    "write_frame",
+]
+
+#: Protocol identifier + version, first on every frame.
+MAGIC = b"EDN1"
+
+#: Header layout: magic, frame type, body length.
+HEADER = struct.Struct("!4sBI")
+
+#: Upper bound on one frame's body, a defence against a corrupt or
+#: hostile length prefix allocating unbounded memory.
+MAX_FRAME_BODY = 16 * 1024 * 1024
+
+
+class FrameError(EdenError):
+    """A frame could not be encoded, decoded, or was malformed."""
+
+
+class FrameType(enum.IntEnum):
+    """The wire protocol's message vocabulary."""
+
+    HELLO = 1
+    WELCOME = 2
+    READ = 3
+    DATA = 4
+    WRITE = 5
+    ACK = 6
+    END = 7
+    ERROR = 8
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded protocol message: a type plus its JSON body."""
+
+    type: FrameType
+    body: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        inner = " ".join(f"{k}={v!r}" for k, v in sorted(self.body.items()))
+        return f"<{self.type.name} {inner}>".replace(" >", ">")
+
+
+# ---------------------------------------------------------------------------
+# Payload (record / channel-id) codec: JSON plus tagged extensions.
+# ---------------------------------------------------------------------------
+
+#: JSON object keys reserved for the tagged extensions below.
+_TAGS = ("__bytes__", "__tuple__", "__uid__", "__chan__", "__dict__")
+
+
+def encode_payload(value: Any) -> Any:
+    """Map ``value`` to a JSON-representable form, tagging extensions.
+
+    Supported beyond plain JSON: ``bytes`` (base64), ``tuple``
+    (preserved as tuple, not list), :class:`UID`,
+    :class:`ChannelCapability`, and dicts whose keys are non-string or
+    collide with a reserved tag.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return {"__bytes__": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_payload(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_payload(item) for item in value]
+    if isinstance(value, UID):
+        return {"__uid__": [value.space, value.serial, value.nonce]}
+    if isinstance(value, ChannelCapability):
+        return {
+            "__chan__": {
+                "owner": [value.owner.space, value.owner.serial, value.owner.nonce],
+                "name": value.name,
+                "secret": value.secret,
+            }
+        }
+    if isinstance(value, dict):
+        plain = all(isinstance(key, str) and key not in _TAGS for key in value)
+        if plain:
+            return {key: encode_payload(item) for key, item in value.items()}
+        return {
+            "__dict__": [
+                [encode_payload(key), encode_payload(item)]
+                for key, item in value.items()
+            ]
+        }
+    raise FrameError(f"cannot encode {type(value).__name__} payload: {value!r}")
+
+
+def decode_payload(value: Any) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    if isinstance(value, list):
+        return [decode_payload(item) for item in value]
+    if isinstance(value, dict):
+        if "__bytes__" in value:
+            return base64.b64decode(value["__bytes__"])
+        if "__tuple__" in value:
+            return tuple(decode_payload(item) for item in value["__tuple__"])
+        if "__uid__" in value:
+            space, serial, nonce = value["__uid__"]
+            return UID(space=space, serial=serial, nonce=nonce)
+        if "__chan__" in value:
+            inner = value["__chan__"]
+            space, serial, nonce = inner["owner"]
+            return ChannelCapability(
+                owner=UID(space=space, serial=serial, nonce=nonce),
+                name=inner["name"],
+                secret=inner["secret"],
+            )
+        if "__dict__" in value:
+            return {
+                decode_payload(key): decode_payload(item)
+                for key, item in value["__dict__"]
+            }
+        return {key: decode_payload(item) for key, item in value.items()}
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Frame <-> bytes.
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize one frame to its wire form."""
+    try:
+        body = json.dumps(
+            encode_payload(frame.body), separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise FrameError(f"unencodable frame body: {error}") from error
+    if len(body) > MAX_FRAME_BODY:
+        raise FrameError(f"frame body of {len(body)} bytes exceeds MAX_FRAME_BODY")
+    return HEADER.pack(MAGIC, int(frame.type), len(body)) + body
+
+
+def decode_frame(buffer: bytes) -> tuple[Frame, int]:
+    """Decode one frame from the head of ``buffer``.
+
+    Returns ``(frame, consumed)``.  Raises :class:`FrameError` on a
+    malformed header and ``IndexError``-free ``None`` handling is the
+    caller's job via :class:`FrameDecoder`; this low-level form demands
+    the buffer hold at least one complete frame.
+    """
+    if len(buffer) < HEADER.size:
+        raise FrameError(f"truncated header: {len(buffer)} bytes")
+    magic, type_code, length = HEADER.unpack_from(buffer)
+    if magic != MAGIC:
+        raise FrameError(f"bad magic {magic!r} (expected {MAGIC!r})")
+    if length > MAX_FRAME_BODY:
+        raise FrameError(f"declared body of {length} bytes exceeds MAX_FRAME_BODY")
+    if len(buffer) < HEADER.size + length:
+        raise FrameError("truncated body")
+    try:
+        frame_type = FrameType(type_code)
+    except ValueError as error:
+        raise FrameError(f"unknown frame type {type_code}") from error
+    raw = buffer[HEADER.size : HEADER.size + length]
+    try:
+        body = decode_payload(json.loads(raw.decode("utf-8")))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameError(f"undecodable frame body: {error}") from error
+    if not isinstance(body, dict):
+        raise FrameError(f"frame body must be an object, got {type(body).__name__}")
+    return Frame(type=frame_type, body=body), HEADER.size + length
+
+
+class FrameDecoder:
+    """Incremental decoder for a byte stream of frames.
+
+    Feed arbitrary chunks; complete frames come out.  Tolerates frames
+    split across (or packed within) TCP segments.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Absorb ``data``; return every frame completed by it."""
+        self._buffer.extend(data)
+        frames: list[Frame] = []
+        while True:
+            if len(self._buffer) < HEADER.size:
+                break
+            magic, _type_code, length = HEADER.unpack_from(self._buffer)
+            if magic != MAGIC:
+                raise FrameError(f"bad magic {bytes(magic)!r}")
+            if length > MAX_FRAME_BODY:
+                raise FrameError(f"declared body of {length} bytes exceeds cap")
+            if len(self._buffer) < HEADER.size + length:
+                break
+            frame, consumed = decode_frame(bytes(self._buffer))
+            del self._buffer[:consumed]
+            frames.append(frame)
+        return frames
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered awaiting a complete frame."""
+        return len(self._buffer)
+
+
+# ---------------------------------------------------------------------------
+# asyncio stream helpers.
+# ---------------------------------------------------------------------------
+
+
+async def read_frame_sized(
+    reader: asyncio.StreamReader,
+) -> tuple[Frame | None, int]:
+    """Read one frame; returns ``(frame, wire_bytes)``, frame None on EOF."""
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None, 0
+        raise FrameError("connection closed mid-header") from error
+    magic, type_code, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(f"bad magic {magic!r}")
+    if length > MAX_FRAME_BODY:
+        raise FrameError(f"declared body of {length} bytes exceeds cap")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise FrameError("connection closed mid-body") from error
+    frame, consumed = decode_frame(header + body)
+    return frame, consumed
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Frame | None:
+    """Read exactly one frame; ``None`` on clean EOF at a frame edge."""
+    frame, _wire_bytes = await read_frame_sized(reader)
+    return frame
+
+
+async def write_frame(writer: asyncio.StreamWriter, frame: Frame) -> int:
+    """Send one frame; returns the bytes put on the wire."""
+    wire = encode_frame(frame)
+    writer.write(wire)
+    await writer.drain()
+    return len(wire)

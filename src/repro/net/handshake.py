@@ -1,0 +1,179 @@
+"""Connection admission: the UID/capability hello (paper §5, claim C4).
+
+The simulated kernel verifies the sparse-secret nonce of every UID an
+invocation presents (:class:`~repro.core.uid.UIDFactory.verify`), so a
+fabricated UID is useless.  Across OS processes there is no shared
+factory object, but the factory's nonce stream is *deterministic* in
+``(space, seed)`` — so every stage of one pipeline can reconstruct the
+same book of genuine UIDs from the launch parameters and check any
+presented ticket against it, without the secrets ever crossing the
+wire unencrypted... they do cross the wire here (this is a localhost
+research runtime, not TLS), but forgery still fails exactly as in the
+simulator: a guessed nonce will not match the book.
+
+Protocol: the connecting side sends ``HELLO`` carrying its ticket UID,
+its role (``"pull"`` — it will issue READs — or ``"push"`` — it will
+send WRITEs), and the channel it addresses.  The accepting side
+verifies the ticket and answers ``WELCOME`` (carrying the granted
+write credit and its own ticket, so authentication is mutual) or
+``ERROR`` + close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.capability import PRIMARY_CHANNEL
+from repro.core.errors import EdenError
+from repro.core.uid import UID, UIDFactory
+from repro.net.framing import Frame, FrameType, read_frame, write_frame
+
+__all__ = [
+    "HandshakeError",
+    "TicketBook",
+    "Hello",
+    "send_hello",
+    "expect_hello",
+    "ROLE_PULL",
+    "ROLE_PUSH",
+]
+
+#: The connecting side will issue ``READ`` frames (active input).
+ROLE_PULL = "pull"
+#: The connecting side will push ``WRITE`` frames (active output).
+ROLE_PUSH = "push"
+
+#: Cap on how far a book will extend its nonce stream while verifying,
+#: so a hostile serial cannot make verification loop unboundedly.
+MAX_SERIAL = 4096
+
+
+class HandshakeError(EdenError):
+    """The connection hello failed (forged ticket, wrong frame, ...)."""
+
+
+class TicketBook(UIDFactory):
+    """A deterministic UID factory shared by launch parameters.
+
+    Every process launched with the same ``(space, seed)`` derives the
+    identical nonce stream, so ``book.verify(uid)`` in one process
+    accepts exactly the UIDs ``book.issue()`` produced in another.
+    """
+
+    def __init__(self, space: int = 0, seed: int = 0) -> None:
+        super().__init__(space=space, seed=seed)
+        self.seed = seed
+
+    def ticket(self, serial: int) -> UID:
+        """The book's ``serial``-th UID, issuing up to it if needed."""
+        if serial < 0 or serial > MAX_SERIAL:
+            raise HandshakeError(f"ticket serial {serial} out of range")
+        while self.issued_count <= serial:
+            self.issue()
+        return UID(space=self.space, serial=serial, nonce=self._issued[serial])
+
+    def is_genuine(self, uid: UID) -> bool:
+        """Extend the stream far enough, then check the nonce."""
+        if not isinstance(uid, UID) or uid.space != self.space:
+            return False
+        if 0 <= uid.serial <= MAX_SERIAL:
+            while self.issued_count <= uid.serial:
+                self.issue()
+        return super().is_genuine(uid)
+
+
+@dataclass(frozen=True)
+class Hello:
+    """A verified, decoded hello."""
+
+    uid: UID
+    role: str
+    channel: Any = PRIMARY_CHANNEL
+
+
+def hello_frame(uid: UID, role: str, channel: Any = PRIMARY_CHANNEL) -> Frame:
+    """The HELLO frame a connecting stage presents."""
+    if role not in (ROLE_PULL, ROLE_PUSH):
+        raise HandshakeError(f"role must be pull or push, got {role!r}")
+    return Frame(FrameType.HELLO, {"uid": uid, "role": role, "channel": channel})
+
+
+async def send_hello(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    uid: UID,
+    role: str,
+    channel: Any = PRIMARY_CHANNEL,
+    book: TicketBook | None = None,
+) -> Frame:
+    """Client side: present a ticket, await WELCOME.
+
+    Returns the WELCOME frame (its body carries ``credit``).  Raises
+    :class:`HandshakeError` if the server rejects us, if the
+    connection dies mid-handshake, or — when ``book`` is given — if
+    the server's own ticket fails mutual verification.
+    """
+    await write_frame(writer, hello_frame(uid, role, channel))
+    reply = await read_frame(reader)
+    if reply is None:
+        raise HandshakeError("connection closed during handshake")
+    if reply.type is FrameType.ERROR:
+        raise HandshakeError(
+            f"server rejected hello: {reply.body.get('code')} "
+            f"({reply.body.get('message')})"
+        )
+    if reply.type is not FrameType.WELCOME:
+        raise HandshakeError(f"expected WELCOME, got {reply.type.name}")
+    if book is not None:
+        server_uid = reply.body.get("uid")
+        if not book.is_genuine(server_uid):
+            raise HandshakeError(f"server ticket {server_uid!r} is not genuine")
+    return reply
+
+
+async def expect_hello(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    book: TicketBook,
+    server_uid: UID,
+    credit: int = 0,
+) -> Hello:
+    """Server side: demand a genuine ticket before any stream traffic.
+
+    On success replies ``WELCOME`` (granting ``credit`` records of
+    write allowance and presenting the server's own ticket) and
+    returns the decoded hello.  On failure replies ``ERROR`` and
+    raises :class:`HandshakeError` — exactly the simulator's
+    ``ForgeryError`` discipline, but at a connection boundary.
+    """
+    frame = await read_frame(reader)
+    if frame is None:
+        raise HandshakeError("connection closed before hello")
+    if frame.type is not FrameType.HELLO:
+        await _reject(writer, "bad-hello", f"expected HELLO, got {frame.type.name}")
+        raise HandshakeError(f"expected HELLO, got {frame.type.name}")
+    uid = frame.body.get("uid")
+    role = frame.body.get("role")
+    if role not in (ROLE_PULL, ROLE_PUSH):
+        await _reject(writer, "bad-role", f"unknown role {role!r}")
+        raise HandshakeError(f"unknown role {role!r}")
+    if not book.is_genuine(uid):
+        await _reject(writer, "forged-uid", f"ticket {uid!r} was not issued here")
+        raise HandshakeError(f"forged ticket {uid!r}")
+    await write_frame(
+        writer,
+        Frame(FrameType.WELCOME, {"credit": credit, "uid": server_uid}),
+    )
+    return Hello(uid=uid, role=role, channel=frame.body.get("channel"))
+
+
+async def _reject(writer: asyncio.StreamWriter, code: str, message: str) -> None:
+    try:
+        await write_frame(writer, Frame(FrameType.ERROR, {"code": code,
+                                                          "message": message}))
+        writer.close()
+        await writer.wait_closed()
+    except (ConnectionError, OSError):  # peer already gone: nothing to tell
+        pass

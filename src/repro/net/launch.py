@@ -1,0 +1,241 @@
+"""Orchestration: plan and spawn a whole pipeline as OS processes.
+
+The planner turns "this source, these transducers, this discipline"
+into one ``eden-stage`` command line per process, with ports, ticket
+serials and stats files assigned.  The conventional discipline gets a
+*pipe process between every adjacent pair* — the paper's passive
+buffers made into real servers — which is why its process count is
+``2n + 3`` against the asymmetric disciplines' ``n + 2``, and its
+measured message count ``(2n+2)(m+1)`` against ``(n+1)(m+1)``.
+
+:func:`execute` runs the plan under ``subprocess`` and collects the
+sink's stdout plus every stage's on-wire counters, so callers (the
+``examples/tcp_pipeline.py`` demo and ``tests/net``) can compare real
+traffic against :func:`repro.analysis.cost_model.predicted_invocations`
+and against the simulator's output byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import repro
+from repro.net.metrics import NetStats, merge_stats
+from repro.net.stage import pick_free_port
+from repro.transput.flow import FlowPolicy
+
+__all__ = ["StagePlan", "PipelineResult", "plan_pipeline", "execute"]
+
+#: Transducer spec: (``module:factory``, [args...]).
+TransducerSpec = tuple[str, Sequence[Any]]
+
+IDENTITY: TransducerSpec = ("repro.transput:identity_transducer", ())
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """One process of the plan: its role and full command line."""
+
+    role: str
+    argv: tuple[str, ...]
+    stats_file: str
+
+
+@dataclass
+class PipelineResult:
+    """What a finished pipeline run produced."""
+
+    output: list[str]
+    stats: list[dict[str, Any]]
+    stderr: list[str] = field(default_factory=list)
+
+    @property
+    def totals(self) -> NetStats:
+        """Every stage's counters summed — the pipeline's wire traffic."""
+        parts = []
+        for stage_stats in self.stats:
+            one = NetStats()
+            for name, value in stage_stats["counters"].items():
+                one.bump(name, int(value))
+            parts.append(one)
+        return merge_stats(*parts)
+
+    @property
+    def invocations(self) -> int:
+        """Request frames (READ + WRITE + pushed END) across all stages."""
+        return self.totals.get("invocations_sent")
+
+
+def plan_pipeline(
+    discipline: str,
+    transducers: Sequence[TransducerSpec],
+    workdir: str,
+    source_items: Sequence[Any] | None = None,
+    source_count: int | None = None,
+    source_width: int = 8,
+    source_seed: int = 0,
+    flow: FlowPolicy | None = None,
+    ticket_space: int = 0,
+    ticket_seed: int = 0,
+    host: str = "127.0.0.1",
+    connect_deadline: float = 15.0,
+) -> list[StagePlan]:
+    """Assign ports/serials and build every stage's command line.
+
+    Give the source either explicit ``source_items`` (JSON-encodable)
+    or ``source_count`` (+width/seed) for the deterministic
+    ``random_lines`` workload the simulator examples use.
+    """
+    flow = flow or FlowPolicy()
+    workpath = pathlib.Path(workdir)
+    workpath.mkdir(parents=True, exist_ok=True)
+
+    base = [
+        "--discipline", discipline,
+        "--ticket-space", str(ticket_space),
+        "--ticket-seed", str(ticket_seed),
+        "--batch", str(flow.batch),
+        "--lookahead", str(flow.lookahead),
+        "--connect-deadline", str(connect_deadline),
+    ]
+    if flow.inbox_capacity is not None:
+        base += ["--inbox-capacity", str(flow.inbox_capacity)]
+    if flow.buffer_capacity is not None:
+        base += ["--buffer-capacity", str(flow.buffer_capacity)]
+
+    if source_items is not None:
+        source_args = ["--source-json", json.dumps(list(source_items))]
+    elif source_count is not None:
+        source_args = [
+            "--source-count", str(source_count),
+            "--source-width", str(source_width),
+            "--source-seed", str(source_seed),
+        ]
+    else:
+        raise ValueError("give source_items or source_count")
+
+    plans: list[StagePlan] = []
+    serial = 0
+
+    def add(role: str, extra: list[str]) -> StagePlan:
+        nonlocal serial
+        stats_file = str(workpath / f"stage-{serial}-{role}.stats.json")
+        plan = StagePlan(
+            role=role,
+            argv=tuple(
+                ["--role", role, "--serial", str(serial),
+                 "--stats-file", stats_file] + base + extra
+            ),
+            stats_file=stats_file,
+        )
+        plans.append(plan)
+        serial += 1
+        return plan
+
+    def spec_args(spec: TransducerSpec) -> list[str]:
+        name, args = spec
+        extra = ["--transducer", name]
+        if list(args):
+            extra += ["--transducer-args", json.dumps(list(args))]
+        return extra
+
+    at = lambda port: f"{host}:{port}"  # noqa: E731 — tiny local alias
+
+    if discipline == "readonly":
+        # source and filters listen; demand flows sink -> source.
+        ports = [pick_free_port(host) for _ in range(len(transducers) + 1)]
+        add("source", ["--listen", str(ports[0])] + source_args)
+        for index, spec in enumerate(transducers):
+            add("filter", ["--listen", str(ports[index + 1]),
+                           "--upstream", at(ports[index])] + spec_args(spec))
+        add("sink", ["--upstream", at(ports[-1])])
+    elif discipline == "writeonly":
+        # filters and sink listen; data is pushed source -> sink.
+        # ports[i] is filter i's listener, ports[-1] the sink's.
+        ports = [pick_free_port(host) for _ in range(len(transducers) + 1)]
+        add("source", ["--downstream", at(ports[0])] + source_args)
+        for index, spec in enumerate(transducers):
+            add("filter", ["--listen", str(ports[index]),
+                           "--downstream", at(ports[index + 1])]
+                + spec_args(spec))
+        add("sink", ["--listen", str(ports[-1])])
+    elif discipline == "conventional":
+        # a pipe process between every adjacent active pair.
+        pipe_ports = [pick_free_port(host) for _ in range(len(transducers) + 1)]
+        add("source", ["--downstream", at(pipe_ports[0])] + source_args)
+        for index, spec in enumerate(transducers):
+            add("filter", ["--upstream", at(pipe_ports[index]),
+                           "--downstream", at(pipe_ports[index + 1])]
+                + spec_args(spec))
+        add("sink", ["--upstream", at(pipe_ports[-1])])
+        for port in pipe_ports:
+            add("pipe", ["--listen", str(port)])
+    else:
+        raise ValueError(f"unknown discipline {discipline!r}")
+    return plans
+
+
+def execute(
+    plans: Sequence[StagePlan],
+    timeout: float = 60.0,
+    python: str | None = None,
+) -> PipelineResult:
+    """Spawn every planned stage, wait, and gather outputs + counters.
+
+    Raises ``RuntimeError`` (with the offender's stderr) if any stage
+    exits non-zero; kills the whole fleet on timeout so a wedged run
+    cannot leak processes into the test harness.
+    """
+    python = python or sys.executable
+    env = dict(os.environ)
+    package_root = str(pathlib.Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = package_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    processes = [
+        subprocess.Popen(
+            [python, "-m", "repro.net.stage", *plan.argv],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env,
+        )
+        for plan in plans
+    ]
+    results: list[tuple[int, str, str]] = []
+    try:
+        for process in processes:
+            out, err = process.communicate(timeout=timeout)
+            results.append((process.returncode, out, err))
+    finally:
+        for process in processes:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+
+    failures = [
+        f"{plan.role}#{index} rc={rc}: {err.strip()[-500:]}"
+        for index, (plan, (rc, _out, err)) in enumerate(zip(plans, results))
+        if rc != 0
+    ]
+    if failures:
+        raise RuntimeError("stage failures:\n" + "\n".join(failures))
+
+    sink_index = next(
+        index for index, plan in enumerate(plans) if plan.role == "sink"
+    )
+    output = results[sink_index][1].splitlines()
+    stats = []
+    for plan in plans:
+        with open(plan.stats_file, "r", encoding="utf-8") as handle:
+            stats.append(json.load(handle))
+    return PipelineResult(
+        output=output,
+        stats=stats,
+        stderr=[err for _rc, _out, err in results],
+    )

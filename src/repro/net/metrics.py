@@ -1,0 +1,101 @@
+"""On-wire counters shaped like the simulator's ``KernelStats``.
+
+The paper's quantitative claims are about message counts, so the net
+runtime counts exactly what crosses a socket: frames by type and
+direction, bytes, and — the headline numbers — ``invocations_sent``
+and ``replies_sent``, using the same request/reply split the simulated
+kernel uses:
+
+- a ``READ`` is always a request (active input's demand);
+- a ``WRITE`` is always a request (active output's push);
+- an ``END`` is a request when *pushed* by a writer (it is the
+  write-only discipline's final Write) and a reply when it answers a
+  ``READ``;
+- ``DATA`` and ``ACK`` are replies.
+
+Summing ``invocations_sent`` over every stage of a pipeline reproduces
+:func:`repro.analysis.cost_model.predicted_invocations` on real
+traffic: ``(n+1)(m+1)`` for the asymmetric disciplines and
+``(2n+2)(m+1)`` for the conventional emulation — the integration tests
+check this exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Union
+
+from repro.core.stats import KernelStats, StatsSnapshot
+from repro.net.framing import Frame, FrameType
+
+__all__ = ["NetStats", "merge_stats", "REQUEST_TYPES", "REPLY_TYPES"]
+
+#: Frame types that are always requests (invocations).
+REQUEST_TYPES = frozenset({FrameType.READ, FrameType.WRITE})
+#: Frame types that are always replies.
+REPLY_TYPES = frozenset({FrameType.DATA, FrameType.ACK, FrameType.WELCOME})
+
+
+class NetStats(KernelStats):
+    """Monotone on-wire counters for one stage (or one connection).
+
+    Counter names: ``frames_sent`` / ``frames_received`` (totals),
+    ``<type>_frames_sent`` / ``<type>_frames_received`` per frame
+    type (lowercase), ``bytes_sent`` / ``bytes_received``, plus the
+    kernel-compatible ``invocations_sent`` / ``replies_sent``.
+    """
+
+    def note_sent(self, frame: Frame, wire_bytes: int,
+                  end_is_request: bool = False) -> None:
+        """Account one outgoing frame of ``wire_bytes`` bytes.
+
+        ``end_is_request`` tells the END ambiguity apart: pass True on
+        push connections (writer side), False on pull replies.
+        """
+        self.bump("frames_sent")
+        self.bump(f"{frame.type.name.lower()}_frames_sent")
+        self.bump("bytes_sent", wire_bytes)
+        if frame.type in REQUEST_TYPES or (
+            frame.type is FrameType.END and end_is_request
+        ):
+            self.bump("invocations_sent")
+        elif frame.type in REPLY_TYPES or frame.type is FrameType.END:
+            self.bump("replies_sent")
+
+    def note_received(self, frame: Frame, wire_bytes: int) -> None:
+        """Account one incoming frame."""
+        self.bump("frames_received")
+        self.bump(f"{frame.type.name.lower()}_frames_received")
+        self.bump("bytes_received", wire_bytes)
+
+    # -- persistence (stages dump these for the orchestrator) ---------------
+
+    def to_json(self) -> str:
+        """Serialize the counters as a JSON object."""
+        return json.dumps(self.snapshot().as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "NetStats":
+        """Rebuild a stats object from :meth:`to_json` output."""
+        stats = cls()
+        for name, value in json.loads(text).items():
+            stats.bump(name, int(value))
+        return stats
+
+    def dump(self, sink: Union[str, IO[str]]) -> None:
+        """Write :meth:`to_json` to a path or open text file."""
+        if isinstance(sink, str):
+            with open(sink, "w", encoding="utf-8") as handle:
+                handle.write(self.to_json())
+        else:
+            sink.write(self.to_json())
+
+
+def merge_stats(*parts: KernelStats) -> NetStats:
+    """Sum counters across stages (e.g. one whole pipeline's traffic)."""
+    total = NetStats()
+    for part in parts:
+        snapshot: StatsSnapshot = part.snapshot()
+        for name, value in snapshot.as_dict().items():
+            total.bump(name, value)
+    return total

@@ -1,0 +1,448 @@
+"""The four transput primitives as wire roles over TCP.
+
+Only *corresponding* pairs of primitives connect (the paper's central
+observation), and each pair is one connection pattern:
+
+- **read-only** (active input ↔ passive output): the consumer
+  connects with role ``pull`` and issues ``READ`` frames — the
+  demand-driven pull protocol — and the producer answers each with one
+  ``DATA`` (or ``END``) frame.  :class:`RemoteReadable` is the active
+  side; :func:`serve_pull` is the passive side.
+
+- **write-only** (active output ↔ passive input): the producer
+  connects with role ``push`` and sends ``WRITE`` frames under a
+  *credit window*: the WELCOME grants an initial allowance of records,
+  and every ``ACK`` returns the allowance consumed downstream.  A
+  window of 1 is the fully synchronous (lazy) push; a window of k
+  keeps k records in flight (the eager/anticipatory knob of §4 —
+  :meth:`FlowPolicy.credit_window` derives the window from the same
+  policy the simulator uses).  :class:`RemoteWritable` is the active
+  side; :func:`serve_push` the passive side.
+
+Backpressure is therefore end-to-end and protocol-level: a slow pull
+server simply delays its ``DATA``; a slow push server delays its
+``ACK`` (it writes into the local stage first, which may itself block
+on *its* downstream connection).
+
+Both remote classes implement the :mod:`repro.aio` ``Readable`` /
+``Writable`` protocols, so every existing aio stage composes with them
+unchanged — that is what lets :mod:`repro.net.stage` host simulator
+transducers with no porting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable, Mapping, Union
+
+from repro.core.errors import (
+    EdenError,
+    NoSuchChannelError,
+    StreamProtocolError,
+)
+from repro.core.tracing import Tracer
+from repro.net.framing import (
+    Frame,
+    FrameError,
+    FrameType,
+    read_frame_sized,
+    write_frame,
+)
+from repro.net.handshake import (
+    ROLE_PULL,
+    ROLE_PUSH,
+    Hello,
+    TicketBook,
+    send_hello,
+)
+from repro.net.metrics import NetStats
+from repro.transput.stream import END_TRANSFER, Transfer
+
+__all__ = [
+    "WireError",
+    "Connection",
+    "connect_with_backoff",
+    "RemoteReadable",
+    "RemoteWritable",
+    "serve_pull",
+    "serve_push",
+]
+
+
+class WireError(EdenError):
+    """The remote peer reported an error frame, or the link misbehaved."""
+
+
+class Connection:
+    """One framed TCP connection with metrics and optional tracing.
+
+    ``end_is_request`` selects the END accounting (True on the pushing
+    side of a write-only link; see :mod:`repro.net.metrics`).
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        stats: NetStats | None = None,
+        end_is_request: bool = False,
+        tracer: Tracer | None = None,
+        label: str = "conn",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.stats = stats if stats is not None else NetStats()
+        self.end_is_request = end_is_request
+        self.tracer = tracer
+        self.label = label
+        self.clock = clock
+
+    async def send(self, frame: Frame) -> None:
+        wire_bytes = await write_frame(self.writer, frame)
+        self.stats.note_sent(frame, wire_bytes, self.end_is_request)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.clock(), "send", self.label,
+                frame=frame.type.name, bytes=wire_bytes,
+            )
+
+    async def recv(self) -> Frame | None:
+        frame, wire_bytes = await read_frame_sized(self.reader)
+        if frame is not None:
+            self.stats.note_received(frame, wire_bytes)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.clock(), "recv", self.label,
+                    frame=frame.type.name, bytes=wire_bytes,
+                )
+        return frame
+
+    async def close(self) -> None:
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):  # peer already gone
+            pass
+
+
+async def connect_with_backoff(
+    host: str,
+    port: int,
+    deadline: float = 15.0,
+    first_delay: float = 0.05,
+    max_delay: float = 1.0,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Dial ``host:port``, retrying transient failures with backoff.
+
+    Stages of one pipeline are spawned concurrently, so a client may
+    dial before its server listens; exponential backoff up to
+    ``deadline`` seconds absorbs that (and transient RSTs) without any
+    start-order coordination.
+    """
+    started = time.monotonic()
+    delay = first_delay
+    while True:
+        try:
+            return await asyncio.open_connection(host, port)
+        except (ConnectionError, OSError) as error:
+            if time.monotonic() - started + delay > deadline:
+                raise WireError(
+                    f"could not connect to {host}:{port} "
+                    f"within {deadline:.1f}s: {error}"
+                ) from error
+            await asyncio.sleep(delay)
+            delay = min(delay * 2, max_delay)
+
+
+class RemoteReadable:
+    """Active input over TCP: the ``Readable`` face of a remote stage.
+
+    ``read(batch)`` sends one ``READ`` frame and blocks for the
+    ``DATA``/``END`` reply — one invocation per transfer, exactly the
+    simulator's accounting.  END is cached, so re-reading a finished
+    stream is local and free (the protocol's idempotent-END rule).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        uid: Any,
+        book: TicketBook | None = None,
+        channel: Any = "Output",
+        stats: NetStats | None = None,
+        tracer: Tracer | None = None,
+        label: str = "pull-client",
+        connect_deadline: float = 15.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.uid = uid
+        self.book = book
+        self.channel = channel
+        self.stats = stats if stats is not None else NetStats()
+        self.tracer = tracer
+        self.label = label
+        self.connect_deadline = connect_deadline
+        self._connection: Connection | None = None
+        self._ended = False
+
+    async def _ensure_connected(self) -> Connection:
+        if self._connection is None:
+            reader, writer = await connect_with_backoff(
+                self.host, self.port, deadline=self.connect_deadline
+            )
+            connection = Connection(
+                reader, writer, stats=self.stats,
+                tracer=self.tracer, label=self.label,
+            )
+            await send_hello(
+                reader, writer, self.uid, ROLE_PULL,
+                channel=self.channel, book=self.book,
+            )
+            self._connection = connection
+        return self._connection
+
+    async def read(self, batch: int = 1) -> Transfer:
+        if self._ended:
+            return END_TRANSFER
+        connection = await self._ensure_connected()
+        await connection.send(
+            Frame(FrameType.READ, {"batch": max(1, batch),
+                                   "channel": self.channel})
+        )
+        reply = await connection.recv()
+        if reply is None:
+            raise WireError("peer closed mid-stream (no END received)")
+        if reply.type is FrameType.DATA:
+            return Transfer.of(reply.body["items"])
+        if reply.type is FrameType.END:
+            self._ended = True
+            await connection.close()
+            self._connection = None
+            return END_TRANSFER
+        if reply.type is FrameType.ERROR:
+            raise WireError(
+                f"remote error: {reply.body.get('code')} "
+                f"({reply.body.get('message')})"
+            )
+        raise WireError(f"unexpected reply {reply.type.name} to READ")
+
+    async def aclose(self) -> None:
+        """Drop the connection (idempotent)."""
+        if self._connection is not None:
+            await self._connection.close()
+            self._connection = None
+
+
+class RemoteWritable:
+    """Active output over TCP: the ``Writable`` face of a remote stage.
+
+    Writes are governed by the credit window the server granted at
+    WELCOME: each ``WRITE`` frame spends one credit per record, each
+    ``ACK`` refunds what the server consumed.  When credit runs out the
+    writer parks on the socket until an ACK arrives — backpressure by
+    delayed reply, never by refusal, the paper's flow-control rule.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        uid: Any,
+        book: TicketBook | None = None,
+        channel: Any = "Output",
+        stats: NetStats | None = None,
+        tracer: Tracer | None = None,
+        label: str = "push-client",
+        connect_deadline: float = 15.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.uid = uid
+        self.book = book
+        self.channel = channel
+        self.stats = stats if stats is not None else NetStats()
+        self.tracer = tracer
+        self.label = label
+        self.connect_deadline = connect_deadline
+        self._connection: Connection | None = None
+        self._credit = 0
+        self._ended = False
+
+    async def _ensure_connected(self) -> Connection:
+        if self._connection is None:
+            reader, writer = await connect_with_backoff(
+                self.host, self.port, deadline=self.connect_deadline
+            )
+            connection = Connection(
+                reader, writer, stats=self.stats, end_is_request=True,
+                tracer=self.tracer, label=self.label,
+            )
+            welcome = await send_hello(
+                reader, writer, self.uid, ROLE_PUSH,
+                channel=self.channel, book=self.book,
+            )
+            self._credit = int(welcome.body.get("credit", 1))
+            self._connection = connection
+        return self._connection
+
+    async def _absorb(self, frame: Frame | None) -> bool:
+        """Fold one server frame into the credit; True if final ACK."""
+        if frame is None:
+            raise WireError("peer closed while acks were outstanding")
+        if frame.type is FrameType.ERROR:
+            raise WireError(
+                f"remote error: {frame.body.get('code')} "
+                f"({frame.body.get('message')})"
+            )
+        if frame.type is not FrameType.ACK:
+            raise WireError(f"unexpected frame {frame.type.name} on push link")
+        self._credit += int(frame.body.get("credit", 0))
+        return bool(frame.body.get("final", False))
+
+    async def write(self, transfer: Transfer) -> None:
+        if self._ended:
+            raise StreamProtocolError("write after END")
+        connection = await self._ensure_connected()
+        if transfer.at_end:
+            await connection.send(Frame(FrameType.END, {"channel": self.channel}))
+            # Wait for the final ack: when it arrives, every record has
+            # been consumed downstream and the stage may exit safely.
+            while not await self._absorb(await connection.recv()):
+                pass
+            self._ended = True
+            await connection.close()
+            self._connection = None
+            return
+        pending = list(transfer.items)
+        while pending:
+            while self._credit <= 0:
+                await self._absorb(await connection.recv())
+            chunk, pending = pending[: self._credit], pending[self._credit:]
+            await connection.send(
+                Frame(FrameType.WRITE, {"items": chunk, "channel": self.channel})
+            )
+            self._credit -= len(chunk)
+
+
+# ---------------------------------------------------------------------------
+# Passive (server) sides.
+# ---------------------------------------------------------------------------
+
+#: A single stream, or a channel-id -> Readable table (paper §5).
+ReadableMap = Union[Any, Mapping[Any, Any]]
+
+
+def _resolve_channel(readables: ReadableMap, channel: Any) -> Any:
+    """Find the Readable a channel identifier addresses.
+
+    A mapping gives multi-channel service: string/integer/capability
+    keys are matched by equality, which for capabilities includes the
+    64-bit secret — a forged capability simply fails the lookup, the
+    same outcome the simulator's ``ChannelMinter.validate`` produces.
+    """
+    if not isinstance(readables, Mapping):
+        return readables
+    try:
+        return readables[channel]
+    except (KeyError, TypeError):
+        raise NoSuchChannelError(channel, "serve_pull") from None
+
+
+async def serve_pull(
+    connection: Connection,
+    readables: ReadableMap,
+    hello: Hello | None = None,
+    batch_limit: int | None = None,
+) -> None:
+    """Answer a pull client: passive output over one connection.
+
+    Serves ``READ`` frames from the addressed Readable until the
+    client disconnects.  END replies are idempotent: every READ past
+    the end is answered END again.
+    """
+    ended: set[Any] = set()
+    while True:
+        frame = await connection.recv()
+        if frame is None:
+            return
+        if frame.type is not FrameType.READ:
+            await connection.send(Frame(FrameType.ERROR, {
+                "code": "bad-frame",
+                "message": f"pull connection got {frame.type.name}",
+            }))
+            raise WireError(f"pull connection got {frame.type.name}")
+        channel = frame.body.get("channel")
+        batch = max(1, int(frame.body.get("batch", 1)))
+        if batch_limit is not None:
+            batch = min(batch, batch_limit)
+        try:
+            readable = _resolve_channel(readables, channel)
+        except NoSuchChannelError as error:
+            await connection.send(Frame(FrameType.ERROR, {
+                "code": "no-such-channel", "message": str(error),
+            }))
+            continue
+        key = _channel_key(channel)
+        if key in ended:
+            await connection.send(Frame(FrameType.END, {"channel": channel}))
+            continue
+        transfer = await readable.read(batch)
+        if transfer.at_end:
+            ended.add(key)
+            await connection.send(Frame(FrameType.END, {"channel": channel}))
+        else:
+            await connection.send(Frame(FrameType.DATA, {
+                "items": list(transfer.items), "channel": channel,
+            }))
+
+
+def _channel_key(channel: Any) -> Any:
+    try:
+        hash(channel)
+        return channel
+    except TypeError:
+        return repr(channel)
+
+
+async def serve_push(
+    connection: Connection,
+    writable: Any,
+    hello: Hello | None = None,
+) -> None:
+    """Receive a push client: passive input over one connection.
+
+    The initial credit was granted in the WELCOME (see
+    :func:`repro.net.handshake.expect_hello`); this loop refunds credit
+    only *after* the local writable has accepted the records, so the
+    window bounds true end-to-end in-flight data.
+    """
+    while True:
+        frame = await connection.recv()
+        if frame is None:
+            return
+        if frame.type is FrameType.WRITE:
+            items = frame.body.get("items", [])
+            await writable.write(Transfer.of(items))
+            await connection.send(Frame(FrameType.ACK, {
+                "credit": len(items), "channel": frame.body.get("channel"),
+            }))
+        elif frame.type is FrameType.END:
+            await writable.write(END_TRANSFER)
+            try:
+                await connection.send(Frame(FrameType.ACK, {
+                    "credit": 0, "final": True,
+                    "channel": frame.body.get("channel"),
+                }))
+            except (ConnectionError, OSError, FrameError):
+                pass  # writer may close the instant END is out
+            return
+        else:
+            await connection.send(Frame(FrameType.ERROR, {
+                "code": "bad-frame",
+                "message": f"push connection got {frame.type.name}",
+            }))
+            raise WireError(f"push connection got {frame.type.name}")

@@ -1,0 +1,429 @@
+"""Host one pipeline stage in one OS process.
+
+``python -m repro.net.stage`` (installed as ``eden-stage``) runs a
+source, filter, sink, or pipe stage and wires it to its neighbours
+over TCP.  The stage hosts the *same* :class:`~repro.transput.
+filterbase.Transducer` objects the simulator runs, wrapped in the
+:mod:`repro.aio` stages, with :class:`~repro.net.protocol.
+RemoteReadable` / :class:`~repro.net.protocol.RemoteWritable` standing
+in for in-process neighbours.  Connection roles per discipline:
+
+====================  =======================  =========================
+stage                 accepts (listens)        dials (connects)
+====================  =======================  =========================
+readonly source       pull clients             —
+readonly filter       pull clients             upstream (as pull client)
+readonly sink         —                        upstream (as pull client)
+writeonly source      —                        downstream (as push client)
+writeonly filter      push clients             downstream (as push client)
+writeonly sink        push clients             —
+conventional source   —                        downstream pipe (push)
+conventional filter   —                        upstream pipe (pull) and
+                                               downstream pipe (push)
+conventional sink     —                        upstream pipe (pull)
+conventional pipe     one push + one pull      —
+====================  =======================  =========================
+
+The conventional table is the paper's point made physical: because the
+conventional discipline's filters are active at both ends, every
+adjacent pair needs a *separate passive buffer process* (the Unix
+pipe), doubling the number of servers and the per-datum message count
+— run ``examples/tcp_pipeline.py`` to watch n+1 vs 2n+2 measured on
+real sockets.
+
+Clients reconnect with exponential backoff, so the stages of one
+pipeline can be spawned in any order.  Every stage verifies peers'
+ticket UIDs against the deterministic :class:`~repro.net.handshake.
+TicketBook` named by ``--ticket-space/--ticket-seed`` and rejects
+forgeries (C4).  On exit a stage can dump its on-wire counters
+(``--stats-file``) and a frame-level trace in the simulator's JSONL
+trace format (``--trace-file``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import importlib
+import json
+import socket
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.capability import PRIMARY_CHANNEL
+from repro.core.tracing import Tracer
+from repro.devices import random_lines
+from repro.aio.streams import (
+    AioCollector,
+    AioPipe,
+    AioReadOnlyStage,
+    AioSource,
+    AioWriteOnlyStage,
+    collect,
+)
+from repro.net.handshake import ROLE_PULL, ROLE_PUSH, HandshakeError, TicketBook, expect_hello
+from repro.net.metrics import NetStats
+from repro.net.protocol import (
+    Connection,
+    RemoteReadable,
+    RemoteWritable,
+    serve_pull,
+    serve_push,
+)
+from repro.transput.filterbase import Transducer, identity_transducer
+from repro.transput.flow import FlowPolicy
+
+__all__ = [
+    "StageConfig",
+    "run_stage",
+    "load_transducer",
+    "pick_free_port",
+    "main",
+]
+
+ROLES = ("source", "filter", "sink", "pipe")
+DISCIPLINES = ("readonly", "writeonly", "conventional")
+
+
+def pick_free_port(host: str = "127.0.0.1") -> int:
+    """Ask the OS for a currently free TCP port (orchestrator helper)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+def load_transducer(spec: str, args: Sequence[Any] = ()) -> Transducer:
+    """Instantiate a transducer from a ``module:factory`` spec.
+
+    Example: ``repro.filters:grep`` with args ``["stream"]``.  The
+    factory is any callable returning a Transducer (or a Transducer
+    instance itself when called with no args).
+    """
+    module_name, _sep, attribute = spec.partition(":")
+    if not _sep or not attribute:
+        raise ValueError(f"transducer spec must be module:factory, got {spec!r}")
+    factory = getattr(importlib.import_module(module_name), attribute)
+    made = factory(*args)
+    if not isinstance(made, Transducer):
+        raise TypeError(f"{spec} produced {type(made).__name__}, not a Transducer")
+    return made
+
+
+@dataclass
+class StageConfig:
+    """Everything one stage process needs to know."""
+
+    role: str
+    discipline: str
+    host: str = "127.0.0.1"
+    listen_port: int | None = None
+    upstream: tuple[str, int] | None = None
+    downstream: tuple[str, int] | None = None
+    channel: Any = PRIMARY_CHANNEL
+    transducer_spec: str | None = None
+    transducer_args: list[Any] = field(default_factory=list)
+    source_items: list[Any] | None = None
+    flow: FlowPolicy = field(default_factory=FlowPolicy)
+    ticket_space: int = 0
+    ticket_seed: int = 0
+    serial: int = 0
+    expected_clients: int | None = None
+    stats_file: str | None = None
+    trace_file: str | None = None
+    output_file: str | None = None
+    connect_deadline: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.role not in ROLES:
+            raise ValueError(f"role must be one of {ROLES}, got {self.role!r}")
+        if self.discipline not in DISCIPLINES:
+            raise ValueError(
+                f"discipline must be one of {DISCIPLINES}, got {self.discipline!r}"
+            )
+        if self.role == "pipe" and self.discipline != "conventional":
+            raise ValueError("pipe stages exist only in the conventional discipline")
+
+
+class _Stage:
+    """The running form of one :class:`StageConfig`."""
+
+    def __init__(self, config: StageConfig) -> None:
+        self.config = config
+        self.stats = NetStats()
+        self.tracer = Tracer(enabled=config.trace_file is not None)
+        self.book = TicketBook(space=config.ticket_space, seed=config.ticket_seed)
+        self.uid = self.book.ticket(config.serial)
+        self.label = f"{config.role}/{config.discipline}#{config.serial}"
+        self.collected: list[Any] | None = None
+
+    # -- building blocks ----------------------------------------------------
+
+    def _connection(self, reader, writer, end_is_request: bool = False) -> Connection:
+        return Connection(
+            reader, writer, stats=self.stats, end_is_request=end_is_request,
+            tracer=self.tracer, label=self.label,
+        )
+
+    def _remote_readable(self) -> RemoteReadable:
+        host, port = self.config.upstream
+        return RemoteReadable(
+            host, port, uid=self.uid, book=self.book,
+            channel=self.config.channel, stats=self.stats,
+            tracer=self.tracer, label=self.label,
+            connect_deadline=self.config.connect_deadline,
+        )
+
+    def _remote_writable(self) -> RemoteWritable:
+        host, port = self.config.downstream
+        return RemoteWritable(
+            host, port, uid=self.uid, book=self.book,
+            channel=self.config.channel, stats=self.stats,
+            tracer=self.tracer, label=self.label,
+            connect_deadline=self.config.connect_deadline,
+        )
+
+    def _transducer(self) -> Transducer:
+        if self.config.transducer_spec is None:
+            return identity_transducer()
+        return load_transducer(
+            self.config.transducer_spec, self.config.transducer_args
+        )
+
+    async def _serve(self, readables: Any = None, writable: Any = None,
+                     clients: int = 1) -> None:
+        """Accept ``clients`` connections and serve them to completion."""
+        done = asyncio.Semaphore(0)
+        credit = self.config.flow.credit_window()
+
+        async def handle(reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+            try:
+                hello = await expect_hello(
+                    reader, writer, self.book, self.uid, credit=credit
+                )
+                connection = self._connection(reader, writer)
+                if hello.role == ROLE_PULL and readables is not None:
+                    await serve_pull(connection, readables, hello,
+                                     batch_limit=None)
+                elif hello.role == ROLE_PUSH and writable is not None:
+                    await serve_push(connection, writable, hello)
+                else:
+                    await connection.close()
+                    return  # role this stage does not serve: not counted
+                await connection.close()
+                done.release()
+            except HandshakeError as error:
+                print(f"[{self.label}] rejected connection: {error}",
+                      file=sys.stderr)
+
+        server = await asyncio.start_server(
+            handle, host=self.config.host, port=self.config.listen_port or 0
+        )
+        try:
+            for _ in range(clients):
+                await done.acquire()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    @staticmethod
+    async def _pump(readable: Any, writable: Any, batch: int) -> None:
+        """The active middle: read until END, pushing everything read."""
+        while True:
+            transfer = await readable.read(batch)
+            await writable.write(transfer)
+            if transfer.at_end:
+                return
+
+    # -- role bodies --------------------------------------------------------
+
+    async def run(self) -> None:
+        config = self.config
+        flow = config.flow
+        if config.role == "source":
+            items = config.source_items or []
+            if config.discipline == "readonly":
+                await self._serve(readables=AioSource(items),
+                                  clients=config.expected_clients or 1)
+            else:  # writeonly and conventional sources both push
+                await self._pump(AioSource(items), self._remote_writable(),
+                                 flow.batch)
+        elif config.role == "filter":
+            transducer = self._transducer()
+            if config.discipline == "readonly":
+                stage = AioReadOnlyStage(
+                    transducer, self._remote_readable(),
+                    lookahead=flow.lookahead, batch_in=flow.batch,
+                )
+                await self._serve(readables=stage,
+                                  clients=config.expected_clients or 1)
+            elif config.discipline == "writeonly":
+                stage = AioWriteOnlyStage(transducer, [self._remote_writable()])
+                await self._serve(writable=stage,
+                                  clients=config.expected_clients or 1)
+            else:  # conventional: active at both ends
+                stage = AioWriteOnlyStage(transducer, [self._remote_writable()])
+                await self._pump(self._remote_readable(), stage, flow.batch)
+        elif config.role == "sink":
+            if config.discipline == "writeonly":
+                collector = AioCollector()
+                await self._serve(writable=collector,
+                                  clients=config.expected_clients or 1)
+                await collector.done.wait()
+                self.collected = list(collector.items)
+            else:  # readonly and conventional sinks both pull
+                self.collected = await collect(
+                    self._remote_readable(), batch=flow.batch
+                )
+        else:  # pipe: a passive buffer process (the Unix pipe, §1)
+            capacity = flow.buffer_capacity or 64
+            pipe = AioPipe(capacity=capacity)
+            await self._serve(readables=pipe, writable=pipe,
+                              clients=config.expected_clients or 2)
+
+    # -- reporting ----------------------------------------------------------
+
+    def emit_output(self) -> None:
+        if self.collected is None:
+            return
+        lines = "".join(f"{item}\n" for item in self.collected)
+        if self.config.output_file:
+            with open(self.config.output_file, "w", encoding="utf-8") as handle:
+                handle.write(lines)
+        else:
+            sys.stdout.write(lines)
+            sys.stdout.flush()
+
+    def emit_stats(self) -> None:
+        if self.config.stats_file:
+            payload = {
+                "role": self.config.role,
+                "discipline": self.config.discipline,
+                "serial": self.config.serial,
+                "counters": self.stats.snapshot().as_dict(),
+            }
+            with open(self.config.stats_file, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+        if self.config.trace_file:
+            self.tracer.to_jsonl(self.config.trace_file)
+
+
+async def run_stage(config: StageConfig) -> _Stage:
+    """Run one stage to stream completion; returns the finished stage."""
+    stage = _Stage(config)
+    started = time.monotonic()
+    await stage.run()
+    stage.stats.bump("runtime_ms", int((time.monotonic() - started) * 1000))
+    return stage
+
+
+# ---------------------------------------------------------------------------
+# Command line.
+# ---------------------------------------------------------------------------
+
+
+def _address(text: str) -> tuple[str, int]:
+    host, _sep, port = text.rpartition(":")
+    return (host or "127.0.0.1", int(port))
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="eden-stage",
+        description="Host one asymmetric-stream pipeline stage over TCP.",
+    )
+    parser.add_argument("--role", required=True, choices=ROLES)
+    parser.add_argument("--discipline", required=True, choices=DISCIPLINES)
+    parser.add_argument("--listen", type=int, default=None, metavar="PORT",
+                        help="port to accept connections on (server roles)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--upstream", type=_address, default=None,
+                        metavar="HOST:PORT", help="stage to read from")
+    parser.add_argument("--downstream", type=_address, default=None,
+                        metavar="HOST:PORT", help="stage to write to")
+    parser.add_argument("--channel", default=PRIMARY_CHANNEL)
+    parser.add_argument("--transducer", default=None, metavar="MODULE:FACTORY")
+    parser.add_argument("--transducer-args", default="[]", metavar="JSON")
+    parser.add_argument("--source-json", default=None, metavar="JSON",
+                        help="explicit source records as a JSON array")
+    parser.add_argument("--source-count", type=int, default=None,
+                        help="generate this many random lines instead")
+    parser.add_argument("--source-width", type=int, default=8)
+    parser.add_argument("--source-seed", type=int, default=0)
+    parser.add_argument("--batch", type=int, default=1)
+    parser.add_argument("--lookahead", type=int, default=0)
+    parser.add_argument("--inbox-capacity", type=int, default=None)
+    parser.add_argument("--buffer-capacity", type=int, default=64)
+    parser.add_argument("--ticket-space", type=int, default=0)
+    parser.add_argument("--ticket-seed", type=int, default=0)
+    parser.add_argument("--serial", type=int, default=0,
+                        help="this stage's ticket serial in the book")
+    parser.add_argument("--expected-clients", type=int, default=None)
+    parser.add_argument("--stats-file", default=None)
+    parser.add_argument("--trace-file", default=None)
+    parser.add_argument("--output-file", default=None)
+    parser.add_argument("--connect-deadline", type=float, default=15.0)
+    return parser
+
+
+def config_from_args(argv: Sequence[str] | None = None) -> StageConfig:
+    """Parse a command line into a :class:`StageConfig`."""
+    parser = _parser()
+    options = parser.parse_args(argv)
+    source_items = None
+    if options.source_json is not None:
+        source_items = json.loads(options.source_json)
+    elif options.source_count is not None:
+        source_items = random_lines(
+            count=options.source_count, width=options.source_width,
+            seed=options.source_seed,
+        )
+    elif options.role == "source":
+        parser.error("--role source requires --source-json or --source-count")
+    return StageConfig(
+        role=options.role,
+        discipline=options.discipline,
+        host=options.host,
+        listen_port=options.listen,
+        upstream=options.upstream,
+        downstream=options.downstream,
+        channel=options.channel,
+        transducer_spec=options.transducer,
+        transducer_args=json.loads(options.transducer_args),
+        source_items=source_items,
+        flow=FlowPolicy(
+            lookahead=options.lookahead,
+            batch=options.batch,
+            buffer_capacity=options.buffer_capacity,
+            inbox_capacity=options.inbox_capacity,
+        ),
+        ticket_space=options.ticket_space,
+        ticket_seed=options.ticket_seed,
+        serial=options.serial,
+        expected_clients=options.expected_clients,
+        stats_file=options.stats_file,
+        trace_file=options.trace_file,
+        output_file=options.output_file,
+        connect_deadline=options.connect_deadline,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: run one stage to completion."""
+    try:
+        config = config_from_args(argv)
+        stage = asyncio.run(run_stage(config))
+    except KeyboardInterrupt:
+        return 130
+    except Exception as error:  # surface the cause, fail the process
+        print(f"eden-stage: {type(error).__name__}: {error}", file=sys.stderr)
+        return 1
+    stage.emit_output()
+    stage.emit_stats()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

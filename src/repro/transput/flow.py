@@ -51,6 +51,22 @@ class FlowPolicy:
         """The same policy moving ``batch`` records per invocation."""
         return replace(self, batch=batch)
 
+    def credit_window(self) -> int:
+        """Initial record credit a passive input grants a remote pusher.
+
+        This is how the policy maps onto the TCP runtime
+        (:mod:`repro.net`): a bounded inbox bounds the in-flight
+        records directly; otherwise the lookahead knob plays the same
+        anticipatory role it plays for read-only prefetch; a fully
+        lazy policy degenerates to a window of 1 — one record in
+        flight, the synchronous push.
+        """
+        if self.inbox_capacity is not None:
+            return self.inbox_capacity
+        if self.lookahead > 0:
+            return self.lookahead
+        return 1
+
     def __post_init__(self) -> None:
         if self.lookahead < 0:
             raise ValueError(f"lookahead must be >= 0, got {self.lookahead}")

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import (
-    Measurement,
     conventional_shape,
     format_ratio,
     format_table,

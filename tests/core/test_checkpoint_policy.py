@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Eject, Kernel
+from repro.core import Eject
 from repro.core.checkpoint_policy import (
     DirtyCounter,
     checkpoint_every,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import Kernel
 from repro.core.errors import StreamProtocolError
 from repro.csp import (
     CHANNEL_CLOSED,

@@ -1,0 +1,61 @@
+"""The shared JSONL trace format: simulator and net runtime interop."""
+
+import io
+
+from repro.core import Kernel
+from repro.core.tracing import Tracer, event_to_dict, load_jsonl
+from repro.transput import build_readonly_pipeline
+
+
+def test_roundtrip_through_a_file(tmp_path):
+    tracer = Tracer(enabled=True)
+    tracer.emit(0.0, "invoke", "sink", op="Read", batch=1)
+    tracer.emit(1.5, "reply", "source", items=3)
+    path = str(tmp_path / "trace.jsonl")
+    assert tracer.to_jsonl(path) == 2
+    events = load_jsonl(path)
+    assert events == tracer.events
+
+
+def test_roundtrip_through_a_stream():
+    tracer = Tracer(enabled=True)
+    tracer.emit(2.0, "send", "stage", frame="READ", bytes=42)
+    buffer = io.StringIO()
+    tracer.to_jsonl(buffer)
+    assert load_jsonl(io.StringIO(buffer.getvalue())) == tracer.events
+
+
+def test_blank_lines_skipped():
+    assert load_jsonl(io.StringIO("\n\n")) == []
+
+
+def test_exotic_detail_values_stringified_not_lost():
+    tracer = Tracer(enabled=True)
+    tracer.emit(0.0, "spawn", "kernel", target=object())
+    record = event_to_dict(tracer.events[0])
+    assert isinstance(record["detail"]["target"], str)
+    buffer = io.StringIO()
+    tracer.to_jsonl(buffer)
+    (event,) = load_jsonl(io.StringIO(buffer.getvalue()))
+    assert event.kind == "spawn"
+
+
+def test_simulator_trace_survives_the_wire_format(tmp_path):
+    """A real kernel trace exports and reloads with nothing dropped."""
+    kernel = Kernel(seed=0, trace=True)
+    pipeline = build_readonly_pipeline(
+        kernel, ["a", "b"], [],
+    )
+    pipeline.run_to_completion()
+    source_events = kernel.tracer.events
+    assert source_events, "expected the traced kernel to record events"
+    path = str(tmp_path / "kernel.jsonl")
+    kernel.tracer.to_jsonl(path)
+    reloaded = load_jsonl(path)
+    assert len(reloaded) == len(source_events)
+    assert [event.kind for event in reloaded] == [
+        event.kind for event in source_events
+    ]
+    assert [event.time for event in reloaded] == [
+        event.time for event in source_events
+    ]

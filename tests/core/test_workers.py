@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Kernel, Sleep
+from repro.core import Sleep
 from repro.core.workers import WorkerPoolEject
 
 

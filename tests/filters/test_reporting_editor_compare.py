@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.errors import EdenError
 from repro.filters import (
     DiffRecord,
     DifferenceFilter,

@@ -1,6 +1,5 @@
 """SortedMergeFilter: order-preserving two-stream fan-in."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.filters import SortedMergeFilter

@@ -1,7 +1,6 @@
 """Documentation consistency: generated docs are fresh, manifests exist."""
 
 import pathlib
-import subprocess
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parents[2]

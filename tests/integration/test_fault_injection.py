@@ -20,7 +20,6 @@ from repro.transput import (
     ListSource,
     PassiveBuffer,
     PassiveSink,
-    ReadOnlyFilter,
     StreamEndpoint,
     Transfer,
     WriteOnlyFilter,

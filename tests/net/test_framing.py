@@ -1,0 +1,150 @@
+"""Unit tests for the wire frame codec."""
+
+import struct
+
+import pytest
+
+from repro.core.capability import ChannelCapability
+from repro.core.uid import UIDFactory
+from repro.net.framing import (
+    Frame,
+    FrameDecoder,
+    FrameError,
+    FrameType,
+    HEADER,
+    MAGIC,
+    MAX_FRAME_BODY,
+    decode_frame,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+)
+
+
+def roundtrip(frame: Frame) -> Frame:
+    decoded, consumed = decode_frame(encode_frame(frame))
+    assert consumed == len(encode_frame(frame))
+    return decoded
+
+
+class TestFrameRoundtrip:
+    def test_every_type_roundtrips_empty(self):
+        for frame_type in FrameType:
+            assert roundtrip(Frame(frame_type)) == Frame(frame_type)
+
+    def test_data_frame_carries_items(self):
+        frame = Frame(FrameType.DATA, {"items": ["a", "b"], "channel": "Output"})
+        assert roundtrip(frame) == frame
+
+    def test_read_frame_carries_batch_and_channel(self):
+        frame = Frame(FrameType.READ, {"batch": 4, "channel": 2})
+        assert roundtrip(frame) == frame
+
+    def test_frames_are_length_prefixed_back_to_back(self):
+        one = Frame(FrameType.READ, {"batch": 1, "channel": "Output"})
+        two = Frame(FrameType.END, {"channel": "Output"})
+        buffer = encode_frame(one) + encode_frame(two)
+        first, consumed = decode_frame(buffer)
+        second, _rest = decode_frame(buffer[consumed:])
+        assert (first, second) == (one, two)
+
+
+class TestHeaderValidation:
+    def test_bad_magic_rejected(self):
+        wire = bytearray(encode_frame(Frame(FrameType.END)))
+        wire[:4] = b"XXXX"
+        with pytest.raises(FrameError, match="magic"):
+            decode_frame(bytes(wire))
+
+    def test_unknown_type_rejected(self):
+        wire = HEADER.pack(MAGIC, 250, 2) + b"{}"
+        with pytest.raises(FrameError, match="unknown frame type"):
+            decode_frame(wire)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(FrameError, match="truncated"):
+            decode_frame(b"EDN")
+
+    def test_truncated_body_rejected(self):
+        wire = encode_frame(Frame(FrameType.DATA, {"items": [1, 2, 3]}))
+        with pytest.raises(FrameError, match="truncated"):
+            decode_frame(wire[:-1])
+
+    def test_oversized_declared_body_rejected(self):
+        wire = HEADER.pack(MAGIC, int(FrameType.END), MAX_FRAME_BODY + 1)
+        with pytest.raises(FrameError, match="MAX_FRAME_BODY"):
+            decode_frame(wire + b"x")
+
+    def test_non_object_body_rejected(self):
+        body = b"[1,2]"
+        wire = HEADER.pack(MAGIC, int(FrameType.END), len(body)) + body
+        with pytest.raises(FrameError, match="object"):
+            decode_frame(wire)
+
+    def test_header_is_nine_bytes(self):
+        assert HEADER.size == struct.calcsize("!4sBI") == 9
+
+
+class TestPayloadCodec:
+    def test_bytes_tagged(self):
+        assert decode_payload(encode_payload(b"\x00\xff")) == b"\x00\xff"
+
+    def test_tuple_preserved_not_listified(self):
+        value = ("a", (1, 2), [3, (4,)])
+        assert decode_payload(encode_payload(value)) == value
+
+    def test_uid_roundtrips(self):
+        uid = UIDFactory(space=3, seed=9).issue()
+        assert decode_payload(encode_payload(uid)) == uid
+
+    def test_channel_capability_roundtrips_with_secret(self):
+        owner = UIDFactory(space=1).issue()
+        capability = ChannelCapability(owner=owner, name="Report", secret=12345)
+        back = decode_payload(encode_payload(capability))
+        assert back == capability
+        assert back.secret == 12345
+
+    def test_dict_with_reserved_key_escapes(self):
+        tricky = {"__bytes__": "not really", "plain": 1}
+        assert decode_payload(encode_payload(tricky)) == tricky
+
+    def test_dict_with_non_string_keys(self):
+        value = {1: "one", (2, 3): "pair"}
+        assert decode_payload(encode_payload(value)) == value
+
+    def test_unencodable_object_raises(self):
+        with pytest.raises(FrameError, match="cannot encode"):
+            encode_payload(object())
+
+    def test_nan_rejected_at_frame_level(self):
+        with pytest.raises(FrameError, match="unencodable"):
+            encode_frame(Frame(FrameType.DATA, {"items": [float("nan")]}))
+
+
+class TestFrameDecoder:
+    def test_byte_at_a_time_feed(self):
+        frame = Frame(FrameType.DATA, {"items": list(range(10)), "channel": 0})
+        decoder = FrameDecoder()
+        seen = []
+        for byte in encode_frame(frame):
+            seen.extend(decoder.feed(bytes([byte])))
+        assert seen == [frame]
+        assert decoder.pending == 0
+
+    def test_many_frames_in_one_chunk(self):
+        frames = [Frame(FrameType.READ, {"batch": n}) for n in range(1, 6)]
+        decoder = FrameDecoder()
+        wire = b"".join(encode_frame(frame) for frame in frames)
+        assert decoder.feed(wire) == frames
+
+    def test_partial_tail_stays_pending(self):
+        frame = Frame(FrameType.END, {"channel": "Output"})
+        wire = encode_frame(frame)
+        decoder = FrameDecoder()
+        assert decoder.feed(wire + wire[:5]) == [frame]
+        assert decoder.pending == 5
+
+    def test_garbage_feed_raises(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError, match="magic"):
+            decoder.feed(b"garbage-that-is-long-enough")

@@ -1,0 +1,329 @@
+"""In-process tests of the wire protocol's four-primitive mapping."""
+
+import asyncio
+
+import pytest
+
+from repro.aio.streams import AioCollector, AioPipe, AioSource
+from repro.core.errors import StreamProtocolError
+from repro.net.handshake import TicketBook, expect_hello
+from repro.net.metrics import NetStats
+from repro.net.protocol import (
+    Connection,
+    RemoteReadable,
+    RemoteWritable,
+    WireError,
+    connect_with_backoff,
+    serve_pull,
+    serve_push,
+)
+from repro.transput.stream import END_TRANSFER, Transfer
+
+BOOK_ARGS = dict(space=0, seed=11)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def start_stage_server(readables=None, writable=None, credit=4):
+    """A minimal single-purpose stage server for protocol tests."""
+    book = TicketBook(**BOOK_ARGS)
+    server_uid = book.ticket(0)
+    stats = NetStats()
+
+    async def handler(reader, writer):
+        try:
+            hello = await expect_hello(reader, writer, book, server_uid,
+                                       credit=credit)
+        except Exception:
+            return
+        connection = Connection(reader, writer, stats=stats)
+        try:
+            if hello.role == "pull":
+                await serve_pull(connection, readables, hello)
+            else:
+                await serve_push(connection, writable, hello)
+        except (WireError, ConnectionError):
+            pass
+        finally:
+            await connection.close()
+
+    server = await asyncio.start_server(handler, host="127.0.0.1", port=0)
+    port = server.sockets[0].getsockname()[1]
+    return server, port, stats
+
+
+def client_book() -> TicketBook:
+    return TicketBook(**BOOK_ARGS)
+
+
+class TestPullProtocol:
+    def test_remote_readable_drains_a_source(self):
+        async def scenario():
+            server, port, _stats = await start_stage_server(
+                readables=AioSource(["a", "b", "c"])
+            )
+            remote = RemoteReadable(
+                "127.0.0.1", port, uid=client_book().ticket(1),
+                book=client_book(),
+            )
+            got = []
+            while True:
+                transfer = await remote.read(1)
+                if transfer.at_end:
+                    break
+                got.extend(transfer.items)
+            server.close()
+            await server.wait_closed()
+            return got, remote
+
+        got, remote = run(scenario())
+        assert got == ["a", "b", "c"]
+        # one READ per record plus the END read: m+1 invocations.
+        assert remote.stats.get("invocations_sent") == 4
+        assert remote.stats.get("read_frames_sent") == 4
+        assert remote.stats.get("data_frames_received") == 3
+        assert remote.stats.get("end_frames_received") == 1
+
+    def test_end_is_cached_locally(self):
+        async def scenario():
+            server, port, _stats = await start_stage_server(
+                readables=AioSource([])
+            )
+            remote = RemoteReadable(
+                "127.0.0.1", port, uid=client_book().ticket(1),
+                book=client_book(),
+            )
+            first = await remote.read()
+            second = await remote.read()
+            server.close()
+            await server.wait_closed()
+            return first, second, remote
+
+        first, second, remote = run(scenario())
+        assert first.at_end and second.at_end
+        assert remote.stats.get("read_frames_sent") == 1  # second was local
+
+    def test_batch_read_takes_up_to_batch(self):
+        async def scenario():
+            server, port, _stats = await start_stage_server(
+                readables=AioSource(list(range(10)))
+            )
+            remote = RemoteReadable(
+                "127.0.0.1", port, uid=client_book().ticket(1),
+                book=client_book(),
+            )
+            transfer = await remote.read(batch=4)
+            server.close()
+            await server.wait_closed()
+            return transfer
+
+        transfer = run(scenario())
+        assert list(transfer.items) == [0, 1, 2, 3]
+
+    def test_multi_channel_pull_by_name(self):
+        async def scenario():
+            channels = {
+                "Output": AioSource(["primary"]),
+                "Report": AioSource(["report-line"]),
+            }
+            server, port, _stats = await start_stage_server(readables=channels)
+            outputs = {}
+            for channel in ("Output", "Report"):
+                remote = RemoteReadable(
+                    "127.0.0.1", port, uid=client_book().ticket(1),
+                    book=client_book(), channel=channel,
+                )
+                transfer = await remote.read()
+                outputs[channel] = list(transfer.items)
+                await remote.aclose()
+            server.close()
+            await server.wait_closed()
+            return outputs
+
+        outputs = run(scenario())
+        assert outputs == {"Output": ["primary"], "Report": ["report-line"]}
+
+    def test_unknown_channel_is_a_wire_error(self):
+        async def scenario():
+            server, port, _stats = await start_stage_server(
+                readables={"Output": AioSource(["x"])}
+            )
+            remote = RemoteReadable(
+                "127.0.0.1", port, uid=client_book().ticket(1),
+                book=client_book(), channel="NoSuch",
+            )
+            with pytest.raises(WireError, match="no-such-channel"):
+                await remote.read()
+            server.close()
+            await server.wait_closed()
+
+        run(scenario())
+
+
+class TestPushProtocol:
+    def test_remote_writable_fills_a_collector(self):
+        async def scenario():
+            collector = AioCollector()
+            server, port, _stats = await start_stage_server(
+                writable=collector, credit=4
+            )
+            remote = RemoteWritable(
+                "127.0.0.1", port, uid=client_book().ticket(1),
+                book=client_book(),
+            )
+            await remote.write(Transfer.of(["x", "y"]))
+            await remote.write(Transfer.of(["z"]))
+            await remote.write(END_TRANSFER)
+            server.close()
+            await server.wait_closed()
+            return collector, remote
+
+        collector, remote = run(scenario())
+        assert collector.items == ["x", "y", "z"]
+        assert collector.done.is_set()
+        # two WRITE frames + the pushed END: m'+1 style accounting.
+        assert remote.stats.get("invocations_sent") == 3
+        assert remote.stats.get("end_frames_sent") == 1
+
+    def test_write_after_end_rejected_locally(self):
+        async def scenario():
+            collector = AioCollector()
+            server, port, _stats = await start_stage_server(writable=collector)
+            remote = RemoteWritable(
+                "127.0.0.1", port, uid=client_book().ticket(1),
+                book=client_book(),
+            )
+            await remote.write(END_TRANSFER)
+            with pytest.raises(StreamProtocolError):
+                await remote.write(Transfer.of(["late"]))
+            server.close()
+            await server.wait_closed()
+
+        run(scenario())
+
+    def test_credit_window_one_is_synchronous(self):
+        """Window 1 → every record waits for the previous ACK."""
+
+        async def scenario():
+            collector = AioCollector()
+            server, port, stats = await start_stage_server(
+                writable=collector, credit=1
+            )
+            remote = RemoteWritable(
+                "127.0.0.1", port, uid=client_book().ticket(1),
+                book=client_book(),
+            )
+            await remote.write(Transfer.of(list(range(5))))
+            await remote.write(END_TRANSFER)
+            server.close()
+            await server.wait_closed()
+            return collector, remote
+
+        collector, remote = run(scenario())
+        assert collector.items == list(range(5))
+        # one record per WRITE frame: the window chops the batch up.
+        assert remote.stats.get("write_frames_sent") == 5
+
+    def test_wide_credit_window_batches(self):
+        async def scenario():
+            collector = AioCollector()
+            server, port, _stats = await start_stage_server(
+                writable=collector, credit=64
+            )
+            remote = RemoteWritable(
+                "127.0.0.1", port, uid=client_book().ticket(1),
+                book=client_book(),
+            )
+            await remote.write(Transfer.of(list(range(5))))
+            await remote.write(END_TRANSFER)
+            server.close()
+            await server.wait_closed()
+            return collector, remote
+
+        collector, remote = run(scenario())
+        assert collector.items == list(range(5))
+        assert remote.stats.get("write_frames_sent") == 1  # whole batch fit
+
+
+class TestPipeBothWays:
+    def test_pipe_serves_push_and_pull(self):
+        """A pipe process's core: passive input AND passive output."""
+
+        async def scenario():
+            pipe = AioPipe(capacity=8)
+            server, port, _stats = await start_stage_server(
+                readables=pipe, writable=pipe, credit=8
+            )
+            writer = RemoteWritable(
+                "127.0.0.1", port, uid=client_book().ticket(1),
+                book=client_book(),
+            )
+            reader = RemoteReadable(
+                "127.0.0.1", port, uid=client_book().ticket(2),
+                book=client_book(),
+            )
+
+            async def produce():
+                for item in ("p", "q", "r"):
+                    await writer.write(Transfer.single(item))
+                await writer.write(END_TRANSFER)
+
+            async def consume():
+                got = []
+                while True:
+                    transfer = await reader.read()
+                    if transfer.at_end:
+                        return got
+                    got.extend(transfer.items)
+
+            _done, got = await asyncio.gather(produce(), consume())
+            server.close()
+            await server.wait_closed()
+            return got
+
+        assert run(scenario()) == ["p", "q", "r"]
+
+
+class TestConnectBackoff:
+    def test_connects_to_late_server(self):
+        """The client retries until the listener appears."""
+
+        async def scenario():
+            from repro.net.stage import pick_free_port
+
+            port = pick_free_port()
+            results = {}
+
+            async def late_server():
+                await asyncio.sleep(0.3)
+                server = await asyncio.start_server(
+                    lambda r, w: w.close(), host="127.0.0.1", port=port
+                )
+                results["server"] = server
+
+            async def client():
+                reader, writer = await connect_with_backoff(
+                    "127.0.0.1", port, deadline=10.0
+                )
+                writer.close()
+                return True
+
+            _none, connected = await asyncio.gather(late_server(), client())
+            results["server"].close()
+            await results["server"].wait_closed()
+            return connected
+
+        assert run(scenario())
+
+    def test_gives_up_after_deadline(self):
+        async def scenario():
+            from repro.net.stage import pick_free_port
+
+            with pytest.raises(WireError, match="could not connect"):
+                await connect_with_backoff(
+                    "127.0.0.1", pick_free_port(), deadline=0.2
+                )
+
+        run(scenario())

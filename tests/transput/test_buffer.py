@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import Eject
 from repro.core.errors import StreamProtocolError
 from repro.transput import PassiveBuffer, StreamEndpoint, Transfer
 from repro.transput.stream import END_TRANSFER

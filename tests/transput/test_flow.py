@@ -1,0 +1,59 @@
+"""FlowPolicy validation and the net-runtime credit-window mapping."""
+
+import pytest
+
+from repro.transput import FlowPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = FlowPolicy()
+        assert policy.lookahead == 0
+        assert policy.batch == 1
+
+    @pytest.mark.parametrize("lookahead", [-1, -100])
+    def test_negative_lookahead_rejected(self, lookahead):
+        with pytest.raises(ValueError, match="lookahead"):
+            FlowPolicy(lookahead=lookahead)
+
+    @pytest.mark.parametrize("batch", [0, -1, -7])
+    def test_non_positive_batch_rejected(self, batch):
+        with pytest.raises(ValueError, match="batch"):
+            FlowPolicy(batch=batch)
+
+    @pytest.mark.parametrize("capacity", [0, -5])
+    def test_bad_buffer_capacity_rejected(self, capacity):
+        with pytest.raises(ValueError, match="buffer_capacity"):
+            FlowPolicy(buffer_capacity=capacity)
+
+    @pytest.mark.parametrize("capacity", [0, -2])
+    def test_bad_inbox_capacity_rejected(self, capacity):
+        with pytest.raises(ValueError, match="inbox_capacity"):
+            FlowPolicy(inbox_capacity=capacity)
+
+    def test_none_capacities_mean_unbounded(self):
+        policy = FlowPolicy(buffer_capacity=None, inbox_capacity=None)
+        assert policy.buffer_capacity is None
+        assert policy.inbox_capacity is None
+
+    def test_with_batch_revalidates(self):
+        with pytest.raises(ValueError, match="batch"):
+            FlowPolicy().with_batch(0)
+
+    def test_eager_constructor_validates(self):
+        with pytest.raises(ValueError, match="lookahead"):
+            FlowPolicy.eager(lookahead=-3)
+
+
+class TestCreditWindow:
+    def test_inbox_capacity_wins(self):
+        assert FlowPolicy(inbox_capacity=5, lookahead=9).credit_window() == 5
+
+    def test_lookahead_is_the_fallback(self):
+        assert FlowPolicy(lookahead=8).credit_window() == 8
+
+    def test_lazy_degenerates_to_synchronous_window(self):
+        assert FlowPolicy.lazy().credit_window() == 1
+
+    def test_eager_maps_to_its_lookahead(self):
+        assert FlowPolicy.eager(lookahead=16).credit_window() == 16

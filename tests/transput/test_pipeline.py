@@ -13,7 +13,6 @@ from repro.transput import (
 )
 from repro.filters import (
     comment_stripper,
-    number_lines,
     sort_lines,
     upper_case,
     word_count,

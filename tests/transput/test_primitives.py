@@ -1,7 +1,5 @@
 """The four primitives: correspondence, accounting, helper routines."""
 
-import pytest
-
 from repro.core import Receive
 from repro.transput import (
     ListSource,

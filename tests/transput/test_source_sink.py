@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.errors import StreamProtocolError
 from repro.transput import (
-    ActiveSink,
     ActiveSource,
     CollectorSink,
     FunctionSource,
