@@ -4,12 +4,53 @@ Every benchmark regenerates one of the paper's figures or analytic
 claims (see DESIGN.md §3).  Each prints the paper-vs-measured rows it
 is responsible for (run ``pytest benchmarks/ --benchmark-only -s`` to
 see them) and asserts the claim's *shape* — who wins, by what factor.
+
+Besides printing, benchmarks persist their tables as machine-readable
+JSON under ``benchmarks/results/BENCH_<name>.json`` (via
+:func:`publish` or :func:`record`), so tooling can diff runs without
+scraping stdout.
 """
 
 from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Sequence
+
+#: Where machine-readable benchmark outputs land.
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def show(table: str) -> None:
     """Print a result table, bracketed for readability under -s."""
     print()
     print(table)
+
+
+def record(name: str, payload: dict[str, Any]) -> pathlib.Path:
+    """Persist ``payload`` as ``benchmarks/results/BENCH_<name>.json``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def publish(
+    name: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str,
+    **extra: Any,
+) -> None:
+    """Print a table (as :func:`show`) and record it as JSON."""
+    from repro.analysis import format_table
+
+    show(format_table(list(headers), [list(row) for row in rows], title=title))
+    record(name, {
+        "title": title,
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+        **extra,
+    })

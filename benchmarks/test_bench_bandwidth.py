@@ -17,13 +17,12 @@ Invocation counts still halve for read-only regardless (T1); this
 bench maps when that *matters*.
 """
 
-from repro.analysis import format_table
 from repro.core import Kernel, TransportCosts
 from repro.devices import random_lines
 from repro.transput import FlowPolicy, build_readonly_pipeline
 from repro.transput.filterbase import identity_transducer
 
-from conftest import show
+from conftest import publish
 
 ITEMS = random_lines(count=64, width=12, seed=42)  # ~100 bytes/record
 BATCHES = (1, 2, 4, 8, 16)
@@ -80,10 +79,11 @@ def test_bench_bandwidth(benchmark):
     # runs don't pay at all.
     assert bw16 > lat16 * 2
 
-    show(format_table(
+    publish(
+        "t9_bandwidth",
         ["batch", "invocations", "latency-only makespan",
          "bandwidth-limited makespan", "slowdown"],
         rows,
         title="T9 (extension): Read batch size under infinite vs finite "
               f"bandwidth (m={len(ITEMS)} ~100B records, n=2 filters)",
-    ))
+    )

@@ -6,14 +6,13 @@ per-stream setup overhead (the transient UnixFile Ejects that are
 created, used and allowed to disappear).
 """
 
-from repro.analysis import format_table
 from repro.core import Kernel
 from repro.devices import random_lines
 from repro.filesystem import HostFileSystem, UnixFileSystem
 from repro.filters import upper_case
 from repro.transput import ReadOnlyFilter, StreamEndpoint
 
-from conftest import show
+from conftest import publish
 
 LINE_COUNTS = (10, 100, 400)
 
@@ -79,9 +78,10 @@ def test_bench_bootstrap_fs(benchmark):
         small_delta["invocations_sent"] / 10
     )
 
-    show(format_table(
+    publish(
+        "t7_bootstrap_fs",
         ["lines", "mode", "invocations", "inv/line", "ejects created"],
         rows,
         title="T7: bootstrap NewStream/UseStream file copies (setup = 2 "
               "invocations + transient UnixFile Ejects)",
-    ))
+    )

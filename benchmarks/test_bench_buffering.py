@@ -12,15 +12,12 @@ pipeline-parallel bound and then flatten — more buffer than the
 pipeline's depth buys nothing.
 """
 
-from repro.analysis import (
-    format_table,
-    predicted_pipelined_makespan,
-)
+from repro.analysis import predicted_pipelined_makespan
 from repro.core import Kernel
 from repro.transput import FlowPolicy, build_readonly_pipeline
 from repro.transput.filterbase import identity_transducer
 
-from conftest import show
+from conftest import publish
 
 ITEMS = [f"record-{i}" for i in range(30)]
 N_FILTERS = 3
@@ -70,11 +67,12 @@ def test_bench_buffering(benchmark):
     # far above the pipeline-parallel bound.
     assert lazy > 2.5 * ideal
 
-    show(format_table(
+    publish(
+        "t4_buffering",
         ["lookahead", "virtual makespan", "speedup vs lazy",
          "x pipeline-parallel bound"],
         rows,
         title=f"T4: anticipatory buffering (n={N_FILTERS} filters @ "
               f"{WORK_COST} cost/record, m={len(ITEMS)}; bound="
               f"{ideal:.0f})",
-    ))
+    )

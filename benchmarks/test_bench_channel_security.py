@@ -14,14 +14,13 @@ cost: none; wiring cost: one capability handshake per connection).
 
 import random
 
-from repro.analysis import format_table
 from repro.core import Kernel
 from repro.core.capability import ChannelCapability
 from repro.core.errors import ChannelSecurityError, EdenError
 from repro.filters import identity, with_reports
 from repro.transput import CollectorSink, ListSource, ReadOnlyFilter
 
-from conftest import show
+from conftest import publish
 
 ITEMS = [f"secret-{i}" for i in range(10)]
 
@@ -121,7 +120,8 @@ def test_bench_channel_security(benchmark):
     except ChannelSecurityError:
         pass
 
-    show(format_table(
+    publish(
+        "t6_channel_security",
         ["identifier scheme", "attack reads that succeeded",
          "legit per-stream invocations"],
         [
@@ -130,4 +130,4 @@ def test_bench_channel_security(benchmark):
         ],
         title="T6: the dishonest-programmer attack against channel "
               "identifier schemes (64 forged secrets tried)",
-    ))
+    )

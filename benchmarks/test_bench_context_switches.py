@@ -9,9 +9,9 @@ length and reports context switches per datum for both disciplines,
 checking the read-only advantage and that it grows with n.
 """
 
-from repro.analysis import format_table, measure_pipeline
+from repro.analysis import measure_pipeline
 
-from conftest import show
+from conftest import publish
 
 LENGTHS = (1, 2, 4, 8, 16)
 ITEMS = 40
@@ -54,9 +54,10 @@ def test_bench_context_switches(benchmark):
     # And for long pipelines the saving approaches the message ratio.
     assert savings[-1] < 0.75
 
-    show(format_table(
+    publish(
+        "t8_context_switches",
         ["n filters", "read-only switches", "/datum",
          "conventional switches", "/datum", "ratio"],
         rows,
         title=f"T8: process switches to move m={ITEMS} records",
-    ))
+    )

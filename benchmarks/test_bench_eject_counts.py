@@ -5,9 +5,9 @@ implemented by n+2 Ejects ... [conventionally] n+1 passive buffer
 Ejects [are needed]" — i.e. 2n+3 Ejects in total.
 """
 
-from repro.analysis import format_table, measure_pipeline, shape_for
+from repro.analysis import measure_pipeline, shape_for
 
-from conftest import show
+from conftest import publish
 
 LENGTHS = (1, 2, 4, 8, 16)
 ITEMS = 20
@@ -41,9 +41,10 @@ def test_bench_eject_counts(benchmark):
             row["conventional"].buffers, f"n+1={n_filters + 1}",
         ])
 
-    show(format_table(
+    publish(
+        "t2_eject_counts",
         ["n filters", "read-only ejects", "paper", "conventional ejects",
          "paper", "buffers", "paper"],
         table_rows,
         title="T2: Ejects needed per pipeline (read-only vs conventional)",
-    ))
+    )

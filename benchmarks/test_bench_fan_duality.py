@@ -14,7 +14,6 @@ copy ("F cannot distinguish this from one Eject making the same total
 number of Read invocations").
 """
 
-from repro.analysis import format_table
 from repro.core import Kernel
 from repro.filters import fanout, identity
 from repro.transput import (
@@ -29,7 +28,7 @@ from repro.transput import (
     WriteOnlyFilter,
 )
 
-from conftest import show
+from conftest import publish
 
 ITEMS = [f"r{i}" for i in range(12)]
 
@@ -169,7 +168,8 @@ def test_bench_fan_duality(benchmark):
     # Conventional: both, for 2x the invocations (T1 covers the cost).
     assert results["conventional_fan_both"] == [ITEMS, ITEMS]
 
-    show(format_table(
+    publish(
+        "t5_fan_duality",
         ["discipline", "fan-in", "fan-out", "notes"],
         [
             ["read-only", "yes (n input UIDs)", "no (readers split)",
@@ -180,4 +180,4 @@ def test_bench_fan_duality(benchmark):
         ],
         title="T5: the paper's fan-in/fan-out feasibility matrix, "
               "verified by construction",
-    ))
+    )

@@ -5,11 +5,10 @@ data source and data sink at the ends.  This is the configuration the
 read-only discipline is measured against.
 """
 
-from repro.analysis import format_table
 from repro.figures import build_figure1, default_input
 from repro.transput import Primitive
 
-from conftest import show
+from conftest import publish
 
 ITEMS = default_input(lines=60)
 
@@ -41,7 +40,8 @@ def test_bench_figure1(benchmark):
             Primitive.PASSIVE_INPUT, Primitive.PASSIVE_OUTPUT
         }
 
-    show(format_table(
+    publish(
+        "fig1_unix_pipeline",
         ["metric", "value"],
         [
             ["ejects (boxes + circles)", run.eject_count()],
@@ -51,4 +51,4 @@ def test_bench_figure1(benchmark):
             ["virtual makespan", run.virtual_makespan],
         ],
         title="Figure 1 (Unix pipeline, conventional discipline)",
-    ))
+    )

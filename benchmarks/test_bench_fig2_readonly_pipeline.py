@@ -5,11 +5,11 @@ sink actively inputs and the source passively outputs."  No pipes at
 all, and (vs Figure 1) fewer invocations for the same work.
 """
 
-from repro.analysis import format_ratio, format_table
+from repro.analysis import format_ratio
 from repro.figures import build_figure1, build_figure2, default_input
 from repro.transput import Primitive
 
-from conftest import show
+from conftest import publish
 
 ITEMS = default_input(lines=60)
 
@@ -39,7 +39,8 @@ def test_bench_figure2(benchmark):
     # because Figure 1's terminal hops have no pipes).
     assert run.invocations_used() < baseline.invocations_used()
 
-    show(format_table(
+    publish(
+        "fig2_readonly_pipeline",
         ["metric", "figure 2 (read-only)", "figure 1 (Unix)"],
         [
             ["ejects", run.eject_count(), baseline.eject_count()],
@@ -51,4 +52,4 @@ def test_bench_figure2(benchmark):
                           baseline.invocations_used()), "1.00x"],
         ],
         title="Figure 2 vs Figure 1 (same filters, same input)",
-    ))
+    )

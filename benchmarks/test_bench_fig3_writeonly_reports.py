@@ -7,11 +7,10 @@ perhaps a window on a display."  Multiple outputs present no
 difficulty in this discipline — that is the point of the figure.
 """
 
-from repro.analysis import format_table
 from repro.figures import build_figure3, default_input
 from repro.transput import Primitive
 
-from conftest import show
+from conftest import publish
 
 ITEMS = default_input(lines=60)
 
@@ -39,7 +38,8 @@ def test_bench_figure3(benchmark):
         if eject.name in ("source", "F1", "F2", "F3"):
             assert Primitive.ACTIVE_INPUT not in eject.interface_primitives()
 
-    show(format_table(
+    publish(
+        "fig3_writeonly_reports",
         ["metric", "value"],
         [
             ["ejects", run.eject_count()],
@@ -49,4 +49,4 @@ def test_bench_figure3(benchmark):
             ["virtual makespan", run.virtual_makespan],
         ],
         title="Figure 3 (write-only with report streams)",
-    ))
+    )

@@ -12,10 +12,9 @@ is that more work is now necessary to connect a sink to its source" —
 wiring work, not per-datum invocations).
 """
 
-from repro.analysis import format_table
 from repro.figures import build_figure3, build_figure4, default_input
 
-from conftest import show
+from conftest import publish
 
 ITEMS = default_input(lines=60)
 
@@ -46,7 +45,8 @@ def test_bench_figure4(benchmark):
     assert secure_output == output
     assert secure.invocations_used() == run.invocations_used()
 
-    show(format_table(
+    publish(
+        "fig4_readonly_channels",
         ["metric", "fig 4 (read-only)", "fig 3 (write-only)",
          "fig 4 (capabilities)"],
         [
@@ -60,4 +60,4 @@ def test_bench_figure4(benchmark):
              fig3.virtual_makespan, secure.virtual_makespan],
         ],
         title="Figure 4 vs Figure 3 (report streams, dual disciplines)",
-    ))
+    )

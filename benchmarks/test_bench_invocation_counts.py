@@ -12,13 +12,9 @@ traffic), and that the read-only / conventional ratio is exactly ½.
 
 import pytest
 
-from repro.analysis import (
-    format_table,
-    measure_pipeline,
-    predicted_invocations,
-)
+from repro.analysis import measure_pipeline, predicted_invocations
 
-from conftest import show
+from conftest import publish
 
 LENGTHS = (1, 2, 4, 8, 16)
 ITEMS = 50
@@ -61,13 +57,14 @@ def test_bench_invocation_counts(benchmark):
             f"{readonly.invocations / conventional.invocations:.2f}",
         ])
 
-    show(format_table(
+    publish(
+        "t1_invocation_counts",
         ["n filters", "read-only inv", "paper", "conventional inv",
          "paper", "ratio"],
         table_rows,
         title=f"T1: invocations to move m={ITEMS} records (paper: n+1 vs "
               "2n+2 per datum; measured exactly, END included)",
-    ))
+    )
 
 
 @pytest.mark.parametrize("batch", [1, 2, 8])

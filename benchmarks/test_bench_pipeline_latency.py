@@ -18,12 +18,11 @@ anticipatory buffering both disciplines pipeline their round trips, so
 scheme puts half the load on the wire (see EXPERIMENTS.md).
 """
 
-from repro.analysis import format_table
 from repro.core import Kernel, TransportCosts
 from repro.transput import FlowPolicy, build_pipeline
 from repro.transput.filterbase import identity_transducer
 
-from conftest import show
+from conftest import publish
 
 ITEMS = [f"record-{i}" for i in range(40)]
 N_FILTERS = 4
@@ -104,11 +103,12 @@ def test_bench_pipeline_latency(benchmark):
                     == conv_stats["remote_messages"]
                 )
 
-    show(format_table(
+    publish(
+        "t3_pipeline_latency",
         ["remote/local", "placement", "read-only net-load",
          "conventional net-load", "load ratio", "RO makespan",
          "conv makespan"],
         rows,
         title="T3: communication overhead and latency (lookahead=8, "
               "n=4 filters, m=40 records)",
-    ))
+    )

@@ -15,7 +15,6 @@ paper's architectural point — which primitives appear at the filter's
 interface.  Only the channel design keeps the filter purely read-only.
 """
 
-from repro.analysis import format_table
 from repro.core import Kernel
 from repro.devices import PassiveReportWindow, ReportWindow
 from repro.filters import identity, with_reports
@@ -31,7 +30,7 @@ from repro.transput import (
     WriteOnlyFilter,
 )
 
-from conftest import show
+from conftest import publish
 
 ITEMS = [f"r{i}" for i in range(30)]
 EVERY = 5
@@ -154,9 +153,10 @@ def test_bench_secondary_output_ablation(benchmark):
     assert ejects["secondary writes"] == ejects["channels"] + 1
     assert inv["secondary writes"] > inv["channels"]
 
-    show(format_table(
+    publish(
+        "t5b_secondary_output_ablation",
         ["design (§5)", "ejects", "invocations", "filter's primitives"],
         rows,
         title="T5b: multiple-output designs for a reporting filter "
               f"(m={len(ITEMS)}, report every {EVERY})",
-    ))
+    )

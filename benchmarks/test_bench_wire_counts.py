@@ -9,10 +9,10 @@ conventional emulation — every pipe its own process — exactly
 traffic instead of simulated invocations.
 """
 
-from repro.analysis import format_table, predicted_invocations
+from repro.analysis import predicted_invocations
 from repro.net.launch import IDENTITY, execute, plan_pipeline
 
-from conftest import show
+from conftest import publish
 
 LENGTHS = (1, 2, 3)
 ITEMS = 10
@@ -53,10 +53,11 @@ def test_bench_wire_counts(benchmark, tmp_path):
             f"{readonly / conventional:.2f}",
         ])
 
-    show(format_table(
+    publish(
+        "t10_wire_counts",
         ["n filters", "RO procs", "RO requests", "CV procs",
          "CV requests", "ratio"],
         table_rows,
         title=f"T10: on-wire request frames to move m={ITEMS} records over "
               "TCP (paper: n+1 vs 2n+2 per datum; measured exactly)",
-    ))
+    )

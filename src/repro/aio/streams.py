@@ -214,6 +214,13 @@ class AioPipe:
     """A bounded passive buffer: the conventional discipline's pipe.
 
     Both ends are passive; backpressure comes from the bounded queue.
+
+    Each deposited record remembers the span context it was written
+    under (``None`` when tracing is off); a read publishes the first
+    record's context as :attr:`last_read_origin`.  This is the
+    *datum-follows-trace* rule: the reader's span joins the trace of
+    the datum it received, which is what stitches the conventional
+    discipline's WRITE→buffer→READ hops into one causal chain.
     """
 
     def __init__(self, capacity: int = 16) -> None:
@@ -221,33 +228,44 @@ class AioPipe:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=capacity)
         self._ended = False
+        #: Span context under which the last-read record was deposited.
+        self.last_read_origin: Any = None
 
     async def write(self, transfer: Transfer) -> None:
         if self._ended:
             raise StreamProtocolError("write after END")
+        origin = _deposit_origin()
         if transfer.at_end:
-            await self._queue.put(END_TRANSFER)
+            await self._queue.put((END_TRANSFER, origin))
             self._ended = True
             return
         for item in transfer.items:
-            await self._queue.put(item)
+            await self._queue.put((item, origin))
 
     async def read(self, batch: int = 1) -> Transfer:
-        first = await self._queue.get()
+        first, origin = await self._queue.get()
+        self.last_read_origin = origin
         if first is END_TRANSFER:
             return END_TRANSFER
         taken = [first]
         while len(taken) < max(1, batch):
             try:
-                extra = self._queue.get_nowait()
+                extra, extra_origin = self._queue.get_nowait()
             except asyncio.QueueEmpty:
                 break
             if extra is END_TRANSFER:
                 # Put END back for the next read.
-                self._queue.put_nowait(END_TRANSFER)
+                self._queue.put_nowait((END_TRANSFER, extra_origin))
                 break
             taken.append(extra)
         return Transfer.of(taken)
+
+
+def _deposit_origin() -> Any:
+    """The span context active at deposit time (None when untraced)."""
+    from repro.obs.context import current_span
+
+    return current_span()
 
 
 async def collect(readable: Readable, batch: int = 1) -> list[Any]:

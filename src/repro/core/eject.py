@@ -178,10 +178,14 @@ class Eject:
 
     def reply(
         self, invocation: Invocation, result: Any = None,
-        error: BaseException | None = None,
+        error: BaseException | None = None, span: Any = None,
     ) -> SendReply:
-        """Build a :class:`SendReply` syscall."""
-        return SendReply(invocation, result=result, error=error)
+        """Build a :class:`SendReply` syscall.
+
+        ``span`` is the causal origin of the returned data, if it was
+        deposited under a different trace (datum-follows-trace).
+        """
+        return SendReply(invocation, result=result, error=error, span=span)
 
     def checkpoint(self) -> DoCheckpoint:
         """Build a :class:`DoCheckpoint` syscall."""

@@ -39,6 +39,7 @@ from repro.core.registry import TypeRegistry
 from repro.core.scheduler import Disposition, Scheduler
 from repro.core.stats import KernelStats
 from repro.core.syscalls import (
+    AdoptSpan,
     AwaitReply,
     Call,
     Deactivate,
@@ -64,6 +65,12 @@ class _TicketState:
     waiter: Process | None = None
     reply: Reply | None = None
     replied: bool = False
+    # Span bookkeeping (populated only when span tracing is on).
+    span: Any = None
+    op: str = ""
+    invoker: str = ""
+    started: float = 0.0
+    rerooted: bool = False
 
 
 @dataclass
@@ -83,6 +90,10 @@ class Kernel:
         seed: seeds the UID nonce stream (full determinism).
         costs: transport cost model; default is uniform unit cost.
         trace: enable structured event tracing.
+        spans: also assign causal span contexts to every invocation and
+            record a ``span`` trace event per request/reply pair
+            (implies ``trace``).  Off by default so golden traces and
+            zero-instrumentation benchmarks are unchanged.
     """
 
     def __init__(
@@ -90,10 +101,15 @@ class Kernel:
         seed: int = 0,
         costs: TransportCosts | None = None,
         trace: bool = False,
+        spans: bool = False,
     ) -> None:
+        from repro.obs.spans import SpanIds
+
         self.clock = VirtualClock()
         self.stats = KernelStats()
-        self.tracer = Tracer(enabled=trace)
+        self.tracer = Tracer(enabled=trace or spans)
+        self.spans_enabled = spans
+        self._span_ids = SpanIds(prefix="k")
         self.scheduler = Scheduler(
             clock=self.clock,
             stats=self.stats,
@@ -288,6 +304,9 @@ class Kernel:
             return self._do_checkpoint(process)
         if isinstance(syscall, Deactivate):
             return self._do_deactivate(process)
+        if isinstance(syscall, AdoptSpan):
+            process.current_span = syscall.span
+            return ("resume", None)
         raise KernelError(f"unhandled syscall {type(syscall).__name__}")
 
     # -- invocation sending --------------------------------------------
@@ -302,6 +321,13 @@ class Kernel:
         if syscall.target not in self._records:
             return ("throw", UnknownUIDError(syscall.target))
         sender = process.owner if isinstance(process.owner, Eject) else None
+        span = None
+        if self.spans_enabled:
+            # The causal parent is whatever invocation this process is
+            # serving right now; a process serving nothing (a driver, an
+            # active pump) roots a fresh trace — the demand chain of the
+            # read-only discipline starts at the sink exactly this way.
+            span = self._span_ids.derive(process.current_span)
         invocation = Invocation(
             target=syscall.target,
             operation=syscall.operation,
@@ -310,6 +336,7 @@ class Kernel:
             channel=syscall.channel,
             ticket=next(self._ticket_counter),
             sender=sender.uid if sender is not None else None,
+            span=span,
         )
         origin_node = sender.node if sender is not None else None
         target_node_name = self._records[syscall.target].node_name
@@ -319,6 +346,11 @@ class Kernel:
             and origin_node.name != target_node_name
         )
         state = _TicketState(target=syscall.target, origin_node=origin_node)
+        if span is not None:
+            state.span = span
+            state.op = invocation.operation
+            state.invoker = sender.name if sender else process.name
+            state.started = self.clock.now
         self._tickets[invocation.ticket] = state
         self.tracer.emit(
             self.clock.now, "invoke",
@@ -372,6 +404,7 @@ class Kernel:
             channel=invocation.channel,
             ticket=invocation.ticket,
             sender=None,
+            span=invocation.span,
         )
         self.tracer.emit(
             self.clock.now, "deliver", record.eject.name,
@@ -382,6 +415,9 @@ class Kernel:
     def _hand_to_eject(self, eject: Eject, invocation: Invocation) -> None:
         waiting = eject._enqueue(invocation)
         if waiting is not None:
+            # The serving process inherits the invocation's span as its
+            # causal context until it picks up different work.
+            waiting.current_span = invocation.span
             self.scheduler.unblock(waiting, invocation)
 
     def _reactivate(self, uid: UID) -> None:
@@ -426,7 +462,7 @@ class Kernel:
                           error=syscall.error)
         else:
             reply = Reply(ticket=ticket, status=ReplyStatus.OK,
-                          result=syscall.result)
+                          result=syscall.result, span=syscall.span)
         state.replied = True
         replier = process.owner if isinstance(process.owner, Eject) else None
         if replier is not None:
@@ -467,7 +503,33 @@ class Kernel:
         state = self._tickets.pop(reply.ticket, None)
         if state is None:
             return  # awaiter's Eject crashed meanwhile; drop silently
+        if state.span is not None:
+            override = reply.span
+            if override is not None and override.trace != state.span.trace:
+                # Datum-follows-trace: the replier handed back data
+                # deposited under another trace.  Keep our span id but
+                # join the datum's trace as a child of the depositing
+                # hop — exactly the wire runtime's re-rooting rule.
+                state.span = type(state.span)(
+                    trace=override.trace,
+                    span=state.span.span,
+                    parent=override.span,
+                )
+                state.rerooted = True
+            # The request span closes when its reply reaches the
+            # invoker — the same instant the wire runtime uses.
+            self.tracer.emit(
+                self.clock.now, "span", state.invoker,
+                trace=state.span.trace, span=state.span.span,
+                parent=state.span.parent, op=state.op,
+                start=state.started, end=self.clock.now,
+                status=reply.status.value,
+            )
         if state.waiter is not None:
+            if state.rerooted:
+                # The resuming process adopts the datum's trace, so a
+                # following downstream Write chains onto this Read.
+                state.waiter.current_span = state.span
             self._resume_with_reply(state.waiter, reply)
         else:
             state.reply = reply
@@ -490,6 +552,8 @@ class Kernel:
         if state.reply is not None:
             self._tickets.pop(ticket, None)
             reply = state.reply
+            if state.rerooted:
+                process.current_span = state.span
             if reply.status is ReplyStatus.ERROR:
                 assert reply.error is not None
                 return ("throw", reply.error)
@@ -513,6 +577,7 @@ class Kernel:
             )
         queued = owner._register_receiver(process, syscall)
         if queued is not None:
+            process.current_span = queued.span
             return ("resume", queued)
         ops = sorted(syscall.operations) if syscall.operations else "any"
         return ("block", f"receive({ops})")

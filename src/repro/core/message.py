@@ -53,6 +53,11 @@ class Invocation:
         sender: UID of the invoking Eject — kernel-private (see module
             docstring); ``None`` for invocations injected by the
             simulation driver.
+        span: causal span context (:class:`repro.obs.spans.SpanContext`)
+            assigned by the kernel when span tracing is on; ``None``
+            otherwise.  Like ``sender`` it is kernel bookkeeping, but it
+            is *not* secret — observability tooling reads it from
+            traces.
     """
 
     target: UID
@@ -62,6 +67,7 @@ class Invocation:
     channel: ChannelId | None = None
     ticket: int = field(default_factory=_next_ticket)
     sender: UID | None = None
+    span: Any = None
 
     def __str__(self) -> str:
         chan = f" on {self.channel}" if self.channel is not None else ""
@@ -74,12 +80,19 @@ class Invocation:
 
 @dataclass(frozen=True)
 class Reply:
-    """The reply to one invocation."""
+    """The reply to one invocation.
+
+    ``span`` optionally carries the causal origin of the returned data
+    (datum-follows-trace): when a passive buffer answers a Read with a
+    record deposited under another trace, the kernel re-roots the
+    reader's request span onto this context at delivery.
+    """
 
     ticket: int
     status: ReplyStatus
     result: Any = None
     error: BaseException | None = None
+    span: Any = None
 
     @property
     def ok(self) -> bool:

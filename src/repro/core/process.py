@@ -50,6 +50,10 @@ class Process:
         self._pending_exception: BaseException | None = None
         self.failure: BaseException | None = None
         self.result: Any = None
+        # Span context of the invocation this process is currently
+        # serving (set by the kernel when span tracing is on): the
+        # causal parent for any invocation this process sends.
+        self.current_span: Any = None
 
     @property
     def alive(self) -> bool:

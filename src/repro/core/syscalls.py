@@ -100,11 +100,32 @@ class Receive(Syscall):
 
 @dataclass(frozen=True)
 class SendReply(Syscall):
-    """Reply to a previously received invocation; resumes with ``None``."""
+    """Reply to a previously received invocation; resumes with ``None``.
+
+    ``span`` optionally carries the causal origin of the data being
+    returned (a :class:`repro.obs.spans.SpanContext`): a passive buffer
+    answering a Read with a record that was deposited under some other
+    trace attaches that trace here, and the kernel re-roots the
+    reader's request span onto it (*datum-follows-trace*).
+    """
 
     invocation: Invocation
     result: Any = None
     error: BaseException | None = None
+    span: Any = None
+
+
+@dataclass(frozen=True)
+class AdoptSpan(Syscall):
+    """Make ``span`` the process's causal context; resumes with ``None``.
+
+    Used where a datum crosses an in-Eject queue between two processes
+    (e.g. a write-only filter's receiver hands records to its worker):
+    the worker adopts the deposit's span so its downstream Write joins
+    the datum's trace instead of rooting a fresh one.
+    """
+
+    span: Any = None
 
 
 @dataclass(frozen=True)

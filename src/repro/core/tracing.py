@@ -9,6 +9,7 @@ benchmarks that only need counters leave it off.
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import dataclass, field
 from typing import IO, Any, Callable, Iterable, Union
 
@@ -42,7 +43,9 @@ class Tracer:
     def __init__(self, enabled: bool = False, capacity: int | None = None) -> None:
         self.enabled = enabled
         self._capacity = capacity
-        self._events: list[TraceEvent] = []
+        # A deque evicts the oldest event in O(1) when at capacity;
+        # the old list-backed store paid O(n) per emit once full.
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self._listeners: list[Callable[[TraceEvent], None]] = []
 
     def emit(
@@ -53,8 +56,6 @@ class Tracer:
             return
         event = TraceEvent(time=time, kind=kind, subject=subject, detail=detail)
         self._events.append(event)
-        if self._capacity is not None and len(self._events) > self._capacity:
-            del self._events[0]
         for listener in self._listeners:
             listener(event)
 

@@ -27,7 +27,18 @@ Frame types map one-to-one onto the protocol's messages:
 - ``ACK`` — passive input's credit grant (reply; see
   :mod:`repro.net.protocol` for the credit rules);
 - ``END`` — end of stream; a reply when answering a ``READ``, a
-  request when pushed by a writer.
+  request when pushed by a writer;
+- ``CTRL`` / ``CTRL_REPLY`` — out-of-band introspection (STATS /
+  SPANS / HEALTH; see :mod:`repro.obs.control`).  Control frames are
+  exchanged on a separate listener with the raw :func:`read_frame` /
+  :func:`write_frame` helpers, never through a counted
+  :class:`~repro.net.protocol.Connection`, so observing a fleet does
+  not perturb the frame counts the paper's cost model predicts.
+
+Any frame body may additionally carry a ``trace`` field (see
+:data:`TRACE_KEY`): the causal span context ``[trace, span, parent]``
+of the request or reply.  Peers that do not do span tracing simply
+ignore the key, so traced and untraced stages interoperate.
 """
 
 from __future__ import annotations
@@ -59,6 +70,9 @@ __all__ = [
     "read_frame",
     "read_frame_sized",
     "write_frame",
+    "TRACE_KEY",
+    "attach_trace",
+    "frame_trace",
 ]
 
 #: Protocol identifier + version, first on every frame.
@@ -87,6 +101,8 @@ class FrameType(enum.IntEnum):
     ACK = 6
     END = 7
     ERROR = 8
+    CTRL = 9
+    CTRL_REPLY = 10
 
 
 @dataclass(frozen=True)
@@ -175,6 +191,38 @@ def decode_payload(value: Any) -> Any:
             }
         return {key: decode_payload(item) for key, item in value.items()}
     return value
+
+
+# ---------------------------------------------------------------------------
+# Span-context header field.
+# ---------------------------------------------------------------------------
+
+#: Reserved body key carrying a span context as ``[trace, span, parent]``.
+TRACE_KEY = "trace"
+
+
+def attach_trace(body: dict[str, Any], context: Any) -> dict[str, Any]:
+    """Return ``body`` with ``context`` attached under :data:`TRACE_KEY`.
+
+    ``context`` is a :class:`repro.obs.spans.SpanContext` (or ``None``,
+    in which case ``body`` is returned unchanged).  Mutates and returns
+    ``body`` for call-site convenience.
+    """
+    if context is not None:
+        body[TRACE_KEY] = context.as_wire()
+    return body
+
+
+def frame_trace(frame: Frame) -> Any:
+    """The span context a frame carries, or ``None``.
+
+    Tolerant by design: an absent, malformed or foreign ``trace`` field
+    yields ``None`` rather than an error, so an old peer (or another
+    implementation) can never break a traced stage.
+    """
+    from repro.obs.spans import SpanContext
+
+    return SpanContext.from_wire(frame.body.get(TRACE_KEY))
 
 
 # ---------------------------------------------------------------------------

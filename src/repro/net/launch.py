@@ -45,6 +45,8 @@ class StagePlan:
     role: str
     argv: tuple[str, ...]
     stats_file: str
+    trace_file: str | None = None
+    control_port: int | None = None
 
 
 @dataclass
@@ -54,6 +56,7 @@ class PipelineResult:
     output: list[str]
     stats: list[dict[str, Any]]
     stderr: list[str] = field(default_factory=list)
+    trace_files: list[str] = field(default_factory=list)
 
     @property
     def totals(self) -> NetStats:
@@ -85,12 +88,20 @@ def plan_pipeline(
     ticket_seed: int = 0,
     host: str = "127.0.0.1",
     connect_deadline: float = 15.0,
+    trace: bool = False,
+    control: bool = False,
 ) -> list[StagePlan]:
     """Assign ports/serials and build every stage's command line.
 
     Give the source either explicit ``source_items`` (JSON-encodable)
     or ``source_count`` (+width/seed) for the deterministic
     ``random_lines`` workload the simulator examples use.
+
+    ``trace=True`` gives every stage a ``--trace-file`` (span tracing
+    on, logs mergeable with :func:`repro.obs.merge.merge_span_logs`);
+    ``control=True`` gives every stage a ``--control-port`` for live
+    introspection.  Either also writes a ``fleet.json`` manifest into
+    ``workdir`` so ``eden-top`` / ``eden-trace`` can find the fleet.
     """
     flow = flow or FlowPolicy()
     workpath = pathlib.Path(workdir)
@@ -126,13 +137,22 @@ def plan_pipeline(
     def add(role: str, extra: list[str]) -> StagePlan:
         nonlocal serial
         stats_file = str(workpath / f"stage-{serial}-{role}.stats.json")
+        argv = ["--role", role, "--serial", str(serial),
+                "--stats-file", stats_file]
+        trace_file = None
+        if trace:
+            trace_file = str(workpath / f"stage-{serial}-{role}.trace.jsonl")
+            argv += ["--trace-file", trace_file]
+        control_port = None
+        if control:
+            control_port = pick_free_port(host)
+            argv += ["--control-port", str(control_port)]
         plan = StagePlan(
             role=role,
-            argv=tuple(
-                ["--role", role, "--serial", str(serial),
-                 "--stats-file", stats_file] + base + extra
-            ),
+            argv=tuple(argv + base + extra),
             stats_file=stats_file,
+            trace_file=trace_file,
+            control_port=control_port,
         )
         plans.append(plan)
         serial += 1
@@ -178,6 +198,23 @@ def plan_pipeline(
             add("pipe", ["--listen", str(port)])
     else:
         raise ValueError(f"unknown discipline {discipline!r}")
+    if trace or control:
+        manifest = {
+            "discipline": discipline,
+            "host": host,
+            "stages": [
+                {
+                    "role": plan.role,
+                    "serial": index,
+                    "stats_file": plan.stats_file,
+                    "trace_file": plan.trace_file,
+                    "control_port": plan.control_port,
+                }
+                for index, plan in enumerate(plans)
+            ],
+        }
+        with open(workpath / "fleet.json", "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
     return plans
 
 
@@ -238,4 +275,7 @@ def execute(
         output=output,
         stats=stats,
         stderr=[err for _rc, _out, err in results],
+        trace_files=[
+            plan.trace_file for plan in plans if plan.trace_file is not None
+        ],
     )

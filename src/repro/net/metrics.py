@@ -71,15 +71,34 @@ class NetStats(KernelStats):
     # -- persistence (stages dump these for the orchestrator) ---------------
 
     def to_json(self) -> str:
-        """Serialize the counters as a JSON object."""
-        return json.dumps(self.snapshot().as_dict(), sort_keys=True)
+        """Serialize every instrument as a JSON object.
+
+        The structured ``{"counters", "gauges", "histograms"}`` payload
+        of :func:`repro.obs.registry.snapshot_payload`; gauges and
+        histograms survive the round trip instead of being dropped.
+        """
+        from repro.obs.registry import snapshot_payload
+
+        return json.dumps(snapshot_payload(self), sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "NetStats":
-        """Rebuild a stats object from :meth:`to_json` output."""
+        """Rebuild a stats object from :meth:`to_json` output.
+
+        Accepts the structured payload and the legacy flat
+        ``{name: count}`` form.  Values are validated, never silently
+        truncated: a counter of ``3.5`` raises ``ValueError`` (the old
+        ``int(value)`` would have quietly recorded 3).
+        """
+        from repro.obs.registry import stats_from_payload
+
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"stats payload must be an object, got {type(payload).__name__}"
+            )
         stats = cls()
-        for name, value in json.loads(text).items():
-            stats.bump(name, int(value))
+        stats_from_payload(payload, into=stats)
         return stats
 
     def dump(self, sink: Union[str, IO[str]]) -> None:
@@ -92,10 +111,21 @@ class NetStats(KernelStats):
 
 
 def merge_stats(*parts: KernelStats) -> NetStats:
-    """Sum counters across stages (e.g. one whole pipeline's traffic)."""
+    """Sum counters (and fold histograms) across stages.
+
+    Gauges are point-in-time and per-stage, so they do not merge;
+    histograms merge exactly (shared bucket edges are part of the
+    data), giving fleet-wide latency distributions.
+    """
+    from repro.core.stats import Histogram
+
     total = NetStats()
     for part in parts:
         snapshot: StatsSnapshot = part.snapshot()
         for name, value in snapshot.as_dict().items():
             total.bump(name, value)
+        for name, histogram in part.histograms().items():
+            # Copy via the dict round trip so the merged total never
+            # aliases (and later mutates) a stage's own histogram.
+            total.install_histogram(name, Histogram.from_dict(histogram.as_dict()))
     return total

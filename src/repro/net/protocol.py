@@ -46,9 +46,13 @@ from repro.net.framing import (
     Frame,
     FrameError,
     FrameType,
+    attach_trace,
+    frame_trace,
     read_frame_sized,
     write_frame,
 )
+from repro.obs.context import bind_span, current_span
+from repro.obs.spans import SPAN_KIND, SpanContext, SpanIds
 from repro.net.handshake import (
     ROLE_PULL,
     ROLE_PUSH,
@@ -163,6 +167,15 @@ class RemoteReadable:
     ``DATA``/``END`` reply — one invocation per transfer, exactly the
     simulator's accounting.  END is cached, so re-reading a finished
     stream is local and free (the protocol's idempotent-END rule).
+
+    With a ``spans`` allocator, every READ round trip becomes one
+    span: a child of the span currently being served in this task (a
+    demand chain) or a fresh trace root (a driving pump).  A reply
+    carrying a ``trace`` override — a buffer handing back a datum
+    deposited under another trace — *re-roots* the span into the
+    datum's trace (see :meth:`repro.aio.streams.AioPipe.read`); the
+    adopted context is published as :attr:`last_span` so a pump can
+    carry it to its downstream write.
     """
 
     def __init__(
@@ -176,6 +189,7 @@ class RemoteReadable:
         tracer: Tracer | None = None,
         label: str = "pull-client",
         connect_deadline: float = 15.0,
+        spans: SpanIds | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -186,6 +200,9 @@ class RemoteReadable:
         self.tracer = tracer
         self.label = label
         self.connect_deadline = connect_deadline
+        self.spans = spans
+        #: Span context of the most recent read (post-adoption).
+        self.last_span: SpanContext | None = None
         self._connection: Connection | None = None
         self._ended = False
 
@@ -209,26 +226,61 @@ class RemoteReadable:
         if self._ended:
             return END_TRANSFER
         connection = await self._ensure_connected()
-        await connection.send(
-            Frame(FrameType.READ, {"batch": max(1, batch),
-                                   "channel": self.channel})
-        )
+        ctx: SpanContext | None = None
+        started = 0.0
+        body: dict[str, Any] = {"batch": max(1, batch), "channel": self.channel}
+        if self.spans is not None:
+            ctx = self.spans.derive(current_span())
+            attach_trace(body, ctx)
+            started = connection.clock()
+        await connection.send(Frame(FrameType.READ, body))
         reply = await connection.recv()
         if reply is None:
             raise WireError("peer closed mid-stream (no END received)")
-        if reply.type is FrameType.DATA:
+        if reply.type in (FrameType.DATA, FrameType.END):
+            if ctx is not None:
+                ctx = self._finish_span(ctx, reply, started, connection)
+            if reply.type is FrameType.END:
+                self._ended = True
+                await connection.close()
+                self._connection = None
+                return END_TRANSFER
             return Transfer.of(reply.body["items"])
-        if reply.type is FrameType.END:
-            self._ended = True
-            await connection.close()
-            self._connection = None
-            return END_TRANSFER
+        if ctx is not None:
+            self._finish_span(ctx, reply, started, connection, status="error")
         if reply.type is FrameType.ERROR:
             raise WireError(
                 f"remote error: {reply.body.get('code')} "
                 f"({reply.body.get('message')})"
             )
         raise WireError(f"unexpected reply {reply.type.name} to READ")
+
+    def _finish_span(
+        self,
+        ctx: SpanContext,
+        reply: Frame,
+        started: float,
+        connection: Connection,
+        status: str = "ok",
+    ) -> SpanContext:
+        """Close one READ span (adopting a reply's trace override)."""
+        override = frame_trace(reply)
+        if override is not None and override.trace != ctx.trace:
+            # Datum-follows-trace: keep our span id, join the datum's
+            # trace as a child of the hop that deposited it.
+            ctx = SpanContext(
+                trace=override.trace, span=ctx.span, parent=override.span
+            )
+        ended = connection.clock()
+        self.last_span = ctx
+        self.stats.observe("read_rtt_ms", (ended - started) * 1000.0)
+        if self.tracer is not None:
+            self.tracer.emit(
+                ended, SPAN_KIND, self.label,
+                trace=ctx.trace, span=ctx.span, parent=ctx.parent,
+                op="READ", start=started, end=ended, status=status,
+            )
+        return ctx
 
     async def aclose(self) -> None:
         """Drop the connection (idempotent)."""
@@ -245,6 +297,12 @@ class RemoteWritable:
     ``ACK`` refunds what the server consumed.  When credit runs out the
     writer parks on the socket until an ACK arrives — backpressure by
     delayed reply, never by refusal, the paper's flow-control rule.
+
+    With a ``spans`` allocator, every WRITE frame is one span (child of
+    the span being served in this task) bracketing credit wait through
+    frame send; the END span additionally covers the final-ACK wait.
+    Credit occupancy is published as the ``credit_window`` /
+    ``credit_available`` gauges.
     """
 
     def __init__(
@@ -258,6 +316,7 @@ class RemoteWritable:
         tracer: Tracer | None = None,
         label: str = "push-client",
         connect_deadline: float = 15.0,
+        spans: SpanIds | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -268,6 +327,7 @@ class RemoteWritable:
         self.tracer = tracer
         self.label = label
         self.connect_deadline = connect_deadline
+        self.spans = spans
         self._connection: Connection | None = None
         self._credit = 0
         self._ended = False
@@ -286,6 +346,8 @@ class RemoteWritable:
                 channel=self.channel, book=self.book,
             )
             self._credit = int(welcome.body.get("credit", 1))
+            self.stats.set_gauge("credit_window", float(self._credit))
+            self.stats.set_gauge("credit_available", float(self._credit))
             self._connection = connection
         return self._connection
 
@@ -301,6 +363,7 @@ class RemoteWritable:
         if frame.type is not FrameType.ACK:
             raise WireError(f"unexpected frame {frame.type.name} on push link")
         self._credit += int(frame.body.get("credit", 0))
+        self.stats.set_gauge("credit_available", float(self._credit))
         return bool(frame.body.get("final", False))
 
     async def write(self, transfer: Transfer) -> None:
@@ -308,24 +371,59 @@ class RemoteWritable:
             raise StreamProtocolError("write after END")
         connection = await self._ensure_connected()
         if transfer.at_end:
-            await connection.send(Frame(FrameType.END, {"channel": self.channel}))
+            ctx: SpanContext | None = None
+            started = 0.0
+            body: dict[str, Any] = {"channel": self.channel}
+            if self.spans is not None:
+                ctx = self.spans.derive(current_span())
+                attach_trace(body, ctx)
+                started = connection.clock()
+            await connection.send(Frame(FrameType.END, body))
             # Wait for the final ack: when it arrives, every record has
             # been consumed downstream and the stage may exit safely.
             while not await self._absorb(await connection.recv()):
                 pass
+            if ctx is not None:
+                self._finish_span(ctx, "END", started, connection)
             self._ended = True
             await connection.close()
             self._connection = None
             return
         pending = list(transfer.items)
         while pending:
+            ctx = None
+            started = 0.0
+            if self.spans is not None:
+                ctx = self.spans.derive(current_span())
+                started = connection.clock()
             while self._credit <= 0:
                 await self._absorb(await connection.recv())
             chunk, pending = pending[: self._credit], pending[self._credit:]
-            await connection.send(
-                Frame(FrameType.WRITE, {"items": chunk, "channel": self.channel})
-            )
+            body = {"items": chunk, "channel": self.channel}
+            if ctx is not None:
+                attach_trace(body, ctx)
+            await connection.send(Frame(FrameType.WRITE, body))
             self._credit -= len(chunk)
+            self.stats.set_gauge("credit_available", float(self._credit))
+            if ctx is not None:
+                self._finish_span(ctx, "WRITE", started, connection)
+
+    def _finish_span(
+        self,
+        ctx: SpanContext,
+        op: str,
+        started: float,
+        connection: Connection,
+    ) -> None:
+        """Close one WRITE/END span."""
+        ended = connection.clock()
+        self.stats.observe("ack_wait_ms", (ended - started) * 1000.0)
+        if self.tracer is not None:
+            self.tracer.emit(
+                ended, SPAN_KIND, self.label,
+                trace=ctx.trace, span=ctx.span, parent=ctx.parent,
+                op=op, start=started, end=ended, status="ok",
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -390,14 +488,25 @@ async def serve_pull(
         if key in ended:
             await connection.send(Frame(FrameType.END, {"channel": channel}))
             continue
-        transfer = await readable.read(batch)
+        # Serve under the READ's span so any request this read triggers
+        # (an upstream pull, a downstream push) parents itself on it.
+        ctx = frame_trace(frame)
+        started = connection.clock()
+        with bind_span(ctx):
+            transfer = await readable.read(batch)
+        connection.stats.observe(
+            "serve_read_ms", (connection.clock() - started) * 1000.0
+        )
+        # A buffer hands back records deposited under another trace;
+        # forward that origin so the reader joins the datum's trace.
+        origin = getattr(readable, "last_read_origin", None)
         if transfer.at_end:
             ended.add(key)
-            await connection.send(Frame(FrameType.END, {"channel": channel}))
+            body = {"channel": channel}
+            await connection.send(Frame(FrameType.END, attach_trace(body, origin)))
         else:
-            await connection.send(Frame(FrameType.DATA, {
-                "items": list(transfer.items), "channel": channel,
-            }))
+            body = {"items": list(transfer.items), "channel": channel}
+            await connection.send(Frame(FrameType.DATA, attach_trace(body, origin)))
 
 
 def _channel_key(channel: Any) -> Any:
@@ -426,12 +535,20 @@ async def serve_push(
             return
         if frame.type is FrameType.WRITE:
             items = frame.body.get("items", [])
-            await writable.write(Transfer.of(items))
+            started = connection.clock()
+            # Serve under the WRITE's span: a downstream push this
+            # write triggers (or a buffer deposit) joins its trace.
+            with bind_span(frame_trace(frame)):
+                await writable.write(Transfer.of(items))
+            connection.stats.observe(
+                "serve_write_ms", (connection.clock() - started) * 1000.0
+            )
             await connection.send(Frame(FrameType.ACK, {
                 "credit": len(items), "channel": frame.body.get("channel"),
             }))
         elif frame.type is FrameType.END:
-            await writable.write(END_TRANSFER)
+            with bind_span(frame_trace(frame)):
+                await writable.write(END_TRANSFER)
             try:
                 await connection.send(Frame(FrameType.ACK, {
                     "credit": 0, "final": True,

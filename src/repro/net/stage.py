@@ -37,7 +37,12 @@ ticket UIDs against the deterministic :class:`~repro.net.handshake.
 TicketBook` named by ``--ticket-space/--ticket-seed`` and rejects
 forgeries (C4).  On exit a stage can dump its on-wire counters
 (``--stats-file``) and a frame-level trace in the simulator's JSONL
-trace format (``--trace-file``).
+trace format (``--trace-file``); ``--trace-file`` also turns on span
+tracing, attaching causal span contexts to every READ/WRITE frame so
+the fleet's logs merge into end-to-end traces (:mod:`repro.obs`).
+While running, a stage can additionally serve live STATS / SPANS /
+HEALTH requests on ``--control-port`` (:mod:`repro.obs.control`);
+control traffic never touches the data path's frame counts.
 """
 
 from __future__ import annotations
@@ -72,6 +77,10 @@ from repro.net.protocol import (
     serve_pull,
     serve_push,
 )
+from repro.obs.context import set_span
+from repro.obs.control import start_control_server
+from repro.obs.registry import snapshot_payload
+from repro.obs.spans import CLOCK_KIND, SPAN_KIND, SpanIds
 from repro.transput.filterbase import Transducer, identity_transducer
 from repro.transput.flow import FlowPolicy
 
@@ -134,6 +143,7 @@ class StageConfig:
     trace_file: str | None = None
     output_file: str | None = None
     connect_deadline: float = 15.0
+    control_port: int | None = None
 
     def __post_init__(self) -> None:
         if self.role not in ROLES:
@@ -157,6 +167,12 @@ class _Stage:
         self.uid = self.book.ticket(config.serial)
         self.label = f"{config.role}/{config.discipline}#{config.serial}"
         self.collected: list[Any] | None = None
+        # Span IDs are prefixed by the ticket serial: unique across the
+        # fleet with zero coordination (and zero randomness).
+        self.spans = (
+            SpanIds(prefix=f"s{config.serial}-") if self.tracer.enabled else None
+        )
+        self.started_mono = time.monotonic()
 
     # -- building blocks ----------------------------------------------------
 
@@ -173,6 +189,7 @@ class _Stage:
             channel=self.config.channel, stats=self.stats,
             tracer=self.tracer, label=self.label,
             connect_deadline=self.config.connect_deadline,
+            spans=self.spans,
         )
 
     def _remote_writable(self) -> RemoteWritable:
@@ -182,6 +199,7 @@ class _Stage:
             channel=self.config.channel, stats=self.stats,
             tracer=self.tracer, label=self.label,
             connect_deadline=self.config.connect_deadline,
+            spans=self.spans,
         )
 
     def _transducer(self) -> Transducer:
@@ -230,9 +248,17 @@ class _Stage:
 
     @staticmethod
     async def _pump(readable: Any, writable: Any, batch: int) -> None:
-        """The active middle: read until END, pushing everything read."""
+        """The active middle: read until END, pushing everything read.
+
+        A traced upstream publishes each read's span as ``last_span``
+        (post buffer-trace adoption); the pump makes it the current
+        span so the following write joins the datum's trace.
+        """
         while True:
             transfer = await readable.read(batch)
+            last = getattr(readable, "last_span", None)
+            if last is not None:
+                set_span(last)
             await writable.write(transfer)
             if transfer.at_end:
                 return
@@ -283,6 +309,35 @@ class _Stage:
             await self._serve(readables=pipe, writable=pipe,
                               clients=config.expected_clients or 2)
 
+    # -- introspection ------------------------------------------------------
+
+    def control_handlers(self) -> dict[str, Any]:
+        """The stage's live-introspection command table (CTRL frames)."""
+        from repro.core.tracing import event_to_dict
+
+        def stats_cmd(_body: dict[str, Any]) -> Any:
+            return snapshot_payload(self.stats)
+
+        def spans_cmd(body: dict[str, Any]) -> Any:
+            limit = max(1, int(body.get("limit", 200)))
+            return [
+                event_to_dict(event)
+                for event in self.tracer.of_kind(SPAN_KIND)[-limit:]
+            ]
+
+        def health_cmd(_body: dict[str, Any]) -> Any:
+            return {
+                "label": self.label,
+                "role": self.config.role,
+                "discipline": self.config.discipline,
+                "serial": self.config.serial,
+                "uptime_s": time.monotonic() - self.started_mono,
+                "tracing": self.tracer.enabled,
+                "flow": self.config.flow.describe(),
+            }
+
+        return {"stats": stats_cmd, "spans": spans_cmd, "health": health_cmd}
+
     # -- reporting ----------------------------------------------------------
 
     def emit_output(self) -> None:
@@ -302,7 +357,9 @@ class _Stage:
                 "role": self.config.role,
                 "discipline": self.config.discipline,
                 "serial": self.config.serial,
-                "counters": self.stats.snapshot().as_dict(),
+                # counters/gauges/histograms, same shape the control
+                # protocol's `stats` command serves.
+                **snapshot_payload(self.stats),
             }
             with open(self.config.stats_file, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, sort_keys=True)
@@ -313,8 +370,25 @@ class _Stage:
 async def run_stage(config: StageConfig) -> _Stage:
     """Run one stage to stream completion; returns the finished stage."""
     stage = _Stage(config)
+    if stage.tracer.enabled:
+        # Anchor this process's monotonic clock to the wall clock so
+        # the trace merger can align logs from different processes.
+        mono = time.monotonic()
+        stage.tracer.emit(
+            mono, CLOCK_KIND, stage.label, mono=mono, wall=time.time()
+        )
+    control = None
+    if config.control_port is not None:
+        control = await start_control_server(
+            stage.control_handlers(), host=config.host, port=config.control_port
+        )
     started = time.monotonic()
-    await stage.run()
+    try:
+        await stage.run()
+    finally:
+        if control is not None:
+            control.close()
+            await control.wait_closed()
     stage.stats.bump("runtime_ms", int((time.monotonic() - started) * 1000))
     return stage
 
@@ -365,6 +439,8 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-file", default=None)
     parser.add_argument("--output-file", default=None)
     parser.add_argument("--connect-deadline", type=float, default=15.0)
+    parser.add_argument("--control-port", type=int, default=None, metavar="PORT",
+                        help="serve STATS/SPANS/HEALTH control requests here")
     return parser
 
 
@@ -407,6 +483,7 @@ def config_from_args(argv: Sequence[str] | None = None) -> StageConfig:
         trace_file=options.trace_file,
         output_file=options.output_file,
         connect_deadline=options.connect_deadline,
+        control_port=options.control_port,
     )
 
 

@@ -1,0 +1,51 @@
+"""Task-local span propagation for the asyncio wire runtime.
+
+The simulated kernel threads causality through explicit process state
+(:attr:`~repro.core.process.Process.current_span`); the asyncio runtime
+uses a :class:`contextvars.ContextVar` instead, which asyncio
+propagates across ``await`` boundaries within one task.  A server
+handler binds the span carried by an incoming frame around its call
+into the local stage; any active-side request the stage performs while
+serving (an upstream READ, a downstream WRITE) then parents itself on
+the bound span — exactly the demand/data chain the paper describes,
+with no plumbing through the generic ``Readable``/``Writable``
+interfaces.
+
+Anticipatory prefetch tasks (``lookahead > 0``) run in their *own*
+tasks and therefore see no bound span: an anticipatory fetch is not
+caused by any particular demand, so it correctly starts its own trace.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Iterator
+
+from repro.obs.spans import SpanContext
+
+__all__ = ["current_span", "bind_span", "set_span"]
+
+_CURRENT: ContextVar[SpanContext | None] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def current_span() -> SpanContext | None:
+    """The span currently being served in this task, if any."""
+    return _CURRENT.get()
+
+
+def set_span(ctx: SpanContext | None) -> None:
+    """Unconditionally set the current span (pump-style adoption)."""
+    _CURRENT.set(ctx)
+
+
+@contextlib.contextmanager
+def bind_span(ctx: SpanContext | None) -> Iterator[None]:
+    """Bind ``ctx`` as the current span for the enclosed block."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield
+    finally:
+        _CURRENT.reset(token)

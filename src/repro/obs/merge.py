@@ -1,0 +1,431 @@
+"""Trace merging: per-stage span logs into fleet-wide span trees.
+
+Every traced runtime writes the same JSONL event stream
+(:meth:`repro.core.tracing.Tracer.to_jsonl`): ``span`` events carrying
+``{trace, span, parent, op, start, end}``, plus one ``clock`` event
+anchoring the process's monotonic clock to the wall clock.  The
+simulator emits them on a shared virtual clock; each ``eden-stage``
+process emits them on its *own* ``time.monotonic()`` epoch, so stage
+logs cannot be compared until their clocks are aligned.
+
+Alignment runs in two passes:
+
+1. **Anchor pass** — each log's ``clock`` event gives a wall-minus-mono
+   offset; adding it moves every timestamp onto the (shared) wall
+   clock.  This removes the arbitrary monotonic epochs but keeps any
+   residual wall-clock disagreement between processes.
+2. **Causal pass** — NTP-style interval intersection over cross-stage
+   parent/child span pairs: a child span must nest inside its parent
+   (the request is on the wire before the server works, the reply
+   lands after), so each pair bounds the relative offset between the
+   two stages to ``[parent.start - child.start, parent.end -
+   child.end]``.  Intersecting every pair's bounds and picking the
+   value closest to zero (anchors already did the coarse work) gives a
+   per-stage correction; corrections propagate breadth-first from the
+   stage holding the most trace roots.
+
+The aligned spans are grouped by trace ID into :class:`TraceTree`
+objects, which expose per-datum end-to-end latency and the critical
+path, and :func:`verify_invocation_chains` checks the paper's C1/C2
+claims *structurally* — not just "n+1 invocations happened" but "these
+n+1 spans form one causal chain per datum".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import IO, Any, Iterable, Union
+
+from repro.core.tracing import TraceEvent, load_jsonl
+from repro.obs.spans import CLOCK_KIND, SPAN_KIND
+
+__all__ = [
+    "SpanRecord",
+    "StageLog",
+    "TraceTree",
+    "ChainReport",
+    "load_span_log",
+    "merge_span_logs",
+    "verify_invocation_chains",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed request span, clock-corrected where merged.
+
+    Attributes:
+        trace: the end-to-end trace this hop belongs to.
+        span: this hop's identifier.
+        parent: the causing hop's span identifier (``None`` at a root).
+        op: the operation name (``Read``, ``WRITE``, ...).
+        start: request issue time.
+        end: reply arrival time.
+        stage: label of the process that issued the request.
+        status: reply status (``"ok"`` unless the hop errored).
+    """
+
+    trace: str
+    span: str
+    parent: str | None
+    op: str
+    start: float
+    end: float
+    stage: str
+    status: str = "ok"
+
+    @property
+    def duration(self) -> float:
+        """The hop's request-to-reply latency."""
+        return self.end - self.start
+
+    def shifted(self, offset: float) -> "SpanRecord":
+        """This record with both timestamps moved by ``offset``."""
+        if offset == 0.0:
+            return self
+        return SpanRecord(
+            trace=self.trace, span=self.span, parent=self.parent,
+            op=self.op, start=self.start + offset, end=self.end + offset,
+            stage=self.stage, status=self.status,
+        )
+
+
+@dataclass
+class StageLog:
+    """One process's span log, before cross-stage alignment.
+
+    Attributes:
+        stage: the process's label (``pull/readonly#3``, ``sim``, ...).
+        spans: its completed spans, on its own clock.
+        anchor: ``(mono, wall)`` clock anchor, if the log carries one.
+    """
+
+    stage: str
+    spans: list[SpanRecord] = field(default_factory=list)
+    anchor: tuple[float, float] | None = None
+
+    @property
+    def anchor_offset(self) -> float:
+        """Wall-minus-monotonic offset from the anchor (0 without one)."""
+        if self.anchor is None:
+            return 0.0
+        mono, wall = self.anchor
+        return wall - mono
+
+
+def load_span_log(
+    source: Union[str, IO[str], Iterable[TraceEvent]],
+    stage: str | None = None,
+) -> StageLog:
+    """Extract one :class:`StageLog` from a JSONL trace (or events).
+
+    Non-span events (frame sends, simulator lifecycle) are ignored, so
+    any ``--trace-file`` output loads directly.  The stage label
+    defaults to the clock anchor's subject, then to the first span's.
+    """
+    if isinstance(source, str) or hasattr(source, "read"):
+        events = load_jsonl(source)  # type: ignore[arg-type]
+    else:
+        events = list(source)
+    spans: list[SpanRecord] = []
+    anchor: tuple[float, float] | None = None
+    label = stage
+    for event in events:
+        if event.kind == CLOCK_KIND:
+            detail = event.detail
+            anchor = (float(detail["mono"]), float(detail["wall"]))
+            if label is None:
+                label = event.subject
+        elif event.kind == SPAN_KIND:
+            detail = event.detail
+            if label is None:
+                label = event.subject
+            spans.append(
+                SpanRecord(
+                    trace=str(detail["trace"]),
+                    span=str(detail["span"]),
+                    parent=(
+                        None if detail.get("parent") is None
+                        else str(detail["parent"])
+                    ),
+                    op=str(detail.get("op", "")),
+                    start=float(detail["start"]),
+                    end=float(detail["end"]),
+                    stage=event.subject,
+                    status=str(detail.get("status", "ok")),
+                )
+            )
+    return StageLog(stage=label or "unknown", spans=spans, anchor=anchor)
+
+
+@dataclass
+class TraceTree:
+    """All spans of one trace, clock-aligned and causally linked."""
+
+    trace: str
+    spans: list[SpanRecord]
+
+    @property
+    def span_count(self) -> int:
+        return len(self.spans)
+
+    @property
+    def roots(self) -> list[SpanRecord]:
+        """Spans with no parent present in this trace."""
+        present = {record.span for record in self.spans}
+        return [
+            record for record in self.spans
+            if record.parent is None or record.parent not in present
+        ]
+
+    def children_of(self, span_id: str) -> list[SpanRecord]:
+        return [record for record in self.spans if record.parent == span_id]
+
+    @property
+    def start(self) -> float:
+        return min(record.start for record in self.spans)
+
+    @property
+    def end(self) -> float:
+        return max(record.end for record in self.spans)
+
+    @property
+    def end_to_end(self) -> float:
+        """The datum's full journey: first request to last reply."""
+        return self.end - self.start
+
+    def critical_path(self) -> list[SpanRecord]:
+        """Root-to-leaf chain that determined the end-to-end latency.
+
+        From the latest-ending root, repeatedly follow the child that
+        finished last; for the linear chains the stream disciplines
+        produce this is simply the whole chain in causal order.
+        """
+        roots = self.roots
+        if not roots:
+            return []
+        path = [max(roots, key=lambda record: record.end)]
+        while True:
+            children = self.children_of(path[-1].span)
+            if not children:
+                return path
+            path.append(max(children, key=lambda record: record.end))
+
+    def is_chain(self) -> bool:
+        """True when the tree is one linear causal chain."""
+        if len(self.roots) != 1:
+            return False
+        return all(
+            len(self.children_of(record.span)) <= 1 for record in self.spans
+        )
+
+
+def merge_span_logs(logs: Iterable[StageLog]) -> list[TraceTree]:
+    """Align per-stage logs onto one timeline and group into traces.
+
+    Returns trees sorted by their (corrected) start time.  Logs from a
+    single clock domain (the simulator, or one process) pass through
+    with zero correction.
+    """
+    stage_logs = list(logs)
+    offsets = _estimate_offsets(stage_logs)
+    by_trace: dict[str, list[SpanRecord]] = {}
+    for log in stage_logs:
+        offset = log.anchor_offset + offsets.get(log.stage, 0.0)
+        for record in log.spans:
+            by_trace.setdefault(record.trace, []).append(record.shifted(offset))
+    trees = [
+        TraceTree(trace=trace, spans=sorted(spans, key=lambda r: (r.start, r.span)))
+        for trace, spans in by_trace.items()
+    ]
+    trees.sort(key=lambda tree: tree.start)
+    return trees
+
+
+def _estimate_offsets(logs: list[StageLog]) -> dict[str, float]:
+    """Causal-pass corrections per stage (applied after anchors)."""
+    # Anchor-corrected span table, and each span's home stage.
+    home: dict[str, str] = {}
+    corrected: dict[str, SpanRecord] = {}
+    for log in logs:
+        for record in log.spans:
+            shifted = record.shifted(log.anchor_offset)
+            corrected[record.span] = shifted
+            home[record.span] = log.stage
+    # Interval bounds on (offset[child stage] - offset[parent stage]).
+    # How tightly a pair constrains the offset depends on the edge:
+    #
+    # - READ parent: the parent span brackets request to reply, and the
+    #   child ran while serving it, so the child nests fully inside —
+    #   bounds on both sides.
+    # - WRITE parent, READ child: the child is a buffer read that
+    #   *adopted* the depositing write's trace; the read may have been
+    #   issued (blocked) before the write, but its reply carries the
+    #   datum, so only child.end >= parent.start holds.
+    # - WRITE parent, other child: the child ran while the server
+    #   handled the write frame, so child.start >= parent.start; the
+    #   parent span closed at send time, so there is no upper bound.
+    bounds: dict[tuple[str, str], list[float]] = {}
+    for record in corrected.values():
+        if record.parent is None or record.parent not in corrected:
+            continue
+        parent = corrected[record.parent]
+        pair = (home[parent.span], home[record.span])
+        if pair[0] == pair[1]:
+            continue
+        entry = bounds.setdefault(pair, [float("-inf"), float("inf")])
+        parent_is_read = parent.op.upper().startswith("READ")
+        child_is_read = record.op.upper().startswith("READ")
+        if parent_is_read:
+            entry[0] = max(entry[0], parent.start - record.start)
+            entry[1] = min(entry[1], parent.end - record.end)
+        elif child_is_read:
+            entry[0] = max(entry[0], parent.start - record.end)
+        else:
+            entry[0] = max(entry[0], parent.start - record.start)
+    if not bounds:
+        return {}
+    # Undirected adjacency; traverse from the stage holding the most
+    # roots (the demand or data origin), which gets offset zero.
+    adjacency: dict[str, set[str]] = {}
+    for parent_stage, child_stage in bounds:
+        adjacency.setdefault(parent_stage, set()).add(child_stage)
+        adjacency.setdefault(child_stage, set()).add(parent_stage)
+    root_counts: dict[str, int] = {}
+    for record in corrected.values():
+        if record.parent is None:
+            root_counts[home[record.span]] = (
+                root_counts.get(home[record.span], 0) + 1
+            )
+    start = max(
+        adjacency,
+        key=lambda stage: (root_counts.get(stage, 0), -_stable_rank(stage)),
+    )
+    offsets: dict[str, float] = {start: 0.0}
+    queue = deque([start])
+    while queue:
+        stage = queue.popleft()
+        for neighbour in sorted(adjacency[stage]):
+            if neighbour in offsets:
+                continue
+            offsets[neighbour] = offsets[stage] + _pair_offset(
+                bounds, stage, neighbour
+            )
+            queue.append(neighbour)
+    return offsets
+
+
+def _stable_rank(stage: str) -> int:
+    """Deterministic tie-break (alphabetical) for the start stage."""
+    return sum(byte for byte in stage.encode("utf-8"))
+
+
+def _pair_offset(
+    bounds: dict[tuple[str, str], list[float]], fixed: str, moving: str
+) -> float:
+    """The correction for ``moving`` relative to already-fixed ``fixed``.
+
+    Folds both edge directions into one interval for
+    ``offset[moving] - offset[fixed]`` and returns the in-interval
+    value closest to zero (anchors already did the coarse alignment);
+    an inconsistent (empty) interval falls back to its midpoint.
+    """
+    lo, hi = float("-inf"), float("inf")
+    direct = bounds.get((fixed, moving))
+    if direct is not None:
+        lo, hi = max(lo, direct[0]), min(hi, direct[1])
+    reverse = bounds.get((moving, fixed))
+    if reverse is not None:
+        lo, hi = max(lo, -reverse[1]), min(hi, -reverse[0])
+    if lo > hi:
+        return (lo + hi) / 2.0
+    if lo <= 0.0 <= hi:
+        return 0.0
+    return lo if lo > 0.0 else hi
+
+
+@dataclass
+class ChainReport:
+    """Result of checking merged traces against the paper's claims."""
+
+    discipline: str
+    n_filters: int
+    expected_traces: int
+    expected_spans_per_trace: int
+    traces: int
+    total_spans: int
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "MISMATCH"
+        return (
+            f"{verdict}: {self.traces} traces "
+            f"(expected {self.expected_traces}), "
+            f"{self.total_spans} spans "
+            f"(expected {self.expected_traces * self.expected_spans_per_trace} "
+            f"= {self.expected_traces} x {self.expected_spans_per_trace} "
+            f"for {self.discipline}, n={self.n_filters})"
+        )
+
+
+def verify_invocation_chains(
+    trees: Iterable[TraceTree],
+    discipline: str,
+    n_filters: int,
+    items: int,
+    batch: int = 1,
+) -> ChainReport:
+    """Check claims C1/C2 span-by-span on merged traces.
+
+    For an identity pipeline moving ``items`` records in batches of
+    ``batch``, every discipline must produce exactly ``ceil(items /
+    batch) + 1`` traces (one per transfer, plus the END chain), each a
+    single linear chain of exactly ``shape.invocations_per_datum``
+    request spans — n+1 for the corresponding read-only/write-only
+    pairs, 2n+2 for the conventional buffered design.  The total then
+    equals :func:`repro.analysis.cost_model.predicted_invocations` by
+    construction, but the per-trace check is strictly stronger: it
+    verifies the *causal shape*, not just the count.
+    """
+    # Imported lazily: repro.analysis pulls in the measurement harness,
+    # which this low-level tool should not load unless verifying.
+    from repro.analysis.cost_model import predicted_invocations, shape_for
+
+    shape = shape_for(discipline, n_filters)
+    hops = int(shape.invocations_per_datum)
+    transfers = -(-items // batch) + 1  # ceil + END
+    tree_list = list(trees)
+    report = ChainReport(
+        discipline=discipline,
+        n_filters=n_filters,
+        expected_traces=transfers,
+        expected_spans_per_trace=hops,
+        traces=len(tree_list),
+        total_spans=sum(tree.span_count for tree in tree_list),
+    )
+    if report.traces != transfers:
+        report.problems.append(
+            f"expected {transfers} traces, merged {report.traces}"
+        )
+    for tree in tree_list:
+        if tree.span_count != hops:
+            report.problems.append(
+                f"trace {tree.trace}: {tree.span_count} spans, expected {hops}"
+            )
+        if not tree.is_chain():
+            roots = [record.span for record in tree.roots]
+            report.problems.append(
+                f"trace {tree.trace}: not a single causal chain "
+                f"(roots: {', '.join(roots) or 'none'})"
+            )
+    predicted = predicted_invocations(discipline, n_filters, items, batch)
+    if report.total_spans != predicted:
+        report.problems.append(
+            f"{report.total_spans} total spans != predicted {predicted}"
+        )
+    return report

@@ -1,0 +1,151 @@
+"""Metric exposition: Prometheus text format and JSON snapshots.
+
+One :class:`~repro.core.stats.KernelStats` (or its on-wire subclass
+:class:`~repro.net.metrics.NetStats`) holds three instrument kinds —
+counters, gauges, histograms.  This module renders them:
+
+- :func:`to_prometheus` — the text exposition format scrapers expect:
+  counters as ``<ns>_<name>_total``, gauges as ``<ns>_<name>``,
+  histograms as ``_bucket{le=...}`` / ``_sum`` / ``_count`` series
+  with cumulative bucket counts;
+- :func:`snapshot_payload` / :func:`stats_from_payload` — the JSON
+  round-trip used by stage dump files, the control protocol and the
+  trace-merge tooling.
+
+Metric names are sanitised (every non ``[a-zA-Z0-9_]`` run becomes one
+``_``); gauge names carrying an instance qualifier in brackets
+(``buffer_occupancy[buf-1]``) are split into a ``name`` plus an
+``instance`` label so a fleet's buffers land in one metric family.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.core.stats import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Histogram,
+    KernelStats,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "to_prometheus",
+    "snapshot_payload",
+    "stats_from_payload",
+]
+
+_SANITISE = re.compile(r"[^a-zA-Z0-9_]+")
+_INSTANCE = re.compile(r"^(?P<name>[^\[\]]+)\[(?P<instance>.*)\]$")
+
+
+def _metric_name(namespace: str, raw: str) -> tuple[str, str]:
+    """``(series name, label part)`` for one raw metric name."""
+    labels = ""
+    match = _INSTANCE.match(raw)
+    if match:
+        raw = match.group("name")
+        labels = '{instance="%s"}' % match.group("instance")
+    clean = _SANITISE.sub("_", raw).strip("_")
+    return f"{namespace}_{clean}", labels
+
+
+def _merge_label(labels: str, extra: str) -> str:
+    """Fold one more ``k="v"`` pair into a rendered label part."""
+    if not labels:
+        return "{%s}" % extra
+    return labels[:-1] + "," + extra + "}"
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(stats: KernelStats, namespace: str = "eden") -> str:
+    """Render every instrument in ``stats`` as Prometheus text."""
+    lines: list[str] = []
+    for raw, value in sorted(stats.snapshot().as_dict().items()):
+        name, labels = _metric_name(namespace, raw)
+        lines.append(f"# TYPE {name}_total counter")
+        lines.append(f"{name}_total{labels} {value}")
+    for raw, value in sorted(stats.gauges().items()):
+        name, labels = _metric_name(namespace, raw)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{labels} {_format_value(value)}")
+    for raw, histogram in sorted(stats.histograms().items()):
+        name, labels = _metric_name(namespace, raw)
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for edge, count in zip(histogram.bounds, histogram.counts):
+            cumulative += count
+            le = _merge_label(labels, f'le="{_format_value(edge)}"')
+            lines.append(f"{name}_bucket{le} {cumulative}")
+        inf = _merge_label(labels, 'le="+Inf"')
+        lines.append(f"{name}_bucket{inf} {histogram.total}")
+        lines.append(f"{name}_sum{labels} {_format_value(histogram.sum)}")
+        lines.append(f"{name}_count{labels} {histogram.total}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot_payload(stats: KernelStats) -> dict[str, Any]:
+    """The JSON-safe snapshot of every instrument in ``stats``."""
+    return {
+        "counters": stats.snapshot().as_dict(),
+        "gauges": stats.gauges(),
+        "histograms": {
+            name: histogram.as_dict()
+            for name, histogram in stats.histograms().items()
+        },
+    }
+
+
+def stats_from_payload(
+    payload: dict[str, Any], into: KernelStats | None = None
+) -> KernelStats:
+    """Rebuild a stats object from :func:`snapshot_payload` output.
+
+    Validates as it goes: counters must be non-negative integral
+    numbers (a float like ``3.0`` is accepted, ``3.5`` is an error —
+    never silently truncated), gauges must be numbers, histograms must
+    carry matching bounds/counts.  Also accepts the legacy flat
+    ``{name: count}`` form older stage dumps used.
+    """
+    stats = into if into is not None else KernelStats()
+    if "counters" not in payload and all(
+        not isinstance(value, dict) for value in payload.values()
+    ):
+        counters = payload  # legacy flat dump
+        gauges: dict[str, Any] = {}
+        histograms: dict[str, Any] = {}
+    else:
+        counters = payload.get("counters", {})
+        gauges = payload.get("gauges", {})
+        histograms = payload.get("histograms", {})
+    for name, value in counters.items():
+        stats.bump(str(name), _validated_count(name, value))
+    for name, value in gauges.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"gauge {name!r} must be a number, got {value!r}")
+        stats.set_gauge(str(name), float(value))
+    for name, data in histograms.items():
+        if not isinstance(data, dict):
+            raise ValueError(f"histogram {name!r} payload must be an object")
+        stats.install_histogram(str(name), Histogram.from_dict(data))
+    return stats
+
+
+def _validated_count(name: Any, value: Any) -> int:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"counter {name!r} must be a number, got {value!r}")
+    if isinstance(value, float) and not value.is_integer():
+        raise ValueError(
+            f"counter {name!r} must be integral, got {value!r} "
+            "(refusing to truncate)"
+        )
+    count = int(value)
+    if count < 0:
+        raise ValueError(f"counter {name!r} must be >= 0, got {count}")
+    return count

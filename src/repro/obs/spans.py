@@ -1,0 +1,117 @@
+"""The span model: causal identity for every request hop.
+
+A *trace* follows one datum (or one demand chain) end-to-end through a
+pipeline; a *span* is one request hop inside it — one READ or WRITE
+invocation bracketed from issue to reply.  Contexts are tiny immutable
+triples ``(trace, span, parent)`` so they travel cheaply: as a field on
+simulator :class:`~repro.core.message.Invocation` records and as an
+optional ``trace`` entry in wire frame bodies.
+
+ID allocation is deterministic — a per-allocator counter behind a
+stable prefix — so the same seed produces the same trace IDs in the
+simulator and in each stage process (stages prefix with their ticket
+serial, which keeps IDs unique across a fleet without any randomness).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["SpanContext", "SpanIds", "SPAN_KIND", "CLOCK_KIND"]
+
+#: Trace-event kind under which completed spans are recorded.
+SPAN_KIND = "span"
+#: Trace-event kind for a stage's monotonic/wall clock anchor.
+CLOCK_KIND = "clock"
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """One hop's causal coordinates.
+
+    Attributes:
+        trace: the datum's end-to-end trace identifier.
+        span: this hop's own identifier.
+        parent: the causing hop's span identifier (``None`` at a root).
+    """
+
+    trace: str
+    span: str
+    parent: str | None = None
+
+    def as_wire(self) -> list[Any]:
+        """The JSON-safe wire form: ``[trace, span, parent]``."""
+        return [self.trace, self.span, self.parent]
+
+    @staticmethod
+    def from_wire(value: Any) -> "SpanContext | None":
+        """Decode :meth:`as_wire` output; ``None`` on anything else.
+
+        Tolerant by design: a peer without span support simply omits
+        (or garbles) the field and tracing degrades to per-stage
+        traces instead of failing the stream.
+        """
+        if (
+            isinstance(value, (list, tuple))
+            and len(value) == 3
+            and isinstance(value[0], str)
+            and isinstance(value[1], str)
+            and (value[2] is None or isinstance(value[2], str))
+        ):
+            return SpanContext(trace=value[0], span=value[1], parent=value[2])
+        return None
+
+    def __str__(self) -> str:
+        parent = self.parent or "-"
+        return f"{self.trace}/{self.span}<-{parent}"
+
+
+class SpanIds:
+    """Deterministic trace/span ID allocator.
+
+    Args:
+        prefix: stable disambiguator (``"k"`` for the simulated kernel,
+            ``"s<serial>"`` for a wire stage) keeping IDs unique across
+            processes without coordination.
+    """
+
+    def __init__(self, prefix: str = "k") -> None:
+        self.prefix = prefix
+        self._traces = itertools.count(1)
+        self._spans = itertools.count(1)
+
+    def new_trace(self) -> str:
+        return f"{self.prefix}t{next(self._traces)}"
+
+    def new_span(self) -> str:
+        return f"{self.prefix}s{next(self._spans)}"
+
+    def root(self) -> SpanContext:
+        """Start a fresh trace with this hop as its root span."""
+        return SpanContext(trace=self.new_trace(), span=self.new_span())
+
+    def child(self, parent: SpanContext) -> SpanContext:
+        """A new hop caused by ``parent``, in the same trace."""
+        return SpanContext(
+            trace=parent.trace, span=self.new_span(), parent=parent.span
+        )
+
+    def derive(self, parent: "SpanContext | None") -> SpanContext:
+        """Child of ``parent`` when given, else a fresh root."""
+        return self.child(parent) if parent is not None else self.root()
+
+    def adopt(self, origin: SpanContext) -> SpanContext:
+        """A new hop joining ``origin``'s trace as its child.
+
+        This is the *datum-follows-trace* rule: when a passive buffer
+        answers a Read with a record that was deposited under some
+        other trace, the reading hop joins the datum's trace rather
+        than starting (or staying in) its own — which is what stitches
+        the conventional discipline's WRITE→READ→WRITE chain into one
+        2n+2-span trace per datum.
+        """
+        return SpanContext(
+            trace=origin.trace, span=self.new_span(), parent=origin.span
+        )

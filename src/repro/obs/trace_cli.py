@@ -1,0 +1,153 @@
+"""``eden-trace``: merge per-stage span logs into end-to-end traces.
+
+Feed it the ``--trace-file`` JSONL logs of a fleet (or a ``fleet.json``
+manifest) and it aligns their clocks, stitches the causal chains, and
+reports per-datum latency.  Modes:
+
+- default — a summary: trace count, spans per trace, end-to-end
+  latency spread, and the slowest datum's critical path;
+- ``--list`` — one line per trace (id, spans, end-to-end);
+- ``--trace ID`` — the full causal chain of one trace, hop by hop;
+- ``--verify DISCIPLINE N_FILTERS ITEMS`` — check the paper's C1/C2
+  claims structurally (exactly ``ceil(items/batch) + 1`` traces of
+  exactly n+1 — or 2n+2 — chained request spans) and exit non-zero on
+  any mismatch, so scripts and CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.obs.merge import (
+    TraceTree,
+    load_span_log,
+    merge_span_logs,
+    verify_invocation_chains,
+)
+
+__all__ = ["main"]
+
+
+def _quantile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _summary(trees: list[TraceTree]) -> str:
+    if not trees:
+        return "no spans found"
+    latencies = [tree.end_to_end * 1000.0 for tree in trees]
+    sizes = sorted({tree.span_count for tree in trees})
+    lines = [
+        f"traces: {len(trees)}",
+        f"spans per trace: {'/'.join(str(size) for size in sizes)}",
+        (
+            f"end-to-end latency ms: min {min(latencies):.3f}  "
+            f"p50 {_quantile(latencies, 0.5):.3f}  "
+            f"p95 {_quantile(latencies, 0.95):.3f}  "
+            f"max {max(latencies):.3f}"
+        ),
+    ]
+    slowest = max(trees, key=lambda tree: tree.end_to_end)
+    lines.append(f"slowest trace {slowest.trace} critical path:")
+    lines.extend(_chain_lines(slowest))
+    return "\n".join(lines)
+
+
+def _chain_lines(tree: TraceTree) -> list[str]:
+    origin = tree.start
+    return [
+        (
+            f"  {record.stage:<28} {record.op:<6} "
+            f"+{(record.start - origin) * 1000.0:8.3f}ms  "
+            f"dur {record.duration * 1000.0:8.3f}ms  "
+            f"span {record.span}"
+        )
+        for record in tree.critical_path()
+    ]
+
+
+def _show_trace(trees: list[TraceTree], trace_id: str) -> tuple[int, str]:
+    for tree in trees:
+        if tree.trace == trace_id:
+            header = (
+                f"trace {tree.trace}: {tree.span_count} spans, "
+                f"end-to-end {tree.end_to_end * 1000.0:.3f}ms"
+            )
+            return 0, "\n".join([header] + _chain_lines(tree))
+    known = ", ".join(tree.trace for tree in trees[:10])
+    return 1, f"no trace {trace_id!r} (first traces: {known})"
+
+
+def _trace_files(options: argparse.Namespace,
+                 parser: argparse.ArgumentParser) -> list[str]:
+    files = list(options.files)
+    if options.fleet:
+        with open(options.fleet, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        files += [
+            stage["trace_file"]
+            for stage in manifest.get("stages", [])
+            if stage.get("trace_file")
+        ]
+    if not files:
+        parser.error("no trace files: give paths or --fleet")
+    return files
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="eden-trace",
+        description="Merge per-stage span logs into end-to-end traces.",
+    )
+    parser.add_argument("files", nargs="*", metavar="TRACE_JSONL")
+    parser.add_argument("--fleet", default=None, metavar="FLEET_JSON",
+                        help="read trace-file paths from a fleet manifest")
+    parser.add_argument("--list", action="store_true", dest="list_traces",
+                        help="one line per merged trace")
+    parser.add_argument("--trace", default=None, metavar="ID",
+                        help="show one trace's causal chain")
+    parser.add_argument("--verify", nargs=3, default=None,
+                        metavar=("DISCIPLINE", "N_FILTERS", "ITEMS"),
+                        help="assert the C1/C2 chain structure; exit 1 on mismatch")
+    parser.add_argument("--batch", type=int, default=1,
+                        help="records per transfer (for --verify)")
+    options = parser.parse_args(argv)
+    try:
+        logs = [load_span_log(path) for path in
+                _trace_files(options, parser)]
+    except (OSError, ValueError, KeyError) as error:
+        print(f"eden-trace: cannot load traces: {error}", file=sys.stderr)
+        return 1
+    trees = merge_span_logs(logs)
+    if options.verify is not None:
+        discipline, n_filters, items = options.verify
+        report = verify_invocation_chains(
+            trees, discipline, int(n_filters), int(items), batch=options.batch
+        )
+        print(report.summary())
+        for problem in report.problems:
+            print(f"  - {problem}")
+        return 0 if report.ok else 1
+    if options.trace is not None:
+        code, text = _show_trace(trees, options.trace)
+        print(text)
+        return code
+    if options.list_traces:
+        for tree in trees:
+            print(
+                f"{tree.trace:<12} {tree.span_count:3d} spans  "
+                f"{tree.end_to_end * 1000.0:9.3f}ms"
+            )
+        return 0
+    print(_summary(trees))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

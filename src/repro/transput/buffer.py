@@ -31,6 +31,9 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Default capacity, in records (Unix pipes are likewise finite).
 DEFAULT_CAPACITY = 64
 
+#: Bucket edges for queue-depth histograms (records, not latency).
+DEPTH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
 
 class PassiveBuffer(TransputEject):
     """A bounded FIFO answering Read and Write passively.
@@ -61,6 +64,11 @@ class PassiveBuffer(TransputEject):
         self.capacity = capacity
         self.expected_ends = max(1, int(expected_ends))
         self.items: deque[Any] = deque()
+        # Causal origin (span) of each buffered record, kept in step
+        # with ``items`` so a Read's reply can carry the trace of the
+        # Write that deposited it (datum-follows-trace).
+        self._origins: deque[Any] = deque()
+        self._end_origin: Any = None
         self.ends_seen = 0
         self.ended = False
         self._parked_reads: deque[Invocation] = deque()
@@ -112,6 +120,7 @@ class PassiveBuffer(TransputEject):
         yield from self._accept_data(invocation, transfer)
 
     def _accept_end(self, invocation: Invocation):
+        self._end_origin = invocation.span
         self.ends_seen += 1
         self.note_primitive(Primitive.PASSIVE_INPUT)
         self.writes_accepted += 1
@@ -134,7 +143,9 @@ class PassiveBuffer(TransputEject):
 
     def _accept_data(self, invocation: Invocation, transfer: Transfer):
         self.items.extend(transfer.items)
+        self._origins.extend([invocation.span] * len(transfer.items))
         self.max_occupancy = max(self.max_occupancy, len(self.items))
+        self._note_occupancy()
         self.note_primitive(Primitive.PASSIVE_INPUT)
         self.writes_accepted += 1
         yield self.reply(invocation, WriteAck(accepted=len(transfer.items)))
@@ -151,16 +162,25 @@ class PassiveBuffer(TransputEject):
     def _answer_read(self, invocation: Invocation):
         batch = invocation.args[0] if invocation.args else 1
         batch = max(1, int(batch))
+        origin = None
         if self.items:
-            taken = [self.items.popleft() for _ in range(min(batch, len(self.items)))]
+            count = min(batch, len(self.items))
+            taken = [self.items.popleft() for _ in range(count)]
+            origins = [
+                self._origins.popleft() if self._origins else None
+                for _ in range(count)
+            ]
+            origin = origins[0]
             reply_transfer = Transfer.of(taken)
         elif self.ended:
+            origin = self._end_origin
             reply_transfer = END_TRANSFER
         else:  # pragma: no cover - guarded by caller
             raise StreamProtocolError("answering a read with nothing to say")
+        self._note_occupancy()
         self.note_primitive(Primitive.PASSIVE_OUTPUT)
         self.reads_served += 1
-        yield self.reply(invocation, reply_transfer)
+        yield self.reply(invocation, reply_transfer, span=origin)
         yield from self._unpark_writes()
 
     def _drain_parked_reads(self):
@@ -178,6 +198,19 @@ class PassiveBuffer(TransputEject):
             yield from self._accept_data(candidate, transfer)
 
     # ------------------------------------------------------------------
+
+    def _note_occupancy(self) -> None:
+        """Publish occupancy as a per-buffer gauge + depth histogram.
+
+        The gauge name carries the buffer's name as an instance
+        qualifier (``buffer_occupancy[pipe-1]``), which the Prometheus
+        exposition turns into an ``instance`` label so a fleet's
+        buffers form one metric family.
+        """
+        depth = len(self.items)
+        stats = self.kernel.stats
+        stats.set_gauge(f"buffer_occupancy[{self.name}]", float(depth))
+        stats.observe("queue_depth", float(depth), bounds=DEPTH_BUCKETS)
 
     @property
     def occupancy(self) -> int:

@@ -67,6 +67,16 @@ class FlowPolicy:
             return self.lookahead
         return 1
 
+    def describe(self) -> dict[str, object]:
+        """JSON-safe summary for introspection (HEALTH, ``eden-top``)."""
+        return {
+            "lookahead": self.lookahead,
+            "batch": self.batch,
+            "buffer_capacity": self.buffer_capacity,
+            "inbox_capacity": self.inbox_capacity,
+            "credit_window": self.credit_window(),
+        }
+
     def __post_init__(self) -> None:
         if self.lookahead < 0:
             raise ValueError(f"lookahead must be >= 0, got {self.lookahead}")

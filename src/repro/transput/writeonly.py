@@ -29,6 +29,7 @@ from typing import Any, Mapping, Sequence, TYPE_CHECKING
 from repro.core.errors import StreamProtocolError
 from repro.core.message import Invocation
 from repro.core.syscalls import (
+    AdoptSpan,
     NotifySignal,
     Receive,
     Signal,
@@ -107,6 +108,10 @@ class WriteOnlyFilter(TransputEject):
         self.expected_ends = max(1, int(expected_ends))
         self.batch_out = max(1, int(batch_out))
         self._inbox: deque[Any] = deque()
+        # Causal origin (span) of each queued record, kept in step with
+        # ``_inbox``: the worker adopts it before writing downstream so
+        # the datum's trace survives the receiver->worker handoff.
+        self._inbox_origins: deque[Any] = deque()
         self._parked_writes: deque[Invocation] = deque()
         self._ends_seen = 0
         self.done = False
@@ -157,11 +162,13 @@ class WriteOnlyFilter(TransputEject):
                 yield self.reply(invocation, WriteAck(accepted=0))
                 if self._ends_seen >= self.expected_ends:
                     self._inbox.append(_END)
+                    self._inbox_origins.append(invocation.span)
                     yield NotifySignal(self._work)
                 continue
             while not self._fits(len(transfer.items)):
                 yield WaitSignal(self._space)
             self._inbox.extend(transfer.items)
+            self._inbox_origins.extend([invocation.span] * len(transfer.items))
             self.note_primitive(Primitive.PASSIVE_INPUT)
             self.writes_accepted += 1
             yield self.reply(invocation, WriteAck(accepted=len(transfer.items)))
@@ -178,6 +185,9 @@ class WriteOnlyFilter(TransputEject):
             while not self._inbox:
                 yield WaitSignal(self._work)
             item = self._inbox.popleft()
+            origin = self._inbox_origins.popleft() if self._inbox_origins else None
+            if origin is not None:
+                yield AdoptSpan(origin)
             yield NotifySignal(self._space)
             if item is _END:
                 break

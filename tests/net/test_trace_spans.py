@@ -1,0 +1,130 @@
+"""Acceptance: causal span chains across a real TCP fleet.
+
+The observability bar for the wire runtime: run the paper's 3-filter
+pipeline as separate OS processes with ``--trace-file`` on, merge the
+per-stage span logs, and recover *exactly* the causal structure the
+cost model predicts — ``n+1`` linked request spans per datum for the
+asymmetric disciplines, ``2n+2`` for the conventional emulation — with
+every trace one linear chain.  Also checks the simulator and the wire
+runtime agree on that structure, and that ``eden-trace --verify``
+gates on it.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import predicted_invocations
+from repro.core import Kernel
+from repro.net.launch import IDENTITY, execute, plan_pipeline
+from repro.obs.merge import load_span_log, merge_span_logs, verify_invocation_chains
+from repro.obs.trace_cli import main as trace_main
+from repro.transput.filterbase import identity_transducer
+from repro.transput.pipeline import build_pipeline
+
+N_FILTERS = 3
+ITEMS = ["alpha", "beta", "gamma"]
+
+
+def traced_run(tmp_path, discipline):
+    plans = plan_pipeline(
+        discipline, [IDENTITY] * N_FILTERS, str(tmp_path),
+        source_items=list(ITEMS), trace=True,
+    )
+    result = execute(plans, timeout=60)
+    assert result.output == ITEMS
+    return result
+
+
+def merged_trees(result):
+    return merge_span_logs(
+        [load_span_log(path) for path in result.trace_files]
+    )
+
+
+@pytest.mark.parametrize("discipline,hops", [
+    ("readonly", N_FILTERS + 1),
+    ("writeonly", N_FILTERS + 1),
+    ("conventional", 2 * N_FILTERS + 2),
+])
+def test_wire_chains_match_cost_model(tmp_path, discipline, hops):
+    result = traced_run(tmp_path, discipline)
+    trees = merged_trees(result)
+    report = verify_invocation_chains(
+        trees, discipline, N_FILTERS, len(ITEMS)
+    )
+    assert report.ok, report.problems
+    assert report.expected_spans_per_trace == hops
+    assert report.total_spans == predicted_invocations(
+        discipline, N_FILTERS, len(ITEMS)
+    )
+    assert all(tree.is_chain() for tree in trees)
+
+
+def test_wire_and_simulator_agree_on_chain_shape(tmp_path):
+    result = traced_run(tmp_path, "readonly")
+    wire_trees = merged_trees(result)
+
+    kernel = Kernel(spans=True)
+    pipeline = build_pipeline(
+        kernel, "readonly", list(ITEMS),
+        [identity_transducer(f"f{index}") for index in range(N_FILTERS)],
+    )
+    assert pipeline.run_to_completion() == ITEMS
+    sim_trees = merge_span_logs(
+        [load_span_log(kernel.tracer.events, stage="sim")]
+    )
+
+    def shape(trees):
+        # (spans per trace, ops along the causal chain) per trace,
+        # normalised across the runtimes' op spellings.
+        return sorted(
+            (tree.span_count,
+             tuple(record.op.upper() for record in tree.critical_path()))
+            for tree in trees
+        )
+
+    assert shape(wire_trees) == shape(sim_trees)
+
+
+def test_fleet_manifest_lists_trace_files(tmp_path):
+    plan_pipeline(
+        "readonly", [IDENTITY] * N_FILTERS, str(tmp_path),
+        source_items=list(ITEMS), trace=True, control=True,
+    )
+    with open(tmp_path / "fleet.json", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    assert manifest["discipline"] == "readonly"
+    stages = manifest["stages"]
+    assert len(stages) == N_FILTERS + 2
+    assert all(stage["trace_file"] for stage in stages)
+    assert all(stage["control_port"] for stage in stages)
+
+
+def test_eden_trace_verify_gates_on_chain_structure(tmp_path, capsys):
+    result = traced_run(tmp_path, "readonly")
+    files = list(result.trace_files)
+
+    good = trace_main(files + ["--verify", "readonly", str(N_FILTERS),
+                               str(len(ITEMS))])
+    assert good == 0
+    assert "OK" in capsys.readouterr().out
+
+    bad = trace_main(files + ["--verify", "conventional", str(N_FILTERS),
+                              str(len(ITEMS))])
+    assert bad == 1
+    assert "MISMATCH" in capsys.readouterr().out
+
+
+def test_eden_trace_summary_and_listing(tmp_path, capsys):
+    result = traced_run(tmp_path, "readonly")
+    files = list(result.trace_files)
+
+    assert trace_main(files) == 0
+    summary = capsys.readouterr().out
+    assert f"traces: {len(ITEMS) + 1}" in summary
+    assert "critical path" in summary
+
+    assert trace_main(files + ["--list"]) == 0
+    listing = capsys.readouterr().out.strip().splitlines()
+    assert len(listing) == len(ITEMS) + 1

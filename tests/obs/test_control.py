@@ -1,0 +1,127 @@
+"""The control protocol and the eden-top fleet table."""
+
+import asyncio
+
+import pytest
+
+from repro.obs.control import ControlError, query_async, start_control_server
+from repro.obs.top import StageRow, gather_fleet, render_fleet
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def control_server(handlers):
+    server = await start_control_server(handlers, port=0)
+    port = server.sockets[0].getsockname()[1]
+    return server, port
+
+
+HANDLERS = {
+    "stats": lambda body: {"counters": {"invocations_sent": 5}},
+    "health": lambda body: {"label": "pull#2", "role": "sink",
+                            "uptime_s": 1.5},
+    "echo": lambda body: body,
+    "boom": lambda body: 1 / 0,
+}
+
+
+class TestControlProtocol:
+    def test_round_trip(self):
+        async def scenario():
+            server, port = await control_server(HANDLERS)
+            try:
+                payload = await query_async("127.0.0.1", port, "stats")
+                assert payload == {"counters": {"invocations_sent": 5}}
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_arguments_reach_the_handler(self):
+        async def scenario():
+            server, port = await control_server(HANDLERS)
+            try:
+                payload = await query_async(
+                    "127.0.0.1", port, "echo", limit=7
+                )
+                assert payload == {"limit": 7}
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_unknown_command_is_an_error(self):
+        async def scenario():
+            server, port = await control_server(HANDLERS)
+            try:
+                with pytest.raises(ControlError, match="unknown command"):
+                    await query_async("127.0.0.1", port, "nonsense")
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_handler_exception_reported_and_server_survives(self):
+        async def scenario():
+            server, port = await control_server(HANDLERS)
+            try:
+                with pytest.raises(ControlError, match="ZeroDivisionError"):
+                    await query_async("127.0.0.1", port, "boom")
+                # The listener must still answer after a handler bug.
+                payload = await query_async("127.0.0.1", port, "health")
+                assert payload["role"] == "sink"
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_unreachable_port_raises_control_error(self):
+        with pytest.raises(ControlError):
+            run(query_async("127.0.0.1", 1, "stats", timeout=0.5))
+
+
+class TestEdenTop:
+    def test_gather_fleet_polls_live_and_marks_dead(self):
+        async def scenario():
+            server, port = await control_server(HANDLERS)
+            try:
+                return await asyncio.to_thread(
+                    gather_fleet,
+                    [("pull#2", "127.0.0.1", port),
+                     ("gone#9", "127.0.0.1", 1)],
+                    1.0,
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        live, dead = run(scenario())
+        assert live.alive and live.role == "sink" and live.invocations == 5
+        assert not dead.alive and dead.label == "gone#9"
+
+    def test_render_fleet_is_a_stable_table(self):
+        rows = [
+            StageRow(label="source#0", alive=True, role="source",
+                     uptime_s=2.0, invocations=13, replies=12,
+                     bytes_moved=640, credit="3/8",
+                     read_p50_ms=1.0, read_p95_ms=2.5),
+            StageRow(label="sink#4", alive=False),
+        ]
+        table = render_fleet(rows)
+        lines = table.splitlines()
+        assert lines[0].startswith("STAGE")
+        assert "source#0" in lines[1] and "3/8" in lines[1]
+        assert "1/2.5ms" in lines[1]
+        assert "sink#4" in lines[2] and "gone" in lines[2]
+
+    def test_render_fleet_without_latency_data(self):
+        row = StageRow(label="pipe#1", alive=True, role="pipe")
+        table = render_fleet([row])
+        assert "pipe#1" in table
+        assert "ms" not in table.splitlines()[1]

@@ -1,0 +1,201 @@
+"""Trace merging: clock alignment, causal chains, C1/C2 verification."""
+
+import pytest
+
+from repro.core import Kernel
+from repro.core.tracing import TraceEvent
+from repro.obs.merge import (
+    StageLog,
+    SpanRecord,
+    load_span_log,
+    merge_span_logs,
+    verify_invocation_chains,
+)
+from repro.obs.spans import CLOCK_KIND, SPAN_KIND
+from repro.transput.filterbase import identity_transducer
+from repro.transput.pipeline import build_pipeline
+
+N_FILTERS = 3
+ITEMS = ["alpha", "beta", "gamma"]
+
+
+def run_sim(discipline: str) -> Kernel:
+    kernel = Kernel(spans=True)
+    pipeline = build_pipeline(
+        kernel, discipline, list(ITEMS),
+        [identity_transducer(f"f{index}") for index in range(N_FILTERS)],
+    )
+    assert pipeline.run_to_completion() == ITEMS
+    return kernel
+
+
+def span(trace, span_id, parent, op, start, end, stage):
+    return SpanRecord(
+        trace=trace, span=span_id, parent=parent, op=op,
+        start=start, end=end, stage=stage,
+    )
+
+
+class TestSimChains:
+    """The paper's claims, span-by-span, on the simulated kernel."""
+
+    @pytest.mark.parametrize("discipline,hops", [
+        ("readonly", N_FILTERS + 1),
+        ("writeonly", N_FILTERS + 1),
+        ("conventional", 2 * N_FILTERS + 2),
+    ])
+    def test_one_linear_chain_per_datum(self, discipline, hops):
+        kernel = run_sim(discipline)
+        trees = merge_span_logs(
+            [load_span_log(kernel.tracer.events, stage="sim")]
+        )
+        report = verify_invocation_chains(
+            trees, discipline, N_FILTERS, len(ITEMS)
+        )
+        assert report.ok, report.problems
+        assert report.expected_spans_per_trace == hops
+        assert all(tree.is_chain() for tree in trees)
+
+    def test_readonly_chains_root_at_the_sink(self):
+        kernel = run_sim("readonly")
+        trees = merge_span_logs(
+            [load_span_log(kernel.tracer.events, stage="sim")]
+        )
+        for tree in trees:
+            (root,) = tree.roots
+            assert root.op == "Read"
+            # Demand flows sink -> source: the root is the sink's Read.
+            assert "sink" in tree.critical_path()[0].stage.lower()
+
+    def test_writeonly_chains_root_at_the_source(self):
+        kernel = run_sim("writeonly")
+        trees = merge_span_logs(
+            [load_span_log(kernel.tracer.events, stage="sim")]
+        )
+        for tree in trees:
+            (root,) = tree.roots
+            assert root.op == "Write"
+            assert "source" in root.stage.lower()
+
+    def test_conventional_chains_alternate_write_read(self):
+        kernel = run_sim("conventional")
+        trees = merge_span_logs(
+            [load_span_log(kernel.tracer.events, stage="sim")]
+        )
+        for tree in trees:
+            ops = [record.op for record in tree.critical_path()]
+            assert ops == ["Write", "Read"] * (N_FILTERS + 1)
+
+    def test_wrong_discipline_is_reported(self):
+        kernel = run_sim("readonly")
+        trees = merge_span_logs(
+            [load_span_log(kernel.tracer.events, stage="sim")]
+        )
+        report = verify_invocation_chains(
+            trees, "conventional", N_FILTERS, len(ITEMS)
+        )
+        assert not report.ok
+        assert "MISMATCH" in report.summary()
+
+
+class TestClockAlignment:
+    def test_anchor_offsets_join_monotonic_epochs(self):
+        # Two processes with wildly different monotonic epochs but
+        # anchored to the same wall clock merge onto one timeline.
+        sink = StageLog(
+            stage="sink",
+            anchor=(0.0, 100.0),
+            spans=[span("t1", "a1", None, "READ", 0.0, 1.0, "sink")],
+        )
+        filt = StageLog(
+            stage="filter",
+            anchor=(500.0, 100.0),
+            spans=[span("t1", "b1", "a1", "READ", 500.2, 500.8, "filter")],
+        )
+        (tree,) = merge_span_logs([sink, filt])
+        assert tree.is_chain()
+        parent, child = tree.critical_path()
+        assert parent.start <= child.start <= child.end <= parent.end
+        assert tree.end_to_end == pytest.approx(1.0)
+
+    def test_causal_pass_corrects_unanchored_skew(self):
+        # The filter's clock runs 3s ahead; nesting bounds recover a
+        # correction that pulls its span back inside the parent.
+        sink = StageLog(
+            stage="sink",
+            spans=[span("t1", "a1", None, "READ", 0.0, 1.0, "sink")],
+        )
+        filt = StageLog(
+            stage="filter",
+            spans=[span("t1", "b1", "a1", "READ", 3.1, 3.9, "filter")],
+        )
+        (tree,) = merge_span_logs([sink, filt])
+        parent, child = tree.critical_path()
+        assert parent.start <= child.start
+        assert child.end <= parent.end
+        assert tree.end_to_end == pytest.approx(1.0)
+
+    def test_zero_skew_is_left_alone(self):
+        sink = StageLog(
+            stage="sink",
+            spans=[span("t1", "a1", None, "READ", 0.0, 1.0, "sink")],
+        )
+        filt = StageLog(
+            stage="filter",
+            spans=[span("t1", "b1", "a1", "READ", 0.2, 0.8, "filter")],
+        )
+        (tree,) = merge_span_logs([sink, filt])
+        child = tree.critical_path()[1]
+        assert child.start == pytest.approx(0.2)
+        assert child.end == pytest.approx(0.8)
+
+    def test_write_edges_use_one_sided_bounds(self):
+        # A WRITE span closes at frame-send, so a server-side child may
+        # END after it; full nesting would force a bogus correction.
+        source = StageLog(
+            stage="source",
+            spans=[span("t1", "w1", None, "WRITE", 0.0, 0.4, "source")],
+        )
+        server = StageLog(
+            stage="server",
+            spans=[span("t1", "x1", "w1", "WRITE", 0.1, 0.9, "server")],
+        )
+        (tree,) = merge_span_logs([source, server])
+        child = tree.critical_path()[1]
+        # Already causally consistent: no correction applied.
+        assert child.start == pytest.approx(0.1)
+
+
+class TestLoadSpanLog:
+    def test_loads_jsonl_file_with_anchor(self, tmp_path):
+        kernel = Kernel(trace=True)
+        kernel.tracer.emit(0.0, CLOCK_KIND, "stage-x", mono=10.0, wall=110.0)
+        kernel.tracer.emit(
+            2.0, SPAN_KIND, "stage-x",
+            trace="t1", span="s1", parent=None, op="READ",
+            start=1.0, end=2.0, status="ok",
+        )
+        path = tmp_path / "trace.jsonl"
+        kernel.tracer.to_jsonl(str(path))
+        log = load_span_log(str(path))
+        assert log.stage == "stage-x"
+        assert log.anchor == (10.0, 110.0)
+        assert log.anchor_offset == pytest.approx(100.0)
+        (record,) = log.spans
+        assert record.trace == "t1"
+        assert record.duration == pytest.approx(1.0)
+
+    def test_ignores_non_span_events(self):
+        events = [
+            TraceEvent(time=1.0, kind="invoke", subject="x", detail={}),
+            TraceEvent(
+                time=2.0, kind=SPAN_KIND, subject="x",
+                detail={
+                    "trace": "t1", "span": "s1", "parent": None,
+                    "op": "READ", "start": 1.0, "end": 2.0,
+                },
+            ),
+        ]
+        log = load_span_log(events)
+        assert len(log.spans) == 1
+        assert log.anchor is None

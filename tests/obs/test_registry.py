@@ -1,0 +1,177 @@
+"""Metrics: histogram semantics, Prometheus exposition, JSON round trips."""
+
+import json
+
+import pytest
+
+from repro.core.stats import Histogram, KernelStats
+from repro.net.metrics import NetStats, merge_stats
+from repro.obs.registry import snapshot_payload, stats_from_payload, to_prometheus
+
+
+class TestHistogram:
+    def test_boundary_value_lands_in_its_edge_bucket(self):
+        # Prometheus ``le`` is an inclusive upper bound: an observation
+        # exactly on an edge belongs to that edge's bucket.
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+        histogram.observe(2.0)
+        assert histogram.counts == [0, 1, 0, 0]
+        histogram.observe(2.0000001)
+        assert histogram.counts == [0, 1, 1, 0]
+
+    def test_below_first_and_above_last_edges(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.observe(0.0)
+        histogram.observe(99.0)
+        assert histogram.counts == [1, 0, 1]
+        assert histogram.total == 2
+        assert histogram.sum == 99.0
+
+    def test_quantile_reports_bucket_upper_edge(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.6, 1.5, 3.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(1.0) == 4.0
+
+    def test_quantile_of_empty_is_zero(self):
+        assert Histogram(bounds=(1.0,)).quantile(0.5) == 0.0
+
+    def test_quantile_above_last_edge_clamps(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.observe(50.0)
+        assert histogram.quantile(0.99) == 2.0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0,)).quantile(1.5)
+
+    def test_edges_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+    def test_merge_requires_matching_edges(self):
+        ours = Histogram(bounds=(1.0, 2.0))
+        theirs = Histogram(bounds=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            ours.merge(theirs)
+
+    def test_merge_sums_elementwise(self):
+        ours, theirs = Histogram(bounds=(1.0,)), Histogram(bounds=(1.0,))
+        ours.observe(0.5)
+        theirs.observe(2.0)
+        ours.merge(theirs)
+        assert ours.counts == [1, 1]
+        assert ours.total == 2
+        assert ours.sum == 2.5
+
+    def test_dict_round_trip(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        clone = Histogram.from_dict(histogram.as_dict())
+        assert clone.bounds == histogram.bounds
+        assert clone.counts == histogram.counts
+        assert clone.total == histogram.total
+        assert clone.sum == histogram.sum
+
+
+class TestPrometheus:
+    def test_counters_gauges_histograms_rendered(self):
+        stats = KernelStats()
+        stats.bump("invocations_sent", 3)
+        stats.set_gauge("credit_window", 8.0)
+        stats.observe("rtt_ms", 1.5, bounds=(1.0, 2.0))
+        text = to_prometheus(stats)
+        assert "eden_invocations_sent_total 3" in text
+        assert "eden_credit_window 8" in text
+        assert 'eden_rtt_ms_bucket{le="2"} 1' in text
+        assert 'eden_rtt_ms_bucket{le="+Inf"} 1' in text
+        assert "eden_rtt_ms_sum 1.5" in text
+        assert "eden_rtt_ms_count 1" in text
+
+    def test_instance_qualifier_becomes_label(self):
+        stats = KernelStats()
+        stats.set_gauge("buffer_occupancy[pipe-1]", 4.0)
+        text = to_prometheus(stats)
+        assert 'eden_buffer_occupancy{instance="pipe-1"} 4' in text
+
+    def test_bucket_counts_are_cumulative(self):
+        stats = KernelStats()
+        for value in (0.5, 1.5, 9.0):
+            stats.observe("rtt_ms", value, bounds=(1.0, 2.0))
+        text = to_prometheus(stats)
+        assert 'eden_rtt_ms_bucket{le="1"} 1' in text
+        assert 'eden_rtt_ms_bucket{le="2"} 2' in text
+        assert 'eden_rtt_ms_bucket{le="+Inf"} 3' in text
+
+
+class TestPayloadRoundTrip:
+    def test_full_round_trip(self):
+        stats = NetStats()
+        stats.bump("invocations_sent", 7)
+        stats.set_gauge("credit_available", 3.0)
+        stats.observe("read_rtt_ms", 1.25, bounds=(1.0, 2.0))
+        clone = stats_from_payload(snapshot_payload(stats))
+        assert clone.get("invocations_sent") == 7
+        assert clone.gauges()["credit_available"] == 3.0
+        restored = clone.histograms()["read_rtt_ms"]
+        assert restored.total == 1
+        assert restored.sum == 1.25
+
+    def test_legacy_flat_payload_accepted(self):
+        stats = stats_from_payload({"invocations_sent": 4, "replies_sent": 4})
+        assert stats.get("invocations_sent") == 4
+
+    def test_integral_float_counter_accepted(self):
+        stats = stats_from_payload({"counters": {"frames_sent": 3.0}})
+        assert stats.get("frames_sent") == 3
+
+    def test_fractional_counter_refused_not_truncated(self):
+        with pytest.raises(ValueError, match="refusing to truncate"):
+            stats_from_payload({"counters": {"frames_sent": 3.5}})
+
+    def test_negative_counter_refused(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            stats_from_payload({"counters": {"frames_sent": -1}})
+
+    def test_non_numeric_counter_refused(self):
+        with pytest.raises(ValueError, match="must be a number"):
+            stats_from_payload({"counters": {"frames_sent": "many"}})
+        with pytest.raises(ValueError, match="must be a number"):
+            stats_from_payload({"counters": {"frames_sent": True}})
+
+    def test_non_numeric_gauge_refused(self):
+        with pytest.raises(ValueError, match="gauge"):
+            stats_from_payload({"gauges": {"credit_window": "eight"}})
+
+
+class TestNetStatsJson:
+    def test_json_round_trip_keeps_gauges_and_histograms(self):
+        stats = NetStats()
+        stats.bump("frames_sent", 2)
+        stats.set_gauge("credit_window", 8.0)
+        stats.observe("ack_wait_ms", 0.5, bounds=(1.0, 2.0))
+        clone = NetStats.from_json(stats.to_json())
+        assert clone.get("frames_sent") == 2
+        assert clone.gauges()["credit_window"] == 8.0
+        assert clone.histograms()["ack_wait_ms"].total == 1
+
+    def test_from_json_refuses_fractional_counters(self):
+        payload = json.dumps({"counters": {"frames_sent": 3.5}})
+        with pytest.raises(ValueError, match="refusing to truncate"):
+            NetStats.from_json(payload)
+
+    def test_merge_stats_folds_histograms_without_aliasing(self):
+        first, second = NetStats(), NetStats()
+        first.observe("read_rtt_ms", 1.0, bounds=(1.0, 2.0))
+        second.observe("read_rtt_ms", 3.0, bounds=(1.0, 2.0))
+        total = merge_stats(first, second)
+        assert total.histograms()["read_rtt_ms"].total == 2
+        # Mutating the merge result must not touch the inputs.
+        total.observe("read_rtt_ms", 1.0, bounds=(1.0, 2.0))
+        assert first.histograms()["read_rtt_ms"].total == 1

@@ -1,0 +1,58 @@
+"""Span identity: contexts, wire form, deterministic allocation."""
+
+from repro.obs.spans import SpanContext, SpanIds
+
+
+class TestSpanContext:
+    def test_wire_round_trip(self):
+        ctx = SpanContext(trace="t1", span="s2", parent="s1")
+        assert SpanContext.from_wire(ctx.as_wire()) == ctx
+
+    def test_root_round_trip_keeps_none_parent(self):
+        ctx = SpanContext(trace="t1", span="s1")
+        assert ctx.parent is None
+        assert SpanContext.from_wire(ctx.as_wire()) == ctx
+
+    def test_from_wire_tolerates_garbage(self):
+        for garbage in (
+            None, 42, "t1/s1", [], ["t1"], ["t1", "s1"],
+            ["t1", "s1", "p", "extra"], [1, "s1", None], ["t1", 2, None],
+            ["t1", "s1", 3], {"trace": "t1"},
+        ):
+            assert SpanContext.from_wire(garbage) is None
+
+    def test_str_shows_lineage(self):
+        assert str(SpanContext("t1", "s2", "s1")) == "t1/s2<-s1"
+        assert str(SpanContext("t1", "s1")) == "t1/s1<--"
+
+
+class TestSpanIds:
+    def test_allocation_is_deterministic(self):
+        first, second = SpanIds(prefix="k"), SpanIds(prefix="k")
+        assert [first.root() for _ in range(3)] == [
+            second.root() for _ in range(3)
+        ]
+
+    def test_prefix_keeps_fleets_collision_free(self):
+        assert SpanIds(prefix="s0-").root() != SpanIds(prefix="s1-").root()
+
+    def test_derive_roots_without_parent(self):
+        ids = SpanIds()
+        root = ids.derive(None)
+        assert root.parent is None
+
+    def test_derive_chains_with_parent(self):
+        ids = SpanIds()
+        root = ids.root()
+        child = ids.derive(root)
+        assert child.trace == root.trace
+        assert child.parent == root.span
+        assert child.span != root.span
+
+    def test_adopt_joins_foreign_trace(self):
+        ours, theirs = SpanIds(prefix="a"), SpanIds(prefix="b")
+        origin = theirs.root()
+        hop = ours.adopt(origin)
+        assert hop.trace == origin.trace
+        assert hop.parent == origin.span
+        assert hop.span.startswith("a")
