@@ -19,7 +19,7 @@ bench maps when that *matters*.
 
 from repro.core import Kernel, TransportCosts
 from repro.devices import random_lines
-from repro.transput import FlowPolicy, build_readonly_pipeline
+from repro.transput import FlowPolicy, compose_readonly_pipeline
 from repro.transput.filterbase import identity_transducer
 
 from conftest import publish
@@ -34,7 +34,7 @@ def run_once(batch: int, bandwidth: float | None) -> tuple[float, int]:
             local_latency=1.0, remote_latency=1.0, bandwidth=bandwidth
         )
     )
-    pipeline = build_readonly_pipeline(
+    pipeline = compose_readonly_pipeline(
         kernel, ITEMS, [identity_transducer(), identity_transducer()],
         flow=FlowPolicy(batch=batch),
     )

@@ -14,7 +14,7 @@ pipeline's depth buys nothing.
 
 from repro.analysis import predicted_pipelined_makespan
 from repro.core import Kernel
-from repro.transput import FlowPolicy, build_readonly_pipeline
+from repro.transput import FlowPolicy, compose_readonly_pipeline
 from repro.transput.filterbase import identity_transducer
 
 from conftest import publish
@@ -32,7 +32,7 @@ def run_once(lookahead: int) -> float:
         transducer = identity_transducer()
         transducer.cost_per_item = WORK_COST
         transducers.append(transducer)
-    pipeline = build_readonly_pipeline(
+    pipeline = compose_readonly_pipeline(
         kernel, ITEMS, transducers,
         flow=FlowPolicy(lookahead=lookahead),
         source_work_cost=WORK_COST,

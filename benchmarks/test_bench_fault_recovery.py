@@ -1,0 +1,95 @@
+"""T12 — what a mid-stream crash costs each discipline (extension).
+
+The paper's asymmetric disciplines couple neighbours directly, so a
+crashed filter takes the *session* down with it; the session-resume
+protocol (``repro.net.protocol``) plus the fleet supervisor
+(``repro.net.launch``) put it back losslessly.  This bench measures the
+price of that recovery per discipline: the same pipeline runs once
+clean and once with its middle filter killed at the k-th datum, and the
+delta in wall time and on-wire frames is the recovery bill.
+
+Shape asserted: every run — faulted or not — delivers the complete
+output (exactly-once end to end); every faulted run recovers with
+exactly one supervised restart; and recovery always costs extra frames
+(redial, replayed prefix, dedup) — never fewer.
+"""
+
+import time
+
+from repro.api import Pipeline
+from repro.fault import FaultPlan
+
+from conftest import publish
+
+ITEMS = [f"datum-{i:02d}" for i in range(24)]
+N_FILTERS = 3
+KILL_AT = 9
+IDENTITY = "repro.transput:identity_transducer"
+
+DISCIPLINES = ("readonly", "writeonly", "conventional")
+
+
+def run_once(discipline, workdir, faulted):
+    pipeline = Pipeline([IDENTITY] * N_FILTERS, discipline=discipline,
+                        source=ITEMS)
+    knobs = dict(workdir=workdir, timeout=90.0, resume=True,
+                 io_timeout=5.0)
+    if faulted:
+        knobs.update(faults={2: FaultPlan(kill_after=KILL_AT)},
+                     max_restarts=2)
+    started = time.perf_counter()
+    result = pipeline.run(runtime="tcp", **knobs)
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def sweep(workdir):
+    rows = []
+    for discipline in DISCIPLINES:
+        clean, clean_s = run_once(discipline, f"{workdir}/{discipline}-clean",
+                                  faulted=False)
+        hurt, hurt_s = run_once(discipline, f"{workdir}/{discipline}-kill",
+                                faulted=True)
+        rows.append((discipline, clean, clean_s, hurt, hurt_s))
+    return rows
+
+
+def frames(result):
+    return int(result.stats["counters"].get("frames_sent", 0))
+
+
+def duplicates(result):
+    return int(result.stats["counters"].get("duplicate_records", 0))
+
+
+def test_bench_fault_recovery(benchmark, tmp_path):
+    rows = benchmark.pedantic(sweep, args=(str(tmp_path),), rounds=1)
+
+    table_rows = []
+    for discipline, clean, clean_s, hurt, hurt_s in rows:
+        # Lossless recovery is the claim: complete output both times,
+        # exactly one supervised restart, never fewer frames than clean.
+        assert clean.output == ITEMS, discipline
+        assert hurt.output == ITEMS, discipline
+        assert clean.restarts == 0 and hurt.restarts == 1, discipline
+        assert frames(hurt) >= frames(clean), discipline
+        table_rows.append([
+            discipline,
+            f"{clean_s * 1000:.0f}", f"{hurt_s * 1000:.0f}",
+            frames(clean), frames(hurt),
+            frames(hurt) - frames(clean),
+            duplicates(hurt),
+        ])
+
+    publish(
+        "t12_fault_recovery",
+        ["discipline", "clean ms", "killed ms", "clean frames",
+         "killed frames", "extra frames", "deduped records"],
+        table_rows,
+        title=(
+            f"T12 — recovery cost: middle filter killed at datum "
+            f"{KILL_AT} of {len(ITEMS)} (n={N_FILTERS}, resume on)"
+        ),
+        items=len(ITEMS),
+        kill_at=KILL_AT,
+    )

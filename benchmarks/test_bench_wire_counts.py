@@ -10,7 +10,7 @@ traffic instead of simulated invocations.
 """
 
 from repro.analysis import predicted_invocations
-from repro.net.launch import IDENTITY, execute, plan_pipeline
+from repro.net.launch import IDENTITY, plan_fleet, run_fleet
 
 from conftest import publish
 
@@ -23,12 +23,12 @@ def sweep(workdir):
     for n_filters in LENGTHS:
         measured = {}
         for discipline in ("readonly", "writeonly", "conventional"):
-            plans = plan_pipeline(
+            plans = plan_fleet(
                 discipline, [IDENTITY] * n_filters,
                 f"{workdir}/{discipline}-{n_filters}",
                 source_items=list(range(ITEMS)),
             )
-            result = execute(plans, timeout=60)
+            result = run_fleet(plans, timeout=60)
             measured[discipline] = (result.invocations, len(plans))
         rows.append((n_filters, measured))
     return rows

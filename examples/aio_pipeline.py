@@ -21,8 +21,8 @@ from repro.aio import (
     AioCollector,
     AioReadOnlyStage,
     AioWriteOnlyStage,
-    run_pipeline,
 )
+from repro.api import Pipeline
 from repro.filters import comment_stripper, number_lines, upper_case
 from repro.transput import Transfer
 from repro.transput.stream import END_TRANSFER
@@ -92,11 +92,15 @@ def main() -> None:
     asyncio.run(demo_writeonly_fan_out())
 
     print("\nconventional (tasks + bounded pipes):")
-    out = run_pipeline(
-        DECK, [comment_stripper("C"), number_lines()],
-        discipline="conventional", capacity=4,
-    )
-    for line in out:
+    from repro.transput import FlowPolicy
+
+    result = Pipeline(
+        [comment_stripper("C"), number_lines()],
+        discipline="conventional",
+        source=DECK,
+        flow=FlowPolicy(buffer_capacity=4),
+    ).run(runtime="aio")
+    for line in result.output:
         print("   ", line)
 
 

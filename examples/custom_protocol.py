@@ -20,7 +20,7 @@ This example:
 from repro.core import Eject, Kernel
 from repro.filesystem import MapFile
 from repro.filters import number_lines
-from repro.transput import build_readonly_pipeline
+from repro.transput import compose_readonly_pipeline
 
 
 class KeyValueStore(Eject):
@@ -63,7 +63,7 @@ def main() -> None:
     print("size:", kernel.call_sync(ledger.uid, "Size"))
 
     # --- 2. the same Eject as a stream source ---------------------------
-    pipeline = build_readonly_pipeline(
+    pipeline = compose_readonly_pipeline(
         kernel, ledger_endpoint(ledger), [number_lines()]
     )
     print("\nstreamed through a pipeline:")

@@ -19,7 +19,7 @@ import tempfile
 import threading
 import time
 
-from repro.net.launch import IDENTITY, execute, plan_pipeline
+from repro.net.launch import IDENTITY, plan_fleet, run_fleet
 from repro.obs.control import ControlError
 from repro.obs.merge import load_span_log, merge_span_logs, verify_invocation_chains
 from repro.obs.top import gather_fleet, render_fleet
@@ -47,7 +47,7 @@ def watch_live(plans, runner: threading.Thread) -> int:
 
 def main() -> None:
     with tempfile.TemporaryDirectory() as workdir:
-        plans = plan_pipeline(
+        plans = plan_fleet(
             "readonly", [IDENTITY] * N_FILTERS, workdir,
             source_count=ITEMS, trace=True, control=True,
         )
@@ -56,7 +56,7 @@ def main() -> None:
 
         fleet: dict = {}
         runner = threading.Thread(
-            target=lambda: fleet.update(result=execute(plans, timeout=120))
+            target=lambda: fleet.update(result=run_fleet(plans, timeout=120))
         )
         runner.start()
 

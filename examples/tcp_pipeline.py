@@ -2,10 +2,11 @@
 """The distributed pipeline, for real: OS processes on localhost TCP.
 
 ``examples/distributed_pipeline.py`` spreads a pipeline over *simulated*
-nodes and predicts the costs; this is its twin on real sockets.  Every
-stage — source, each filter, sink, and (for the conventional emulation)
-every pipe — is a separate ``eden-stage`` process, speaking the framed
-wire protocol of :mod:`repro.net`.  The run prints the measured on-wire
+nodes and predicts the costs; this is its twin on real sockets, driven
+through the one :class:`repro.api.Pipeline` facade.  Every stage —
+source, each filter, sink, and (for the conventional emulation) every
+pipe — is a separate ``eden-stage`` process, speaking the framed wire
+protocol of :mod:`repro.net`.  The run prints the measured on-wire
 request count next to the paper's closed-form prediction:
 
 - read-only / write-only: ``(n+1)(m+1)`` requests (claim C1);
@@ -13,7 +14,8 @@ request count next to the paper's closed-form prediction:
   (m+1)`` — twice the traffic, and ``2n+3`` processes instead of
   ``n+2``.
 
-It then re-runs the read-only pipeline with real filters and checks the
+It then re-runs the read-only pipeline with real filters on *both*
+runtimes — ``runtime="tcp"`` and ``runtime="sim"`` — and checks the
 bytes coming out of the TCP sink equal the simulator's output for the
 same seed.
 """
@@ -21,15 +23,14 @@ same seed.
 import tempfile
 
 from repro.analysis import predicted_invocations
-from repro.core import Kernel
+from repro.api import Pipeline
 from repro.devices import random_lines
-from repro.filters import grep, unique_adjacent, upper_case
-from repro.net.launch import IDENTITY, execute, plan_pipeline
-from repro.transput import build_pipeline
 
 N_FILTERS = 3
 ITEMS = 10
 SEED = 7
+
+IDENTITY = "repro.transput:identity_transducer"
 
 FILTER_SPECS = [
     ("repro.filters:grep", ["stream"]),
@@ -39,15 +40,15 @@ FILTER_SPECS = [
 
 
 def measure(discipline: str, workdir: str) -> None:
-    plans = plan_pipeline(
-        discipline, [IDENTITY] * N_FILTERS, workdir,
-        source_items=list(range(ITEMS)),
-    )
-    result = execute(plans, timeout=60)
+    result = Pipeline(
+        [IDENTITY] * N_FILTERS,
+        discipline=discipline,
+        source=[str(i) for i in range(ITEMS)],
+    ).run(runtime="tcp", workdir=workdir, timeout=60)
     predicted = predicted_invocations(discipline, N_FILTERS, ITEMS)
     verdict = "exact" if result.invocations == predicted else "MISMATCH"
     print(
-        f"{discipline:14s} processes={len(plans):2d} "
+        f"{discipline:14s} "
         f"on-wire requests={result.invocations:4d} "
         f"paper predicts={predicted:4d}  [{verdict}]"
     )
@@ -63,31 +64,27 @@ def main() -> None:
             measure(discipline, f"{workdir}/{discipline}")
 
         print("\nreal filters (grep | upper | uniq), read-only over TCP:")
-        plans = plan_pipeline(
-            "readonly", FILTER_SPECS, f"{workdir}/real",
-            source_count=ITEMS, source_seed=SEED,
+        pipeline = Pipeline(
+            FILTER_SPECS,
+            discipline="readonly",
+            source=random_lines(count=ITEMS, seed=SEED),
         )
-        result = execute(plans, timeout=60)
+        tcp = pipeline.run(runtime="tcp", workdir=f"{workdir}/real",
+                           timeout=60)
+        simulated = pipeline.run(runtime="sim")
 
-        kernel = Kernel(seed=0)
-        simulated = build_pipeline(
-            kernel, "readonly",
-            random_lines(count=ITEMS, seed=SEED),
-            [grep("stream"), upper_case(), unique_adjacent()],
-        ).run_to_completion()
-
-        match = result.output == [str(line) for line in simulated]
-        for line in result.output:
+        match = tcp.output == [str(line) for line in simulated.output]
+        for line in tcp.output:
             print("  ", line)
         print(
             f"\nTCP output == simulator output for seed {SEED}: {match}"
         )
-        totals = result.totals
+        counters = tcp.stats.get("counters", {})
         print(
-            f"wire totals: {totals.get('frames_sent')} frames, "
-            f"{totals.get('bytes_sent')} bytes, "
-            f"{totals.get('invocations_sent')} requests, "
-            f"{totals.get('replies_sent')} replies"
+            f"wire totals: {counters.get('frames_sent')} frames, "
+            f"{counters.get('bytes_sent')} bytes, "
+            f"{counters.get('invocations_sent')} requests, "
+            f"{counters.get('replies_sent')} replies"
         )
         if not match:
             raise SystemExit("output mismatch between TCP and simulator")

@@ -9,11 +9,11 @@ devices, a pipeline shell and an asyncio binding.
 
 Quickstart::
 
-    from repro import Kernel, build_readonly_pipeline
+    from repro import Kernel, compose_readonly_pipeline
     from repro.filters import comment_stripper
 
     kernel = Kernel()
-    pipeline = build_readonly_pipeline(
+    pipeline = compose_readonly_pipeline(
         kernel,
         ["C a comment", "      REAL X"],
         [comment_stripper("C")],
@@ -57,6 +57,10 @@ from repro.transput import (
     build_pipeline,
     build_readonly_pipeline,
     build_writeonly_pipeline,
+    compose_conventional_pipeline,
+    compose_pipeline,
+    compose_readonly_pipeline,
+    compose_writeonly_pipeline,
 )
 
 __version__ = "1.0.0"
@@ -74,6 +78,10 @@ __all__ = [
     "UID",
     "__version__",
     "build_conventional_pipeline",
+    "compose_conventional_pipeline",
+    "compose_pipeline",
+    "compose_readonly_pipeline",
+    "compose_writeonly_pipeline",
     "build_figure1",
     "build_figure2",
     "build_figure3",

@@ -10,6 +10,10 @@ from repro.aio.pipeline import (
     run_pipeline,
     run_readonly,
     run_writeonly,
+    stream_conventional,
+    stream_pipeline,
+    stream_readonly,
+    stream_writeonly,
 )
 from repro.aio.streams import (
     AioCollector,
@@ -39,4 +43,8 @@ __all__ = [
     "run_pipeline",
     "run_readonly",
     "run_writeonly",
+    "stream_conventional",
+    "stream_pipeline",
+    "stream_readonly",
+    "stream_writeonly",
 ]

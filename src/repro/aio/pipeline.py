@@ -1,10 +1,29 @@
-"""asyncio pipeline runners for all three disciplines."""
+"""asyncio pipeline drivers for all three disciplines.
+
+The canonical entry points are :func:`stream_readonly`,
+:func:`stream_writeonly`, :func:`stream_conventional` and the by-name
+dispatcher :func:`stream_pipeline`.  Each accepts an optional
+``stats`` (:class:`~repro.core.stats.KernelStats`) and, when given
+one, counts an ``invocations_sent`` for every transfer request that
+crosses a stage boundary — a ``read()`` on a pull boundary, a
+``write()`` on a push boundary, both sides of a conventional pipe —
+which is the same thing the simulator's kernel and the TCP runtime's
+frame counters measure.  That shared definition is what lets
+:class:`repro.api.Pipeline` assert invocation *parity* across all
+three runtimes (paper claims C1/C2: ``(n+1)(m+1)`` asymmetric vs
+``(2n+2)(m+1)`` conventional).
+
+``run_readonly`` / ``run_writeonly`` / ``run_conventional`` /
+``run_pipeline`` are deprecated aliases kept for source compatibility.
+"""
 
 from __future__ import annotations
 
 import asyncio
 from typing import Any, Iterable, Sequence
 
+from repro.compat import warn_deprecated
+from repro.core.stats import KernelStats
 from repro.transput.filterbase import Transducer
 from repro.aio.streams import (
     AioCollector,
@@ -12,11 +31,17 @@ from repro.aio.streams import (
     AioReadOnlyStage,
     AioSource,
     AioWriteOnlyStage,
+    Readable,
+    Writable,
     collect,
 )
 from repro.transput.stream import END_TRANSFER, Transfer
 
 __all__ = [
+    "stream_readonly",
+    "stream_writeonly",
+    "stream_conventional",
+    "stream_pipeline",
     "run_readonly",
     "run_writeonly",
     "run_conventional",
@@ -24,64 +49,103 @@ __all__ = [
 ]
 
 
-async def run_readonly(
+class _CountingReadable:
+    """Bumps ``invocations_sent`` for every READ crossing a boundary."""
+
+    def __init__(self, inner: Readable, stats: KernelStats | None) -> None:
+        self._inner = inner
+        self._stats = stats
+
+    async def read(self, batch: int = 1) -> Transfer:
+        if self._stats is not None:
+            self._stats.bump("invocations_sent")
+        return await self._inner.read(batch)
+
+
+class _CountingWritable:
+    """Bumps ``invocations_sent`` for every WRITE crossing a boundary."""
+
+    def __init__(self, inner: Writable, stats: KernelStats | None) -> None:
+        self._inner = inner
+        self._stats = stats
+
+    async def write(self, transfer: Transfer) -> None:
+        if self._stats is not None:
+            self._stats.bump("invocations_sent")
+        await self._inner.write(transfer)
+
+
+async def stream_readonly(
     items: Iterable[Any],
     transducers: Sequence[Transducer],
     batch: int = 1,
     lookahead: int = 0,
+    stats: KernelStats | None = None,
 ) -> list[Any]:
     """Read-only pipeline: chain stages, then pump from the tail."""
-    upstream = AioSource(items)
+    upstream: Readable = AioSource(items)
     for transducer in transducers:
         upstream = AioReadOnlyStage(
-            transducer, upstream, lookahead=lookahead, batch_in=batch
+            transducer,
+            _CountingReadable(upstream, stats),
+            lookahead=lookahead,
+            batch_in=batch,
         )
-    return await collect(upstream, batch=batch)
+    return await collect(_CountingReadable(upstream, stats), batch=batch)
 
 
-async def run_writeonly(
+async def stream_writeonly(
     items: Iterable[Any],
     transducers: Sequence[Transducer],
     batch: int = 1,
+    stats: KernelStats | None = None,
 ) -> list[Any]:
     """Write-only pipeline: build sink-first, push from the head."""
     sink = AioCollector()
-    downstream = sink
+    downstream: Writable = sink
     for transducer in reversed(list(transducers)):
-        downstream = AioWriteOnlyStage(transducer, [downstream])
+        downstream = AioWriteOnlyStage(
+            transducer, [_CountingWritable(downstream, stats)]
+        )
+    head = _CountingWritable(downstream, stats)
     pending = list(items)
     for start in range(0, len(pending), max(1, batch)):
         chunk = pending[start : start + max(1, batch)]
-        await downstream.write(Transfer.of(chunk))
-    await downstream.write(END_TRANSFER)
+        await head.write(Transfer.of(chunk))
+    await head.write(END_TRANSFER)
     await sink.done.wait()
     return list(sink.items)
 
 
-async def run_conventional(
+async def stream_conventional(
     items: Iterable[Any],
     transducers: Sequence[Transducer],
     batch: int = 1,
     capacity: int = 16,
+    stats: KernelStats | None = None,
 ) -> list[Any]:
     """Conventional pipeline: a pumping task per filter, pipes between.
 
     Each filter task actively reads its inbound pipe and actively
     writes its outbound pipe — concurrency comes from the tasks, and
-    backpressure from the bounded pipes, exactly as in Unix.
+    backpressure from the bounded pipes, exactly as in Unix.  Both
+    sides of every pipe are invocations (paper Figure 1), which is why
+    this discipline counts double.
     """
     transducers = list(transducers)
     pipes = [AioPipe(capacity=capacity) for _ in range(len(transducers) + 1)]
+    write_side = [_CountingWritable(pipe, stats) for pipe in pipes]
+    read_side = [_CountingReadable(pipe, stats) for pipe in pipes]
 
     async def source_task() -> None:
         pending = list(items)
         for start in range(0, len(pending), max(1, batch)):
             chunk = pending[start : start + max(1, batch)]
-            await pipes[0].write(Transfer.of(chunk))
-        await pipes[0].write(END_TRANSFER)
+            await write_side[0].write(Transfer.of(chunk))
+        await write_side[0].write(END_TRANSFER)
 
     async def filter_task(index: int, transducer: Transducer) -> None:
-        inbound, outbound = pipes[index], pipes[index + 1]
+        inbound, outbound = read_side[index], write_side[index + 1]
         for record in transducer.start():
             await outbound.write(Transfer.single(record))
         while True:
@@ -96,7 +160,7 @@ async def run_conventional(
         await outbound.write(END_TRANSFER)
 
     async def sink_task() -> list[Any]:
-        return await collect(pipes[-1], batch=batch)
+        return await collect(read_side[-1], batch=batch)
 
     tasks = [
         asyncio.create_task(source_task()),
@@ -110,18 +174,72 @@ async def run_conventional(
     return output
 
 
+def stream_pipeline(
+    items: Iterable[Any],
+    transducers: Sequence[Transducer],
+    discipline: str = "readonly",
+    stats: KernelStats | None = None,
+    **kwargs: Any,
+) -> list[Any]:
+    """Synchronous front door: run an aio pipeline to completion."""
+    runners = {
+        "readonly": stream_readonly,
+        "writeonly": stream_writeonly,
+        "conventional": stream_conventional,
+    }
+    if discipline not in runners:
+        raise ValueError(f"discipline must be one of {sorted(runners)}")
+    return asyncio.run(
+        runners[discipline](items, transducers, stats=stats, **kwargs)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deprecated aliases (pre-facade names).
+# ---------------------------------------------------------------------------
+
+
+async def run_readonly(
+    items: Iterable[Any],
+    transducers: Sequence[Transducer],
+    batch: int = 1,
+    lookahead: int = 0,
+) -> list[Any]:
+    """Deprecated alias of :func:`stream_readonly`."""
+    warn_deprecated("repro.aio.run_readonly", "repro.aio.stream_readonly")
+    return await stream_readonly(items, transducers, batch=batch,
+                                 lookahead=lookahead)
+
+
+async def run_writeonly(
+    items: Iterable[Any],
+    transducers: Sequence[Transducer],
+    batch: int = 1,
+) -> list[Any]:
+    """Deprecated alias of :func:`stream_writeonly`."""
+    warn_deprecated("repro.aio.run_writeonly", "repro.aio.stream_writeonly")
+    return await stream_writeonly(items, transducers, batch=batch)
+
+
+async def run_conventional(
+    items: Iterable[Any],
+    transducers: Sequence[Transducer],
+    batch: int = 1,
+    capacity: int = 16,
+) -> list[Any]:
+    """Deprecated alias of :func:`stream_conventional`."""
+    warn_deprecated("repro.aio.run_conventional",
+                    "repro.aio.stream_conventional")
+    return await stream_conventional(items, transducers, batch=batch,
+                                     capacity=capacity)
+
+
 def run_pipeline(
     items: Iterable[Any],
     transducers: Sequence[Transducer],
     discipline: str = "readonly",
     **kwargs: Any,
 ) -> list[Any]:
-    """Synchronous front door: run an aio pipeline to completion."""
-    runners = {
-        "readonly": run_readonly,
-        "writeonly": run_writeonly,
-        "conventional": run_conventional,
-    }
-    if discipline not in runners:
-        raise ValueError(f"discipline must be one of {sorted(runners)}")
-    return asyncio.run(runners[discipline](items, transducers, **kwargs))
+    """Deprecated alias of :func:`stream_pipeline`."""
+    warn_deprecated("repro.aio.run_pipeline", "repro.aio.stream_pipeline")
+    return stream_pipeline(items, transducers, discipline=discipline, **kwargs)

@@ -1,0 +1,337 @@
+"""repro.api: one pipeline definition, runnable on all three runtimes.
+
+The reproduction grew three front doors, one per runtime: the
+simulator's :func:`repro.transput.compose_pipeline` builders, the
+asyncio :func:`repro.aio.stream_pipeline` drivers, and the TCP
+fleet's :func:`repro.net.launch.plan_fleet` / ``run_fleet`` pair.
+They take the same logical description — a source, an ordered list of
+transducers, a discipline — through three different vocabularies.
+
+This module is the one vocabulary::
+
+    from repro.api import Pipeline
+
+    result = Pipeline(
+        stages=[("repro.filters:comment_stripper", ["C"]),
+                "repro.filters:strip_whitespace"],
+        discipline="readonly",
+        source=["C a comment", "      REAL X"],
+    ).run(runtime="sim")          # or "aio", or "tcp"
+
+    result.output       # ['REAL X']
+    result.invocations  # (n+1)(m+1) — identical on every runtime
+
+Stages are **specs** — ``"module:factory"`` strings or ``(spec, args)``
+pairs — so the same pipeline object can be replayed on any runtime
+(each run instantiates fresh transducers; the TCP runtime ships the
+spec across the process boundary).  Already-built
+:class:`~repro.transput.filterbase.Transducer` instances are accepted
+for the in-process runtimes (``sim``/``aio``) but rejected with an
+explanation for ``tcp``.
+
+All runtimes return the same :class:`PipelineResult`, and all knobs
+use one vocabulary (``batch``, ``credit_window``, ``lookahead``,
+``timeout``, ``max_restarts``, ...) validated eagerly — a knob that a
+runtime cannot honour raises ``ValueError`` instead of being silently
+ignored.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.transput.filterbase import Transducer
+from repro.transput.flow import FlowPolicy
+from repro.transput.pipeline import DISCIPLINES
+
+__all__ = ["Pipeline", "PipelineResult", "RUNTIMES", "DISCIPLINES"]
+
+#: The runtimes a Pipeline can run on.
+RUNTIMES = ("sim", "aio", "tcp")
+
+#: Knobs only the supervised TCP fleet can honour.
+_TCP_ONLY = ("timeout", "max_restarts", "faults", "resume", "io_timeout",
+             "trace", "workdir")
+
+
+@dataclass
+class PipelineResult:
+    """What one run produced, in runtime-independent shape.
+
+    ``output`` is the sink's collected records — note the TCP runtime
+    transports records as text lines, so use string records when
+    comparing outputs across runtimes.  ``invocations`` counts the
+    transfer requests that crossed stage boundaries (READs + WRITEs +
+    pushed ENDs), the paper's C1/C2 cost metric, measured the same way
+    on every runtime.  ``stats`` is the full counters/gauges/histograms
+    payload (:func:`repro.obs.registry.snapshot_payload` shape).
+    """
+
+    runtime: str
+    discipline: str
+    output: list[Any]
+    invocations: int
+    stats: dict[str, Any] = field(default_factory=dict)
+    #: Supervised restarts (TCP runtime only; 0 elsewhere).
+    restarts: int = 0
+    #: Supervisor counters payload (TCP runtime only; empty elsewhere).
+    supervisor: dict[str, Any] = field(default_factory=dict)
+    stderr: list[str] = field(default_factory=list)
+    trace_files: list[str] = field(default_factory=list)
+
+    def invocations_per_datum(self, item_count: int) -> float:
+        """Average invocations to move one record end-to-end."""
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        return self.invocations / item_count
+
+
+class Pipeline:
+    """A runtime-independent pipeline description.
+
+    Args:
+        stages: transducer specs, upstream to downstream.  Each is a
+            ``"module:factory"`` string, a ``(spec, args)`` pair, or —
+            for the in-process runtimes only — a built Transducer.
+        discipline: ``"readonly"``, ``"writeonly"`` or
+            ``"conventional"``.
+        source: the records to stream (a finite sequence; the TCP
+            runtime additionally needs them JSON-encodable).
+        sink: ``None`` or ``"collect"`` — the built-in collecting sink
+            whose records become ``result.output``.  Custom sink Ejects
+            remain a simulator-only feature of
+            :func:`repro.transput.compose_readonly_pipeline`.
+        flow: default :class:`FlowPolicy` for every run (individual
+            ``run()`` calls may override knobs).
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Any],
+        discipline: str = "readonly",
+        source: Sequence[Any] | None = None,
+        sink: Any = None,
+        flow: FlowPolicy | None = None,
+    ) -> None:
+        if discipline not in DISCIPLINES:
+            raise ValueError(
+                f"discipline must be one of {DISCIPLINES}, got {discipline!r}"
+            )
+        if source is None:
+            raise ValueError("source is required (a finite record sequence)")
+        if sink not in (None, "collect"):
+            raise ValueError(
+                f"sink must be None or 'collect', got {sink!r}; custom sinks "
+                "are a simulator feature — use repro.transput.compose_* "
+                "builders directly"
+            )
+        self.stages = list(stages)
+        for stage in self.stages:
+            self._check_stage(stage)
+        self.discipline = discipline
+        self.source = list(source)
+        self.flow = flow or FlowPolicy()
+
+    # -- stage specs --------------------------------------------------------
+
+    @staticmethod
+    def _check_stage(stage: Any) -> None:
+        if isinstance(stage, Transducer):
+            return
+        if isinstance(stage, str):
+            if ":" not in stage:
+                raise ValueError(
+                    f"stage spec must be 'module:factory', got {stage!r}"
+                )
+            return
+        if (isinstance(stage, (tuple, list)) and len(stage) == 2
+                and isinstance(stage[0], str)):
+            return
+        raise ValueError(
+            f"each stage must be a Transducer, a 'module:factory' spec, or "
+            f"a (spec, args) pair; got {stage!r}"
+        )
+
+    def _transducers(self) -> list[Transducer]:
+        """Fresh transducer instances for one in-process run."""
+        from repro.net.stage import load_transducer
+
+        made = []
+        for stage in self.stages:
+            if isinstance(stage, Transducer):
+                made.append(stage)
+            elif isinstance(stage, str):
+                made.append(load_transducer(stage))
+            else:
+                made.append(load_transducer(stage[0], list(stage[1])))
+        return made
+
+    def _specs(self) -> list[tuple[str, list[Any]]]:
+        """``(spec, args)`` pairs for the TCP runtime."""
+        specs = []
+        for stage in self.stages:
+            if isinstance(stage, Transducer):
+                raise ValueError(
+                    f"the tcp runtime cannot ship a built Transducer "
+                    f"({type(stage).__name__}) across a process boundary; "
+                    "give a 'module:factory' spec instead"
+                )
+            if isinstance(stage, str):
+                specs.append((stage, []))
+            else:
+                specs.append((stage[0], list(stage[1])))
+        return specs
+
+    # -- running ------------------------------------------------------------
+
+    def run(
+        self,
+        runtime: str = "sim",
+        *,
+        flow: FlowPolicy | None = None,
+        batch: int | None = None,
+        credit_window: int | None = None,
+        lookahead: int | None = None,
+        placement: Any = None,
+        timeout: float | None = None,
+        max_restarts: int | None = None,
+        faults: Mapping[int, Any] | None = None,
+        resume: bool | None = None,
+        io_timeout: float | None = None,
+        trace: bool | None = None,
+        workdir: str | None = None,
+    ) -> PipelineResult:
+        """Run the pipeline on ``runtime`` and gather a common result.
+
+        Flow knobs (``batch``, ``credit_window``, ``lookahead``, or a
+        whole ``flow`` policy) apply everywhere.  ``placement`` is
+        simulator-only.  The fault-tolerance knobs (``timeout``,
+        ``max_restarts``, ``faults``, ``resume``, ``io_timeout``,
+        ``trace``, ``workdir``) are TCP-only — passing one to another
+        runtime is an error, never a silent no-op.
+        """
+        if runtime not in RUNTIMES:
+            raise ValueError(f"runtime must be one of {RUNTIMES}, got {runtime!r}")
+        if runtime != "tcp":
+            given = {name: value for name, value in (
+                ("timeout", timeout), ("max_restarts", max_restarts),
+                ("faults", faults), ("resume", resume),
+                ("io_timeout", io_timeout), ("trace", trace),
+                ("workdir", workdir),
+            ) if value is not None}
+            if given:
+                raise ValueError(
+                    f"knob(s) {sorted(given)} need the supervised fleet; "
+                    f"run(runtime='tcp', ...) instead of {runtime!r}"
+                )
+        if runtime != "sim" and placement is not None:
+            raise ValueError("placement is simulator-only (runtime='sim')")
+
+        policy = flow or self.flow
+        if batch is not None:
+            policy = policy.with_batch(batch)
+        if credit_window is not None:
+            policy = policy.with_credit_window(credit_window)
+        if lookahead is not None:
+            policy = dataclasses.replace(policy, lookahead=lookahead)
+
+        if runtime == "sim":
+            return self._run_sim(policy, placement)
+        if runtime == "aio":
+            return self._run_aio(policy)
+        return self._run_tcp(
+            policy,
+            timeout=60.0 if timeout is None else timeout,
+            max_restarts=0 if max_restarts is None else max_restarts,
+            faults=faults,
+            resume=bool(resume),
+            io_timeout=io_timeout,
+            trace=bool(trace),
+            workdir=workdir,
+        )
+
+    # -- the three backends -------------------------------------------------
+
+    def _run_sim(self, policy: FlowPolicy, placement: Any) -> PipelineResult:
+        from repro.core.kernel import Kernel
+        from repro.obs.registry import snapshot_payload
+        from repro.transput.pipeline import compose_pipeline
+
+        kernel = Kernel()
+        built = compose_pipeline(
+            kernel, self.discipline, list(self.source), self._transducers(),
+            flow=policy, placement=placement,
+        )
+        output = built.run_to_completion()
+        return PipelineResult(
+            runtime="sim",
+            discipline=self.discipline,
+            output=output,
+            invocations=built.invocations_used(),
+            stats=snapshot_payload(kernel.stats),
+        )
+
+    def _run_aio(self, policy: FlowPolicy) -> PipelineResult:
+        from repro.aio.pipeline import stream_pipeline
+        from repro.core.stats import KernelStats
+        from repro.obs.registry import snapshot_payload
+
+        stats = KernelStats()
+        kwargs: dict[str, Any] = {"batch": policy.batch}
+        if self.discipline == "readonly":
+            kwargs["lookahead"] = policy.lookahead
+        elif self.discipline == "conventional":
+            kwargs["capacity"] = policy.buffer_capacity or 16
+        output = stream_pipeline(
+            list(self.source), self._transducers(), self.discipline,
+            stats=stats, **kwargs,
+        )
+        return PipelineResult(
+            runtime="aio",
+            discipline=self.discipline,
+            output=output,
+            invocations=stats.get("invocations_sent"),
+            stats=snapshot_payload(stats),
+        )
+
+    def _run_tcp(
+        self,
+        policy: FlowPolicy,
+        timeout: float,
+        max_restarts: int,
+        faults: Mapping[int, Any] | None,
+        resume: bool,
+        io_timeout: float | None,
+        trace: bool,
+        workdir: str | None,
+    ) -> PipelineResult:
+        from repro.net.launch import plan_fleet, run_fleet
+        from repro.obs.registry import snapshot_payload
+
+        workdir = workdir or tempfile.mkdtemp(prefix="eden-fleet-")
+        plans = plan_fleet(
+            self.discipline,
+            self._specs(),
+            workdir,
+            source_items=list(self.source),
+            flow=policy,
+            trace=trace,
+            faults=faults,
+            resume=resume,
+            io_timeout=io_timeout,
+        )
+        result = run_fleet(plans, timeout=timeout, max_restarts=max_restarts)
+        return PipelineResult(
+            runtime="tcp",
+            discipline=self.discipline,
+            output=list(result.output),
+            invocations=result.invocations,
+            stats=snapshot_payload(result.totals),
+            restarts=result.restarts,
+            supervisor=dict(result.supervisor),
+            stderr=list(result.stderr),
+            trace_files=list(result.trace_files),
+        )

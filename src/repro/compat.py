@@ -1,0 +1,60 @@
+"""Deprecation machinery for the pipeline-API unification.
+
+The three historical pipeline entry points — the simulator builders
+(:mod:`repro.transput.pipeline`), the asyncio runners
+(:mod:`repro.aio.pipeline`) and the TCP orchestrator
+(:mod:`repro.net.launch`) — are superseded by the single
+:class:`repro.api.Pipeline` facade.  The old names keep working as
+thin shims, but every call emits an :class:`EdenDeprecationWarning`.
+
+The warning is a *distinct* subclass so the test suite can be gated
+hard on it (``filterwarnings = error::repro.compat.
+EdenDeprecationWarning`` in ``pyproject.toml``) without tripping over
+deprecations raised by the standard library or third-party packages.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Any, Callable, TypeVar
+
+__all__ = ["EdenDeprecationWarning", "deprecated", "warn_deprecated"]
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+class EdenDeprecationWarning(DeprecationWarning):
+    """A deprecated ``repro.*`` entry point was called."""
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    """Emit the standard deprecation message for one legacy call."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        EdenDeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def deprecated(old: str, new: str) -> Callable[[_F], _F]:
+    """Wrap an implementation function as a legacy-named shim.
+
+    The wrapped callable behaves identically but announces itself as
+    ``old`` (deprecated in favour of ``new``) on every call.
+    """
+
+    def decorate(func: _F) -> _F:
+        @functools.wraps(func)
+        def shim(*args: Any, **kwargs: Any) -> Any:
+            warn_deprecated(old, new)
+            return func(*args, **kwargs)
+
+        shim.__doc__ = (
+            f"Deprecated alias for ``{new}``.\n\n"
+            f"Calls emit :class:`EdenDeprecationWarning`; behaviour is "
+            f"unchanged.\n"
+        )
+        return shim  # type: ignore[return-value]
+
+    return decorate

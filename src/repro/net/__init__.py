@@ -42,6 +42,7 @@ from repro.net.framing import (
 )
 from repro.net.handshake import (
     HandshakeError,
+    HandshakeLinkDown,
     TicketBook,
     expect_hello,
     send_hello,
@@ -49,6 +50,7 @@ from repro.net.handshake import (
 from repro.net.metrics import NetStats, merge_stats
 from repro.net.protocol import (
     Connection,
+    LinkDown,
     RemoteReadable,
     RemoteWritable,
     connect_with_backoff,
@@ -60,7 +62,16 @@ from repro.net.protocol import (
 #: :mod:`repro.net.stage`; loading them lazily keeps ``python -m
 #: repro.net.stage`` from importing the stage module twice (runpy's
 #: "found in sys.modules" warning).
-_LAUNCH_NAMES = ("PipelineResult", "StagePlan", "execute", "plan_pipeline")
+_LAUNCH_NAMES = (
+    "FleetError",
+    "FleetSupervisor",
+    "PipelineResult",
+    "StagePlan",
+    "execute",
+    "plan_fleet",
+    "plan_pipeline",
+    "run_fleet",
+)
 
 
 def __getattr__(name):
@@ -73,11 +84,15 @@ def __getattr__(name):
 
 __all__ = [
     "Connection",
+    "FleetError",
+    "FleetSupervisor",
     "Frame",
     "FrameDecoder",
     "FrameError",
     "FrameType",
     "HandshakeError",
+    "HandshakeLinkDown",
+    "LinkDown",
     "MAX_FRAME_BODY",
     "NetStats",
     "PipelineResult",
@@ -93,8 +108,10 @@ __all__ = [
     "execute",
     "expect_hello",
     "merge_stats",
+    "plan_fleet",
     "plan_pipeline",
     "read_frame",
+    "run_fleet",
     "send_hello",
     "serve_pull",
     "serve_push",

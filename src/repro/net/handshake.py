@@ -17,13 +17,20 @@ send WRITEs), and the channel it addresses.  The accepting side
 verifies the ticket and answers ``WELCOME`` (carrying the granted
 write credit and its own ticket, so authentication is mutual) or
 ``ERROR`` + close.
+
+**Session resume** (``docs/fault_tolerance.md``): a reconnecting pull
+client adds ``"resume": {"next_seq": k}`` to its HELLO — "I have
+already received the first ``k`` records of this stream; serve from
+``k``".  A push server under resume adds ``"resume_seq": r`` to its
+WELCOME — "I have already accepted ``r`` records; skip them".  Both
+fields are optional, so resuming and non-resuming peers interoperate.
 """
 
 from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.capability import PRIMARY_CHANNEL
 from repro.core.errors import EdenError
@@ -32,6 +39,7 @@ from repro.net.framing import Frame, FrameType, read_frame, write_frame
 
 __all__ = [
     "HandshakeError",
+    "HandshakeLinkDown",
     "TicketBook",
     "Hello",
     "send_hello",
@@ -52,6 +60,15 @@ MAX_SERIAL = 4096
 
 class HandshakeError(EdenError):
     """The connection hello failed (forged ticket, wrong frame, ...)."""
+
+
+class HandshakeLinkDown(HandshakeError):
+    """The link died mid-handshake (no verdict was reached).
+
+    Distinct from a rejection: the server never said no, the transport
+    just failed — a resuming client treats this as retryable (it is
+    exactly what a ``refuse_accepts`` fault looks like from outside).
+    """
 
 
 class TicketBook(UIDFactory):
@@ -91,13 +108,23 @@ class Hello:
     uid: UID
     role: str
     channel: Any = PRIMARY_CHANNEL
+    #: Stream position the client asks to resume from (None = fresh).
+    next_seq: int | None = None
 
 
-def hello_frame(uid: UID, role: str, channel: Any = PRIMARY_CHANNEL) -> Frame:
+def hello_frame(
+    uid: UID,
+    role: str,
+    channel: Any = PRIMARY_CHANNEL,
+    next_seq: int | None = None,
+) -> Frame:
     """The HELLO frame a connecting stage presents."""
     if role not in (ROLE_PULL, ROLE_PUSH):
         raise HandshakeError(f"role must be pull or push, got {role!r}")
-    return Frame(FrameType.HELLO, {"uid": uid, "role": role, "channel": channel})
+    body: dict[str, Any] = {"uid": uid, "role": role, "channel": channel}
+    if next_seq is not None:
+        body["resume"] = {"next_seq": int(next_seq)}
+    return Frame(FrameType.HELLO, body)
 
 
 async def send_hello(
@@ -107,18 +134,20 @@ async def send_hello(
     role: str,
     channel: Any = PRIMARY_CHANNEL,
     book: TicketBook | None = None,
+    next_seq: int | None = None,
 ) -> Frame:
     """Client side: present a ticket, await WELCOME.
 
-    Returns the WELCOME frame (its body carries ``credit``).  Raises
+    Returns the WELCOME frame (its body carries ``credit``, and —
+    under resume — the server's ``resume_seq``).  Raises
     :class:`HandshakeError` if the server rejects us, if the
     connection dies mid-handshake, or — when ``book`` is given — if
     the server's own ticket fails mutual verification.
     """
-    await write_frame(writer, hello_frame(uid, role, channel))
+    await write_frame(writer, hello_frame(uid, role, channel, next_seq=next_seq))
     reply = await read_frame(reader)
     if reply is None:
-        raise HandshakeError("connection closed during handshake")
+        raise HandshakeLinkDown("connection closed during handshake")
     if reply.type is FrameType.ERROR:
         raise HandshakeError(
             f"server rejected hello: {reply.body.get('code')} "
@@ -139,6 +168,7 @@ async def expect_hello(
     book: TicketBook,
     server_uid: UID,
     credit: int = 0,
+    resume_seq_for: Callable[["Hello"], int | None] | None = None,
 ) -> Hello:
     """Server side: demand a genuine ticket before any stream traffic.
 
@@ -147,6 +177,12 @@ async def expect_hello(
     returns the decoded hello.  On failure replies ``ERROR`` and
     raises :class:`HandshakeError` — exactly the simulator's
     ``ForgeryError`` discipline, but at a connection boundary.
+
+    ``resume_seq_for`` (a resuming stage's hook) maps the decoded
+    hello to the count of records this server has already accepted on
+    that channel; when it returns a number, the WELCOME advertises it
+    as ``resume_seq`` so a reconnecting pusher can skip records the
+    server already has.
     """
     frame = await read_frame(reader)
     if frame is None:
@@ -162,11 +198,20 @@ async def expect_hello(
     if not book.is_genuine(uid):
         await _reject(writer, "forged-uid", f"ticket {uid!r} was not issued here")
         raise HandshakeError(f"forged ticket {uid!r}")
-    await write_frame(
-        writer,
-        Frame(FrameType.WELCOME, {"credit": credit, "uid": server_uid}),
+    resume = frame.body.get("resume")
+    next_seq = None
+    if isinstance(resume, dict) and isinstance(resume.get("next_seq"), int):
+        next_seq = max(0, resume["next_seq"])
+    hello = Hello(
+        uid=uid, role=role, channel=frame.body.get("channel"), next_seq=next_seq
     )
-    return Hello(uid=uid, role=role, channel=frame.body.get("channel"))
+    welcome: dict[str, Any] = {"credit": credit, "uid": server_uid}
+    if resume_seq_for is not None:
+        resume_seq = resume_seq_for(hello)
+        if resume_seq is not None:
+            welcome["resume_seq"] = int(resume_seq)
+    await write_frame(writer, Frame(FrameType.WELCOME, welcome))
+    return hello
 
 
 async def _reject(writer: asyncio.StreamWriter, code: str, message: str) -> None:

@@ -1,18 +1,35 @@
-"""Orchestration: plan and spawn a whole pipeline as OS processes.
+"""Orchestration: plan, spawn, and *supervise* a pipeline of processes.
 
-The planner turns "this source, these transducers, this discipline"
-into one ``eden-stage`` command line per process, with ports, ticket
-serials and stats files assigned.  The conventional discipline gets a
-*pipe process between every adjacent pair* — the paper's passive
-buffers made into real servers — which is why its process count is
-``2n + 3`` against the asymmetric disciplines' ``n + 2``, and its
-measured message count ``(2n+2)(m+1)`` against ``(n+1)(m+1)``.
+The planner (:func:`plan_fleet`) turns "this source, these transducers,
+this discipline" into one ``eden-stage`` command line per process, with
+ports, ticket serials, stats files and fault plans assigned.  The
+conventional discipline gets a *pipe process between every adjacent
+pair* — the paper's passive buffers made into real servers — which is
+why its process count is ``2n + 3`` against the asymmetric disciplines'
+``n + 2``, and its measured message count ``(2n+2)(m+1)`` against
+``(n+1)(m+1)``.
 
-:func:`execute` runs the plan under ``subprocess`` and collects the
-sink's stdout plus every stage's on-wire counters, so callers (the
-``examples/tcp_pipeline.py`` demo and ``tests/net``) can compare real
-traffic against :func:`repro.analysis.cost_model.predicted_invocations`
-and against the simulator's output byte-for-byte.
+The supervisor (:class:`FleetSupervisor`, front door :func:`run_fleet`)
+spawns the plan and watches it: a stage that exits non-zero is
+restarted — under exponential backoff, against a per-stage
+``max_restarts`` budget, with the one-shot faults stripped from its
+plan (:meth:`repro.fault.plan.FaultPlan.survivor`) — while the
+session-resume protocol (:mod:`repro.net.protocol`) lets its neighbours
+reconnect and continue the stream with no datum duplicated or lost.
+When the budget is exhausted, or the fleet exceeds its ``timeout``, the
+whole fleet is killed and a :class:`FleetError` raised whose diagnosis
+names the offender; every stage's stderr is preserved either way,
+because stage output goes to *files*, not pipes (so nothing is lost
+when processes are killed out from under ``communicate``).  Restart
+activity is counted in supervisor stats (``restarts``,
+``restarts[<role>#<serial>]``) exported in the same Prometheus/JSON
+shapes as every other metric (:mod:`repro.obs.registry`) and written
+to ``supervisor.stats.json`` next to the stage dumps.
+
+:func:`plan_pipeline` and :func:`execute` remain as deprecated aliases
+of :func:`plan_fleet` and :func:`run_fleet`; new code should use
+:class:`repro.api.Pipeline`, which drives this module for its TCP
+runtime.
 """
 
 from __future__ import annotations
@@ -22,15 +39,29 @@ import os
 import pathlib
 import subprocess
 import sys
+import time
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 import repro
+from repro.compat import warn_deprecated
+from repro.fault.plan import KILLED_EXIT_CODE, FaultPlan
 from repro.net.metrics import NetStats, merge_stats
 from repro.net.stage import pick_free_port
+from repro.obs.registry import snapshot_payload
+from repro.core.stats import KernelStats
 from repro.transput.flow import FlowPolicy
 
-__all__ = ["StagePlan", "PipelineResult", "plan_pipeline", "execute"]
+__all__ = [
+    "StagePlan",
+    "PipelineResult",
+    "FleetError",
+    "FleetSupervisor",
+    "plan_fleet",
+    "run_fleet",
+    "plan_pipeline",
+    "execute",
+]
 
 #: Transducer spec: (``module:factory``, [args...]).
 TransducerSpec = tuple[str, Sequence[Any]]
@@ -47,6 +78,34 @@ class StagePlan:
     stats_file: str
     trace_file: str | None = None
     control_port: int | None = None
+    serial: int = 0
+    fault: FaultPlan = field(default_factory=FaultPlan)
+    stdout_file: str | None = None
+    stderr_file: str | None = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.role}#{self.serial}"
+
+    def survivor_argv(self) -> tuple[str, ...]:
+        """The command line a *restarted* incarnation should run.
+
+        Identical to :attr:`argv` except the fault plan is reduced to
+        its :meth:`~repro.fault.plan.FaultPlan.survivor` — the injected
+        kill already happened; a restart that re-kills itself forever
+        would turn every chaos experiment into a budget exhaustion.
+        """
+        survivor = self.fault.survivor()
+        argv = list(self.argv)
+        try:
+            at = argv.index("--fault-json")
+        except ValueError:
+            return self.argv
+        if survivor.is_benign:
+            del argv[at:at + 2]
+        else:
+            argv[at + 1] = survivor.to_json()
+        return tuple(argv)
 
 
 @dataclass
@@ -57,6 +116,9 @@ class PipelineResult:
     stats: list[dict[str, Any]]
     stderr: list[str] = field(default_factory=list)
     trace_files: list[str] = field(default_factory=list)
+    #: Supervisor counters (``restarts``, ``crashes``, ...) in the
+    #: same counters/gauges/histograms payload shape as stage stats.
+    supervisor: dict[str, Any] = field(default_factory=dict)
 
     @property
     def totals(self) -> NetStats:
@@ -74,8 +136,26 @@ class PipelineResult:
         """Request frames (READ + WRITE + pushed END) across all stages."""
         return self.totals.get("invocations_sent")
 
+    @property
+    def restarts(self) -> int:
+        """Total supervised restarts across the fleet (0 = clean run)."""
+        return int(self.supervisor.get("counters", {}).get("restarts", 0))
 
-def plan_pipeline(
+
+class FleetError(RuntimeError):
+    """The fleet failed: a stage exhausted its budget, or a timeout.
+
+    ``result`` (when not None) carries whatever could still be
+    gathered — most importantly every stage's stderr, which lives in
+    files and therefore survives the kill.
+    """
+
+    def __init__(self, message: str, result: PipelineResult | None = None):
+        super().__init__(message)
+        self.result = result
+
+
+def plan_fleet(
     discipline: str,
     transducers: Sequence[TransducerSpec],
     workdir: str,
@@ -90,6 +170,9 @@ def plan_pipeline(
     connect_deadline: float = 15.0,
     trace: bool = False,
     control: bool = False,
+    faults: Mapping[int, FaultPlan] | None = None,
+    resume: bool = False,
+    io_timeout: float | None = None,
 ) -> list[StagePlan]:
     """Assign ports/serials and build every stage's command line.
 
@@ -102,8 +185,17 @@ def plan_pipeline(
     ``control=True`` gives every stage a ``--control-port`` for live
     introspection.  Either also writes a ``fleet.json`` manifest into
     ``workdir`` so ``eden-top`` / ``eden-trace`` can find the fleet.
+
+    ``faults`` maps stage serials to the :class:`FaultPlan` each
+    should suffer (serials count source = 0, filters 1..n, sink = n+1,
+    then conventional pipes).  ``resume=True`` switches on the
+    session-resume protocol fleet-wide — required for any fault you
+    expect the pipeline to *survive* — and ``io_timeout`` bounds how
+    long a stage waits on a silent peer before treating the link as
+    down.
     """
     flow = flow or FlowPolicy()
+    faults = dict(faults or {})
     workpath = pathlib.Path(workdir)
     workpath.mkdir(parents=True, exist_ok=True)
 
@@ -119,6 +211,12 @@ def plan_pipeline(
         base += ["--inbox-capacity", str(flow.inbox_capacity)]
     if flow.buffer_capacity is not None:
         base += ["--buffer-capacity", str(flow.buffer_capacity)]
+    if flow.credit_window is not None:
+        base += ["--credit-window", str(flow.credit_window)]
+    if resume:
+        base += ["--resume"]
+    if io_timeout is not None:
+        base += ["--io-timeout", str(io_timeout)]
 
     if source_items is not None:
         source_args = ["--source-json", json.dumps(list(source_items))]
@@ -136,23 +234,31 @@ def plan_pipeline(
 
     def add(role: str, extra: list[str]) -> StagePlan:
         nonlocal serial
-        stats_file = str(workpath / f"stage-{serial}-{role}.stats.json")
+        stem = f"stage-{serial}-{role}"
+        stats_file = str(workpath / f"{stem}.stats.json")
         argv = ["--role", role, "--serial", str(serial),
                 "--stats-file", stats_file]
         trace_file = None
         if trace:
-            trace_file = str(workpath / f"stage-{serial}-{role}.trace.jsonl")
+            trace_file = str(workpath / f"{stem}.trace.jsonl")
             argv += ["--trace-file", trace_file]
         control_port = None
         if control:
             control_port = pick_free_port(host)
             argv += ["--control-port", str(control_port)]
+        fault = faults.pop(serial, None) or FaultPlan()
+        if not fault.is_benign:
+            argv += ["--fault-json", fault.to_json()]
         plan = StagePlan(
             role=role,
             argv=tuple(argv + base + extra),
             stats_file=stats_file,
             trace_file=trace_file,
             control_port=control_port,
+            serial=serial,
+            fault=fault,
+            stdout_file=str(workpath / f"{stem}.stdout.log"),
+            stderr_file=str(workpath / f"{stem}.stderr.log"),
         )
         plans.append(plan)
         serial += 1
@@ -198,10 +304,16 @@ def plan_pipeline(
             add("pipe", ["--listen", str(port)])
     else:
         raise ValueError(f"unknown discipline {discipline!r}")
+    if faults:
+        raise ValueError(
+            f"faults named serials that do not exist: {sorted(faults)} "
+            f"(the fleet has serials 0..{serial - 1})"
+        )
     if trace or control:
         manifest = {
             "discipline": discipline,
             "host": host,
+            "resume": resume,
             "stages": [
                 {
                     "role": plan.role,
@@ -209,6 +321,7 @@ def plan_pipeline(
                     "stats_file": plan.stats_file,
                     "trace_file": plan.trace_file,
                     "control_port": plan.control_port,
+                    "fault": plan.fault.as_dict(),
                 }
                 for index, plan in enumerate(plans)
             ],
@@ -218,64 +331,279 @@ def plan_pipeline(
     return plans
 
 
+class _Member:
+    """One supervised stage: its plan, its process, its budget."""
+
+    def __init__(self, plan: StagePlan, index: int) -> None:
+        self.plan = plan
+        self.index = index
+        self.process: subprocess.Popen | None = None
+        self.restarts = 0
+        self.done = False
+        self.rc: int | None = None
+        self.restart_at: float | None = None
+
+    @property
+    def stdout_path(self) -> str:
+        if self.plan.stdout_file is not None:
+            return self.plan.stdout_file
+        return self.plan.stats_file.replace(".stats.json", ".stdout.log")
+
+    @property
+    def stderr_path(self) -> str:
+        if self.plan.stderr_file is not None:
+            return self.plan.stderr_file
+        return self.plan.stats_file.replace(".stats.json", ".stderr.log")
+
+
+class FleetSupervisor:
+    """Spawn a planned fleet and keep it alive until the stream is done.
+
+    Every stage's stdout/stderr goes to files (``<stage>.stdout.log`` /
+    ``<stage>.stderr.log`` beside its stats dump), so diagnostics
+    survive kills and restarts append rather than truncate.  A stage
+    exiting non-zero is restarted with exponential backoff
+    (``backoff_base * 2^n``, capped at ``backoff_max``) until its
+    ``max_restarts`` budget runs out; exhaustion — or blowing the
+    fleet-wide ``timeout`` — kills everything and raises
+    :class:`FleetError` with a diagnosis.
+
+    The knobs carry the harmonised names (`timeout`, `max_restarts`)
+    used by :class:`repro.api.Pipeline`; all are validated eagerly.
+    """
+
+    def __init__(
+        self,
+        plans: Sequence[StagePlan],
+        timeout: float = 60.0,
+        python: str | None = None,
+        max_restarts: int = 0,
+        backoff_base: float = 0.1,
+        backoff_max: float = 2.0,
+        poll_interval: float = 0.02,
+    ) -> None:
+        if not plans:
+            raise ValueError("cannot supervise an empty fleet")
+        if not isinstance(timeout, (int, float)) or timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout!r}")
+        if not isinstance(max_restarts, int) or max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be an integer >= 0, got {max_restarts!r}"
+            )
+        if backoff_base < 0 or backoff_max < backoff_base:
+            raise ValueError(
+                f"need 0 <= backoff_base <= backoff_max, got "
+                f"{backoff_base!r}/{backoff_max!r}"
+            )
+        if poll_interval <= 0:
+            raise ValueError(f"poll_interval must be > 0, got {poll_interval!r}")
+        self.plans = list(plans)
+        self.timeout = timeout
+        self.python = python or sys.executable
+        self.max_restarts = max_restarts
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.poll_interval = poll_interval
+        self.stats = KernelStats()
+        self._members = [_Member(plan, i) for i, plan in enumerate(self.plans)]
+
+    # -- process plumbing ---------------------------------------------------
+
+    def _env(self) -> dict[str, str]:
+        env = dict(os.environ)
+        package_root = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = package_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        return env
+
+    def _spawn(self, member: _Member, env: dict[str, str]) -> None:
+        restart = member.restarts > 0
+        argv = member.plan.survivor_argv() if restart else member.plan.argv
+        mode = "a" if restart else "w"
+        with open(member.stdout_path, mode, encoding="utf-8") as out, \
+                open(member.stderr_path, mode, encoding="utf-8") as err:
+            if restart:
+                err.write(f"--- restart #{member.restarts} ---\n")
+            member.process = subprocess.Popen(
+                [self.python, "-m", "repro.net.stage", *argv],
+                stdout=out, stderr=err, text=True, env=env,
+            )
+        member.restart_at = None
+
+    def _kill_all(self) -> None:
+        for member in self._members:
+            process = member.process
+            if process is not None and process.poll() is None:
+                process.kill()
+        for member in self._members:
+            if member.process is not None:
+                member.process.wait()
+
+    def _read(self, path: str) -> str:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return handle.read()
+        except OSError:
+            return ""
+
+    def _partial_result(self) -> PipelineResult:
+        """Whatever can be gathered after a failed run (stderr, stats)."""
+        stats = []
+        for plan in self.plans:
+            try:
+                with open(plan.stats_file, "r", encoding="utf-8") as handle:
+                    stats.append(json.load(handle))
+            except (OSError, json.JSONDecodeError):
+                stats.append({"counters": {}, "gauges": {}, "histograms": {}})
+        return PipelineResult(
+            output=[],
+            stats=stats,
+            stderr=[self._read(m.stderr_path) for m in self._members],
+            trace_files=[p.trace_file for p in self.plans
+                         if p.trace_file is not None],
+            supervisor=snapshot_payload(self.stats),
+        )
+
+    def _diagnose(self, member: _Member, rc: int) -> str:
+        tail = self._read(member.stderr_path).strip()[-500:]
+        kind = ("injected kill" if rc == KILLED_EXIT_CODE else "crash")
+        return (
+            f"{member.plan.label} rc={rc} ({kind}) after "
+            f"{member.restarts} restart(s) of a budget of "
+            f"{self.max_restarts}: {tail}"
+        )
+
+    # -- the supervision loop -----------------------------------------------
+
+    def run(self) -> PipelineResult:
+        """Run the fleet to completion; restart crashes; gather results."""
+        env = self._env()
+        for member in self._members:
+            self._spawn(member, env)
+        deadline = time.monotonic() + self.timeout
+        try:
+            while not all(m.done for m in self._members):
+                now = time.monotonic()
+                if now > deadline:
+                    self._kill_all()
+                    running = [m.plan.label for m in self._members
+                               if not m.done]
+                    raise FleetError(
+                        f"fleet timeout after {self.timeout:.1f}s; "
+                        f"still running: {', '.join(running)}",
+                        result=self._partial_result(),
+                    )
+                for member in self._members:
+                    if member.done:
+                        continue
+                    if member.process is None:
+                        if member.restart_at is not None and \
+                                now >= member.restart_at:
+                            self._spawn(member, env)
+                        continue
+                    rc = member.process.poll()
+                    if rc is None:
+                        continue
+                    if rc == 0:
+                        member.done = True
+                        member.rc = 0
+                        continue
+                    self._note_crash(member, rc)
+                time.sleep(self.poll_interval)
+        except FleetError:
+            raise
+        except BaseException:
+            self._kill_all()
+            raise
+        return self._gather()
+
+    def _note_crash(self, member: _Member, rc: int) -> None:
+        label = member.plan.label
+        self.stats.bump("crashes")
+        self.stats.bump(f"crashes[{label}]")
+        if rc == KILLED_EXIT_CODE:
+            self.stats.bump("injected_kills")
+        if member.restarts >= self.max_restarts:
+            diagnosis = self._diagnose(member, rc)
+            self._kill_all()
+            raise FleetError(
+                "stage failures:\n" + diagnosis,
+                result=self._partial_result(),
+            )
+        delay = min(self.backoff_base * (2 ** member.restarts),
+                    self.backoff_max)
+        member.restarts += 1
+        member.process = None
+        member.restart_at = time.monotonic() + delay
+        self.stats.bump("restarts")
+        self.stats.bump(f"restarts[{label}]")
+        self.stats.set_gauge(f"backoff_s[{label}]", delay)
+
+    def _gather(self) -> PipelineResult:
+        sink = next(m for m in self._members if m.plan.role == "sink")
+        output = self._read(sink.stdout_path).splitlines()
+        stats = []
+        for plan in self.plans:
+            with open(plan.stats_file, "r", encoding="utf-8") as handle:
+                stats.append(json.load(handle))
+        payload = snapshot_payload(self.stats)
+        workdir = pathlib.Path(self.plans[0].stats_file).parent
+        try:
+            with open(workdir / "supervisor.stats.json", "w",
+                      encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+        except OSError:
+            pass
+        return PipelineResult(
+            output=output,
+            stats=stats,
+            stderr=[self._read(m.stderr_path) for m in self._members],
+            trace_files=[p.trace_file for p in self.plans
+                         if p.trace_file is not None],
+            supervisor=payload,
+        )
+
+
+def run_fleet(
+    plans: Sequence[StagePlan],
+    timeout: float = 60.0,
+    python: str | None = None,
+    max_restarts: int = 0,
+    backoff_base: float = 0.1,
+    backoff_max: float = 2.0,
+) -> PipelineResult:
+    """Spawn and supervise every planned stage; gather output + counters.
+
+    The convenience front door over :class:`FleetSupervisor`.  Raises
+    :class:`FleetError` (a ``RuntimeError``, with every stage's stderr
+    preserved in ``.result``) if a stage exhausts its restart budget or
+    the fleet exceeds ``timeout``.
+    """
+    supervisor = FleetSupervisor(
+        plans, timeout=timeout, python=python, max_restarts=max_restarts,
+        backoff_base=backoff_base, backoff_max=backoff_max,
+    )
+    return supervisor.run()
+
+
+# ---------------------------------------------------------------------------
+# Deprecated aliases (the pre-supervisor entry points).
+# ---------------------------------------------------------------------------
+
+
+def plan_pipeline(*args: Any, **kwargs: Any) -> list[StagePlan]:
+    """Deprecated alias of :func:`plan_fleet`."""
+    warn_deprecated("repro.net.launch.plan_pipeline",
+                    "repro.net.launch.plan_fleet")
+    return plan_fleet(*args, **kwargs)
+
+
 def execute(
     plans: Sequence[StagePlan],
     timeout: float = 60.0,
     python: str | None = None,
 ) -> PipelineResult:
-    """Spawn every planned stage, wait, and gather outputs + counters.
-
-    Raises ``RuntimeError`` (with the offender's stderr) if any stage
-    exits non-zero; kills the whole fleet on timeout so a wedged run
-    cannot leak processes into the test harness.
-    """
-    python = python or sys.executable
-    env = dict(os.environ)
-    package_root = str(pathlib.Path(repro.__file__).resolve().parents[1])
-    env["PYTHONPATH"] = package_root + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-    )
-
-    processes = [
-        subprocess.Popen(
-            [python, "-m", "repro.net.stage", *plan.argv],
-            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
-            text=True, env=env,
-        )
-        for plan in plans
-    ]
-    results: list[tuple[int, str, str]] = []
-    try:
-        for process in processes:
-            out, err = process.communicate(timeout=timeout)
-            results.append((process.returncode, out, err))
-    finally:
-        for process in processes:
-            if process.poll() is None:
-                process.kill()
-                process.communicate()
-
-    failures = [
-        f"{plan.role}#{index} rc={rc}: {err.strip()[-500:]}"
-        for index, (plan, (rc, _out, err)) in enumerate(zip(plans, results))
-        if rc != 0
-    ]
-    if failures:
-        raise RuntimeError("stage failures:\n" + "\n".join(failures))
-
-    sink_index = next(
-        index for index, plan in enumerate(plans) if plan.role == "sink"
-    )
-    output = results[sink_index][1].splitlines()
-    stats = []
-    for plan in plans:
-        with open(plan.stats_file, "r", encoding="utf-8") as handle:
-            stats.append(json.load(handle))
-    return PipelineResult(
-        output=output,
-        stats=stats,
-        stderr=[err for _rc, _out, err in results],
-        trace_files=[
-            plan.trace_file for plan in plans if plan.trace_file is not None
-        ],
-    )
+    """Deprecated alias of :func:`run_fleet` (no restarts)."""
+    warn_deprecated("repro.net.launch.execute", "repro.net.launch.run_fleet")
+    return run_fleet(plans, timeout=timeout, python=python)

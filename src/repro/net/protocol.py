@@ -15,9 +15,9 @@ observation), and each pair is one connection pattern:
   and every ``ACK`` returns the allowance consumed downstream.  A
   window of 1 is the fully synchronous (lazy) push; a window of k
   keeps k records in flight (the eager/anticipatory knob of §4 —
-  :meth:`FlowPolicy.credit_window` derives the window from the same
-  policy the simulator uses).  :class:`RemoteWritable` is the active
-  side; :func:`serve_push` the passive side.
+  :meth:`FlowPolicy.effective_credit_window` derives the window from
+  the same policy the simulator uses).  :class:`RemoteWritable` is the
+  active side; :func:`serve_push` the passive side.
 
 Backpressure is therefore end-to-end and protocol-level: a slow pull
 server simply delays its ``DATA``; a slow push server delays its
@@ -28,13 +28,32 @@ Both remote classes implement the :mod:`repro.aio` ``Readable`` /
 ``Writable`` protocols, so every existing aio stage composes with them
 unchanged — that is what lets :mod:`repro.net.stage` host simulator
 transducers with no porting.
+
+**Session resume** (``docs/fault_tolerance.md``): with ``resume=True``
+the stream gains per-record sequence numbers.  Every ``DATA`` and
+``WRITE`` frame carries ``seq`` — the stream index of its first record
+— so both ends can recognise, and discard, records they have already
+seen.  The active sides treat transport failures as retryable
+(:class:`LinkDown`): a pull client reconnects and asks to resume at
+its received count (HELLO ``resume.next_seq``); a push client keeps a
+full send log and rewinds to the ``resume_seq`` the server's WELCOME
+advertises.  The passive sides keep the matching state *outside* any
+one connection: :class:`ReplayLog` retains every record a pull server
+has produced so a reconnecting (or restarted) consumer can re-fetch
+them, and :class:`PushState` remembers how many records a push server
+has accepted so duplicated prefixes are dropped, not re-written.
+Exactly-once delivery is the composition of the two: at-least-once
+from retransmission, deduplication from ``seq``.  All of it is gated
+on ``resume`` — a plan without faults runs the identical byte stream
+the pre-resume runtime produced.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
-from typing import Any, Callable, Mapping, Union
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, MutableMapping, Union
 
 from repro.core.errors import (
     EdenError,
@@ -47,6 +66,7 @@ from repro.net.framing import (
     FrameError,
     FrameType,
     attach_trace,
+    encode_frame,
     frame_trace,
     read_frame_sized,
     write_frame,
@@ -57,6 +77,7 @@ from repro.net.handshake import (
     ROLE_PULL,
     ROLE_PUSH,
     Hello,
+    HandshakeLinkDown,
     TicketBook,
     send_hello,
 )
@@ -65,10 +86,13 @@ from repro.transput.stream import END_TRANSFER, Transfer
 
 __all__ = [
     "WireError",
+    "LinkDown",
     "Connection",
     "connect_with_backoff",
     "RemoteReadable",
     "RemoteWritable",
+    "ReplayLog",
+    "PushState",
     "serve_pull",
     "serve_push",
 ]
@@ -78,11 +102,40 @@ class WireError(EdenError):
     """The remote peer reported an error frame, or the link misbehaved."""
 
 
+class LinkDown(WireError):
+    """The transport failed mid-stream (peer gone, frame garbage, timeout).
+
+    Distinct from a fatal :class:`WireError` (a protocol ``ERROR``
+    frame, a forged ticket): under ``resume`` a ``LinkDown`` is the
+    signal to reconnect and resume, never to abort the stream.
+    """
+
+
+#: Transport-level failures a resuming peer treats as retryable.
+#: (``asyncio.IncompleteReadError`` is an ``EOFError``;
+#: ``asyncio.TimeoutError`` aliases ``TimeoutError`` from 3.11 on.)
+_LINK_FAULTS = (
+    ConnectionError,
+    OSError,
+    FrameError,
+    EOFError,
+    asyncio.TimeoutError,
+    TimeoutError,
+)
+
+
 class Connection:
     """One framed TCP connection with metrics and optional tracing.
 
     ``end_is_request`` selects the END accounting (True on the pushing
     side of a write-only link; see :mod:`repro.net.metrics`).
+
+    ``injector`` is a :class:`repro.fault.inject.FaultInjector` (or
+    anything with its ``outgoing`` coroutine): every outgoing frame is
+    offered to it, and what the injector returns — nothing, one copy,
+    two copies, corrupted bytes — is what actually reaches the socket.
+    Stats still count the frame as sent once: the *stage* believes it
+    sent it, which is exactly the lie a chaos experiment needs.
     """
 
     def __init__(
@@ -94,6 +147,7 @@ class Connection:
         tracer: Tracer | None = None,
         label: str = "conn",
         clock: Callable[[], float] = time.monotonic,
+        injector: Any | None = None,
     ) -> None:
         self.reader = reader
         self.writer = writer
@@ -102,9 +156,17 @@ class Connection:
         self.tracer = tracer
         self.label = label
         self.clock = clock
+        self.injector = injector
 
     async def send(self, frame: Frame) -> None:
-        wire_bytes = await write_frame(self.writer, frame)
+        if self.injector is None:
+            wire_bytes = await write_frame(self.writer, frame)
+        else:
+            wire = encode_frame(frame)
+            wire_bytes = len(wire)
+            for chunk in await self.injector.outgoing(frame.type.name, wire):
+                self.writer.write(chunk)
+            await self.writer.drain()
         self.stats.note_sent(frame, wire_bytes, self.end_is_request)
         if self.tracer is not None:
             self.tracer.emit(
@@ -143,7 +205,10 @@ async def connect_with_backoff(
     Stages of one pipeline are spawned concurrently, so a client may
     dial before its server listens; exponential backoff up to
     ``deadline`` seconds absorbs that (and transient RSTs) without any
-    start-order coordination.
+    start-order coordination.  The same deadline bounds resume: a
+    client reconnecting to a crashed stage waits this long for the
+    supervisor to restart it before giving up with a fatal
+    :class:`WireError`.
     """
     started = time.monotonic()
     delay = first_delay
@@ -176,6 +241,12 @@ class RemoteReadable:
     datum's trace (see :meth:`repro.aio.streams.AioPipe.read`); the
     adopted context is published as :attr:`last_span` so a pump can
     carry it to its downstream write.
+
+    With ``resume=True`` the reader survives a dying link: transport
+    failures (and reply silence beyond ``io_timeout``) become
+    reconnects that present ``received`` — how many records this
+    reader has accepted — as the resume point, and any duplicated
+    prefix in a reply is discarded by its ``seq``.
     """
 
     def __init__(
@@ -190,6 +261,9 @@ class RemoteReadable:
         label: str = "pull-client",
         connect_deadline: float = 15.0,
         spans: SpanIds | None = None,
+        resume: bool = False,
+        io_timeout: float | None = None,
+        injector: Any | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -201,8 +275,13 @@ class RemoteReadable:
         self.label = label
         self.connect_deadline = connect_deadline
         self.spans = spans
+        self.resume = resume
+        self.io_timeout = io_timeout
+        self.injector = injector
         #: Span context of the most recent read (post-adoption).
         self.last_span: SpanContext | None = None
+        #: Records accepted so far == the next sequence number wanted.
+        self.received = 0
         self._connection: Connection | None = None
         self._ended = False
 
@@ -214,18 +293,51 @@ class RemoteReadable:
             connection = Connection(
                 reader, writer, stats=self.stats,
                 tracer=self.tracer, label=self.label,
+                injector=self.injector,
             )
             await send_hello(
                 reader, writer, self.uid, ROLE_PULL,
                 channel=self.channel, book=self.book,
+                next_seq=self.received if self.resume else None,
             )
             self._connection = connection
         return self._connection
 
+    async def _recv(self, connection: Connection) -> Frame | None:
+        if self.io_timeout is None:
+            return await connection.recv()
+        try:
+            return await asyncio.wait_for(connection.recv(), self.io_timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            raise LinkDown(
+                f"{self.label}: no reply within {self.io_timeout:.1f}s"
+            ) from None
+
     async def read(self, batch: int = 1) -> Transfer:
         if self._ended:
             return END_TRANSFER
-        connection = await self._ensure_connected()
+        if not self.resume:
+            transfer = await self._read_once(batch)
+            assert transfer is not None
+            return transfer
+        while True:
+            try:
+                transfer = await self._read_once(batch)
+            except LinkDown:
+                await self._reset_link()
+                continue
+            if transfer is not None:  # None: reply was all duplicates
+                return transfer
+
+    async def _read_once(self, batch: int) -> Transfer | None:
+        try:
+            connection = await self._ensure_connected()
+        except (HandshakeLinkDown, *_LINK_FAULTS) as error:
+            if self.resume:
+                raise LinkDown(
+                    f"{self.label}: link failed connecting: {error}"
+                ) from error
+            raise
         ctx: SpanContext | None = None
         started = 0.0
         body: dict[str, Any] = {"batch": max(1, batch), "channel": self.channel}
@@ -233,19 +345,46 @@ class RemoteReadable:
             ctx = self.spans.derive(current_span())
             attach_trace(body, ctx)
             started = connection.clock()
-        await connection.send(Frame(FrameType.READ, body))
-        reply = await connection.recv()
+        try:
+            await connection.send(Frame(FrameType.READ, body))
+            reply = await self._recv(connection)
+        except _LINK_FAULTS as error:
+            if self.resume:
+                raise LinkDown(f"{self.label}: link failed mid-read: {error}") \
+                    from error
+            raise
         if reply is None:
+            if self.resume:
+                raise LinkDown("peer closed mid-stream (no END received)")
             raise WireError("peer closed mid-stream (no END received)")
         if reply.type in (FrameType.DATA, FrameType.END):
+            fresh: list[Any] = []
+            seq = reply.body.get("seq")
+            if reply.type is FrameType.DATA:
+                fresh = list(reply.body.get("items", []))
+                if self.resume and isinstance(seq, int):
+                    skip = min(len(fresh), max(0, self.received - seq))
+                    if skip:
+                        self.stats.bump("duplicate_records", skip)
+                        fresh = fresh[skip:]
+                    # Evidence records the slice actually *accepted*
+                    # (post-dedup), so retransmitted prefixes do not
+                    # show up as overlap in --verify-once.
+                    seq = self.received
             if ctx is not None:
-                ctx = self._finish_span(ctx, reply, started, connection)
+                ctx = self._finish_span(
+                    ctx, reply, started, connection, seq=seq, count=len(fresh)
+                )
             if reply.type is FrameType.END:
                 self._ended = True
                 await connection.close()
                 self._connection = None
                 return END_TRANSFER
-            return Transfer.of(reply.body["items"])
+            if self.resume:
+                if not fresh:
+                    return None
+                self.received += len(fresh)
+            return Transfer.of(fresh)
         if ctx is not None:
             self._finish_span(ctx, reply, started, connection, status="error")
         if reply.type is FrameType.ERROR:
@@ -255,6 +394,13 @@ class RemoteReadable:
             )
         raise WireError(f"unexpected reply {reply.type.name} to READ")
 
+    async def _reset_link(self) -> None:
+        """Drop a failed connection so the next read redials and resumes."""
+        self.stats.bump("reconnects")
+        if self._connection is not None:
+            await self._connection.close()
+            self._connection = None
+
     def _finish_span(
         self,
         ctx: SpanContext,
@@ -262,6 +408,8 @@ class RemoteReadable:
         started: float,
         connection: Connection,
         status: str = "ok",
+        seq: Any = None,
+        count: int = 0,
     ) -> SpanContext:
         """Close one READ span (adopting a reply's trace override)."""
         override = frame_trace(reply)
@@ -275,10 +423,17 @@ class RemoteReadable:
         self.last_span = ctx
         self.stats.observe("read_rtt_ms", (ended - started) * 1000.0)
         if self.tracer is not None:
+            extra: dict[str, Any] = {}
+            if isinstance(seq, int):
+                # Sequence evidence for exactly-once verification
+                # (``eden-trace --verify-once``): which stream slice
+                # this span actually delivered.
+                extra = {"seq": seq, "n": count}
             self.tracer.emit(
                 ended, SPAN_KIND, self.label,
                 trace=ctx.trace, span=ctx.span, parent=ctx.parent,
                 op="READ", start=started, end=ended, status=status,
+                **extra,
             )
         return ctx
 
@@ -303,6 +458,13 @@ class RemoteWritable:
     frame send; the END span additionally covers the final-ACK wait.
     Credit occupancy is published as the ``credit_window`` /
     ``credit_available`` gauges.
+
+    With ``resume=True`` the writer retains every record it has ever
+    been asked to write (the send log) and stamps each WRITE with the
+    ``seq`` of its first record.  A transport failure rewinds the send
+    cursor to the ``resume_seq`` the reconnect's WELCOME advertises
+    and replays from there; the server's :class:`PushState` drops any
+    duplicated prefix.
     """
 
     def __init__(
@@ -317,6 +479,9 @@ class RemoteWritable:
         label: str = "push-client",
         connect_deadline: float = 15.0,
         spans: SpanIds | None = None,
+        resume: bool = False,
+        io_timeout: float | None = None,
+        injector: Any | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -328,9 +493,15 @@ class RemoteWritable:
         self.label = label
         self.connect_deadline = connect_deadline
         self.spans = spans
+        self.resume = resume
+        self.io_timeout = io_timeout
+        self.injector = injector
         self._connection: Connection | None = None
         self._credit = 0
         self._ended = False
+        #: Every record ever written (resume only) and the send cursor.
+        self._sendlog: list[Any] = []
+        self._next = 0
 
     async def _ensure_connected(self) -> Connection:
         if self._connection is None:
@@ -340,6 +511,7 @@ class RemoteWritable:
             connection = Connection(
                 reader, writer, stats=self.stats, end_is_request=True,
                 tracer=self.tracer, label=self.label,
+                injector=self.injector,
             )
             welcome = await send_hello(
                 reader, writer, self.uid, ROLE_PUSH,
@@ -348,12 +520,30 @@ class RemoteWritable:
             self._credit = int(welcome.body.get("credit", 1))
             self.stats.set_gauge("credit_window", float(self._credit))
             self.stats.set_gauge("credit_available", float(self._credit))
+            if self.resume:
+                resume_seq = welcome.body.get("resume_seq")
+                if isinstance(resume_seq, int):
+                    # The server already holds the first resume_seq
+                    # records: rewind (or fast-forward) the cursor.
+                    self._next = max(0, min(resume_seq, len(self._sendlog)))
             self._connection = connection
         return self._connection
+
+    async def _recv(self, connection: Connection) -> Frame | None:
+        if self.io_timeout is None:
+            return await connection.recv()
+        try:
+            return await asyncio.wait_for(connection.recv(), self.io_timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            raise LinkDown(
+                f"{self.label}: no ack within {self.io_timeout:.1f}s"
+            ) from None
 
     async def _absorb(self, frame: Frame | None) -> bool:
         """Fold one server frame into the credit; True if final ACK."""
         if frame is None:
+            if self.resume:
+                raise LinkDown("peer closed while acks were outstanding")
             raise WireError("peer closed while acks were outstanding")
         if frame.type is FrameType.ERROR:
             raise WireError(
@@ -366,9 +556,27 @@ class RemoteWritable:
         self.stats.set_gauge("credit_available", float(self._credit))
         return bool(frame.body.get("final", False))
 
+    async def _reset_link(self) -> None:
+        """Drop a failed connection; the next flush redials and rewinds."""
+        self.stats.bump("reconnects")
+        self._credit = 0
+        if self._connection is not None:
+            await self._connection.close()
+            self._connection = None
+
     async def write(self, transfer: Transfer) -> None:
         if self._ended:
             raise StreamProtocolError("write after END")
+        if not self.resume:
+            await self._write_legacy(transfer)
+            return
+        if transfer.at_end:
+            await self._end_resume()
+            return
+        self._sendlog.extend(transfer.items)
+        await self._flush()
+
+    async def _write_legacy(self, transfer: Transfer) -> None:
         connection = await self._ensure_connected()
         if transfer.at_end:
             ctx: SpanContext | None = None
@@ -381,7 +589,7 @@ class RemoteWritable:
             await connection.send(Frame(FrameType.END, body))
             # Wait for the final ack: when it arrives, every record has
             # been consumed downstream and the stage may exit safely.
-            while not await self._absorb(await connection.recv()):
+            while not await self._absorb(await self._recv(connection)):
                 pass
             if ctx is not None:
                 self._finish_span(ctx, "END", started, connection)
@@ -397,7 +605,7 @@ class RemoteWritable:
                 ctx = self.spans.derive(current_span())
                 started = connection.clock()
             while self._credit <= 0:
-                await self._absorb(await connection.recv())
+                await self._absorb(await self._recv(connection))
             chunk, pending = pending[: self._credit], pending[self._credit:]
             body = {"items": chunk, "channel": self.channel}
             if ctx is not None:
@@ -407,6 +615,64 @@ class RemoteWritable:
             self.stats.set_gauge("credit_available", float(self._credit))
             if ctx is not None:
                 self._finish_span(ctx, "WRITE", started, connection)
+
+    async def _flush(self) -> None:
+        """Drive the send log's cursor to its head, resuming over faults."""
+        while self._next < len(self._sendlog):
+            try:
+                connection = await self._ensure_connected()
+                ctx: SpanContext | None = None
+                started = 0.0
+                if self.spans is not None:
+                    ctx = self.spans.derive(current_span())
+                    started = connection.clock()
+                while self._credit <= 0:
+                    await self._absorb(await self._recv(connection))
+                chunk = self._sendlog[self._next: self._next + self._credit]
+                body: dict[str, Any] = {
+                    "items": chunk, "channel": self.channel, "seq": self._next,
+                }
+                if ctx is not None:
+                    attach_trace(body, ctx)
+                await connection.send(Frame(FrameType.WRITE, body))
+                self._next += len(chunk)
+                self._credit -= len(chunk)
+                self.stats.set_gauge("credit_available", float(self._credit))
+                if ctx is not None:
+                    self._finish_span(ctx, "WRITE", started, connection)
+            except LinkDown:
+                await self._reset_link()
+            except (HandshakeLinkDown, *_LINK_FAULTS):
+                await self._reset_link()
+
+    async def _end_resume(self) -> None:
+        """Flush everything, send END, and survive faults until final ACK."""
+        while True:
+            try:
+                await self._flush()
+                connection = await self._ensure_connected()
+                ctx: SpanContext | None = None
+                started = 0.0
+                body: dict[str, Any] = {"channel": self.channel,
+                                        "seq": self._next}
+                if self.spans is not None:
+                    ctx = self.spans.derive(current_span())
+                    attach_trace(body, ctx)
+                    started = connection.clock()
+                await connection.send(Frame(FrameType.END, body))
+                while not await self._absorb(await self._recv(connection)):
+                    pass
+                if ctx is not None:
+                    self._finish_span(ctx, "END", started, connection)
+                break
+            except LinkDown:
+                await self._reset_link()
+            except (HandshakeLinkDown, *_LINK_FAULTS):
+                await self._reset_link()
+        self._ended = True
+        if self._connection is not None:
+            await self._connection.close()
+            self._connection = None
 
     def _finish_span(
         self,
@@ -450,23 +716,82 @@ def _resolve_channel(readables: ReadableMap, channel: Any) -> Any:
         raise NoSuchChannelError(channel, "serve_pull") from None
 
 
+class ReplayLog:
+    """Full retention for one pull-served channel (resume only).
+
+    The log outlives any single connection: every record the stage has
+    produced on the channel stays here (with the trace origin it was
+    produced under), so a consumer reconnecting at ``next_seq = k`` is
+    served records ``k, k+1, ...`` from memory instead of advancing
+    the — non-rewindable — underlying Readable.  ``lock`` serialises
+    producers across connections; ``served_high`` marks how far any
+    consumer has gotten, so re-served records are counted as
+    ``replayed_records``.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[Any] = []
+        self.origins: list[SpanContext | None] = []
+        self.ended = False
+        self.served_high = 0
+        self.replayed = 0
+        self.lock = asyncio.Lock()
+
+
+@dataclass
+class PushState:
+    """One push-served channel's progress, shared across connections.
+
+    ``received`` is the count of records actually accepted into the
+    local Writable — exactly the ``resume_seq`` a reconnect's WELCOME
+    advertises; ``ended`` remembers a consumed END so a replayed END
+    is re-acknowledged, not re-written.
+    """
+
+    received: int = 0
+    ended: bool = False
+    duplicates: int = field(default=0)
+
+
 async def serve_pull(
     connection: Connection,
     readables: ReadableMap,
     hello: Hello | None = None,
     batch_limit: int | None = None,
-) -> None:
+    logs: MutableMapping[Any, ReplayLog] | None = None,
+) -> bool:
     """Answer a pull client: passive output over one connection.
 
     Serves ``READ`` frames from the addressed Readable until the
     client disconnects.  END replies are idempotent: every READ past
     the end is answered END again.
+
+    ``logs`` (a channel-key → :class:`ReplayLog` mapping owned by the
+    *stage*, not this connection) switches on resume service: records
+    are retained, ``DATA`` frames carry ``seq``, and the connection's
+    read cursor starts at the hello's ``next_seq``.
+
+    Returns True when the connection completed its stream — under
+    resume, only if this connection actually delivered an END, so a
+    consumer that died mid-stream (and will reconnect) is not mistaken
+    for a finished one.
     """
+    if logs is None:
+        return await _serve_pull_legacy(connection, readables, batch_limit)
+    return await _serve_pull_resume(connection, readables, hello,
+                                    batch_limit, logs)
+
+
+async def _serve_pull_legacy(
+    connection: Connection,
+    readables: ReadableMap,
+    batch_limit: int | None,
+) -> bool:
     ended: set[Any] = set()
     while True:
         frame = await connection.recv()
         if frame is None:
-            return
+            return True
         if frame.type is not FrameType.READ:
             await connection.send(Frame(FrameType.ERROR, {
                 "code": "bad-frame",
@@ -509,6 +834,81 @@ async def serve_pull(
             await connection.send(Frame(FrameType.DATA, attach_trace(body, origin)))
 
 
+async def _serve_pull_resume(
+    connection: Connection,
+    readables: ReadableMap,
+    hello: Hello | None,
+    batch_limit: int | None,
+    logs: MutableMapping[Any, ReplayLog],
+) -> bool:
+    start = 0
+    if hello is not None and hello.next_seq is not None:
+        start = hello.next_seq
+    cursors: dict[Any, int] = {}
+    served_end = False
+    while True:
+        frame = await connection.recv()
+        if frame is None:
+            return served_end
+        if frame.type is not FrameType.READ:
+            await connection.send(Frame(FrameType.ERROR, {
+                "code": "bad-frame",
+                "message": f"pull connection got {frame.type.name}",
+            }))
+            raise WireError(f"pull connection got {frame.type.name}")
+        channel = frame.body.get("channel")
+        batch = max(1, int(frame.body.get("batch", 1)))
+        if batch_limit is not None:
+            batch = min(batch, batch_limit)
+        try:
+            readable = _resolve_channel(readables, channel)
+        except NoSuchChannelError as error:
+            await connection.send(Frame(FrameType.ERROR, {
+                "code": "no-such-channel", "message": str(error),
+            }))
+            continue
+        key = _channel_key(channel)
+        log = logs.setdefault(key, ReplayLog())
+        cursor = cursors.get(key, start)
+        ctx = frame_trace(frame)
+        async with log.lock:
+            # Fill the log until it can answer at ``cursor`` — also the
+            # fast-forward path of a *restarted* stage whose fresh log
+            # must regenerate records a consumer already holds.
+            while len(log.records) <= cursor and not log.ended:
+                started = connection.clock()
+                with bind_span(ctx):
+                    transfer = await readable.read(batch)
+                connection.stats.observe(
+                    "serve_read_ms", (connection.clock() - started) * 1000.0
+                )
+                origin = getattr(readable, "last_read_origin", None)
+                if transfer.at_end:
+                    log.ended = True
+                else:
+                    items = list(transfer.items)
+                    log.records.extend(items)
+                    log.origins.extend([origin] * len(items))
+            if cursor < len(log.records):
+                stop = min(len(log.records), cursor + batch)
+                items = log.records[cursor:stop]
+                origin = log.origins[cursor]
+                replayed = max(0, min(stop, log.served_high) - cursor)
+                if replayed:
+                    log.replayed += replayed
+                    connection.stats.bump("replayed_records", replayed)
+                log.served_high = max(log.served_high, stop)
+                cursors[key] = stop
+                body = {"items": items, "channel": channel, "seq": cursor}
+                await connection.send(
+                    Frame(FrameType.DATA, attach_trace(body, origin))
+                )
+            else:
+                body = {"channel": channel, "seq": len(log.records)}
+                await connection.send(Frame(FrameType.END, body))
+                served_end = True
+
+
 def _channel_key(channel: Any) -> Any:
     try:
         hash(channel)
@@ -521,18 +921,35 @@ async def serve_push(
     connection: Connection,
     writable: Any,
     hello: Hello | None = None,
-) -> None:
+    state: PushState | None = None,
+) -> bool:
     """Receive a push client: passive input over one connection.
 
     The initial credit was granted in the WELCOME (see
     :func:`repro.net.handshake.expect_hello`); this loop refunds credit
     only *after* the local writable has accepted the records, so the
     window bounds true end-to-end in-flight data.
+
+    ``state`` (a :class:`PushState` owned by the *stage*) switches on
+    resume service: ``WRITE`` frames whose ``seq`` shows they replay an
+    already-accepted prefix have that prefix dropped (credit is still
+    refunded in full), and an END after a consumed END is
+    re-acknowledged without touching the writable.
+
+    Returns True when the connection completed its stream — under
+    resume, only if an END actually arrived, so a producer that died
+    mid-stream (and will reconnect) is not mistaken for a finished one.
     """
+    if state is None:
+        return await _serve_push_legacy(connection, writable)
+    return await _serve_push_resume(connection, writable, state)
+
+
+async def _serve_push_legacy(connection: Connection, writable: Any) -> bool:
     while True:
         frame = await connection.recv()
         if frame is None:
-            return
+            return True
         if frame.type is FrameType.WRITE:
             items = frame.body.get("items", [])
             started = connection.clock()
@@ -556,7 +973,59 @@ async def serve_push(
                 }))
             except (ConnectionError, OSError, FrameError):
                 pass  # writer may close the instant END is out
-            return
+            return True
+        else:
+            await connection.send(Frame(FrameType.ERROR, {
+                "code": "bad-frame",
+                "message": f"push connection got {frame.type.name}",
+            }))
+            raise WireError(f"push connection got {frame.type.name}")
+
+
+async def _serve_push_resume(
+    connection: Connection,
+    writable: Any,
+    state: PushState,
+) -> bool:
+    while True:
+        frame = await connection.recv()
+        if frame is None:
+            return False
+        if frame.type is FrameType.WRITE:
+            items = list(frame.body.get("items", []))
+            seq = frame.body.get("seq")
+            skip = 0
+            if isinstance(seq, int):
+                skip = min(len(items), max(0, state.received - seq))
+            if skip:
+                state.duplicates += skip
+                connection.stats.bump("duplicate_records", skip)
+            fresh = items[skip:]
+            started = connection.clock()
+            if fresh and not state.ended:
+                with bind_span(frame_trace(frame)):
+                    await writable.write(Transfer.of(fresh))
+                state.received += len(fresh)
+            connection.stats.observe(
+                "serve_write_ms", (connection.clock() - started) * 1000.0
+            )
+            # Refund the *full* frame: duplicates consumed no buffer.
+            await connection.send(Frame(FrameType.ACK, {
+                "credit": len(items), "channel": frame.body.get("channel"),
+            }))
+        elif frame.type is FrameType.END:
+            if not state.ended:
+                with bind_span(frame_trace(frame)):
+                    await writable.write(END_TRANSFER)
+                state.ended = True
+            try:
+                await connection.send(Frame(FrameType.ACK, {
+                    "credit": 0, "final": True,
+                    "channel": frame.body.get("channel"),
+                }))
+            except (ConnectionError, OSError, FrameError):
+                pass  # writer may close the instant END is out
+            return True
         else:
             await connection.send(Frame(FrameType.ERROR, {
                 "code": "bad-frame",

@@ -68,15 +68,33 @@ from repro.aio.streams import (
     AioWriteOnlyStage,
     collect,
 )
-from repro.net.handshake import ROLE_PULL, ROLE_PUSH, HandshakeError, TicketBook, expect_hello
+from repro.fault.inject import (
+    KillSwitch,
+    KillingReadable,
+    KillingWritable,
+    build_injector,
+    killing_transducer,
+)
+from repro.fault.plan import FaultPlan
+from repro.net.handshake import (
+    ROLE_PULL,
+    ROLE_PUSH,
+    HandshakeError,
+    Hello,
+    TicketBook,
+    expect_hello,
+)
 from repro.net.metrics import NetStats
 from repro.net.protocol import (
     Connection,
+    PushState,
     RemoteReadable,
     RemoteWritable,
+    ReplayLog,
     serve_pull,
     serve_push,
 )
+from repro.net.framing import FrameError
 from repro.obs.context import set_span
 from repro.obs.control import start_control_server
 from repro.obs.registry import snapshot_payload
@@ -101,6 +119,15 @@ def pick_free_port(host: str = "127.0.0.1") -> int:
     with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
         probe.bind((host, 0))
         return probe.getsockname()[1]
+
+
+def _state_key(channel: Any) -> Any:
+    """A dict key for per-channel resume state (mirrors serve_pull's)."""
+    try:
+        hash(channel)
+        return channel
+    except TypeError:
+        return repr(channel)
 
 
 def load_transducer(spec: str, args: Sequence[Any] = ()) -> Transducer:
@@ -144,6 +171,9 @@ class StageConfig:
     output_file: str | None = None
     connect_deadline: float = 15.0
     control_port: int | None = None
+    fault: FaultPlan = field(default_factory=FaultPlan)
+    resume: bool = False
+    io_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.role not in ROLES:
@@ -154,6 +184,14 @@ class StageConfig:
             )
         if self.role == "pipe" and self.discipline != "conventional":
             raise ValueError("pipe stages exist only in the conventional discipline")
+        if not isinstance(self.fault, FaultPlan):
+            raise ValueError(f"fault must be a FaultPlan, got {self.fault!r}")
+        if self.io_timeout is not None and (
+            not isinstance(self.io_timeout, (int, float)) or self.io_timeout <= 0
+        ):
+            raise ValueError(
+                f"io_timeout must be > 0 or None, got {self.io_timeout!r}"
+            )
 
 
 class _Stage:
@@ -173,13 +211,26 @@ class _Stage:
             SpanIds(prefix=f"s{config.serial}-") if self.tracer.enabled else None
         )
         self.started_mono = time.monotonic()
+        # Fault machinery: one injector and one kill switch per stage,
+        # so nth/every/kill_after schedules span all its connections.
+        self.injector = build_injector(config.fault, stats=self.stats,
+                                       label=self.label)
+        self.kill_switch = (
+            KillSwitch(config.fault.kill_after, label=self.label)
+            if config.fault.kill_after is not None else None
+        )
+        self._refusals_left = config.fault.refuse_accepts
+        # Resume state outlives individual connections (restarted or
+        # reconnecting peers pick up where their predecessor stopped).
+        self._replay_logs: dict[Any, ReplayLog] = {}
+        self._push_states: dict[Any, PushState] = {}
 
     # -- building blocks ----------------------------------------------------
 
     def _connection(self, reader, writer, end_is_request: bool = False) -> Connection:
         return Connection(
             reader, writer, stats=self.stats, end_is_request=end_is_request,
-            tracer=self.tracer, label=self.label,
+            tracer=self.tracer, label=self.label, injector=self.injector,
         )
 
     def _remote_readable(self) -> RemoteReadable:
@@ -190,6 +241,9 @@ class _Stage:
             tracer=self.tracer, label=self.label,
             connect_deadline=self.config.connect_deadline,
             spans=self.spans,
+            resume=self.config.resume,
+            io_timeout=self.config.io_timeout,
+            injector=self.injector,
         )
 
     def _remote_writable(self) -> RemoteWritable:
@@ -200,40 +254,100 @@ class _Stage:
             tracer=self.tracer, label=self.label,
             connect_deadline=self.config.connect_deadline,
             spans=self.spans,
+            resume=self.config.resume,
+            io_timeout=self.config.io_timeout,
+            injector=self.injector,
         )
 
     def _transducer(self) -> Transducer:
         if self.config.transducer_spec is None:
-            return identity_transducer()
-        return load_transducer(
-            self.config.transducer_spec, self.config.transducer_args
-        )
+            made = identity_transducer()
+        else:
+            made = load_transducer(
+                self.config.transducer_spec, self.config.transducer_args
+            )
+        if self.kill_switch is not None and self.config.role == "filter":
+            made = killing_transducer(made, self.kill_switch)
+        return made
+
+    def _killing_readable(self, readable: Any) -> Any:
+        """Wrap an active-source/sink readable in the stage's kill switch."""
+        if self.kill_switch is not None:
+            return KillingReadable(readable, self.kill_switch)
+        return readable
+
+    def _killing_writable(self, writable: Any) -> Any:
+        if self.kill_switch is not None:
+            return KillingWritable(writable, self.kill_switch)
+        return writable
+
+    def _push_state_for(self, hello: Hello) -> PushState:
+        key = _state_key(hello.channel)
+        return self._push_states.setdefault(key, PushState())
 
     async def _serve(self, readables: Any = None, writable: Any = None,
                      clients: int = 1) -> None:
-        """Accept ``clients`` connections and serve them to completion."""
+        """Accept ``clients`` connections and serve them to completion.
+
+        Under resume, a connection only counts toward ``clients`` when
+        it finished its stream (its END crossed the wire): a peer that
+        crashed mid-stream will reconnect as a *new* connection, and
+        transport faults merely drop the connection, never the stage.
+        """
         done = asyncio.Semaphore(0)
-        credit = self.config.flow.credit_window()
+        credit = self.config.flow.effective_credit_window()
+        resume = self.config.resume
+        resume_seq_for = None
+        if resume:
+            def resume_seq_for(hello: Hello) -> int | None:
+                if hello.role != ROLE_PUSH:
+                    return None
+                return self._push_state_for(hello).received
 
         async def handle(reader: asyncio.StreamReader,
                          writer: asyncio.StreamWriter) -> None:
+            if self._refusals_left > 0:
+                # A refuse_accepts fault: close before any handshake.
+                self._refusals_left -= 1
+                self.stats.bump("refused_accepts")
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+                return
             try:
                 hello = await expect_hello(
-                    reader, writer, self.book, self.uid, credit=credit
+                    reader, writer, self.book, self.uid, credit=credit,
+                    resume_seq_for=resume_seq_for,
                 )
                 connection = self._connection(reader, writer)
                 if hello.role == ROLE_PULL and readables is not None:
-                    await serve_pull(connection, readables, hello,
-                                     batch_limit=None)
+                    completed = await serve_pull(
+                        connection, readables, hello, batch_limit=None,
+                        logs=self._replay_logs if resume else None,
+                    )
                 elif hello.role == ROLE_PUSH and writable is not None:
-                    await serve_push(connection, writable, hello)
+                    completed = await serve_push(
+                        connection, writable, hello,
+                        state=self._push_state_for(hello) if resume else None,
+                    )
                 else:
                     await connection.close()
                     return  # role this stage does not serve: not counted
                 await connection.close()
-                done.release()
+                if completed:
+                    done.release()
             except HandshakeError as error:
                 print(f"[{self.label}] rejected connection: {error}",
+                      file=sys.stderr)
+            except (ConnectionError, OSError, FrameError, EOFError) as error:
+                if not resume:
+                    raise
+                # The peer died mid-connection; it (or its restarted
+                # successor) will be back — drop this connection only.
+                self.stats.bump("client_disconnects")
+                print(f"[{self.label}] client link failed: {error}",
                       file=sys.stderr)
 
         server = await asyncio.start_server(
@@ -271,13 +385,17 @@ class _Stage:
         if config.role == "source":
             items = config.source_items or []
             if config.discipline == "readonly":
-                await self._serve(readables=AioSource(items),
-                                  clients=config.expected_clients or 1)
+                await self._serve(
+                    readables=self._killing_readable(AioSource(items)),
+                    clients=config.expected_clients or 1,
+                )
             else:  # writeonly and conventional sources both push
-                await self._pump(AioSource(items), self._remote_writable(),
-                                 flow.batch)
+                await self._pump(
+                    self._killing_readable(AioSource(items)),
+                    self._remote_writable(), flow.batch,
+                )
         elif config.role == "filter":
-            transducer = self._transducer()
+            transducer = self._transducer()  # kill switch wraps it here
             if config.discipline == "readonly":
                 stage = AioReadOnlyStage(
                     transducer, self._remote_readable(),
@@ -295,18 +413,20 @@ class _Stage:
         elif config.role == "sink":
             if config.discipline == "writeonly":
                 collector = AioCollector()
-                await self._serve(writable=collector,
+                await self._serve(writable=self._killing_writable(collector),
                                   clients=config.expected_clients or 1)
                 await collector.done.wait()
                 self.collected = list(collector.items)
             else:  # readonly and conventional sinks both pull
                 self.collected = await collect(
-                    self._remote_readable(), batch=flow.batch
+                    self._killing_readable(self._remote_readable()),
+                    batch=flow.batch,
                 )
         else:  # pipe: a passive buffer process (the Unix pipe, §1)
             capacity = flow.buffer_capacity or 64
             pipe = AioPipe(capacity=capacity)
-            await self._serve(readables=pipe, writable=pipe,
+            await self._serve(readables=pipe,
+                              writable=self._killing_writable(pipe),
                               clients=config.expected_clients or 2)
 
     # -- introspection ------------------------------------------------------
@@ -334,6 +454,8 @@ class _Stage:
                 "uptime_s": time.monotonic() - self.started_mono,
                 "tracing": self.tracer.enabled,
                 "flow": self.config.flow.describe(),
+                "resume": self.config.resume,
+                "fault": self.config.fault.as_dict(),
             }
 
         return {"stats": stats_cmd, "spans": spans_cmd, "health": health_cmd}
@@ -430,6 +552,8 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--lookahead", type=int, default=0)
     parser.add_argument("--inbox-capacity", type=int, default=None)
     parser.add_argument("--buffer-capacity", type=int, default=64)
+    parser.add_argument("--credit-window", type=int, default=None,
+                        help="explicit push credit window (default: derived)")
     parser.add_argument("--ticket-space", type=int, default=0)
     parser.add_argument("--ticket-seed", type=int, default=0)
     parser.add_argument("--serial", type=int, default=0,
@@ -441,6 +565,13 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--connect-deadline", type=float, default=15.0)
     parser.add_argument("--control-port", type=int, default=None, metavar="PORT",
                         help="serve STATS/SPANS/HEALTH control requests here")
+    parser.add_argument("--fault-json", default=None, metavar="JSON",
+                        help="FaultPlan this stage should suffer")
+    parser.add_argument("--resume", action="store_true",
+                        help="enable session resume (seq numbers + replay)")
+    parser.add_argument("--io-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="reply silence treated as a dead link (resume)")
     return parser
 
 
@@ -474,6 +605,7 @@ def config_from_args(argv: Sequence[str] | None = None) -> StageConfig:
             batch=options.batch,
             buffer_capacity=options.buffer_capacity,
             inbox_capacity=options.inbox_capacity,
+            credit_window=options.credit_window,
         ),
         ticket_space=options.ticket_space,
         ticket_seed=options.ticket_seed,
@@ -484,6 +616,10 @@ def config_from_args(argv: Sequence[str] | None = None) -> StageConfig:
         output_file=options.output_file,
         connect_deadline=options.connect_deadline,
         control_port=options.control_port,
+        fault=(FaultPlan.from_json(options.fault_json)
+               if options.fault_json is not None else FaultPlan()),
+        resume=options.resume,
+        io_timeout=options.io_timeout,
     )
 
 

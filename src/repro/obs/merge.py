@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import IO, Any, Iterable, Union
+from typing import IO, Iterable, Union
 
 from repro.core.tracing import TraceEvent, load_jsonl
 from repro.obs.spans import CLOCK_KIND, SPAN_KIND
@@ -45,8 +45,10 @@ __all__ = [
     "StageLog",
     "TraceTree",
     "ChainReport",
+    "OnceReport",
     "load_span_log",
     "merge_span_logs",
+    "verify_exactly_once",
     "verify_invocation_chains",
 ]
 
@@ -64,6 +66,11 @@ class SpanRecord:
         end: reply arrival time.
         stage: label of the process that issued the request.
         status: reply status (``"ok"`` unless the hop errored).
+        seq: stream index of the first record this hop *accepted*
+            (sequence evidence from a resuming reader; ``None`` when
+            the span carries no sequence evidence).
+        n: how many records this hop accepted (0 for END hops and for
+            replies that were entirely duplicates).
     """
 
     trace: str
@@ -74,6 +81,8 @@ class SpanRecord:
     end: float
     stage: str
     status: str = "ok"
+    seq: int | None = None
+    n: int | None = None
 
     @property
     def duration(self) -> float:
@@ -87,7 +96,7 @@ class SpanRecord:
         return SpanRecord(
             trace=self.trace, span=self.span, parent=self.parent,
             op=self.op, start=self.start + offset, end=self.end + offset,
-            stage=self.stage, status=self.status,
+            stage=self.stage, status=self.status, seq=self.seq, n=self.n,
         )
 
 
@@ -154,6 +163,14 @@ def load_span_log(
                     end=float(detail["end"]),
                     stage=event.subject,
                     status=str(detail.get("status", "ok")),
+                    seq=(
+                        int(detail["seq"])
+                        if isinstance(detail.get("seq"), int) else None
+                    ),
+                    n=(
+                        int(detail["n"])
+                        if isinstance(detail.get("n"), int) else None
+                    ),
                 )
             )
     return StageLog(stage=label or "unknown", spans=spans, anchor=anchor)
@@ -427,5 +444,100 @@ def verify_invocation_chains(
     if report.total_spans != predicted:
         report.problems.append(
             f"{report.total_spans} total spans != predicted {predicted}"
+        )
+    return report
+
+
+@dataclass
+class OnceReport:
+    """Result of sequence-evidence exactly-once verification.
+
+    ``accepted`` maps each reading stage to how many records its
+    accepted slices cover; a stage appears only if its spans carried
+    sequence evidence (resuming readers emit it, legacy readers do
+    not).
+    """
+
+    accepted: dict[str, int] = field(default_factory=dict)
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def summary(self) -> str:
+        verdict = "EXACTLY-ONCE" if self.ok else "VIOLATION"
+        stages = ", ".join(
+            f"{stage}={count}" for stage, count in sorted(self.accepted.items())
+        )
+        lines = [f"{verdict}: accepted records per reading stage: "
+                 f"{stages or '(no sequence evidence found)'}"]
+        lines.extend(f"  - {problem}" for problem in self.problems)
+        return "\n".join(lines)
+
+
+def verify_exactly_once(
+    logs: Iterable[StageLog],
+    expected: int | None = None,
+) -> OnceReport:
+    """Check, span-by-span, that no datum was duplicated or lost.
+
+    A resuming :class:`repro.net.protocol.RemoteReadable` stamps every
+    READ span with the slice of the stream it *accepted* after
+    duplicate suppression (``seq`` = index of the first accepted
+    record, ``n`` = how many).  For each reading stage, those slices
+    must tile ``[0, total)`` exactly — any overlap is a duplicated
+    datum, any gap a lost one — even across kills, reconnects and
+    retransmissions.  ``expected`` additionally pins the total per
+    stage (right for identity pipelines, where every hop carries the
+    same record count).
+
+    Stages without sequence evidence (non-resuming runs, push-side
+    writers) are skipped: absence of evidence is not a violation, it
+    just means there is nothing to verify.  An empty report with
+    ``expected`` set and *no* evidence at all is flagged, so a chaos
+    test cannot silently pass because tracing was off.
+    """
+    report = OnceReport()
+    evidence: dict[str, list[SpanRecord]] = {}
+    for log in logs:
+        for record in log.spans:
+            if record.seq is None or record.n is None:
+                continue
+            if record.status != "ok":
+                continue
+            evidence.setdefault(log.stage, []).append(record)
+    for stage, records in sorted(evidence.items()):
+        slices = sorted(
+            ((r.seq, r.seq + r.n) for r in records if r.n), key=lambda s: s[0]
+        )
+        cursor = 0
+        broken = False
+        for start, stop in slices:
+            if start < cursor:
+                report.problems.append(
+                    f"{stage}: records {start}..{cursor - 1} accepted twice"
+                )
+                broken = True
+                break
+            if start > cursor:
+                report.problems.append(
+                    f"{stage}: records {cursor}..{start - 1} lost "
+                    f"(gap before accepted slice {start}..{stop - 1})"
+                )
+                broken = True
+                break
+            cursor = stop
+        if broken:
+            continue
+        report.accepted[stage] = cursor
+        if expected is not None and cursor != expected:
+            report.problems.append(
+                f"{stage}: accepted {cursor} records, expected {expected}"
+            )
+    if expected is not None and not evidence:
+        report.problems.append(
+            "no sequence evidence in any log (was tracing on and "
+            "resume enabled?)"
         )
     return report

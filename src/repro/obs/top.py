@@ -3,7 +3,7 @@
 Polls every stage's control port (``health`` + ``stats``) and renders
 one row per stage: role, uptime, request/reply counts, bytes moved,
 credit-window occupancy and read-latency quantiles.  Point it at the
-``fleet.json`` manifest :func:`repro.net.launch.plan_pipeline` writes
+``fleet.json`` manifest :func:`repro.net.launch.plan_fleet` writes
 (``--fleet``), or at explicit ``--stage host:port`` addresses.
 
 ``--once`` prints a single snapshot and exits — that mode is what the
@@ -147,7 +147,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         description="Live table of a running eden-stage fleet.",
     )
     parser.add_argument("--fleet", default=None, metavar="FLEET_JSON",
-                        help="fleet manifest written by plan_pipeline(control=True)")
+                        help="fleet manifest written by plan_fleet(control=True)")
     parser.add_argument("--stage", action="append", default=None,
                         metavar="HOST:PORT", help="explicit control address")
     parser.add_argument("--interval", type=float, default=1.0)

@@ -11,7 +11,12 @@ reports per-datum latency.  Modes:
 - ``--verify DISCIPLINE N_FILTERS ITEMS`` — check the paper's C1/C2
   claims structurally (exactly ``ceil(items/batch) + 1`` traces of
   exactly n+1 — or 2n+2 — chained request spans) and exit non-zero on
-  any mismatch, so scripts and CI can gate on it.
+  any mismatch, so scripts and CI can gate on it;
+- ``--verify-once [ITEMS]`` — check exactly-once delivery from the
+  sequence evidence resuming readers stamp on their READ spans: per
+  reading stage, the accepted slices must tile the stream with no
+  overlap (duplicate) and no gap (loss), even across kills and
+  reconnects.  Exit non-zero on any violation.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from repro.obs.merge import (
     TraceTree,
     load_span_log,
     merge_span_logs,
+    verify_exactly_once,
     verify_invocation_chains,
 )
 
@@ -117,6 +123,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="assert the C1/C2 chain structure; exit 1 on mismatch")
     parser.add_argument("--batch", type=int, default=1,
                         help="records per transfer (for --verify)")
+    parser.add_argument("--verify-once", nargs="?", const=-1, default=None,
+                        type=int, metavar="ITEMS", dest="verify_once",
+                        help="assert exactly-once delivery from sequence "
+                             "evidence (optionally pinning the record "
+                             "count); exit 1 on violation")
     options = parser.parse_args(argv)
     try:
         logs = [load_span_log(path) for path in
@@ -125,6 +136,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"eden-trace: cannot load traces: {error}", file=sys.stderr)
         return 1
     trees = merge_span_logs(logs)
+    if options.verify_once is not None:
+        expected = None if options.verify_once < 0 else options.verify_once
+        once = verify_exactly_once(logs, expected=expected)
+        print(once.summary())
+        return 0 if once.ok else 1
     if options.verify is not None:
         discipline, n_filters, items = options.verify
         report = verify_invocation_chains(

@@ -37,6 +37,10 @@ from repro.transput.pipeline import (
     build_pipeline,
     build_readonly_pipeline,
     build_writeonly_pipeline,
+    compose_conventional_pipeline,
+    compose_pipeline,
+    compose_readonly_pipeline,
+    compose_writeonly_pipeline,
 )
 from repro.transput.primitives import (
     Primitive,
@@ -122,6 +126,10 @@ __all__ = [
     "build_pipeline",
     "build_readonly_pipeline",
     "build_writeonly_pipeline",
+    "compose_conventional_pipeline",
+    "compose_pipeline",
+    "compose_readonly_pipeline",
+    "compose_writeonly_pipeline",
     "compose_apply",
     "filter_transducer",
     "identity_transducer",

@@ -29,12 +29,19 @@ class FlowPolicy:
         buffer_capacity: capacity of conventional-discipline pipes.
         inbox_capacity: write-only filters' input queue bound
             (``None`` = unbounded).
+        credit_window: explicit record credit a passive input grants a
+            remote pusher (``None`` = derive it; see
+            :meth:`effective_credit_window`).  This is the harmonised
+            name every layer uses — :class:`repro.api.Pipeline`,
+            ``eden-stage --credit-window``, and this policy all mean
+            the same number by it.
     """
 
     lookahead: int = 0
     batch: int = 1
     buffer_capacity: int | None = 64
     inbox_capacity: int | None = None
+    credit_window: int | None = None
 
     #: Pure demand-driven flow: nothing moves until the sink asks.
     @staticmethod
@@ -51,16 +58,22 @@ class FlowPolicy:
         """The same policy moving ``batch`` records per invocation."""
         return replace(self, batch=batch)
 
-    def credit_window(self) -> int:
+    def with_credit_window(self, credit_window: int | None) -> "FlowPolicy":
+        """The same policy with an explicit push credit window."""
+        return replace(self, credit_window=credit_window)
+
+    def effective_credit_window(self) -> int:
         """Initial record credit a passive input grants a remote pusher.
 
         This is how the policy maps onto the TCP runtime
-        (:mod:`repro.net`): a bounded inbox bounds the in-flight
-        records directly; otherwise the lookahead knob plays the same
-        anticipatory role it plays for read-only prefetch; a fully
-        lazy policy degenerates to a window of 1 — one record in
-        flight, the synchronous push.
+        (:mod:`repro.net`): an explicit ``credit_window`` wins; a
+        bounded inbox bounds the in-flight records directly; otherwise
+        the lookahead knob plays the same anticipatory role it plays
+        for read-only prefetch; a fully lazy policy degenerates to a
+        window of 1 — one record in flight, the synchronous push.
         """
+        if self.credit_window is not None:
+            return self.credit_window
         if self.inbox_capacity is not None:
             return self.inbox_capacity
         if self.lookahead > 0:
@@ -74,7 +87,7 @@ class FlowPolicy:
             "batch": self.batch,
             "buffer_capacity": self.buffer_capacity,
             "inbox_capacity": self.inbox_capacity,
-            "credit_window": self.credit_window(),
+            "credit_window": self.effective_credit_window(),
         }
 
     def __post_init__(self) -> None:
@@ -89,4 +102,10 @@ class FlowPolicy:
         if self.inbox_capacity is not None and self.inbox_capacity < 1:
             raise ValueError(
                 f"inbox_capacity must be >= 1 or None, got {self.inbox_capacity}"
+            )
+        if self.credit_window is not None and (
+            not isinstance(self.credit_window, int) or self.credit_window < 1
+        ):
+            raise ValueError(
+                f"credit_window must be >= 1 or None, got {self.credit_window}"
             )

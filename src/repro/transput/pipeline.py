@@ -6,14 +6,17 @@ interconnecting for all three disciplines over the *same* transducers,
 which is what makes the cost comparisons of experiments T1/T2/T3/T8
 meaningful:
 
-- :func:`build_readonly_pipeline` — Figure 2: source, n filters, sink;
-  ``n + 2`` Ejects, no buffers.
-- :func:`build_writeonly_pipeline` — the §5 dual.
-- :func:`build_conventional_pipeline` — Figure 1: both-active filters
-  with a passive buffer between every adjacent pair; ``2n + 3`` Ejects.
+- :func:`compose_readonly_pipeline` — Figure 2: source, n filters,
+  sink; ``n + 2`` Ejects, no buffers.
+- :func:`compose_writeonly_pipeline` — the §5 dual.
+- :func:`compose_conventional_pipeline` — Figure 1: both-active
+  filters with a passive buffer between every adjacent pair;
+  ``2n + 3`` Ejects.
 
 Each builder returns a :class:`Pipeline` handle that runs the
-simulation to completion and reports the measured costs.
+simulation to completion and reports the measured costs.  (The
+``build_*`` names remain as deprecated aliases; runtime-independent
+callers want :class:`repro.api.Pipeline`.)
 """
 
 from __future__ import annotations
@@ -181,7 +184,7 @@ class _Placer:
         return node
 
 
-def build_readonly_pipeline(
+def compose_readonly_pipeline(
     kernel: "Kernel",
     source: Any,
     transducers: Sequence[Transducer | ReportingTransducer],
@@ -231,7 +234,7 @@ def build_readonly_pipeline(
     )
 
 
-def build_writeonly_pipeline(
+def compose_writeonly_pipeline(
     kernel: "Kernel",
     items: Iterable[Any],
     transducers: Sequence[Transducer | ReportingTransducer],
@@ -287,7 +290,7 @@ def build_writeonly_pipeline(
     )
 
 
-def build_conventional_pipeline(
+def compose_conventional_pipeline(
     kernel: "Kernel",
     items: Iterable[Any],
     transducers: Sequence[Transducer | ReportingTransducer],
@@ -357,7 +360,7 @@ def build_conventional_pipeline(
     )
 
 
-def build_pipeline(
+def compose_pipeline(
     kernel: "Kernel",
     discipline: str,
     items: Iterable[Any],
@@ -369,18 +372,60 @@ def build_pipeline(
 ) -> Pipeline:
     """Build the same logical pipeline in any discipline (by name)."""
     if discipline == "readonly":
-        return build_readonly_pipeline(
+        return compose_readonly_pipeline(
             kernel, list(items), transducers, flow=flow, placement=placement,
             source_work_cost=source_work_cost, sink_work_cost=sink_work_cost,
         )
     if discipline == "writeonly":
-        return build_writeonly_pipeline(
+        return compose_writeonly_pipeline(
             kernel, items, transducers, flow=flow, placement=placement,
             source_work_cost=source_work_cost, sink_work_cost=sink_work_cost,
         )
     if discipline == "conventional":
-        return build_conventional_pipeline(
+        return compose_conventional_pipeline(
             kernel, items, transducers, flow=flow, placement=placement,
             source_work_cost=source_work_cost, sink_work_cost=sink_work_cost,
         )
     raise ValueError(f"discipline must be one of {DISCIPLINES}, got {discipline!r}")
+
+
+# ---------------------------------------------------------------------------
+# Deprecated aliases (pre-facade names).  New code should use the
+# compose_* builders above, or repro.api.Pipeline for cross-runtime work.
+# ---------------------------------------------------------------------------
+
+
+def build_readonly_pipeline(*args: Any, **kwargs: Any) -> Pipeline:
+    """Deprecated alias of :func:`compose_readonly_pipeline`."""
+    from repro.compat import warn_deprecated
+
+    warn_deprecated("repro.transput.build_readonly_pipeline",
+                    "repro.transput.compose_readonly_pipeline")
+    return compose_readonly_pipeline(*args, **kwargs)
+
+
+def build_writeonly_pipeline(*args: Any, **kwargs: Any) -> Pipeline:
+    """Deprecated alias of :func:`compose_writeonly_pipeline`."""
+    from repro.compat import warn_deprecated
+
+    warn_deprecated("repro.transput.build_writeonly_pipeline",
+                    "repro.transput.compose_writeonly_pipeline")
+    return compose_writeonly_pipeline(*args, **kwargs)
+
+
+def build_conventional_pipeline(*args: Any, **kwargs: Any) -> Pipeline:
+    """Deprecated alias of :func:`compose_conventional_pipeline`."""
+    from repro.compat import warn_deprecated
+
+    warn_deprecated("repro.transput.build_conventional_pipeline",
+                    "repro.transput.compose_conventional_pipeline")
+    return compose_conventional_pipeline(*args, **kwargs)
+
+
+def build_pipeline(*args: Any, **kwargs: Any) -> Pipeline:
+    """Deprecated alias of :func:`compose_pipeline`."""
+    from repro.compat import warn_deprecated
+
+    warn_deprecated("repro.transput.build_pipeline",
+                    "repro.transput.compose_pipeline")
+    return compose_pipeline(*args, **kwargs)

@@ -10,13 +10,13 @@ from repro.analysis import (
 )
 from repro.core import Kernel
 from repro.filters import upper_case
-from repro.transput import build_readonly_pipeline
+from repro.transput import compose_readonly_pipeline
 
 
 @pytest.fixture
 def traced_run():
     kernel = Kernel(trace=True)
-    pipeline = build_readonly_pipeline(kernel, ["a", "b"], [upper_case()])
+    pipeline = compose_readonly_pipeline(kernel, ["a", "b"], [upper_case()])
     pipeline.run_to_completion()
     return kernel, pipeline
 

@@ -1,0 +1,109 @@
+"""The pre-facade entry points still work, but say they are deprecated.
+
+Every old name is a thin shim over its canonical replacement: same
+behaviour, same results, plus one :class:`EdenDeprecationWarning`
+naming the successor.  Tier-1 runs with these warnings promoted to
+errors for repro's own code (see ``pyproject.toml``), so internal
+callers cannot quietly regress onto the old vocabulary — these tests
+are the only place the shims are exercised on purpose.
+"""
+
+import warnings
+
+import pytest
+
+from repro.aio import run_pipeline, stream_pipeline
+from repro.compat import EdenDeprecationWarning
+from repro.core import Kernel
+from repro.net.launch import plan_fleet, plan_pipeline
+from repro.transput import (
+    build_pipeline,
+    compose_pipeline,
+    identity_transducer,
+)
+
+ITEMS = ["a", "b", "c"]
+
+
+def test_build_pipeline_warns_and_delegates(kernel):
+    with pytest.warns(EdenDeprecationWarning, match="compose_pipeline"):
+        built = build_pipeline(
+            kernel, "readonly", ITEMS, [identity_transducer()]
+        )
+    assert built.run_to_completion() == ITEMS
+
+
+@pytest.mark.parametrize("old, new", [
+    ("build_readonly_pipeline", "compose_readonly_pipeline"),
+    ("build_writeonly_pipeline", "compose_writeonly_pipeline"),
+    ("build_conventional_pipeline", "compose_conventional_pipeline"),
+])
+def test_every_builder_shim_names_its_successor(old, new):
+    import repro.transput as transput
+
+    shim = getattr(transput, old)
+    with pytest.warns(EdenDeprecationWarning, match=new):
+        built = shim(Kernel(), ITEMS, [identity_transducer()])
+    assert built.run_to_completion() == ITEMS
+
+
+def test_shim_output_matches_canonical(kernel):
+    canonical = compose_pipeline(
+        Kernel(), "writeonly", ITEMS, [identity_transducer()]
+    ).run_to_completion()
+    with pytest.warns(EdenDeprecationWarning):
+        shimmed = build_pipeline(
+            kernel, "writeonly", ITEMS, [identity_transducer()]
+        ).run_to_completion()
+    assert shimmed == canonical
+
+
+def test_aio_run_pipeline_warns_and_delegates():
+    with pytest.warns(EdenDeprecationWarning, match="stream_pipeline"):
+        out = run_pipeline(ITEMS, [identity_transducer()], "readonly")
+    assert out == stream_pipeline(ITEMS, [identity_transducer()], "readonly")
+
+
+@pytest.mark.parametrize("old, new", [
+    ("run_readonly", "stream_readonly"),
+    ("run_writeonly", "stream_writeonly"),
+    ("run_conventional", "stream_conventional"),
+])
+def test_every_aio_shim_names_its_successor(old, new):
+    import asyncio
+
+    import repro.aio as aio
+
+    with pytest.warns(EdenDeprecationWarning, match=new):
+        out = asyncio.run(getattr(aio, old)(ITEMS, [identity_transducer()]))
+    assert out == ITEMS
+
+
+def test_plan_pipeline_warns_and_plans_identically(tmp_path):
+    spec = [("repro.transput:identity_transducer", [])]
+    canonical = plan_fleet("readonly", spec, str(tmp_path / "new"),
+                           source_items=ITEMS)
+    with pytest.warns(EdenDeprecationWarning, match="plan_fleet"):
+        shimmed = plan_pipeline("readonly", spec, str(tmp_path / "old"),
+                                source_items=ITEMS)
+    assert [plan.role for plan in shimmed] == [plan.role for plan in canonical]
+
+
+def test_execute_shim_warns(tmp_path):
+    # ``execute`` spawns real processes, so drive the smallest possible
+    # fleet: source -> sink, no filters, two records.
+    from repro.net.launch import execute
+
+    plans = plan_fleet("readonly", [], str(tmp_path),
+                       source_items=["x", "y"])
+    with pytest.warns(EdenDeprecationWarning, match="run_fleet"):
+        result = execute(plans, timeout=60.0)
+    assert result.output == ["x", "y"]
+
+
+def test_canonical_names_do_not_warn(kernel):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", EdenDeprecationWarning)
+        compose_pipeline(kernel, "readonly", ITEMS,
+                         [identity_transducer()]).run_to_completion()
+        stream_pipeline(ITEMS, [identity_transducer()], "readonly")

@@ -10,7 +10,7 @@ from repro.transput import (
     CollectorSink,
     FlowPolicy,
     ListSource,
-    build_readonly_pipeline,
+    compose_readonly_pipeline,
 )
 from repro.filters import upper_case
 
@@ -85,7 +85,7 @@ class TestMigration:
         assert kernel.find(f.uid).node.name == "vaxB"
 
     def test_pipeline_survives_stage_migration_between_runs(self, kernel):
-        pipeline = build_readonly_pipeline(
+        pipeline = compose_readonly_pipeline(
             kernel, [f"r{i}" for i in range(6)], [upper_case()],
             flow=FlowPolicy(lookahead=0),
         )

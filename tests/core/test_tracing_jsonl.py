@@ -4,7 +4,7 @@ import io
 
 from repro.core import Kernel
 from repro.core.tracing import Tracer, event_to_dict, load_jsonl
-from repro.transput import build_readonly_pipeline
+from repro.transput import compose_readonly_pipeline
 
 
 def test_roundtrip_through_a_file(tmp_path):
@@ -43,7 +43,7 @@ def test_exotic_detail_values_stringified_not_lost():
 def test_simulator_trace_survives_the_wire_format(tmp_path):
     """A real kernel trace exports and reloads with nothing dropped."""
     kernel = Kernel(seed=0, trace=True)
-    pipeline = build_readonly_pipeline(
+    pipeline = compose_readonly_pipeline(
         kernel, ["a", "b"], [],
     )
     pipeline.run_to_completion()

@@ -1,0 +1,84 @@
+"""The chaos proxy relays real frames and injects per-link faults."""
+
+import asyncio
+
+from repro.fault import ChaosProxy, FaultPlan, FrameFault
+from repro.net.framing import Frame, FrameType, encode_frame, read_frame_sized
+
+
+async def _echo_server():
+    """A target that echoes every frame back to the client."""
+
+    async def handle(reader, writer):
+        while True:
+            frame, _wire = await read_frame_sized(reader)
+            if frame is None:
+                break
+            writer.write(encode_frame(frame))
+            await writer.drain()
+        writer.close()
+
+    server = await asyncio.start_server(handle, host="127.0.0.1", port=0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+async def _exchange(proxy_port, frames, replies_expected):
+    reader, writer = await asyncio.open_connection("127.0.0.1", proxy_port)
+    for frame in frames:
+        writer.write(encode_frame(frame))
+    await writer.drain()
+    writer.write_eof()
+    got = []
+    for _ in range(replies_expected):
+        frame, _wire = await asyncio.wait_for(read_frame_sized(reader), 5.0)
+        if frame is None:
+            break
+        got.append(frame)
+    writer.close()
+    return got
+
+
+def test_benign_proxy_relays_both_directions():
+    async def scenario():
+        server, port = await _echo_server()
+        proxy = await ChaosProxy("127.0.0.1", port, FaultPlan()).start()
+        frames = [Frame(FrameType.DATA, {"seq": i}) for i in range(3)]
+        try:
+            echoed = await _exchange(proxy.port, frames, 3)
+        finally:
+            await proxy.stop()
+            server.close()
+            await server.wait_closed()
+        return echoed
+
+    echoed = asyncio.run(scenario())
+    assert [frame.body["seq"] for frame in echoed] == [0, 1, 2]
+
+
+def test_forward_drop_swallows_the_nth_request():
+    plan = FaultPlan(
+        frame_faults=[FrameFault(action="drop", frame="data", nth=2)]
+    )
+
+    async def scenario():
+        server, port = await _echo_server()
+        # reply_plan benign: only the client->target direction is lossy.
+        proxy = await ChaosProxy(
+            "127.0.0.1", port, plan, reply_plan=FaultPlan()
+        ).start()
+        frames = [Frame(FrameType.DATA, {"seq": i}) for i in range(3)]
+        try:
+            echoed = await _exchange(proxy.port, frames, 3)
+        finally:
+            await proxy.stop()
+            server.close()
+            await server.wait_closed()
+        return echoed, {
+            name: proxy.stats.get(name)
+            for name in ("fault_drop", "frames_relayed")
+        }
+
+    echoed, counters = asyncio.run(scenario())
+    assert [frame.body["seq"] for frame in echoed] == [0, 2]
+    assert counters["fault_drop"] == 1
+    assert counters["frames_relayed"] >= 5  # 3 in, 2 echoed back

@@ -1,0 +1,163 @@
+"""Runtime fault hooks: the frame injector and the kill switches."""
+
+import asyncio
+
+import pytest
+
+from repro.core.stats import KernelStats
+from repro.fault import FaultInjector, FaultPlan, FrameFault, KillSwitch
+from repro.fault.inject import (
+    KillingReadable,
+    KillingWritable,
+    build_injector,
+    corrupt_bytes,
+    killing_transducer,
+)
+from repro.transput import identity_transducer
+from repro.transput.stream import END_TRANSFER, Transfer
+
+
+def send(injector, frames):
+    """Feed ``(name, wire)`` frames through the injector, collect chunks."""
+    async def drive():
+        out = []
+        for name, wire in frames:
+            out.append(await injector.outgoing(name, wire))
+        return out
+
+    return asyncio.run(drive())
+
+
+class TestFaultInjector:
+    def test_no_rules_passes_frames_through(self):
+        injector = FaultInjector([])
+        assert send(injector, [("DATA", b"abc")]) == [[b"abc"]]
+
+    def test_drop_nth(self):
+        injector = FaultInjector([FrameFault(action="drop", nth=2)],
+                                 stats=KernelStats())
+        out = send(injector, [("DATA", b"a"), ("DATA", b"b"), ("DATA", b"c")])
+        assert out == [[b"a"], [], [b"c"]]
+        assert injector.stats.get("fault_drop") == 1
+
+    def test_duplicate_every(self):
+        injector = FaultInjector([FrameFault(action="duplicate", every=2)])
+        out = send(injector, [("DATA", b"a"), ("DATA", b"b")])
+        assert out == [[b"a"], [b"b", b"b"]]
+
+    def test_corrupt_mutates_but_keeps_length(self):
+        injector = FaultInjector([FrameFault(action="corrupt", nth=1)])
+        [chunks] = send(injector, [("DATA", b"abc")])
+        assert chunks != [b"abc"] and len(chunks[0]) == 3
+
+    def test_frame_filter_only_counts_matching_frames(self):
+        # The nth schedule must count DATA frames, not every frame.
+        injector = FaultInjector(
+            [FrameFault(action="drop", frame="data", nth=2)]
+        )
+        out = send(injector, [
+            ("READ", b"r1"), ("DATA", b"d1"), ("READ", b"r2"), ("DATA", b"d2"),
+        ])
+        assert out == [[b"r1"], [b"d1"], [b"r2"], []]
+
+    def test_delay_sleeps_inside_sender(self):
+        napped = []
+
+        async def fake_sleep(seconds):
+            napped.append(seconds)
+
+        injector = FaultInjector(
+            [FrameFault(action="delay", nth=1, delay_ms=250.0)],
+            sleep=fake_sleep,
+        )
+        send(injector, [("DATA", b"a")])
+        assert napped == [0.25]
+
+    def test_build_injector_none_for_benign_plans(self):
+        assert build_injector(None) is None
+        assert build_injector(FaultPlan()) is None
+        assert build_injector(FaultPlan(kill_after=3)) is None  # not a frame fault
+        assert build_injector(
+            FaultPlan(frame_faults=[FrameFault(action="drop", nth=1)])
+        ) is not None
+
+
+def test_corrupt_bytes_flips_last_byte():
+    assert corrupt_bytes(b"") == b""
+    wire = b"\x01\x02\x03"
+    mangled = corrupt_bytes(wire)
+    assert mangled[:-1] == wire[:-1] and mangled[-1] != wire[-1]
+
+
+class TestKillSwitch:
+    def test_limit_validated(self):
+        with pytest.raises(ValueError):
+            KillSwitch(0)
+
+    def test_trips_at_limit(self):
+        tripped = []
+        switch = KillSwitch(3, on_kill=lambda: tripped.append(True))
+        switch.note()
+        switch.note()
+        assert not tripped
+        switch.note()
+        assert tripped
+
+    def test_batch_notes_can_overshoot(self):
+        tripped = []
+        switch = KillSwitch(3, on_kill=lambda: tripped.append(True))
+        switch.note(5)
+        assert tripped and switch.count == 5
+
+
+class _Boom(Exception):
+    pass
+
+
+def _tripping(limit):
+    def boom():
+        raise _Boom()
+
+    return KillSwitch(limit, on_kill=boom)
+
+
+class TestKillAdapters:
+    def test_killing_readable_counts_yielded_records(self):
+        class Source:
+            def __init__(self, chunks):
+                self.chunks = list(chunks)
+
+            async def read(self, batch=1):
+                if not self.chunks:
+                    return END_TRANSFER
+                return Transfer.of(self.chunks.pop(0))
+
+        readable = KillingReadable(Source([["a", "b"], ["c"]]), _tripping(3))
+
+        async def drive():
+            await readable.read()
+            await readable.read()
+
+        with pytest.raises(_Boom):
+            asyncio.run(drive())
+
+    def test_killing_writable_counts_accepted_records(self):
+        class Sink:
+            async def write(self, transfer):
+                pass
+
+        writable = KillingWritable(Sink(), _tripping(2))
+
+        async def drive():
+            await writable.write(Transfer.of(["a"]))
+            await writable.write(END_TRANSFER)  # END does not count
+            await writable.write(Transfer.of(["b"]))
+
+        with pytest.raises(_Boom):
+            asyncio.run(drive())
+
+    def test_killing_transducer_counts_inputs(self):
+        wrapped = killing_transducer(identity_transducer(), _tripping(2))
+        assert list(wrapped.step("a")) == ["a"]
+        with pytest.raises(_Boom):
+            wrapped.step("b")

@@ -23,14 +23,14 @@ from repro.transput import (
     StreamEndpoint,
     Transfer,
     WriteOnlyFilter,
-    build_readonly_pipeline,
+    compose_readonly_pipeline,
 )
 
 ITEMS = [f"r{i}" for i in range(8)]
 
 
 def fresh_pipeline(kernel):
-    return build_readonly_pipeline(
+    return compose_readonly_pipeline(
         kernel, ITEMS, [upper_case(), upper_case()]
     )
 

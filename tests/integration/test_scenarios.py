@@ -28,8 +28,8 @@ from repro.transput import (
     FlowPolicy,
     ReadOnlyFilter,
     StreamEndpoint,
-    build_pipeline,
-    build_readonly_pipeline,
+    compose_pipeline,
+    compose_readonly_pipeline,
 )
 from tests.conftest import run_until_done
 
@@ -113,7 +113,7 @@ class TestDistributedPipelines:
     def test_sixteen_stage_pipeline_matches_model(self):
         """A long pipeline: measured invocations == the paper's formula."""
         kernel = Kernel()
-        pipeline = build_pipeline(
+        pipeline = compose_pipeline(
             kernel, "readonly", [f"r{i}" for i in range(25)],
             [identity() for _ in range(16)],
         )
@@ -125,7 +125,7 @@ class TestDistributedPipelines:
     def test_cross_node_pipeline_with_lookahead(self):
         kernel = Kernel(costs=TransportCosts(local_latency=1.0,
                                              remote_latency=8.0))
-        pipeline = build_readonly_pipeline(
+        pipeline = compose_readonly_pipeline(
             kernel, [f"r{i}" for i in range(30)],
             [grep("r"), upper_case(), number_lines()],
             placement="spread",
@@ -137,7 +137,7 @@ class TestDistributedPipelines:
 
     def test_node_crash_fails_pipeline_cleanly(self):
         kernel = Kernel()
-        pipeline = build_readonly_pipeline(
+        pipeline = compose_readonly_pipeline(
             kernel, ["a", "b"], [upper_case(), upper_case()],
             placement="spread",
         )

@@ -46,14 +46,29 @@ class TestValidation:
 
 
 class TestCreditWindow:
+    def test_explicit_credit_window_wins(self):
+        policy = FlowPolicy(credit_window=3, inbox_capacity=5, lookahead=9)
+        assert policy.effective_credit_window() == 3
+
     def test_inbox_capacity_wins(self):
-        assert FlowPolicy(inbox_capacity=5, lookahead=9).credit_window() == 5
+        policy = FlowPolicy(inbox_capacity=5, lookahead=9)
+        assert policy.effective_credit_window() == 5
 
     def test_lookahead_is_the_fallback(self):
-        assert FlowPolicy(lookahead=8).credit_window() == 8
+        assert FlowPolicy(lookahead=8).effective_credit_window() == 8
 
     def test_lazy_degenerates_to_synchronous_window(self):
-        assert FlowPolicy.lazy().credit_window() == 1
+        assert FlowPolicy.lazy().effective_credit_window() == 1
 
     def test_eager_maps_to_its_lookahead(self):
-        assert FlowPolicy.eager(lookahead=16).credit_window() == 16
+        assert FlowPolicy.eager(lookahead=16).effective_credit_window() == 16
+
+    @pytest.mark.parametrize("window", [0, -4])
+    def test_bad_credit_window_rejected(self, window):
+        with pytest.raises(ValueError, match="credit_window"):
+            FlowPolicy(credit_window=window)
+
+    def test_with_credit_window_revalidates(self):
+        assert FlowPolicy().with_credit_window(7).effective_credit_window() == 7
+        with pytest.raises(ValueError, match="credit_window"):
+            FlowPolicy().with_credit_window(0)

@@ -5,10 +5,10 @@ import pytest
 from repro.core import Kernel, TransportCosts
 from repro.transput import (
     FlowPolicy,
-    build_conventional_pipeline,
-    build_pipeline,
-    build_readonly_pipeline,
-    build_writeonly_pipeline,
+    compose_conventional_pipeline,
+    compose_pipeline,
+    compose_readonly_pipeline,
+    compose_writeonly_pipeline,
     compose_apply,
 )
 from repro.filters import (
@@ -32,7 +32,7 @@ class TestEquivalence:
                                             "conventional"])
     def test_matches_functional_reference(self, discipline):
         kernel = Kernel()
-        pipeline = build_pipeline(kernel, discipline, ITEMS, fresh_transducers())
+        pipeline = compose_pipeline(kernel, discipline, ITEMS, fresh_transducers())
         output = pipeline.run_to_completion()
         assert output == compose_apply(fresh_transducers(), ITEMS)
 
@@ -40,7 +40,7 @@ class TestEquivalence:
                                             "conventional"])
     def test_stateful_finish_only_filter(self, discipline):
         kernel = Kernel()
-        pipeline = build_pipeline(kernel, discipline, ITEMS, [word_count()])
+        pipeline = compose_pipeline(kernel, discipline, ITEMS, [word_count()])
         output = pipeline.run_to_completion()
         assert len(output) == 1
         assert output[0].lines == len(ITEMS)
@@ -48,32 +48,32 @@ class TestEquivalence:
     def test_empty_input(self):
         for discipline in ("readonly", "writeonly", "conventional"):
             kernel = Kernel()
-            pipeline = build_pipeline(kernel, discipline, [], [upper_case()])
+            pipeline = compose_pipeline(kernel, discipline, [], [upper_case()])
             assert pipeline.run_to_completion() == []
 
     def test_zero_filters(self):
         for discipline in ("readonly", "writeonly", "conventional"):
             kernel = Kernel()
-            pipeline = build_pipeline(kernel, discipline, [1, 2, 3], [])
+            pipeline = compose_pipeline(kernel, discipline, [1, 2, 3], [])
             assert pipeline.run_to_completion() == [1, 2, 3]
 
 
 class TestShapeClaims:
     def test_readonly_has_no_buffers(self):
         kernel = Kernel()
-        pipeline = build_readonly_pipeline(kernel, ITEMS, fresh_transducers())
+        pipeline = compose_readonly_pipeline(kernel, ITEMS, fresh_transducers())
         assert pipeline.buffer_count() == 0
         assert pipeline.eject_count() == 3 + 2  # n + 2
 
     def test_conventional_buffer_count(self):
         kernel = Kernel()
-        pipeline = build_conventional_pipeline(kernel, ITEMS, fresh_transducers())
+        pipeline = compose_conventional_pipeline(kernel, ITEMS, fresh_transducers())
         assert pipeline.buffer_count() == 4  # n + 1
         assert pipeline.eject_count() == 2 * 3 + 3  # 2n + 3
 
     def test_writeonly_matches_readonly_shape(self):
         kernel = Kernel()
-        pipeline = build_writeonly_pipeline(kernel, ITEMS, fresh_transducers())
+        pipeline = compose_writeonly_pipeline(kernel, ITEMS, fresh_transducers())
         assert pipeline.buffer_count() == 0
         assert pipeline.eject_count() == 5
 
@@ -82,7 +82,7 @@ class TestShapeClaims:
         results = {}
         for discipline in ("readonly", "conventional"):
             kernel = Kernel()
-            pipeline = build_pipeline(
+            pipeline = compose_pipeline(
                 kernel, discipline, [f"i{k}" for k in range(30)],
                 [upper_case(), upper_case(), upper_case()],
             )
@@ -96,7 +96,7 @@ class TestFlowPolicies:
         counts = {}
         for batch in (1, 4):
             kernel = Kernel()
-            pipeline = build_readonly_pipeline(
+            pipeline = compose_readonly_pipeline(
                 kernel, [f"i{k}" for k in range(32)], [upper_case()],
                 flow=FlowPolicy(batch=batch),
             )
@@ -107,7 +107,7 @@ class TestFlowPolicies:
     def test_lookahead_same_results(self):
         for lookahead in (0, 1, 3, 16):
             kernel = Kernel()
-            pipeline = build_readonly_pipeline(
+            pipeline = compose_readonly_pipeline(
                 kernel, ITEMS, fresh_transducers(),
                 flow=FlowPolicy(lookahead=lookahead),
             )
@@ -125,7 +125,7 @@ class TestFlowPolicies:
                 transducer = upper_case()
                 transducer.cost_per_item = 4.0
                 transducers.append(transducer)
-            pipeline = build_readonly_pipeline(
+            pipeline = compose_readonly_pipeline(
                 kernel, [f"i{k}" for k in range(20)], transducers,
                 flow=FlowPolicy(lookahead=lookahead),
             )
@@ -152,7 +152,7 @@ class TestFlowPolicies:
 class TestPlacement:
     def test_spread_uses_distinct_nodes(self):
         kernel = Kernel()
-        pipeline = build_readonly_pipeline(
+        pipeline = compose_readonly_pipeline(
             kernel, ITEMS, fresh_transducers(), placement="spread"
         )
         nodes = {eject.node.name for eject in pipeline.ejects}
@@ -160,7 +160,7 @@ class TestPlacement:
 
     def test_explicit_node_list_cycles(self):
         kernel = Kernel()
-        pipeline = build_readonly_pipeline(
+        pipeline = compose_readonly_pipeline(
             kernel, ITEMS, fresh_transducers(), placement=["vaxA", "vaxB"]
         )
         nodes = {eject.node.name for eject in pipeline.ejects}
@@ -170,7 +170,7 @@ class TestPlacement:
         def makespan(placement):
             kernel = Kernel(costs=TransportCosts(local_latency=1.0,
                                                  remote_latency=20.0))
-            pipeline = build_readonly_pipeline(
+            pipeline = compose_readonly_pipeline(
                 kernel, ITEMS, fresh_transducers(), placement=placement
             )
             pipeline.run_to_completion()
@@ -182,16 +182,16 @@ class TestPlacement:
 class TestErrors:
     def test_unknown_discipline(self):
         with pytest.raises(ValueError):
-            build_pipeline(Kernel(), "psychic", [1], [])
+            compose_pipeline(Kernel(), "psychic", [1], [])
 
     def test_stats_require_run(self):
-        pipeline = build_readonly_pipeline(Kernel(), [1], [])
+        pipeline = compose_readonly_pipeline(Kernel(), [1], [])
         with pytest.raises(RuntimeError):
             pipeline.invocations_used()
 
     def test_invocations_per_datum(self):
         kernel = Kernel()
-        pipeline = build_readonly_pipeline(
+        pipeline = compose_readonly_pipeline(
             kernel, [f"i{k}" for k in range(10)], [upper_case()]
         )
         pipeline.run_to_completion()
