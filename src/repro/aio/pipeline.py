@@ -20,11 +20,12 @@ three runtimes (paper claims C1/C2: ``(n+1)(m+1)`` asymmetric vs
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.compat import warn_deprecated
 from repro.core.stats import KernelStats
 from repro.transput.filterbase import Transducer
+from repro.transput.flow import shard_of
 from repro.aio.streams import (
     AioCollector,
     AioPipe,
@@ -42,6 +43,7 @@ __all__ = [
     "stream_writeonly",
     "stream_conventional",
     "stream_pipeline",
+    "stream_sharded",
     "run_readonly",
     "run_writeonly",
     "run_conventional",
@@ -192,6 +194,51 @@ def stream_pipeline(
     return asyncio.run(
         runners[discipline](items, transducers, stats=stats, **kwargs)
     )
+
+
+def stream_sharded(
+    items: Iterable[Any],
+    transducer_factory: Callable[[], Sequence[Transducer]],
+    discipline: str = "readonly",
+    shards: int = 2,
+    stats: KernelStats | None = None,
+    **kwargs: Any,
+) -> tuple[list[Any], list[list[Any]]]:
+    """Run ``shards`` copies of the pipeline concurrently, one per partition.
+
+    The records are partitioned by :func:`repro.transput.flow.shard_of`
+    (the same stable content hash the TCP runtime's sharded fleet
+    uses), each partition streams through its own freshly built stage
+    chain — ``transducer_factory`` is called once per shard, because
+    transducers are stateful — and the results are concatenated in
+    shard order.  Returns ``(merged_output, per_shard_outputs)``.
+    Invocation counts accumulate into the one shared ``stats``, so
+    parity checks against the sharded TCP fleet still hold.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    runners = {
+        "readonly": stream_readonly,
+        "writeonly": stream_writeonly,
+        "conventional": stream_conventional,
+    }
+    if discipline not in runners:
+        raise ValueError(f"discipline must be one of {sorted(runners)}")
+    buckets: list[list[Any]] = [[] for _ in range(shards)]
+    for record in items:
+        buckets[shard_of(record, shards)].append(record)
+
+    async def run_all() -> list[list[Any]]:
+        return list(await asyncio.gather(*(
+            runners[discipline](
+                bucket, transducer_factory(), stats=stats, **kwargs
+            )
+            for bucket in buckets
+        )))
+
+    shard_outputs = asyncio.run(run_all())
+    merged = [record for lines in shard_outputs for record in lines]
+    return merged, shard_outputs
 
 
 # ---------------------------------------------------------------------------

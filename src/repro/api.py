@@ -81,6 +81,11 @@ class PipelineResult:
     supervisor: dict[str, Any] = field(default_factory=dict)
     stderr: list[str] = field(default_factory=list)
     trace_files: list[str] = field(default_factory=list)
+    #: How many parallel shards the pipeline ran as (1 = unsharded).
+    shards: int = 1
+    #: Each shard's output in shard order (empty when unsharded);
+    #: ``output`` is their concatenation.
+    shard_outputs: list[list[Any]] = field(default_factory=list)
 
     def invocations_per_datum(self, item_count: int) -> float:
         """Average invocations to move one record end-to-end."""
@@ -106,6 +111,13 @@ class Pipeline:
             :func:`repro.transput.compose_readonly_pipeline`.
         flow: default :class:`FlowPolicy` for every run (individual
             ``run()`` calls may override knobs).
+        shards: partition the stream by content hash across this many
+            parallel copies of the pipeline (claim C3's channel
+            fan-out).  Each shard preserves its internal order;
+            ``result.output`` concatenates shards in index order and
+            ``result.shard_outputs`` keeps them separate.  On the TCP
+            runtime every shard is its own process sub-fleet under one
+            supervisor — near-linear scaling for CPU-bound filters.
     """
 
     def __init__(
@@ -115,6 +127,7 @@ class Pipeline:
         source: Sequence[Any] | None = None,
         sink: Any = None,
         flow: FlowPolicy | None = None,
+        shards: int = 1,
     ) -> None:
         if discipline not in DISCIPLINES:
             raise ValueError(
@@ -128,12 +141,15 @@ class Pipeline:
                 "are a simulator feature — use repro.transput.compose_* "
                 "builders directly"
             )
+        if not isinstance(shards, int) or shards < 1:
+            raise ValueError(f"shards must be an integer >= 1, got {shards!r}")
         self.stages = list(stages)
         for stage in self.stages:
             self._check_stage(stage)
         self.discipline = discipline
         self.source = list(source)
         self.flow = flow or FlowPolicy()
+        self.shards = shards
 
     # -- stage specs --------------------------------------------------------
 
@@ -203,6 +219,9 @@ class Pipeline:
         io_timeout: float | None = None,
         trace: bool | None = None,
         workdir: str | None = None,
+        codec: str | None = None,
+        pipeline_depth: int | None = None,
+        adaptive: bool | None = None,
     ) -> PipelineResult:
         """Run the pipeline on ``runtime`` and gather a common result.
 
@@ -210,8 +229,9 @@ class Pipeline:
         whole ``flow`` policy) apply everywhere.  ``placement`` is
         simulator-only.  The fault-tolerance knobs (``timeout``,
         ``max_restarts``, ``faults``, ``resume``, ``io_timeout``,
-        ``trace``, ``workdir``) are TCP-only — passing one to another
-        runtime is an error, never a silent no-op.
+        ``trace``, ``workdir``) and the data-plane knobs (``codec``,
+        ``pipeline_depth``, ``adaptive``) are TCP-only — passing one
+        to another runtime is an error, never a silent no-op.
         """
         if runtime not in RUNTIMES:
             raise ValueError(f"runtime must be one of {RUNTIMES}, got {runtime!r}")
@@ -220,7 +240,8 @@ class Pipeline:
                 ("timeout", timeout), ("max_restarts", max_restarts),
                 ("faults", faults), ("resume", resume),
                 ("io_timeout", io_timeout), ("trace", trace),
-                ("workdir", workdir),
+                ("workdir", workdir), ("codec", codec),
+                ("pipeline_depth", pipeline_depth), ("adaptive", adaptive),
             ) if value is not None}
             if given:
                 raise ValueError(
@@ -229,6 +250,11 @@ class Pipeline:
                 )
         if runtime != "sim" and placement is not None:
             raise ValueError("placement is simulator-only (runtime='sim')")
+        if faults and self.shards > 1:
+            raise ValueError(
+                "faults address stage serials of one sub-fleet and are "
+                "ambiguous across shards; run with shards=1 to inject faults"
+            )
 
         policy = flow or self.flow
         if batch is not None:
@@ -237,6 +263,10 @@ class Pipeline:
             policy = policy.with_credit_window(credit_window)
         if lookahead is not None:
             policy = dataclasses.replace(policy, lookahead=lookahead)
+        if pipeline_depth is not None:
+            policy = policy.with_pipeline_depth(pipeline_depth)
+        if adaptive is not None:
+            policy = dataclasses.replace(policy, adaptive=adaptive)
 
         if runtime == "sim":
             return self._run_sim(policy, placement)
@@ -251,31 +281,49 @@ class Pipeline:
             io_timeout=io_timeout,
             trace=bool(trace),
             workdir=workdir,
+            codec=codec,
         )
 
     # -- the three backends -------------------------------------------------
 
     def _run_sim(self, policy: FlowPolicy, placement: Any) -> PipelineResult:
         from repro.core.kernel import Kernel
+        from repro.core.stats import KernelStats
         from repro.obs.registry import snapshot_payload
+        from repro.transput.flow import shard_of
         from repro.transput.pipeline import compose_pipeline
 
-        kernel = Kernel()
-        built = compose_pipeline(
-            kernel, self.discipline, list(self.source), self._transducers(),
-            flow=policy, placement=placement,
-        )
-        output = built.run_to_completion()
+        if self.shards == 1:
+            buckets = [list(self.source)]
+        else:
+            buckets = [[] for _ in range(self.shards)]
+            for record in self.source:
+                buckets[shard_of(record, self.shards)].append(record)
+        shard_outputs: list[list[Any]] = []
+        invocations = 0
+        combined = KernelStats()
+        for bucket in buckets:
+            kernel = Kernel()
+            built = compose_pipeline(
+                kernel, self.discipline, bucket, self._transducers(),
+                flow=policy, placement=placement,
+            )
+            shard_outputs.append(built.run_to_completion())
+            invocations += built.invocations_used()
+            for name in kernel.stats.names():
+                combined.bump(name, kernel.stats.get(name))
         return PipelineResult(
             runtime="sim",
             discipline=self.discipline,
-            output=output,
-            invocations=built.invocations_used(),
-            stats=snapshot_payload(kernel.stats),
+            output=[record for lines in shard_outputs for record in lines],
+            invocations=invocations,
+            stats=snapshot_payload(combined),
+            shards=self.shards,
+            shard_outputs=shard_outputs if self.shards > 1 else [],
         )
 
     def _run_aio(self, policy: FlowPolicy) -> PipelineResult:
-        from repro.aio.pipeline import stream_pipeline
+        from repro.aio.pipeline import stream_pipeline, stream_sharded
         from repro.core.stats import KernelStats
         from repro.obs.registry import snapshot_payload
 
@@ -285,16 +333,25 @@ class Pipeline:
             kwargs["lookahead"] = policy.lookahead
         elif self.discipline == "conventional":
             kwargs["capacity"] = policy.buffer_capacity or 16
-        output = stream_pipeline(
-            list(self.source), self._transducers(), self.discipline,
-            stats=stats, **kwargs,
-        )
+        shard_outputs: list[list[Any]] = []
+        if self.shards == 1:
+            output = stream_pipeline(
+                list(self.source), self._transducers(), self.discipline,
+                stats=stats, **kwargs,
+            )
+        else:
+            output, shard_outputs = stream_sharded(
+                list(self.source), self._transducers, self.discipline,
+                shards=self.shards, stats=stats, **kwargs,
+            )
         return PipelineResult(
             runtime="aio",
             discipline=self.discipline,
             output=output,
             invocations=stats.get("invocations_sent"),
             stats=snapshot_payload(stats),
+            shards=self.shards,
+            shard_outputs=shard_outputs,
         )
 
     def _run_tcp(
@@ -307,22 +364,40 @@ class Pipeline:
         io_timeout: float | None,
         trace: bool,
         workdir: str | None,
+        codec: str | None = None,
     ) -> PipelineResult:
-        from repro.net.launch import plan_fleet, run_fleet
+        from repro.net.framing import CODEC_JSON
+        from repro.net.launch import plan_fleet, plan_sharded_fleet, run_fleet
         from repro.obs.registry import snapshot_payload
 
         workdir = workdir or tempfile.mkdtemp(prefix="eden-fleet-")
-        plans = plan_fleet(
-            self.discipline,
-            self._specs(),
-            workdir,
-            source_items=list(self.source),
-            flow=policy,
-            trace=trace,
-            faults=faults,
-            resume=resume,
-            io_timeout=io_timeout,
-        )
+        codec = codec or CODEC_JSON
+        if self.shards == 1:
+            plans = plan_fleet(
+                self.discipline,
+                self._specs(),
+                workdir,
+                source_items=list(self.source),
+                flow=policy,
+                trace=trace,
+                faults=faults,
+                resume=resume,
+                io_timeout=io_timeout,
+                codec=codec,
+            )
+        else:
+            plans = plan_sharded_fleet(
+                self.discipline,
+                self._specs(),
+                workdir,
+                shards=self.shards,
+                source_items=list(self.source),
+                flow=policy,
+                trace=trace,
+                resume=resume,
+                io_timeout=io_timeout,
+                codec=codec,
+            )
         result = run_fleet(plans, timeout=timeout, max_restarts=max_restarts)
         return PipelineResult(
             runtime="tcp",
@@ -334,4 +409,6 @@ class Pipeline:
             supervisor=dict(result.supervisor),
             stderr=list(result.stderr),
             trace_files=list(result.trace_files),
+            shards=self.shards,
+            shard_outputs=[list(lines) for lines in result.shard_outputs],
         )

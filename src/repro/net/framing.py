@@ -4,18 +4,37 @@ One frame is one protocol message.  The layout (all integers
 big-endian) is::
 
     +-------+------+----------+--------------------+
-    | magic | type | body len | body (UTF-8 JSON)  |
+    | magic | type | body len | body               |
     | 4 B   | 1 B  | 4 B      | body-len bytes     |
     +-------+------+----------+--------------------+
 
 ``magic`` is ``b"EDN1"`` (protocol name + version); a connection
 presenting anything else is dropped with :class:`FrameError` rather
-than mis-parsed.  The body is a JSON object whose fields depend on the
-frame type; records and channel identifiers are encoded by
-:func:`encode_payload`, which extends JSON with tagged forms for the
-Python values Eden streams actually carry (bytes, tuples,
-:class:`~repro.core.uid.UID`, :class:`~repro.core.capability.
-ChannelCapability`, and dicts with non-string keys).
+than mis-parsed.
+
+The body is one of two encodings of the same dict-of-fields model,
+selected per frame by the high bit of the type byte (so every frame is
+self-describing and the two codecs can share a connection):
+
+- **json** (type bit clear) — a UTF-8 JSON object.  Records and
+  channel identifiers are encoded by :func:`encode_payload`, which
+  extends JSON with tagged forms for the Python values Eden streams
+  actually carry (bytes, tuples, :class:`~repro.core.uid.UID`,
+  :class:`~repro.core.capability.ChannelCapability`, and dicts with
+  non-string keys).  Every peer speaks it; handshake frames always
+  use it.
+- **binary** (type bit set) — a compact tagged form (one tag byte per
+  value, zigzag varints for integers, length-prefixed UTF-8 for
+  strings) that needs no base64 detour for bytes and no tag-escaping
+  for dicts.  It is negotiated in the HELLO/WELCOME exchange (see
+  :mod:`repro.net.handshake`); a peer that never offers it simply
+  keeps receiving JSON — codec mixing is per-connection, never a
+  protocol fork.
+
+Encoders append into caller-supplied ``bytearray`` buffers
+(:func:`encode_frame_into`) so several frames can be coalesced into
+one ``write``; decoders work over ``memoryview`` slices so a partial
+frame is never re-copied while it accumulates.
 
 Frame types map one-to-one onto the protocol's messages:
 
@@ -49,7 +68,7 @@ import enum
 import json
 import struct
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 from repro.core.capability import ChannelCapability
 from repro.core.errors import EdenError
@@ -63,13 +82,19 @@ __all__ = [
     "MAGIC",
     "HEADER",
     "MAX_FRAME_BODY",
+    "CODEC_JSON",
+    "CODEC_BINARY",
+    "CODECS",
+    "BINARY_FLAG",
     "encode_payload",
     "decode_payload",
     "encode_frame",
+    "encode_frame_into",
     "decode_frame",
     "read_frame",
     "read_frame_sized",
     "write_frame",
+    "write_frames",
     "TRACE_KEY",
     "attach_trace",
     "frame_trace",
@@ -78,12 +103,22 @@ __all__ = [
 #: Protocol identifier + version, first on every frame.
 MAGIC = b"EDN1"
 
-#: Header layout: magic, frame type, body length.
+#: Header layout: magic, frame type (with codec flag), body length.
 HEADER = struct.Struct("!4sBI")
 
 #: Upper bound on one frame's body, a defence against a corrupt or
 #: hostile length prefix allocating unbounded memory.
 MAX_FRAME_BODY = 16 * 1024 * 1024
+
+#: The always-available UTF-8 JSON body encoding.
+CODEC_JSON = "json"
+#: The negotiated compact tagged body encoding.
+CODEC_BINARY = "binary"
+#: Every codec this implementation speaks, preference first.
+CODECS = (CODEC_BINARY, CODEC_JSON)
+
+#: High bit of the type byte: set when the body is binary-encoded.
+BINARY_FLAG = 0x80
 
 
 class FrameError(EdenError):
@@ -194,6 +229,187 @@ def decode_payload(value: Any) -> Any:
 
 
 # ---------------------------------------------------------------------------
+# Binary body codec: one tag byte per value, varints for integers.
+# ---------------------------------------------------------------------------
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_LIST = 0x07
+_T_TUPLE = 0x08
+_T_DICT = 0x09
+_T_UID = 0x0A
+_T_CHAN = 0x0B
+
+_F64 = struct.Struct("!d")
+
+
+def _put_varint(out: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint."""
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _put_int(out: bytearray, value: int) -> None:
+    """Append a signed integer as a zigzag varint (any magnitude)."""
+    _put_varint(out, (value << 1) if value >= 0 else ((-value << 1) - 1))
+
+
+def _encode_binary(value: Any, out: bytearray) -> None:
+    """Append ``value`` in the tagged binary form."""
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        out.append(_T_INT)
+        _put_int(out, value)
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(_T_STR)
+        _put_varint(out, len(data))
+        out += data
+    elif isinstance(value, bytes):
+        out.append(_T_BYTES)
+        _put_varint(out, len(value))
+        out += value
+    elif isinstance(value, tuple):
+        out.append(_T_TUPLE)
+        _put_varint(out, len(value))
+        for item in value:
+            _encode_binary(item, out)
+    elif isinstance(value, list):
+        out.append(_T_LIST)
+        _put_varint(out, len(value))
+        for item in value:
+            _encode_binary(item, out)
+    elif isinstance(value, UID):
+        out.append(_T_UID)
+        _put_int(out, value.space)
+        _put_int(out, value.serial)
+        _put_int(out, value.nonce)
+    elif isinstance(value, ChannelCapability):
+        out.append(_T_CHAN)
+        _put_int(out, value.owner.space)
+        _put_int(out, value.owner.serial)
+        _put_int(out, value.owner.nonce)
+        _encode_binary(value.name, out)
+        _put_int(out, value.secret)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        _put_varint(out, len(value))
+        for key, item in value.items():
+            _encode_binary(key, out)
+            _encode_binary(item, out)
+    else:
+        raise FrameError(f"cannot encode {type(value).__name__} payload: {value!r}")
+
+
+def _get_varint(view: memoryview, offset: int) -> tuple[int, int]:
+    value = 0
+    shift = 0
+    while True:
+        if offset >= len(view):
+            raise FrameError("truncated binary body: varint runs off the end")
+        byte = view[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+        if shift > 1024:  # > 1024-bit integer: corrupt, not data
+            raise FrameError("binary body varint is implausibly long")
+
+
+def _get_int(view: memoryview, offset: int) -> tuple[int, int]:
+    raw, offset = _get_varint(view, offset)
+    return (-((raw + 1) >> 1) if raw & 1 else raw >> 1), offset
+
+
+def _get_sized(view: memoryview, offset: int, size: int) -> tuple[memoryview, int]:
+    end = offset + size
+    if end > len(view):
+        raise FrameError("truncated binary body: value runs off the end")
+    return view[offset:end], end
+
+
+def _decode_binary(view: memoryview, offset: int) -> tuple[Any, int]:
+    """Decode one tagged value starting at ``offset``."""
+    if offset >= len(view):
+        raise FrameError("truncated binary body: missing value tag")
+    tag = view[offset]
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_INT:
+        return _get_int(view, offset)
+    if tag == _T_FLOAT:
+        raw, offset = _get_sized(view, offset, _F64.size)
+        return _F64.unpack(raw)[0], offset
+    if tag == _T_STR:
+        size, offset = _get_varint(view, offset)
+        raw, offset = _get_sized(view, offset, size)
+        try:
+            return str(raw, "utf-8"), offset
+        except UnicodeDecodeError as error:
+            raise FrameError(f"undecodable binary string: {error}") from error
+    if tag == _T_BYTES:
+        size, offset = _get_varint(view, offset)
+        raw, offset = _get_sized(view, offset, size)
+        return bytes(raw), offset
+    if tag in (_T_LIST, _T_TUPLE):
+        count, offset = _get_varint(view, offset)
+        items = []
+        for _ in range(count):
+            item, offset = _decode_binary(view, offset)
+            items.append(item)
+        return (tuple(items) if tag == _T_TUPLE else items), offset
+    if tag == _T_DICT:
+        count, offset = _get_varint(view, offset)
+        pairs = {}
+        for _ in range(count):
+            key, offset = _decode_binary(view, offset)
+            item, offset = _decode_binary(view, offset)
+            pairs[key] = item
+        return pairs, offset
+    if tag == _T_UID:
+        space, offset = _get_int(view, offset)
+        serial, offset = _get_int(view, offset)
+        nonce, offset = _get_int(view, offset)
+        return UID(space=space, serial=serial, nonce=nonce), offset
+    if tag == _T_CHAN:
+        space, offset = _get_int(view, offset)
+        serial, offset = _get_int(view, offset)
+        nonce, offset = _get_int(view, offset)
+        name, offset = _decode_binary(view, offset)
+        secret, offset = _get_int(view, offset)
+        return ChannelCapability(
+            owner=UID(space=space, serial=serial, nonce=nonce),
+            name=name, secret=secret,
+        ), offset
+    raise FrameError(f"unknown binary value tag 0x{tag:02x}")
+
+
+# ---------------------------------------------------------------------------
 # Span-context header field.
 # ---------------------------------------------------------------------------
 
@@ -230,17 +446,72 @@ def frame_trace(frame: Frame) -> Any:
 # ---------------------------------------------------------------------------
 
 
-def encode_frame(frame: Frame) -> bytes:
+def encode_frame_into(frame: Frame, out: bytearray,
+                      codec: str = CODEC_JSON) -> int:
+    """Append one frame's wire form to ``out``; return its byte length.
+
+    Appending into a caller-owned buffer lets several frames coalesce
+    into one socket write (see :func:`write_frames`) and avoids the
+    header-plus-body concatenation copy of the one-shot path.
+    """
+    start = len(out)
+    out += b"\x00" * HEADER.size
+    if codec == CODEC_BINARY:
+        _encode_binary(frame.body, out)
+        type_code = int(frame.type) | BINARY_FLAG
+    elif codec == CODEC_JSON:
+        try:
+            out += json.dumps(
+                encode_payload(frame.body), separators=(",", ":"),
+                allow_nan=False,
+            ).encode("utf-8")
+        except (TypeError, ValueError) as error:
+            raise FrameError(f"unencodable frame body: {error}") from error
+        type_code = int(frame.type)
+    else:
+        raise FrameError(f"unknown codec {codec!r} (expected one of {CODECS})")
+    length = len(out) - start - HEADER.size
+    if length > MAX_FRAME_BODY:
+        del out[start:]
+        raise FrameError(f"frame body of {length} bytes exceeds MAX_FRAME_BODY")
+    HEADER.pack_into(out, start, MAGIC, type_code, length)
+    return len(out) - start
+
+
+def encode_frame(frame: Frame, codec: str = CODEC_JSON) -> bytes:
     """Serialize one frame to its wire form."""
+    out = bytearray()
+    encode_frame_into(frame, out, codec)
+    return bytes(out)
+
+
+def _decode_body(type_code: int, view: memoryview) -> Frame:
+    """Build a Frame from its raw type byte and body bytes.
+
+    The codec is read off the type byte's :data:`BINARY_FLAG`, so
+    every frame is self-describing — a connection can switch codecs
+    after negotiation without a parser mode change.
+    """
     try:
-        body = json.dumps(
-            encode_payload(frame.body), separators=(",", ":"), allow_nan=False
-        ).encode("utf-8")
-    except (TypeError, ValueError) as error:
-        raise FrameError(f"unencodable frame body: {error}") from error
-    if len(body) > MAX_FRAME_BODY:
-        raise FrameError(f"frame body of {len(body)} bytes exceeds MAX_FRAME_BODY")
-    return HEADER.pack(MAGIC, int(frame.type), len(body)) + body
+        frame_type = FrameType(type_code & ~BINARY_FLAG)
+    except ValueError as error:
+        raise FrameError(
+            f"unknown frame type {type_code & ~BINARY_FLAG}"
+        ) from error
+    if type_code & BINARY_FLAG:
+        body, end = _decode_binary(view, 0)
+        if end != len(view):
+            raise FrameError(
+                f"binary body has {len(view) - end} trailing byte(s)"
+            )
+    else:
+        try:
+            body = decode_payload(json.loads(bytes(view).decode("utf-8")))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise FrameError(f"undecodable frame body: {error}") from error
+    if not isinstance(body, dict):
+        raise FrameError(f"frame body must be an object, got {type(body).__name__}")
+    return Frame(type=frame_type, body=body)
 
 
 def decode_frame(buffer: bytes) -> tuple[Frame, int]:
@@ -260,53 +531,61 @@ def decode_frame(buffer: bytes) -> tuple[Frame, int]:
         raise FrameError(f"declared body of {length} bytes exceeds MAX_FRAME_BODY")
     if len(buffer) < HEADER.size + length:
         raise FrameError("truncated body")
-    try:
-        frame_type = FrameType(type_code)
-    except ValueError as error:
-        raise FrameError(f"unknown frame type {type_code}") from error
-    raw = buffer[HEADER.size : HEADER.size + length]
-    try:
-        body = decode_payload(json.loads(raw.decode("utf-8")))
-    except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise FrameError(f"undecodable frame body: {error}") from error
-    if not isinstance(body, dict):
-        raise FrameError(f"frame body must be an object, got {type(body).__name__}")
-    return Frame(type=frame_type, body=body), HEADER.size + length
+    view = memoryview(buffer)[HEADER.size : HEADER.size + length]
+    return _decode_body(type_code, view), HEADER.size + length
 
 
 class FrameDecoder:
     """Incremental decoder for a byte stream of frames.
 
     Feed arbitrary chunks; complete frames come out.  Tolerates frames
-    split across (or packed within) TCP segments.
+    split across (or packed within) TCP segments.  Consumed bytes are
+    tracked by a running offset and the buffer is compacted only once
+    the consumed prefix outweighs what remains, so feeding a large
+    frame chunk-by-chunk costs O(n), not O(n²) re-copies.
     """
 
     def __init__(self) -> None:
         self._buffer = bytearray()
+        self._offset = 0
 
     def feed(self, data: bytes) -> list[Frame]:
         """Absorb ``data``; return every frame completed by it."""
-        self._buffer.extend(data)
+        self._buffer += data
+        buffer = self._buffer
+        offset = self._offset
         frames: list[Frame] = []
-        while True:
-            if len(self._buffer) < HEADER.size:
-                break
-            magic, _type_code, length = HEADER.unpack_from(self._buffer)
-            if magic != MAGIC:
-                raise FrameError(f"bad magic {bytes(magic)!r}")
-            if length > MAX_FRAME_BODY:
-                raise FrameError(f"declared body of {length} bytes exceeds cap")
-            if len(self._buffer) < HEADER.size + length:
-                break
-            frame, consumed = decode_frame(bytes(self._buffer))
-            del self._buffer[:consumed]
-            frames.append(frame)
+        view = memoryview(buffer)
+        try:
+            while True:
+                if len(buffer) - offset < HEADER.size:
+                    break
+                magic, type_code, length = HEADER.unpack_from(buffer, offset)
+                if magic != MAGIC:
+                    raise FrameError(f"bad magic {bytes(magic)!r}")
+                if length > MAX_FRAME_BODY:
+                    raise FrameError(
+                        f"declared body of {length} bytes exceeds cap"
+                    )
+                body_start = offset + HEADER.size
+                if len(buffer) - body_start < length:
+                    break
+                frames.append(
+                    _decode_body(type_code, view[body_start:body_start + length])
+                )
+                offset = body_start + length
+        finally:
+            view.release()
+        if offset and offset * 2 >= len(buffer):
+            del buffer[:offset]
+            offset = 0
+        self._offset = offset
         return frames
 
     @property
     def pending(self) -> int:
         """Bytes buffered awaiting a complete frame."""
-        return len(self._buffer)
+        return len(self._buffer) - self._offset
 
 
 # ---------------------------------------------------------------------------
@@ -333,8 +612,7 @@ async def read_frame_sized(
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError as error:
         raise FrameError("connection closed mid-body") from error
-    frame, consumed = decode_frame(header + body)
-    return frame, consumed
+    return _decode_body(type_code, memoryview(body)), HEADER.size + length
 
 
 async def read_frame(reader: asyncio.StreamReader) -> Frame | None:
@@ -343,9 +621,31 @@ async def read_frame(reader: asyncio.StreamReader) -> Frame | None:
     return frame
 
 
-async def write_frame(writer: asyncio.StreamWriter, frame: Frame) -> int:
+async def write_frame(
+    writer: asyncio.StreamWriter, frame: Frame, codec: str = CODEC_JSON
+) -> int:
     """Send one frame; returns the bytes put on the wire."""
-    wire = encode_frame(frame)
-    writer.write(wire)
+    out = bytearray()
+    encode_frame_into(frame, out, codec)
+    writer.write(out)
     await writer.drain()
-    return len(wire)
+    return len(out)
+
+
+async def write_frames(
+    writer: asyncio.StreamWriter,
+    frames: Sequence[Frame],
+    codec: str = CODEC_JSON,
+) -> int:
+    """Send several frames in one coalesced write; returns wire bytes.
+
+    One buffer, one ``write``, one ``drain`` — a pipelined burst of
+    READs (or a credit window of WRITEs) costs a single syscall
+    instead of one per frame.
+    """
+    out = bytearray()
+    for frame in frames:
+        encode_frame_into(frame, out, codec)
+    writer.write(out)
+    await writer.drain()
+    return len(out)

@@ -24,6 +24,15 @@ already received the first ``k`` records of this stream; serve from
 ``k``".  A push server under resume adds ``"resume_seq": r`` to its
 WELCOME — "I have already accepted ``r`` records; skip them".  Both
 fields are optional, so resuming and non-resuming peers interoperate.
+
+**Codec negotiation** (``docs/protocol.md``): the HELLO may carry
+``"codecs": [...]`` — the body encodings the client can read, in
+preference order.  The server answers with ``"codec": <name>`` in its
+WELCOME naming the one both sides will use for stream frames.  A peer
+that omits ``codecs`` (or a server whose WELCOME omits ``codec``) is
+an older JSON-only build, and both sides fall back to JSON — so mixed
+fleets interoperate without configuration.  The handshake itself is
+always JSON; only post-WELCOME traffic switches.
 """
 
 from __future__ import annotations
@@ -35,7 +44,14 @@ from typing import Any, Callable
 from repro.core.capability import PRIMARY_CHANNEL
 from repro.core.errors import EdenError
 from repro.core.uid import UID, UIDFactory
-from repro.net.framing import Frame, FrameType, read_frame, write_frame
+from repro.net.framing import (
+    CODEC_JSON,
+    CODECS,
+    Frame,
+    FrameType,
+    read_frame,
+    write_frame,
+)
 
 __all__ = [
     "HandshakeError",
@@ -44,6 +60,7 @@ __all__ = [
     "Hello",
     "send_hello",
     "expect_hello",
+    "negotiated_codec",
     "ROLE_PULL",
     "ROLE_PUSH",
 ]
@@ -110,6 +127,23 @@ class Hello:
     channel: Any = PRIMARY_CHANNEL
     #: Stream position the client asks to resume from (None = fresh).
     next_seq: int | None = None
+    #: Body encoding both sides agreed on for stream frames.
+    codec: str = CODEC_JSON
+
+
+def negotiated_codec(offered: Any, acceptable: Any = CODECS) -> str:
+    """Pick the stream codec: first of ``acceptable`` the peer offered.
+
+    ``offered`` is the raw ``codecs`` HELLO value (or the ``codec``
+    WELCOME reply wrapped in a list); anything malformed, empty, or
+    absent degrades to JSON — the codec every build speaks.
+    """
+    if not isinstance(offered, (list, tuple)):
+        return CODEC_JSON
+    for name in acceptable:
+        if name in offered:
+            return str(name)
+    return CODEC_JSON
 
 
 def hello_frame(
@@ -117,6 +151,7 @@ def hello_frame(
     role: str,
     channel: Any = PRIMARY_CHANNEL,
     next_seq: int | None = None,
+    codecs: Any = None,
 ) -> Frame:
     """The HELLO frame a connecting stage presents."""
     if role not in (ROLE_PULL, ROLE_PUSH):
@@ -124,6 +159,8 @@ def hello_frame(
     body: dict[str, Any] = {"uid": uid, "role": role, "channel": channel}
     if next_seq is not None:
         body["resume"] = {"next_seq": int(next_seq)}
+    if codecs:
+        body["codecs"] = [str(name) for name in codecs]
     return Frame(FrameType.HELLO, body)
 
 
@@ -135,16 +172,20 @@ async def send_hello(
     channel: Any = PRIMARY_CHANNEL,
     book: TicketBook | None = None,
     next_seq: int | None = None,
+    codecs: Any = None,
 ) -> Frame:
     """Client side: present a ticket, await WELCOME.
 
-    Returns the WELCOME frame (its body carries ``credit``, and —
-    under resume — the server's ``resume_seq``).  Raises
+    Returns the WELCOME frame (its body carries ``credit``, the
+    negotiated ``codec`` when ``codecs`` were offered, and — under
+    resume — the server's ``resume_seq``).  Raises
     :class:`HandshakeError` if the server rejects us, if the
     connection dies mid-handshake, or — when ``book`` is given — if
     the server's own ticket fails mutual verification.
     """
-    await write_frame(writer, hello_frame(uid, role, channel, next_seq=next_seq))
+    await write_frame(
+        writer, hello_frame(uid, role, channel, next_seq=next_seq, codecs=codecs)
+    )
     reply = await read_frame(reader)
     if reply is None:
         raise HandshakeLinkDown("connection closed during handshake")
@@ -169,6 +210,7 @@ async def expect_hello(
     server_uid: UID,
     credit: int = 0,
     resume_seq_for: Callable[["Hello"], int | None] | None = None,
+    codec_offer: Any = CODECS,
 ) -> Hello:
     """Server side: demand a genuine ticket before any stream traffic.
 
@@ -202,10 +244,13 @@ async def expect_hello(
     next_seq = None
     if isinstance(resume, dict) and isinstance(resume.get("next_seq"), int):
         next_seq = max(0, resume["next_seq"])
+    codec = negotiated_codec(frame.body.get("codecs"), codec_offer or (CODEC_JSON,))
     hello = Hello(
-        uid=uid, role=role, channel=frame.body.get("channel"), next_seq=next_seq
+        uid=uid, role=role, channel=frame.body.get("channel"),
+        next_seq=next_seq, codec=codec,
     )
-    welcome: dict[str, Any] = {"credit": credit, "uid": server_uid}
+    welcome: dict[str, Any] = {"credit": credit, "uid": server_uid,
+                               "codec": codec}
     if resume_seq_for is not None:
         resume_seq = resume_seq_for(hello)
         if resume_seq is not None:

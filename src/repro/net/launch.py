@@ -45,12 +45,14 @@ from typing import Any, Mapping, Sequence
 
 import repro
 from repro.compat import warn_deprecated
+from repro.devices import random_lines
 from repro.fault.plan import KILLED_EXIT_CODE, FaultPlan
+from repro.net.framing import CODEC_JSON
 from repro.net.metrics import NetStats, merge_stats
 from repro.net.stage import pick_free_port
 from repro.obs.registry import snapshot_payload
 from repro.core.stats import KernelStats
-from repro.transput.flow import FlowPolicy
+from repro.transput.flow import FlowPolicy, shard_of
 
 __all__ = [
     "StagePlan",
@@ -58,6 +60,7 @@ __all__ = [
     "FleetError",
     "FleetSupervisor",
     "plan_fleet",
+    "plan_sharded_fleet",
     "run_fleet",
     "plan_pipeline",
     "execute",
@@ -82,9 +85,13 @@ class StagePlan:
     fault: FaultPlan = field(default_factory=FaultPlan)
     stdout_file: str | None = None
     stderr_file: str | None = None
+    #: Which shard's sub-pipeline this stage belongs to (None = unsharded).
+    shard: int | None = None
 
     @property
     def label(self) -> str:
+        if self.shard is not None:
+            return f"s{self.shard}:{self.role}#{self.serial}"
         return f"{self.role}#{self.serial}"
 
     def survivor_argv(self) -> tuple[str, ...]:
@@ -119,6 +126,9 @@ class PipelineResult:
     #: Supervisor counters (``restarts``, ``crashes``, ...) in the
     #: same counters/gauges/histograms payload shape as stage stats.
     supervisor: dict[str, Any] = field(default_factory=dict)
+    #: Per-shard sink output in shard order (sharded fleets only);
+    #: ``output`` is their concatenation, shard 0 first.
+    shard_outputs: list[list[str]] = field(default_factory=list)
 
     @property
     def totals(self) -> NetStats:
@@ -173,6 +183,8 @@ def plan_fleet(
     faults: Mapping[int, FaultPlan] | None = None,
     resume: bool = False,
     io_timeout: float | None = None,
+    codec: str = CODEC_JSON,
+    shard: int | None = None,
 ) -> list[StagePlan]:
     """Assign ports/serials and build every stage's command line.
 
@@ -213,6 +225,14 @@ def plan_fleet(
         base += ["--buffer-capacity", str(flow.buffer_capacity)]
     if flow.credit_window is not None:
         base += ["--credit-window", str(flow.credit_window)]
+    if flow.pipeline_depth is not None:
+        base += ["--pipeline-depth", str(flow.pipeline_depth)]
+    if flow.adaptive:
+        base += ["--adaptive"]
+    if codec != CODEC_JSON:
+        base += ["--codec", codec]
+    if shard is not None:
+        base += ["--shard", str(shard)]
     if resume:
         base += ["--resume"]
     if io_timeout is not None:
@@ -259,6 +279,7 @@ def plan_fleet(
             fault=fault,
             stdout_file=str(workpath / f"{stem}.stdout.log"),
             stderr_file=str(workpath / f"{stem}.stderr.log"),
+            shard=shard,
         )
         plans.append(plan)
         serial += 1
@@ -314,17 +335,99 @@ def plan_fleet(
             "discipline": discipline,
             "host": host,
             "resume": resume,
-            "stages": [
-                {
-                    "role": plan.role,
-                    "serial": index,
-                    "stats_file": plan.stats_file,
-                    "trace_file": plan.trace_file,
-                    "control_port": plan.control_port,
-                    "fault": plan.fault.as_dict(),
-                }
-                for index, plan in enumerate(plans)
-            ],
+            "codec": codec,
+            "stages": [_manifest_entry(plan, index)
+                       for index, plan in enumerate(plans)],
+        }
+        with open(workpath / "fleet.json", "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+    return plans
+
+
+def _manifest_entry(plan: StagePlan, serial: int) -> dict[str, Any]:
+    entry = {
+        "role": plan.role,
+        "serial": serial,
+        "stats_file": plan.stats_file,
+        "trace_file": plan.trace_file,
+        "control_port": plan.control_port,
+        "fault": plan.fault.as_dict(),
+    }
+    if plan.shard is not None:
+        entry["shard"] = plan.shard
+    return entry
+
+
+def plan_sharded_fleet(
+    discipline: str,
+    transducers: Sequence[TransducerSpec],
+    workdir: str,
+    shards: int,
+    source_items: Sequence[Any] | None = None,
+    source_count: int | None = None,
+    source_width: int = 8,
+    source_seed: int = 0,
+    flow: FlowPolicy | None = None,
+    ticket_space: int = 0,
+    ticket_seed: int = 0,
+    host: str = "127.0.0.1",
+    connect_deadline: float = 15.0,
+    trace: bool = False,
+    control: bool = False,
+    resume: bool = False,
+    io_timeout: float | None = None,
+    codec: str = CODEC_JSON,
+) -> list[StagePlan]:
+    """Plan ``shards`` parallel copies of the pipeline, one per partition.
+
+    The source records are partitioned by :func:`repro.transput.flow.
+    shard_of` (a stable content hash — the channel-identifier fan-out
+    of paper claim C3), each partition feeding an independent sub-fleet
+    planned under ``workdir/shard-<i>`` with its own ticket space.  One
+    :class:`FleetSupervisor` runs all of them; its gather step
+    concatenates sink outputs in shard order, so per-shard ordering is
+    preserved while shards run on separate cores.  A combined
+    ``fleet.json`` covering every stage is written to ``workdir`` for
+    ``eden-top``.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if source_items is None:
+        if source_count is None:
+            raise ValueError("give source_items or source_count")
+        source_items = random_lines(
+            count=source_count, width=source_width, seed=source_seed
+        )
+    buckets: list[list[Any]] = [[] for _ in range(shards)]
+    for record in source_items:
+        buckets[shard_of(record, shards)].append(record)
+    workpath = pathlib.Path(workdir)
+    workpath.mkdir(parents=True, exist_ok=True)
+    plans: list[StagePlan] = []
+    for index in range(shards):
+        plans.extend(plan_fleet(
+            discipline, transducers, str(workpath / f"shard-{index}"),
+            source_items=buckets[index],
+            flow=flow,
+            ticket_space=ticket_space + index,
+            ticket_seed=ticket_seed,
+            host=host,
+            connect_deadline=connect_deadline,
+            trace=trace,
+            control=control,
+            resume=resume,
+            io_timeout=io_timeout,
+            codec=codec,
+            shard=index,
+        ))
+    if trace or control:
+        manifest = {
+            "discipline": discipline,
+            "host": host,
+            "resume": resume,
+            "codec": codec,
+            "shards": shards,
+            "stages": [_manifest_entry(plan, plan.serial) for plan in plans],
         }
         with open(workpath / "fleet.json", "w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=2, sort_keys=True)
@@ -541,8 +644,17 @@ class FleetSupervisor:
         self.stats.set_gauge(f"backoff_s[{label}]", delay)
 
     def _gather(self) -> PipelineResult:
-        sink = next(m for m in self._members if m.plan.role == "sink")
-        output = self._read(sink.stdout_path).splitlines()
+        # A sharded fleet has one sink per shard: concatenate their
+        # outputs in shard order, so each shard's internal ordering is
+        # preserved (the merge stage of the sharded pipeline).
+        sinks = sorted(
+            (m for m in self._members if m.plan.role == "sink"),
+            key=lambda m: m.plan.shard or 0,
+        )
+        shard_outputs = [
+            self._read(m.stdout_path).splitlines() for m in sinks
+        ]
+        output = [line for lines in shard_outputs for line in lines]
         stats = []
         for plan in self.plans:
             with open(plan.stats_file, "r", encoding="utf-8") as handle:
@@ -562,6 +674,7 @@ class FleetSupervisor:
             trace_files=[p.trace_file for p in self.plans
                          if p.trace_file is not None],
             supervisor=payload,
+            shard_outputs=shard_outputs if len(sinks) > 1 else [],
         )
 
 

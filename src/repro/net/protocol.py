@@ -52,8 +52,9 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, MutableMapping, Union
+from typing import Any, Callable, Mapping, MutableMapping, Sequence, Union
 
 from repro.core.errors import (
     EdenError,
@@ -62,11 +63,14 @@ from repro.core.errors import (
 )
 from repro.core.tracing import Tracer
 from repro.net.framing import (
+    CODEC_JSON,
+    CODECS,
     Frame,
     FrameError,
     FrameType,
     attach_trace,
     encode_frame,
+    encode_frame_into,
     frame_trace,
     read_frame_sized,
     write_frame,
@@ -79,9 +83,11 @@ from repro.net.handshake import (
     Hello,
     HandshakeLinkDown,
     TicketBook,
+    negotiated_codec,
     send_hello,
 )
 from repro.net.metrics import NetStats
+from repro.transput.flow import FlowAutotuner
 from repro.transput.stream import END_TRANSFER, Transfer
 
 __all__ = [
@@ -148,6 +154,7 @@ class Connection:
         label: str = "conn",
         clock: Callable[[], float] = time.monotonic,
         injector: Any | None = None,
+        codec: str = CODEC_JSON,
     ) -> None:
         self.reader = reader
         self.writer = writer
@@ -157,12 +164,16 @@ class Connection:
         self.label = label
         self.clock = clock
         self.injector = injector
+        #: Body encoding for outgoing frames; handshake code flips this
+        #: to the negotiated codec once the WELCOME settles it (inbound
+        #: frames are self-describing, so only sending needs a mode).
+        self.codec = codec
 
     async def send(self, frame: Frame) -> None:
         if self.injector is None:
-            wire_bytes = await write_frame(self.writer, frame)
+            wire_bytes = await write_frame(self.writer, frame, self.codec)
         else:
-            wire = encode_frame(frame)
+            wire = encode_frame(frame, self.codec)
             wire_bytes = len(wire)
             for chunk in await self.injector.outgoing(frame.type.name, wire):
                 self.writer.write(chunk)
@@ -173,6 +184,31 @@ class Connection:
                 self.clock(), "send", self.label,
                 frame=frame.type.name, bytes=wire_bytes,
             )
+
+    async def send_many(self, frames: Sequence[Frame]) -> None:
+        """Send several frames as one coalesced write (one syscall).
+
+        Under fault injection each frame still passes through the
+        injector individually — a dropped READ must stay droppable.
+        """
+        if not frames:
+            return
+        if self.injector is not None:
+            for frame in frames:
+                await self.send(frame)
+            return
+        out = bytearray()
+        sizes = [encode_frame_into(frame, out, self.codec) for frame in frames]
+        self.writer.write(out)
+        await self.writer.drain()
+        now = self.clock()
+        for frame, wire_bytes in zip(frames, sizes):
+            self.stats.note_sent(frame, wire_bytes, self.end_is_request)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now, "send", self.label,
+                    frame=frame.type.name, bytes=wire_bytes,
+                )
 
     async def recv(self) -> Frame | None:
         frame, wire_bytes = await read_frame_sized(self.reader)
@@ -247,6 +283,17 @@ class RemoteReadable:
     reconnects that present ``received`` — how many records this
     reader has accepted — as the resume point, and any duplicated
     prefix in a reply is discarded by its ``seq``.
+
+    ``pipeline_depth > 1`` turns on read pipelining: the reader keeps
+    up to that many READ requests on the wire (sent coalesced) and
+    consumes replies oldest-first, so the server computes batch *k+1*
+    while batch *k* is in flight — the per-batch round-trip stall
+    becomes overlap.  Replies arrive in request order, so pull
+    semantics, seq numbering, and resume dedup are unchanged; the only
+    visible cost is a tail of idempotent END replies once the stream
+    finishes, which the reader drains before closing.  A
+    :class:`FlowAutotuner` (``tuner``) feeds observed round-trips back
+    into the batch size and in-flight window.
     """
 
     def __init__(
@@ -264,6 +311,9 @@ class RemoteReadable:
         resume: bool = False,
         io_timeout: float | None = None,
         injector: Any | None = None,
+        codec: str = CODEC_JSON,
+        pipeline_depth: int = 1,
+        tuner: FlowAutotuner | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -278,12 +328,17 @@ class RemoteReadable:
         self.resume = resume
         self.io_timeout = io_timeout
         self.injector = injector
+        self.codec = codec
+        self.pipeline_depth = max(1, pipeline_depth)
+        self.tuner = tuner
         #: Span context of the most recent read (post-adoption).
         self.last_span: SpanContext | None = None
         #: Records accepted so far == the next sequence number wanted.
         self.received = 0
         self._connection: Connection | None = None
         self._ended = False
+        #: (span ctx, send time) of every READ awaiting its reply.
+        self._inflight: deque[tuple[SpanContext | None, float]] = deque()
 
     async def _ensure_connected(self) -> Connection:
         if self._connection is None:
@@ -295,13 +350,50 @@ class RemoteReadable:
                 tracer=self.tracer, label=self.label,
                 injector=self.injector,
             )
-            await send_hello(
+            offer = CODECS if self.codec != CODEC_JSON else None
+            welcome = await send_hello(
                 reader, writer, self.uid, ROLE_PULL,
                 channel=self.channel, book=self.book,
                 next_seq=self.received if self.resume else None,
+                codecs=offer,
             )
+            if offer:
+                connection.codec = negotiated_codec(
+                    [welcome.body.get("codec")], offer
+                )
             self._connection = connection
         return self._connection
+
+    def _depth(self) -> int:
+        """How many READs to keep in flight right now."""
+        if self.tuner is not None:
+            return max(self.pipeline_depth, self.tuner.credit_window)
+        return self.pipeline_depth
+
+    async def _pump(self, connection: Connection, batch: int) -> None:
+        """Top the in-flight READ window up to the pipeline depth."""
+        want = self._depth() - len(self._inflight)
+        if want <= 0:
+            return
+        frames: list[Frame] = []
+        contexts: list[SpanContext | None] = []
+        for _ in range(want):
+            ctx: SpanContext | None = None
+            body: dict[str, Any] = {
+                "batch": max(1, batch), "channel": self.channel,
+            }
+            if self.spans is not None:
+                ctx = self.spans.derive(current_span())
+                attach_trace(body, ctx)
+            frames.append(Frame(FrameType.READ, body))
+            contexts.append(ctx)
+        started = connection.clock()
+        if len(frames) == 1:
+            await connection.send(frames[0])
+        else:
+            await connection.send_many(frames)
+        for ctx in contexts:
+            self._inflight.append((ctx, started))
 
     async def _recv(self, connection: Connection) -> Frame | None:
         if self.io_timeout is None:
@@ -316,6 +408,8 @@ class RemoteReadable:
     async def read(self, batch: int = 1) -> Transfer:
         if self._ended:
             return END_TRANSFER
+        if self.tuner is not None:
+            batch = max(batch, self.tuner.batch)
         if not self.resume:
             transfer = await self._read_once(batch)
             assert transfer is not None
@@ -338,26 +432,23 @@ class RemoteReadable:
                     f"{self.label}: link failed connecting: {error}"
                 ) from error
             raise
-        ctx: SpanContext | None = None
-        started = 0.0
-        body: dict[str, Any] = {"batch": max(1, batch), "channel": self.channel}
-        if self.spans is not None:
-            ctx = self.spans.derive(current_span())
-            attach_trace(body, ctx)
-            started = connection.clock()
         try:
-            await connection.send(Frame(FrameType.READ, body))
+            await self._pump(connection, batch)
             reply = await self._recv(connection)
         except _LINK_FAULTS as error:
             if self.resume:
                 raise LinkDown(f"{self.label}: link failed mid-read: {error}") \
                     from error
             raise
+        ctx, started = (
+            self._inflight.popleft() if self._inflight else (None, 0.0)
+        )
         if reply is None:
             if self.resume:
                 raise LinkDown("peer closed mid-stream (no END received)")
             raise WireError("peer closed mid-stream (no END received)")
         if reply.type in (FrameType.DATA, FrameType.END):
+            self._observe_rtt(connection.clock() - started)
             fresh: list[Any] = []
             seq = reply.body.get("seq")
             if reply.type is FrameType.DATA:
@@ -377,9 +468,12 @@ class RemoteReadable:
                 )
             if reply.type is FrameType.END:
                 self._ended = True
+                await self._drain_inflight(connection)
                 await connection.close()
                 self._connection = None
                 return END_TRANSFER
+            if fresh:
+                self.stats.bump("records_in", len(fresh))
             if self.resume:
                 if not fresh:
                     return None
@@ -394,9 +488,35 @@ class RemoteReadable:
             )
         raise WireError(f"unexpected reply {reply.type.name} to READ")
 
+    def _observe_rtt(self, rtt_s: float) -> None:
+        self.stats.observe("read_rtt_ms", rtt_s * 1000.0)
+        if self.tuner is not None and self.tuner.observe(rtt_s):
+            self.stats.set_gauge("autotune_batch", float(self.tuner.batch))
+            self.stats.set_gauge(
+                "autotune_credit", float(self.tuner.credit_window)
+            )
+
+    async def _drain_inflight(self, connection: Connection) -> None:
+        """Collect replies to pipelined READs still on the wire at END.
+
+        The server answers each with an idempotent END; leaving them
+        unread would make our close look like a mid-request disconnect
+        on the serving side.  Link faults here are moot — the stream
+        already ended — so they only cut the drain short.
+        """
+        try:
+            while self._inflight:
+                self._inflight.popleft()
+                if await self._recv(connection) is None:
+                    break
+        except (LinkDown, *_LINK_FAULTS):
+            pass
+        self._inflight.clear()
+
     async def _reset_link(self) -> None:
         """Drop a failed connection so the next read redials and resumes."""
         self.stats.bump("reconnects")
+        self._inflight.clear()
         if self._connection is not None:
             await self._connection.close()
             self._connection = None
@@ -421,7 +541,6 @@ class RemoteReadable:
             )
         ended = connection.clock()
         self.last_span = ctx
-        self.stats.observe("read_rtt_ms", (ended - started) * 1000.0)
         if self.tracer is not None:
             extra: dict[str, Any] = {}
             if isinstance(seq, int):
@@ -482,6 +601,7 @@ class RemoteWritable:
         resume: bool = False,
         io_timeout: float | None = None,
         injector: Any | None = None,
+        codec: str = CODEC_JSON,
     ) -> None:
         self.host = host
         self.port = port
@@ -496,6 +616,7 @@ class RemoteWritable:
         self.resume = resume
         self.io_timeout = io_timeout
         self.injector = injector
+        self.codec = codec
         self._connection: Connection | None = None
         self._credit = 0
         self._ended = False
@@ -513,10 +634,16 @@ class RemoteWritable:
                 tracer=self.tracer, label=self.label,
                 injector=self.injector,
             )
+            offer = CODECS if self.codec != CODEC_JSON else None
             welcome = await send_hello(
                 reader, writer, self.uid, ROLE_PUSH,
                 channel=self.channel, book=self.book,
+                codecs=offer,
             )
+            if offer:
+                connection.codec = negotiated_codec(
+                    [welcome.body.get("codec")], offer
+                )
             self._credit = int(welcome.body.get("credit", 1))
             self.stats.set_gauge("credit_window", float(self._credit))
             self.stats.set_gauge("credit_available", float(self._credit))
@@ -612,6 +739,7 @@ class RemoteWritable:
                 attach_trace(body, ctx)
             await connection.send(Frame(FrameType.WRITE, body))
             self._credit -= len(chunk)
+            self.stats.bump("records_out", len(chunk))
             self.stats.set_gauge("credit_available", float(self._credit))
             if ctx is not None:
                 self._finish_span(ctx, "WRITE", started, connection)
@@ -637,6 +765,7 @@ class RemoteWritable:
                 await connection.send(Frame(FrameType.WRITE, body))
                 self._next += len(chunk)
                 self._credit -= len(chunk)
+                self.stats.bump("records_out", len(chunk))
                 self.stats.set_gauge("credit_available", float(self._credit))
                 if ctx is not None:
                     self._finish_span(ctx, "WRITE", started, connection)
@@ -830,8 +959,10 @@ async def _serve_pull_legacy(
             body = {"channel": channel}
             await connection.send(Frame(FrameType.END, attach_trace(body, origin)))
         else:
-            body = {"items": list(transfer.items), "channel": channel}
+            items = list(transfer.items)
+            body = {"items": items, "channel": channel}
             await connection.send(Frame(FrameType.DATA, attach_trace(body, origin)))
+            connection.stats.bump("records_out", len(items))
 
 
 async def _serve_pull_resume(
@@ -903,6 +1034,7 @@ async def _serve_pull_resume(
                 await connection.send(
                     Frame(FrameType.DATA, attach_trace(body, origin))
                 )
+                connection.stats.bump("records_out", len(items))
             else:
                 body = {"channel": channel, "seq": len(log.records)}
                 await connection.send(Frame(FrameType.END, body))
@@ -960,6 +1092,7 @@ async def _serve_push_legacy(connection: Connection, writable: Any) -> bool:
             connection.stats.observe(
                 "serve_write_ms", (connection.clock() - started) * 1000.0
             )
+            connection.stats.bump("records_in", len(items))
             await connection.send(Frame(FrameType.ACK, {
                 "credit": len(items), "channel": frame.body.get("channel"),
             }))
@@ -1006,6 +1139,7 @@ async def _serve_push_resume(
                 with bind_span(frame_trace(frame)):
                     await writable.write(Transfer.of(fresh))
                 state.received += len(fresh)
+                connection.stats.bump("records_in", len(fresh))
             connection.stats.observe(
                 "serve_write_ms", (connection.clock() - started) * 1000.0
             )

@@ -94,13 +94,13 @@ from repro.net.protocol import (
     serve_pull,
     serve_push,
 )
-from repro.net.framing import FrameError
+from repro.net.framing import CODEC_JSON, CODECS, FrameError
 from repro.obs.context import set_span
 from repro.obs.control import start_control_server
 from repro.obs.registry import snapshot_payload
 from repro.obs.spans import CLOCK_KIND, SPAN_KIND, SpanIds
 from repro.transput.filterbase import Transducer, identity_transducer
-from repro.transput.flow import FlowPolicy
+from repro.transput.flow import FlowAutotuner, FlowPolicy
 
 __all__ = [
     "StageConfig",
@@ -174,8 +174,16 @@ class StageConfig:
     fault: FaultPlan = field(default_factory=FaultPlan)
     resume: bool = False
     io_timeout: float | None = None
+    codec: str = CODEC_JSON
+    shard: int | None = None
 
     def __post_init__(self) -> None:
+        if self.codec not in CODECS:
+            raise ValueError(f"codec must be one of {CODECS}, got {self.codec!r}")
+        if self.shard is not None and (
+            not isinstance(self.shard, int) or self.shard < 0
+        ):
+            raise ValueError(f"shard must be >= 0 or None, got {self.shard!r}")
         if self.role not in ROLES:
             raise ValueError(f"role must be one of {ROLES}, got {self.role!r}")
         if self.discipline not in DISCIPLINES:
@@ -204,6 +212,8 @@ class _Stage:
         self.book = TicketBook(space=config.ticket_space, seed=config.ticket_seed)
         self.uid = self.book.ticket(config.serial)
         self.label = f"{config.role}/{config.discipline}#{config.serial}"
+        if config.shard is not None:
+            self.label = f"s{config.shard}:{self.label}"
         self.collected: list[Any] | None = None
         # Span IDs are prefixed by the ticket serial: unique across the
         # fleet with zero coordination (and zero randomness).
@@ -224,6 +234,14 @@ class _Stage:
         # reconnecting peers pick up where their predecessor stopped).
         self._replay_logs: dict[Any, ReplayLog] = {}
         self._push_states: dict[Any, PushState] = {}
+        # One autotuner per stage: every active read feeds it, and its
+        # current values surface as gauges for eden-top.
+        self.tuner = FlowAutotuner(config.flow) if config.flow.adaptive else None
+        if self.tuner is not None:
+            self.stats.set_gauge("autotune_batch", float(self.tuner.batch))
+            self.stats.set_gauge(
+                "autotune_credit", float(self.tuner.credit_window)
+            )
 
     # -- building blocks ----------------------------------------------------
 
@@ -244,6 +262,9 @@ class _Stage:
             resume=self.config.resume,
             io_timeout=self.config.io_timeout,
             injector=self.injector,
+            codec=self.config.codec,
+            pipeline_depth=self.config.flow.effective_pipeline_depth(),
+            tuner=self.tuner,
         )
 
     def _remote_writable(self) -> RemoteWritable:
@@ -257,6 +278,7 @@ class _Stage:
             resume=self.config.resume,
             io_timeout=self.config.io_timeout,
             injector=self.injector,
+            codec=self.config.codec,
         )
 
     def _transducer(self) -> Transducer:
@@ -297,6 +319,11 @@ class _Stage:
         done = asyncio.Semaphore(0)
         credit = self.config.flow.effective_credit_window()
         resume = self.config.resume
+        # A json-configured stage only ever grants json, so one legacy
+        # stage in a binary fleet degrades its own links and no others.
+        codec_offer = (
+            CODECS if self.config.codec != CODEC_JSON else (CODEC_JSON,)
+        )
         resume_seq_for = None
         if resume:
             def resume_seq_for(hello: Hello) -> int | None:
@@ -319,9 +346,10 @@ class _Stage:
             try:
                 hello = await expect_hello(
                     reader, writer, self.book, self.uid, credit=credit,
-                    resume_seq_for=resume_seq_for,
+                    resume_seq_for=resume_seq_for, codec_offer=codec_offer,
                 )
                 connection = self._connection(reader, writer)
+                connection.codec = hello.codec
                 if hello.role == ROLE_PULL and readables is not None:
                     completed = await serve_pull(
                         connection, readables, hello, batch_limit=None,
@@ -456,6 +484,8 @@ class _Stage:
                 "flow": self.config.flow.describe(),
                 "resume": self.config.resume,
                 "fault": self.config.fault.as_dict(),
+                "codec": self.config.codec,
+                "shard": self.config.shard,
             }
 
         return {"stats": stats_cmd, "spans": spans_cmd, "health": health_cmd}
@@ -554,6 +584,14 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--buffer-capacity", type=int, default=64)
     parser.add_argument("--credit-window", type=int, default=None,
                         help="explicit push credit window (default: derived)")
+    parser.add_argument("--pipeline-depth", type=int, default=None,
+                        help="READ requests kept in flight (default: derived)")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="autotune batch/credit from observed RTT (AIMD)")
+    parser.add_argument("--codec", default=CODEC_JSON, choices=CODECS,
+                        help="preferred frame body codec (negotiated per link)")
+    parser.add_argument("--shard", type=int, default=None,
+                        help="shard index of this stage's sub-pipeline")
     parser.add_argument("--ticket-space", type=int, default=0)
     parser.add_argument("--ticket-seed", type=int, default=0)
     parser.add_argument("--serial", type=int, default=0,
@@ -606,6 +644,8 @@ def config_from_args(argv: Sequence[str] | None = None) -> StageConfig:
             buffer_capacity=options.buffer_capacity,
             inbox_capacity=options.inbox_capacity,
             credit_window=options.credit_window,
+            pipeline_depth=options.pipeline_depth,
+            adaptive=options.adaptive,
         ),
         ticket_space=options.ticket_space,
         ticket_seed=options.ticket_seed,
@@ -620,6 +660,8 @@ def config_from_args(argv: Sequence[str] | None = None) -> StageConfig:
                if options.fault_json is not None else FaultPlan()),
         resume=options.resume,
         io_timeout=options.io_timeout,
+        codec=options.codec,
+        shard=options.shard,
     )
 
 

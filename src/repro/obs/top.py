@@ -1,8 +1,10 @@
 """``eden-top``: live introspection of a running stage fleet.
 
 Polls every stage's control port (``health`` + ``stats``) and renders
-one row per stage: role, uptime, request/reply counts, bytes moved,
-credit-window occupancy and read-latency quantiles.  Point it at the
+one row per stage: role, shard, uptime, request/reply counts, bytes
+moved, credit-window occupancy, per-stage record throughput, the
+adaptive autotuner's live batch/credit choice (``AUTO b/w``, shown
+when the stage runs ``--adaptive``) and read-latency quantiles.  Point it at the
 ``fleet.json`` manifest :func:`repro.net.launch.plan_fleet` writes
 (``--fleet``), or at explicit ``--stage host:port`` addresses.
 
@@ -34,11 +36,14 @@ class StageRow:
     label: str
     alive: bool = False
     role: str = "?"
+    shard: str = "-"
     uptime_s: float = 0.0
     invocations: int = 0
     replies: int = 0
     bytes_moved: int = 0
     credit: str = "-"
+    throughput: float | None = None
+    autotune: str = "-"
     read_p50_ms: float | None = None
     read_p95_ms: float | None = None
     gauges: dict[str, float] = field(default_factory=dict)
@@ -62,9 +67,20 @@ def _row_from_payloads(
         ),
         gauges=gauges,
     )
+    if health.get("shard") is not None:
+        row.shard = str(health["shard"])
     if "credit_available" in gauges and "credit_window" in gauges:
         row.credit = (
             f"{int(gauges['credit_available'])}/{int(gauges['credit_window'])}"
+        )
+    moved = max(
+        int(counters.get("records_out", 0)), int(counters.get("records_in", 0))
+    )
+    if moved and row.uptime_s > 0:
+        row.throughput = moved / row.uptime_s
+    if "autotune_batch" in gauges and "autotune_credit" in gauges:
+        row.autotune = (
+            f"{int(gauges['autotune_batch'])}/{int(gauges['autotune_credit'])}"
         )
     histogram_data = stats.get("histograms", {}).get("read_rtt_ms")
     if isinstance(histogram_data, dict):
@@ -96,20 +112,23 @@ def gather_fleet(
 
 def render_fleet(rows: Sequence[StageRow]) -> str:
     """The fleet table as text (pure, so tests can assert on it)."""
-    headers = ("STAGE", "ROLE", "UP", "INVOKES", "REPLIES", "BYTES",
-               "CREDIT", "READ p50/p95")
+    headers = ("STAGE", "ROLE", "SHARD", "UP", "INVOKES", "REPLIES", "BYTES",
+               "CREDIT", "TPUT rec/s", "AUTO b/w", "READ p50/p95")
     table: list[tuple[str, ...]] = [headers]
     for row in rows:
         if not row.alive:
-            table.append((row.label, "gone", "-", "-", "-", "-", "-", "-"))
+            table.append((row.label, "gone") + ("-",) * (len(headers) - 2))
             continue
         latency = "-"
         if row.read_p50_ms is not None:
             latency = f"{row.read_p50_ms:g}/{row.read_p95_ms:g}ms"
+        throughput = "-"
+        if row.throughput is not None:
+            throughput = f"{row.throughput:.1f}"
         table.append((
-            row.label, row.role, f"{row.uptime_s:.1f}s",
+            row.label, row.role, row.shard, f"{row.uptime_s:.1f}s",
             str(row.invocations), str(row.replies), str(row.bytes_moved),
-            row.credit, latency,
+            row.credit, throughput, row.autotune, latency,
         ))
     widths = [
         max(len(line[column]) for line in table)
@@ -133,6 +152,8 @@ def _targets_from_args(options: argparse.Namespace) -> list[tuple[str, str, int]
             if port is None:
                 continue
             label = f"{stage.get('role', '?')}#{stage.get('serial', '?')}"
+            if stage.get("shard") is not None:
+                label = f"s{stage['shard']}:{label}"
             targets.append((label, host, int(port)))
     for spec in options.stage or []:
         host, _sep, port = spec.rpartition(":")

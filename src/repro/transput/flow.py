@@ -10,11 +10,21 @@ moves: per-filter lookahead (anticipatory buffering), the Read batch
 size, and the passive-buffer capacity used in the conventional
 discipline.  Experiment T4 sweeps the lookahead and shows the
 serialization → pipeline-parallel transition the paper predicts.
+
+Two additions serve the TCP data plane: ``pipeline_depth`` lets an
+active reader keep several READ requests in flight (overlapping the
+round trip that otherwise stalls every batch), and ``adaptive`` turns
+on the :class:`FlowAutotuner` — an AIMD loop that grows the batch size
+and credit window while latency holds and backs off multiplicatively
+when the round-trip time inflates (classic congestion-window probing,
+applied to record flow instead of TCP segments).
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, replace
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -35,6 +45,14 @@ class FlowPolicy:
             name every layer uses — :class:`repro.api.Pipeline`,
             ``eden-stage --credit-window``, and this policy all mean
             the same number by it.
+        pipeline_depth: READ requests an active reader keeps in flight
+            over TCP (``None`` = derive; see
+            :meth:`effective_pipeline_depth`).  1 is the paper's
+            strict request/response alternation; deeper overlaps the
+            round trip without changing pull semantics.
+        adaptive: autotune ``batch`` and ``credit_window`` at runtime
+            from observed RTT (the static values become the floor the
+            tuner starts from).
     """
 
     lookahead: int = 0
@@ -42,6 +60,8 @@ class FlowPolicy:
     buffer_capacity: int | None = 64
     inbox_capacity: int | None = None
     credit_window: int | None = None
+    pipeline_depth: int | None = None
+    adaptive: bool = False
 
     #: Pure demand-driven flow: nothing moves until the sink asks.
     @staticmethod
@@ -80,6 +100,24 @@ class FlowPolicy:
             return self.lookahead
         return 1
 
+    def effective_pipeline_depth(self) -> int:
+        """READ requests an active reader keeps in flight over TCP.
+
+        Explicit ``pipeline_depth`` wins; otherwise the lookahead knob
+        plays its anticipatory role here too (capped at the credit
+        window's scale); fully lazy degenerates to 1 — the strict
+        READ→DATA alternation whose invocation counts match the paper.
+        """
+        if self.pipeline_depth is not None:
+            return self.pipeline_depth
+        if self.lookahead > 0:
+            return self.lookahead
+        return 1
+
+    def with_pipeline_depth(self, pipeline_depth: int | None) -> "FlowPolicy":
+        """The same policy keeping ``pipeline_depth`` READs in flight."""
+        return replace(self, pipeline_depth=pipeline_depth)
+
     def describe(self) -> dict[str, object]:
         """JSON-safe summary for introspection (HEALTH, ``eden-top``)."""
         return {
@@ -88,6 +126,8 @@ class FlowPolicy:
             "buffer_capacity": self.buffer_capacity,
             "inbox_capacity": self.inbox_capacity,
             "credit_window": self.effective_credit_window(),
+            "pipeline_depth": self.effective_pipeline_depth(),
+            "adaptive": self.adaptive,
         }
 
     def __post_init__(self) -> None:
@@ -109,3 +149,97 @@ class FlowPolicy:
             raise ValueError(
                 f"credit_window must be >= 1 or None, got {self.credit_window}"
             )
+        if self.pipeline_depth is not None and (
+            not isinstance(self.pipeline_depth, int) or self.pipeline_depth < 1
+        ):
+            raise ValueError(
+                f"pipeline_depth must be >= 1 or None, got {self.pipeline_depth}"
+            )
+
+
+class FlowAutotuner:
+    """AIMD autotuning of batch size and credit window from RTT.
+
+    The tuner treats the static :class:`FlowPolicy` values as a floor
+    and probes upward: every ``epoch`` completed reads it compares the
+    epoch's mean READ round-trip against the best (lowest) mean it has
+    ever seen.  While latency stays within ``tolerance`` of that floor
+    the batch and window grow additively (we were not the bottleneck;
+    ask for more per trip).  When latency inflates past the tolerance
+    the tuner halves both (multiplicative decrease — the classic AIMD
+    shape, so the loop converges instead of oscillating).  Current
+    values are exported as the ``autotune_batch`` / ``autotune_credit``
+    gauges so ``eden-top`` can watch the tuner breathe.
+    """
+
+    def __init__(
+        self,
+        policy: FlowPolicy,
+        max_batch: int = 1024,
+        epoch: int = 8,
+        tolerance: float = 2.0,
+        increment: int = 2,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if epoch < 1:
+            raise ValueError(f"epoch must be >= 1, got {epoch}")
+        if tolerance <= 1.0:
+            raise ValueError(f"tolerance must be > 1.0, got {tolerance}")
+        self._floor_batch = policy.batch
+        self._floor_credit = policy.effective_credit_window()
+        self.batch = policy.batch
+        self.credit_window = self._floor_credit
+        self.max_batch = max_batch
+        self.epoch = epoch
+        self.tolerance = tolerance
+        self.increment = increment
+        self._samples: list[float] = []
+        self._best_rtt: float | None = None
+
+    def observe(self, rtt_s: float) -> bool:
+        """Record one read round-trip; True when the epoch retuned."""
+        self._samples.append(max(0.0, rtt_s))
+        if len(self._samples) < self.epoch:
+            return False
+        mean = sum(self._samples) / len(self._samples)
+        self._samples.clear()
+        # Normalise by batch so growing the batch (which legitimately
+        # lengthens each trip) is not read as congestion.
+        per_record = mean / max(1, self.batch)
+        if self._best_rtt is None or per_record < self._best_rtt:
+            self._best_rtt = per_record
+        if per_record > self._best_rtt * self.tolerance:
+            self.batch = max(self._floor_batch, self.batch // 2)
+            self.credit_window = max(self._floor_credit, self.credit_window // 2)
+        else:
+            self.batch = min(self.max_batch, self.batch + self.increment)
+            self.credit_window = min(
+                self.max_batch, self.credit_window + self.increment
+            )
+        return True
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-safe snapshot (mirrors the exported gauges)."""
+        return {
+            "batch": self.batch,
+            "credit_window": self.credit_window,
+            "best_rtt_ms": (
+                None if self._best_rtt is None else self._best_rtt * 1000.0
+            ),
+        }
+
+
+def shard_of(record: Any, shards: int) -> int:
+    """Stable shard index for ``record`` in a ``shards``-way partition.
+
+    Hashes the record's repr with crc32 so the partition is stable
+    across processes and runs (Python's builtin ``hash`` is salted per
+    process, which would scatter a datum to a different shard on every
+    retry).  Used by :class:`repro.api.Pipeline` when ``shards > 1``.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        return 0
+    return zlib.crc32(repr(record).encode("utf-8")) % shards

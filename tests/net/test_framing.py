@@ -148,3 +148,108 @@ class TestFrameDecoder:
         decoder = FrameDecoder()
         with pytest.raises(FrameError, match="magic"):
             decoder.feed(b"garbage-that-is-long-enough")
+
+
+class TestBinaryCodec:
+    """The negotiated high-throughput body codec (flag bit 0x80)."""
+
+    def binary_roundtrip(self, frame):
+        from repro.net.framing import CODEC_BINARY
+        wire = encode_frame(frame, CODEC_BINARY)
+        decoded, consumed = decode_frame(wire)
+        assert consumed == len(wire)
+        return decoded
+
+    def test_every_type_roundtrips_empty(self):
+        for frame_type in FrameType:
+            frame = Frame(frame_type, {})
+            assert self.binary_roundtrip(frame) == frame
+
+    def test_flag_bit_marks_binary_frames(self):
+        from repro.net.framing import BINARY_FLAG, CODEC_BINARY
+        frame = Frame(FrameType.DATA, {"items": ["x"]})
+        binary_wire = encode_frame(frame, CODEC_BINARY)
+        json_wire = encode_frame(frame)
+        assert binary_wire[4] & BINARY_FLAG
+        assert not json_wire[4] & BINARY_FLAG
+
+    def test_scalars_roundtrip_natively(self):
+        frame = Frame(FrameType.DATA, {"items": [
+            None, True, False, 0, -1, 2**80, -(2**80), 1.5, "héllo",
+            b"\x00\xff", (1, 2), [3, 4], {"k": "v", 9: "int-key"},
+        ]})
+        assert self.binary_roundtrip(frame) == frame
+
+    def test_uid_and_capability_roundtrip(self):
+        uid = UIDFactory(space=3).issue()
+        capability = ChannelCapability(owner=uid, name="Output", secret=99)
+        frame = Frame(FrameType.HELLO, {"channel": capability, "ticket": uid})
+        assert self.binary_roundtrip(frame) == frame
+
+    def test_binary_is_smaller_than_json_for_records(self):
+        from repro.net.framing import CODEC_BINARY
+        frame = Frame(FrameType.DATA, {
+            "items": [f"record-{i}" for i in range(64)], "seq": 12,
+        })
+        assert len(encode_frame(frame, CODEC_BINARY)) < len(encode_frame(frame))
+
+    def test_trailing_bytes_in_body_rejected(self):
+        from repro.net.framing import CODEC_BINARY
+        wire = bytearray(encode_frame(Frame(FrameType.READ, {"batch": 1}),
+                                      CODEC_BINARY))
+        wire += b"\x00"
+        body_len = struct.unpack("!I", wire[5:9])[0]
+        struct.pack_into("!I", wire, 5, body_len + 1)
+        with pytest.raises(FrameError, match="trailing"):
+            decode_frame(bytes(wire))
+
+    def test_unknown_type_reports_the_unflagged_code(self):
+        from repro.net.framing import BINARY_FLAG
+        wire = HEADER.pack(MAGIC, 122 | BINARY_FLAG, 0)
+        with pytest.raises(FrameError, match="unknown frame type 122"):
+            decode_frame(wire)
+
+    def test_unencodable_object_raises(self):
+        from repro.net.framing import CODEC_BINARY
+        with pytest.raises(FrameError, match="cannot encode"):
+            encode_frame(Frame(FrameType.DATA, {"items": [object()]}),
+                         CODEC_BINARY)
+
+    def test_unknown_codec_name_rejected(self):
+        with pytest.raises(FrameError, match="codec"):
+            encode_frame(Frame(FrameType.READ, {}), "msgpack")
+
+
+class TestDecoderCompaction:
+    """feed() keeps a running offset instead of re-slicing the residue
+    after every frame (the quadratic-copy fix)."""
+
+    def test_residue_compacts_once_half_consumed(self):
+        frames = [Frame(FrameType.READ, {"batch": n}) for n in range(1, 40)]
+        wire = b"".join(encode_frame(frame) for frame in frames)
+        decoder = FrameDecoder()
+        assert decoder.feed(wire) == frames
+        assert decoder.pending == 0
+        assert len(decoder._buffer) == 0
+
+    def test_pending_counts_only_unconsumed_bytes(self):
+        frame = Frame(FrameType.DATA, {"items": ["abc"]})
+        wire = encode_frame(frame)
+        decoder = FrameDecoder()
+        decoder.feed(wire + wire[:7])
+        assert decoder.pending == 7
+        # The leftover prefix completes into a frame on the next feed.
+        assert decoder.feed(wire[7:]) == [frame]
+        assert decoder.pending == 0
+
+    def test_interleaved_feeds_never_duplicate(self):
+        frames = [
+            Frame(FrameType.DATA, {"items": [f"r{i}"], "seq": i})
+            for i in range(25)
+        ]
+        wire = b"".join(encode_frame(frame) for frame in frames)
+        decoder = FrameDecoder()
+        out = []
+        for start in range(0, len(wire), 13):
+            out.extend(decoder.feed(wire[start:start + 13]))
+        assert out == frames

@@ -10,6 +10,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.capability import ChannelCapability
 from repro.core.uid import UID
 from repro.net.framing import (
+    CODECS,
     Frame,
     FrameDecoder,
     FrameType,
@@ -18,6 +19,8 @@ from repro.net.framing import (
     encode_frame,
     encode_payload,
 )
+
+codecs = st.sampled_from(CODECS)
 
 # -- strategies -------------------------------------------------------------
 
@@ -80,19 +83,40 @@ def test_payload_codec_roundtrips(payload):
     assert decode_payload(encode_payload(payload)) == payload
 
 
-@given(items=st.lists(payloads, min_size=1, max_size=5), channel=channel_ids)
-def test_data_frame_roundtrips(items, channel):
+@given(items=st.lists(payloads, min_size=1, max_size=5), channel=channel_ids,
+       codec=codecs)
+def test_data_frame_roundtrips(items, channel, codec):
     frame = Frame(FrameType.DATA, {"items": items, "channel": channel})
-    decoded, consumed = decode_frame(encode_frame(frame))
+    decoded, consumed = decode_frame(encode_frame(frame, codec))
     assert decoded == frame
-    assert consumed == len(encode_frame(frame))
+    assert consumed == len(encode_frame(frame, codec))
 
 
-@given(channel=channel_ids, batch=st.integers(min_value=1, max_value=1000))
-def test_read_frame_roundtrips(channel, batch):
+@given(channel=channel_ids, batch=st.integers(min_value=1, max_value=1000),
+       codec=codecs)
+def test_read_frame_roundtrips(channel, batch, codec):
     frame = Frame(FrameType.READ, {"batch": batch, "channel": channel})
-    decoded, _consumed = decode_frame(encode_frame(frame))
+    decoded, _consumed = decode_frame(encode_frame(frame, codec))
     assert decoded == frame
+
+
+@given(body=st.dictionaries(st.text(max_size=10), payloads, max_size=4))
+def test_binary_and_json_bodies_decode_identically(body):
+    """Both codecs carry the same logical frame — the negotiation can
+    pick either side of a link without changing what arrives."""
+    frame = Frame(FrameType.DATA, body)
+    from_json, _ = decode_frame(encode_frame(frame, "json"))
+    from_binary, _ = decode_frame(encode_frame(frame, "binary"))
+    assert from_json == from_binary == frame
+
+
+@given(big=st.integers(min_value=-(2**200), max_value=2**200))
+def test_binary_varints_carry_any_magnitude(big):
+    """The zigzag varint has no 64-bit ceiling — Python ints of any
+    size survive, matching JSON's arbitrary-precision numbers."""
+    frame = Frame(FrameType.DATA, {"items": [big]})
+    decoded, _ = decode_frame(encode_frame(frame, "binary"))
+    assert decoded.body["items"] == [big]
 
 
 @settings(max_examples=50)
@@ -111,11 +135,17 @@ def test_read_frame_roundtrips(channel, batch):
         max_size=6,
     ),
     chop=st.integers(min_value=1, max_value=64),
+    frame_codecs=st.lists(codecs, min_size=6, max_size=6),
 )
-def test_decoder_reassembles_any_fragmentation(frames, chop):
+def test_decoder_reassembles_any_fragmentation(frames, chop, frame_codecs):
     """Frames survive arbitrary TCP segmentation: feed in `chop`-byte
-    pieces and the exact frame sequence must come back out."""
-    wire = b"".join(encode_frame(frame) for frame in frames)
+    pieces and the exact frame sequence must come back out.  Codecs are
+    mixed per frame — the flag bit makes every frame self-describing,
+    so a mid-stream codec switch cannot confuse the decoder."""
+    wire = b"".join(
+        encode_frame(frame, codec)
+        for frame, codec in zip(frames, frame_codecs)
+    )
     decoder = FrameDecoder()
     recovered = []
     for start in range(0, len(wire), chop):
