@@ -23,6 +23,7 @@ worth having on record.
 
 import os
 import time
+import warnings
 
 from repro.api import Pipeline
 from repro.core.stats import Histogram
@@ -34,6 +35,11 @@ from conftest import publish
 QUICK = os.environ.get("EDEN_BENCH_QUICK") == "1"
 CORES = os.cpu_count() or 1
 MIN_SPEEDUP = 1.5 if QUICK else 3.0
+
+#: Shard scaling is only a *scaling* measurement when the machine has
+#: a core per shard; below that the curve measures contention, not the
+#: data plane, and must be committed as such.
+SHARD_CURVE_VALID = CORES >= 4
 
 #: (short, long) stream lengths for the two-point marginal measurement.
 BASE_POINTS = (300, 1200) if QUICK else (1000, 5000)
@@ -176,7 +182,13 @@ def test_bench_dataplane(benchmark, tmp_path):
         shard_scaling={
             "headers": ["shards", "records/s", "scaling"],
             "rows": shard_rows,
+            "valid": SHARD_CURVE_VALID,
+            "note": None if SHARD_CURVE_VALID else (
+                f"measured on {CORES} core(s): shards contend for CPU, so "
+                f"this curve records process overhead, not shard scaling"
+            ),
         },
+        shard_curve_valid=SHARD_CURVE_VALID,
         cpu_cores=CORES,
         quick=QUICK,
     )
@@ -190,6 +202,16 @@ def test_bench_dataplane(benchmark, tmp_path):
     assert (matrix[("tcp", "binary")]["bytes_per_datum"]
             < matrix[("tcp", "json")]["bytes_per_datum"])
     # Near-linear shard scaling needs the cores to run shards on; on
-    # smaller machines the curve is committed but not gated.
-    if CORES >= max(SHARD_COUNTS):
+    # smaller machines the curve is committed — flagged invalid — and
+    # the assertion is skipped with a visible warning, so a 4-shard
+    # regression on real hardware still fails while a 1-core container
+    # cannot bake a misleading sub-1x "baseline" into the gate.
+    if SHARD_CURVE_VALID:
         assert scaling[4] >= 2.0 * scaling[1], scaling
+    else:
+        warnings.warn(
+            f"shard-scaling assertion skipped: {CORES} core(s) < "
+            f"{max(SHARD_COUNTS)} shards, curve committed with "
+            f"shard_curve_valid=false",
+            stacklevel=1,
+        )

@@ -118,6 +118,15 @@ class Pipeline:
             ``result.shard_outputs`` keeps them separate.  On the TCP
             runtime every shard is its own process sub-fleet under one
             supervisor — near-linear scaling for CPU-bound filters.
+        placement: where the TCP runtime puts stages.  ``"processes"``
+            (the default) is one OS process per stage; ``"hosted"``
+            runs every stage inside one ``eden-host`` process attached
+            to an ``eden-broker`` control plane — same stream
+            semantics, ``hosts + 1`` processes regardless of pipeline
+            length.  Hosted placement supports the readonly and
+            writeonly disciplines, unsharded.
+        broker: with ``placement="hosted"``, attach to an externally
+            running broker at ``"host:port"`` instead of planning one.
     """
 
     def __init__(
@@ -128,11 +137,29 @@ class Pipeline:
         sink: Any = None,
         flow: FlowPolicy | None = None,
         shards: int = 1,
+        placement: str | None = None,
+        broker: str | None = None,
     ) -> None:
         if discipline not in DISCIPLINES:
             raise ValueError(
                 f"discipline must be one of {DISCIPLINES}, got {discipline!r}"
             )
+        if placement not in (None, "processes", "hosted"):
+            raise ValueError(
+                f"placement must be 'processes' or 'hosted', got {placement!r}"
+            )
+        if broker is not None and placement != "hosted":
+            raise ValueError("broker requires placement='hosted'")
+        if placement == "hosted":
+            if discipline == "conventional":
+                raise ValueError(
+                    "hosted placement cannot run the conventional "
+                    "discipline (every link needs a pipe process)"
+                )
+            if shards != 1:
+                raise ValueError(
+                    "hosted placement is unsharded; run with shards=1"
+                )
         if source is None:
             raise ValueError("source is required (a finite record sequence)")
         if sink not in (None, "collect"):
@@ -150,6 +177,8 @@ class Pipeline:
         self.source = list(source)
         self.flow = flow or FlowPolicy()
         self.shards = shards
+        self.placement = placement or "processes"
+        self.broker = broker
 
     # -- stage specs --------------------------------------------------------
 
@@ -250,6 +279,10 @@ class Pipeline:
                 )
         if runtime != "sim" and placement is not None:
             raise ValueError("placement is simulator-only (runtime='sim')")
+        if self.placement == "hosted" and runtime != "tcp":
+            raise ValueError(
+                f"placement='hosted' needs the TCP runtime, got {runtime!r}"
+            )
         if faults and self.shards > 1:
             raise ValueError(
                 "faults address stage serials of one sub-fleet and are "
@@ -372,7 +405,24 @@ class Pipeline:
 
         workdir = workdir or tempfile.mkdtemp(prefix="eden-fleet-")
         codec = codec or CODEC_JSON
-        if self.shards == 1:
+        if self.placement == "hosted":
+            from repro.broker.launch import plan_hosted_fleet
+
+            plans = plan_hosted_fleet(
+                self.discipline,
+                self._specs(),
+                workdir,
+                source_items=list(self.source),
+                flow=policy,
+                trace=trace,
+                faults=faults,
+                resume=resume,
+                io_timeout=io_timeout,
+                codec=codec,
+                broker=self.broker,
+                max_restarts=max_restarts,
+            )
+        elif self.shards == 1:
             plans = plan_fleet(
                 self.discipline,
                 self._specs(),

@@ -1,0 +1,238 @@
+"""Plan a *hosted* fleet: one broker, few host processes, many stages.
+
+:func:`plan_hosted_fleet` is the hosted placement's analogue of
+:func:`repro.net.launch.plan_fleet`: it turns the same pipeline
+description (discipline, transducers, source, faults) into
+:class:`~repro.net.launch.StagePlan` entries the ordinary
+:class:`~repro.net.launch.FleetSupervisor` can run — except the
+processes are one ``eden-broker`` daemon plus ``hosts`` ``eden-host``
+processes, each hosting a contiguous run of the pipeline's stages over
+a single multiplexed broker connection.  Stage-level fault plans,
+resume, tracing, and per-position fault addressing all carry over;
+process count is ``hosts + 1`` regardless of pipeline length, which is
+the point.
+
+The broker plan is marked ``daemon=True``: the supervisor terminates
+it once every host has drained its streams (the broker dumps its
+stats on SIGTERM), and restarts it like a crashed stage if it dies
+mid-run — hosts ride out the gap through connect backoff and
+re-registration.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Mapping, Sequence
+
+from repro.devices import random_lines
+from repro.fault.plan import FaultPlan
+from repro.net.framing import CODEC_JSON
+from repro.net.launch import StagePlan, TransducerSpec, _manifest_entry
+from repro.net.stage import pick_free_port
+from repro.transput.flow import FlowPolicy
+from repro.broker.daemon import FIRST_HOST_SERIAL, MAX_HOST_SERIAL
+
+__all__ = ["plan_hosted_fleet"]
+
+
+def _stage_names(count: int) -> list[str]:
+    """Fleet-scoped names by pipeline position: source, f1..fn, sink."""
+    return (["source"]
+            + [f"filter{i}" for i in range(1, count - 1)]
+            + ["sink"])
+
+
+def plan_hosted_fleet(
+    discipline: str,
+    transducers: Sequence[TransducerSpec],
+    workdir: str,
+    source_items: Sequence[Any] | None = None,
+    source_count: int | None = None,
+    source_width: int = 8,
+    source_seed: int = 0,
+    flow: FlowPolicy | None = None,
+    ticket_space: int = 0,
+    ticket_seed: int = 0,
+    host: str = "127.0.0.1",
+    connect_deadline: float = 15.0,
+    trace: bool = False,
+    control: bool = False,
+    faults: Mapping[int, FaultPlan] | None = None,
+    resume: bool = False,
+    io_timeout: float | None = None,
+    codec: str = CODEC_JSON,
+    hosts: int = 1,
+    broker: str | None = None,
+    max_restarts: int = 0,
+    restart_backoff: float = 0.05,
+    park_deadline: float = 10.0,
+) -> list[StagePlan]:
+    """Plan broker + stage hosts for one pipeline.
+
+    ``faults`` addresses stages by pipeline position exactly as
+    :func:`~repro.net.launch.plan_fleet` does (source = 0, filters
+    1..n, sink = n+1).  ``hosts`` spreads the stages over that many
+    ``eden-host`` processes (contiguous runs, so a cut crosses as few
+    links as possible).  ``broker`` as ``"host:port"`` attaches the
+    fleet to an externally-run broker instead of planning one;
+    ``max_restarts`` is each hosted stage's *in-process* restart
+    budget (the supervisor's own budget still governs whole
+    processes).
+    """
+    if discipline not in ("readonly", "writeonly"):
+        raise ValueError(
+            f"hosted placement supports readonly/writeonly, got "
+            f"{discipline!r} (conventional needs a pipe process per link)"
+        )
+    if hosts < 1:
+        raise ValueError(f"hosts must be >= 1, got {hosts}")
+    if FIRST_HOST_SERIAL + hosts - 1 > MAX_HOST_SERIAL:
+        raise ValueError(
+            f"at most {MAX_HOST_SERIAL - FIRST_HOST_SERIAL + 1} hosts per "
+            f"ticket space, got {hosts}"
+        )
+    flow = flow or FlowPolicy()
+    faults = dict(faults or {})
+    if source_items is None:
+        if source_count is None:
+            raise ValueError("give source_items or source_count")
+        source_items = random_lines(
+            count=source_count, width=source_width, seed=source_seed
+        )
+    workpath = pathlib.Path(workdir)
+    workpath.mkdir(parents=True, exist_ok=True)
+
+    names = _stage_names(len(transducers) + 2)
+    stage_count = len(names)
+    if hosts > stage_count:
+        raise ValueError(
+            f"{hosts} hosts for {stage_count} stages: at most one host "
+            f"per stage"
+        )
+
+    # One spec dict per pipeline position, in HostedStageSpec shape.
+    specs: list[dict[str, Any]] = []
+    for position, name in enumerate(names):
+        if position == 0:
+            role = "source"
+            spec_name, spec_args = None, []
+        elif position == stage_count - 1:
+            role = "sink"
+            spec_name, spec_args = None, []
+        else:
+            role = "filter"
+            spec_name, spec_args = transducers[position - 1]
+        entry: dict[str, Any] = {
+            "name": name,
+            "role": role,
+            "transducer_spec": spec_name,
+            "transducer_args": list(spec_args),
+        }
+        if role == "source":
+            entry["source_items"] = list(source_items)
+        if discipline == "readonly" and role != "source":
+            entry["upstream"] = names[position - 1]
+        if discipline == "writeonly" and role != "sink":
+            entry["downstream"] = names[position + 1]
+        fault = faults.pop(position, None)
+        if fault is not None and not fault.is_benign:
+            entry["fault"] = fault.as_dict()
+        specs.append(entry)
+    if faults:
+        raise ValueError(
+            f"faults named positions that do not exist: {sorted(faults)} "
+            f"(the pipeline has positions 0..{stage_count - 1})"
+        )
+
+    plans: list[StagePlan] = []
+
+    if broker is None:
+        broker_host, broker_port = host, pick_free_port(host)
+        broker_stats = str(workpath / "broker.stats.json")
+        broker_argv = [
+            "--host", broker_host, "--port", str(broker_port),
+            "--ticket-space", str(ticket_space),
+            "--ticket-seed", str(ticket_seed),
+            "--park-deadline", str(park_deadline),
+            "--stats-file", broker_stats,
+        ]
+        broker_control = None
+        if control:
+            broker_control = pick_free_port(host)
+            broker_argv += ["--control-port", str(broker_control)]
+        plans.append(StagePlan(
+            role="broker",
+            argv=tuple(broker_argv),
+            stats_file=broker_stats,
+            control_port=broker_control,
+            serial=1,
+            stdout_file=str(workpath / "broker.stdout.log"),
+            stderr_file=str(workpath / "broker.stderr.log"),
+            module="repro.broker.daemon",
+            daemon=True,
+        ))
+    else:
+        broker_host, _sep, port_text = broker.rpartition(":")
+        broker_port = int(port_text)
+        broker_host = broker_host or "127.0.0.1"
+
+    # Contiguous runs of stages per host, remainder to the early hosts.
+    per_host, extra = divmod(stage_count, hosts)
+    cursor = 0
+    for index in range(hosts):
+        take = per_host + (1 if index < extra else 0)
+        chunk = specs[cursor:cursor + take]
+        cursor += take
+        serial = FIRST_HOST_SERIAL + index
+        stem = f"host-{index}"
+        stats_file = str(workpath / f"{stem}.stats.json")
+        trace_file = str(workpath / f"{stem}.trace.jsonl") if trace else None
+        control_port = pick_free_port(host) if control else None
+        plan_data = {
+            "broker_host": broker_host,
+            "broker_port": broker_port,
+            "stages": chunk,
+            "discipline": discipline,
+            "ticket_space": ticket_space,
+            "ticket_seed": ticket_seed,
+            "serial": serial,
+            "resume": resume,
+            "codec": codec,
+            "flow": flow.describe(),
+            "io_timeout": io_timeout,
+            "connect_deadline": connect_deadline,
+            "max_restarts": max_restarts,
+            "restart_backoff": restart_backoff,
+            "stats_file": stats_file,
+            "trace_file": trace_file,
+            "control_port": control_port,
+        }
+        plan_file = workpath / f"{stem}.plan.json"
+        with open(plan_file, "w", encoding="utf-8") as handle:
+            json.dump(plan_data, handle, indent=2, sort_keys=True)
+        plans.append(StagePlan(
+            role="host",
+            argv=("--plan-file", str(plan_file)),
+            stats_file=stats_file,
+            trace_file=trace_file,
+            control_port=control_port,
+            serial=serial,
+            stdout_file=str(workpath / f"{stem}.stdout.log"),
+            stderr_file=str(workpath / f"{stem}.stderr.log"),
+            module="repro.broker.host",
+        ))
+
+    if trace or control:
+        manifest = {
+            "discipline": discipline,
+            "host": host,
+            "resume": resume,
+            "codec": codec,
+            "placement": "hosted",
+            "broker": f"{broker_host}:{broker_port}",
+            "stages": [_manifest_entry(plan, plan.serial) for plan in plans],
+        }
+        with open(workpath / "fleet.json", "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+    return plans

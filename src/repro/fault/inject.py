@@ -65,19 +65,25 @@ class FaultInjector:
         self.sleep = sleep
         self._matched = [0] * len(self.rules)
 
-    async def outgoing(self, frame_name: str, wire: bytes) -> list[bytes]:
+    async def outgoing(self, frame_name: str, wire: bytes,
+                       chan: int | None = None) -> list[bytes]:
         """Decide one frame's fate; returns the chunks to really send.
 
         An empty list means the frame was dropped; two identical
         chunks mean it was duplicated; a mutated chunk means it was
         corrupted.  ``delay`` rules sleep here, inside the sender.
+        ``chan`` is the logical channel the frame rides (``None`` off
+        a multiplexed link): a channel-pinned rule neither fires nor
+        advances its match counter on other channels.
         """
         chunks = [wire]
         for index, rule in enumerate(self.rules):
             if rule.frame is not None and rule.frame != frame_name.lower():
                 continue
+            if rule.chan is not None and rule.chan != chan:
+                continue
             self._matched[index] += 1
-            if not rule.matches(frame_name, self._matched[index]):
+            if not rule.matches(frame_name, self._matched[index], chan):
                 continue
             self.stats.bump(f"fault_{rule.action}")
             if rule.action == "drop":

@@ -51,6 +51,10 @@ class FrameFault:
         nth: fire on the nth matching frame only (1-based, one-shot).
         every: fire on every ``every``-th matching frame (periodic).
         delay_ms: added latency for ``delay`` actions.
+        chan: logical-channel id to match (multiplexed links only);
+            ``None`` matches frames on any channel, including
+            un-multiplexed connections.  Lets a chaos plan target one
+            stream out of the hundreds sharing a broker connection.
     """
 
     action: str
@@ -58,6 +62,7 @@ class FrameFault:
     nth: int | None = None
     every: int | None = None
     delay_ms: float = 0.0
+    chan: int | None = None
 
     def __post_init__(self) -> None:
         if self.action not in FAULT_ACTIONS:
@@ -81,10 +86,24 @@ class FrameFault:
             raise FaultError(f"delay_ms must be >= 0, got {self.delay_ms!r}")
         if self.action == "delay" and self.delay_ms == 0:
             raise FaultError("a delay fault needs delay_ms > 0")
+        if self.chan is not None and (
+            not isinstance(self.chan, int) or self.chan < 0
+        ):
+            raise FaultError(
+                f"chan must be an integer >= 0, got {self.chan!r}"
+            )
 
-    def matches(self, frame_name: str, count: int) -> bool:
-        """Should this rule fire for the ``count``-th matching frame?"""
+    def matches(self, frame_name: str, count: int,
+                chan: int | None = None) -> bool:
+        """Should this rule fire for the ``count``-th matching frame?
+
+        ``chan`` is the logical channel the frame travels on (``None``
+        off a multiplexed link); a rule pinned to a channel never
+        fires elsewhere.
+        """
         if self.frame is not None and self.frame != frame_name.lower():
+            return False
+        if self.chan is not None and self.chan != chan:
             return False
         if self.nth is not None:
             return count == self.nth
@@ -100,11 +119,14 @@ class FrameFault:
             data["every"] = self.every
         if self.delay_ms:
             data["delay_ms"] = self.delay_ms
+        if self.chan is not None:
+            data["chan"] = self.chan
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FrameFault":
-        unknown = set(data) - {"action", "frame", "nth", "every", "delay_ms"}
+        unknown = set(data) - {"action", "frame", "nth", "every",
+                               "delay_ms", "chan"}
         if unknown:
             raise FaultError(f"unknown FrameFault fields: {sorted(unknown)}")
         return cls(
@@ -113,6 +135,7 @@ class FrameFault:
             nth=data.get("nth"),
             every=data.get("every"),
             delay_ms=data.get("delay_ms", 0.0),
+            chan=data.get("chan"),
         )
 
 

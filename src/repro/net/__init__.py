@@ -73,17 +73,35 @@ _LAUNCH_NAMES = (
     "run_fleet",
 )
 
+#: Multiplexing names (:mod:`repro.net.mux`), loaded lazily for the
+#: same reason — the mux imports the protocol module's Hosted bases.
+_MUX_NAMES = (
+    "CONTROL_CHANNEL",
+    "ChannelMux",
+    "FairWriter",
+    "HostedReadable",
+    "HostedWritable",
+    "MuxChannel",
+)
+
 
 def __getattr__(name):
     if name in _LAUNCH_NAMES:
         from repro.net import launch
 
         return getattr(launch, name)
+    if name in _MUX_NAMES:
+        from repro.net import mux
+
+        return getattr(mux, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
+    "CONTROL_CHANNEL",
+    "ChannelMux",
     "Connection",
+    "FairWriter",
     "FleetError",
     "FleetSupervisor",
     "Frame",
@@ -92,8 +110,11 @@ __all__ = [
     "FrameType",
     "HandshakeError",
     "HandshakeLinkDown",
+    "HostedReadable",
+    "HostedWritable",
     "LinkDown",
     "MAX_FRAME_BODY",
+    "MuxChannel",
     "NetStats",
     "PipelineResult",
     "RemoteReadable",

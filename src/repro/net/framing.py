@@ -58,6 +58,17 @@ Any frame body may additionally carry a ``trace`` field (see
 :data:`TRACE_KEY`): the causal span context ``[trace, span, parent]``
 of the request or reply.  Peers that do not do span tracing simply
 ignore the key, so traced and untraced stages interoperate.
+
+**Logical channels.**  A frame may belong to a *logical channel* —
+one of many multiplexed streams sharing a single TCP connection (see
+:mod:`repro.net.mux`).  The channel id travels as a header extension,
+not a body field, so a relay (the broker) can route frames without
+decoding bodies: when bit :data:`CHAN_FLAG` of the type byte is set, a
+4-byte big-endian unsigned channel id immediately follows the 9-byte
+header, before the body.  The body-length field still counts only the
+body.  Frames without the flag (``Frame.chan is None``) are exactly
+the pre-channel wire form, so un-multiplexed peers interoperate
+unchanged.
 """
 
 from __future__ import annotations
@@ -86,6 +97,8 @@ __all__ = [
     "CODEC_BINARY",
     "CODECS",
     "BINARY_FLAG",
+    "CHAN_FLAG",
+    "MAX_CHANNEL_ID",
     "encode_payload",
     "decode_payload",
     "encode_frame",
@@ -120,6 +133,18 @@ CODECS = (CODEC_BINARY, CODEC_JSON)
 #: High bit of the type byte: set when the body is binary-encoded.
 BINARY_FLAG = 0x80
 
+#: Type-byte flag: a 4-byte channel id follows the header.
+CHAN_FLAG = 0x40
+
+#: The channel-id header extension (big-endian unsigned 32-bit).
+_CHAN_EXT = struct.Struct("!I")
+
+#: Largest representable logical-channel id.
+MAX_CHANNEL_ID = 2**32 - 1
+
+#: Every bit of the type byte that is a flag, not part of the type.
+_FLAG_MASK = BINARY_FLAG | CHAN_FLAG
+
 
 class FrameError(EdenError):
     """A frame could not be encoded, decoded, or was malformed."""
@@ -142,14 +167,23 @@ class FrameType(enum.IntEnum):
 
 @dataclass(frozen=True)
 class Frame:
-    """One decoded protocol message: a type plus its JSON body."""
+    """One decoded protocol message: a type plus its JSON body.
+
+    ``chan`` is the logical-channel id the frame travels on, or
+    ``None`` for a frame outside any multiplexed connection (the
+    pre-channel wire form).
+    """
 
     type: FrameType
     body: dict[str, Any] = field(default_factory=dict)
+    chan: int | None = None
 
     def __str__(self) -> str:
         inner = " ".join(f"{k}={v!r}" for k, v in sorted(self.body.items()))
-        return f"<{self.type.name} {inner}>".replace(" >", ">")
+        label = self.type.name if self.chan is None else (
+            f"{self.type.name}@{self.chan}"
+        )
+        return f"<{label} {inner}>".replace(" >", ">")
 
 
 # ---------------------------------------------------------------------------
@@ -455,7 +489,14 @@ def encode_frame_into(frame: Frame, out: bytearray,
     header-plus-body concatenation copy of the one-shot path.
     """
     start = len(out)
-    out += b"\x00" * HEADER.size
+    head = HEADER.size
+    if frame.chan is not None:
+        if not 0 <= frame.chan <= MAX_CHANNEL_ID:
+            raise FrameError(
+                f"channel id {frame.chan} outside [0, {MAX_CHANNEL_ID}]"
+            )
+        head += _CHAN_EXT.size
+    out += b"\x00" * head
     if codec == CODEC_BINARY:
         _encode_binary(frame.body, out)
         type_code = int(frame.type) | BINARY_FLAG
@@ -470,10 +511,13 @@ def encode_frame_into(frame: Frame, out: bytearray,
         type_code = int(frame.type)
     else:
         raise FrameError(f"unknown codec {codec!r} (expected one of {CODECS})")
-    length = len(out) - start - HEADER.size
+    length = len(out) - start - head
     if length > MAX_FRAME_BODY:
         del out[start:]
         raise FrameError(f"frame body of {length} bytes exceeds MAX_FRAME_BODY")
+    if frame.chan is not None:
+        type_code |= CHAN_FLAG
+        _CHAN_EXT.pack_into(out, start + HEADER.size, frame.chan)
     HEADER.pack_into(out, start, MAGIC, type_code, length)
     return len(out) - start
 
@@ -485,19 +529,32 @@ def encode_frame(frame: Frame, codec: str = CODEC_JSON) -> bytes:
     return bytes(out)
 
 
-def _decode_body(type_code: int, view: memoryview) -> Frame:
+def _frame_type(type_code: int) -> FrameType:
+    """The type byte's :class:`FrameType`, flags stripped.
+
+    Checked *before* any flag-driven header-extension parsing, so a
+    garbage type byte whose bits happen to include :data:`CHAN_FLAG`
+    reports "unknown frame type", not a misleading extension error.
+    """
+    try:
+        return FrameType(type_code & ~_FLAG_MASK)
+    except ValueError as error:
+        raise FrameError(
+            f"unknown frame type {type_code & ~_FLAG_MASK}"
+        ) from error
+
+
+def _decode_body(type_code: int, view: memoryview,
+                 chan: int | None = None) -> Frame:
     """Build a Frame from its raw type byte and body bytes.
 
     The codec is read off the type byte's :data:`BINARY_FLAG`, so
     every frame is self-describing — a connection can switch codecs
-    after negotiation without a parser mode change.
+    after negotiation without a parser mode change.  ``chan`` is the
+    already-parsed channel-id header extension, if the type byte
+    carried :data:`CHAN_FLAG`.
     """
-    try:
-        frame_type = FrameType(type_code & ~BINARY_FLAG)
-    except ValueError as error:
-        raise FrameError(
-            f"unknown frame type {type_code & ~BINARY_FLAG}"
-        ) from error
+    frame_type = _frame_type(type_code)
     if type_code & BINARY_FLAG:
         body, end = _decode_binary(view, 0)
         if end != len(view):
@@ -511,7 +568,7 @@ def _decode_body(type_code: int, view: memoryview) -> Frame:
             raise FrameError(f"undecodable frame body: {error}") from error
     if not isinstance(body, dict):
         raise FrameError(f"frame body must be an object, got {type(body).__name__}")
-    return Frame(type=frame_type, body=body)
+    return Frame(type=frame_type, body=body, chan=chan)
 
 
 def decode_frame(buffer: bytes) -> tuple[Frame, int]:
@@ -529,10 +586,18 @@ def decode_frame(buffer: bytes) -> tuple[Frame, int]:
         raise FrameError(f"bad magic {magic!r} (expected {MAGIC!r})")
     if length > MAX_FRAME_BODY:
         raise FrameError(f"declared body of {length} bytes exceeds MAX_FRAME_BODY")
-    if len(buffer) < HEADER.size + length:
+    _frame_type(type_code)
+    head = HEADER.size
+    chan: int | None = None
+    if type_code & CHAN_FLAG:
+        head += _CHAN_EXT.size
+        if len(buffer) < head:
+            raise FrameError("truncated channel-id extension")
+        chan = _CHAN_EXT.unpack_from(buffer, HEADER.size)[0]
+    if len(buffer) < head + length:
         raise FrameError("truncated body")
-    view = memoryview(buffer)[HEADER.size : HEADER.size + length]
-    return _decode_body(type_code, view), HEADER.size + length
+    view = memoryview(buffer)[head : head + length]
+    return _decode_body(type_code, view, chan), head + length
 
 
 class FrameDecoder:
@@ -567,11 +632,20 @@ class FrameDecoder:
                     raise FrameError(
                         f"declared body of {length} bytes exceeds cap"
                     )
+                _frame_type(type_code)
                 body_start = offset + HEADER.size
+                chan: int | None = None
+                if type_code & CHAN_FLAG:
+                    if len(buffer) - body_start < _CHAN_EXT.size:
+                        break
+                    chan = _CHAN_EXT.unpack_from(buffer, body_start)[0]
+                    body_start += _CHAN_EXT.size
                 if len(buffer) - body_start < length:
                     break
                 frames.append(
-                    _decode_body(type_code, view[body_start:body_start + length])
+                    _decode_body(
+                        type_code, view[body_start:body_start + length], chan
+                    )
                 )
                 offset = body_start + length
         finally:
@@ -608,11 +682,21 @@ async def read_frame_sized(
         raise FrameError(f"bad magic {magic!r}")
     if length > MAX_FRAME_BODY:
         raise FrameError(f"declared body of {length} bytes exceeds cap")
+    _frame_type(type_code)
+    head = HEADER.size
+    chan: int | None = None
+    if type_code & CHAN_FLAG:
+        try:
+            ext = await reader.readexactly(_CHAN_EXT.size)
+        except asyncio.IncompleteReadError as error:
+            raise FrameError("connection closed mid-channel-id") from error
+        chan = _CHAN_EXT.unpack(ext)[0]
+        head += _CHAN_EXT.size
     try:
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError as error:
         raise FrameError("connection closed mid-body") from error
-    return _decode_body(type_code, memoryview(body)), HEADER.size + length
+    return _decode_body(type_code, memoryview(body), chan), head + length
 
 
 async def read_frame(reader: asyncio.StreamReader) -> Frame | None:

@@ -60,15 +60,25 @@ __all__ = [
     "Hello",
     "send_hello",
     "expect_hello",
+    "send_hello_over",
+    "expect_hello_over",
     "negotiated_codec",
     "ROLE_PULL",
     "ROLE_PUSH",
+    "ROLE_HOST",
+    "STREAM_ROLES",
 ]
 
 #: The connecting side will issue ``READ`` frames (active input).
 ROLE_PULL = "pull"
 #: The connecting side will push ``WRITE`` frames (active output).
 ROLE_PUSH = "push"
+#: The connecting side is a stage host attaching to a broker: the
+#: connection will carry multiplexed logical channels, not one stream.
+ROLE_HOST = "host"
+
+#: The roles an ordinary stream endpoint accepts (the default).
+STREAM_ROLES = (ROLE_PULL, ROLE_PUSH)
 
 #: Cap on how far a book will extend its nonce stream while verifying,
 #: so a hostile serial cannot make verification loop unboundedly.
@@ -152,10 +162,18 @@ def hello_frame(
     channel: Any = PRIMARY_CHANNEL,
     next_seq: int | None = None,
     codecs: Any = None,
+    roles: tuple[str, ...] = STREAM_ROLES,
 ) -> Frame:
-    """The HELLO frame a connecting stage presents."""
-    if role not in (ROLE_PULL, ROLE_PUSH):
-        raise HandshakeError(f"role must be pull or push, got {role!r}")
+    """The HELLO frame a connecting stage presents.
+
+    ``roles`` is the vocabulary this endpoint may claim — stream
+    endpoints present ``pull`` or ``push``; a broker attachment
+    presents ``host``.
+    """
+    if role not in roles:
+        raise HandshakeError(
+            f"role must be one of {'/'.join(roles)}, got {role!r}"
+        )
     body: dict[str, Any] = {"uid": uid, "role": role, "channel": channel}
     if next_seq is not None:
         body["resume"] = {"next_seq": int(next_seq)}
@@ -173,6 +191,7 @@ async def send_hello(
     book: TicketBook | None = None,
     next_seq: int | None = None,
     codecs: Any = None,
+    roles: tuple[str, ...] = STREAM_ROLES,
 ) -> Frame:
     """Client side: present a ticket, await WELCOME.
 
@@ -184,9 +203,16 @@ async def send_hello(
     the server's own ticket fails mutual verification.
     """
     await write_frame(
-        writer, hello_frame(uid, role, channel, next_seq=next_seq, codecs=codecs)
+        writer,
+        hello_frame(uid, role, channel, next_seq=next_seq, codecs=codecs,
+                    roles=roles),
     )
     reply = await read_frame(reader)
+    return _check_welcome(reply, book)
+
+
+def _check_welcome(reply: Frame | None, book: TicketBook | None) -> Frame:
+    """Validate a handshake reply; shared by both transports."""
     if reply is None:
         raise HandshakeLinkDown("connection closed during handshake")
     if reply.type is FrameType.ERROR:
@@ -203,6 +229,86 @@ async def send_hello(
     return reply
 
 
+async def send_hello_over(
+    conn: Any,
+    uid: UID,
+    role: str,
+    channel: Any = PRIMARY_CHANNEL,
+    book: TicketBook | None = None,
+    next_seq: int | None = None,
+    codecs: Any = None,
+) -> Frame:
+    """:func:`send_hello` over a ``Connection``-shaped transport.
+
+    ``conn`` needs only ``send``/``recv`` coroutines — a
+    :class:`repro.net.mux.MuxChannel` qualifies, which is how a hosted
+    stage runs the full C4 ticket handshake *inside* one logical
+    channel of a multiplexed broker connection.
+    """
+    await conn.send(hello_frame(uid, role, channel, next_seq=next_seq,
+                                codecs=codecs))
+    return _check_welcome(await conn.recv(), book)
+
+
+async def expect_hello_over(
+    conn: Any,
+    book: TicketBook,
+    server_uid: UID,
+    credit: int = 0,
+    resume_seq_for: Callable[["Hello"], int | None] | None = None,
+    codec_offer: Any = CODECS,
+) -> Hello:
+    """:func:`expect_hello` over a ``Connection``-shaped transport.
+
+    On rejection sends ``ERROR`` on the channel (leaving the channel's
+    disposal to the caller — a multiplexed peer must not close the
+    whole connection over one bad hello) and raises
+    :class:`HandshakeError`.
+    """
+    frame = await conn.recv()
+    if frame is None:
+        raise HandshakeLinkDown("channel closed before hello")
+    if frame.type is not FrameType.HELLO:
+        await _reject_over(conn, "bad-hello",
+                           f"expected HELLO, got {frame.type.name}")
+        raise HandshakeError(f"expected HELLO, got {frame.type.name}")
+    uid = frame.body.get("uid")
+    role = frame.body.get("role")
+    if role not in STREAM_ROLES:
+        await _reject_over(conn, "bad-role", f"unknown role {role!r}")
+        raise HandshakeError(f"unknown role {role!r}")
+    if not book.is_genuine(uid):
+        await _reject_over(conn, "forged-uid",
+                           f"ticket {uid!r} was not issued here")
+        raise HandshakeError(f"forged ticket {uid!r}")
+    resume = frame.body.get("resume")
+    next_seq = None
+    if isinstance(resume, dict) and isinstance(resume.get("next_seq"), int):
+        next_seq = max(0, resume["next_seq"])
+    codec = negotiated_codec(frame.body.get("codecs"),
+                             codec_offer or (CODEC_JSON,))
+    hello = Hello(
+        uid=uid, role=role, channel=frame.body.get("channel"),
+        next_seq=next_seq, codec=codec,
+    )
+    welcome: dict[str, Any] = {"credit": credit, "uid": server_uid,
+                               "codec": codec}
+    if resume_seq_for is not None:
+        resume_seq = resume_seq_for(hello)
+        if resume_seq is not None:
+            welcome["resume_seq"] = int(resume_seq)
+    await conn.send(Frame(FrameType.WELCOME, welcome))
+    return hello
+
+
+async def _reject_over(conn: Any, code: str, message: str) -> None:
+    try:
+        await conn.send(Frame(FrameType.ERROR, {"code": code,
+                                                "message": message}))
+    except (ConnectionError, OSError, EdenError):
+        pass  # peer already gone: nothing to tell
+
+
 async def expect_hello(
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
@@ -211,6 +317,7 @@ async def expect_hello(
     credit: int = 0,
     resume_seq_for: Callable[["Hello"], int | None] | None = None,
     codec_offer: Any = CODECS,
+    roles: tuple[str, ...] = STREAM_ROLES,
 ) -> Hello:
     """Server side: demand a genuine ticket before any stream traffic.
 
@@ -234,7 +341,7 @@ async def expect_hello(
         raise HandshakeError(f"expected HELLO, got {frame.type.name}")
     uid = frame.body.get("uid")
     role = frame.body.get("role")
-    if role not in (ROLE_PULL, ROLE_PUSH):
+    if role not in roles:
         await _reject(writer, "bad-role", f"unknown role {role!r}")
         raise HandshakeError(f"unknown role {role!r}")
     if not book.is_genuine(uid):

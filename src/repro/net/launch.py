@@ -87,6 +87,15 @@ class StagePlan:
     stderr_file: str | None = None
     #: Which shard's sub-pipeline this stage belongs to (None = unsharded).
     shard: int | None = None
+    #: The ``python -m`` module this process runs.  ``repro.net.stage``
+    #: for ordinary stages; ``repro.broker.daemon`` / ``repro.broker.
+    #: host`` for hosted placements.
+    module: str = "repro.net.stage"
+    #: Daemons (the broker) serve the fleet rather than the stream:
+    #: the run is complete when every *non*-daemon member is done, at
+    #: which point daemons are terminated; a daemon exiting on its own
+    #: mid-run is treated as a crash (and restarted on budget).
+    daemon: bool = False
 
     @property
     def label(self) -> str:
@@ -157,12 +166,17 @@ class FleetError(RuntimeError):
 
     ``result`` (when not None) carries whatever could still be
     gathered — most importantly every stage's stderr, which lives in
-    files and therefore survives the kill.
+    files and therefore survives the kill.  ``reason`` names the
+    failure class machine-readably: ``"budget"`` (one stage spent its
+    restart budget), ``"timeout"`` (the fleet-wide deadline), or
+    ``"restart-storm"`` (the aggregate cross-stage restart guard).
     """
 
-    def __init__(self, message: str, result: PipelineResult | None = None):
+    def __init__(self, message: str, result: PipelineResult | None = None,
+                 reason: str | None = None):
         super().__init__(message)
         self.result = result
+        self.reason = reason
 
 
 def plan_fleet(
@@ -484,9 +498,20 @@ class FleetSupervisor:
         backoff_base: float = 0.1,
         backoff_max: float = 2.0,
         poll_interval: float = 0.02,
+        storm_window: float = 5.0,
+        storm_max_restarts: int | None = None,
     ) -> None:
         if not plans:
             raise ValueError("cannot supervise an empty fleet")
+        if storm_window <= 0:
+            raise ValueError(f"storm_window must be > 0, got {storm_window!r}")
+        if storm_max_restarts is not None and (
+            not isinstance(storm_max_restarts, int) or storm_max_restarts < 1
+        ):
+            raise ValueError(
+                f"storm_max_restarts must be an integer >= 1 or None, got "
+                f"{storm_max_restarts!r}"
+            )
         if not isinstance(timeout, (int, float)) or timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout!r}")
         if not isinstance(max_restarts, int) or max_restarts < 0:
@@ -507,8 +532,14 @@ class FleetSupervisor:
         self.backoff_base = backoff_base
         self.backoff_max = backoff_max
         self.poll_interval = poll_interval
+        self.storm_window = storm_window
+        self.storm_max_restarts = storm_max_restarts
         self.stats = KernelStats()
         self._members = [_Member(plan, i) for i, plan in enumerate(self.plans)]
+        # Sliding window of restart timestamps across *all* members —
+        # the per-stage budget cannot see a fleet-wide crash loop
+        # (e.g. a dead broker taking every hosted stage down with it).
+        self._restart_times: list[float] = []
 
     # -- process plumbing ---------------------------------------------------
 
@@ -529,7 +560,7 @@ class FleetSupervisor:
             if restart:
                 err.write(f"--- restart #{member.restarts} ---\n")
             member.process = subprocess.Popen(
-                [self.python, "-m", "repro.net.stage", *argv],
+                [self.python, "-m", member.plan.module, *argv],
                 stdout=out, stderr=err, text=True, env=env,
             )
         member.restart_at = None
@@ -585,8 +616,9 @@ class FleetSupervisor:
         for member in self._members:
             self._spawn(member, env)
         deadline = time.monotonic() + self.timeout
+        workers = [m for m in self._members if not m.plan.daemon]
         try:
-            while not all(m.done for m in self._members):
+            while not all(m.done for m in workers):
                 now = time.monotonic()
                 if now > deadline:
                     self._kill_all()
@@ -596,6 +628,7 @@ class FleetSupervisor:
                         f"fleet timeout after {self.timeout:.1f}s; "
                         f"still running: {', '.join(running)}",
                         result=self._partial_result(),
+                        reason="timeout",
                     )
                 for member in self._members:
                     if member.done:
@@ -608,18 +641,42 @@ class FleetSupervisor:
                     rc = member.process.poll()
                     if rc is None:
                         continue
-                    if rc == 0:
+                    if rc == 0 and not member.plan.daemon:
                         member.done = True
                         member.rc = 0
                         continue
+                    # A daemon exiting — even cleanly — while the
+                    # stream still runs is a failure of the fleet's
+                    # substrate: restart it like any crash.
                     self._note_crash(member, rc)
                 time.sleep(self.poll_interval)
+            self._stop_daemons()
         except FleetError:
             raise
         except BaseException:
             self._kill_all()
             raise
         return self._gather()
+
+    def _stop_daemons(self, grace: float = 5.0) -> None:
+        """The stream is done: retire daemons (SIGTERM, then SIGKILL)."""
+        daemons = [m for m in self._members
+                   if m.plan.daemon and not m.done]
+        for member in daemons:
+            process = member.process
+            if process is not None and process.poll() is None:
+                process.terminate()
+        deadline = time.monotonic() + grace
+        for member in daemons:
+            process = member.process
+            if process is not None:
+                try:
+                    process.wait(max(0.0, deadline - time.monotonic()))
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait()
+            member.done = True
+            member.rc = process.returncode if process is not None else None
 
     def _note_crash(self, member: _Member, rc: int) -> None:
         label = member.plan.label
@@ -633,6 +690,7 @@ class FleetSupervisor:
             raise FleetError(
                 "stage failures:\n" + diagnosis,
                 result=self._partial_result(),
+                reason="budget",
             )
         delay = min(self.backoff_base * (2 ** member.restarts),
                     self.backoff_max)
@@ -642,13 +700,41 @@ class FleetSupervisor:
         self.stats.bump("restarts")
         self.stats.bump(f"restarts[{label}]")
         self.stats.set_gauge(f"backoff_s[{label}]", delay)
+        self._note_storm(label)
+
+    def _note_storm(self, label: str) -> None:
+        """The aggregate guard: too many restarts fleet-wide, too fast.
+
+        Each member's budget bounds *its own* crash loop; a correlated
+        failure (a dead broker, a bad deploy) burns every member's
+        budget in parallel and can thrash for the whole fleet timeout.
+        When more than ``storm_max_restarts`` restarts land inside a
+        sliding ``storm_window``, the fleet is stopped with a distinct
+        ``restart-storm`` reason instead.
+        """
+        if self.storm_max_restarts is None:
+            return
+        now = time.monotonic()
+        self._restart_times.append(now)
+        horizon = now - self.storm_window
+        self._restart_times = [t for t in self._restart_times if t >= horizon]
+        if len(self._restart_times) > self.storm_max_restarts:
+            self.stats.bump("restart_storms")
+            self._kill_all()
+            raise FleetError(
+                f"restart storm: {len(self._restart_times)} restarts across "
+                f"the fleet within {self.storm_window:.1f}s (limit "
+                f"{self.storm_max_restarts}); last crash: {label}",
+                result=self._partial_result(),
+                reason="restart-storm",
+            )
 
     def _gather(self) -> PipelineResult:
         # A sharded fleet has one sink per shard: concatenate their
         # outputs in shard order, so each shard's internal ordering is
         # preserved (the merge stage of the sharded pipeline).
         sinks = sorted(
-            (m for m in self._members if m.plan.role == "sink"),
+            (m for m in self._members if m.plan.role in ("sink", "host")),
             key=lambda m: m.plan.shard or 0,
         )
         shard_outputs = [
@@ -685,17 +771,22 @@ def run_fleet(
     max_restarts: int = 0,
     backoff_base: float = 0.1,
     backoff_max: float = 2.0,
+    storm_window: float = 5.0,
+    storm_max_restarts: int | None = None,
 ) -> PipelineResult:
     """Spawn and supervise every planned stage; gather output + counters.
 
     The convenience front door over :class:`FleetSupervisor`.  Raises
     :class:`FleetError` (a ``RuntimeError``, with every stage's stderr
-    preserved in ``.result``) if a stage exhausts its restart budget or
-    the fleet exceeds ``timeout``.
+    preserved in ``.result``) if a stage exhausts its restart budget,
+    the fleet exceeds ``timeout``, or — with ``storm_max_restarts``
+    set — restarts across all stages exceed that count within a
+    sliding ``storm_window`` seconds (``reason="restart-storm"``).
     """
     supervisor = FleetSupervisor(
         plans, timeout=timeout, python=python, max_restarts=max_restarts,
         backoff_base=backoff_base, backoff_max=backoff_max,
+        storm_window=storm_window, storm_max_restarts=storm_max_restarts,
     )
     return supervisor.run()
 

@@ -497,6 +497,12 @@ def verify_exactly_once(
     just means there is nothing to verify.  An empty report with
     ``expected`` set and *no* evidence at all is flagged, so a chaos
     test cannot silently pass because tracing was off.
+
+    Evidence is grouped by each span's own ``stage`` label, not the
+    log file it came from: an ``eden-host`` process writes one trace
+    file carrying hundreds of stages' spans, and each hosted reader
+    must tile the stream independently.  (For per-process logs the two
+    groupings coincide.)
     """
     report = OnceReport()
     evidence: dict[str, list[SpanRecord]] = {}
@@ -506,7 +512,7 @@ def verify_exactly_once(
                 continue
             if record.status != "ok":
                 continue
-            evidence.setdefault(log.stage, []).append(record)
+            evidence.setdefault(record.stage, []).append(record)
     for stage, records in sorted(evidence.items()):
         slices = sorted(
             ((r.seq, r.seq + r.n) for r in records if r.n), key=lambda s: s[0]

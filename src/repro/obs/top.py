@@ -46,6 +46,10 @@ class StageRow:
     autotune: str = "-"
     read_p50_ms: float | None = None
     read_p95_ms: float | None = None
+    #: Logical channels currently open (brokers and stage hosts).
+    channels: str = "-"
+    #: Stages hosted in-process (stage hosts only).
+    hosted: str = "-"
     gauges: dict[str, float] = field(default_factory=dict)
 
 
@@ -82,6 +86,12 @@ def _row_from_payloads(
         row.autotune = (
             f"{int(gauges['autotune_batch'])}/{int(gauges['autotune_credit'])}"
         )
+    if health.get("channels_open") is not None:
+        row.channels = str(int(health["channels_open"]))
+    elif "mux_channels_open" in gauges:
+        row.channels = str(int(gauges["mux_channels_open"]))
+    if health.get("hosted") is not None:
+        row.hosted = str(int(health["hosted"]))
     histogram_data = stats.get("histograms", {}).get("read_rtt_ms")
     if isinstance(histogram_data, dict):
         try:
@@ -113,7 +123,8 @@ def gather_fleet(
 def render_fleet(rows: Sequence[StageRow]) -> str:
     """The fleet table as text (pure, so tests can assert on it)."""
     headers = ("STAGE", "ROLE", "SHARD", "UP", "INVOKES", "REPLIES", "BYTES",
-               "CREDIT", "TPUT rec/s", "AUTO b/w", "READ p50/p95")
+               "CREDIT", "TPUT rec/s", "AUTO b/w", "READ p50/p95",
+               "CHAN", "HOST")
     table: list[tuple[str, ...]] = [headers]
     for row in rows:
         if not row.alive:
@@ -129,6 +140,7 @@ def render_fleet(rows: Sequence[StageRow]) -> str:
             row.label, row.role, row.shard, f"{row.uptime_s:.1f}s",
             str(row.invocations), str(row.replies), str(row.bytes_moved),
             row.credit, throughput, row.autotune, latency,
+            row.channels, row.hosted,
         ))
     widths = [
         max(len(line[column]) for line in table)

@@ -1,0 +1,198 @@
+"""In-process tests of the eden-host stage runtime.
+
+One event loop carries the broker *and* a :class:`StageHost` running
+a whole pipeline: stages register by name, open channels through the
+relay, and the host's in-process supervision restarts a crashed stage
+without touching its neighbours.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.fault.plan import FaultPlan
+from repro.net.handshake import ROLE_PULL, ROLE_PUSH, TicketBook
+from repro.broker.daemon import Broker, FIRST_STAGE_SERIAL
+from repro.broker.host import (
+    HostConfig,
+    HostError,
+    HostedStageSpec,
+    StageHost,
+    serves_roles,
+)
+
+BOOK_ARGS = dict(space=5, seed=21)
+ITEMS = ["pearl", "coral", "amber", "jade"]
+UPPER = "repro.filters:upper_case"
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def pipeline_specs(discipline, faults=None, transducer=UPPER):
+    faults = faults or {}
+    links = (
+        {"upstream": True} if discipline == "readonly"
+        else {"downstream": True}
+    )
+    source = HostedStageSpec(
+        name="source", role="source", source_items=list(ITEMS),
+        downstream="filter1" if "downstream" in links else None,
+        fault=faults.get("source", FaultPlan()),
+    )
+    filter1 = HostedStageSpec(
+        name="filter1", role="filter", transducer_spec=transducer,
+        upstream="source" if "upstream" in links else None,
+        downstream="sink" if "downstream" in links else None,
+        fault=faults.get("filter1", FaultPlan()),
+    )
+    sink = HostedStageSpec(
+        name="sink", role="sink",
+        upstream="filter1" if "upstream" in links else None,
+        fault=faults.get("sink", FaultPlan()),
+    )
+    return [source, filter1, sink]
+
+
+async def hosted_run(discipline, faults=None, **config_options):
+    broker = Broker(TicketBook(**BOOK_ARGS))
+    await broker.start()
+    config = HostConfig(
+        broker_host=broker.host, broker_port=broker.port,
+        stages=pipeline_specs(discipline, faults),
+        discipline=discipline,
+        ticket_space=BOOK_ARGS["space"], ticket_seed=BOOK_ARGS["seed"],
+        connect_deadline=5.0,
+        **config_options,
+    )
+    host = StageHost(config)
+    try:
+        await asyncio.wait_for(host.run(), timeout=60.0)
+    finally:
+        await broker.close()
+    return broker, host
+
+
+def sink_output(host):
+    return next(
+        stage.collected for stage in host.stages
+        if stage.spec.role == "sink"
+    )
+
+
+class TestHostedPipelines:
+    @pytest.mark.parametrize("discipline", ["readonly", "writeonly"])
+    def test_pipeline_completes_through_the_broker(self, discipline):
+        broker, host = run(hosted_run(discipline))
+        assert sink_output(host) == [item.upper() for item in ITEMS]
+        # Every link went through the relay; nothing bound a data port.
+        assert broker.stats.get("relayed_frames") > 0
+        assert broker.stats.get("registrations") == 3
+
+    def test_stages_get_broker_minted_serials_and_uids(self):
+        _broker, host = run(hosted_run("readonly"))
+        serials = [stage.serial for stage in host.stages]
+        assert serials == [FIRST_STAGE_SERIAL + i for i in range(3)]
+        book = TicketBook(**BOOK_ARGS)
+        for stage in host.stages:
+            assert book.verify(stage.uid)
+            assert f"#{stage.serial}" in stage.label
+
+    def test_conventional_discipline_refused(self):
+        with pytest.raises(ValueError, match="conventional|readonly"):
+            HostConfig(
+                broker_host="127.0.0.1", broker_port=1,
+                stages=pipeline_specs("readonly"),
+                discipline="conventional",
+            )
+
+    def test_duplicate_stage_names_refused(self):
+        specs = pipeline_specs("readonly")
+        specs[2] = HostedStageSpec(
+            name="source", role="sink", upstream="filter1"
+        )
+        with pytest.raises(ValueError, match="unique"):
+            HostConfig(
+                broker_host="127.0.0.1", broker_port=1, stages=specs,
+            )
+
+
+class TestServesRoles:
+    @pytest.mark.parametrize("role,discipline,expected", [
+        ("source", "readonly", (ROLE_PULL,)),
+        ("filter", "readonly", (ROLE_PULL,)),
+        ("sink", "readonly", ()),
+        ("source", "writeonly", ()),
+        ("filter", "writeonly", (ROLE_PUSH,)),
+        ("sink", "writeonly", (ROLE_PUSH,)),
+    ])
+    def test_passive_ends_by_role(self, role, discipline, expected):
+        assert serves_roles(role, discipline) == expected
+
+
+class TestInProcessSupervision:
+    def test_killed_filter_restarts_and_the_stream_recovers(self):
+        faults = {"filter1": FaultPlan(kill_after=3)}
+        _broker, host = run(hosted_run(
+            "readonly", faults=faults, resume=True,
+            max_restarts=2, restart_backoff=0.01,
+        ))
+        assert sink_output(host) == [item.upper() for item in ITEMS]
+        filter_stage = host.stages[1]
+        assert filter_stage.restarts >= 1
+        assert filter_stage.state == "done"
+        assert host.stats.get("stage_crashes") >= 1
+        assert host.stats.get("stage_restarts") >= 1
+
+    def test_spent_restart_budget_fails_the_host(self):
+        # With budget 0 the first crash is final and names the stage.
+        faults = {"filter1": FaultPlan(kill_after=2)}
+        with pytest.raises(HostError, match="filter1.*restart"):
+            run(hosted_run(
+                "readonly", faults=faults, resume=True,
+                max_restarts=0, restart_backoff=0.01,
+            ))
+
+    def test_frame_faults_inject_on_hosted_channels(self):
+        from repro.fault.plan import FrameFault
+
+        # The filter's injector duplicates every DATA frame it sends;
+        # seq-based dedup keeps delivery exactly-once regardless.
+        faults = {"filter1": FaultPlan(frame_faults=[
+            FrameFault(action="duplicate", frame="data", every=1),
+        ])}
+        _broker, host = run(hosted_run(
+            "readonly", faults=faults, resume=True,
+        ))
+        assert sink_output(host) == [item.upper() for item in ITEMS]
+        assert host.stats.get("fault_duplicate") >= len(ITEMS)
+
+    def test_refused_accepts_are_retried_by_the_peer(self):
+        faults = {"filter1": FaultPlan(refuse_accepts=1)}
+        _broker, host = run(hosted_run(
+            "readonly", faults=faults, resume=True,
+            max_restarts=0, restart_backoff=0.01,
+        ))
+        assert sink_output(host) == [item.upper() for item in ITEMS]
+        assert host.stats.get("refused_accepts") == 1
+
+
+class TestIntrospection:
+    def test_control_payloads_describe_the_host(self):
+        _broker, host = run(hosted_run("readonly"))
+        handlers = host.control_handlers()
+        health = handlers["health"]({})
+        assert health["role"] == "host"
+        assert health["hosted"] == 3
+        assert health["states"] == {"done": 3}
+        stages = handlers["stages"]({})
+        assert [row["name"] for row in stages] == ["source", "filter1", "sink"]
+        assert all(row["state"] == "done" for row in stages)
+        assert all(row["serial"] >= FIRST_STAGE_SERIAL for row in stages)
+
+    def test_host_output_lists_sink_items_in_stage_order(self, capsys):
+        _broker, host = run(hosted_run("readonly"))
+        host.emit_output()
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == [item.upper() for item in ITEMS]

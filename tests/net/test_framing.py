@@ -204,9 +204,14 @@ class TestBinaryCodec:
             decode_frame(bytes(wire))
 
     def test_unknown_type_reports_the_unflagged_code(self):
-        from repro.net.framing import BINARY_FLAG
-        wire = HEADER.pack(MAGIC, 122 | BINARY_FLAG, 0)
-        with pytest.raises(FrameError, match="unknown frame type 122"):
+        from repro.net.framing import BINARY_FLAG, CHAN_FLAG
+        wire = HEADER.pack(MAGIC, 38 | BINARY_FLAG, 0)
+        with pytest.raises(FrameError, match="unknown frame type 38"):
+            decode_frame(wire)
+        # Both flag bits strip: a garbage byte that happens to carry
+        # CHAN_FLAG still reports the bare type, not an extension error.
+        wire = HEADER.pack(MAGIC, 38 | BINARY_FLAG | CHAN_FLAG, 0)
+        with pytest.raises(FrameError, match="unknown frame type 38"):
             decode_frame(wire)
 
     def test_unencodable_object_raises(self):

@@ -134,12 +134,53 @@ class TestFailureDiagnostics:
         assert counters["crashes"] >= 1
         assert counters.get("restarts", 0) >= 1
 
+    def test_failure_reasons_distinguish_budget_and_timeout(self, tmp_path):
+        budget = plan(tmp_path / "budget", transducers=[BROKEN])
+        with pytest.raises(FleetError) as info:
+            run_fleet(budget, timeout=30.0)
+        assert info.value.reason == "budget"
+
+        wedged = plan(tmp_path / "wedge")[:2]
+        with pytest.raises(FleetError) as info:
+            run_fleet(wedged, timeout=2.0)
+        assert info.value.reason == "timeout"
+
     def test_stage_logs_land_next_to_stats(self, tmp_path):
         plans = plan(tmp_path, faults={1: FaultPlan(kill_after=4)})
         with pytest.raises(FleetError):
             run_fleet(plans, timeout=30.0)
         assert (tmp_path / "stage-1-filter.stderr.log").exists()
         assert (tmp_path / "stage-0-source.stdout.log").exists()
+
+
+class TestRestartStorm:
+    def test_aggregate_restarts_trip_the_storm_guard(self, tmp_path):
+        # The broken filter crashes instantly, forever.  Its per-member
+        # budget (5) would allow the churn to continue, but the fleet-
+        # wide guard sees 3 restarts inside the window and stops the
+        # run with its own distinct reason.
+        plans = plan(tmp_path, transducers=[BROKEN])
+        with pytest.raises(FleetError, match="restart storm") as info:
+            run_fleet(plans, timeout=30.0, max_restarts=5,
+                      storm_window=30.0, storm_max_restarts=2)
+        assert info.value.reason == "restart-storm"
+        result = info.value.result
+        assert result is not None
+        assert result.supervisor["counters"]["restart_storms"] == 1
+
+    def test_quiet_fleet_never_trips_the_guard(self, tmp_path):
+        result = run_fleet(plan(tmp_path), timeout=60.0,
+                           storm_window=30.0, storm_max_restarts=1)
+        assert result.output == ITEMS
+        assert result.supervisor["counters"].get("restart_storms", 0) == 0
+
+    @pytest.mark.parametrize("knob, bad", [
+        ("storm_window", 0), ("storm_window", -1.0),
+        ("storm_max_restarts", 0), ("storm_max_restarts", 1.5),
+    ])
+    def test_storm_knobs_validated_eagerly(self, tmp_path, knob, bad):
+        with pytest.raises(ValueError, match=knob):
+            FleetSupervisor(plan(tmp_path), **{knob: bad})
 
 
 class TestCleanRun:

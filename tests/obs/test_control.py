@@ -5,7 +5,12 @@ import asyncio
 import pytest
 
 from repro.obs.control import ControlError, query_async, start_control_server
-from repro.obs.top import StageRow, gather_fleet, render_fleet
+from repro.obs.top import (
+    StageRow,
+    _row_from_payloads,
+    gather_fleet,
+    render_fleet,
+)
 
 
 def run(coroutine):
@@ -125,3 +130,25 @@ class TestEdenTop:
         table = render_fleet([row])
         assert "pipe#1" in table
         assert "ms" not in table.splitlines()[1]
+
+    def test_hosted_rows_fill_the_chan_and_host_columns(self):
+        # A stage host reports how many stages it carries and how many
+        # logical channels are open; plain stages show dashes there.
+        host_payloads = _row_from_payloads(
+            "host#2",
+            {"label": "host#2", "role": "host", "uptime_s": 3.0,
+             "hosted": 120, "channels_open": 7},
+            {"counters": {}, "gauges": {}},
+        )
+        broker_payloads = _row_from_payloads(
+            "broker#1",
+            {"label": "broker", "role": "broker", "uptime_s": 3.0},
+            {"counters": {}, "gauges": {"mux_channels_open": 4.0}},
+        )
+        plain = StageRow(label="filter#1", alive=True, role="filter")
+        table = render_fleet([host_payloads, broker_payloads, plain])
+        lines = table.splitlines()
+        assert "CHAN" in lines[0] and "HOST" in lines[0]
+        assert "120" in lines[1] and "7" in lines[1]
+        assert "4" in lines[2]  # channel gauge fallback for the broker
+        assert lines[3].rstrip().endswith("-")
