@@ -54,7 +54,7 @@ RUNTIMES = ("sim", "aio", "tcp")
 
 #: Knobs only the supervised TCP fleet can honour.
 _TCP_ONLY = ("timeout", "max_restarts", "faults", "resume", "io_timeout",
-             "trace", "workdir")
+             "trace", "workdir", "placement_policy")
 
 
 @dataclass
@@ -251,6 +251,7 @@ class Pipeline:
         codec: str | None = None,
         pipeline_depth: int | None = None,
         adaptive: bool | None = None,
+        placement_policy: str | None = None,
     ) -> PipelineResult:
         """Run the pipeline on ``runtime`` and gather a common result.
 
@@ -259,8 +260,11 @@ class Pipeline:
         simulator-only.  The fault-tolerance knobs (``timeout``,
         ``max_restarts``, ``faults``, ``resume``, ``io_timeout``,
         ``trace``, ``workdir``) and the data-plane knobs (``codec``,
-        ``pipeline_depth``, ``adaptive``) are TCP-only — passing one
-        to another runtime is an error, never a silent no-op.
+        ``pipeline_depth``, ``adaptive``, ``placement_policy``) are
+        TCP-only — passing one to another runtime is an error, never a
+        silent no-op.  ``placement_policy`` (``"cores"`` / ``"none"``)
+        governs CPU-core pinning of shard sub-fleets and stage hosts;
+        it needs ``shards > 1`` or hosted placement to act on.
         """
         if runtime not in RUNTIMES:
             raise ValueError(f"runtime must be one of {RUNTIMES}, got {runtime!r}")
@@ -271,6 +275,7 @@ class Pipeline:
                 ("io_timeout", io_timeout), ("trace", trace),
                 ("workdir", workdir), ("codec", codec),
                 ("pipeline_depth", pipeline_depth), ("adaptive", adaptive),
+                ("placement_policy", placement_policy),
             ) if value is not None}
             if given:
                 raise ValueError(
@@ -279,6 +284,19 @@ class Pipeline:
                 )
         if runtime != "sim" and placement is not None:
             raise ValueError("placement is simulator-only (runtime='sim')")
+        if placement_policy is not None:
+            from repro.net.affinity import PLACEMENT_POLICIES
+
+            if placement_policy not in PLACEMENT_POLICIES:
+                raise ValueError(
+                    f"placement_policy must be one of {PLACEMENT_POLICIES}, "
+                    f"got {placement_policy!r}"
+                )
+            if self.shards == 1 and self.placement != "hosted":
+                raise ValueError(
+                    "placement_policy pins shard sub-fleets or stage hosts "
+                    "to cores; it needs shards > 1 or placement='hosted'"
+                )
         if self.placement == "hosted" and runtime != "tcp":
             raise ValueError(
                 f"placement='hosted' needs the TCP runtime, got {runtime!r}"
@@ -315,6 +333,7 @@ class Pipeline:
             trace=bool(trace),
             workdir=workdir,
             codec=codec,
+            placement_policy=placement_policy,
         )
 
     # -- the three backends -------------------------------------------------
@@ -398,6 +417,7 @@ class Pipeline:
         trace: bool,
         workdir: str | None,
         codec: str | None = None,
+        placement_policy: str | None = None,
     ) -> PipelineResult:
         from repro.net.framing import CODEC_JSON
         from repro.net.launch import plan_fleet, plan_sharded_fleet, run_fleet
@@ -421,6 +441,7 @@ class Pipeline:
                 codec=codec,
                 broker=self.broker,
                 max_restarts=max_restarts,
+                placement_policy=placement_policy or "cores",
             )
         elif self.shards == 1:
             plans = plan_fleet(
@@ -447,6 +468,7 @@ class Pipeline:
                 resume=resume,
                 io_timeout=io_timeout,
                 codec=codec,
+                placement_policy=placement_policy or "cores",
             )
         result = run_fleet(plans, timeout=timeout, max_restarts=max_restarts)
         return PipelineResult(

@@ -63,6 +63,8 @@ from repro.fault.inject import (
     killing_transducer,
 )
 from repro.fault.plan import FaultPlan
+from repro.net.affinity import current_affinity, pin_to_core
+from repro.net.bufpool import POOL
 from repro.net.framing import CODEC_JSON, CODECS, FrameError
 from repro.net.handshake import (
     ROLE_PULL,
@@ -199,6 +201,8 @@ class HostConfig:
     trace_file: str | None = None
     output_file: str | None = None
     control_port: int | None = None
+    #: CPU core this host process pins itself to (None = unpinned).
+    cpu: int | None = None
 
     def __post_init__(self) -> None:
         from repro.transput.flow import FlowPolicy
@@ -247,6 +251,7 @@ class HostConfig:
             trace_file=data.get("trace_file"),
             output_file=data.get("output_file"),
             control_port=data.get("control_port"),
+            cpu=data.get("cpu"),
         )
 
     def as_dict(self) -> dict[str, Any]:
@@ -269,6 +274,7 @@ class HostConfig:
             "trace_file": self.trace_file,
             "output_file": self.output_file,
             "control_port": self.control_port,
+            "cpu": self.cpu,
         }
 
 
@@ -354,6 +360,7 @@ class StageHost:
         self.stages = [_HostedStage(spec, self) for spec in config.stages]
         self._by_name = {stage.spec.name: stage for stage in self.stages}
         self.started_mono = time.monotonic()
+        self.pinned = False
 
     # -- broker side ---------------------------------------------------------
 
@@ -652,6 +659,12 @@ class StageHost:
     # -- whole-host lifecycle ------------------------------------------------
 
     async def run(self) -> None:
+        # Core placement first: every hosted stage's tasks and sockets
+        # then wake on this host's core (no-op off Linux / unplanned).
+        self.pinned = pin_to_core(self.config.cpu)
+        if self.config.cpu is not None:
+            self.stats.set_gauge("cpu_core", float(self.config.cpu))
+            self.stats.set_gauge("cpu_pinned", 1.0 if self.pinned else 0.0)
         if self.tracer.enabled:
             mono = time.monotonic()
             self.tracer.emit(
@@ -690,6 +703,7 @@ class StageHost:
 
     def control_handlers(self) -> dict[str, Any]:
         def stats_cmd(_body: dict[str, Any]) -> Any:
+            POOL.export_gauges(self.stats)
             return snapshot_payload(self.stats)
 
         def health_cmd(_body: dict[str, Any]) -> Any:
@@ -710,6 +724,9 @@ class StageHost:
                 "tracing": self.tracer.enabled,
                 "resume": self.config.resume,
                 "codec": self.config.codec,
+                "cpu": self.config.cpu,
+                "pinned": self.pinned,
+                "affinity": current_affinity(),
             }
 
         def stages_cmd(body: dict[str, Any]) -> Any:
@@ -747,6 +764,7 @@ class StageHost:
 
     def emit_stats(self) -> None:
         if self.config.stats_file:
+            POOL.export_gauges(self.stats)
             payload = {
                 "role": "host",
                 "discipline": self.config.discipline,

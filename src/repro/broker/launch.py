@@ -27,6 +27,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.devices import random_lines
 from repro.fault.plan import FaultPlan
+from repro.net.affinity import assign_cores
 from repro.net.framing import CODEC_JSON
 from repro.net.launch import StagePlan, TransducerSpec, _manifest_entry
 from repro.net.stage import pick_free_port
@@ -67,6 +68,7 @@ def plan_hosted_fleet(
     max_restarts: int = 0,
     restart_backoff: float = 0.05,
     park_deadline: float = 10.0,
+    placement_policy: str = "cores",
 ) -> list[StagePlan]:
     """Plan broker + stage hosts for one pipeline.
 
@@ -78,7 +80,9 @@ def plan_hosted_fleet(
     fleet to an externally-run broker instead of planning one;
     ``max_restarts`` is each hosted stage's *in-process* restart
     budget (the supervisor's own budget still governs whole
-    processes).
+    processes).  ``placement_policy`` (``"cores"`` / ``"none"``)
+    round-robins each host process onto its own CPU core exactly as
+    :func:`~repro.net.launch.plan_sharded_fleet` does per shard.
     """
     if discipline not in ("readonly", "writeonly"):
         raise ValueError(
@@ -178,6 +182,7 @@ def plan_hosted_fleet(
         broker_host = broker_host or "127.0.0.1"
 
     # Contiguous runs of stages per host, remainder to the early hosts.
+    host_cores = assign_cores(hosts, placement_policy)
     per_host, extra = divmod(stage_count, hosts)
     cursor = 0
     for index in range(hosts):
@@ -207,6 +212,7 @@ def plan_hosted_fleet(
             "stats_file": stats_file,
             "trace_file": trace_file,
             "control_port": control_port,
+            "cpu": host_cores[index],
         }
         plan_file = workpath / f"{stem}.plan.json"
         with open(plan_file, "w", encoding="utf-8") as handle:
@@ -221,6 +227,7 @@ def plan_hosted_fleet(
             stdout_file=str(workpath / f"{stem}.stdout.log"),
             stderr_file=str(workpath / f"{stem}.stderr.log"),
             module="repro.broker.host",
+            cpu=host_cores[index],
         ))
 
     if trace or control:
@@ -230,6 +237,8 @@ def plan_hosted_fleet(
             "resume": resume,
             "codec": codec,
             "placement": "hosted",
+            "placement_policy": placement_policy,
+            "host_cores": host_cores,
             "broker": f"{broker_host}:{broker_port}",
             "stages": [_manifest_entry(plan, plan.serial) for plan in plans],
         }

@@ -1,0 +1,100 @@
+"""Reusable encode/decode buffers for the hot frame paths.
+
+Profiling the data plane (T13) shows the per-frame cost is dominated
+not by encoding work but by allocation churn: every ``send`` built a
+fresh ``bytearray``, every ``recv`` materialised header, extension and
+body as separate ``bytes`` objects, and every fair-writer pass built a
+new burst buffer.  Lavoie & Hendren's pull-stream formalization
+(PAPERS.md) argues the per-transfer protocol cost can be held to a
+small constant; allocating three objects per frame violates that in
+the constant factor where it hurts most.
+
+A :class:`BufferPool` keeps a bounded free list of ``bytearray``
+buffers.  The contract is deliberately tiny:
+
+- :meth:`acquire` returns an *empty* ``bytearray`` (length 0) whose
+  underlying allocation is recycled from a previous user when one is
+  available (a *hit*) or freshly made (a *miss*).  Append-encoding
+  into it (:func:`repro.net.framing.encode_frame_into`) then reuses
+  the old capacity instead of growing from zero.
+- :meth:`release` clears the buffer and returns it to the free list —
+  unless it grew beyond ``max_buffer`` bytes (one huge frame must not
+  pin a huge allocation forever) or the list is full.
+
+The pool is **per event loop thread by design, not thread-safe**: a
+stage is one process running one loop, so no locking is needed.  Every
+process gets a module-level :data:`POOL` that the framing/protocol/mux
+hot paths share; hit/miss counters surface through
+:meth:`export_gauges` as the ``bufpool_hit_rate`` gauge (plus raw
+``bufpool_hits`` / ``bufpool_misses`` counters) so ``eden-top`` can
+show whether the steady state actually recycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["BufferPool", "POOL"]
+
+
+class BufferPool:
+    """A bounded free list of reusable ``bytearray`` encode buffers."""
+
+    def __init__(self, max_buffers: int = 32,
+                 max_buffer: int = 1 << 20) -> None:
+        if max_buffers < 1:
+            raise ValueError(f"max_buffers must be >= 1, got {max_buffers}")
+        if max_buffer < 1:
+            raise ValueError(f"max_buffer must be >= 1, got {max_buffer}")
+        self.max_buffers = max_buffers
+        self.max_buffer = max_buffer
+        self._free: list[bytearray] = []
+        #: Monotone counters; hit rate = hits / (hits + misses).
+        self.hits = 0
+        self.misses = 0
+        #: Buffers dropped at release for outgrowing ``max_buffer``.
+        self.oversize_drops = 0
+
+    def acquire(self) -> bytearray:
+        """An empty buffer, recycled when the free list has one."""
+        if self._free:
+            self.hits += 1
+            return self._free.pop()
+        self.misses += 1
+        return bytearray()
+
+    def release(self, buffer: bytearray) -> None:
+        """Return ``buffer`` to the pool (cleared; oversize are dropped).
+
+        Safe to call with a buffer the pool never issued — the pool
+        only cares about capacity bounds, not provenance.
+        """
+        if len(buffer) > self.max_buffer:
+            # One 16 MB frame must not turn the free list into a
+            # permanent 16 MB allocation: let the allocator have it.
+            self.oversize_drops += 1
+            return
+        if len(self._free) >= self.max_buffers:
+            return
+        del buffer[:]  # keep the allocation, drop the contents
+        self._free.append(buffer)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of acquires served from the free list (0.0-1.0)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def export_gauges(self, stats: Any) -> None:
+        """Publish pool health into a stats registry (eden-top reads it)."""
+        stats.set_gauge("bufpool_hit_rate", self.hit_rate)
+        stats.set_gauge("bufpool_hits", float(self.hits))
+        stats.set_gauge("bufpool_misses", float(self.misses))
+        stats.set_gauge("bufpool_free", float(len(self._free)))
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+
+#: The per-process default pool the net hot paths share.
+POOL = BufferPool()

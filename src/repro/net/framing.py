@@ -78,21 +78,27 @@ import base64
 import enum
 import json
 import struct
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.core.capability import ChannelCapability
 from repro.core.errors import EdenError
 from repro.core.uid import UID
+from repro.net.bufpool import POOL, BufferPool
 
 __all__ = [
     "FrameError",
     "FrameType",
     "Frame",
     "FrameDecoder",
+    "BufferedFrameReader",
+    "SocketFrameReader",
     "MAGIC",
     "HEADER",
     "MAX_FRAME_BODY",
+    "READ_CHUNK",
+    "DECODER_SHRINK",
     "CODEC_JSON",
     "CODEC_BINARY",
     "CODECS",
@@ -600,6 +606,11 @@ def decode_frame(buffer: bytes) -> tuple[Frame, int]:
     return _decode_body(type_code, view, chan), head + length
 
 
+#: Residual-buffer size above which :class:`FrameDecoder` right-sizes
+#: its allocation once the pending tail drops back to a fraction of it.
+DECODER_SHRINK = 64 * 1024
+
+
 class FrameDecoder:
     """Incremental decoder for a byte stream of frames.
 
@@ -608,18 +619,37 @@ class FrameDecoder:
     tracked by a running offset and the buffer is compacted only once
     the consumed prefix outweighs what remains, so feeding a large
     frame chunk-by-chunk costs O(n), not O(n²) re-copies.
+
+    **Shrink guarantee.**  ``del buffer[:offset]`` compaction trims the
+    *length* but may leave the *allocation* at whatever a large frame
+    grew it to (a CPython resize keeps capacity within a window of the
+    new size).  Once the buffer has ever grown past
+    ``shrink_threshold`` and the pending tail falls to a quarter of
+    that peak, the residue is rebuilt in a fresh right-sized
+    ``bytearray`` — one 16 MB frame no longer pins 16 MB for the life
+    of the connection.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, shrink_threshold: int = DECODER_SHRINK) -> None:
         self._buffer = bytearray()
         self._offset = 0
+        self._shrink = max(1, shrink_threshold)
+        self._peak = 0
 
-    def feed(self, data: bytes) -> list[Frame]:
-        """Absorb ``data``; return every frame completed by it."""
+    def feed_sized(self, data: Any) -> list[tuple[Frame, int]]:
+        """Absorb ``data``; return ``(frame, wire_bytes)`` per frame.
+
+        ``wire_bytes`` is each frame's full on-wire size (header plus
+        any channel extension plus body), so byte accounting survives
+        segment-oriented reads.  Accepts ``bytes``, ``bytearray`` or
+        ``memoryview`` — a ``recv_into`` scratch slice feeds directly.
+        """
         self._buffer += data
         buffer = self._buffer
+        if len(buffer) > self._peak:
+            self._peak = len(buffer)
         offset = self._offset
-        frames: list[Frame] = []
+        frames: list[tuple[Frame, int]] = []
         view = memoryview(buffer)
         try:
             while True:
@@ -642,24 +672,40 @@ class FrameDecoder:
                     body_start += _CHAN_EXT.size
                 if len(buffer) - body_start < length:
                     break
-                frames.append(
+                frames.append((
                     _decode_body(
                         type_code, view[body_start:body_start + length], chan
-                    )
-                )
+                    ),
+                    body_start + length - offset,
+                ))
                 offset = body_start + length
         finally:
             view.release()
         if offset and offset * 2 >= len(buffer):
             del buffer[:offset]
             offset = 0
-        self._offset = offset
+        if (self._peak > self._shrink
+                and (len(buffer) - offset) * 4 <= self._peak):
+            self._buffer = bytearray(memoryview(buffer)[offset:])
+            self._offset = 0
+            self._peak = len(self._buffer)
+        else:
+            self._offset = offset
         return frames
+
+    def feed(self, data: Any) -> list[Frame]:
+        """Absorb ``data``; return every frame completed by it."""
+        return [frame for frame, _size in self.feed_sized(data)]
 
     @property
     def pending(self) -> int:
         """Bytes buffered awaiting a complete frame."""
         return len(self._buffer) - self._offset
+
+    @property
+    def buffer_size(self) -> int:
+        """Current internal buffer length (shrink-fix observability)."""
+        return len(self._buffer)
 
 
 # ---------------------------------------------------------------------------
@@ -705,31 +751,153 @@ async def read_frame(reader: asyncio.StreamReader) -> Frame | None:
     return frame
 
 
+#: Default segment size for the buffered frame readers: big enough to
+#: swallow a pipelined burst in one read, small enough to recycle.
+READ_CHUNK = 64 * 1024
+
+
+class BufferedFrameReader:
+    """Frame source that reads whole segments, not exact field sizes.
+
+    :func:`read_frame_sized` awaits ``readexactly`` two or three times
+    per frame, and each await returns a fresh ``bytes`` object.  This
+    reader instead pulls whatever the transport already has (up to
+    ``chunk`` bytes) and runs it through one incremental
+    :class:`FrameDecoder`, so a single await — and a single buffer
+    append — amortises over every frame the segment carried.  A
+    pipelined burst of small DATA frames decodes out of one read.
+
+    :meth:`recv_nowait` hands out frames that are already decoded
+    without touching the socket; the pull server uses it to batch all
+    the READs one segment carried into a single vectored reply burst.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 chunk: int = READ_CHUNK) -> None:
+        self._reader = reader
+        self._decoder = FrameDecoder()
+        self._chunk = chunk
+        self._ready: deque[tuple[Frame, int]] = deque()
+        self._eof = False
+
+    async def recv(self) -> tuple[Frame | None, int]:
+        """Next frame as ``(frame, wire_bytes)``; ``(None, 0)`` on EOF."""
+        while not self._ready:
+            if self._eof:
+                return None, 0
+            data = await self._reader.read(self._chunk)
+            if not data:
+                self._eof = True
+                if self._decoder.pending:
+                    raise FrameError("connection closed mid-frame")
+                return None, 0
+            self._ready.extend(self._decoder.feed_sized(data))
+        return self._ready.popleft()
+
+    def recv_nowait(self) -> tuple[Frame, int] | None:
+        """An already-decoded ``(frame, wire_bytes)``, else ``None``.
+
+        Never performs I/O, so "nothing ready" only means the last
+        segment is fully served — more may be sitting in the kernel.
+        """
+        return self._ready.popleft() if self._ready else None
+
+    @property
+    def buffered(self) -> int:
+        """Frames decoded and waiting to be served."""
+        return len(self._ready)
+
+
+class SocketFrameReader:
+    """The segment-oriented frame source over a plain blocking socket.
+
+    Reads with ``recv_into`` against one reusable scratch buffer, so
+    steady-state receiving allocates nothing per segment — the true
+    zero-copy read path.  The asyncio data plane cannot use it (a
+    transport owns its socket; raw ``recv`` beside it would corrupt
+    the stream) and uses :class:`BufferedFrameReader` instead; this
+    class serves synchronous tooling, tests, and benchmark probes.
+    """
+
+    def __init__(self, sock: Any, chunk: int = READ_CHUNK) -> None:
+        self._sock = sock
+        self._scratch = bytearray(chunk)
+        self._view = memoryview(self._scratch)
+        self._decoder = FrameDecoder()
+        self._ready: deque[tuple[Frame, int]] = deque()
+        self._eof = False
+
+    def recv(self) -> tuple[Frame | None, int]:
+        """Next frame as ``(frame, wire_bytes)``; ``(None, 0)`` on EOF."""
+        while not self._ready:
+            if self._eof:
+                return None, 0
+            count = self._sock.recv_into(self._view)
+            if not count:
+                self._eof = True
+                if self._decoder.pending:
+                    raise FrameError("connection closed mid-frame")
+                return None, 0
+            self._ready.extend(self._decoder.feed_sized(self._view[:count]))
+        return self._ready.popleft()
+
+
+def _release_after_write(pool: BufferPool | None,
+                         writer: asyncio.StreamWriter,
+                         out: bytearray) -> None:
+    """Recycle ``out`` once the transport can no longer reference it.
+
+    asyncio's built-in transports copy on ``write`` (immediate send,
+    or an extend into their own buffer), so recycling after ``drain``
+    is safe.  For any transport still holding queued bytes we cannot
+    prove the copy, so the buffer is dropped to the allocator instead
+    of recycled — correctness over hit rate.
+    """
+    if pool is None:
+        return
+    transport = getattr(writer, "transport", None)
+    try:
+        busy = transport is not None and transport.get_write_buffer_size() > 0
+    except Exception:
+        busy = True
+    if not busy:
+        pool.release(out)
+
+
 async def write_frame(
-    writer: asyncio.StreamWriter, frame: Frame, codec: str = CODEC_JSON
+    writer: asyncio.StreamWriter, frame: Frame, codec: str = CODEC_JSON,
+    pool: BufferPool | None = POOL,
 ) -> int:
-    """Send one frame; returns the bytes put on the wire."""
-    out = bytearray()
-    encode_frame_into(frame, out, codec)
+    """Send one frame; returns the bytes put on the wire.
+
+    The wire form is built in a pooled ``bytearray`` (recycled
+    allocation, no per-frame garbage); pass ``pool=None`` to opt out.
+    """
+    out = pool.acquire() if pool is not None else bytearray()
+    size = encode_frame_into(frame, out, codec)
     writer.write(out)
     await writer.drain()
-    return len(out)
+    _release_after_write(pool, writer, out)
+    return size
 
 
 async def write_frames(
     writer: asyncio.StreamWriter,
     frames: Sequence[Frame],
     codec: str = CODEC_JSON,
+    pool: BufferPool | None = POOL,
 ) -> int:
     """Send several frames in one coalesced write; returns wire bytes.
 
-    One buffer, one ``write``, one ``drain`` — a pipelined burst of
-    READs (or a credit window of WRITEs) costs a single syscall
-    instead of one per frame.
+    One pooled buffer, one ``write``, one ``drain`` — a pipelined
+    burst of READs (or a credit window of WRITEs) costs a single
+    syscall instead of one per frame.
     """
-    out = bytearray()
+    out = pool.acquire() if pool is not None else bytearray()
     for frame in frames:
         encode_frame_into(frame, out, codec)
+    size = len(out)
     writer.write(out)
     await writer.drain()
-    return len(out)
+    _release_after_write(pool, writer, out)
+    return size

@@ -47,6 +47,7 @@ import repro
 from repro.compat import warn_deprecated
 from repro.devices import random_lines
 from repro.fault.plan import KILLED_EXIT_CODE, FaultPlan
+from repro.net.affinity import assign_cores
 from repro.net.framing import CODEC_JSON
 from repro.net.metrics import NetStats, merge_stats
 from repro.net.stage import pick_free_port
@@ -87,6 +88,8 @@ class StagePlan:
     stderr_file: str | None = None
     #: Which shard's sub-pipeline this stage belongs to (None = unsharded).
     shard: int | None = None
+    #: CPU core this stage pins itself to at startup (None = unpinned).
+    cpu: int | None = None
     #: The ``python -m`` module this process runs.  ``repro.net.stage``
     #: for ordinary stages; ``repro.broker.daemon`` / ``repro.broker.
     #: host`` for hosted placements.
@@ -199,6 +202,7 @@ def plan_fleet(
     io_timeout: float | None = None,
     codec: str = CODEC_JSON,
     shard: int | None = None,
+    cpu: int | None = None,
 ) -> list[StagePlan]:
     """Assign ports/serials and build every stage's command line.
 
@@ -247,6 +251,8 @@ def plan_fleet(
         base += ["--codec", codec]
     if shard is not None:
         base += ["--shard", str(shard)]
+    if cpu is not None:
+        base += ["--cpu", str(cpu)]
     if resume:
         base += ["--resume"]
     if io_timeout is not None:
@@ -294,6 +300,7 @@ def plan_fleet(
             stdout_file=str(workpath / f"{stem}.stdout.log"),
             stderr_file=str(workpath / f"{stem}.stderr.log"),
             shard=shard,
+            cpu=cpu,
         )
         plans.append(plan)
         serial += 1
@@ -369,6 +376,8 @@ def _manifest_entry(plan: StagePlan, serial: int) -> dict[str, Any]:
     }
     if plan.shard is not None:
         entry["shard"] = plan.shard
+    if plan.cpu is not None:
+        entry["cpu"] = plan.cpu
     return entry
 
 
@@ -391,6 +400,7 @@ def plan_sharded_fleet(
     resume: bool = False,
     io_timeout: float | None = None,
     codec: str = CODEC_JSON,
+    placement_policy: str = "cores",
 ) -> list[StagePlan]:
     """Plan ``shards`` parallel copies of the pipeline, one per partition.
 
@@ -403,9 +413,18 @@ def plan_sharded_fleet(
     preserved while shards run on separate cores.  A combined
     ``fleet.json`` covering every stage is written to ``workdir`` for
     ``eden-top``.
+
+    ``placement_policy`` decides where shards run (see
+    :mod:`repro.net.affinity`): ``"cores"`` (default) pins each
+    shard's sub-fleet to one CPU core round-robin over the machine's
+    available cores, so N shards actually occupy N cores instead of
+    stampeding the scheduler; ``"none"`` leaves placement to the OS.
+    On a single-core machine (or non-Linux platforms at runtime) the
+    policy degrades to no pinning.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
+    shard_cores = assign_cores(shards, placement_policy)
     if source_items is None:
         if source_count is None:
             raise ValueError("give source_items or source_count")
@@ -433,6 +452,7 @@ def plan_sharded_fleet(
             io_timeout=io_timeout,
             codec=codec,
             shard=index,
+            cpu=shard_cores[index],
         ))
     if trace or control:
         manifest = {
@@ -441,6 +461,8 @@ def plan_sharded_fleet(
             "resume": resume,
             "codec": codec,
             "shards": shards,
+            "placement_policy": placement_policy,
+            "shard_cores": shard_cores,
             "stages": [_manifest_entry(plan, plan.serial) for plan in plans],
         }
         with open(workpath / "fleet.json", "w", encoding="utf-8") as handle:

@@ -24,8 +24,9 @@ Design rules:
 - **Fair writing.**  All channels share one socket, so a hot channel
   could starve the rest at the send buffer.  The :class:`FairWriter`
   drains per-channel queues round-robin — one frame per channel per
-  pass, coalescing each pass into a single ``write`` — so every
-  channel advances every pass regardless of load skew.  Bounded
+  pass, accumulating passes into a burst it moves with one *vectored*
+  write (``sendmsg`` iovec; see :mod:`repro.net.vectored`) — so
+  fairness costs no joins and no per-frame syscalls.  Bounded
   per-channel queues convert a slow receiver into backpressure on that
   channel's producers (``enqueue`` parks) instead of unbounded memory.
 
@@ -50,15 +51,18 @@ from dataclasses import replace
 from typing import Any, Awaitable, Callable, Sequence
 
 from repro.core.tracing import Tracer
+from repro.net.bufpool import POOL
 from repro.net.framing import (
     CODEC_JSON,
     CODECS,
+    BufferedFrameReader,
     Frame,
     FrameError,
     FrameType,
+    _release_after_write,
     encode_frame_into,
-    read_frame_sized,
 )
+from repro.net.vectored import write_vectored
 from repro.net.handshake import (
     ROLE_PULL,
     ROLE_PUSH,
@@ -86,12 +90,18 @@ _HANDSHAKE_TYPES = (FrameType.HELLO, FrameType.WELCOME)
 
 
 class _ChanQueue:
-    """One channel's outgoing frames awaiting their round-robin turn."""
+    """One channel's outgoing frames awaiting their round-robin turn.
+
+    ``frames`` holds encoded wire forms: pooled ``bytearray`` buffers
+    (ownership passed in by :meth:`MuxChannel.send`, recycled by the
+    fair writer after the socket write) or plain ``bytes`` (injector
+    chunks, control frames).
+    """
 
     __slots__ = ("frames", "bytes", "room", "queued")
 
     def __init__(self) -> None:
-        self.frames: deque[bytes] = deque()
+        self.frames: deque[Any] = deque()
         self.bytes = 0
         self.room = asyncio.Event()
         self.room.set()
@@ -101,21 +111,28 @@ class _ChanQueue:
 class FairWriter:
     """Round-robin frame scheduler over one ``StreamWriter``.
 
-    Writes are coalesced: each scheduling pass takes at most one frame
-    from every pending channel and flushes them as a single ``write``,
-    so fairness costs no extra syscalls.  Per-channel queues are
-    bounded by ``high_water`` bytes — ``enqueue`` parks above it and
-    resumes once the queue drains below half, which is what turns one
-    slow receiver into backpressure on exactly its own senders.
+    Each scheduling pass takes at most one frame from every pending
+    channel; passes accumulate into a burst of up to ``burst_limit``
+    bytes that goes out as one vectored write
+    (:func:`repro.net.vectored.write_vectored` — a single ``sendmsg``
+    iovec on the fast path), so fairness costs neither joins nor
+    per-frame syscalls.  Per-channel queues are bounded by
+    ``high_water`` bytes — ``enqueue`` parks above it and resumes once
+    the queue drains below half, which is what turns one slow receiver
+    into backpressure on exactly its own senders.
     """
 
     def __init__(
         self,
         writer: asyncio.StreamWriter,
         high_water: int = 256 * 1024,
+        burst_limit: int = 128 * 1024,
+        stats: NetStats | None = None,
     ) -> None:
         self.writer = writer
         self.high_water = max(1, high_water)
+        self.burst_limit = max(1, burst_limit)
+        self.stats = stats
         self._queues: dict[int, _ChanQueue] = {}
         self._rotation: deque[int] = deque()
         self._wake = asyncio.Event()
@@ -127,7 +144,7 @@ class FairWriter:
         if self._task is None:
             self._task = asyncio.ensure_future(self._run())
 
-    async def enqueue(self, chan: int, wire: bytes) -> None:
+    async def enqueue(self, chan: int, wire: Any) -> None:
         """Queue one encoded frame for ``chan``; parks when over water."""
         queue = self._queues.setdefault(chan, _ChanQueue())
         while queue.bytes >= self.high_water and not self._closed:
@@ -150,22 +167,30 @@ class FairWriter:
                 await self._wake.wait()
                 self._wake.clear()
                 while self._rotation:
-                    burst = bytearray()
-                    # One frame per pending channel per pass: fairness.
-                    for _ in range(len(self._rotation)):
-                        chan = self._rotation.popleft()
-                        queue = self._queues[chan]
-                        wire = queue.frames.popleft()
-                        queue.bytes -= len(wire)
-                        burst += wire
-                        if queue.frames:
-                            self._rotation.append(chan)
-                        else:
-                            queue.queued = False
-                        if queue.bytes < self.high_water // 2:
-                            queue.room.set()
-                    self.writer.write(burst)
+                    burst: list[Any] = []
+                    burst_bytes = 0
+                    # Accumulate round-robin passes — one frame per
+                    # pending channel per pass: fairness — until the
+                    # burst is worth a syscall.
+                    while self._rotation and burst_bytes < self.burst_limit:
+                        for _ in range(len(self._rotation)):
+                            chan = self._rotation.popleft()
+                            queue = self._queues[chan]
+                            wire = queue.frames.popleft()
+                            queue.bytes -= len(wire)
+                            burst.append(wire)
+                            burst_bytes += len(wire)
+                            if queue.frames:
+                                self._rotation.append(chan)
+                            else:
+                                queue.queued = False
+                            if queue.bytes < self.high_water // 2:
+                                queue.room.set()
+                    write_vectored(self.writer, burst, self.stats)
                     await self.writer.drain()
+                    for wire in burst:
+                        if isinstance(wire, bytearray):
+                            _release_after_write(POOL, self.writer, wire)
         except asyncio.CancelledError:
             raise
         except (ConnectionError, OSError) as error:
@@ -232,13 +257,23 @@ class MuxChannel:
     # -- Connection surface --------------------------------------------------
 
     async def send(self, frame: Frame) -> None:
-        out = bytearray()
-        wire_bytes = encode_frame_into(
-            replace(frame, chan=self.chan), out, self.codec
-        )
         if self.injector is None:
-            await self.mux.send_wire(self.chan, bytes(out))
+            out = POOL.acquire()
+            try:
+                wire_bytes = encode_frame_into(
+                    replace(frame, chan=self.chan), out, self.codec
+                )
+            except FrameError:
+                POOL.release(out)
+                raise
+            # Ownership of the pooled buffer passes to the fair
+            # writer, which recycles it after the socket write.
+            await self.mux.send_wire(self.chan, out)
         else:
+            out = bytearray()
+            wire_bytes = encode_frame_into(
+                replace(frame, chan=self.chan), out, self.codec
+            )
             chunks = await self.injector.outgoing(
                 frame.type.name, bytes(out), self.chan
             )
@@ -257,6 +292,15 @@ class MuxChannel:
         for frame in frames:
             await self.send(frame)
 
+    def _note_received(self, frame: Frame, wire_bytes: int) -> None:
+        if frame.type not in _HANDSHAKE_TYPES:
+            self.stats.note_received(frame, wire_bytes)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.clock(), "recv", self.label,
+                frame=frame.type.name, bytes=wire_bytes, chan=self.chan,
+            )
+
     async def recv(self) -> Frame | None:
         if self._hung_up and self._inbox.empty():
             return None
@@ -265,13 +309,23 @@ class MuxChannel:
             self._hung_up = True
             return None
         frame, wire_bytes = item
-        if frame.type not in _HANDSHAKE_TYPES:
-            self.stats.note_received(frame, wire_bytes)
-        if self.tracer is not None:
-            self.tracer.emit(
-                self.clock(), "recv", self.label,
-                frame=frame.type.name, bytes=wire_bytes, chan=self.chan,
-            )
+        self._note_received(frame, wire_bytes)
+        return frame
+
+    def recv_nowait(self) -> Frame | None:
+        """An inbound frame already queued on this channel, else ``None``.
+
+        The ``Connection`` surface the pull server's reply coalescing
+        expects; never blocks and never consumes the hangup marker.
+        """
+        if self._hung_up or self._inbox.empty():
+            return None
+        item = self._inbox.get_nowait()
+        if item is None:
+            self._hung_up = True
+            return None
+        frame, wire_bytes = item
+        self._note_received(frame, wire_bytes)
         return frame
 
     async def close(self) -> None:
@@ -325,7 +379,7 @@ class ChannelMux:
         self.clock = clock
         self.label = label
         self.channels: dict[int, MuxChannel] = {}
-        self._fair = FairWriter(writer)
+        self._fair = FairWriter(writer, stats=self.stats)
         self._read_task: asyncio.Task[None] | None = None
         self._closed = False
         self.error: BaseException | None = None
@@ -384,9 +438,10 @@ class ChannelMux:
 
     async def _read_loop(self) -> None:
         error: BaseException | None = None
+        frames = BufferedFrameReader(self.reader)
         try:
             while True:
-                frame, wire_bytes = await read_frame_sized(self.reader)
+                frame, wire_bytes = await frames.recv()
                 if frame is None:
                     break
                 self.stats.bump("mux_frames_received")

@@ -62,19 +62,22 @@ from repro.core.errors import (
     StreamProtocolError,
 )
 from repro.core.tracing import Tracer
+from repro.net.bufpool import POOL
 from repro.net.framing import (
     CODEC_JSON,
     CODECS,
+    BufferedFrameReader,
     Frame,
     FrameError,
     FrameType,
+    _release_after_write,
     attach_trace,
     encode_frame,
     encode_frame_into,
     frame_trace,
-    read_frame_sized,
     write_frame,
 )
+from repro.net.vectored import write_vectored
 from repro.obs.context import bind_span, current_span
 from repro.obs.spans import SPAN_KIND, SpanContext, SpanIds
 from repro.net.handshake import (
@@ -168,6 +171,9 @@ class Connection:
         #: to the negotiated codec once the WELCOME settles it (inbound
         #: frames are self-describing, so only sending needs a mode).
         self.codec = codec
+        #: Segment-oriented inbound frame source, created on first
+        #: recv — after the handshake's raw reads have finished.
+        self._frames: BufferedFrameReader | None = None
 
     async def send(self, frame: Frame) -> None:
         if self.injector is None:
@@ -186,7 +192,12 @@ class Connection:
             )
 
     async def send_many(self, frames: Sequence[Frame]) -> None:
-        """Send several frames as one coalesced write (one syscall).
+        """Send several frames as one vectored burst (one syscall).
+
+        Each frame is encoded into its own pooled buffer and the burst
+        goes out through :func:`repro.net.vectored.write_vectored` —
+        one ``sendmsg`` iovec when the transport allows it, the
+        joined-write fallback (byte-identical stream) otherwise.
 
         Under fault injection each frame still passes through the
         injector individually — a dropped READ must stay droppable.
@@ -197,10 +208,21 @@ class Connection:
             for frame in frames:
                 await self.send(frame)
             return
-        out = bytearray()
-        sizes = [encode_frame_into(frame, out, self.codec) for frame in frames]
-        self.writer.write(out)
+        buffers: list[bytearray] = []
+        sizes: list[int] = []
+        try:
+            for frame in frames:
+                out = POOL.acquire()
+                buffers.append(out)
+                sizes.append(encode_frame_into(frame, out, self.codec))
+        except FrameError:
+            for out in buffers:
+                POOL.release(out)
+            raise
+        write_vectored(self.writer, buffers, self.stats)
         await self.writer.drain()
+        for out in buffers:
+            _release_after_write(POOL, self.writer, out)
         now = self.clock()
         for frame, wire_bytes in zip(frames, sizes):
             self.stats.note_sent(frame, wire_bytes, self.end_is_request)
@@ -210,15 +232,37 @@ class Connection:
                     frame=frame.type.name, bytes=wire_bytes,
                 )
 
+    def _note_received(self, frame: Frame, wire_bytes: int) -> None:
+        self.stats.note_received(frame, wire_bytes)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.clock(), "recv", self.label,
+                frame=frame.type.name, bytes=wire_bytes,
+            )
+
     async def recv(self) -> Frame | None:
-        frame, wire_bytes = await read_frame_sized(self.reader)
+        if self._frames is None:
+            self._frames = BufferedFrameReader(self.reader)
+        frame, wire_bytes = await self._frames.recv()
         if frame is not None:
-            self.stats.note_received(frame, wire_bytes)
-            if self.tracer is not None:
-                self.tracer.emit(
-                    self.clock(), "recv", self.label,
-                    frame=frame.type.name, bytes=wire_bytes,
-                )
+            self._note_received(frame, wire_bytes)
+        return frame
+
+    def recv_nowait(self) -> Frame | None:
+        """An inbound frame already decoded from a past segment, else None.
+
+        Performs no I/O, so "None" only means the last read segment is
+        fully consumed.  The pull server uses this to discover that a
+        pipelined client packed several READs into one segment — and
+        answer them all in one vectored burst.
+        """
+        if self._frames is None:
+            return None
+        entry = self._frames.recv_nowait()
+        if entry is None:
+            return None
+        frame, wire_bytes = entry
+        self._note_received(frame, wire_bytes)
         return frame
 
     async def close(self) -> None:
@@ -911,6 +955,11 @@ async def serve_pull(
                                     batch_limit, logs)
 
 
+#: Cap on READ replies coalesced into one vectored burst (bounds both
+#: reply latency and the number of pooled buffers held at once).
+_REPLY_BURST = 64
+
+
 async def _serve_pull_legacy(
     connection: Connection,
     readables: ReadableMap,
@@ -921,48 +970,78 @@ async def _serve_pull_legacy(
         frame = await connection.recv()
         if frame is None:
             return True
-        if frame.type is not FrameType.READ:
-            await connection.send(Frame(FrameType.ERROR, {
-                "code": "bad-frame",
-                "message": f"pull connection got {frame.type.name}",
-            }))
-            raise WireError(f"pull connection got {frame.type.name}")
-        channel = frame.body.get("channel")
-        batch = max(1, int(frame.body.get("batch", 1)))
-        if batch_limit is not None:
-            batch = min(batch, batch_limit)
-        try:
-            readable = _resolve_channel(readables, channel)
-        except NoSuchChannelError as error:
-            await connection.send(Frame(FrameType.ERROR, {
-                "code": "no-such-channel", "message": str(error),
-            }))
-            continue
-        key = _channel_key(channel)
-        if key in ended:
-            await connection.send(Frame(FrameType.END, {"channel": channel}))
-            continue
-        # Serve under the READ's span so any request this read triggers
-        # (an upstream pull, a downstream push) parents itself on it.
-        ctx = frame_trace(frame)
-        started = connection.clock()
-        with bind_span(ctx):
-            transfer = await readable.read(batch)
-        connection.stats.observe(
-            "serve_read_ms", (connection.clock() - started) * 1000.0
-        )
-        # A buffer hands back records deposited under another trace;
-        # forward that origin so the reader joins the datum's trace.
-        origin = getattr(readable, "last_read_origin", None)
-        if transfer.at_end:
-            ended.add(key)
-            body = {"channel": channel}
-            await connection.send(Frame(FrameType.END, attach_trace(body, origin)))
+        # A pipelined client packs several READs into one segment; every
+        # one already decoded (recv_nowait) is answered in this burst,
+        # so the reply side costs one vectored write, not one write per
+        # request.  Replies stay in request order.
+        replies: list[Frame] = []
+        fatal: WireError | None = None
+        while True:
+            reply = None
+            if frame.type is not FrameType.READ:
+                reply = Frame(FrameType.ERROR, {
+                    "code": "bad-frame",
+                    "message": f"pull connection got {frame.type.name}",
+                })
+                fatal = WireError(f"pull connection got {frame.type.name}")
+            else:
+                channel = frame.body.get("channel")
+                batch = max(1, int(frame.body.get("batch", 1)))
+                if batch_limit is not None:
+                    batch = min(batch, batch_limit)
+                readable = None
+                try:
+                    readable = _resolve_channel(readables, channel)
+                except NoSuchChannelError as error:
+                    reply = Frame(FrameType.ERROR, {
+                        "code": "no-such-channel", "message": str(error),
+                    })
+                if readable is not None:
+                    key = _channel_key(channel)
+                    if key in ended:
+                        reply = Frame(FrameType.END, {"channel": channel})
+                    else:
+                        # Serve under the READ's span so any request
+                        # this read triggers (an upstream pull, a
+                        # downstream push) parents itself on it.
+                        ctx = frame_trace(frame)
+                        started = connection.clock()
+                        with bind_span(ctx):
+                            transfer = await readable.read(batch)
+                        connection.stats.observe(
+                            "serve_read_ms",
+                            (connection.clock() - started) * 1000.0,
+                        )
+                        # A buffer hands back records deposited under
+                        # another trace; forward that origin so the
+                        # reader joins the datum's trace.
+                        origin = getattr(readable, "last_read_origin", None)
+                        if transfer.at_end:
+                            ended.add(key)
+                            body = {"channel": channel}
+                            reply = Frame(
+                                FrameType.END, attach_trace(body, origin)
+                            )
+                        else:
+                            items = list(transfer.items)
+                            body = {"items": items, "channel": channel}
+                            reply = Frame(
+                                FrameType.DATA, attach_trace(body, origin)
+                            )
+                            connection.stats.bump("records_out", len(items))
+            replies.append(reply)
+            if fatal is not None or len(replies) >= _REPLY_BURST:
+                break
+            nxt = connection.recv_nowait()
+            if nxt is None:
+                break
+            frame = nxt
+        if len(replies) == 1:
+            await connection.send(replies[0])
         else:
-            items = list(transfer.items)
-            body = {"items": items, "channel": channel}
-            await connection.send(Frame(FrameType.DATA, attach_trace(body, origin)))
-            connection.stats.bump("records_out", len(items))
+            await connection.send_many(replies)
+        if fatal is not None:
+            raise fatal
 
 
 async def _serve_pull_resume(

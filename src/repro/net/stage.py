@@ -76,6 +76,8 @@ from repro.fault.inject import (
     killing_transducer,
 )
 from repro.fault.plan import FaultPlan
+from repro.net.affinity import current_affinity, pin_to_core
+from repro.net.bufpool import POOL
 from repro.net.handshake import (
     ROLE_PULL,
     ROLE_PUSH,
@@ -176,6 +178,7 @@ class StageConfig:
     io_timeout: float | None = None
     codec: str = CODEC_JSON
     shard: int | None = None
+    cpu: int | None = None
 
     def __post_init__(self) -> None:
         if self.codec not in CODECS:
@@ -184,6 +187,10 @@ class StageConfig:
             not isinstance(self.shard, int) or self.shard < 0
         ):
             raise ValueError(f"shard must be >= 0 or None, got {self.shard!r}")
+        if self.cpu is not None and (
+            not isinstance(self.cpu, int) or self.cpu < 0
+        ):
+            raise ValueError(f"cpu must be >= 0 or None, got {self.cpu!r}")
         if self.role not in ROLES:
             raise ValueError(f"role must be one of {ROLES}, got {self.role!r}")
         if self.discipline not in DISCIPLINES:
@@ -214,6 +221,12 @@ class _Stage:
         self.label = f"{config.role}/{config.discipline}#{config.serial}"
         if config.shard is not None:
             self.label = f"s{config.shard}:{self.label}"
+        # Core placement first, so every task/socket this stage creates
+        # wakes on its shard's core (no-op off Linux or when unplanned).
+        self.pinned = pin_to_core(config.cpu)
+        if config.cpu is not None:
+            self.stats.set_gauge("cpu_core", float(config.cpu))
+            self.stats.set_gauge("cpu_pinned", 1.0 if self.pinned else 0.0)
         self.collected: list[Any] | None = None
         # Span IDs are prefixed by the ticket serial: unique across the
         # fleet with zero coordination (and zero randomness).
@@ -464,6 +477,7 @@ class _Stage:
         from repro.core.tracing import event_to_dict
 
         def stats_cmd(_body: dict[str, Any]) -> Any:
+            POOL.export_gauges(self.stats)
             return snapshot_payload(self.stats)
 
         def spans_cmd(body: dict[str, Any]) -> Any:
@@ -486,6 +500,9 @@ class _Stage:
                 "fault": self.config.fault.as_dict(),
                 "codec": self.config.codec,
                 "shard": self.config.shard,
+                "cpu": self.config.cpu,
+                "pinned": self.pinned,
+                "affinity": current_affinity(),
             }
 
         return {"stats": stats_cmd, "spans": spans_cmd, "health": health_cmd}
@@ -505,6 +522,7 @@ class _Stage:
 
     def emit_stats(self) -> None:
         if self.config.stats_file:
+            POOL.export_gauges(self.stats)
             payload = {
                 "role": self.config.role,
                 "discipline": self.config.discipline,
@@ -592,6 +610,9 @@ def _parser() -> argparse.ArgumentParser:
                         help="preferred frame body codec (negotiated per link)")
     parser.add_argument("--shard", type=int, default=None,
                         help="shard index of this stage's sub-pipeline")
+    parser.add_argument("--cpu", type=int, default=None, metavar="CORE",
+                        help="pin this stage to a CPU core (Linux; no-op "
+                             "elsewhere)")
     parser.add_argument("--ticket-space", type=int, default=0)
     parser.add_argument("--ticket-seed", type=int, default=0)
     parser.add_argument("--serial", type=int, default=0,
@@ -662,6 +683,7 @@ def config_from_args(argv: Sequence[str] | None = None) -> StageConfig:
         io_timeout=options.io_timeout,
         codec=options.codec,
         shard=options.shard,
+        cpu=options.cpu,
     )
 
 

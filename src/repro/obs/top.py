@@ -4,9 +4,13 @@ Polls every stage's control port (``health`` + ``stats``) and renders
 one row per stage: role, shard, uptime, request/reply counts, bytes
 moved, credit-window occupancy, per-stage record throughput, the
 adaptive autotuner's live batch/credit choice (``AUTO b/w``, shown
-when the stage runs ``--adaptive``) and read-latency quantiles.  Point it at the
-``fleet.json`` manifest :func:`repro.net.launch.plan_fleet` writes
-(``--fleet``), or at explicit ``--stage host:port`` addresses.
+when the stage runs ``--adaptive``), read-latency quantiles and the
+stage's CPU pin (``CPU`` — the planned core, suffixed ``?`` when the
+pin did not take, e.g. off Linux).  A footer line aggregates the
+fleet-wide frame-buffer pool hit rate when any stage exports
+``bufpool_*`` gauges.  Point it at the ``fleet.json`` manifest
+:func:`repro.net.launch.plan_fleet` writes (``--fleet``), or at
+explicit ``--stage host:port`` addresses.
 
 ``--once`` prints a single snapshot and exits — that mode is what the
 tests drive; the default loops every ``--interval`` seconds until
@@ -50,6 +54,8 @@ class StageRow:
     channels: str = "-"
     #: Stages hosted in-process (stage hosts only).
     hosted: str = "-"
+    #: Planned CPU core ("3"), "3?" when the pin failed, "-" unpinned.
+    cpu: str = "-"
     gauges: dict[str, float] = field(default_factory=dict)
 
 
@@ -92,6 +98,10 @@ def _row_from_payloads(
         row.channels = str(int(gauges["mux_channels_open"]))
     if health.get("hosted") is not None:
         row.hosted = str(int(health["hosted"]))
+    if health.get("cpu") is not None:
+        row.cpu = str(int(health["cpu"]))
+        if not health.get("pinned"):
+            row.cpu += "?"
     histogram_data = stats.get("histograms", {}).get("read_rtt_ms")
     if isinstance(histogram_data, dict):
         try:
@@ -124,7 +134,7 @@ def render_fleet(rows: Sequence[StageRow]) -> str:
     """The fleet table as text (pure, so tests can assert on it)."""
     headers = ("STAGE", "ROLE", "SHARD", "UP", "INVOKES", "REPLIES", "BYTES",
                "CREDIT", "TPUT rec/s", "AUTO b/w", "READ p50/p95",
-               "CHAN", "HOST")
+               "CHAN", "HOST", "CPU")
     table: list[tuple[str, ...]] = [headers]
     for row in rows:
         if not row.alive:
@@ -140,7 +150,7 @@ def render_fleet(rows: Sequence[StageRow]) -> str:
             row.label, row.role, row.shard, f"{row.uptime_s:.1f}s",
             str(row.invocations), str(row.replies), str(row.bytes_moved),
             row.credit, throughput, row.autotune, latency,
-            row.channels, row.hosted,
+            row.channels, row.hosted, row.cpu,
         ))
     widths = [
         max(len(line[column]) for line in table)
@@ -150,7 +160,21 @@ def render_fleet(rows: Sequence[StageRow]) -> str:
         "  ".join(cell.ljust(width) for cell, width in zip(line, widths)).rstrip()
         for line in table
     ]
+    footer = _pool_footer(rows)
+    if footer:
+        rendered.append(footer)
     return "\n".join(rendered)
+
+
+def _pool_footer(rows: Sequence[StageRow]) -> str | None:
+    """Fleet-wide frame-buffer pool line, or ``None`` without gauges."""
+    hits = sum(row.gauges.get("bufpool_hits", 0.0) for row in rows)
+    misses = sum(row.gauges.get("bufpool_misses", 0.0) for row in rows)
+    if not hits and not misses:
+        return None
+    rate = hits / (hits + misses)
+    return (f"bufpool: {rate:.0%} hit rate "
+            f"({int(hits)} hits / {int(misses)} misses)")
 
 
 def _targets_from_args(options: argparse.Namespace) -> list[tuple[str, str, int]]:

@@ -19,7 +19,8 @@ def test_api_docs_are_fresh():
 def test_required_documents_exist():
     for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE",
                  "docs/architecture.md", "docs/protocol.md",
-                 "docs/paper_map.md", "docs/api.md"):
+                 "docs/paper_map.md", "docs/api.md",
+                 "docs/performance.md"):
         path = ROOT / name
         assert path.exists(), name
         assert len(path.read_text()) > 200, name

@@ -1,0 +1,72 @@
+"""Unit tests for the frame buffer pool."""
+
+import pytest
+
+from repro.core.stats import KernelStats
+from repro.net.bufpool import BufferPool
+
+
+class TestAcquireRelease:
+    def test_first_acquire_is_a_miss(self):
+        pool = BufferPool()
+        buffer = pool.acquire()
+        assert buffer == bytearray()
+        assert (pool.hits, pool.misses) == (0, 1)
+
+    def test_released_buffer_is_recycled(self):
+        pool = BufferPool()
+        buffer = pool.acquire()
+        buffer += b"some frame bytes"
+        pool.release(buffer)
+        again = pool.acquire()
+        assert again is buffer
+        assert again == bytearray()  # cleared, not carrying old bytes
+        assert (pool.hits, pool.misses) == (1, 1)
+
+    def test_free_list_is_bounded(self):
+        pool = BufferPool(max_buffers=2)
+        buffers = [pool.acquire() for _ in range(5)]
+        for buffer in buffers:
+            pool.release(buffer)
+        assert len(pool) == 2
+
+    def test_oversize_buffers_are_dropped_not_pooled(self):
+        pool = BufferPool(max_buffer=64)
+        buffer = pool.acquire()
+        buffer += b"x" * 65
+        pool.release(buffer)
+        assert len(pool) == 0
+        assert pool.oversize_drops == 1
+
+    def test_foreign_buffers_are_accepted(self):
+        pool = BufferPool()
+        pool.release(bytearray(b"never acquired"))
+        assert len(pool) == 1
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(max_buffers=0)
+        with pytest.raises(ValueError):
+            BufferPool(max_buffer=0)
+
+
+class TestHealth:
+    def test_hit_rate(self):
+        pool = BufferPool()
+        assert pool.hit_rate == 0.0
+        first = pool.acquire()
+        pool.release(first)
+        pool.acquire()
+        assert pool.hit_rate == 0.5
+
+    def test_export_gauges(self):
+        pool = BufferPool()
+        pool.release(pool.acquire())
+        pool.acquire()
+        stats = KernelStats()
+        pool.export_gauges(stats)
+        gauges = stats.gauges()
+        assert gauges["bufpool_hit_rate"] == 0.5
+        assert gauges["bufpool_hits"] == 1.0
+        assert gauges["bufpool_misses"] == 1.0
+        assert gauges["bufpool_free"] == 0.0

@@ -258,3 +258,152 @@ class TestDecoderCompaction:
         for start in range(0, len(wire), 13):
             out.extend(decoder.feed(wire[start:start + 13]))
         assert out == frames
+
+
+class TestDecoderShrink:
+    """After one huge frame the residual buffer must give the memory
+    back: a long-lived connection that once saw a 4 MB frame must not
+    hold a 4 MB bytearray forever."""
+
+    def test_buffer_shrinks_after_large_frame(self):
+        import sys
+
+        from repro.net.framing import DECODER_SHRINK
+
+        big = Frame(FrameType.DATA, {"items": ["x" * (1 << 22)]})
+        small = Frame(FrameType.READ, {"batch": 1})
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(big)) == [big]
+        # A few small frames later the backing allocation is small
+        # again (well under the shrink threshold, not ~4 MB).
+        for _ in range(3):
+            assert decoder.feed(encode_frame(small)) == [small]
+        assert sys.getsizeof(decoder._buffer) < DECODER_SHRINK
+
+    def test_shrink_preserves_partial_frames(self):
+        big = Frame(FrameType.DATA, {"items": ["y" * (1 << 21)]})
+        tail = Frame(FrameType.DATA, {"items": ["tail"]})
+        wire = encode_frame(big) + encode_frame(tail)
+        decoder = FrameDecoder()
+        # Deliver everything except the last 5 bytes, then the rest:
+        # the shrink rebuild must carry the partial tail over intact.
+        assert decoder.feed(wire[:-5]) == [big]
+        assert decoder.pending == len(encode_frame(tail)) - 5
+        assert decoder.feed(wire[-5:]) == [tail]
+        assert decoder.pending == 0
+
+    def test_small_traffic_never_shrinks(self):
+        frame = Frame(FrameType.READ, {"batch": 2})
+        decoder = FrameDecoder(shrink_threshold=1 << 16)
+        for _ in range(100):
+            decoder.feed(encode_frame(frame))
+        assert decoder.buffer_size <= len(encode_frame(frame))
+
+    def test_feed_sized_reports_wire_lengths(self):
+        frames = [
+            Frame(FrameType.DATA, {"items": ["a" * n]}) for n in (1, 50, 9)
+        ]
+        wire = b"".join(encode_frame(frame) for frame in frames)
+        decoder = FrameDecoder()
+        sized = decoder.feed_sized(wire)
+        assert [frame for frame, _size in sized] == frames
+        assert [size for _frame, size in sized] == [
+            len(encode_frame(frame)) for frame in frames
+        ]
+        assert sum(size for _frame, size in sized) == len(wire)
+
+    def test_feed_sized_accepts_memoryview(self):
+        frame = Frame(FrameType.DATA, {"items": ["mv"]})
+        wire = encode_frame(frame)
+        decoder = FrameDecoder()
+        assert decoder.feed_sized(memoryview(wire)) == [(frame, len(wire))]
+
+
+class TestBufferedFrameReader:
+    """Segment-oriented reads: one read() call amortises over every
+    frame the segment carried."""
+
+    def _serve(self, payload: bytes):
+        import asyncio
+
+        from repro.net.framing import BufferedFrameReader
+
+        async def run():
+            received = []
+            errors = []
+            done = asyncio.Event()
+
+            async def handle(reader, _writer):
+                frames = BufferedFrameReader(reader)
+                try:
+                    while True:
+                        frame, size = await frames.recv()
+                        if frame is None:
+                            break
+                        received.append((frame, size))
+                        # Drain whatever the segment already decoded.
+                        while True:
+                            extra = frames.recv_nowait()
+                            if extra is None:
+                                break
+                            received.append(extra)
+                except FrameError as error:
+                    errors.append(error)
+                finally:
+                    done.set()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            _reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(payload)
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.wait_for(done.wait(), 5.0)
+            server.close()
+            await server.wait_closed()
+            if errors:
+                raise errors[0]
+            return received
+
+        import asyncio as _asyncio
+
+        return _asyncio.run(run())
+
+    def test_roundtrips_with_wire_sizes(self):
+        frames = [
+            Frame(FrameType.DATA, {"items": [f"r{i}"]}) for i in range(20)
+        ]
+        wire = [encode_frame(frame) for frame in frames]
+        received = self._serve(b"".join(wire))
+        assert [frame for frame, _size in received] == frames
+        assert [size for _frame, size in received] == [len(w) for w in wire]
+
+    def test_eof_mid_frame_raises(self):
+        wire = encode_frame(Frame(FrameType.DATA, {"items": ["cut"]}))
+        with pytest.raises(FrameError, match="mid-frame"):
+            self._serve(wire[:-3])
+
+
+class TestSocketFrameReader:
+    def test_recv_into_roundtrip(self):
+        import socket
+
+        from repro.net.framing import SocketFrameReader
+
+        frames = [
+            Frame(FrameType.DATA, {"items": ["s", i]}) for i in range(10)
+        ]
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"".join(encode_frame(frame) for frame in frames))
+            left.close()
+            reader = SocketFrameReader(right, chunk=32)
+            received = []
+            while True:
+                frame, _size = reader.recv()
+                if frame is None:
+                    break
+                received.append(frame)
+            assert received == frames
+        finally:
+            right.close()

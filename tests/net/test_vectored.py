@@ -1,0 +1,145 @@
+"""Vectored socket writes: parity with joined writes, safety fallbacks.
+
+The contract under test: whichever path :func:`write_vectored` takes —
+one ``sendmsg`` iovec, a partial send completed by the transport, or
+the joined single ``write`` fallback — the byte stream on the wire is
+identical.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.stats import KernelStats
+from repro.net.framing import Frame, FrameType, encode_frame
+from repro.net.vectored import IOV_MAX, sendmsg_supported, write_vectored
+
+
+def burst(count: int = 8) -> list[bytes]:
+    return [
+        encode_frame(Frame(FrameType.DATA, {"items": [f"record-{i}"] * 3}))
+        for i in range(count)
+    ]
+
+
+async def _echo_received(buffers, **kwargs):
+    """Send ``buffers`` through a real loopback socket; return the
+    bytes the peer read and the stats the writer recorded."""
+    received = bytearray()
+    done = asyncio.Event()
+
+    async def handle(reader, _writer):
+        while True:
+            chunk = await reader.read(1 << 16)
+            if not chunk:
+                break
+            received.extend(chunk)
+        done.set()
+
+    server = await asyncio.start_server(handle, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    _reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    stats = KernelStats()
+    total = write_vectored(writer, buffers, stats, **kwargs)
+    await writer.drain()
+    writer.close()
+    await writer.wait_closed()
+    await asyncio.wait_for(done.wait(), 5.0)
+    server.close()
+    await server.wait_closed()
+    return bytes(received), stats, total
+
+
+class TestParity:
+    def test_vectored_bytes_identical_to_joined(self):
+        buffers = burst()
+        received, stats, total = asyncio.run(_echo_received(buffers))
+        assert received == b"".join(buffers)
+        assert total == len(received)
+        # A live loopback transport takes the sendmsg fast path.
+        assert stats.get("sendmsg_writes") + stats.get(
+            "sendmsg_partial_writes") + stats.get("coalesced_writes") >= 1
+
+    def test_mixed_buffer_types(self):
+        frames = burst(3)
+        buffers = [frames[0], bytearray(frames[1]), memoryview(frames[2])]
+        received, _stats, _total = asyncio.run(_echo_received(buffers))
+        assert received == b"".join(bytes(b) for b in buffers)
+
+    def test_burst_wider_than_iov_max(self):
+        buffers = [b"x"] * (IOV_MAX + 7)
+        received, _stats, total = asyncio.run(_echo_received(buffers))
+        assert received == b"x" * (IOV_MAX + 7)
+        assert total == IOV_MAX + 7
+
+    def test_buffered_transport_falls_back_in_order(self):
+        """Bytes already queued on the transport must go first: a
+        non-empty write buffer forces the joined fallback."""
+
+        async def run():
+            received = bytearray()
+            done = asyncio.Event()
+
+            async def handle(reader, _writer):
+                while True:
+                    chunk = await reader.read(1 << 16)
+                    if not chunk:
+                        break
+                    received.extend(chunk)
+                done.set()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            _reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            # Shrink the kernel's appetite so a large plain write leaves
+            # bytes in the transport buffer, then write the burst.
+            writer.transport.set_write_buffer_limits(high=0, low=0)
+            head = b"h" * (1 << 22)
+            writer.write(head)
+            stats = KernelStats()
+            write_vectored(writer, [b"tail-1", b"tail-2"], stats)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.wait_for(done.wait(), 10.0)
+            server.close()
+            await server.wait_closed()
+            return bytes(received), stats
+
+        received, stats = asyncio.run(run())
+        assert received == b"h" * (1 << 22) + b"tail-1tail-2"
+        if stats.get("sendmsg_writes"):
+            pytest.fail("took the fast path over a non-empty transport buffer")
+
+
+class TestFallbacks:
+    class SinkWriter:
+        """A writer test double without any transport surface."""
+
+        def __init__(self):
+            self.writes = []
+
+        def write(self, data):
+            self.writes.append(bytes(data))
+
+    def test_no_transport_means_joined_write(self):
+        writer = self.SinkWriter()
+        stats = KernelStats()
+        total = write_vectored(writer, [b"ab", b"cd"], stats)
+        assert writer.writes == [b"abcd"]
+        assert total == 4
+        assert stats.get("coalesced_writes") == 1
+        assert stats.get("sendmsg_writes") == 0
+
+    def test_empty_burst_writes_nothing(self):
+        writer = self.SinkWriter()
+        assert write_vectored(writer, [], None) == 0
+        assert write_vectored(writer, [b"", b""], None) == 0
+        assert writer.writes == []
+
+    def test_sendmsg_supported(self):
+        import socket
+
+        assert not sendmsg_supported(None)
+        with socket.socket() as sock:
+            assert sendmsg_supported(sock) == hasattr(sock, "sendmsg")

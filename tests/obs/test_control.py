@@ -152,3 +152,49 @@ class TestEdenTop:
         assert "120" in lines[1] and "7" in lines[1]
         assert "4" in lines[2]  # channel gauge fallback for the broker
         assert lines[3].rstrip().endswith("-")
+
+    def test_cpu_column_shows_pin_and_failure_marker(self):
+        pinned = _row_from_payloads(
+            "filter#2",
+            {"label": "filter#2", "role": "filter", "uptime_s": 1.0,
+             "cpu": 3, "pinned": True, "affinity": [3]},
+            {"counters": {}, "gauges": {}},
+        )
+        unpinned = _row_from_payloads(
+            "filter#3",
+            {"label": "filter#3", "role": "filter", "uptime_s": 1.0,
+             "cpu": 1, "pinned": False},
+            {"counters": {}, "gauges": {}},
+        )
+        plain = _row_from_payloads(
+            "filter#4",
+            {"label": "filter#4", "role": "filter", "uptime_s": 1.0},
+            {"counters": {}, "gauges": {}},
+        )
+        assert (pinned.cpu, unpinned.cpu, plain.cpu) == ("3", "1?", "-")
+        table = render_fleet([pinned, unpinned, plain])
+        lines = table.splitlines()
+        assert lines[0].rstrip().endswith("CPU")
+        assert lines[1].rstrip().endswith("3")
+        assert lines[2].rstrip().endswith("1?")
+        assert lines[3].rstrip().endswith("-")
+
+    def test_bufpool_footer_aggregates_across_stages(self):
+        one = _row_from_payloads(
+            "a#1", {"label": "a#1", "role": "filter", "uptime_s": 1.0},
+            {"counters": {}, "gauges": {"bufpool_hits": 30.0,
+                                        "bufpool_misses": 10.0}},
+        )
+        two = _row_from_payloads(
+            "b#2", {"label": "b#2", "role": "sink", "uptime_s": 1.0},
+            {"counters": {}, "gauges": {"bufpool_hits": 45.0,
+                                        "bufpool_misses": 15.0}},
+        )
+        table = render_fleet([one, two])
+        assert table.splitlines()[-1] == \
+            "bufpool: 75% hit rate (75 hits / 25 misses)"
+
+    def test_no_bufpool_gauges_no_footer(self):
+        row = StageRow(label="pipe#1", alive=True, role="pipe")
+        table = render_fleet([row])
+        assert "bufpool" not in table

@@ -1,0 +1,98 @@
+"""Property: pooled encode buffers never bleed bytes between frames.
+
+The zero-copy path encodes every frame into a recycled ``bytearray``
+from the :class:`repro.net.bufpool.BufferPool`.  The invariant that
+makes recycling safe: a buffer that carried one frame and was released
+must encode the *next* frame byte-identically to a fresh allocation —
+whatever mixture of codecs, channel ids, and body shapes flows
+through, and however small the pool is (maximum reuse pressure).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.bufpool import BufferPool
+from repro.net.framing import (
+    CODECS,
+    Frame,
+    FrameDecoder,
+    FrameType,
+    encode_frame,
+    encode_frame_into,
+)
+
+items = st.lists(
+    st.one_of(
+        st.text(max_size=16),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.binary(max_size=16),
+        st.none(),
+    ),
+    max_size=4,
+)
+
+bodies = st.dictionaries(
+    st.sampled_from(["items", "batch", "credit", "seq", "channel"]),
+    st.one_of(items, st.integers(min_value=0, max_value=2**20),
+              st.text(max_size=12)),
+    max_size=3,
+)
+
+#: Frames as the mux emits them: plain protocol frames and
+#: channel-tagged ones (the CHAN_FLAG header extension), mixed codecs.
+frames_with_codecs = st.lists(
+    st.tuples(
+        st.builds(
+            Frame,
+            type=st.sampled_from(list(FrameType)),
+            body=bodies,
+            chan=st.one_of(
+                st.none(), st.integers(min_value=0, max_value=2**24)
+            ),
+        ),
+        st.sampled_from(CODECS),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(max_examples=100)
+@given(sequence=frames_with_codecs)
+def test_pooled_encode_matches_fresh_encode(sequence):
+    """Byte-for-byte parity: recycling an encode buffer through a
+    tiny pool produces exactly the bytes a fresh bytearray would."""
+    pool = BufferPool(max_buffers=1)  # maximum reuse pressure
+    for frame, codec in sequence:
+        out = pool.acquire()
+        size = encode_frame_into(frame, out, codec)
+        assert bytes(out) == encode_frame(frame, codec)
+        assert size == len(out)
+        pool.release(out)
+    assert pool.hits == len(sequence) - 1  # every buffer after the
+    # first came off the free list — the parity above really did
+    # exercise recycled allocations.
+
+
+@settings(max_examples=100)
+@given(sequence=frames_with_codecs, chop=st.integers(min_value=1,
+                                                     max_value=48))
+def test_pooled_wire_stream_roundtrips(sequence, chop):
+    """The concatenated pooled encodes decode back to the exact frame
+    sequence under arbitrary fragmentation — no cross-frame bleed, no
+    stale residue from earlier pool users."""
+    pool = BufferPool(max_buffers=2)
+    wire = bytearray()
+    for frame, codec in sequence:
+        out = pool.acquire()
+        # Poison the recycled allocation first: release() must have
+        # cleared it, and encode_frame_into must append from zero.
+        assert len(out) == 0
+        encode_frame_into(frame, out, codec)
+        wire += out
+        pool.release(out)
+    decoder = FrameDecoder()
+    recovered = []
+    for start in range(0, len(wire), chop):
+        recovered.extend(decoder.feed(bytes(wire[start:start + chop])))
+    assert recovered == [frame for frame, _codec in sequence]
+    assert decoder.pending == 0
