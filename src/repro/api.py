@@ -54,7 +54,7 @@ RUNTIMES = ("sim", "aio", "tcp")
 
 #: Knobs only the supervised TCP fleet can honour.
 _TCP_ONLY = ("timeout", "max_restarts", "faults", "resume", "io_timeout",
-             "trace", "workdir", "placement_policy")
+             "trace", "workdir", "placement_policy", "flight")
 
 
 @dataclass
@@ -252,6 +252,7 @@ class Pipeline:
         pipeline_depth: int | None = None,
         adaptive: bool | None = None,
         placement_policy: str | None = None,
+        flight: Any = None,
     ) -> PipelineResult:
         """Run the pipeline on ``runtime`` and gather a common result.
 
@@ -265,6 +266,15 @@ class Pipeline:
         silent no-op.  ``placement_policy`` (``"cores"`` / ``"none"``)
         governs CPU-core pinning of shard sub-fleets and stage hosts;
         it needs ``shards > 1`` or hosted placement to act on.
+
+        ``flight`` switches on the flight recorder fleet-wide: a
+        directory path (full-payload capture there) or a
+        ``(directory, mode)`` pair with mode ``"full"`` or
+        ``"digest"``.  Every stage records its frames to rotating
+        segment files under per-stage subdirectories; load them with
+        :func:`repro.obs.flight.load_flight_dir`, inspect with
+        ``eden-flight``, and re-execute with ``eden-flight --replay``
+        (full mode only).  TCP-only.
         """
         if runtime not in RUNTIMES:
             raise ValueError(f"runtime must be one of {RUNTIMES}, got {runtime!r}")
@@ -276,6 +286,7 @@ class Pipeline:
                 ("workdir", workdir), ("codec", codec),
                 ("pipeline_depth", pipeline_depth), ("adaptive", adaptive),
                 ("placement_policy", placement_policy),
+                ("flight", flight),
             ) if value is not None}
             if given:
                 raise ValueError(
@@ -306,6 +317,7 @@ class Pipeline:
                 "faults address stage serials of one sub-fleet and are "
                 "ambiguous across shards; run with shards=1 to inject faults"
             )
+        flight_dir, flight_mode = self._flight_knob(flight)
 
         policy = flow or self.flow
         if batch is not None:
@@ -334,6 +346,31 @@ class Pipeline:
             workdir=workdir,
             codec=codec,
             placement_policy=placement_policy,
+            flight_dir=flight_dir,
+            flight_mode=flight_mode,
+        )
+
+    @staticmethod
+    def _flight_knob(flight: Any) -> tuple[str | None, str]:
+        """Normalise the ``flight`` knob to ``(directory, mode)``."""
+        from repro.obs.flight import FLIGHT_MODES, MODE_FULL
+
+        if flight is None:
+            return None, MODE_FULL
+        if isinstance(flight, str):
+            return flight, MODE_FULL
+        if (isinstance(flight, (tuple, list)) and len(flight) == 2
+                and isinstance(flight[0], str)):
+            directory, mode = flight
+            if mode not in FLIGHT_MODES:
+                raise ValueError(
+                    f"flight mode must be one of {sorted(FLIGHT_MODES)}, "
+                    f"got {mode!r}"
+                )
+            return directory, mode
+        raise ValueError(
+            f"flight must be a directory path or a (directory, mode) "
+            f"pair, got {flight!r}"
         )
 
     # -- the three backends -------------------------------------------------
@@ -418,6 +455,8 @@ class Pipeline:
         workdir: str | None,
         codec: str | None = None,
         placement_policy: str | None = None,
+        flight_dir: str | None = None,
+        flight_mode: str = "full",
     ) -> PipelineResult:
         from repro.net.framing import CODEC_JSON
         from repro.net.launch import plan_fleet, plan_sharded_fleet, run_fleet
@@ -442,6 +481,8 @@ class Pipeline:
                 broker=self.broker,
                 max_restarts=max_restarts,
                 placement_policy=placement_policy or "cores",
+                flight_dir=flight_dir,
+                flight_mode=flight_mode,
             )
         elif self.shards == 1:
             plans = plan_fleet(
@@ -455,6 +496,8 @@ class Pipeline:
                 resume=resume,
                 io_timeout=io_timeout,
                 codec=codec,
+                flight_dir=flight_dir,
+                flight_mode=flight_mode,
             )
         else:
             plans = plan_sharded_fleet(
@@ -469,6 +512,8 @@ class Pipeline:
                 io_timeout=io_timeout,
                 codec=codec,
                 placement_policy=placement_policy or "cores",
+                flight_dir=flight_dir,
+                flight_mode=flight_mode,
             )
         result = run_fleet(plans, timeout=timeout, max_restarts=max_restarts)
         return PipelineResult(

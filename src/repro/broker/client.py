@@ -47,6 +47,7 @@ class BrokerClient:
         connect_deadline: float = 15.0,
         request_timeout: float = 30.0,
         on_accept: Callable[[MuxChannel, dict[str, Any]], None] | None = None,
+        flight: Any | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -59,6 +60,7 @@ class BrokerClient:
         self.connect_deadline = connect_deadline
         self.request_timeout = request_timeout
         self.on_accept = on_accept
+        self.flight = flight
         self.mux: ChannelMux | None = None
         self._pending: dict[int, asyncio.Future[dict[str, Any]]] = {}
         self._next_req = 0
@@ -81,6 +83,7 @@ class BrokerClient:
             stats=self.stats,
             clock=self.clock,
             label=f"{self.label}-mux",
+            flight=self.flight,
         )
         self.mux.start()
 

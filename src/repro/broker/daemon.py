@@ -236,6 +236,7 @@ class Broker:
         park_deadline: float = 10.0,
         clock: Any = time.monotonic,
         log: Any = None,
+        flight: Any | None = None,
     ) -> None:
         if park_deadline < 0:
             raise ValueError(f"park_deadline must be >= 0, got {park_deadline}")
@@ -246,6 +247,10 @@ class Broker:
         self.park_deadline = park_deadline
         self.clock = clock
         self.log = log if log is not None else (lambda line: None)
+        #: Optional flight recorder: the relay path records each frame
+        #: as received (opener's channel id) and as sent (peer's id),
+        #: so a broker capture shows both sides of every route.
+        self.flight = flight
         self.stats = NetStats()
         self.started_mono = clock()
         self._server: asyncio.AbstractServer | None = None
@@ -359,6 +364,9 @@ class Broker:
                     self.stats.bump("orphan_frames")
                     continue
                 wire = header + _CHAN_EXT.pack(peer_chan) + body
+                if self.flight is not None:
+                    self.flight.on_received(header + ext + body)
+                    self.flight.on_sent(wire)
                 await peer_conn.fair.enqueue(peer_chan, wire)
                 route.frames += 1
                 route.bytes += len(wire)
@@ -600,6 +608,8 @@ class Broker:
                 "names": len(self._names),
                 "channels_open": self._routes_open(),
                 "parked": sum(len(v) for v in self._parked.values()),
+                "flight": (self.flight.describe()
+                           if self.flight is not None else None),
             }
 
         def channels_cmd(_body: dict[str, Any]) -> Any:
@@ -646,15 +656,28 @@ def _parser() -> argparse.ArgumentParser:
                         help="serve STATS/HEALTH/CHANNELS requests here")
     parser.add_argument("--stats-file", default=None,
                         help="dump broker counters here on exit")
+    parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="record every relayed frame to segment files")
+    parser.add_argument("--flight-mode", default="full",
+                        choices=("digest", "full"))
     return parser
 
 
 async def _serve(options: argparse.Namespace) -> int:
     book = TicketBook(space=options.ticket_space, seed=options.ticket_seed)
+    flight = None
+    if options.flight_dir is not None:
+        from repro.obs.flight import FlightRecorder
+
+        flight = FlightRecorder(
+            options.flight_dir, "broker", mode=options.flight_mode,
+            meta={"role": "broker", "serial": BROKER_SERIAL},
+        )
     broker = Broker(
         book, host=options.host, port=options.port,
         park_deadline=options.park_deadline,
         log=lambda line: print(line, file=sys.stderr, flush=True),
+        flight=flight,
     )
     await broker.start()
     print(f"eden-broker listening on {broker.host}:{broker.port}", flush=True)
@@ -678,6 +701,8 @@ async def _serve(options: argparse.Namespace) -> int:
             control.close()
             await control.wait_closed()
         await broker.close()
+        if flight is not None:
+            flight.close()
         if options.stats_file:
             payload = {"role": "broker",
                        **snapshot_payload(broker.stats)}

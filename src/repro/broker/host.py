@@ -80,6 +80,7 @@ from repro.net.protocol import PushState, ReplayLog, serve_pull, serve_push
 from repro.net.stage import _state_key, load_transducer
 from repro.obs.context import set_span
 from repro.obs.control import start_control_server
+from repro.obs.flight import FLIGHT_MODES, MODE_FULL, FlightRecorder
 from repro.obs.registry import snapshot_payload
 from repro.obs.spans import CLOCK_KIND, SpanIds
 from repro.transput.filterbase import identity_transducer
@@ -203,12 +204,19 @@ class HostConfig:
     control_port: int | None = None
     #: CPU core this host process pins itself to (None = unpinned).
     cpu: int | None = None
+    flight_dir: str | None = None
+    flight_mode: str = MODE_FULL
 
     def __post_init__(self) -> None:
         from repro.transput.flow import FlowPolicy
 
         if self.flow is None:
             self.flow = FlowPolicy()
+        if self.flight_mode not in FLIGHT_MODES:
+            raise ValueError(
+                f"flight_mode must be one of {FLIGHT_MODES}, "
+                f"got {self.flight_mode!r}"
+            )
         if self.discipline not in HOSTED_DISCIPLINES:
             raise ValueError(
                 f"hosted discipline must be one of {HOSTED_DISCIPLINES}, got "
@@ -252,6 +260,8 @@ class HostConfig:
             output_file=data.get("output_file"),
             control_port=data.get("control_port"),
             cpu=data.get("cpu"),
+            flight_dir=data.get("flight_dir"),
+            flight_mode=data.get("flight_mode", MODE_FULL),
         )
 
     def as_dict(self) -> dict[str, Any]:
@@ -275,6 +285,8 @@ class HostConfig:
             "output_file": self.output_file,
             "control_port": self.control_port,
             "cpu": self.cpu,
+            "flight_dir": self.flight_dir,
+            "flight_mode": self.flight_mode,
         }
 
 
@@ -350,12 +362,38 @@ class StageHost:
         self.stats = NetStats()
         self.tracer = Tracer(enabled=config.trace_file is not None)
         self.book = TicketBook(space=config.ticket_space, seed=config.ticket_seed)
+        # One recorder for the whole host: every hosted stage's frames
+        # cross the single broker connection, so hooking the mux sees
+        # them all (the channel id in each record says whose they are).
+        self.flight = None
+        if config.flight_dir is not None:
+            self.flight = FlightRecorder(
+                config.flight_dir, f"host#{config.serial}",
+                mode=config.flight_mode, stats=self.stats,
+                meta={
+                    "role": "host",
+                    "discipline": config.discipline,
+                    "serial": config.serial,
+                    "codec": config.codec,
+                    "resume": config.resume,
+                    "stages": [
+                        {
+                            "name": spec.name,
+                            "role": spec.role,
+                            "transducer_spec": spec.transducer_spec,
+                            "transducer_args": list(spec.transducer_args),
+                        }
+                        for spec in config.stages
+                    ],
+                },
+            )
         self.client = BrokerClient(
             config.broker_host, config.broker_port, self.book,
             serial=config.serial, label=f"host#{config.serial}",
             stats=self.stats, tracer=self.tracer,
             connect_deadline=config.connect_deadline,
             on_accept=self._on_accept,
+            flight=self.flight,
         )
         self.stages = [_HostedStage(spec, self) for spec in config.stages]
         self._by_name = {stage.spec.name: stage for stage in self.stages}
@@ -695,6 +733,8 @@ class StageHost:
                 control.close()
                 await control.wait_closed()
             await self.client.close()
+            if self.flight is not None:
+                self.flight.close()
         self.stats.bump(
             "runtime_ms", int((time.monotonic() - self.started_mono) * 1000)
         )
@@ -727,6 +767,8 @@ class StageHost:
                 "cpu": self.config.cpu,
                 "pinned": self.pinned,
                 "affinity": current_affinity(),
+                "flight": (self.flight.describe()
+                           if self.flight is not None else None),
             }
 
         def stages_cmd(body: dict[str, Any]) -> Any:
@@ -804,6 +846,10 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-file", default=None)
     parser.add_argument("--output-file", default=None)
     parser.add_argument("--control-port", type=int, default=None)
+    parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="record the host's frames to segment files")
+    parser.add_argument("--flight-mode", default=None,
+                        choices=sorted(FLIGHT_MODES))
     return parser
 
 
@@ -823,6 +869,10 @@ def config_from_args(argv: Sequence[str] | None = None) -> HostConfig:
         config.output_file = options.output_file
     if options.control_port is not None:
         config.control_port = options.control_port
+    if options.flight_dir is not None:
+        config.flight_dir = options.flight_dir
+    if options.flight_mode is not None:
+        config.flight_mode = options.flight_mode
     return config
 
 

@@ -69,6 +69,8 @@ def plan_hosted_fleet(
     restart_backoff: float = 0.05,
     park_deadline: float = 10.0,
     placement_policy: str = "cores",
+    flight_dir: str | None = None,
+    flight_mode: str = "full",
 ) -> list[StagePlan]:
     """Plan broker + stage hosts for one pipeline.
 
@@ -161,6 +163,9 @@ def plan_hosted_fleet(
             "--park-deadline", str(park_deadline),
             "--stats-file", broker_stats,
         ]
+        if flight_dir is not None:
+            broker_argv += ["--flight-dir", flight_dir,
+                            "--flight-mode", flight_mode]
         broker_control = None
         if control:
             broker_control = pick_free_port(host)
@@ -213,6 +218,8 @@ def plan_hosted_fleet(
             "trace_file": trace_file,
             "control_port": control_port,
             "cpu": host_cores[index],
+            "flight_dir": flight_dir,
+            "flight_mode": flight_mode,
         }
         plan_file = workpath / f"{stem}.plan.json"
         with open(plan_file, "w", encoding="utf-8") as handle:
@@ -237,6 +244,8 @@ def plan_hosted_fleet(
             "resume": resume,
             "codec": codec,
             "placement": "hosted",
+            "flight_dir": flight_dir,
+            "flight_mode": flight_mode if flight_dir is not None else None,
             "placement_policy": placement_policy,
             "host_cores": host_cores,
             "broker": f"{broker_host}:{broker_port}",

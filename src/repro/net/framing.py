@@ -630,11 +630,17 @@ class FrameDecoder:
     of the connection.
     """
 
-    def __init__(self, shrink_threshold: int = DECODER_SHRINK) -> None:
+    def __init__(self, shrink_threshold: int = DECODER_SHRINK,
+                 tee: Any = None) -> None:
         self._buffer = bytearray()
         self._offset = 0
         self._shrink = max(1, shrink_threshold)
         self._peak = 0
+        #: Optional per-frame raw-bytes observer: called with a
+        #: ``memoryview`` of each decoded frame's full wire form (the
+        #: flight recorder's inbound hook).  The view borrows the
+        #: decoder's buffer — consume it synchronously, never store it.
+        self.tee = tee
 
     def feed_sized(self, data: Any) -> list[tuple[Frame, int]]:
         """Absorb ``data``; return ``(frame, wire_bytes)`` per frame.
@@ -678,6 +684,8 @@ class FrameDecoder:
                     ),
                     body_start + length - offset,
                 ))
+                if self.tee is not None:
+                    self.tee(view[offset:body_start + length])
                 offset = body_start + length
         finally:
             view.release()
@@ -773,9 +781,9 @@ class BufferedFrameReader:
     """
 
     def __init__(self, reader: asyncio.StreamReader,
-                 chunk: int = READ_CHUNK) -> None:
+                 chunk: int = READ_CHUNK, tee: Any = None) -> None:
         self._reader = reader
-        self._decoder = FrameDecoder()
+        self._decoder = FrameDecoder(tee=tee)
         self._chunk = chunk
         self._ready: deque[tuple[Frame, int]] = deque()
         self._eof = False
@@ -866,15 +874,20 @@ def _release_after_write(pool: BufferPool | None,
 
 async def write_frame(
     writer: asyncio.StreamWriter, frame: Frame, codec: str = CODEC_JSON,
-    pool: BufferPool | None = POOL,
+    pool: BufferPool | None = POOL, tee: Any = None,
 ) -> int:
     """Send one frame; returns the bytes put on the wire.
 
     The wire form is built in a pooled ``bytearray`` (recycled
     allocation, no per-frame garbage); pass ``pool=None`` to opt out.
+    ``tee`` observes the encoded wire bytes before the write — the
+    flight recorder's outbound hook, reusing the pooled buffer rather
+    than re-encoding or copying the frame.
     """
     out = pool.acquire() if pool is not None else bytearray()
     size = encode_frame_into(frame, out, codec)
+    if tee is not None:
+        tee(out)
     writer.write(out)
     await writer.drain()
     _release_after_write(pool, writer, out)
@@ -886,17 +899,27 @@ async def write_frames(
     frames: Sequence[Frame],
     codec: str = CODEC_JSON,
     pool: BufferPool | None = POOL,
+    tee: Any = None,
 ) -> int:
     """Send several frames in one coalesced write; returns wire bytes.
 
     One pooled buffer, one ``write``, one ``drain`` — a pipelined
     burst of READs (or a credit window of WRITEs) costs a single
-    syscall instead of one per frame.
+    syscall instead of one per frame.  ``tee`` observes each frame's
+    wire slice of the shared buffer individually, so a coalesced burst
+    still records one flight event per frame.
     """
     out = pool.acquire() if pool is not None else bytearray()
+    sizes = []
     for frame in frames:
-        encode_frame_into(frame, out, codec)
+        sizes.append(encode_frame_into(frame, out, codec))
     size = len(out)
+    if tee is not None:
+        with memoryview(out) as view:
+            position = 0
+            for frame_size in sizes:
+                tee(view[position:position + frame_size])
+                position += frame_size
     writer.write(out)
     await writer.drain()
     _release_after_write(pool, writer, out)

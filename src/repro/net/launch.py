@@ -203,6 +203,8 @@ def plan_fleet(
     codec: str = CODEC_JSON,
     shard: int | None = None,
     cpu: int | None = None,
+    flight_dir: str | None = None,
+    flight_mode: str = "full",
 ) -> list[StagePlan]:
     """Assign ports/serials and build every stage's command line.
 
@@ -257,6 +259,8 @@ def plan_fleet(
         base += ["--resume"]
     if io_timeout is not None:
         base += ["--io-timeout", str(io_timeout)]
+    if flight_dir is not None:
+        base += ["--flight-dir", flight_dir, "--flight-mode", flight_mode]
 
     if source_items is not None:
         source_args = ["--source-json", json.dumps(list(source_items))]
@@ -357,6 +361,8 @@ def plan_fleet(
             "host": host,
             "resume": resume,
             "codec": codec,
+            "flight_dir": flight_dir,
+            "flight_mode": flight_mode if flight_dir is not None else None,
             "stages": [_manifest_entry(plan, index)
                        for index, plan in enumerate(plans)],
         }
@@ -401,6 +407,8 @@ def plan_sharded_fleet(
     io_timeout: float | None = None,
     codec: str = CODEC_JSON,
     placement_policy: str = "cores",
+    flight_dir: str | None = None,
+    flight_mode: str = "full",
 ) -> list[StagePlan]:
     """Plan ``shards`` parallel copies of the pipeline, one per partition.
 
@@ -453,6 +461,9 @@ def plan_sharded_fleet(
             codec=codec,
             shard=index,
             cpu=shard_cores[index],
+            flight_dir=(str(pathlib.Path(flight_dir) / f"shard-{index}")
+                        if flight_dir is not None else None),
+            flight_mode=flight_mode,
         ))
     if trace or control:
         manifest = {
@@ -460,6 +471,8 @@ def plan_sharded_fleet(
             "host": host,
             "resume": resume,
             "codec": codec,
+            "flight_dir": flight_dir,
+            "flight_mode": flight_mode if flight_dir is not None else None,
             "shards": shards,
             "placement_policy": placement_policy,
             "shard_cores": shard_cores,

@@ -266,6 +266,8 @@ class MuxChannel:
             except FrameError:
                 POOL.release(out)
                 raise
+            if self.mux.flight is not None:
+                self.mux.flight.on_sent(out)
             # Ownership of the pooled buffer passes to the fair
             # writer, which recycles it after the socket write.
             await self.mux.send_wire(self.chan, out)
@@ -274,6 +276,9 @@ class MuxChannel:
             wire_bytes = encode_frame_into(
                 replace(frame, chan=self.chan), out, self.codec
             )
+            # Record what the stage believes it sent, pre-injection.
+            if self.mux.flight is not None:
+                self.mux.flight.on_sent(out)
             chunks = await self.injector.outgoing(
                 frame.type.name, bytes(out), self.chan
             )
@@ -370,6 +375,7 @@ class ChannelMux:
         stats: NetStats | None = None,
         clock: Callable[[], float] = time.monotonic,
         label: str = "mux",
+        flight: Any | None = None,
     ) -> None:
         self.reader = reader
         self.writer = writer
@@ -378,6 +384,9 @@ class ChannelMux:
         self.stats = stats if stats is not None else NetStats()
         self.clock = clock
         self.label = label
+        #: Optional flight recorder; sees every frame's wire bytes in
+        #: both directions, across all channels of this connection.
+        self.flight = flight
         self.channels: dict[int, MuxChannel] = {}
         self._fair = FairWriter(writer, stats=self.stats)
         self._read_task: asyncio.Task[None] | None = None
@@ -434,11 +443,16 @@ class ChannelMux:
         encode_frame_into(
             replace(frame, chan=CONTROL_CHANNEL), out, CODEC_JSON
         )
+        if self.flight is not None:
+            self.flight.on_sent(out)
         await self._fair.enqueue(queue_on, bytes(out))
 
     async def _read_loop(self) -> None:
         error: BaseException | None = None
-        frames = BufferedFrameReader(self.reader)
+        frames = BufferedFrameReader(
+            self.reader,
+            tee=self.flight.on_received if self.flight is not None else None,
+        )
         try:
             while True:
                 frame, wire_bytes = await frames.recv()

@@ -158,6 +158,7 @@ class Connection:
         clock: Callable[[], float] = time.monotonic,
         injector: Any | None = None,
         codec: str = CODEC_JSON,
+        flight: Any | None = None,
     ) -> None:
         self.reader = reader
         self.writer = writer
@@ -167,6 +168,11 @@ class Connection:
         self.label = label
         self.clock = clock
         self.injector = injector
+        #: Optional :class:`repro.obs.flight.FlightRecorder`: every
+        #: frame this connection moves is teed to it as raw wire bytes
+        #: (the pooled encode buffer out, the decoder's view in), so
+        #: capture costs no extra copy on either path.
+        self.flight = flight
         #: Body encoding for outgoing frames; handshake code flips this
         #: to the negotiated codec once the WELCOME settles it (inbound
         #: frames are self-describing, so only sending needs a mode).
@@ -177,10 +183,17 @@ class Connection:
 
     async def send(self, frame: Frame) -> None:
         if self.injector is None:
-            wire_bytes = await write_frame(self.writer, frame, self.codec)
+            wire_bytes = await write_frame(
+                self.writer, frame, self.codec,
+                tee=self.flight.on_sent if self.flight is not None else None,
+            )
         else:
             wire = encode_frame(frame, self.codec)
             wire_bytes = len(wire)
+            if self.flight is not None:
+                # Record what the stage *believes* it sent; the
+                # injector's mutations are the chaos under test.
+                self.flight.on_sent(wire)
             for chunk in await self.injector.outgoing(frame.type.name, wire):
                 self.writer.write(chunk)
             await self.writer.drain()
@@ -219,6 +232,9 @@ class Connection:
             for out in buffers:
                 POOL.release(out)
             raise
+        if self.flight is not None:
+            for out in buffers:
+                self.flight.on_sent(out)
         write_vectored(self.writer, buffers, self.stats)
         await self.writer.drain()
         for out in buffers:
@@ -242,7 +258,11 @@ class Connection:
 
     async def recv(self) -> Frame | None:
         if self._frames is None:
-            self._frames = BufferedFrameReader(self.reader)
+            self._frames = BufferedFrameReader(
+                self.reader,
+                tee=(self.flight.on_received
+                     if self.flight is not None else None),
+            )
         frame, wire_bytes = await self._frames.recv()
         if frame is not None:
             self._note_received(frame, wire_bytes)
@@ -358,6 +378,7 @@ class RemoteReadable:
         codec: str = CODEC_JSON,
         pipeline_depth: int = 1,
         tuner: FlowAutotuner | None = None,
+        flight: Any | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -375,6 +396,7 @@ class RemoteReadable:
         self.codec = codec
         self.pipeline_depth = max(1, pipeline_depth)
         self.tuner = tuner
+        self.flight = flight
         #: Span context of the most recent read (post-adoption).
         self.last_span: SpanContext | None = None
         #: Records accepted so far == the next sequence number wanted.
@@ -392,7 +414,7 @@ class RemoteReadable:
             connection = Connection(
                 reader, writer, stats=self.stats,
                 tracer=self.tracer, label=self.label,
-                injector=self.injector,
+                injector=self.injector, flight=self.flight,
             )
             offer = CODECS if self.codec != CODEC_JSON else None
             welcome = await send_hello(
@@ -646,6 +668,7 @@ class RemoteWritable:
         io_timeout: float | None = None,
         injector: Any | None = None,
         codec: str = CODEC_JSON,
+        flight: Any | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -661,6 +684,7 @@ class RemoteWritable:
         self.io_timeout = io_timeout
         self.injector = injector
         self.codec = codec
+        self.flight = flight
         self._connection: Connection | None = None
         self._credit = 0
         self._ended = False
@@ -676,7 +700,7 @@ class RemoteWritable:
             connection = Connection(
                 reader, writer, stats=self.stats, end_is_request=True,
                 tracer=self.tracer, label=self.label,
-                injector=self.injector,
+                injector=self.injector, flight=self.flight,
             )
             offer = CODECS if self.codec != CODEC_JSON else None
             welcome = await send_hello(

@@ -99,6 +99,7 @@ from repro.net.protocol import (
 from repro.net.framing import CODEC_JSON, CODECS, FrameError
 from repro.obs.context import set_span
 from repro.obs.control import start_control_server
+from repro.obs.flight import FLIGHT_MODES, MODE_FULL, FlightRecorder
 from repro.obs.registry import snapshot_payload
 from repro.obs.spans import CLOCK_KIND, SPAN_KIND, SpanIds
 from repro.transput.filterbase import Transducer, identity_transducer
@@ -179,10 +180,17 @@ class StageConfig:
     codec: str = CODEC_JSON
     shard: int | None = None
     cpu: int | None = None
+    flight_dir: str | None = None
+    flight_mode: str = MODE_FULL
 
     def __post_init__(self) -> None:
         if self.codec not in CODECS:
             raise ValueError(f"codec must be one of {CODECS}, got {self.codec!r}")
+        if self.flight_mode not in FLIGHT_MODES:
+            raise ValueError(
+                f"flight_mode must be one of {FLIGHT_MODES}, "
+                f"got {self.flight_mode!r}"
+            )
         if self.shard is not None and (
             not isinstance(self.shard, int) or self.shard < 0
         ):
@@ -247,6 +255,25 @@ class _Stage:
         # reconnecting peers pick up where their predecessor stopped).
         self._replay_logs: dict[Any, ReplayLog] = {}
         self._push_states: dict[Any, PushState] = {}
+        # The flight recorder carries enough meta for the replay engine
+        # to rebuild this stage in the sim kernel from the capture alone.
+        self.flight = None
+        if config.flight_dir is not None:
+            self.flight = FlightRecorder(
+                config.flight_dir, self.label, mode=config.flight_mode,
+                stats=self.stats,
+                meta={
+                    "role": config.role,
+                    "discipline": config.discipline,
+                    "serial": config.serial,
+                    "transducer_spec": config.transducer_spec,
+                    "transducer_args": list(config.transducer_args),
+                    "batch": config.flow.batch,
+                    "codec": config.codec,
+                    "shard": config.shard,
+                    "resume": config.resume,
+                },
+            )
         # One autotuner per stage: every active read feeds it, and its
         # current values surface as gauges for eden-top.
         self.tuner = FlowAutotuner(config.flow) if config.flow.adaptive else None
@@ -262,6 +289,7 @@ class _Stage:
         return Connection(
             reader, writer, stats=self.stats, end_is_request=end_is_request,
             tracer=self.tracer, label=self.label, injector=self.injector,
+            flight=self.flight,
         )
 
     def _remote_readable(self) -> RemoteReadable:
@@ -278,6 +306,7 @@ class _Stage:
             codec=self.config.codec,
             pipeline_depth=self.config.flow.effective_pipeline_depth(),
             tuner=self.tuner,
+            flight=self.flight,
         )
 
     def _remote_writable(self) -> RemoteWritable:
@@ -292,6 +321,7 @@ class _Stage:
             io_timeout=self.config.io_timeout,
             injector=self.injector,
             codec=self.config.codec,
+            flight=self.flight,
         )
 
     def _transducer(self) -> Transducer:
@@ -503,6 +533,8 @@ class _Stage:
                 "cpu": self.config.cpu,
                 "pinned": self.pinned,
                 "affinity": current_affinity(),
+                "flight": (self.flight.describe()
+                           if self.flight is not None else None),
             }
 
         return {"stats": stats_cmd, "spans": spans_cmd, "health": health_cmd}
@@ -556,6 +588,8 @@ async def run_stage(config: StageConfig) -> _Stage:
     try:
         await stage.run()
     finally:
+        if stage.flight is not None:
+            stage.flight.close()
         if control is not None:
             control.close()
             await control.wait_closed()
@@ -631,6 +665,13 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--io-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="reply silence treated as a dead link (resume)")
+    parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="record every frame to rotating segment files "
+                             "under DIR (the flight recorder)")
+    parser.add_argument("--flight-mode", default=MODE_FULL,
+                        choices=sorted(FLIGHT_MODES),
+                        help="full payloads (replayable) or digests only "
+                             "(cheapest; timing + conformance)")
     return parser
 
 
@@ -684,6 +725,8 @@ def config_from_args(argv: Sequence[str] | None = None) -> StageConfig:
         codec=options.codec,
         shard=options.shard,
         cpu=options.cpu,
+        flight_dir=options.flight_dir,
+        flight_mode=options.flight_mode,
     )
 
 

@@ -29,14 +29,30 @@ import asyncio
 from typing import Any, Callable, Mapping
 
 from repro.core.errors import EdenError
-from repro.net.framing import Frame, FrameType, read_frame, write_frame
+from repro.net.framing import (
+    CHAN_FLAG,
+    HEADER,
+    MAGIC,
+    Frame,
+    FrameError,
+    FrameType,
+    decode_frame,
+    read_frame,
+    write_frame,
+)
 
 __all__ = [
     "ControlError",
+    "MAX_CONTROL_REPLY",
     "start_control_server",
     "query_async",
     "query",
 ]
+
+#: Control replies are snapshots, not stream data: anything past this
+#: bound is a runaway handler or a corrupt length field, and the
+#: observer refuses to buffer it (the frame layer's own cap is 16 MB).
+MAX_CONTROL_REPLY = 4 * 1024 * 1024
 
 #: A command handler: request body (without ``cmd``) -> JSON-safe payload.
 ControlHandler = Callable[[dict[str, Any]], Any]
@@ -111,10 +127,55 @@ async def start_control_server(
     return await asyncio.start_server(handle, host=host, port=port)
 
 
+async def _read_reply(reader: asyncio.StreamReader) -> Frame | None:
+    """One reply frame, size-bounded, with truncation surfaced cleanly.
+
+    A stage dying mid-reply (or a port that is not a control port at
+    all) is a verdict on the *stage* and must come back as a
+    :class:`ControlError`, never as a frame-decode traceback.  The
+    declared body length is checked against :data:`MAX_CONTROL_REPLY`
+    before a single body byte is buffered.
+    """
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ControlError(
+            f"reply truncated mid-header ({len(error.partial)} of "
+            f"{HEADER.size} bytes)"
+        ) from error
+    magic, type_code, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ControlError(f"not a control reply: bad magic {magic!r}")
+    if length > MAX_CONTROL_REPLY:
+        raise ControlError(
+            f"control reply declares {length} bytes, over the "
+            f"{MAX_CONTROL_REPLY}-byte bound (runaway handler or "
+            f"corrupt length)"
+        )
+    rest = length + (4 if type_code & CHAN_FLAG else 0)  # chan-id ext
+    try:
+        body = await reader.readexactly(rest)
+    except asyncio.IncompleteReadError as error:
+        raise ControlError(
+            f"reply truncated: got {len(error.partial)} of {rest} body bytes"
+        ) from error
+    try:
+        frame, _used = decode_frame(header + body)
+    except FrameError as error:
+        raise ControlError(f"undecodable control reply: {error}") from error
+    return frame
+
+
 async def query_async(
     host: str, port: int, cmd: str, timeout: float = 5.0, **args: Any
 ) -> Any:
-    """Send one control request; return the payload or raise."""
+    """Send one control request; return the payload or raise.
+
+    Every failure mode — unreachable port, timeout, truncated or
+    oversized or undecodable reply — raises :class:`ControlError`.
+    """
     try:
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(host, port), timeout=timeout
@@ -123,7 +184,7 @@ async def query_async(
         raise ControlError(f"cannot reach {host}:{port}: {error}") from error
     try:
         await write_frame(writer, Frame(FrameType.CTRL, {"cmd": cmd, **args}))
-        reply = await asyncio.wait_for(read_frame(reader), timeout=timeout)
+        reply = await asyncio.wait_for(_read_reply(reader), timeout=timeout)
     except (ConnectionError, OSError, asyncio.TimeoutError) as error:
         raise ControlError(f"control request failed: {error}") from error
     finally:

@@ -1,0 +1,310 @@
+"""``eden-flight``: inspect, diff and replay flight-recorder captures.
+
+Point it at the ``--flight-dir`` of a finished (or crashed) fleet:
+
+- default — one summary line per stage capture (mode, frames in/out,
+  bytes, truncation), or the same as JSON with ``--json``;
+- ``--timeline`` — every stage's frames merged onto one clock-skew-
+  corrected timeline.  Stages record on their own monotonic clocks;
+  the correction matches frames *across* captures by CRC-32 digest (a
+  frame is on the wire before it is received) and intersects the
+  resulting offset intervals exactly as the span merger's causal pass
+  does (:func:`repro.obs.merge.solve_offsets`);
+- ``--latency`` — per-stage READ→DATA decomposition: how long each
+  stage waited for its upstream (client RTT) versus how long it took
+  to serve its downstream (server service time); the gap between a
+  link's RTT and its server's service time is wire and queueing;
+- ``--diff A B`` — compare two captures stage by stage and report the
+  first diverging frame (works across full and digest modes, since
+  every record carries a digest);
+- ``--replay`` — feed the capture back through the deterministic sim
+  kernel (:mod:`repro.obs.replay`) and check invocation counts,
+  exactly-once output and the pull-stream laws; ``--trace-out FILE``
+  additionally writes the synthesised replay trace for
+  ``eden-trace FILE --verify-once``.  Exits non-zero on divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import deque
+from typing import Any, Sequence
+
+from repro.net.framing import FrameType
+from repro.obs.flight import (
+    FlightCapture,
+    FlightError,
+    FlightRecord,
+    load_flight_dir,
+)
+from repro.obs.merge import solve_offsets
+
+__all__ = ["main"]
+
+
+def _quantile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+# -- summary -----------------------------------------------------------------
+
+
+def _summary_lines(captures: list[FlightCapture]) -> list[str]:
+    lines = [
+        f"{'STAGE':<28} {'MODE':<7} {'FRAMES':>7} {'OUT':>6} {'IN':>6} "
+        f"{'BYTES':>10}  FLAGS"
+    ]
+    for capture in captures:
+        info = capture.summary()
+        flags = ",".join(
+            name for name in ("truncated", "rotated") if info[name]
+        ) or "-"
+        lines.append(
+            f"{info['label']:<28} {info['mode']:<7} {info['frames']:>7} "
+            f"{info['frames_out']:>6} {info['frames_in']:>6} "
+            f"{info['bytes']:>10}  {flags}"
+        )
+    return lines
+
+
+# -- the skew-corrected timeline ---------------------------------------------
+
+
+def _capture_offsets(captures: list[FlightCapture]) -> dict[str, float]:
+    """Per-capture wall-clock corrections from digest-matched frames.
+
+    A frame that appears exactly once among capture A's sent records
+    and once among capture B's received records was (almost certainly)
+    that very frame in flight, so B received it *after* A sent it:
+    ``recv + off_B >= sent + off_A``.  Identical payloads relayed
+    further down a pipeline only ever produce looser versions of the
+    same bound — an upstream copy was sent earlier still — so spurious
+    matches cannot tighten the interval wrongly.  Repeated digests
+    (e.g. every ``READ {"n": 1}``) are ambiguous and simply skipped.
+    """
+    once_sent: list[dict[int, FlightRecord | None]] = []
+    once_received: list[dict[int, FlightRecord | None]] = []
+    for capture in captures:
+        for box, records in (
+            (once_sent, capture.sent()), (once_received, capture.received()),
+        ):
+            unique: dict[int, FlightRecord | None] = {}
+            for record in records:
+                unique[record.digest] = (
+                    record if record.digest not in unique else None
+                )
+            box.append(unique)
+    bounds: dict[tuple[str, str], list[float]] = {}
+    for i, sender in enumerate(captures):
+        for j, receiver in enumerate(captures):
+            if i == j:
+                continue
+            for digest, sent in once_sent[i].items():
+                if sent is None:
+                    continue
+                received = once_received[j].get(digest)
+                if received is None:
+                    continue
+                entry = bounds.setdefault(
+                    (sender.label, receiver.label),
+                    [float("-inf"), float("inf")],
+                )
+                entry[0] = max(entry[0], sent.wall - received.wall)
+    if not bounds:
+        return {}
+    start = max(captures, key=lambda c: len(c.records)).label
+    return solve_offsets(bounds, start)
+
+
+def _timeline_lines(captures: list[FlightCapture], limit: int) -> list[str]:
+    offsets = _capture_offsets(captures)
+    rows: list[tuple[float, str]] = []
+    for capture in captures:
+        offset = offsets.get(capture.label, 0.0)
+        for record in capture.records:
+            wall = record.wall + offset
+            arrow = "->" if record.outbound else "<-"
+            chan = "" if record.chan is None else f" chan={record.chan}"
+            rows.append((wall, (
+                f"{capture.label:<28} {arrow} {record.type.name:<7}"
+                f"{chan} {record.wire_bytes}B"
+            )))
+    rows.sort(key=lambda row: row[0])
+    origin = rows[0][0] if rows else 0.0
+    shown = rows if limit <= 0 else rows[-limit:]
+    lines = [f"{len(rows)} frames across {len(captures)} stages"
+             + (f" (last {len(shown)})" if len(shown) < len(rows) else "")]
+    lines.extend(
+        f"+{(wall - origin) * 1000.0:10.3f}ms  {text}" for wall, text in shown
+    )
+    return lines
+
+
+# -- latency decomposition ---------------------------------------------------
+
+
+def _paired_latencies(
+    capture: FlightCapture, client_side: bool
+) -> list[float]:
+    """FIFO request→reply durations (seconds) on one side of a stage.
+
+    Client side: this stage's outbound READ/WRITE to the DATA/END/ACK
+    that answered it (full round trip).  Server side: an inbound
+    READ/WRITE to this stage's answering outbound frame (service time
+    only).  Matching is per channel, in capture order — exactly the
+    protocol's own FIFO reply discipline.
+    """
+    requests = (FrameType.READ, FrameType.WRITE)
+    replies = (FrameType.DATA, FrameType.END, FrameType.ACK)
+    pending: dict[Any, deque[FlightRecord]] = {}
+    durations: list[float] = []
+    for record in capture.records:
+        if record.type in requests and record.outbound == client_side:
+            pending.setdefault(record.chan, deque()).append(record)
+        elif record.type in replies and record.outbound != client_side:
+            queue = pending.get(record.chan)
+            if queue:
+                durations.append(record.mono - queue.popleft().mono)
+    return durations
+
+
+def _latency_lines(captures: list[FlightCapture]) -> list[str]:
+    lines = [
+        f"{'STAGE':<28} {'SIDE':<7} {'PAIRS':>6} {'P50 ms':>9} "
+        f"{'P95 ms':>9} {'MAX ms':>9}"
+    ]
+    for capture in captures:
+        for side, client in (("client", True), ("server", False)):
+            durations = _paired_latencies(capture, client)
+            if not durations:
+                continue
+            ms = [d * 1000.0 for d in durations]
+            lines.append(
+                f"{capture.label:<28} {side:<7} {len(ms):>6} "
+                f"{_quantile(ms, 0.5):>9.3f} {_quantile(ms, 0.95):>9.3f} "
+                f"{max(ms):>9.3f}"
+            )
+    lines.append(
+        "client = READ issued to reply received (includes the wire); "
+        "server = READ received to reply sent"
+    )
+    return lines
+
+
+# -- capture diffing ---------------------------------------------------------
+
+
+def _record_key(record: FlightRecord) -> tuple[Any, ...]:
+    return (record.direction, record.type.name, record.chan, record.digest)
+
+
+def _diff_lines(dir_a: str, dir_b: str) -> tuple[int, list[str]]:
+    captures_a = {c.label: c for c in load_flight_dir(dir_a)}
+    captures_b = {c.label: c for c in load_flight_dir(dir_b)}
+    lines: list[str] = []
+    divergent = 0
+    for label in sorted(set(captures_a) | set(captures_b)):
+        a, b = captures_a.get(label), captures_b.get(label)
+        if a is None or b is None:
+            lines.append(
+                f"{label}: only in {dir_b if a is None else dir_a}"
+            )
+            divergent += 1
+            continue
+        for index, (ra, rb) in enumerate(zip(a.records, b.records)):
+            ka, kb = _record_key(ra), _record_key(rb)
+            if ka != kb:
+                lines.append(
+                    f"{label}: frame #{index} diverges: "
+                    f"{ka[0]} {ka[1]} chan={ka[2]} crc={ka[3]:08x} vs "
+                    f"{kb[0]} {kb[1]} chan={kb[2]} crc={kb[3]:08x}"
+                )
+                divergent += 1
+                break
+        else:
+            if len(a.records) != len(b.records):
+                lines.append(
+                    f"{label}: {len(a.records)} frames vs {len(b.records)} "
+                    f"(common prefix matches)"
+                )
+                divergent += 1
+            else:
+                lines.append(f"{label}: identical ({len(a.records)} frames)")
+    return divergent, lines
+
+
+# -- entry point -------------------------------------------------------------
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="eden-flight",
+        description="Inspect, diff and replay flight-recorder captures.",
+    )
+    parser.add_argument("flight_dir", nargs="?", metavar="FLIGHT_DIR")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable capture summaries")
+    parser.add_argument("--timeline", action="store_true",
+                        help="merge every stage's frames onto one "
+                             "skew-corrected timeline")
+    parser.add_argument("--limit", type=int, default=40, metavar="N",
+                        help="timeline rows to show (0 = all; default 40)")
+    parser.add_argument("--latency", action="store_true",
+                        help="per-stage request->reply latency decomposition")
+    parser.add_argument("--diff", nargs=2, default=None,
+                        metavar=("DIR_A", "DIR_B"),
+                        help="compare two flight directories frame by frame")
+    parser.add_argument("--replay", action="store_true",
+                        help="re-execute the capture in the sim kernel and "
+                             "verify invocations, output and exactly-once")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="with --replay: write the synthesised replay "
+                             "trace (eden-trace FILE --verify-once)")
+    options = parser.parse_args(argv)
+
+    try:
+        if options.diff is not None:
+            divergent, lines = _diff_lines(*options.diff)
+            print("\n".join(lines))
+            return 1 if divergent else 0
+        if options.flight_dir is None:
+            parser.error("give a FLIGHT_DIR (or --diff DIR_A DIR_B)")
+        if options.replay:
+            from repro.obs.replay import ReplayError, replay_flight_dir
+
+            try:
+                report = replay_flight_dir(
+                    options.flight_dir, trace_file=options.trace_out
+                )
+            except ReplayError as error:
+                print(f"eden-flight: cannot replay: {error}", file=sys.stderr)
+                return 1
+            print(report.summary())
+            if options.trace_out:
+                print(f"replayed trace written to {options.trace_out}")
+            return 0 if report.ok else 1
+        captures = load_flight_dir(options.flight_dir)
+        if options.timeline:
+            print("\n".join(_timeline_lines(captures, options.limit)))
+        elif options.latency:
+            print("\n".join(_latency_lines(captures)))
+        elif options.json:
+            print(json.dumps(
+                [capture.summary() for capture in captures],
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print("\n".join(_summary_lines(captures)))
+        return 0
+    except FlightError as error:
+        print(f"eden-flight: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

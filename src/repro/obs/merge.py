@@ -48,6 +48,7 @@ __all__ = [
     "OnceReport",
     "load_span_log",
     "merge_span_logs",
+    "solve_offsets",
     "verify_exactly_once",
     "verify_invocation_chains",
 ]
@@ -303,12 +304,9 @@ def _estimate_offsets(logs: list[StageLog]) -> dict[str, float]:
             entry[0] = max(entry[0], parent.start - record.start)
     if not bounds:
         return {}
-    # Undirected adjacency; traverse from the stage holding the most
-    # roots (the demand or data origin), which gets offset zero.
-    adjacency: dict[str, set[str]] = {}
-    for parent_stage, child_stage in bounds:
-        adjacency.setdefault(parent_stage, set()).add(child_stage)
-        adjacency.setdefault(child_stage, set()).add(parent_stage)
+    # Traverse from the stage holding the most roots (the demand or
+    # data origin), which gets offset zero.
+    stages = {stage for pair in bounds for stage in pair}
     root_counts: dict[str, int] = {}
     for record in corrected.values():
         if record.parent is None:
@@ -316,14 +314,34 @@ def _estimate_offsets(logs: list[StageLog]) -> dict[str, float]:
                 root_counts.get(home[record.span], 0) + 1
             )
     start = max(
-        adjacency,
+        stages,
         key=lambda stage: (root_counts.get(stage, 0), -_stable_rank(stage)),
     )
+    return solve_offsets(bounds, start)
+
+
+def solve_offsets(
+    bounds: dict[tuple[str, str], list[float]], start: str
+) -> dict[str, float]:
+    """Propagate interval bounds into per-clock-domain corrections.
+
+    ``bounds`` maps ordered ``(a, b)`` pairs to ``[lo, hi]`` intervals
+    constraining ``offset[b] - offset[a]``; ``start`` is pinned at
+    zero and corrections spread breadth-first, each hop taking the
+    in-interval value closest to zero.  Domains unreachable from
+    ``start`` are left out (callers treat missing as zero).  Shared by
+    the span merger's causal pass and ``eden-flight``'s digest-matched
+    capture alignment.
+    """
+    adjacency: dict[str, set[str]] = {}
+    for a, b in bounds:
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
     offsets: dict[str, float] = {start: 0.0}
     queue = deque([start])
     while queue:
         stage = queue.popleft()
-        for neighbour in sorted(adjacency[stage]):
+        for neighbour in sorted(adjacency.get(stage, ())):
             if neighbour in offsets:
                 continue
             offsets[neighbour] = offsets[stage] + _pair_offset(

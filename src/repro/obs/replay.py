@@ -1,0 +1,423 @@
+"""Time-travel debugging: replay a flight capture through the sim kernel.
+
+A full-mode flight capture (:mod:`repro.obs.flight`) holds the exact
+wire bytes every stage of a live fleet sent and received.  That is
+enough to *re-execute* the fleet deterministically: the source's
+outbound DATA/WRITE frames carry the records that entered the stream,
+each filter's segment metadata names its transducer, and the sink's
+inbound frames say what came out.  :func:`replay_fleet` rebuilds the
+pipeline from the capture alone, runs it in the simulated kernel, and
+checks the live run against the deterministic one:
+
+- **conformance** — the pull-stream laws hold frame by frame in the
+  capture itself (END is the last data-bearing frame per channel and
+  direction; no READ is issued after the stream ended);
+- **invocations** — the simulator's invocation count equals the number
+  of request frames the live fleet actually put on the wire (the
+  paper's C1/C2 metric, checked against reality instead of a formula);
+- **output** — the simulator reproduces exactly the records the live
+  sink accepted, after duplicate suppression;
+- **exactly-once** — a *replayed trace* synthesised from the capture
+  (one READ span per request/reply pair, carrying the accepted
+  ``seq``/``n`` slice) passes
+  :func:`repro.obs.merge.verify_exactly_once`, and can be written out
+  for ``eden-trace --verify-once``.
+
+Replay needs per-process stage captures (``Pipeline(...,
+flight=...)`` or ``eden-stage --flight-dir``) in ``full`` mode;
+digest-mode captures still support the conformance pass.  Hosted and
+broker captures interleave many stages on one connection and are not
+replayable yet — :func:`replay_fleet` refuses them explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.errors import EdenError
+from repro.core.tracing import TraceEvent, Tracer
+from repro.net.framing import FrameType
+from repro.obs.flight import (
+    MODE_FULL,
+    FlightCapture,
+    FlightRecord,
+    load_flight_dir,
+)
+from repro.obs.merge import OnceReport, load_span_log, verify_exactly_once
+from repro.obs.spans import CLOCK_KIND, SPAN_KIND
+
+__all__ = [
+    "ReplayError",
+    "ReplayReport",
+    "check_conformance",
+    "replay_fleet",
+    "replay_flight_dir",
+    "synthesize_replay_trace",
+]
+
+#: Frame types that carry stream data (END-last law applies to these).
+_DATA_TYPES = (FrameType.DATA, FrameType.WRITE)
+#: Frame types outside the stream protocol, ignored by the laws.
+_META_TYPES = (
+    FrameType.HELLO, FrameType.WELCOME, FrameType.CTRL, FrameType.CTRL_REPLY,
+)
+
+
+class ReplayError(EdenError):
+    """A capture cannot be replayed (wrong mode, roles, or truncation)."""
+
+
+def check_conformance(capture: FlightCapture) -> list[str]:
+    """Frame-by-frame pull-stream law violations in one capture.
+
+    Two laws, both per logical channel (``chan=None`` is one channel):
+
+    - **END-last**: after an END travels in one direction, no further
+      DATA or WRITE frame travels in that direction.  On a stage's
+      capture the two directions of ``chan=None`` are its two links
+      (inbound data arrives from upstream, outbound data leaves for
+      downstream), so the law holds per link even without channel ids.
+    - **no-read-after-END**: once a stage has *received* END or ERROR,
+      it must not issue another READ — the stream is over.
+
+    Works on digest captures too: direction, type and channel survive
+    without payloads.  Returns problem strings (empty means clean).
+    """
+    problems: list[str] = []
+    ended: dict[tuple[Any, str], int] = {}  # (chan, direction) -> index
+    closed: dict[Any, int] = {}  # chan -> index of inbound END/ERROR
+    for record in capture.records:
+        if record.type in _META_TYPES:
+            continue
+        key = (record.chan, record.direction)
+        if record.type is FrameType.END:
+            ended.setdefault(key, record.index)
+            if not record.outbound:
+                closed.setdefault(record.chan, record.index)
+            continue
+        if record.type is FrameType.ERROR and not record.outbound:
+            closed.setdefault(record.chan, record.index)
+            continue
+        if record.type in _DATA_TYPES and key in ended:
+            problems.append(
+                f"{capture.label}: {record.type.name} frame #{record.index} "
+                f"({record.direction}, chan={record.chan}) after END "
+                f"#{ended[key]} — END must be last"
+            )
+        if (record.type is FrameType.READ and record.outbound
+                and record.chan in closed):
+            problems.append(
+                f"{capture.label}: READ frame #{record.index} "
+                f"(chan={record.chan}) issued after the stream ended "
+                f"at frame #{closed[record.chan]}"
+            )
+    return problems
+
+
+def _accepted_items(
+    records: Sequence[FlightRecord],
+    direction: str,
+    data_type: FrameType,
+) -> list[Any]:
+    """Stream records crossing a capture in ``direction``, deduplicated.
+
+    Mirrors :class:`~repro.net.protocol.RemoteReadable`'s duplicate
+    suppression: when a frame stamps its body with ``seq`` (resuming
+    fleets), records below the per-channel cursor are retransmissions
+    and are skipped; without a stamp the frames are in order and the
+    cursor just advances.
+    """
+    items: list[Any] = []
+    cursors: dict[Any, int] = {}
+    for record in records:
+        if record.direction != direction or record.type is not data_type:
+            continue
+        body = record.frame.body
+        fresh = list(body.get("items") or ())
+        seq = body.get("seq")
+        cursor = cursors.get(record.chan, 0)
+        if isinstance(seq, int):
+            skip = min(len(fresh), max(0, cursor - seq))
+            fresh = fresh[skip:]
+        cursors[record.chan] = cursor + len(fresh)
+        items.extend(fresh)
+    return items
+
+
+def _request_count(capture: FlightCapture, discipline: str) -> int:
+    """Outbound request frames in one capture (the invocation metric).
+
+    Requests are counted on the sending side only, so a fleet-wide sum
+    over per-stage captures counts each link crossing once.  READs and
+    WRITEs are always requests; END is a request only on the push side
+    (``end_is_request``), where the writer spends an invocation to
+    close the stream — on the pull side END is a reply.
+    """
+    wanted = {FrameType.READ, FrameType.WRITE}
+    if discipline == "writeonly":
+        wanted.add(FrameType.END)
+    return sum(
+        1 for record in capture.records
+        if record.outbound and record.type in wanted
+    )
+
+
+def synthesize_replay_trace(
+    captures: Sequence[FlightCapture],
+    trace_file: str | None = None,
+) -> list[TraceEvent]:
+    """Turn full-mode captures into span events ``eden-trace`` reads.
+
+    For every capture, each outbound READ is FIFO-matched (per
+    channel) to the inbound DATA or END that answered it, producing
+    one ``span`` event shaped exactly like the live runtime's
+    ``--trace-file`` output — including the accepted ``seq``/``n``
+    slice on DATA spans, which is the evidence
+    :func:`~repro.obs.merge.verify_exactly_once` tiles.  Push-side
+    WRITE→ACK pairs become latency spans without sequence evidence
+    (acceptance happens on the reader).  When ``trace_file`` is given
+    the events are also written there as JSONL, ready for
+    ``eden-trace TRACE --verify-once``.
+    """
+    events: list[TraceEvent] = []
+    serial = 0
+    for capture in captures:
+        if capture.mode != MODE_FULL:
+            raise ReplayError(
+                f"{capture.label}: digest-mode capture has no payloads to "
+                f"synthesize spans from (record with --flight-mode full)"
+            )
+        meta = capture.meta
+        events.append(TraceEvent(
+            time=float(meta.get("created_mono", 0.0)),
+            kind=CLOCK_KIND,
+            subject=capture.label,
+            detail={
+                "mono": float(meta.get("created_mono", 0.0)),
+                "wall": float(meta.get("created_wall", 0.0)),
+            },
+        ))
+        pending: dict[Any, deque[FlightRecord]] = {}
+        cursors: dict[Any, int] = {}
+        for record in capture.records:
+            if record.outbound and record.type in (
+                FrameType.READ, FrameType.WRITE
+            ):
+                if record.type is FrameType.READ:
+                    pending.setdefault((record.chan, "r"), deque()).append(
+                        record
+                    )
+                else:
+                    pending.setdefault((record.chan, "w"), deque()).append(
+                        record
+                    )
+                continue
+            if record.outbound:
+                continue
+            if record.type in (FrameType.DATA, FrameType.END):
+                queue = pending.get((record.chan, "r"))
+                op = "READ"
+            elif record.type is FrameType.ACK:
+                queue = pending.get((record.chan, "w"))
+                op = "WRITE"
+            else:
+                continue
+            if not queue:
+                continue  # reply to a request lost to segment rotation
+            request = queue.popleft()
+            serial += 1
+            detail: dict[str, Any] = {
+                "trace": f"replay-{serial}",
+                "span": f"rp{serial}",
+                "parent": None,
+                "op": op,
+                "start": request.mono,
+                "end": record.mono,
+                "status": "ok",
+            }
+            if record.type is FrameType.DATA:
+                body = record.frame.body
+                fresh = list(body.get("items") or ())
+                seq = body.get("seq")
+                cursor = cursors.get(record.chan, 0)
+                start = cursor
+                if isinstance(seq, int):
+                    skip = min(len(fresh), max(0, cursor - seq))
+                    start = seq + skip
+                    fresh = fresh[skip:]
+                cursors[record.chan] = start + len(fresh)
+                detail["seq"] = start
+                detail["n"] = len(fresh)
+            events.append(TraceEvent(
+                time=record.mono,
+                kind=SPAN_KIND,
+                subject=capture.label,
+                detail=detail,
+            ))
+    if trace_file is not None:
+        tracer = Tracer(enabled=True)
+        for event in events:
+            tracer.emit(event.time, event.kind, event.subject, **event.detail)
+        tracer.to_jsonl(trace_file)
+    return events
+
+
+@dataclass
+class ReplayReport:
+    """What deterministic replay of one captured fleet established."""
+
+    #: Stage labels in pipeline order (source first).
+    stages: list[str] = field(default_factory=list)
+    discipline: str = "readonly"
+    #: Records the live source put on the wire (after dedup).
+    items: int = 0
+    #: Request frames the live fleet sent (READs + WRITEs + pushed ENDs).
+    captured_invocations: int = 0
+    #: Invocations the deterministic re-execution used.
+    replayed_invocations: int = 0
+    #: The re-executed pipeline's output records.
+    output: list[Any] = field(default_factory=list)
+    #: Exactly-once verdict over the synthesised replay trace.
+    once: OnceReport | None = None
+    #: Where the replayed trace was written, if requested.
+    trace_file: str | None = None
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def summary(self) -> str:
+        verdict = "DETERMINISTIC" if self.ok else "DIVERGED"
+        lines = [
+            f"{verdict}: {len(self.stages)}-stage {self.discipline} fleet, "
+            f"{self.items} records",
+            f"  invocations: captured {self.captured_invocations}, "
+            f"replayed {self.replayed_invocations}",
+            f"  output: {len(self.output)} records from replay",
+        ]
+        if self.once is not None:
+            lines.append("  " + self.once.summary().splitlines()[0])
+        lines.extend(f"  - {problem}" for problem in self.problems)
+        return "\n".join(lines)
+
+
+def replay_fleet(
+    captures: Sequence[FlightCapture],
+    trace_file: str | None = None,
+) -> ReplayReport:
+    """Re-execute a captured fleet in the sim kernel and compare.
+
+    See the module docstring for what is checked.  Raises
+    :class:`ReplayError` when the captures cannot drive a replay at
+    all (digest mode, missing roles, hosted/broker captures, rotation
+    losses); divergences between the live run and the deterministic
+    one are *reported*, not raised.
+    """
+    report = ReplayReport(trace_file=trace_file)
+    by_role: dict[str, list[FlightCapture]] = {}
+    for capture in captures:
+        by_role.setdefault(str(capture.meta.get("role", "")), []).append(
+            capture
+        )
+    for bad in ("host", "broker"):
+        if bad in by_role:
+            labels = ", ".join(c.label for c in by_role[bad])
+            raise ReplayError(
+                f"replay needs per-process stage captures; {labels} is a "
+                f"{bad} capture interleaving many stages on one connection"
+            )
+    for role in ("source", "sink"):
+        if len(by_role.get(role, [])) != 1:
+            raise ReplayError(
+                f"replay needs exactly one {role} capture, found "
+                f"{len(by_role.get(role, []))} (is this a complete, "
+                f"unsharded --flight-dir?)"
+            )
+    for capture in captures:
+        if capture.mode != MODE_FULL:
+            raise ReplayError(
+                f"{capture.label}: digest-mode capture cannot be replayed "
+                f"(record with --flight-mode full)"
+            )
+        if capture.truncated or capture.rotated:
+            raise ReplayError(
+                f"{capture.label}: capture lost frames to "
+                f"{'truncation' if capture.truncated else 'rotation'}; "
+                f"replay needs the complete stream (raise segment bounds)"
+            )
+
+    source = by_role["source"][0]
+    sink = by_role["sink"][0]
+    filters = sorted(
+        by_role.get("filter", []),
+        key=lambda c: int(c.meta.get("serial", 0)),
+    )
+    ordered = [source, *filters, sink]
+    report.stages = [capture.label for capture in ordered]
+    report.discipline = str(source.meta.get("discipline", "readonly"))
+    data_type = (
+        FrameType.WRITE if report.discipline == "writeonly" else FrameType.DATA
+    )
+
+    for capture in ordered:
+        report.problems.extend(check_conformance(capture))
+
+    items = _accepted_items(source.records, "out", data_type)
+    delivered = _accepted_items(sink.records, "in", data_type)
+    report.items = len(items)
+    report.captured_invocations = sum(
+        _request_count(capture, report.discipline) for capture in ordered
+    )
+
+    specs = []
+    for capture in filters:
+        spec = capture.meta.get("transducer_spec")
+        if not spec:
+            raise ReplayError(
+                f"{capture.label}: capture metadata names no transducer "
+                f"(recorded by an older build?)"
+            )
+        specs.append((str(spec), list(capture.meta.get("transducer_args", ()))))
+    batch = int(sink.meta.get("batch", 1))
+
+    from repro.api import Pipeline  # local: api imports obs lazily, not us
+
+    result = Pipeline(
+        specs, discipline=report.discipline, source=items,
+    ).run(runtime="sim", batch=batch)
+    report.output = result.output
+    report.replayed_invocations = result.invocations
+
+    if result.invocations != report.captured_invocations:
+        report.problems.append(
+            f"invocation divergence: live fleet sent "
+            f"{report.captured_invocations} requests, deterministic replay "
+            f"used {result.invocations}"
+        )
+    if result.output != delivered:
+        report.problems.append(
+            f"output divergence: replay produced {len(result.output)} "
+            f"records, live sink accepted {len(delivered)}"
+            + ("" if len(result.output) != len(delivered) else
+               " (same count, different records)")
+        )
+
+    events = synthesize_replay_trace(ordered, trace_file=trace_file)
+    # One log is enough: verify_exactly_once groups evidence by each
+    # span's own stage label, exactly as for a hosted fleet's file.
+    report.once = verify_exactly_once([load_span_log(events)])
+    report.problems.extend(
+        f"replayed trace: {problem}" for problem in report.once.problems
+    )
+    return report
+
+
+def replay_flight_dir(
+    flight_dir: str,
+    trace_file: str | None = None,
+) -> ReplayReport:
+    """:func:`replay_fleet` over every capture in one ``--flight-dir``."""
+    return replay_fleet(load_flight_dir(flight_dir), trace_file=trace_file)

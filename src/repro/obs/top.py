@@ -21,6 +21,7 @@ table marked ``gone``, so a draining fleet is visible as it winds down.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
@@ -30,7 +31,7 @@ from typing import Any, Sequence
 from repro.core.stats import Histogram
 from repro.obs.control import ControlError, query
 
-__all__ = ["StageRow", "gather_fleet", "render_fleet", "main"]
+__all__ = ["StageRow", "gather_fleet", "render_fleet", "rows_payload", "main"]
 
 
 @dataclass
@@ -56,6 +57,9 @@ class StageRow:
     hosted: str = "-"
     #: Planned CPU core ("3"), "3?" when the pin failed, "-" unpinned.
     cpu: str = "-"
+    #: Flight recorder: "ful:12kB" / "dig:3kB" from the stage's
+    #: ``health`` payload, "-" when recording is off.
+    flight: str = "-"
     gauges: dict[str, float] = field(default_factory=dict)
 
 
@@ -102,6 +106,12 @@ def _row_from_payloads(
         row.cpu = str(int(health["cpu"]))
         if not health.get("pinned"):
             row.cpu += "?"
+    flight = health.get("flight")
+    if isinstance(flight, dict):
+        row.flight = (
+            f"{str(flight.get('mode', '?'))[:3]}:"
+            f"{_si_bytes(int(flight.get('bytes', 0)))}"
+        )
     histogram_data = stats.get("histograms", {}).get("read_rtt_ms")
     if isinstance(histogram_data, dict):
         try:
@@ -112,6 +122,15 @@ def _row_from_payloads(
             row.read_p50_ms = histogram.quantile(0.5)
             row.read_p95_ms = histogram.quantile(0.95)
     return row
+
+
+def _si_bytes(count: int) -> str:
+    """Compact byte count for the FLIGHT column (``824B``, ``3.2MB``)."""
+    if count < 1024:
+        return f"{count}B"
+    if count < 1024 * 1024:
+        return f"{count / 1024:.1f}kB"
+    return f"{count / (1024 * 1024):.1f}MB"
 
 
 def gather_fleet(
@@ -134,7 +153,7 @@ def render_fleet(rows: Sequence[StageRow]) -> str:
     """The fleet table as text (pure, so tests can assert on it)."""
     headers = ("STAGE", "ROLE", "SHARD", "UP", "INVOKES", "REPLIES", "BYTES",
                "CREDIT", "TPUT rec/s", "AUTO b/w", "READ p50/p95",
-               "CHAN", "HOST", "CPU")
+               "CHAN", "HOST", "CPU", "FLIGHT")
     table: list[tuple[str, ...]] = [headers]
     for row in rows:
         if not row.alive:
@@ -150,7 +169,7 @@ def render_fleet(rows: Sequence[StageRow]) -> str:
             row.label, row.role, row.shard, f"{row.uptime_s:.1f}s",
             str(row.invocations), str(row.replies), str(row.bytes_moved),
             row.credit, throughput, row.autotune, latency,
-            row.channels, row.hosted, row.cpu,
+            row.channels, row.hosted, row.cpu, row.flight,
         ))
     widths = [
         max(len(line[column]) for line in table)
@@ -164,6 +183,15 @@ def render_fleet(rows: Sequence[StageRow]) -> str:
     if footer:
         rendered.append(footer)
     return "\n".join(rendered)
+
+
+def rows_payload(rows: Sequence[StageRow]) -> list[dict[str, Any]]:
+    """The snapshot as JSON-safe dicts (``eden-top --json``'s output).
+
+    One dict per stage, every :class:`StageRow` field included — the
+    scripting surface mirrors the table exactly.
+    """
+    return [dataclasses.asdict(row) for row in rows]
 
 
 def _pool_footer(rows: Sequence[StageRow]) -> str | None:
@@ -211,10 +239,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--timeout", type=float, default=2.0)
     parser.add_argument("--once", action="store_true",
                         help="print one snapshot and exit")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="one machine-readable snapshot (implies --once)")
     options = parser.parse_args(argv)
     targets = _targets_from_args(options)
     if not targets:
         parser.error("no control targets: give --fleet or --stage")
+    if options.as_json:
+        rows = gather_fleet(targets, timeout=options.timeout)
+        print(json.dumps(rows_payload(rows), indent=2, sort_keys=True))
+        return 0
     try:
         while True:
             rows = gather_fleet(targets, timeout=options.timeout)

@@ -1,10 +1,13 @@
 """Debug-artifact capture for the wire-runtime tests.
 
 When ``EDEN_NET_DEBUG_DIR`` is set and a test in this package fails,
-the per-stage span logs, stats snapshots, and fleet manifest the test
-left in its ``tmp_path`` are copied there under the test's node id.
-CI points the variable at a directory it uploads on failure, so a red
-run ships the traces needed to diagnose it.
+the per-stage span logs, stats snapshots, flight-recorder segments,
+and fleet manifest the test left in its ``tmp_path`` are copied there
+under the test's node id.  CI points the variable at a directory it
+uploads on failure, so a red run ships the traces needed to diagnose
+it.  Copies keep their path relative to ``tmp_path``: flight segments
+are ``flight/<stage>/seg-*.efl`` and every stage names its first
+segment the same, so a flat copy would collide.
 """
 
 import os
@@ -14,7 +17,7 @@ import shutil
 
 import pytest
 
-ARTIFACT_GLOBS = ("*.trace.jsonl", "*.stats.json", "fleet.json")
+ARTIFACT_GLOBS = ("*.trace.jsonl", "*.stats.json", "fleet.json", "*.efl")
 
 
 def _sanitize(nodeid: str) -> str:
@@ -38,7 +41,9 @@ def pytest_runtest_makereport(item, call):
     ]
     if not found:
         return
+    base = pathlib.Path(tmp_path)
     target = pathlib.Path(debug_dir) / _sanitize(item.nodeid)
-    target.mkdir(parents=True, exist_ok=True)
     for path in found:
-        shutil.copy2(path, target / path.name)
+        destination = target / path.relative_to(base)
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy2(path, destination)

@@ -12,6 +12,8 @@ The matrix kills each role of the read-only discipline once (source,
 middle filter, sink), plus a filter under each push discipline.
 """
 
+import os
+
 import pytest
 
 from repro.api import Pipeline
@@ -26,10 +28,18 @@ KILL_AT = 7
 
 
 def run_with_kill(discipline, victim_serial, tmp_path, trace=True):
+    # EDEN_CHAOS_FLIGHT switches the flight recorder on fleet-wide;
+    # nightly CI sets it so a failed kill-matrix run ships frame-level
+    # captures (tmp_path/flight/**/*.efl) next to the span logs.
+    flight = (
+        str(tmp_path / "flight")
+        if os.environ.get("EDEN_CHAOS_FLIGHT") else None
+    )
     return Pipeline(
         [IDENTITY] * 3, discipline=discipline, source=ITEMS,
     ).run(
         runtime="tcp",
+        flight=flight,
         workdir=str(tmp_path),
         faults={victim_serial: FaultPlan(kill_after=KILL_AT)},
         resume=True,

@@ -1,15 +1,23 @@
 """The control protocol and the eden-top fleet table."""
 
 import asyncio
+import json
 
 import pytest
 
-from repro.obs.control import ControlError, query_async, start_control_server
+from repro.net.framing import HEADER, MAGIC, FrameType
+from repro.obs.control import (
+    MAX_CONTROL_REPLY,
+    ControlError,
+    query_async,
+    start_control_server,
+)
 from repro.obs.top import (
     StageRow,
     _row_from_payloads,
     gather_fleet,
     render_fleet,
+    rows_payload,
 )
 
 
@@ -89,6 +97,62 @@ class TestControlProtocol:
     def test_unreachable_port_raises_control_error(self):
         with pytest.raises(ControlError):
             run(query_async("127.0.0.1", 1, "stats", timeout=0.5))
+
+
+async def misbehaving_server(reply_bytes):
+    """A listener that answers any request with fixed raw bytes."""
+
+    async def handle(reader, writer):
+        await reader.read(1024)
+        if reply_bytes:
+            writer.write(reply_bytes)
+            await writer.drain()
+        writer.close()
+
+    server = await asyncio.start_server(handle, host="127.0.0.1", port=0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+class TestControlHardening:
+    """A dying or hostile stage yields ControlError, never a traceback."""
+
+    def query_against(self, reply_bytes, match):
+        async def scenario():
+            server, port = await misbehaving_server(reply_bytes)
+            try:
+                with pytest.raises(ControlError, match=match):
+                    await query_async("127.0.0.1", port, "stats", timeout=2.0)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_clean_close_without_reply(self):
+        self.query_against(b"", "closed without replying")
+
+    def test_reply_truncated_mid_header(self):
+        self.query_against(MAGIC[:3], "truncated mid-header")
+
+    def test_reply_with_garbage_magic(self):
+        self.query_against(b"HTTP/1.1 200 OK\r\n\r\n", "bad magic")
+
+    def test_oversized_declared_length_is_refused_unbuffered(self):
+        # The header claims 16 MB; the observer must refuse on the
+        # declared length alone, before reading a single body byte.
+        header = HEADER.pack(MAGIC, int(FrameType.CTRL_REPLY),
+                             MAX_CONTROL_REPLY + 1)
+        self.query_against(header, "over the .*-byte bound")
+
+    def test_reply_truncated_mid_body(self):
+        body = json.dumps({"ok": True}).encode("utf-8")
+        header = HEADER.pack(MAGIC, int(FrameType.CTRL_REPLY), len(body) + 64)
+        self.query_against(header + body, "truncated: got")
+
+    def test_undecodable_reply_body(self):
+        body = b"\xff\xfe not json at all"
+        header = HEADER.pack(MAGIC, int(FrameType.CTRL_REPLY), len(body))
+        self.query_against(header + body, "undecodable control reply")
 
 
 class TestEdenTop:
@@ -174,10 +238,11 @@ class TestEdenTop:
         assert (pinned.cpu, unpinned.cpu, plain.cpu) == ("3", "1?", "-")
         table = render_fleet([pinned, unpinned, plain])
         lines = table.splitlines()
-        assert lines[0].rstrip().endswith("CPU")
-        assert lines[1].rstrip().endswith("3")
-        assert lines[2].rstrip().endswith("1?")
-        assert lines[3].rstrip().endswith("-")
+        # CPU sits second-to-last, before the FLIGHT column.
+        assert lines[0].split()[-2] == "CPU"
+        assert lines[1].split()[-2] == "3"
+        assert lines[2].split()[-2] == "1?"
+        assert lines[3].split()[-2] == "-"
 
     def test_bufpool_footer_aggregates_across_stages(self):
         one = _row_from_payloads(
@@ -198,3 +263,65 @@ class TestEdenTop:
         row = StageRow(label="pipe#1", alive=True, role="pipe")
         table = render_fleet([row])
         assert "bufpool" not in table
+
+    def test_flight_column_compacts_the_recorder_state(self):
+        recording = _row_from_payloads(
+            "filter#2",
+            {"label": "filter#2", "role": "filter", "uptime_s": 1.0,
+             "flight": {"mode": "digest", "bytes": 12288, "frames": 90}},
+            {"counters": {}, "gauges": {}},
+        )
+        off = _row_from_payloads(
+            "filter#3",
+            {"label": "filter#3", "role": "filter", "uptime_s": 1.0,
+             "flight": None},
+            {"counters": {}, "gauges": {}},
+        )
+        assert recording.flight == "dig:12.0kB"
+        assert off.flight == "-"
+        table = render_fleet([recording, off])
+        lines = table.splitlines()
+        assert lines[0].rstrip().endswith("FLIGHT")
+        assert lines[1].rstrip().endswith("dig:12.0kB")
+        assert lines[2].rstrip().endswith("-")
+
+    def test_rows_payload_is_the_json_surface(self):
+        # eden-top --json prints exactly this: one dict per stage with
+        # every table field, so scripts never parse the rendered table.
+        rows = [
+            StageRow(label="source#0", alive=True, role="source",
+                     uptime_s=2.0, invocations=13, flight="ful:1.2MB"),
+            StageRow(label="sink#4", alive=False),
+        ]
+        payload = rows_payload(rows)
+        assert json.dumps(payload)  # JSON-safe throughout
+        assert payload[0]["label"] == "source#0"
+        assert payload[0]["invocations"] == 13
+        assert payload[0]["flight"] == "ful:1.2MB"
+        assert payload[1] == {
+            "label": "sink#4", "alive": False, "role": "?", "shard": "-",
+            "uptime_s": 0.0, "invocations": 0, "replies": 0,
+            "bytes_moved": 0, "credit": "-", "throughput": None,
+            "autotune": "-", "read_p50_ms": None, "read_p95_ms": None,
+            "channels": "-", "hosted": "-", "cpu": "-", "flight": "-",
+            "gauges": {},
+        }
+
+    def test_json_flag_prints_one_machine_snapshot(self, capsys):
+        from repro.obs.top import main
+
+        async def scenario():
+            server, port = await control_server(HANDLERS)
+            try:
+                return await asyncio.to_thread(
+                    main, ["--stage", f"127.0.0.1:{port}", "--json"]
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        assert run(scenario()) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        assert payload[0]["role"] == "sink"
+        assert payload[0]["alive"] is True

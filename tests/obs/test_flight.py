@@ -1,0 +1,168 @@
+"""The flight recorder: capture, rotation, and loading captures back."""
+
+import zlib
+
+import pytest
+
+from repro.net.framing import Frame, FrameType, encode_frame
+from repro.obs.flight import (
+    FlightError,
+    FlightRecorder,
+    load_capture,
+    load_flight_dir,
+)
+
+DATA = encode_frame(Frame(FrameType.DATA, {"items": ["a", "b"],
+                                           "channel": None}))
+READ = encode_frame(Frame(FrameType.READ, {"n": 2, "channel": None}))
+MUXED = encode_frame(Frame(FrameType.DATA, {"items": ["c"]}, chan=7))
+
+
+class FakeStats:
+    def __init__(self):
+        self.gauges = {}
+
+    def set_gauge(self, name, value):
+        self.gauges[name] = value
+
+
+class TestRecorderRoundtrip:
+    def test_full_mode_keeps_exact_wire_bytes(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path), "filter#1")
+        recorder.record(True, READ)
+        recorder.record(False, DATA)
+        recorder.close()
+
+        capture = load_capture(str(recorder.path))
+        assert capture.label == "filter#1"
+        assert [r.type for r in capture.records] == [
+            FrameType.READ, FrameType.DATA,
+        ]
+        assert [r.direction for r in capture.records] == ["out", "in"]
+        assert capture.records[0].payload == READ
+        assert capture.records[1].payload == DATA
+        assert capture.records[1].frame.body["items"] == ["a", "b"]
+        assert not capture.truncated and not capture.rotated
+
+    def test_digest_mode_keeps_crc_not_payload(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path), "sink#2", mode="digest")
+        recorder.record(False, DATA)
+        recorder.close()
+
+        [record] = load_capture(str(recorder.path)).records
+        assert record.payload is None
+        assert record.digest == zlib.crc32(DATA) & 0xFFFFFFFF
+        assert record.wire_bytes == len(DATA)
+        with pytest.raises(FlightError, match="no payload"):
+            record.frame
+
+    def test_channel_id_survives_both_modes(self, tmp_path):
+        # The chan id is lifted off the wire header at record time,
+        # because a digest payload cannot recover it at load time.
+        # Decoder tees hand over memoryviews, not bytes.
+        for mode in ("full", "digest"):
+            recorder = FlightRecorder(str(tmp_path), f"mux-{mode}", mode=mode)
+            recorder.record(True, memoryview(MUXED))
+            recorder.close()
+            [record] = load_capture(str(recorder.path)).records
+            assert record.chan == 7
+            assert record.digest == zlib.crc32(MUXED) & 0xFFFFFFFF
+
+    def test_monotonic_timestamps_and_wall_anchor(self, tmp_path):
+        ticks = iter(float(n) for n in range(100))
+        recorder = FlightRecorder(
+            str(tmp_path), "s#0",
+            clock=lambda: next(ticks), wall_clock=lambda: 1000.0,
+        )
+        recorder.record(True, READ)
+        recorder.record(False, DATA)
+        recorder.close()
+        capture = load_capture(str(recorder.path))
+        records = capture.records
+        assert records[0].mono < records[1].mono
+        # wall = mono + (created_wall - created_mono), the segment anchor.
+        anchor = capture.meta["created_wall"] - capture.meta["created_mono"]
+        assert records[0].wall == pytest.approx(records[0].mono + anchor)
+
+
+class TestSegments:
+    def test_rotation_bounds_disk_and_flags_the_loss(self, tmp_path):
+        recorder = FlightRecorder(
+            str(tmp_path), "s#0", segment_bytes=1024, max_segments=2,
+        )
+        for _ in range(200):
+            recorder.record(True, DATA)
+        recorder.close()
+
+        segments = sorted(recorder.path.glob("seg-*.efl"))
+        assert len(segments) == 2
+        assert recorder.segments_written > 2
+        capture = load_capture(str(recorder.path))
+        assert capture.rotated  # the oldest frames are gone, visibly
+        assert len(capture.records) < 200
+
+    def test_truncated_tail_record_is_tolerated(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path), "s#0")
+        recorder.record(True, READ)
+        recorder.record(False, DATA)
+        recorder.close()
+        [segment] = recorder.path.glob("seg-*.efl")
+        whole = segment.read_bytes()
+        segment.write_bytes(whole[:-3])  # a crash mid-write
+
+        capture = load_capture(str(recorder.path))
+        assert capture.truncated
+        assert [r.type for r in capture.records] == [FrameType.READ]
+
+    def test_load_flight_dir_collects_stage_captures(self, tmp_path):
+        for label in ("source#0", "sink#1"):
+            recorder = FlightRecorder(str(tmp_path), label)
+            recorder.record(True, READ)
+            recorder.close()
+        captures = load_flight_dir(str(tmp_path))
+        assert sorted(c.label for c in captures) == ["sink#1", "source#0"]
+
+    def test_empty_directory_is_an_error(self, tmp_path):
+        with pytest.raises(FlightError, match="no flight captures"):
+            load_flight_dir(str(tmp_path))
+
+
+class TestLifecycle:
+    def test_records_after_close_are_dropped(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path), "s#0")
+        recorder.record(True, READ)
+        recorder.close()
+        recorder.record(True, READ)
+        assert recorder.frames == 1
+
+    def test_gauges_are_published_on_close(self, tmp_path):
+        stats = FakeStats()
+        recorder = FlightRecorder(str(tmp_path), "s#0", stats=stats)
+        recorder.record(True, READ)
+        recorder.record(False, DATA)
+        recorder.close()
+        assert stats.gauges["flight_frames"] == 2.0
+        assert stats.gauges["flight_bytes"] == float(len(READ) + len(DATA))
+        assert stats.gauges["flight_segments"] == 1.0
+        assert stats.gauges["flight_record_ms"] >= 0.0
+
+    def test_describe_matches_the_capture(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path), "s#0", mode="digest",
+                                  meta={"role": "sink"})
+        recorder.record(False, DATA)
+        described = recorder.describe()
+        assert described["mode"] == "digest"
+        assert described["frames"] == 1
+        assert described["bytes"] == len(DATA)
+        assert described["record_ms"] >= 0.0
+        recorder.close()
+        assert load_capture(str(recorder.path)).meta["role"] == "sink"
+
+    @pytest.mark.parametrize("kwargs, message", [
+        ({"mode": "verbose"}, "flight mode"),
+        ({"segment_bytes": 16}, "segment_bytes"),
+        ({"max_segments": 0}, "max_segments"),
+    ])
+    def test_constructor_validates(self, tmp_path, kwargs, message):
+        with pytest.raises(ValueError, match=message):
+            FlightRecorder(str(tmp_path), "s#0", **kwargs)

@@ -1,0 +1,156 @@
+"""``eden-flight``: summaries, the skew-corrected timeline, and diffs."""
+
+import json
+
+from repro.net.framing import Frame, FrameType, encode_frame
+from repro.obs.flight import FlightRecorder
+from repro.obs.flight_cli import main
+
+READ = Frame(FrameType.READ, {"n": 1, "channel": None})
+READ2 = Frame(FrameType.READ, {"n": 2, "channel": None})
+END = Frame(FrameType.END, {"channel": None})
+
+
+def data(items):
+    return Frame(FrameType.DATA, {"items": items, "channel": None})
+
+
+def write_capture(directory, label, timed_frames, mode="full",
+                  wall_offset=0.0):
+    """One stage capture from (mono, outbound, frame) tuples.
+
+    ``wall_offset`` shifts the stage's wall clock against its
+    monotonic clock, simulating per-host clock skew.
+    """
+    cell = [0.0]  # every clock read during one record() sees one mono
+    recorder = FlightRecorder(
+        str(directory), label, mode=mode,
+        clock=lambda: cell[0],
+        wall_clock=lambda: 100.0 + wall_offset,
+    )
+    for mono, outbound, frame in timed_frames:
+        cell[0] = mono
+        recorder.record(outbound, encode_frame(frame))
+    recorder.close()
+
+
+def two_stage_capture(directory, skew=0.0):
+    """An upstream/downstream pair exchanging two distinct batches.
+
+    Every frame is unique on the wire (the two READs ask for
+    different counts), so digest matching can bound the clock offset
+    from both directions of traffic.
+    """
+    write_capture(directory, "source#0", [
+        (1.0, False, READ), (2.0, True, data(["a"])),
+        (3.0, False, READ2), (4.0, True, data(["b"])),
+    ])
+    write_capture(directory, "sink#1", [
+        (0.5, True, READ), (2.5, False, data(["a"])),
+        (2.6, True, READ2), (4.5, False, data(["b"])),
+    ], wall_offset=skew)
+
+
+class TestSummaries:
+    def test_default_is_a_stage_table(self, tmp_path, capsys):
+        two_stage_capture(tmp_path)
+        assert main([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("STAGE")
+        assert "source#0" in out and "sink#1" in out
+        assert "full" in out
+
+    def test_json_mode_is_machine_readable(self, tmp_path, capsys):
+        two_stage_capture(tmp_path)
+        assert main(["--json", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["label"] for entry in payload} == {
+            "source#0", "sink#1",
+        }
+        assert all(entry["frames"] == 4 for entry in payload)
+
+    def test_missing_directory_fails_cleanly(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 1
+        assert "eden-flight:" in capsys.readouterr().err
+
+
+class TestTimeline:
+    def test_sends_precede_their_receives_despite_skew(self, tmp_path,
+                                                       capsys):
+        # The sink's wall clock runs 50s ahead; digest matching plus
+        # interval intersection must still order each DATA send before
+        # its receive on the merged timeline.
+        two_stage_capture(tmp_path, skew=50.0)
+        assert main(["--timeline", str(tmp_path)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].startswith("8 frames across 2 stages")
+        order = [line for line in lines[1:] if "DATA" in line]
+        for sent, received in zip(order[::2], order[1::2]):
+            assert "source#0" in sent and "->" in sent
+            assert "sink#1" in received and "<-" in received
+
+    def test_limit_truncates_the_tail(self, tmp_path, capsys):
+        two_stage_capture(tmp_path)
+        assert main(["--timeline", "--limit", "3", str(tmp_path)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert "(last 3)" in lines[0]
+        assert len(lines) == 4
+
+
+class TestLatency:
+    def test_decomposition_has_both_sides(self, tmp_path, capsys):
+        two_stage_capture(tmp_path)
+        assert main(["--latency", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        # The sink paired two client round trips; the source served two.
+        assert "sink#1" in out and "client" in out
+        assert "source#0" in out and "server" in out
+
+
+class TestDiff:
+    def test_identical_captures_diff_clean(self, tmp_path, capsys):
+        two_stage_capture(tmp_path / "a")
+        two_stage_capture(tmp_path / "b")
+        assert main(["--diff", str(tmp_path / "a"), str(tmp_path / "b")]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_divergent_frame_is_named(self, tmp_path, capsys):
+        two_stage_capture(tmp_path / "a")
+        write_capture(tmp_path / "b", "source#0", [
+            (1.0, False, READ), (2.0, True, data(["a"])),
+            (3.0, False, READ2), (4.0, True, data(["CHANGED"])),
+        ])
+        write_capture(tmp_path / "b", "sink#1", [
+            (0.5, True, READ), (2.5, False, data(["a"])),
+            (2.6, True, READ2), (4.5, False, data(["b"])),
+        ])
+        assert main(["--diff", str(tmp_path / "a"), str(tmp_path / "b")]) == 1
+        out = capsys.readouterr().out
+        assert "source#0: frame #3 diverges" in out
+        assert "sink#1: identical" in out
+
+    def test_full_vs_digest_capture_still_diffs(self, tmp_path, capsys):
+        # Every record carries a digest, so mode does not matter.
+        two_stage_capture(tmp_path / "a")
+        write_capture(tmp_path / "b", "source#0", [
+            (1.0, False, READ), (2.0, True, data(["a"])),
+            (3.0, False, READ2), (4.0, True, data(["b"])),
+        ], mode="digest")
+        write_capture(tmp_path / "b", "sink#1", [
+            (0.5, True, READ), (2.5, False, data(["a"])),
+            (2.6, True, READ2), (4.5, False, data(["b"])),
+        ], mode="digest")
+        assert main(["--diff", str(tmp_path / "a"), str(tmp_path / "b")]) == 0
+
+
+class TestReplayErrors:
+    def test_digest_capture_cannot_replay(self, tmp_path, capsys):
+        write_capture(tmp_path, "source#0",
+                      [(1.0, True, data(["a"]))], mode="digest")
+        assert main(["--replay", str(tmp_path)]) == 1
+        assert "cannot replay" in capsys.readouterr().err
+
+    def test_dir_is_required_without_diff(self, capsys):
+        import pytest
+        with pytest.raises(SystemExit):
+            main(["--timeline"])

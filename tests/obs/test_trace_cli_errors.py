@@ -1,0 +1,96 @@
+"""``eden-trace`` edge cases: bad inputs fail cleanly, skew is handled."""
+
+import json
+
+from repro.core.tracing import Tracer
+from repro.obs.trace_cli import main
+
+
+def write_stage_log(path, stage, spans, mono_offset=0.0, wall=5000.0):
+    """A per-stage trace log: one clock anchor plus READ spans.
+
+    ``mono_offset`` shifts the stage's monotonic clock; ``wall`` is
+    shared, so the merger must undo the offset to align the logs.
+    """
+    tracer = Tracer(enabled=True)
+    tracer.emit(mono_offset, "clock", stage,
+                mono=mono_offset, wall=wall)
+    for serial, (trace, start, seq, n) in enumerate(spans):
+        tracer.emit(
+            mono_offset + start + 0.010, "span", stage,
+            trace=trace, span=f"{stage}-{serial}", parent=None,
+            op="READ", start=mono_offset + start,
+            end=mono_offset + start + 0.010,
+            status="ok", seq=seq, n=n,
+        )
+    tracer.to_jsonl(str(path))
+
+
+class TestLoadErrors:
+    def test_missing_file_exits_cleanly(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("eden-trace: cannot load traces:")
+
+    def test_corrupt_json_exits_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"time": 1.0, "kind": "span"\n')
+        assert main([str(bad)]) == 1
+        assert "cannot load traces" in capsys.readouterr().err
+
+    def test_empty_log_reports_no_spans(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main([str(empty)]) == 0
+        assert "no spans found" in capsys.readouterr().out
+
+    def test_fleet_manifest_without_trace_files(self, tmp_path, capsys):
+        manifest = tmp_path / "fleet.json"
+        manifest.write_text(json.dumps({"stages": [{"role": "source"}]}))
+        import pytest
+        with pytest.raises(SystemExit):  # argparse: no trace files at all
+            main(["--fleet", str(manifest)])
+
+
+class TestMixedFleetSkew:
+    def test_verify_once_spans_skewed_stage_clocks(self, tmp_path, capsys):
+        # Two stages whose monotonic clocks disagree by 1000s; the
+        # spans still tile [0, 4) each, so exactly-once must pass.
+        write_stage_log(tmp_path / "a.jsonl", "filter#1", [
+            ("t1", 0.0, 0, 2), ("t2", 0.1, 2, 2),
+        ])
+        write_stage_log(tmp_path / "b.jsonl", "sink#2", [
+            ("t1", 0.05, 0, 2), ("t2", 0.15, 2, 2),
+        ], mono_offset=1000.0)
+        code = main([str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl"),
+                     "--verify-once", "4"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "EXACTLY-ONCE" in out
+
+    def test_verify_once_catches_a_gap_across_stages(self, tmp_path, capsys):
+        write_stage_log(tmp_path / "a.jsonl", "filter#1", [
+            ("t1", 0.0, 0, 2), ("t2", 0.1, 3, 1),  # record 2 lost
+        ])
+        code = main([str(tmp_path / "a.jsonl"), "--verify-once", "4"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATION" in out
+
+    def test_summary_merges_skewed_logs_into_one_timeline(self, tmp_path,
+                                                          capsys):
+        write_stage_log(tmp_path / "a.jsonl", "filter#1",
+                        [("t1", 0.0, 0, 2)])
+        write_stage_log(tmp_path / "b.jsonl", "sink#2",
+                        [("t1", 0.05, 0, 2)], mono_offset=1000.0)
+        assert main([str(tmp_path / "a.jsonl"),
+                     str(tmp_path / "b.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "traces: 1" in out
+        # After skew correction the merged trace spans well under a
+        # second, not the 1000s the raw clocks would suggest.
+        assert "end-to-end latency ms:" in out
+        latency_line = next(
+            line for line in out.splitlines() if "max" in line
+        )
+        assert float(latency_line.rsplit()[-1]) < 1000.0
