@@ -27,7 +27,7 @@ import warnings
 
 from repro.api import Pipeline
 from repro.core.stats import Histogram
-from repro.net.launch import IDENTITY, plan_fleet, run_fleet
+from repro.net.launch import IDENTITY, plan_linear_fleet, run_fleet
 from repro.transput import FlowPolicy
 
 from conftest import publish
@@ -49,13 +49,13 @@ SHARD_POINTS = (200, 1000) if QUICK else (500, 6000)
 SHARD_COUNTS = (1, 2, 4)
 
 #: The PR's data plane: negotiated binary codec, batched reads, eight
-#: READs in flight.  The baseline is plan_fleet's defaults — JSON,
+#: READs in flight.  The baseline is plan_linear_fleet's defaults — JSON,
 #: batch=1, strict request/response alternation (the PR-4 runtime).
 FAST_FLOW = FlowPolicy(batch=32, pipeline_depth=8)
 
 
 def timed_fleet(workdir, count, codec, flow):
-    plans = plan_fleet(
+    plans = plan_linear_fleet(
         "readonly", [IDENTITY], workdir,
         source_count=count, source_seed=11, codec=codec, flow=flow,
     )

@@ -35,7 +35,7 @@ import pathlib
 import time
 
 from repro.core.stats import Histogram
-from repro.net.launch import IDENTITY, plan_fleet, run_fleet
+from repro.net.launch import IDENTITY, plan_linear_fleet, run_fleet
 from repro.transput import FlowPolicy
 
 from conftest import publish
@@ -65,7 +65,7 @@ FAST_FLOW = FlowPolicy(batch=32, pipeline_depth=8)
 
 
 def timed_fleet(workdir, count, flight_dir, flight_mode):
-    plans = plan_fleet(
+    plans = plan_linear_fleet(
         "readonly", [IDENTITY], workdir,
         source_count=count, source_seed=11, codec="binary", flow=FAST_FLOW,
         flight_dir=flight_dir, flight_mode=flight_mode or "full",

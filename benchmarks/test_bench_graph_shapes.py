@@ -1,0 +1,103 @@
+"""T17 — graph shapes: the DAG runtime costs exactly what the model says.
+
+The graph redesign claims that non-linear topologies keep the paper's
+C1/C2 economics *per edge*: a diamond (scatter over two branches, then
+gather) moves every record over the same number of hops as the
+equivalent linear chain, so its total invocations are predicted by
+summing ``ceil(m_e / batch) + 1`` over its edges — where ``m_e`` is
+each edge's share of the stream, not the whole of it.  This bench runs
+the diamond and its linear twin on every runtime and fails if any
+measured total drifts from the per-edge analytic sum by even one
+invocation, then reports the diamond/linear cost ratio (1.0 when the
+branch arithmetic is honest: two half-streams cost two half-predictions
+plus two extra END frames per parallel hop).
+
+``EDEN_BENCH_QUICK=1`` keeps the stream short and skips nothing — the
+counts are exact at any length, which is the point.
+"""
+
+import os
+
+from repro.analysis import predict_graph_invocations
+from repro.api import GraphBuilder
+
+from conftest import publish
+
+QUICK = os.environ.get("EDEN_BENCH_QUICK") == "1"
+RECORDS = 32 if QUICK else 256
+ITEMS = [f"record-{i:04d}" for i in range(RECORDS)]
+IDENTITY = "repro.transput:identity_transducer"
+#: tcp is exact too, but slow; exercised once at the end rather than
+#: inside the timed sweep.
+TIMED_RUNTIMES = ("sim", "aio")
+
+
+def linear_graph():
+    # Four stages -> five edges: the same number of hops any single
+    # record crosses in the diamond (whose split/join route but do not
+    # transform).
+    return (GraphBuilder(source=ITEMS, discipline="readonly", name="linear")
+            .chain(IDENTITY, IDENTITY, IDENTITY, IDENTITY)
+            .build())
+
+
+def diamond_graph():
+    return (GraphBuilder(source=ITEMS, discipline="readonly", name="diamond")
+            .chain(IDENTITY)
+            .scatter([IDENTITY], [IDENTITY], policy="round_robin")
+            .gather()
+            .build())
+
+
+def predicted(graph):
+    return sum(p.invocations for p in predict_graph_invocations(graph))
+
+
+def sweep(workdir):
+    measured = {}
+    for build in (linear_graph, diamond_graph):
+        graph = build()
+        runs = {
+            runtime: graph.run(runtime=runtime)
+            for runtime in TIMED_RUNTIMES
+        }
+        runs["tcp"] = graph.run(
+            runtime="tcp", workdir=f"{workdir}/{graph.name}")
+        measured[graph.name] = (graph, runs)
+    return measured
+
+
+def test_bench_graph_shapes(benchmark, tmp_path):
+    measured = benchmark.pedantic(sweep, args=(str(tmp_path),), rounds=1)
+
+    table_rows = []
+    for name, (graph, runs) in measured.items():
+        expected = predicted(graph)
+        outputs = {tuple(sorted(r.output)) for r in runs.values()}
+        assert len(outputs) == 1, f"{name}: runtimes disagree on output"
+        assert outputs == {tuple(sorted(ITEMS))}, name
+        for runtime, result in runs.items():
+            # The gate: measured == per-edge analytic sum, exactly.
+            assert result.invocations == expected, (
+                f"{name}/{runtime}: measured {result.invocations}, "
+                f"predicted {expected}"
+            )
+        table_rows.append([
+            name, len(graph.edges), expected,
+            *(runs[runtime].invocations for runtime in ("sim", "aio", "tcp")),
+        ])
+
+    linear_cost = next(r[2] for r in table_rows if r[0] == "linear")
+    diamond_cost = next(r[2] for r in table_rows if r[0] == "diamond")
+    # Same hop count; the diamond pays only the extra END frames of
+    # its second parallel branch (2 hops x 1 frame).
+    assert diamond_cost == linear_cost + 2
+
+    publish(
+        "t17_graph_shapes",
+        ["graph", "edges", "predicted", "sim", "aio", "tcp"],
+        table_rows,
+        title=f"T17: per-edge C1/C2 predictions vs measured invocations, "
+              f"m={RECORDS} records (diamond = linear + 2 END frames)",
+        records=RECORDS,
+    )

@@ -19,7 +19,7 @@ import time
 
 from repro.core.kernel import Kernel
 from repro.transput.filterbase import identity_transducer
-from repro.transput.pipeline import compose_pipeline
+from repro.transput.pipeline import compose_segment
 
 from conftest import publish
 
@@ -43,7 +43,7 @@ def _run_once(trace: bool = False, spans: bool = False,
     kernel = Kernel(trace=trace, spans=spans)
     if stub:
         kernel.tracer = _NoopTracer()
-    pipeline = compose_pipeline(
+    pipeline = compose_segment(
         kernel, "readonly", ITEMS,
         [identity_transducer(f"f{index}") for index in range(N_FILTERS)],
     )

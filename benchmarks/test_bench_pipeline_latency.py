@@ -19,7 +19,7 @@ scheme puts half the load on the wire (see EXPERIMENTS.md).
 """
 
 from repro.core import Kernel, TransportCosts
-from repro.transput import FlowPolicy, compose_pipeline
+from repro.transput import FlowPolicy, compose_segment
 from repro.transput.filterbase import identity_transducer
 
 from conftest import publish
@@ -33,7 +33,7 @@ def run_once(discipline: str, remote_ratio: float, placement, lookahead=8):
     kernel = Kernel(
         costs=TransportCosts(local_latency=1.0, remote_latency=remote_ratio)
     )
-    pipeline = compose_pipeline(
+    pipeline = compose_segment(
         kernel, discipline, ITEMS,
         [identity_transducer() for _ in range(N_FILTERS)],
         flow=FlowPolicy(lookahead=lookahead),

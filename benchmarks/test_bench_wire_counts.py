@@ -10,7 +10,7 @@ traffic instead of simulated invocations.
 """
 
 from repro.analysis import predicted_invocations
-from repro.net.launch import IDENTITY, plan_fleet, run_fleet
+from repro.net.launch import IDENTITY, plan_linear_fleet, run_fleet
 
 from conftest import publish
 
@@ -23,7 +23,7 @@ def sweep(workdir):
     for n_filters in LENGTHS:
         measured = {}
         for discipline in ("readonly", "writeonly", "conventional"):
-            plans = plan_fleet(
+            plans = plan_linear_fleet(
                 discipline, [IDENTITY] * n_filters,
                 f"{workdir}/{discipline}-{n_filters}",
                 source_items=list(range(ITEMS)),

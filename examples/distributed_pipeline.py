@@ -15,12 +15,12 @@ from repro.core import Kernel, TransportCosts
 from repro.core.errors import EjectCrashedError
 from repro.devices import random_lines
 from repro.filters import grep, unique_adjacent, upper_case
-from repro.transput import FlowPolicy, compose_pipeline
+from repro.transput import FlowPolicy, compose_segment
 
 
 def run(discipline: str, placement, lookahead: int = 0) -> str:
     kernel = Kernel(costs=TransportCosts(local_latency=1.0, remote_latency=10.0))
-    pipeline = compose_pipeline(
+    pipeline = compose_segment(
         kernel,
         discipline,
         random_lines(count=40, seed=7),
@@ -50,7 +50,7 @@ def main() -> None:
     # A node crash mid-pipeline: the reader sees a clean failure.
     print("\ncrashing the middle stage's node:")
     kernel = Kernel(costs=TransportCosts(local_latency=1.0, remote_latency=10.0))
-    pipeline = compose_pipeline(
+    pipeline = compose_segment(
         kernel, "readonly", random_lines(count=40, seed=7),
         [grep("stream"), upper_case(), unique_adjacent()],
         placement="spread",

@@ -19,7 +19,7 @@ import tempfile
 import threading
 import time
 
-from repro.net.launch import IDENTITY, plan_fleet, run_fleet
+from repro.net.launch import IDENTITY, plan_linear_fleet, run_fleet
 from repro.obs.control import ControlError
 from repro.obs.merge import load_span_log, merge_span_logs, verify_invocation_chains
 from repro.obs.top import gather_fleet, render_fleet
@@ -47,7 +47,7 @@ def watch_live(plans, runner: threading.Thread) -> int:
 
 def main() -> None:
     with tempfile.TemporaryDirectory() as workdir:
-        plans = plan_fleet(
+        plans = plan_linear_fleet(
             "readonly", [IDENTITY] * N_FILTERS, workdir,
             source_count=ITEMS, trace=True, control=True,
         )

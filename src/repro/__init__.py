@@ -60,6 +60,7 @@ from repro.transput import (
     compose_conventional_pipeline,
     compose_pipeline,
     compose_readonly_pipeline,
+    compose_segment,
     compose_writeonly_pipeline,
 )
 
@@ -81,6 +82,7 @@ __all__ = [
     "compose_conventional_pipeline",
     "compose_pipeline",
     "compose_readonly_pipeline",
+    "compose_segment",
     "compose_writeonly_pipeline",
     "build_figure1",
     "build_figure2",

@@ -13,6 +13,8 @@ from repro.aio.pipeline import (
     stream_conventional,
     stream_pipeline,
     stream_readonly,
+    stream_segment,
+    stream_sharded,
     stream_writeonly,
 )
 from repro.aio.streams import (
@@ -46,5 +48,7 @@ __all__ = [
     "stream_conventional",
     "stream_pipeline",
     "stream_readonly",
+    "stream_segment",
+    "stream_sharded",
     "stream_writeonly",
 ]

@@ -2,7 +2,7 @@
 
 The canonical entry points are :func:`stream_readonly`,
 :func:`stream_writeonly`, :func:`stream_conventional` and the by-name
-dispatcher :func:`stream_pipeline`.  Each accepts an optional
+dispatcher :func:`stream_segment`.  Each accepts an optional
 ``stats`` (:class:`~repro.core.stats.KernelStats`) and, when given
 one, counts an ``invocations_sent`` for every transfer request that
 crosses a stage boundary — a ``read()`` on a pull boundary, a
@@ -42,6 +42,7 @@ __all__ = [
     "stream_readonly",
     "stream_writeonly",
     "stream_conventional",
+    "stream_segment",
     "stream_pipeline",
     "stream_sharded",
     "run_readonly",
@@ -176,14 +177,20 @@ async def stream_conventional(
     return output
 
 
-def stream_pipeline(
+def stream_segment(
     items: Iterable[Any],
     transducers: Sequence[Transducer],
     discipline: str = "readonly",
     stats: KernelStats | None = None,
     **kwargs: Any,
 ) -> list[Any]:
-    """Synchronous front door: run an aio pipeline to completion."""
+    """Run one linear aio segment to completion, synchronously.
+
+    This is the asyncio building block :mod:`repro.api` composes
+    graphs from — one call per linear segment of the DAG.  Front-door
+    callers want :class:`repro.api.Pipeline` or
+    :class:`repro.api.GraphBuilder`.
+    """
     runners = {
         "readonly": stream_readonly,
         "writeonly": stream_writeonly,
@@ -242,8 +249,26 @@ def stream_sharded(
 
 
 # ---------------------------------------------------------------------------
-# Deprecated aliases (pre-facade names).
+# Deprecated aliases (pre-facade and pre-graph names).
 # ---------------------------------------------------------------------------
+
+
+def stream_pipeline(
+    items: Iterable[Any],
+    transducers: Sequence[Transducer],
+    discipline: str = "readonly",
+    stats: KernelStats | None = None,
+    **kwargs: Any,
+) -> list[Any]:
+    """Deprecated front door: use :class:`repro.api.Pipeline` (or, for
+    one raw aio segment, :func:`stream_segment`)."""
+    warn_deprecated(
+        "repro.aio.stream_pipeline",
+        "repro.api.Pipeline(...).run(runtime='aio') — or "
+        "repro.aio.stream_segment for one raw aio segment",
+    )
+    return stream_segment(items, transducers, discipline=discipline,
+                          stats=stats, **kwargs)
 
 
 async def run_readonly(
@@ -287,6 +312,6 @@ def run_pipeline(
     discipline: str = "readonly",
     **kwargs: Any,
 ) -> list[Any]:
-    """Deprecated alias of :func:`stream_pipeline`."""
-    warn_deprecated("repro.aio.run_pipeline", "repro.aio.stream_pipeline")
-    return stream_pipeline(items, transducers, discipline=discipline, **kwargs)
+    """Deprecated alias of :func:`stream_segment`."""
+    warn_deprecated("repro.aio.run_pipeline", "repro.aio.stream_segment")
+    return stream_segment(items, transducers, discipline=discipline, **kwargs)

@@ -7,9 +7,12 @@ from repro.analysis.comparison import (
     sweep_pipeline_lengths,
 )
 from repro.analysis.cost_model import (
+    EdgePrediction,
     PipelineShape,
     conventional_shape,
     invocation_savings,
+    predict_edge_invocations,
+    predict_graph_invocations,
     predicted_invocations,
     predicted_lazy_makespan,
     predicted_pipelined_makespan,
@@ -27,6 +30,7 @@ from repro.analysis.trace_tools import (
 )
 
 __all__ = [
+    "EdgePrediction",
     "Measurement",
     "PipelineShape",
     "conventional_shape",
@@ -39,6 +43,8 @@ __all__ = [
     "participants",
     "invocation_savings",
     "measure_pipeline",
+    "predict_edge_invocations",
+    "predict_graph_invocations",
     "predicted_invocations",
     "predicted_lazy_makespan",
     "predicted_pipelined_makespan",

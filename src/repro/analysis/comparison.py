@@ -17,7 +17,7 @@ from repro.core.kernel import Kernel
 from repro.core.transport import TransportCosts
 from repro.transput.filterbase import identity_transducer
 from repro.transput.flow import FlowPolicy
-from repro.transput.pipeline import compose_pipeline
+from repro.transput.pipeline import compose_segment
 
 
 @dataclass(frozen=True)
@@ -75,7 +75,7 @@ def measure_pipeline(
         transducer.cost_per_item = filter_work_cost
         transducers.append(transducer)
     flow = FlowPolicy(lookahead=lookahead, batch=batch)
-    pipeline = compose_pipeline(
+    pipeline = compose_segment(
         kernel,
         discipline,
         [f"record-{index}" for index in range(items)],

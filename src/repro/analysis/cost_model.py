@@ -123,3 +123,68 @@ def predicted_pipelined_makespan(
 def _check(n_filters: int) -> None:
     if n_filters < 0:
         raise ValueError(f"n_filters must be >= 0, got {n_filters}")
+
+
+# ---------------------------------------------------------------------------
+# Per-edge predictions for dataflow graphs (claims C1/C2 generalized
+# along claim C3's fan-out/fan-in duality).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EdgePrediction:
+    """One graph edge's predicted invocation cost.
+
+    ``records`` is how many records cross the edge (scatter splits the
+    stream, broadcast copies it — computed by routing the actual
+    records, because hash partitions are data-dependent).  An
+    asymmetric hop costs ``ceil(records / batch) + 1`` invocations
+    (data transfers + END); a conventional hop costs double, because
+    both sides of its passive buffer are invocations (paper Figure 1).
+    """
+
+    src: str
+    dst: str
+    segment: str
+    discipline: str
+    records: int
+    batch: int
+    invocations: int
+
+
+def predict_edge_invocations(discipline: str, records: int,
+                             batch: int = 1) -> int:
+    """Invocations for one edge moving ``records`` records."""
+    if records < 0:
+        raise ValueError(f"records must be >= 0, got {records}")
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    transfers = -(-records // batch) + 1  # ceil + END
+    return transfers * (2 if discipline == "conventional" else 1)
+
+
+def predict_graph_invocations(graph, records=None) -> list[EdgePrediction]:
+    """Per-edge C1/C2 predictions for a :class:`repro.api.Graph`.
+
+    Assumes record-preserving stages (identity-like transducers), the
+    same assumption :func:`predicted_invocations` makes for linear
+    chains — and reduces to it exactly on a linear graph: the per-edge
+    sum is ``hops × (ceil(m/batch)+1)`` (×2 conventional).  Sum the
+    ``invocations`` fields to gate a measured
+    :class:`repro.api.GraphResult.invocations`; compare per edge to
+    localize a miscounting hop.
+    """
+    return [
+        EdgePrediction(
+            src=edge.src,
+            dst=edge.dst,
+            segment=segment.name,
+            discipline=segment.discipline,
+            records=count,
+            batch=segment.flow.batch,
+            invocations=predict_edge_invocations(
+                segment.discipline, count, segment.flow.batch
+            ),
+        )
+        for edge, segment, count in graph.edge_flow(records)
+    ]

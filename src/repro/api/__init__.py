@@ -1,0 +1,95 @@
+"""repro.api: one dataflow definition, runnable on all three runtimes.
+
+The reproduction grew three runtime-specific building blocks: the
+simulator's :func:`repro.transput.compose_segment`, the asyncio
+:func:`repro.aio.stream_segment`, and the TCP fleet's
+:func:`repro.net.launch.plan_linear_fleet` / ``run_fleet`` pair.  This
+package is the one vocabulary over all of them, in two tiers:
+
+**Linear** — :class:`Pipeline`, the facade every earlier PR used::
+
+    from repro.api import Pipeline
+
+    result = Pipeline(
+        stages=[("repro.filters:comment_stripper", ["C"]),
+                "repro.filters:strip_whitespace"],
+        discipline="readonly",
+        source=["C a comment", "      REAL X"],
+    ).run(runtime="sim")          # or "aio", or "tcp"
+
+    result.output       # ['REAL X']
+    result.invocations  # (n+1)(m+1) — identical on every runtime
+
+**Graphs** — :class:`Graph` / :class:`GraphBuilder`, validated
+dataflow DAGs with scatter/gather, merge and broadcast (paper claim
+C3's fan-out/fan-in duality made executable)::
+
+    from repro.api import GraphBuilder
+
+    graph = (GraphBuilder(source=records, discipline="readonly")
+             .chain("repro.filters:strip_whitespace")
+             .scatter(["pkg:branch_a"], ["pkg:branch_b"], policy="hash")
+             .gather()
+             .build())           # validation happens HERE, eagerly
+    result = graph.run(runtime="tcp")
+
+A :class:`Pipeline` is literally the degenerate Graph —
+:meth:`Pipeline.to_graph` compiles it to a single-path DAG and the
+unsharded run path executes through the same graph runner.  Invalid
+topologies (cycles, dangling ports, fan-out without channel ids,
+discipline mismatches, unsatisfiable buffer bounds) raise
+:class:`GraphError` at build time with a positioned message — never at
+run time.  Per-edge invocation costs are predicted analytically by
+:func:`repro.analysis.cost_model.predict_graph_invocations`.
+
+Stages are **specs** — ``"module:factory"`` strings or ``(spec, args)``
+pairs — so the same pipeline or graph object can be replayed on any
+runtime (each run instantiates fresh transducers; the TCP runtime
+ships the spec across the process boundary).  Already-built
+:class:`~repro.transput.filterbase.Transducer` instances are accepted
+for the in-process runtimes (``sim``/``aio``) but rejected with an
+explanation for ``tcp``.
+
+All runtimes return the same result shape, and all knobs use one
+vocabulary (``batch``, ``credit_window``, ``lookahead``, ``timeout``,
+``max_restarts``, ...) validated eagerly — a knob that a runtime
+cannot honour raises ``ValueError`` instead of being silently ignored.
+"""
+
+from repro.api.execute import (
+    GraphResult,
+    RUNTIMES,
+    TCP_ONLY_KNOBS,
+    run_graph,
+)
+from repro.api.facade import DISCIPLINES, Pipeline, PipelineResult
+from repro.api.graph import (
+    Graph,
+    GraphBuilder,
+    GraphEdge,
+    GraphError,
+    GraphNode,
+    JOIN_OPS,
+    NODE_KINDS,
+    SCATTER_POLICIES,
+    SPLIT_OPS,
+)
+
+__all__ = [
+    "DISCIPLINES",
+    "Graph",
+    "GraphBuilder",
+    "GraphEdge",
+    "GraphError",
+    "GraphNode",
+    "GraphResult",
+    "JOIN_OPS",
+    "NODE_KINDS",
+    "Pipeline",
+    "PipelineResult",
+    "RUNTIMES",
+    "SCATTER_POLICIES",
+    "SPLIT_OPS",
+    "TCP_ONLY_KNOBS",
+    "run_graph",
+]

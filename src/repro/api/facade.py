@@ -1,39 +1,16 @@
-"""repro.api: one pipeline definition, runnable on all three runtimes.
+"""The linear pipeline facade: a thin wrapper over a one-path Graph.
 
-The reproduction grew three front doors, one per runtime: the
-simulator's :func:`repro.transput.compose_pipeline` builders, the
-asyncio :func:`repro.aio.stream_pipeline` drivers, and the TCP
-fleet's :func:`repro.net.launch.plan_fleet` / ``run_fleet`` pair.
-They take the same logical description — a source, an ordered list of
-transducers, a discipline — through three different vocabularies.
+:class:`Pipeline` keeps the vocabulary every earlier PR used — stages,
+discipline, source, harmonised knobs — and compiles to a single-path
+:class:`~repro.api.graph.Graph` (see :meth:`Pipeline.to_graph`), which
+:func:`repro.api.execute.run_graph` executes.  The specialized fleet
+shapes (``shards > 1`` content-hash sharding, ``placement="hosted"``
+broker fleets) keep their dedicated planners.
 
-This module is the one vocabulary::
-
-    from repro.api import Pipeline
-
-    result = Pipeline(
-        stages=[("repro.filters:comment_stripper", ["C"]),
-                "repro.filters:strip_whitespace"],
-        discipline="readonly",
-        source=["C a comment", "      REAL X"],
-    ).run(runtime="sim")          # or "aio", or "tcp"
-
-    result.output       # ['REAL X']
-    result.invocations  # (n+1)(m+1) — identical on every runtime
-
-Stages are **specs** — ``"module:factory"`` strings or ``(spec, args)``
-pairs — so the same pipeline object can be replayed on any runtime
-(each run instantiates fresh transducers; the TCP runtime ships the
-spec across the process boundary).  Already-built
-:class:`~repro.transput.filterbase.Transducer` instances are accepted
-for the in-process runtimes (``sim``/``aio``) but rejected with an
-explanation for ``tcp``.
-
-All runtimes return the same :class:`PipelineResult`, and all knobs
-use one vocabulary (``batch``, ``credit_window``, ``lookahead``,
-``timeout``, ``max_restarts``, ...) validated eagerly — a knob that a
-runtime cannot honour raises ``ValueError`` instead of being silently
-ignored.
+All knob validation is shared with the graph runner
+(:data:`repro.api.execute.TCP_ONLY_KNOBS`), so a TCP-only knob is
+rejected identically whether it arrives here, on a ``Graph.run``, or
+smuggled inside a :class:`FlowPolicy`.
 """
 
 from __future__ import annotations
@@ -46,15 +23,21 @@ from typing import Any, Mapping, Sequence
 from repro.transput.filterbase import Transducer
 from repro.transput.flow import FlowPolicy
 from repro.transput.pipeline import DISCIPLINES
+from repro.api.execute import (
+    RUNTIMES,
+    TCP_ONLY_KNOBS,
+    check_flow_policy_runtime,
+    check_tcp_only_knobs,
+    normalize_flight,
+    run_graph,
+)
+from repro.api.graph import Graph, check_stage_spec
 
 __all__ = ["Pipeline", "PipelineResult", "RUNTIMES", "DISCIPLINES"]
 
-#: The runtimes a Pipeline can run on.
-RUNTIMES = ("sim", "aio", "tcp")
-
-#: Knobs only the supervised TCP fleet can honour.
-_TCP_ONLY = ("timeout", "max_restarts", "faults", "resume", "io_timeout",
-             "trace", "workdir", "placement_policy", "flight")
+#: Knobs only the supervised TCP fleet can honour (single source of
+#: truth: :data:`repro.api.execute.TCP_ONLY_KNOBS`).
+_TCP_ONLY = TCP_ONLY_KNOBS
 
 
 @dataclass
@@ -95,7 +78,7 @@ class PipelineResult:
 
 
 class Pipeline:
-    """A runtime-independent pipeline description.
+    """A runtime-independent linear pipeline description.
 
     Args:
         stages: transducer specs, upstream to downstream.  Each is a
@@ -118,6 +101,9 @@ class Pipeline:
             ``result.shard_outputs`` keeps them separate.  On the TCP
             runtime every shard is its own process sub-fleet under one
             supervisor — near-linear scaling for CPU-bound filters.
+            For explicit branch topologies (different stages per
+            branch, broadcast, merge) use
+            :class:`repro.api.GraphBuilder` instead.
         placement: where the TCP runtime puts stages.  ``"processes"``
             (the default) is one OS process per stage; ``"hosted"``
             runs every stage inside one ``eden-host`` process attached
@@ -184,35 +170,16 @@ class Pipeline:
 
     @staticmethod
     def _check_stage(stage: Any) -> None:
-        if isinstance(stage, Transducer):
-            return
-        if isinstance(stage, str):
-            if ":" not in stage:
-                raise ValueError(
-                    f"stage spec must be 'module:factory', got {stage!r}"
-                )
-            return
-        if (isinstance(stage, (tuple, list)) and len(stage) == 2
-                and isinstance(stage[0], str)):
-            return
-        raise ValueError(
-            f"each stage must be a Transducer, a 'module:factory' spec, or "
-            f"a (spec, args) pair; got {stage!r}"
-        )
+        try:
+            check_stage_spec(stage)
+        except ValueError as exc:  # GraphError is a ValueError
+            raise ValueError(str(exc)) from None
 
     def _transducers(self) -> list[Transducer]:
         """Fresh transducer instances for one in-process run."""
-        from repro.net.stage import load_transducer
+        from repro.api.execute import _transducers
 
-        made = []
-        for stage in self.stages:
-            if isinstance(stage, Transducer):
-                made.append(stage)
-            elif isinstance(stage, str):
-                made.append(load_transducer(stage))
-            else:
-                made.append(load_transducer(stage[0], list(stage[1])))
-        return made
+        return _transducers(self.stages)
 
     def _specs(self) -> list[tuple[str, list[Any]]]:
         """``(spec, args)`` pairs for the TCP runtime."""
@@ -229,6 +196,23 @@ class Pipeline:
             else:
                 specs.append((stage[0], list(stage[1])))
         return specs
+
+    # -- the graph view ------------------------------------------------------
+
+    def to_graph(self) -> Graph:
+        """This pipeline as the degenerate single-path Graph.
+
+        Sharding and hosted placement are fleet shapes, not topology,
+        so they do not appear in the graph — the unsharded
+        ``"processes"`` run path compiles through here.
+        """
+        return Graph.linear(
+            self.stages,
+            source=self.source,
+            discipline=self.discipline,
+            flow=self.flow,
+            name="pipeline",
+        )
 
     # -- running ------------------------------------------------------------
 
@@ -263,7 +247,8 @@ class Pipeline:
         ``trace``, ``workdir``) and the data-plane knobs (``codec``,
         ``pipeline_depth``, ``adaptive``, ``placement_policy``) are
         TCP-only — passing one to another runtime is an error, never a
-        silent no-op.  ``placement_policy`` (``"cores"`` / ``"none"``)
+        silent no-op, whether it arrives as a keyword here or inside
+        ``flow``.  ``placement_policy`` (``"cores"`` / ``"none"``)
         governs CPU-core pinning of shard sub-fleets and stage hosts;
         it needs ``shards > 1`` or hosted placement to act on.
 
@@ -278,21 +263,13 @@ class Pipeline:
         """
         if runtime not in RUNTIMES:
             raise ValueError(f"runtime must be one of {RUNTIMES}, got {runtime!r}")
-        if runtime != "tcp":
-            given = {name: value for name, value in (
-                ("timeout", timeout), ("max_restarts", max_restarts),
-                ("faults", faults), ("resume", resume),
-                ("io_timeout", io_timeout), ("trace", trace),
-                ("workdir", workdir), ("codec", codec),
-                ("pipeline_depth", pipeline_depth), ("adaptive", adaptive),
-                ("placement_policy", placement_policy),
-                ("flight", flight),
-            ) if value is not None}
-            if given:
-                raise ValueError(
-                    f"knob(s) {sorted(given)} need the supervised fleet; "
-                    f"run(runtime='tcp', ...) instead of {runtime!r}"
-                )
+        check_tcp_only_knobs(runtime, {
+            "timeout": timeout, "max_restarts": max_restarts,
+            "faults": faults, "resume": resume, "io_timeout": io_timeout,
+            "trace": trace, "workdir": workdir, "codec": codec,
+            "pipeline_depth": pipeline_depth, "adaptive": adaptive,
+            "placement_policy": placement_policy, "flight": flight,
+        })
         if runtime != "sim" and placement is not None:
             raise ValueError("placement is simulator-only (runtime='sim')")
         if placement_policy is not None:
@@ -317,7 +294,7 @@ class Pipeline:
                 "faults address stage serials of one sub-fleet and are "
                 "ambiguous across shards; run with shards=1 to inject faults"
             )
-        flight_dir, flight_mode = self._flight_knob(flight)
+        flight_dir, flight_mode = normalize_flight(flight)
 
         policy = flow or self.flow
         if batch is not None:
@@ -330,11 +307,41 @@ class Pipeline:
             policy = policy.with_pipeline_depth(pipeline_depth)
         if adaptive is not None:
             policy = dataclasses.replace(policy, adaptive=adaptive)
+        check_flow_policy_runtime(runtime, policy)
 
+        # The plain unsharded process path — every runtime — compiles
+        # through the Graph view and the one graph runner.
+        if self.shards == 1 and self.placement == "processes":
+            graph_result = run_graph(
+                self.to_graph(),
+                runtime,
+                flow=policy,
+                placement=placement,
+                timeout=timeout,
+                max_restarts=max_restarts,
+                faults=faults,
+                resume=resume,
+                io_timeout=io_timeout,
+                trace=trace,
+                workdir=workdir,
+                codec=codec,
+                flight=flight,
+            )
+            return PipelineResult(
+                runtime=runtime,
+                discipline=self.discipline,
+                output=graph_result.output,
+                invocations=graph_result.invocations,
+                stats=graph_result.stats,
+                restarts=graph_result.restarts,
+                supervisor=graph_result.supervisor,
+                stderr=graph_result.stderr,
+                trace_files=graph_result.trace_files,
+            )
         if runtime == "sim":
-            return self._run_sim(policy, placement)
+            return self._run_sim_sharded(policy, placement)
         if runtime == "aio":
-            return self._run_aio(policy)
+            return self._run_aio_sharded(policy)
         return self._run_tcp(
             policy,
             timeout=60.0 if timeout is None else timeout,
@@ -350,50 +357,25 @@ class Pipeline:
             flight_mode=flight_mode,
         )
 
-    @staticmethod
-    def _flight_knob(flight: Any) -> tuple[str | None, str]:
-        """Normalise the ``flight`` knob to ``(directory, mode)``."""
-        from repro.obs.flight import FLIGHT_MODES, MODE_FULL
+    # -- the specialized fleet shapes ---------------------------------------
 
-        if flight is None:
-            return None, MODE_FULL
-        if isinstance(flight, str):
-            return flight, MODE_FULL
-        if (isinstance(flight, (tuple, list)) and len(flight) == 2
-                and isinstance(flight[0], str)):
-            directory, mode = flight
-            if mode not in FLIGHT_MODES:
-                raise ValueError(
-                    f"flight mode must be one of {sorted(FLIGHT_MODES)}, "
-                    f"got {mode!r}"
-                )
-            return directory, mode
-        raise ValueError(
-            f"flight must be a directory path or a (directory, mode) "
-            f"pair, got {flight!r}"
-        )
-
-    # -- the three backends -------------------------------------------------
-
-    def _run_sim(self, policy: FlowPolicy, placement: Any) -> PipelineResult:
+    def _run_sim_sharded(self, policy: FlowPolicy,
+                         placement: Any) -> PipelineResult:
         from repro.core.kernel import Kernel
         from repro.core.stats import KernelStats
         from repro.obs.registry import snapshot_payload
         from repro.transput.flow import shard_of
-        from repro.transput.pipeline import compose_pipeline
+        from repro.transput.pipeline import compose_segment
 
-        if self.shards == 1:
-            buckets = [list(self.source)]
-        else:
-            buckets = [[] for _ in range(self.shards)]
-            for record in self.source:
-                buckets[shard_of(record, self.shards)].append(record)
+        buckets: list[list[Any]] = [[] for _ in range(self.shards)]
+        for record in self.source:
+            buckets[shard_of(record, self.shards)].append(record)
         shard_outputs: list[list[Any]] = []
         invocations = 0
         combined = KernelStats()
         for bucket in buckets:
             kernel = Kernel()
-            built = compose_pipeline(
+            built = compose_segment(
                 kernel, self.discipline, bucket, self._transducers(),
                 flow=policy, placement=placement,
             )
@@ -408,11 +390,11 @@ class Pipeline:
             invocations=invocations,
             stats=snapshot_payload(combined),
             shards=self.shards,
-            shard_outputs=shard_outputs if self.shards > 1 else [],
+            shard_outputs=shard_outputs,
         )
 
-    def _run_aio(self, policy: FlowPolicy) -> PipelineResult:
-        from repro.aio.pipeline import stream_pipeline, stream_sharded
+    def _run_aio_sharded(self, policy: FlowPolicy) -> PipelineResult:
+        from repro.aio.pipeline import stream_sharded
         from repro.core.stats import KernelStats
         from repro.obs.registry import snapshot_payload
 
@@ -422,17 +404,10 @@ class Pipeline:
             kwargs["lookahead"] = policy.lookahead
         elif self.discipline == "conventional":
             kwargs["capacity"] = policy.buffer_capacity or 16
-        shard_outputs: list[list[Any]] = []
-        if self.shards == 1:
-            output = stream_pipeline(
-                list(self.source), self._transducers(), self.discipline,
-                stats=stats, **kwargs,
-            )
-        else:
-            output, shard_outputs = stream_sharded(
-                list(self.source), self._transducers, self.discipline,
-                shards=self.shards, stats=stats, **kwargs,
-            )
+        output, shard_outputs = stream_sharded(
+            list(self.source), self._transducers, self.discipline,
+            shards=self.shards, stats=stats, **kwargs,
+        )
         return PipelineResult(
             runtime="aio",
             discipline=self.discipline,
@@ -459,7 +434,7 @@ class Pipeline:
         flight_mode: str = "full",
     ) -> PipelineResult:
         from repro.net.framing import CODEC_JSON
-        from repro.net.launch import plan_fleet, plan_sharded_fleet, run_fleet
+        from repro.net.launch import plan_sharded_fleet, run_fleet
         from repro.obs.registry import snapshot_payload
 
         workdir = workdir or tempfile.mkdtemp(prefix="eden-fleet-")
@@ -481,21 +456,6 @@ class Pipeline:
                 broker=self.broker,
                 max_restarts=max_restarts,
                 placement_policy=placement_policy or "cores",
-                flight_dir=flight_dir,
-                flight_mode=flight_mode,
-            )
-        elif self.shards == 1:
-            plans = plan_fleet(
-                self.discipline,
-                self._specs(),
-                workdir,
-                source_items=list(self.source),
-                flow=policy,
-                trace=trace,
-                faults=faults,
-                resume=resume,
-                io_timeout=io_timeout,
-                codec=codec,
                 flight_dir=flight_dir,
                 flight_mode=flight_mode,
             )

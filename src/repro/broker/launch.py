@@ -1,7 +1,7 @@
 """Plan a *hosted* fleet: one broker, few host processes, many stages.
 
 :func:`plan_hosted_fleet` is the hosted placement's analogue of
-:func:`repro.net.launch.plan_fleet`: it turns the same pipeline
+:func:`repro.net.launch.plan_linear_fleet`: it turns the same pipeline
 description (discipline, transducers, source, faults) into
 :class:`~repro.net.launch.StagePlan` entries the ordinary
 :class:`~repro.net.launch.FleetSupervisor` can run — except the
@@ -75,7 +75,7 @@ def plan_hosted_fleet(
     """Plan broker + stage hosts for one pipeline.
 
     ``faults`` addresses stages by pipeline position exactly as
-    :func:`~repro.net.launch.plan_fleet` does (source = 0, filters
+    :func:`~repro.net.launch.plan_linear_fleet` does (source = 0, filters
     1..n, sink = n+1).  ``hosts`` spreads the stages over that many
     ``eden-host`` processes (contiguous runs, so a cut crosses as few
     links as possible).  ``broker`` as ``"host:port"`` attaches the

@@ -2,7 +2,7 @@
 
 A :class:`FaultPlan` travels from the orchestrator to a stage as JSON
 (the ``eden-stage --fault-json`` flag), so chaos experiments are fully
-scripted from one place — :func:`repro.net.launch.plan_fleet` assigns
+scripted from one place — :func:`repro.net.launch.plan_linear_fleet` assigns
 plans per stage, the supervisor strips the one-shot faults on restart,
 and the chaos proxy (:mod:`repro.fault.chaos`) applies the same plans
 to a link instead of a stage.

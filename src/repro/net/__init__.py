@@ -69,7 +69,9 @@ _LAUNCH_NAMES = (
     "StagePlan",
     "execute",
     "plan_fleet",
+    "plan_linear_fleet",
     "plan_pipeline",
+    "plan_sharded_fleet",
     "run_fleet",
 )
 
@@ -130,7 +132,9 @@ __all__ = [
     "expect_hello",
     "merge_stats",
     "plan_fleet",
+    "plan_linear_fleet",
     "plan_pipeline",
+    "plan_sharded_fleet",
     "read_frame",
     "run_fleet",
     "send_hello",

@@ -1,6 +1,6 @@
 """Orchestration: plan, spawn, and *supervise* a pipeline of processes.
 
-The planner (:func:`plan_fleet`) turns "this source, these transducers,
+The planner (:func:`plan_linear_fleet`) turns "this source, these transducers,
 this discipline" into one ``eden-stage`` command line per process, with
 ports, ticket serials, stats files and fault plans assigned.  The
 conventional discipline gets a *pipe process between every adjacent
@@ -26,10 +26,11 @@ activity is counted in supervisor stats (``restarts``,
 shapes as every other metric (:mod:`repro.obs.registry`) and written
 to ``supervisor.stats.json`` next to the stage dumps.
 
-:func:`plan_pipeline` and :func:`execute` remain as deprecated aliases
-of :func:`plan_fleet` and :func:`run_fleet`; new code should use
-:class:`repro.api.Pipeline`, which drives this module for its TCP
-runtime.
+:func:`plan_fleet`, :func:`plan_pipeline` and :func:`execute` remain as
+deprecated aliases of :func:`plan_linear_fleet` and :func:`run_fleet`;
+new code should use :class:`repro.api.Pipeline` or
+:class:`repro.api.GraphBuilder`, which drive this module for their TCP
+runtime (one :func:`plan_linear_fleet` call per linear graph segment).
 """
 
 from __future__ import annotations
@@ -60,9 +61,10 @@ __all__ = [
     "PipelineResult",
     "FleetError",
     "FleetSupervisor",
-    "plan_fleet",
+    "plan_linear_fleet",
     "plan_sharded_fleet",
     "run_fleet",
+    "plan_fleet",
     "plan_pipeline",
     "execute",
 ]
@@ -182,7 +184,7 @@ class FleetError(RuntimeError):
         self.reason = reason
 
 
-def plan_fleet(
+def plan_linear_fleet(
     discipline: str,
     transducers: Sequence[TransducerSpec],
     workdir: str,
@@ -446,7 +448,7 @@ def plan_sharded_fleet(
     workpath.mkdir(parents=True, exist_ok=True)
     plans: list[StagePlan] = []
     for index in range(shards):
-        plans.extend(plan_fleet(
+        plans.extend(plan_linear_fleet(
             discipline, transducers, str(workpath / f"shard-{index}"),
             source_items=buckets[index],
             flow=flow,
@@ -827,15 +829,26 @@ def run_fleet(
 
 
 # ---------------------------------------------------------------------------
-# Deprecated aliases (the pre-supervisor entry points).
+# Deprecated aliases (the pre-supervisor and pre-graph entry points).
 # ---------------------------------------------------------------------------
 
 
+def plan_fleet(*args: Any, **kwargs: Any) -> list[StagePlan]:
+    """Deprecated front door: use :class:`repro.api.Pipeline` (or, for
+    one raw linear fleet plan, :func:`plan_linear_fleet`)."""
+    warn_deprecated(
+        "repro.net.launch.plan_fleet",
+        "repro.api.Pipeline(...).run(runtime='tcp') — or "
+        "repro.net.launch.plan_linear_fleet for one raw fleet plan",
+    )
+    return plan_linear_fleet(*args, **kwargs)
+
+
 def plan_pipeline(*args: Any, **kwargs: Any) -> list[StagePlan]:
-    """Deprecated alias of :func:`plan_fleet`."""
+    """Deprecated alias of :func:`plan_linear_fleet`."""
     warn_deprecated("repro.net.launch.plan_pipeline",
-                    "repro.net.launch.plan_fleet")
-    return plan_fleet(*args, **kwargs)
+                    "repro.net.launch.plan_linear_fleet")
+    return plan_linear_fleet(*args, **kwargs)
 
 
 def execute(

@@ -9,7 +9,7 @@ stage's CPU pin (``CPU`` — the planned core, suffixed ``?`` when the
 pin did not take, e.g. off Linux).  A footer line aggregates the
 fleet-wide frame-buffer pool hit rate when any stage exports
 ``bufpool_*`` gauges.  Point it at the ``fleet.json`` manifest
-:func:`repro.net.launch.plan_fleet` writes (``--fleet``), or at
+:func:`repro.net.launch.plan_linear_fleet` writes (``--fleet``), or at
 explicit ``--stage host:port`` addresses.
 
 ``--once`` prints a single snapshot and exits — that mode is what the
@@ -232,7 +232,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         description="Live table of a running eden-stage fleet.",
     )
     parser.add_argument("--fleet", default=None, metavar="FLEET_JSON",
-                        help="fleet manifest written by plan_fleet(control=True)")
+                        help="fleet manifest written by plan_linear_fleet(control=True)")
     parser.add_argument("--stage", action="append", default=None,
                         metavar="HOST:PORT", help="explicit control address")
     parser.add_argument("--interval", type=float, default=1.0)

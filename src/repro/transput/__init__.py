@@ -40,6 +40,7 @@ from repro.transput.pipeline import (
     compose_conventional_pipeline,
     compose_pipeline,
     compose_readonly_pipeline,
+    compose_segment,
     compose_writeonly_pipeline,
 )
 from repro.transput.primitives import (
@@ -129,6 +130,7 @@ __all__ = [
     "compose_conventional_pipeline",
     "compose_pipeline",
     "compose_readonly_pipeline",
+    "compose_segment",
     "compose_writeonly_pipeline",
     "compose_apply",
     "filter_transducer",

@@ -360,7 +360,7 @@ def compose_conventional_pipeline(
     )
 
 
-def compose_pipeline(
+def compose_segment(
     kernel: "Kernel",
     discipline: str,
     items: Iterable[Any],
@@ -370,7 +370,13 @@ def compose_pipeline(
     source_work_cost: float = 0.0,
     sink_work_cost: float = 0.0,
 ) -> Pipeline:
-    """Build the same logical pipeline in any discipline (by name)."""
+    """Build one linear segment in any discipline (by name).
+
+    This is the simulator building block :mod:`repro.api` composes
+    graphs from — one call per linear segment of the DAG.  Front-door
+    callers want :class:`repro.api.Pipeline` or
+    :class:`repro.api.GraphBuilder`.
+    """
     if discipline == "readonly":
         return compose_readonly_pipeline(
             kernel, list(items), transducers, flow=flow, placement=placement,
@@ -390,9 +396,23 @@ def compose_pipeline(
 
 
 # ---------------------------------------------------------------------------
-# Deprecated aliases (pre-facade names).  New code should use the
-# compose_* builders above, or repro.api.Pipeline for cross-runtime work.
+# Deprecated aliases (pre-facade and pre-graph names).  New code should
+# use compose_segment / the discipline-specific compose_* builders, or
+# repro.api.Pipeline / repro.api.GraphBuilder for cross-runtime work.
 # ---------------------------------------------------------------------------
+
+
+def compose_pipeline(*args: Any, **kwargs: Any) -> Pipeline:
+    """Deprecated front door: use :class:`repro.api.Pipeline` (or, for
+    one raw simulator segment, :func:`compose_segment`)."""
+    from repro.compat import warn_deprecated
+
+    warn_deprecated(
+        "repro.transput.compose_pipeline",
+        "repro.api.Pipeline(...).run(runtime='sim') — or "
+        "repro.transput.compose_segment for one raw simulator segment",
+    )
+    return compose_segment(*args, **kwargs)
 
 
 def build_readonly_pipeline(*args: Any, **kwargs: Any) -> Pipeline:
@@ -423,9 +443,9 @@ def build_conventional_pipeline(*args: Any, **kwargs: Any) -> Pipeline:
 
 
 def build_pipeline(*args: Any, **kwargs: Any) -> Pipeline:
-    """Deprecated alias of :func:`compose_pipeline`."""
+    """Deprecated alias of :func:`compose_segment`."""
     from repro.compat import warn_deprecated
 
     warn_deprecated("repro.transput.build_pipeline",
-                    "repro.transput.compose_pipeline")
-    return compose_pipeline(*args, **kwargs)
+                    "repro.transput.compose_segment")
+    return compose_segment(*args, **kwargs)

@@ -12,7 +12,7 @@ from repro.aio import (
     AioWriteOnlyStage,
     collect,
     iterate,
-    stream_pipeline,
+    stream_segment,
 )
 from repro.core.errors import StreamProtocolError
 from repro.filters import comment_stripper, sort_lines, upper_case, word_count
@@ -30,31 +30,31 @@ class TestRunPipeline:
     @pytest.mark.parametrize("discipline", ["readonly", "writeonly",
                                             "conventional"])
     def test_matches_reference(self, discipline):
-        out = stream_pipeline(ITEMS, fresh(), discipline=discipline)
+        out = stream_segment(ITEMS, fresh(), discipline=discipline)
         assert out == compose_apply(fresh(), ITEMS)
 
     @pytest.mark.parametrize("discipline", ["readonly", "writeonly",
                                             "conventional"])
     def test_empty_input(self, discipline):
-        assert stream_pipeline([], [upper_case()], discipline=discipline) == []
+        assert stream_segment([], [upper_case()], discipline=discipline) == []
 
     def test_zero_filters(self):
-        assert stream_pipeline([1, 2], [], discipline="readonly") == [1, 2]
+        assert stream_segment([1, 2], [], discipline="readonly") == [1, 2]
 
     def test_finish_only_filter(self):
-        out = stream_pipeline(ITEMS, [word_count()], discipline="writeonly")
+        out = stream_segment(ITEMS, [word_count()], discipline="writeonly")
         assert out[0].lines == len(ITEMS)
 
     def test_unknown_discipline(self):
         with pytest.raises(ValueError):
-            stream_pipeline([], [], discipline="psychic")
+            stream_segment([], [], discipline="psychic")
 
     def test_batching(self):
-        out = stream_pipeline(list(range(10)), [], discipline="readonly", batch=4)
+        out = stream_segment(list(range(10)), [], discipline="readonly", batch=4)
         assert out == list(range(10))
 
     def test_lookahead_prefetch(self):
-        out = stream_pipeline(
+        out = stream_segment(
             list(range(50)), [upper_caseish()], discipline="readonly",
             lookahead=8,
         )

@@ -1,4 +1,4 @@
-"""The pre-facade entry points still work, but say they are deprecated.
+"""The pre-facade and pre-graph entry points still work, but say so.
 
 Every old name is a thin shim over its canonical replacement: same
 behaviour, same results, plus one :class:`EdenDeprecationWarning`
@@ -6,27 +6,76 @@ naming the successor.  Tier-1 runs with these warnings promoted to
 errors for repro's own code (see ``pyproject.toml``), so internal
 callers cannot quietly regress onto the old vocabulary — these tests
 are the only place the shims are exercised on purpose.
+
+Three generations of front doors are covered: the pre-facade
+``build_*`` / ``run_*`` / ``plan_pipeline`` / ``execute`` aliases, and
+— new in the graph redesign — the per-runtime dispatchers
+``compose_pipeline`` / ``stream_pipeline`` / ``plan_fleet``, whose
+canonical successors are the segment-level builders
+(``compose_segment`` / ``stream_segment`` / ``plan_linear_fleet``)
+driven by :class:`repro.api.Pipeline` and
+:class:`repro.api.GraphBuilder`.
 """
 
 import warnings
 
 import pytest
 
-from repro.aio import run_pipeline, stream_pipeline
+from repro.aio import run_pipeline, stream_pipeline, stream_segment
 from repro.compat import EdenDeprecationWarning
 from repro.core import Kernel
-from repro.net.launch import plan_fleet, plan_pipeline
+from repro.net.launch import plan_fleet, plan_linear_fleet, plan_pipeline
 from repro.transput import (
     build_pipeline,
     compose_pipeline,
+    compose_segment,
     identity_transducer,
 )
 
 ITEMS = ["a", "b", "c"]
 
 
+# -- the three deprecated per-runtime front doors ---------------------------
+
+
+def test_compose_pipeline_warns_and_delegates(kernel):
+    with pytest.warns(EdenDeprecationWarning, match="repro.api.Pipeline"):
+        built = compose_pipeline(
+            kernel, "readonly", ITEMS, [identity_transducer()]
+        )
+    assert built.run_to_completion() == ITEMS
+
+
+def test_stream_pipeline_warns_and_delegates():
+    with pytest.warns(EdenDeprecationWarning, match="repro.api.Pipeline"):
+        out = stream_pipeline(ITEMS, [identity_transducer()], "readonly")
+    assert out == stream_segment(ITEMS, [identity_transducer()], "readonly")
+
+
+def test_plan_fleet_warns_and_plans_identically(tmp_path):
+    spec = [("repro.transput:identity_transducer", [])]
+    canonical = plan_linear_fleet("readonly", spec, str(tmp_path / "new"),
+                                  source_items=ITEMS)
+    with pytest.warns(EdenDeprecationWarning, match="repro.api.Pipeline"):
+        shimmed = plan_fleet("readonly", spec, str(tmp_path / "old"),
+                             source_items=ITEMS)
+    assert [plan.role for plan in shimmed] == [plan.role for plan in canonical]
+
+
+def test_front_door_hints_name_the_segment_builders():
+    """Each migration hint offers the raw segment-level escape hatch."""
+    with pytest.warns(EdenDeprecationWarning, match="compose_segment"):
+        compose_pipeline(Kernel(), "readonly", ITEMS,
+                         [identity_transducer()])
+    with pytest.warns(EdenDeprecationWarning, match="stream_segment"):
+        stream_pipeline(ITEMS, [identity_transducer()], "readonly")
+
+
+# -- the pre-facade aliases (still one generation older) --------------------
+
+
 def test_build_pipeline_warns_and_delegates(kernel):
-    with pytest.warns(EdenDeprecationWarning, match="compose_pipeline"):
+    with pytest.warns(EdenDeprecationWarning, match="compose_segment"):
         built = build_pipeline(
             kernel, "readonly", ITEMS, [identity_transducer()]
         )
@@ -48,7 +97,7 @@ def test_every_builder_shim_names_its_successor(old, new):
 
 
 def test_shim_output_matches_canonical(kernel):
-    canonical = compose_pipeline(
+    canonical = compose_segment(
         Kernel(), "writeonly", ITEMS, [identity_transducer()]
     ).run_to_completion()
     with pytest.warns(EdenDeprecationWarning):
@@ -59,9 +108,9 @@ def test_shim_output_matches_canonical(kernel):
 
 
 def test_aio_run_pipeline_warns_and_delegates():
-    with pytest.warns(EdenDeprecationWarning, match="stream_pipeline"):
+    with pytest.warns(EdenDeprecationWarning, match="stream_segment"):
         out = run_pipeline(ITEMS, [identity_transducer()], "readonly")
-    assert out == stream_pipeline(ITEMS, [identity_transducer()], "readonly")
+    assert out == stream_segment(ITEMS, [identity_transducer()], "readonly")
 
 
 @pytest.mark.parametrize("old, new", [
@@ -81,9 +130,9 @@ def test_every_aio_shim_names_its_successor(old, new):
 
 def test_plan_pipeline_warns_and_plans_identically(tmp_path):
     spec = [("repro.transput:identity_transducer", [])]
-    canonical = plan_fleet("readonly", spec, str(tmp_path / "new"),
-                           source_items=ITEMS)
-    with pytest.warns(EdenDeprecationWarning, match="plan_fleet"):
+    canonical = plan_linear_fleet("readonly", spec, str(tmp_path / "new"),
+                                  source_items=ITEMS)
+    with pytest.warns(EdenDeprecationWarning, match="plan_linear_fleet"):
         shimmed = plan_pipeline("readonly", spec, str(tmp_path / "old"),
                                 source_items=ITEMS)
     assert [plan.role for plan in shimmed] == [plan.role for plan in canonical]
@@ -94,16 +143,18 @@ def test_execute_shim_warns(tmp_path):
     # fleet: source -> sink, no filters, two records.
     from repro.net.launch import execute
 
-    plans = plan_fleet("readonly", [], str(tmp_path),
-                       source_items=["x", "y"])
+    plans = plan_linear_fleet("readonly", [], str(tmp_path),
+                              source_items=["x", "y"])
     with pytest.warns(EdenDeprecationWarning, match="run_fleet"):
         result = execute(plans, timeout=60.0)
     assert result.output == ["x", "y"]
 
 
-def test_canonical_names_do_not_warn(kernel):
+def test_canonical_names_do_not_warn(kernel, tmp_path):
     with warnings.catch_warnings():
         warnings.simplefilter("error", EdenDeprecationWarning)
-        compose_pipeline(kernel, "readonly", ITEMS,
-                         [identity_transducer()]).run_to_completion()
-        stream_pipeline(ITEMS, [identity_transducer()], "readonly")
+        compose_segment(kernel, "readonly", ITEMS,
+                        [identity_transducer()]).run_to_completion()
+        stream_segment(ITEMS, [identity_transducer()], "readonly")
+        plan_linear_fleet("readonly", [], str(tmp_path),
+                          source_items=ITEMS)

@@ -28,7 +28,7 @@ from repro.transput import (
     FlowPolicy,
     ReadOnlyFilter,
     StreamEndpoint,
-    compose_pipeline,
+    compose_segment,
     compose_readonly_pipeline,
 )
 from tests.conftest import run_until_done
@@ -113,7 +113,7 @@ class TestDistributedPipelines:
     def test_sixteen_stage_pipeline_matches_model(self):
         """A long pipeline: measured invocations == the paper's formula."""
         kernel = Kernel()
-        pipeline = compose_pipeline(
+        pipeline = compose_segment(
             kernel, "readonly", [f"r{i}" for i in range(25)],
             [identity() for _ in range(16)],
         )

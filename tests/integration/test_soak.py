@@ -5,7 +5,7 @@ import pytest
 from repro.analysis import predicted_invocations
 from repro.core import Kernel
 from repro.filters import grep, sort_lines, unique_adjacent, upper_case
-from repro.transput import FlowPolicy, compose_pipeline, compose_apply
+from repro.transput import FlowPolicy, compose_segment, compose_apply
 from repro.devices import random_lines
 
 
@@ -17,7 +17,7 @@ def test_thousand_records_ten_stages_exact(discipline):
 
     kernel = Kernel()
     items = [f"record-{index}" for index in range(1000)]
-    pipeline = compose_pipeline(
+    pipeline = compose_segment(
         kernel, discipline, items,
         [identity_transducer() for _ in range(10)],
     )
@@ -64,7 +64,7 @@ def test_mixed_workload_repeated_runs_are_identical():
     def run():
         kernel = Kernel()
         items = random_lines(200, seed=5)
-        pipeline = compose_pipeline(
+        pipeline = compose_segment(
             kernel, "readonly", items,
             [grep("eject"), upper_case(), sort_lines(), unique_adjacent()],
             flow=FlowPolicy(lookahead=4, batch=3),

@@ -10,7 +10,7 @@ import pytest
 
 from repro.core import Kernel
 from repro.filters import SpellChecker, lower_case, sort_lines, unique_adjacent
-from repro.transput import compose_pipeline, compose_apply, make_transducer
+from repro.transput import compose_segment, compose_apply, make_transducer
 
 DOCUMENT = [
     "The Eden sistem is an object oriented system",
@@ -52,7 +52,7 @@ class TestSpellPipeline:
                                             "conventional"])
     def test_all_disciplines_find_the_same_typos(self, discipline):
         kernel = Kernel()
-        pipeline = compose_pipeline(
+        pipeline = compose_segment(
             kernel, discipline, DOCUMENT, spell_stages()
         )
         assert pipeline.run_to_completion() == EXPECTED
@@ -60,11 +60,11 @@ class TestSpellPipeline:
     def test_clean_document_is_silent(self):
         kernel = Kernel()
         clean = ["the eden system", "each eject has a unique identifier"]
-        pipeline = compose_pipeline(kernel, "readonly", clean, spell_stages())
+        pipeline = compose_segment(kernel, "readonly", clean, spell_stages())
         assert pipeline.run_to_completion() == []
 
     def test_aio_runtime_agrees(self):
-        from repro.aio import stream_pipeline
+        from repro.aio import stream_segment
 
-        assert stream_pipeline(DOCUMENT, spell_stages(),
+        assert stream_segment(DOCUMENT, spell_stages(),
                             discipline="readonly") == EXPECTED

@@ -23,7 +23,7 @@ import pytest
 
 from repro.api import Pipeline
 from repro.fault import FaultPlan
-from repro.net.launch import IDENTITY, plan_fleet, run_fleet
+from repro.net.launch import IDENTITY, plan_linear_fleet, run_fleet
 from repro.obs import load_span_log
 from repro.obs.merge import verify_exactly_once
 from repro.transput import FlowPolicy
@@ -32,7 +32,7 @@ ITEMS = [f"datum-{i:02d}" for i in range(20)]
 
 
 def run_identity_fleet(tmp_path, codec, **kwargs):
-    plans = plan_fleet(
+    plans = plan_linear_fleet(
         "readonly", [IDENTITY] * 2, str(tmp_path),
         source_items=ITEMS, codec=codec, **kwargs,
     )
@@ -56,7 +56,7 @@ class TestBinaryFleet:
     def test_legacy_json_stage_in_a_binary_fleet(self, tmp_path):
         """Per-link degradation: strip --codec from one filter (as if an
         old build were still deployed) and the fleet still drains."""
-        plans = plan_fleet(
+        plans = plan_linear_fleet(
             "readonly", [IDENTITY] * 2, str(tmp_path),
             source_items=ITEMS, codec="binary",
         )

@@ -16,8 +16,8 @@ from repro.analysis import predicted_invocations
 from repro.core import Kernel
 from repro.devices import random_lines
 from repro.filters import grep, unique_adjacent, upper_case
-from repro.net.launch import IDENTITY, plan_fleet, run_fleet
-from repro.transput import FlowPolicy, compose_pipeline
+from repro.net.launch import IDENTITY, plan_linear_fleet, run_fleet
+from repro.transput import FlowPolicy, compose_segment
 
 N_FILTERS = 3
 ITEMS = 12
@@ -32,7 +32,7 @@ FILTER_SPECS = [
 
 def simulator_output(discipline: str) -> list[str]:
     kernel = Kernel(seed=0)
-    pipeline = compose_pipeline(
+    pipeline = compose_segment(
         kernel,
         discipline,
         random_lines(count=ITEMS, seed=SEED),
@@ -43,7 +43,7 @@ def simulator_output(discipline: str) -> list[str]:
 
 @pytest.mark.parametrize("discipline", ["readonly", "writeonly"])
 def test_tcp_pipeline_matches_simulator_byte_for_byte(tmp_path, discipline):
-    plans = plan_fleet(
+    plans = plan_linear_fleet(
         discipline,
         FILTER_SPECS,
         str(tmp_path),
@@ -65,7 +65,7 @@ def test_tcp_pipeline_matches_simulator_byte_for_byte(tmp_path, discipline):
 ])
 def test_wire_invocations_match_paper_formula(tmp_path, discipline, processes):
     """Identity pipeline so every hop moves exactly m records."""
-    plans = plan_fleet(
+    plans = plan_linear_fleet(
         discipline,
         [IDENTITY] * N_FILTERS,
         str(tmp_path),
@@ -81,11 +81,11 @@ def test_wire_invocations_match_paper_formula(tmp_path, discipline, processes):
 
 def test_readonly_halves_conventional_on_the_wire(tmp_path):
     """Claim C1 measured end-to-end on real sockets: the ratio is 1/2."""
-    readonly = run_fleet(plan_fleet(
+    readonly = run_fleet(plan_linear_fleet(
         "readonly", [IDENTITY] * 2, str(tmp_path / "ro"),
         source_items=list(range(6)),
     ), timeout=60)
-    conventional = run_fleet(plan_fleet(
+    conventional = run_fleet(plan_linear_fleet(
         "conventional", [IDENTITY] * 2, str(tmp_path / "cv"),
         source_items=list(range(6)),
     ), timeout=60)
@@ -93,7 +93,7 @@ def test_readonly_halves_conventional_on_the_wire(tmp_path):
 
 
 def test_batching_divides_wire_invocations(tmp_path):
-    batched = run_fleet(plan_fleet(
+    batched = run_fleet(plan_linear_fleet(
         "readonly", [IDENTITY], str(tmp_path),
         source_items=list(range(8)),
         flow=FlowPolicy(batch=4),
@@ -104,7 +104,7 @@ def test_batching_divides_wire_invocations(tmp_path):
 
 def test_lookahead_prefetch_preserves_output(tmp_path):
     """The eager knob (T4) on real sockets: same records, same order."""
-    eager = run_fleet(plan_fleet(
+    eager = run_fleet(plan_linear_fleet(
         "readonly", FILTER_SPECS, str(tmp_path),
         source_count=ITEMS, source_seed=SEED,
         flow=FlowPolicy.eager(lookahead=4),
@@ -114,7 +114,7 @@ def test_lookahead_prefetch_preserves_output(tmp_path):
 
 def test_writeonly_credit_window_bounds_frames(tmp_path):
     """inbox_capacity=1 forces one record per WRITE frame end-to-end."""
-    lazy = run_fleet(plan_fleet(
+    lazy = run_fleet(plan_linear_fleet(
         "writeonly", [IDENTITY], str(tmp_path),
         source_items=list(range(5)),
         flow=FlowPolicy(batch=5, inbox_capacity=1),
@@ -126,7 +126,7 @@ def test_writeonly_credit_window_bounds_frames(tmp_path):
 
 
 def test_stats_files_are_kernelstats_shaped(tmp_path):
-    plans = plan_fleet(
+    plans = plan_linear_fleet(
         "readonly", [IDENTITY], str(tmp_path), source_items=["only"],
     )
     result = run_fleet(plans, timeout=60)

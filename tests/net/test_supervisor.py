@@ -16,7 +16,7 @@ from repro.fault import FaultPlan, FrameFault
 from repro.net.launch import (
     FleetError,
     FleetSupervisor,
-    plan_fleet,
+    plan_linear_fleet,
     run_fleet,
 )
 
@@ -26,7 +26,7 @@ BROKEN = ("repro.no_such_module:missing_factory", [])
 
 
 def plan(tmp_path, transducers=(IDENTITY,), **kwargs):
-    return plan_fleet("readonly", list(transducers), str(tmp_path),
+    return plan_linear_fleet("readonly", list(transducers), str(tmp_path),
                       source_items=ITEMS, **kwargs)
 
 
@@ -194,7 +194,7 @@ class TestCleanRun:
             assert json.load(f) == result.supervisor
 
     def test_manifest_records_resume_and_faults(self, tmp_path):
-        plan_fleet(
+        plan_linear_fleet(
             "readonly", [IDENTITY], str(tmp_path),
             source_items=ITEMS, trace=True, resume=True,
             faults={1: FaultPlan(kill_after=2)},

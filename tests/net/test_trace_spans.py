@@ -16,18 +16,18 @@ import pytest
 
 from repro.analysis import predicted_invocations
 from repro.core import Kernel
-from repro.net.launch import IDENTITY, plan_fleet, run_fleet
+from repro.net.launch import IDENTITY, plan_linear_fleet, run_fleet
 from repro.obs.merge import load_span_log, merge_span_logs, verify_invocation_chains
 from repro.obs.trace_cli import main as trace_main
 from repro.transput.filterbase import identity_transducer
-from repro.transput.pipeline import compose_pipeline
+from repro.transput.pipeline import compose_segment
 
 N_FILTERS = 3
 ITEMS = ["alpha", "beta", "gamma"]
 
 
 def traced_run(tmp_path, discipline):
-    plans = plan_fleet(
+    plans = plan_linear_fleet(
         discipline, [IDENTITY] * N_FILTERS, str(tmp_path),
         source_items=list(ITEMS), trace=True,
     )
@@ -66,7 +66,7 @@ def test_wire_and_simulator_agree_on_chain_shape(tmp_path):
     wire_trees = merged_trees(result)
 
     kernel = Kernel(spans=True)
-    pipeline = compose_pipeline(
+    pipeline = compose_segment(
         kernel, "readonly", list(ITEMS),
         [identity_transducer(f"f{index}") for index in range(N_FILTERS)],
     )
@@ -88,7 +88,7 @@ def test_wire_and_simulator_agree_on_chain_shape(tmp_path):
 
 
 def test_fleet_manifest_lists_trace_files(tmp_path):
-    plan_fleet(
+    plan_linear_fleet(
         "readonly", [IDENTITY] * N_FILTERS, str(tmp_path),
         source_items=list(ITEMS), trace=True, control=True,
     )

@@ -13,7 +13,7 @@ from repro.obs.merge import (
 )
 from repro.obs.spans import CLOCK_KIND, SPAN_KIND
 from repro.transput.filterbase import identity_transducer
-from repro.transput.pipeline import compose_pipeline
+from repro.transput.pipeline import compose_segment
 
 N_FILTERS = 3
 ITEMS = ["alpha", "beta", "gamma"]
@@ -21,7 +21,7 @@ ITEMS = ["alpha", "beta", "gamma"]
 
 def run_sim(discipline: str) -> Kernel:
     kernel = Kernel(spans=True)
-    pipeline = compose_pipeline(
+    pipeline = compose_segment(
         kernel, discipline, list(ITEMS),
         [identity_transducer(f"f{index}") for index in range(N_FILTERS)],
     )

@@ -3,7 +3,7 @@ agreement, figure parity, aio/simulator agreement."""
 
 from hypothesis import given, settings, strategies as st
 
-from repro.aio import stream_pipeline as aio_run_pipeline
+from repro.aio import stream_segment as aio_run_pipeline
 from repro.core import Kernel
 from repro.figures import build_figure3, build_figure4
 from repro.filters import (
@@ -15,7 +15,7 @@ from repro.filters import (
     upper_case,
 )
 from repro.shell import Shell
-from repro.transput import compose_pipeline, compose_apply
+from repro.transput import compose_segment, compose_apply
 
 # Words safe for shell round-tripping (no quotes or redirect syntax).
 shell_words = st.lists(
@@ -47,7 +47,7 @@ class TestCodingRoundTrips:
     def test_rle_round_trip_through_any_discipline(self, runs, discipline):
         items = [symbol for count, symbol in runs for _ in range(count)]
         kernel = Kernel()
-        pipeline = compose_pipeline(
+        pipeline = compose_segment(
             kernel, discipline, items, [rle_encode(), rle_decode()]
         )
         assert pipeline.run_to_completion() == items
@@ -85,7 +85,7 @@ class TestShellAgreement:
         result = shell.execute_one("src | strip-comments C | upper | sort")
 
         kernel = Kernel()
-        direct = compose_pipeline(
+        direct = compose_segment(
             kernel, discipline, list(words),
             [comment_stripper("C"), upper_case(), sort_lines()],
         )
@@ -105,7 +105,7 @@ class TestAioAgreement:
             discipline=discipline,
         )
         kernel = Kernel()
-        sim_out = compose_pipeline(
+        sim_out = compose_segment(
             kernel, discipline, items,
             [comment_stripper("C"), upper_case(), sort_lines()],
         ).run_to_completion()

@@ -24,7 +24,7 @@ from repro.transput import (
     FlowPolicy,
     PassiveBuffer,
     Transfer,
-    compose_pipeline,
+    compose_segment,
     compose_apply,
 )
 from repro.transput.stream import END_TRANSFER
@@ -70,7 +70,7 @@ class TestPipelineCorrectness:
         self, items, picks, discipline
     ):
         kernel = Kernel()
-        pipeline = compose_pipeline(
+        pipeline = compose_segment(
             kernel, discipline, items, build_transducers(picks)
         )
         output = pipeline.run_to_completion()
@@ -87,7 +87,7 @@ class TestPipelineCorrectness:
         self, items, picks, lookahead, batch
     ):
         kernel = Kernel()
-        pipeline = compose_pipeline(
+        pipeline = compose_segment(
             kernel, "readonly", items, build_transducers(picks),
             flow=FlowPolicy(lookahead=lookahead, batch=batch),
         )
@@ -118,7 +118,7 @@ class TestPipelineCorrectness:
 
         def run():
             kernel = Kernel()
-            pipeline = compose_pipeline(
+            pipeline = compose_segment(
                 kernel, "readonly", items, build_transducers(picks)
             )
             output = pipeline.run_to_completion()

@@ -6,7 +6,7 @@ from repro.core import Kernel, TransportCosts
 from repro.transput import (
     FlowPolicy,
     compose_conventional_pipeline,
-    compose_pipeline,
+    compose_segment,
     compose_readonly_pipeline,
     compose_writeonly_pipeline,
     compose_apply,
@@ -32,7 +32,7 @@ class TestEquivalence:
                                             "conventional"])
     def test_matches_functional_reference(self, discipline):
         kernel = Kernel()
-        pipeline = compose_pipeline(kernel, discipline, ITEMS, fresh_transducers())
+        pipeline = compose_segment(kernel, discipline, ITEMS, fresh_transducers())
         output = pipeline.run_to_completion()
         assert output == compose_apply(fresh_transducers(), ITEMS)
 
@@ -40,7 +40,7 @@ class TestEquivalence:
                                             "conventional"])
     def test_stateful_finish_only_filter(self, discipline):
         kernel = Kernel()
-        pipeline = compose_pipeline(kernel, discipline, ITEMS, [word_count()])
+        pipeline = compose_segment(kernel, discipline, ITEMS, [word_count()])
         output = pipeline.run_to_completion()
         assert len(output) == 1
         assert output[0].lines == len(ITEMS)
@@ -48,13 +48,13 @@ class TestEquivalence:
     def test_empty_input(self):
         for discipline in ("readonly", "writeonly", "conventional"):
             kernel = Kernel()
-            pipeline = compose_pipeline(kernel, discipline, [], [upper_case()])
+            pipeline = compose_segment(kernel, discipline, [], [upper_case()])
             assert pipeline.run_to_completion() == []
 
     def test_zero_filters(self):
         for discipline in ("readonly", "writeonly", "conventional"):
             kernel = Kernel()
-            pipeline = compose_pipeline(kernel, discipline, [1, 2, 3], [])
+            pipeline = compose_segment(kernel, discipline, [1, 2, 3], [])
             assert pipeline.run_to_completion() == [1, 2, 3]
 
 
@@ -82,7 +82,7 @@ class TestShapeClaims:
         results = {}
         for discipline in ("readonly", "conventional"):
             kernel = Kernel()
-            pipeline = compose_pipeline(
+            pipeline = compose_segment(
                 kernel, discipline, [f"i{k}" for k in range(30)],
                 [upper_case(), upper_case(), upper_case()],
             )
@@ -182,7 +182,7 @@ class TestPlacement:
 class TestErrors:
     def test_unknown_discipline(self):
         with pytest.raises(ValueError):
-            compose_pipeline(Kernel(), "psychic", [1], [])
+            compose_segment(Kernel(), "psychic", [1], [])
 
     def test_stats_require_run(self):
         pipeline = compose_readonly_pipeline(Kernel(), [1], [])
